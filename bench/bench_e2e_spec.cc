@@ -1,0 +1,126 @@
+// Section VI-C.1: end-to-end evaluation with alternative VIEW-SPECIFICATION
+// implementations — QBE (Ver's default), keyword search and attribute
+// search — followed by VIEW-DISTILLATION and a simulated-user
+// VIEW-PRESENTATION run. Reports per-specification runtime and view counts,
+// the questions needed to converge, and question-generation latency.
+
+#include "bench_common.h"
+#include "util/stats.h"
+
+namespace ver {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader(
+      "End-to-end: QBE vs keyword vs attribute view specification",
+      "Section VI-C.1");
+  const int num_queries = 10;
+  GeneratedDataset dataset =
+      GenerateOpenDataLike(BenchOpenDataSpec(1.0, num_queries));
+  Ver system(&dataset.repo,
+             ConfigWithStrategy(SelectionStrategy::kColumnSelection));
+
+  TextTable table({"Specification", "median runtime", "median #views",
+                   "median #distilled"});
+  struct SpecStats {
+    std::vector<double> runtimes, views, distilled;
+  };
+  SpecStats stats[3];
+  const char* names[3] = {"QBE (examples)", "Keyword", "Attribute"};
+
+  std::vector<double> questions_to_converge;
+  std::vector<double> question_latencies;
+
+  for (size_t qi = 0; qi < dataset.queries.size(); ++qi) {
+    const GroundTruthQuery& gt = dataset.queries[qi];
+    Result<ExampleQuery> query =
+        MakeNoisyQuery(dataset.repo, gt, NoiseLevel::kZero, 3, 0xe2e + qi);
+    if (!query.ok()) continue;
+
+    for (int spec = 0; spec < 3; ++spec) {
+      WallTimer timer;
+      std::vector<ColumnSelectionResult> candidates;
+      switch (spec) {
+        case 0:
+          candidates = SpecifyByExample(system.engine(), query.value(),
+                                        ColumnSelectionOptions());
+          break;
+        case 1: {
+          // Keywords: one example value per attribute.
+          std::vector<std::string> keywords;
+          for (const auto& col : query->columns) {
+            if (!col.empty()) keywords.push_back(col.front());
+          }
+          candidates = SpecifyByKeywords(system.engine(), keywords);
+          break;
+        }
+        case 2:
+          candidates =
+              SpecifyByAttributes(system.engine(), gt.gt_attributes);
+          break;
+      }
+      QueryResult result =
+          system.RunWithCandidates(candidates, query.value());
+      stats[spec].runtimes.push_back(timer.ElapsedSeconds());
+      stats[spec].views.push_back(static_cast<double>(result.views.size()));
+      stats[spec].distilled.push_back(
+          static_cast<double>(result.distillation.surviving.size()));
+
+      if (spec == 2) {
+        // Simulated presentation over the attribute-spec result (the
+        // broadest, most ambiguous candidate set): perfect user.
+        Result<std::vector<int>> acceptable =
+            GroundTruthMatches(dataset.repo, gt, result.views);
+        if (acceptable.ok() && !acceptable->empty()) {
+          auto session = system.StartSession(result, query.value());
+          SimulatedUserProfile profile;
+          profile.seed = 0xe2e0 + qi;
+          SimulatedUser user(profile, acceptable.value(), &result.views,
+                             &result.distillation);
+          WallTimer qtimer;
+          SessionOutcome outcome = DriveSession(session.get(), &user, 100);
+          if (outcome.found) {
+            questions_to_converge.push_back(outcome.interactions);
+            if (outcome.interactions > 0) {
+              question_latencies.push_back(qtimer.ElapsedSeconds() /
+                                           outcome.interactions);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  for (int spec = 0; spec < 3; ++spec) {
+    table.AddRow({names[spec], FormatSeconds(Median(stats[spec].runtimes)),
+                  std::to_string(static_cast<int64_t>(
+                      Median(stats[spec].views))),
+                  std::to_string(static_cast<int64_t>(
+                      Median(stats[spec].distilled)))});
+  }
+  table.Print();
+
+  std::printf(
+      "\nSimulated-user presentation over the attribute-spec results:\n");
+  std::printf("  queries converged: %zu/%d\n", questions_to_converge.size(),
+              num_queries);
+  std::printf("  median questions to converge: %d\n",
+              static_cast<int>(Median(questions_to_converge)));
+  std::printf("  median question latency: %s\n",
+              FormatSeconds(Median(question_latencies)).c_str());
+  std::printf(
+      "\nPaper shape: keyword/attribute interfaces retrieve broader\n"
+      "candidate columns than QBE, so they generate more views and run\n"
+      "longer; the presentation stage produces questions in well under a\n"
+      "millisecond, keeping the interaction interactive.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ver
+
+int main() {
+  ver::bench::Run();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Fig. 5: #joinable groups, #join graphs and #generated views on the
+// ChEMBL-like dataset, per query (Q1-Q5), noise level and column-selection
+// strategy (Select-All / Select-Best / Column-Selection).
+//
+// Rows marked '*' failed to find the ground truth ("Ground Truth Not
+// Found" hatching in the paper's figure).
+
+#include "bench_common.h"
+
+namespace ver {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader(
+      "Fig. 5: joinable groups / join graphs / views on ChEMBL-like",
+      "Fig. 5");
+  GeneratedDataset dataset = GenerateChemblLike(BenchChemblSpec());
+  const std::vector<SelectionStrategy> strategies = {
+      SelectionStrategy::kSelectAll, SelectionStrategy::kSelectBest,
+      SelectionStrategy::kColumnSelection};
+  std::vector<std::unique_ptr<Ver>> systems;
+  for (SelectionStrategy s : strategies) {
+    systems.push_back(
+        std::make_unique<Ver>(&dataset.repo, ConfigWithStrategy(s)));
+  }
+
+  TextTable table({"Query", "Noise", "Strategy", "#Joinable Groups",
+                   "#Join Graphs", "#Views", "GT found"});
+  for (const GroundTruthQuery& gt : dataset.queries) {
+    for (NoiseLevel level : AllNoiseLevels()) {
+      Result<ExampleQuery> query =
+          MakeNoisyQuery(dataset.repo, gt, level, 3, 0x515);
+      if (!query.ok()) continue;
+      for (size_t s = 0; s < strategies.size(); ++s) {
+        QueryResult result = systems[s]->RunQuery(query.value());
+        Result<bool> hit =
+            ContainsGroundTruth(dataset.repo, gt, result.views);
+        bool found = hit.ok() && hit.value();
+        table.AddRow({gt.name, NoiseLevelToString(level),
+                      SelectionStrategyToString(strategies[s]),
+                      std::to_string(result.search.num_joinable_groups),
+                      std::to_string(result.search.num_join_graphs),
+                      std::to_string(result.views.size()),
+                      found ? "yes" : "NO *"});
+      }
+    }
+  }
+  table.Print();
+  std::printf(
+      "Paper shape: Select-All always yields the largest joinable groups,\n"
+      "join-graph counts (up to 4x) and view sets; Column-Selection finds\n"
+      "the ground truth with far smaller candidate sets; Select-Best\n"
+      "misses the ground truth under noise.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ver
+
+int main() {
+  ver::bench::Run();
+  return 0;
+}

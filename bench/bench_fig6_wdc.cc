@@ -1,0 +1,59 @@
+// Fig. 6: #joinable groups, #join graphs and #generated views on the
+// WDC-like dataset, per query, noise level and column-selection strategy
+// (the WDC counterpart of Fig. 5).
+
+#include "bench_common.h"
+
+namespace ver {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader("Fig. 6: joinable groups / join graphs / views on WDC-like",
+              "Fig. 6");
+  GeneratedDataset dataset = GenerateWdcLike(BenchWdcSpec());
+  const std::vector<SelectionStrategy> strategies = {
+      SelectionStrategy::kSelectAll, SelectionStrategy::kSelectBest,
+      SelectionStrategy::kColumnSelection};
+  std::vector<std::unique_ptr<Ver>> systems;
+  for (SelectionStrategy s : strategies) {
+    systems.push_back(
+        std::make_unique<Ver>(&dataset.repo, ConfigWithStrategy(s)));
+  }
+
+  TextTable table({"Query", "Noise", "Strategy", "#Joinable Groups",
+                   "#Join Graphs", "#Views", "GT found"});
+  for (const GroundTruthQuery& gt : dataset.queries) {
+    for (NoiseLevel level : AllNoiseLevels()) {
+      Result<ExampleQuery> query =
+          MakeNoisyQuery(dataset.repo, gt, level, 3, 0x616);
+      if (!query.ok()) continue;
+      for (size_t s = 0; s < strategies.size(); ++s) {
+        QueryResult result = systems[s]->RunQuery(query.value());
+        Result<bool> hit =
+            ContainsGroundTruth(dataset.repo, gt, result.views);
+        bool found = hit.ok() && hit.value();
+        table.AddRow({gt.name, NoiseLevelToString(level),
+                      SelectionStrategyToString(strategies[s]),
+                      std::to_string(result.search.num_joinable_groups),
+                      std::to_string(result.search.num_join_graphs),
+                      std::to_string(result.views.size()),
+                      found ? "yes" : "NO *"});
+      }
+    }
+  }
+  table.Print();
+  std::printf(
+      "Paper shape: as Fig. 5, on the web-table corpus — Select-All\n"
+      "explodes on the many small joinable topic tables while\n"
+      "Column-Selection keeps the candidate sets manageable.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ver
+
+int main() {
+  ver::bench::Run();
+  return 0;
+}

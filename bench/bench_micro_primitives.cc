@@ -1,0 +1,166 @@
+// Primitive microbenchmarks (google-benchmark): the hot inner loops of the
+// system — sketching, LSH lookup, hash join, row hashing, edit distance,
+// CSV parsing and the 4C pass itself.
+
+#include <benchmark/benchmark.h>
+
+#include "core/distillation.h"
+#include "discovery/engine.h"
+#include "engine/materializer.h"
+#include "table/csv.h"
+#include "util/levenshtein.h"
+#include "util/minhash.h"
+#include "util/rng.h"
+
+namespace ver {
+namespace {
+
+std::vector<uint64_t> RandomHashes(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> out(n);
+  for (int i = 0; i < n; ++i) {
+    out[i] = static_cast<uint64_t>(rng.UniformInt(0, 1LL << 62));
+  }
+  return out;
+}
+
+void BM_MinHashCompute(benchmark::State& state) {
+  MinHasher hasher(static_cast<int>(state.range(0)));
+  std::vector<uint64_t> elements = RandomHashes(1000, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.Compute(elements));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_MinHashCompute)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_EstimateJaccard(benchmark::State& state) {
+  MinHasher hasher(128);
+  MinHashSignature a = hasher.Compute(RandomHashes(500, 1));
+  MinHashSignature b = hasher.Compute(RandomHashes(500, 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateJaccard(a, b));
+  }
+}
+BENCHMARK(BM_EstimateJaccard);
+
+void BM_BoundedLevenshtein(benchmark::State& state) {
+  std::string a = "international airport of chicago";
+  std::string b = "internotional airporf of chicago";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BoundedLevenshtein(a, b, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_BoundedLevenshtein)->Arg(1)->Arg(2)->Arg(4);
+
+Table RandomTable(const std::string& name, int rows, int key_domain,
+                  uint64_t seed) {
+  Schema schema;
+  schema.AddAttribute(Attribute{"k", ValueType::kString});
+  schema.AddAttribute(Attribute{"v", ValueType::kInt});
+  Table t(name, schema);
+  Rng rng(seed);
+  for (int i = 0; i < rows; ++i) {
+    t.AppendRow(
+        {Value::String("key" + std::to_string(rng.UniformInt(0, key_domain))),
+         Value::Int(rng.UniformInt(0, 1 << 20))});
+  }
+  return t;
+}
+
+void BM_HashJoin(benchmark::State& state) {
+  int rows = static_cast<int>(state.range(0));
+  TableRepository repo;
+  (void)repo.AddTable(RandomTable("l", rows, rows / 4, 1));
+  (void)repo.AddTable(RandomTable("r", rows, rows / 4, 2));
+  JoinGraph graph;
+  graph.edges.push_back(JoinEdge{ColumnRef{0, 0}, ColumnRef{1, 0}, 1.0, 1.0});
+  NormalizeJoinGraph(&graph, {});
+  Materializer m(&repo);
+  MaterializeOptions options;
+  options.max_intermediate_rows = 100'000'000;
+  for (auto _ : state) {
+    Result<Table> view = m.Materialize(
+        graph, {ColumnRef{0, 1}, ColumnRef{1, 1}}, options, "v");
+    benchmark::DoNotOptimize(view);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_HashJoin)->Arg(1000)->Arg(10000);
+
+void BM_RowHashing(benchmark::State& state) {
+  Table t = RandomTable("t", static_cast<int>(state.range(0)), 1000, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.AllRowHashes());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RowHashing)->Arg(1000)->Arg(10000);
+
+void BM_CsvParse(benchmark::State& state) {
+  Table t = RandomTable("t", static_cast<int>(state.range(0)), 1000, 4);
+  std::string csv = WriteCsvString(t);
+  for (auto _ : state) {
+    Result<Table> parsed = ReadCsvString(csv, "t");
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(state.iterations() * csv.size());
+}
+BENCHMARK(BM_CsvParse)->Arg(1000)->Arg(10000);
+
+void BM_Distill4C(benchmark::State& state) {
+  int num_views = static_cast<int>(state.range(0));
+  Rng rng(9);
+  std::vector<View> views;
+  for (int i = 0; i < num_views; ++i) {
+    View v;
+    v.id = i;
+    Schema schema;
+    schema.AddAttribute(Attribute{"k", ValueType::kString});
+    schema.AddAttribute(Attribute{"val", ValueType::kInt});
+    v.table = Table("view_" + std::to_string(i), schema);
+    int rows = static_cast<int>(rng.UniformInt(20, 60));
+    for (int r = 0; r < rows; ++r) {
+      v.table.AppendRow(
+          {Value::String("key" + std::to_string(rng.UniformInt(0, 99))),
+           Value::Int(rng.UniformInt(0, 3))});
+    }
+    views.push_back(std::move(v));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DistillViews(views, DistillationOptions()));
+  }
+  state.SetItemsProcessed(state.iterations() * num_views);
+}
+BENCHMARK(BM_Distill4C)->Arg(20)->Arg(100);
+
+void BM_KeywordSearch(benchmark::State& state) {
+  TableRepository repo;
+  (void)repo.AddTable(RandomTable("a", 5000, 2000, 11));
+  (void)repo.AddTable(RandomTable("b", 5000, 2000, 12));
+  auto engine = DiscoveryEngine::Build(repo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine->SearchKeyword("key1234", KeywordTarget::kValues));
+  }
+}
+BENCHMARK(BM_KeywordSearch);
+
+void BM_ContainmentNeighbors(benchmark::State& state) {
+  TableRepository repo;
+  for (int t = 0; t < 20; ++t) {
+    (void)repo.AddTable(
+        RandomTable("t" + std::to_string(t), 1000, 300, 100 + t));
+  }
+  auto engine = DiscoveryEngine::Build(repo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->Neighbors(ColumnRef{0, 0}, 0.8));
+  }
+}
+BENCHMARK(BM_ContainmentNeighbors);
+
+}  // namespace
+}  // namespace ver
+
+BENCHMARK_MAIN();

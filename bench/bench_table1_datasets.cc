@@ -1,0 +1,79 @@
+// Table I: Characteristics of Datasets.
+//
+// Prints, for the three generated datasets, the statistics the paper lists
+// for ChEMBL / WDC / Open Data: #tables, #columns, approximate #joinable
+// column pairs, total #rows and raw size. Absolute numbers are smaller than
+// the paper's corpora (synthetic substitutes); the *relative* shape holds:
+// WDC-like has many small tables with high joinability, ChEMBL-like few
+// large tables, OpenData-like sits in between and scales with the portion.
+
+#include "bench_common.h"
+#include "discovery/engine.h"
+
+namespace ver {
+namespace bench {
+namespace {
+
+int64_t ApproximateBytes(const TableRepository& repo) {
+  int64_t bytes = 0;
+  for (int32_t t = 0; t < repo.num_tables(); ++t) {
+    const Table& table = repo.table(t);
+    for (int c = 0; c < table.num_columns(); ++c) {
+      for (const Value& v : table.column(c)) {
+        bytes += static_cast<int64_t>(v.ToText().size()) + 1;
+      }
+    }
+  }
+  return bytes;
+}
+
+std::string FormatBytes(int64_t bytes) {
+  char buf[48];
+  if (bytes > 1 << 20) {
+    std::snprintf(buf, sizeof(buf), "%.1fMB",
+                  static_cast<double>(bytes) / (1 << 20));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fKB",
+                  static_cast<double>(bytes) / (1 << 10));
+  }
+  return buf;
+}
+
+void Run() {
+  PrintHeader("Table I: Characteristics of Datasets", "Table I");
+  TextTable table({"Dataset", "#Tables", "#Columns", "#Joinable Col Pairs",
+                   "Total #Rows", "Size"});
+
+  struct Entry {
+    std::string name;
+    GeneratedDataset dataset;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"ChEMBL-like", GenerateChemblLike(BenchChemblSpec())});
+  entries.push_back({"WDC-like", GenerateWdcLike(BenchWdcSpec())});
+  entries.push_back(
+      {"OpenData-like", GenerateOpenDataLike(BenchOpenDataSpec(1.0, 0))});
+
+  for (Entry& e : entries) {
+    WallTimer timer;
+    auto engine = DiscoveryEngine::Build(e.dataset.repo);
+    double build_s = timer.ElapsedSeconds();
+    table.AddRow({e.name, std::to_string(e.dataset.repo.num_tables()),
+                  std::to_string(e.dataset.repo.TotalColumns()),
+                  std::to_string(engine->num_joinable_column_pairs()),
+                  std::to_string(e.dataset.repo.TotalRows()),
+                  FormatBytes(ApproximateBytes(e.dataset.repo))});
+    std::printf("[offline] %s discovery index built in %s\n", e.name.c_str(),
+                FormatSeconds(build_s).c_str());
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ver
+
+int main() {
+  ver::bench::Run();
+  return 0;
+}

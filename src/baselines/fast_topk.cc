@@ -1,0 +1,57 @@
+#include "baselines/fast_topk.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace ver {
+
+int ViewOverlap(const View& view, const ExampleQuery& query) {
+  // Collect the view's cell texts once.
+  std::unordered_set<std::string> cell_texts;
+  const Table& t = view.table;
+  for (int c = 0; c < t.num_columns(); ++c) {
+    for (const Value& v : t.column(c)) {
+      if (!v.is_null()) cell_texts.insert(ToLower(v.ToText()));
+    }
+  }
+  int overlap = 0;
+  for (const auto& column : query.columns) {
+    for (const std::string& example : column) {
+      if (cell_texts.count(ToLower(Trim(example)))) ++overlap;
+    }
+  }
+  return overlap;
+}
+
+std::vector<OverlapRankedView> RankViewsByOverlap(
+    const std::vector<View>& views, const ExampleQuery& query) {
+  int total_examples = 0;
+  for (const auto& column : query.columns) {
+    total_examples += static_cast<int>(column.size());
+  }
+  std::vector<OverlapRankedView> ranked;
+  ranked.reserve(views.size());
+  for (size_t i = 0; i < views.size(); ++i) {
+    OverlapRankedView r;
+    r.view_index = static_cast<int>(i);
+    r.overlap = ViewOverlap(views[i], query);
+    r.score = total_examples == 0
+                  ? 0.0
+                  : static_cast<double>(r.overlap) /
+                        static_cast<double>(total_examples);
+    ranked.push_back(r);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [&views](const OverlapRankedView& a, const OverlapRankedView& b) {
+              if (a.overlap != b.overlap) return a.overlap > b.overlap;
+              int64_t ra = views[a.view_index].table.num_rows();
+              int64_t rb = views[b.view_index].table.num_rows();
+              if (ra != rb) return ra < rb;
+              return a.view_index < b.view_index;
+            });
+  return ranked;
+}
+
+}  // namespace ver

@@ -1,0 +1,192 @@
+#include "core/column_selection.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ver {
+
+const char* SelectionStrategyToString(SelectionStrategy s) {
+  switch (s) {
+    case SelectionStrategy::kColumnSelection:
+      return "Column-Selection";
+    case SelectionStrategy::kSelectAll:
+      return "Select-All";
+    case SelectionStrategy::kSelectBest:
+      return "Select-Best";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Runs SEARCH-KEYWORD for every example and counts, per column, how many
+// distinct examples it contains (the overlap |col ∩ χ.Ai|).
+std::unordered_map<uint64_t, ScoredColumn> CollectHits(
+    const DiscoveryEngine& engine, const std::vector<std::string>& examples,
+    bool fuzzy_fallback) {
+  std::unordered_map<uint64_t, ScoredColumn> hits;
+  for (const std::string& example : examples) {
+    std::vector<KeywordHit> found =
+        engine.SearchKeyword(example, KeywordTarget::kValues, /*fuzzy=*/false);
+    if (found.empty() && fuzzy_fallback) {
+      found =
+          engine.SearchKeyword(example, KeywordTarget::kValues, /*fuzzy=*/true);
+    }
+    // One example counts at most once per column.
+    std::unordered_set<uint64_t> seen_this_example;
+    for (const KeywordHit& h : found) {
+      uint64_t key = h.column.Encode();
+      if (!seen_this_example.insert(key).second) continue;
+      auto it = hits.find(key);
+      if (it == hits.end()) {
+        hits.emplace(key, ScoredColumn{h.column, 1});
+      } else {
+        it->second.example_hits += 1;
+      }
+    }
+  }
+  return hits;
+}
+
+// Union-find over candidate columns; edges from the engine's Jaccard
+// neighbors restricted to the candidate set (CONNECTED-COMPONENT, line 5).
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    for (int i = 0; i < n; ++i) parent_[i] = i;
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+std::vector<ColumnCluster> ClusterCandidates(
+    const DiscoveryEngine& engine, std::vector<ScoredColumn> columns,
+    double similarity_threshold) {
+  std::sort(columns.begin(), columns.end(),
+            [](const ScoredColumn& a, const ScoredColumn& b) {
+              return a.ref < b.ref;
+            });
+  std::unordered_map<uint64_t, int> index_of;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    index_of.emplace(columns[i].ref.Encode(), static_cast<int>(i));
+  }
+  UnionFind uf(static_cast<int>(columns.size()));
+  for (size_t i = 0; i < columns.size(); ++i) {
+    for (const ColumnRef& n :
+         engine.SimilarColumns(columns[i].ref, similarity_threshold)) {
+      auto it = index_of.find(n.Encode());
+      if (it != index_of.end()) uf.Union(static_cast<int>(i), it->second);
+    }
+  }
+  std::unordered_map<int, ColumnCluster> by_root;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    ColumnCluster& c = by_root[uf.Find(static_cast<int>(i))];
+    c.score = std::max(c.score, columns[i].example_hits);
+    c.columns.push_back(columns[i]);
+  }
+  std::vector<ColumnCluster> clusters;
+  clusters.reserve(by_root.size());
+  for (auto& [_, c] : by_root) clusters.push_back(std::move(c));
+  std::sort(clusters.begin(), clusters.end(),
+            [](const ColumnCluster& a, const ColumnCluster& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.columns.front().ref < b.columns.front().ref;
+            });
+  return clusters;
+}
+
+}  // namespace
+
+ColumnSelectionResult SelectColumns(const DiscoveryEngine& engine,
+                                    const std::vector<std::string>& examples,
+                                    const ColumnSelectionOptions& options) {
+  ColumnSelectionResult result;
+  std::unordered_map<uint64_t, ScoredColumn> hits =
+      CollectHits(engine, examples, options.fuzzy_fallback);
+  result.total_columns_before_clustering = static_cast<int>(hits.size());
+
+  std::vector<ScoredColumn> columns;
+  columns.reserve(hits.size());
+  for (auto& [_, sc] : hits) columns.push_back(sc);
+
+  switch (options.strategy) {
+    case SelectionStrategy::kSelectAll: {
+      std::sort(columns.begin(), columns.end(),
+                [](const ScoredColumn& a, const ScoredColumn& b) {
+                  return a.ref < b.ref;
+                });
+      ColumnCluster all;
+      all.columns = columns;
+      for (const ScoredColumn& c : columns) {
+        all.score = std::max(all.score, c.example_hits);
+      }
+      result.clusters = {all};
+      result.selected_clusters = result.clusters;
+      result.candidates = std::move(columns);
+      return result;
+    }
+    case SelectionStrategy::kSelectBest: {
+      int best = 0;
+      for (const ScoredColumn& c : columns) {
+        best = std::max(best, c.example_hits);
+      }
+      ColumnCluster top;
+      top.score = best;
+      for (const ScoredColumn& c : columns) {
+        if (c.example_hits == best) top.columns.push_back(c);
+      }
+      std::sort(top.columns.begin(), top.columns.end(),
+                [](const ScoredColumn& a, const ScoredColumn& b) {
+                  return a.ref < b.ref;
+                });
+      result.clusters = {top};
+      result.selected_clusters = result.clusters;
+      result.candidates = top.columns;
+      return result;
+    }
+    case SelectionStrategy::kColumnSelection:
+      break;
+  }
+
+  // Ver's Algorithm 4: cluster, keep top-theta score levels.
+  result.clusters = ClusterCandidates(engine, std::move(columns),
+                                      options.cluster_similarity_threshold);
+  std::vector<int> levels;
+  for (const ColumnCluster& c : result.clusters) {
+    if (levels.empty() || levels.back() != c.score) levels.push_back(c.score);
+  }
+  int cutoff_index =
+      std::min<int>(options.theta, static_cast<int>(levels.size())) - 1;
+  int min_score = cutoff_index < 0 ? 0 : levels[cutoff_index];
+  for (const ColumnCluster& c : result.clusters) {
+    if (c.score >= min_score && c.score > 0) {
+      result.selected_clusters.push_back(c);
+      result.candidates.insert(result.candidates.end(), c.columns.begin(),
+                               c.columns.end());
+    }
+  }
+  return result;
+}
+
+std::vector<ColumnSelectionResult> SelectColumnsForQuery(
+    const DiscoveryEngine& engine, const ExampleQuery& query,
+    const ColumnSelectionOptions& options) {
+  std::vector<ColumnSelectionResult> out;
+  out.reserve(query.columns.size());
+  for (const auto& examples : query.columns) {
+    out.push_back(SelectColumns(engine, examples, options));
+  }
+  return out;
+}
+
+}  // namespace ver

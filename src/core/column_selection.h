@@ -1,0 +1,78 @@
+// COLUMN-SELECTION (Algorithm 4) and the two baselines it is evaluated
+// against (Table V): SELECT-ALL (FastTopK-style) and SELECT-BEST
+// (SQuID-style).
+//
+// Given the example values of one query attribute, find candidate columns
+// even when the examples are noisy: search every example, cluster the hit
+// columns by content similarity over the discovery hypergraph, score each
+// cluster by its best member's overlap with the examples, keep top-theta
+// clusters.
+
+#ifndef VER_CORE_COLUMN_SELECTION_H_
+#define VER_CORE_COLUMN_SELECTION_H_
+
+#include <vector>
+
+#include "core/query.h"
+#include "discovery/engine.h"
+
+namespace ver {
+
+enum class SelectionStrategy {
+  kColumnSelection,  // Ver's Algorithm 4
+  kSelectAll,        // any column containing >= 1 example (FastTopK)
+  kSelectBest,       // the column(s) containing the most examples (SQuID)
+};
+
+const char* SelectionStrategyToString(SelectionStrategy s);
+
+struct ScoredColumn {
+  ColumnRef ref;
+  /// How many of the attribute's examples this column contains.
+  int example_hits = 0;
+};
+
+/// A connected component of candidate columns under content similarity.
+struct ColumnCluster {
+  std::vector<ScoredColumn> columns;
+  /// max over members of example_hits (Alg. 4 line 7).
+  int score = 0;
+};
+
+struct ColumnSelectionOptions {
+  SelectionStrategy strategy = SelectionStrategy::kColumnSelection;
+  /// Keep clusters within the top-theta distinct score levels; theta = 1
+  /// keeps the best-scoring clusters (with ties), matching the paper's
+  /// default configuration.
+  int theta = 1;
+  /// Jaccard threshold for the similarity edges used in clustering.
+  double cluster_similarity_threshold = 0.5;
+  /// Allow fuzzy (edit-distance) matches when an example finds nothing.
+  bool fuzzy_fallback = true;
+};
+
+struct ColumnSelectionResult {
+  /// All clusters built from the raw hits (before top-theta selection).
+  std::vector<ColumnCluster> clusters;
+  /// Clusters surviving top-theta.
+  std::vector<ColumnCluster> selected_clusters;
+  /// Flattened candidate columns from the selected clusters.
+  std::vector<ScoredColumn> candidates;
+  /// Columns hit by any example before clustering (diagnostics, Fig. 8c).
+  int total_columns_before_clustering = 0;
+};
+
+/// Runs one selection strategy for one query attribute.
+ColumnSelectionResult SelectColumns(const DiscoveryEngine& engine,
+                                    const std::vector<std::string>& examples,
+                                    const ColumnSelectionOptions& options);
+
+/// Per-attribute selection over a whole query: result[i] corresponds to
+/// query attribute i.
+std::vector<ColumnSelectionResult> SelectColumnsForQuery(
+    const DiscoveryEngine& engine, const ExampleQuery& query,
+    const ColumnSelectionOptions& options);
+
+}  // namespace ver
+
+#endif  // VER_CORE_COLUMN_SELECTION_H_

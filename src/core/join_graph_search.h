@@ -1,0 +1,75 @@
+// JOIN-GRAPH-SEARCH (Algorithm 5): from per-attribute candidate columns to
+// materialized candidate PJ-views.
+//
+// Step 1 (Join Graph Enumeration) walks the cartesian product of candidate
+// columns, asks the discovery engine for join graphs over each combination's
+// tables (<= rho hops) and caches non-joinable table pairs to prune the
+// remaining product. Step 2 ranks (graph, projection) candidates by the
+// engine score and materializes the top-k.
+
+#ifndef VER_CORE_JOIN_GRAPH_SEARCH_H_
+#define VER_CORE_JOIN_GRAPH_SEARCH_H_
+
+#include <vector>
+
+#include "core/column_selection.h"
+#include "core/query.h"
+#include "discovery/engine.h"
+#include "engine/materializer.h"
+
+namespace ver {
+
+struct JoinGraphSearchOptions {
+  /// Maximum hops per inter-table route (the paper's rho; default 2).
+  int max_hops = 2;
+  /// Materialize this many top-ranked candidates; <= 0 means all.
+  int expected_views = -1;
+  /// Guard on the candidate column-combination product.
+  int64_t max_combinations = 100000;
+  /// When false, only enumerate and rank; the caller materializes later
+  /// (lets the Ver pipeline time enumeration and materialization apart).
+  bool materialize_views = true;
+  MaterializeOptions materialize;
+};
+
+/// One rankable candidate: a join graph plus the projection columns chosen
+/// from each attribute's candidates.
+struct ViewCandidate {
+  JoinGraph graph;
+  std::vector<ColumnRef> projection;
+  double score = 0.0;
+};
+
+struct JoinGraphSearchResult {
+  /// Materialized candidate PJ-views, ranked by score.
+  std::vector<View> views;
+  /// Ranked candidates before materialization (includes unmaterialized).
+  std::vector<ViewCandidate> candidates;
+
+  // --- funnel statistics (Figs. 5/6) ---
+  /// Column combinations whose tables are joinable within rho hops.
+  int64_t num_joinable_groups = 0;
+  /// Join graphs enumerated across all joinable groups.
+  int64_t num_join_graphs = 0;
+  /// Combinations enumerated before pruning.
+  int64_t num_combinations = 0;
+  /// Views whose materialization failed (blowup/timeouts), for diagnostics.
+  int64_t num_materialization_failures = 0;
+};
+
+/// Runs Algorithm 5 over the per-attribute candidate columns.
+JoinGraphSearchResult SearchJoinGraphs(
+    const DiscoveryEngine& engine,
+    const std::vector<ColumnSelectionResult>& per_attribute,
+    const JoinGraphSearchOptions& options);
+
+/// Step 2's materialization, callable separately: materializes the top
+/// `expected_views` ranked candidates (all when <= 0), dropping empty views
+/// and exact duplicates. `num_failures` (optional) counts blowups.
+std::vector<View> MaterializeCandidates(
+    const TableRepository& repo, const std::vector<ViewCandidate>& candidates,
+    const JoinGraphSearchOptions& options, int64_t* num_failures);
+
+}  // namespace ver
+
+#endif  // VER_CORE_JOIN_GRAPH_SEARCH_H_

@@ -1,0 +1,165 @@
+// VIEW-PRESENTATION (Section IV, Algorithm 2): a multi-arm bandit over
+// question interfaces that elicits user context to navigate result views.
+//
+// Arms are question interfaces (dataset / attribute / dataset-pair /
+// summary). Each iteration estimates, per arm, the likelihood the user can
+// answer that interface (r) and the information gain of the best question
+// available on it (chi = max views pruned if answered), sets w = r * chi and
+// samples the arm from p(I) = (1-gamma) * w/sum(w) + gamma/|I|. The
+// dataset-pair interface leverages the 4C contradictions computed by
+// VIEW-DISTILLATION. Answers prune views and feed an expected-utility
+// ranking; skips only update r. Users may retract earlier answers (the
+// session replays the remaining answer log), supporting the paper's
+// "adapt to evolving user knowledge" principle.
+
+#ifndef VER_CORE_PRESENTATION_H_
+#define VER_CORE_PRESENTATION_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/distillation.h"
+#include "core/query.h"
+#include "engine/view.h"
+#include "util/rng.h"
+
+namespace ver {
+
+enum class QuestionInterface : int {
+  kDataset = 0,
+  kAttribute = 1,
+  kDatasetPair = 2,
+  kSummary = 3,
+};
+inline constexpr int kNumQuestionInterfaces = 4;
+
+const char* QuestionInterfaceToString(QuestionInterface i);
+
+/// How candidate questions on an interface are ordered before the top one
+/// (by information gain, ties by distance) is asked.
+enum class PrioritizationStrategy {
+  /// Distance of the question text to the input query examples.
+  kQueryDistance,
+  /// Distance of the question's dataset schema to the input query.
+  kSchemaDistance,
+};
+
+/// One question shown to the user.
+struct Question {
+  QuestionInterface interface_kind = QuestionInterface::kDataset;
+  std::string prompt;
+
+  // Payload (fields used depend on the interface).
+  int view_index = -1;                    // kDataset
+  std::string attribute;                  // kAttribute
+  int view_a = -1;                        // kDatasetPair
+  int view_b = -1;                        // kDatasetPair
+  int contradiction_index = -1;           // kDatasetPair provenance
+  std::vector<int> summary_views;         // kSummary cluster
+  std::vector<std::string> summary_tokens;  // kSummary wordcloud
+
+  /// Estimated maximum number of views pruned if answered.
+  int info_gain = 0;
+};
+
+enum class AnswerType { kYes, kNo, kPickA, kPickB, kSkip };
+
+struct Answer {
+  AnswerType type = AnswerType::kSkip;
+};
+
+struct PresentationOptions {
+  /// Exploration factor gamma of Algorithm 2.
+  double gamma = 0.1;
+  /// Bootstrap pulls per arm before trusting the r estimates
+  /// (O(log |I|) per the paper's Chernoff argument).
+  int bootstrap_pulls_per_arm = 2;
+  PrioritizationStrategy prioritization =
+      PrioritizationStrategy::kQueryDistance;
+  uint64_t seed = 0xba4d17;
+};
+
+/// A ranked view with its expected-utility score.
+struct RankedView {
+  int view_index = -1;
+  double utility = 0.0;
+};
+
+/// Interactive session state over one candidate view set.
+class PresentationSession {
+ public:
+  /// `views`, `distillation` and `query` must outlive the session.
+  PresentationSession(const std::vector<View>* views,
+                      const DistillationResult* distillation,
+                      const ExampleQuery* query,
+                      const PresentationOptions& options);
+
+  /// True when nothing is left to ask (<= 1 candidate or no questions).
+  bool Done() const;
+
+  /// Chooses an arm per Algorithm 2 and generates its best question.
+  Question NextQuestion();
+
+  /// Records the user's answer: updates r(I), prunes views, re-ranks.
+  void SubmitAnswer(const Question& question, const Answer& answer);
+
+  /// Retracts the i-th non-skip answer and replays the rest (the user
+  /// changed their mind; no session restart needed).
+  void RetractAnswer(int answer_index);
+
+  /// Views still candidate, ranked by expected utility (best first).
+  std::vector<RankedView> RankedViews() const;
+
+  const std::unordered_set<int>& remaining() const { return remaining_; }
+  int num_questions_asked() const { return num_asked_; }
+  int num_answers() const { return static_cast<int>(answer_log_.size()); }
+
+  /// Current selection probability of an arm (diagnostics / tests).
+  double ArmProbability(QuestionInterface interface_kind);
+
+  /// r(I): smoothed estimate that the user answers this interface.
+  double AnswerLikelihood(QuestionInterface interface_kind) const;
+
+ private:
+  struct ArmStats {
+    int pulls = 0;
+    int answered = 0;
+  };
+  struct LoggedAnswer {
+    Question question;
+    Answer answer;
+  };
+
+  const std::vector<View>* views_;
+  const DistillationResult* distillation_;
+  const ExampleQuery* query_;
+  PresentationOptions options_;
+  Rng rng_;
+
+  std::unordered_set<int> remaining_;
+  ArmStats arms_[kNumQuestionInterfaces];
+  std::vector<LoggedAnswer> answer_log_;
+  int num_asked_ = 0;
+  // Dataset views already shown (avoid repeating the same question).
+  std::unordered_set<int> shown_datasets_;
+  std::unordered_set<std::string> asked_attributes_;
+  std::unordered_set<int> used_contradictions_;
+  std::unordered_set<std::string> asked_summaries_;
+
+  // Question generation per interface over the remaining set; returns
+  // whether a question exists and fills it.
+  bool BestQuestion(QuestionInterface interface_kind, Question* out);
+  int InfoGain(QuestionInterface interface_kind);
+
+  // Applies one answer's pruning effect to `remaining_`.
+  void ApplyAnswer(const LoggedAnswer& entry);
+  void ReplayLog();
+
+  std::vector<double> ArmProbabilities();
+  double QuestionDistance(const Question& q) const;
+};
+
+}  // namespace ver
+
+#endif  // VER_CORE_PRESENTATION_H_

@@ -1,0 +1,37 @@
+// ExampleQuery: the noisy QBE input (Definition 3) — a small table of
+// example values, tau attributes wide and l rows deep, possibly wrong.
+
+#ifndef VER_CORE_QUERY_H_
+#define VER_CORE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+namespace ver {
+
+/// A query-by-example input. `columns[i]` holds the example values the user
+/// typed for attribute i; `attribute_hints[i]` is an optional header guess
+/// (empty when the user provided none).
+struct ExampleQuery {
+  std::vector<std::string> attribute_hints;
+  std::vector<std::vector<std::string>> columns;
+
+  int num_attributes() const { return static_cast<int>(columns.size()); }
+
+  int num_examples(int attribute) const {
+    return static_cast<int>(columns[attribute].size());
+  }
+
+  /// Convenience builder from per-attribute example lists.
+  static ExampleQuery FromColumns(
+      std::vector<std::vector<std::string>> cols) {
+    ExampleQuery q;
+    q.columns = std::move(cols);
+    q.attribute_hints.assign(q.columns.size(), "");
+    return q;
+  }
+};
+
+}  // namespace ver
+
+#endif  // VER_CORE_QUERY_H_

@@ -1,0 +1,103 @@
+#include "core/ver.h"
+
+#include "table/csv.h"
+#include "util/timer.h"
+
+namespace ver {
+
+Ver::Ver(const TableRepository* repo, VerConfig config)
+    : repo_(repo), config_(std::move(config)) {
+  engine_ = DiscoveryEngine::Build(*repo_, config_.discovery);
+}
+
+QueryResult Ver::RunQuery(const ExampleQuery& query) const {
+  QueryResult result;
+  {
+    ScopedTimer timer(&result.timing.column_selection_s);
+    result.selection = SelectColumnsForQuery(*engine_, query,
+                                             config_.selection);
+  }
+  QueryResult rest = RunWithCandidates(result.selection, query);
+  rest.selection = std::move(result.selection);
+  rest.timing.column_selection_s = result.timing.column_selection_s;
+  return rest;
+}
+
+QueryResult Ver::RunWithCandidates(
+    const std::vector<ColumnSelectionResult>& per_attribute,
+    const ExampleQuery& query_for_ranking) const {
+  QueryResult result;
+  result.selection = per_attribute;
+
+  JoinGraphSearchOptions search_options = config_.search;
+  search_options.materialize_views = false;  // timed separately below
+  if (!config_.spill_dir.empty()) {
+    search_options.materialize.spill_dir = config_.spill_dir;
+  }
+
+  {
+    ScopedTimer timer(&result.timing.join_graph_search_s);
+    result.search = SearchJoinGraphs(*engine_, per_attribute, search_options);
+  }
+  {
+    ScopedTimer timer(&result.timing.materialize_s);
+    result.views = MaterializeCandidates(
+        *repo_, result.search.candidates, search_options,
+        &result.search.num_materialization_failures);
+  }
+
+  if (!config_.spill_dir.empty()) {
+    // Read the spilled views back from disk — distillation's input IO cost
+    // ("Get Views Time" in Fig. 3 / VD-IO in Fig. 4b).
+    ScopedTimer timer(&result.timing.vd_io_s);
+    for (View& v : result.views) {
+      if (v.spill_path.empty()) continue;
+      Result<Table> reloaded = ReadCsvFile(v.spill_path);
+      if (reloaded.ok()) {
+        std::string name = v.table.name();
+        v.table = std::move(reloaded).value();
+        v.table.set_name(std::move(name));
+      }
+    }
+  }
+
+  if (config_.run_distillation) {
+    ScopedTimer timer(&result.timing.four_c_s);
+    result.distillation = DistillViews(result.views, config_.distillation);
+  } else {
+    // Without distillation every view survives.
+    for (size_t i = 0; i < result.views.size(); ++i) {
+      result.distillation.surviving.push_back(static_cast<int>(i));
+    }
+    result.distillation.count_after_compatible =
+        static_cast<int64_t>(result.views.size());
+    result.distillation.count_after_contained =
+        static_cast<int64_t>(result.views.size());
+  }
+
+  // Automatic mode (Algorithm 1 line 13): overlap-based ranking of the
+  // surviving views.
+  std::vector<View> survivors;
+  survivors.reserve(result.distillation.surviving.size());
+  for (int idx : result.distillation.surviving) {
+    // Rank on a lightweight copy; indices refer back to result.views.
+    survivors.push_back(result.views[idx]);
+  }
+  std::vector<OverlapRankedView> ranked =
+      RankViewsByOverlap(survivors, query_for_ranking);
+  for (OverlapRankedView& r : ranked) {
+    r.view_index = result.distillation.surviving[r.view_index];
+  }
+  result.automatic_ranking = std::move(ranked);
+  return result;
+}
+
+std::unique_ptr<PresentationSession> Ver::StartSession(
+    const QueryResult& result, const ExampleQuery& query) const {
+  // The session borrows the result's views/distillation and the caller's
+  // query; all must outlive the session.
+  return std::make_unique<PresentationSession>(
+      &result.views, &result.distillation, &query, config_.presentation);
+}
+
+}  // namespace ver

@@ -1,0 +1,97 @@
+// Ver: the end-to-end system facade (Algorithm 1).
+//
+// Owns the offline discovery index over a repository and runs the online
+// pipeline per query: VIEW-SPECIFICATION -> COLUMN-SELECTION ->
+// JOIN-GRAPH-SEARCH -> MATERIALIZER -> VIEW-DISTILLATION, with per-stage
+// wall-clock timing (the component breakdown of Fig. 4b / Fig. 7). The
+// human-facing VIEW-PRESENTATION stage is exposed as a session factory.
+
+#ifndef VER_CORE_VER_H_
+#define VER_CORE_VER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/fast_topk.h"
+#include "core/column_selection.h"
+#include "core/distillation.h"
+#include "core/join_graph_search.h"
+#include "core/presentation.h"
+#include "core/query.h"
+#include "core/view_specification.h"
+#include "discovery/engine.h"
+
+namespace ver {
+
+struct VerConfig {
+  DiscoveryOptions discovery;
+  ColumnSelectionOptions selection;
+  JoinGraphSearchOptions search;
+  DistillationOptions distillation;
+  PresentationOptions presentation;
+  /// Run VIEW-DISTILLATION after materialization (Algorithm 1 line 9).
+  bool run_distillation = true;
+  /// When non-empty, views spill to disk after materialization and are read
+  /// back before distillation, reproducing the paper's VD-IO cost.
+  std::string spill_dir;
+};
+
+/// Per-stage wall-clock seconds (Fig. 4b components).
+struct PipelineTiming {
+  double column_selection_s = 0;   // CS
+  double join_graph_search_s = 0;  // JGS (enumeration + ranking)
+  double materialize_s = 0;        // M
+  double vd_io_s = 0;              // Get Views Time
+  double four_c_s = 0;             // 4C runtime
+
+  double total_s() const {
+    return column_selection_s + join_graph_search_s + materialize_s +
+           vd_io_s + four_c_s;
+  }
+};
+
+/// Everything one query produces.
+struct QueryResult {
+  std::vector<ColumnSelectionResult> selection;
+  JoinGraphSearchResult search;  // funnel stats + ranked candidates
+  std::vector<View> views;       // materialized candidate PJ-views
+  DistillationResult distillation;
+  PipelineTiming timing;
+  /// Automatic-mode ranking (Algorithm 1 line 13): overlap-scored order of
+  /// the distilled surviving views.
+  std::vector<OverlapRankedView> automatic_ranking;
+};
+
+/// End-to-end system bound to one repository.
+class Ver {
+ public:
+  /// Builds the discovery index offline. `repo` must outlive this object.
+  Ver(const TableRepository* repo, VerConfig config);
+
+  /// Runs the full automatic pipeline on a QBE query.
+  QueryResult RunQuery(const ExampleQuery& query) const;
+
+  /// Runs the pipeline starting from pre-computed candidate columns (used
+  /// by the keyword / attribute specification variants).
+  QueryResult RunWithCandidates(
+      const std::vector<ColumnSelectionResult>& per_attribute,
+      const ExampleQuery& query_for_ranking) const;
+
+  /// Starts an interactive VIEW-PRESENTATION session over a query result.
+  /// The result must outlive the session.
+  std::unique_ptr<PresentationSession> StartSession(
+      const QueryResult& result, const ExampleQuery& query) const;
+
+  const DiscoveryEngine& engine() const { return *engine_; }
+  const VerConfig& config() const { return config_; }
+
+ private:
+  const TableRepository* repo_;
+  VerConfig config_;
+  std::unique_ptr<DiscoveryEngine> engine_;
+};
+
+}  // namespace ver
+
+#endif  // VER_CORE_VER_H_

@@ -1,0 +1,31 @@
+// Export of the 4C distillation graph: Graphviz DOT and a text report.
+//
+// The paper's VIEW-DISTILLATION "exposes all candidate relationships for
+// further downstream processing"; this module renders that graph for
+// humans and external tools.
+
+#ifndef VER_CORE_VIEW_GRAPH_EXPORT_H_
+#define VER_CORE_VIEW_GRAPH_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/distillation.h"
+#include "engine/view.h"
+
+namespace ver {
+
+/// Graphviz DOT rendering: one node per view (surviving views solid,
+/// pruned views dashed), one edge per 4C relationship, colored by
+/// category, keyed edges labeled with their candidate key.
+std::string ViewGraphToDot(const std::vector<View>& views,
+                           const DistillationResult& distillation);
+
+/// Compact human-readable distillation report (counts per category,
+/// survivors, contradiction digest).
+std::string DistillationReport(const std::vector<View>& views,
+                               const DistillationResult& distillation);
+
+}  // namespace ver
+
+#endif  // VER_CORE_VIEW_GRAPH_EXPORT_H_

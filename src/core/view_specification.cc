@@ -1,0 +1,87 @@
+#include "core/view_specification.h"
+
+#include <algorithm>
+
+namespace ver {
+
+const char* SpecificationKindToString(SpecificationKind k) {
+  switch (k) {
+    case SpecificationKind::kQbe:
+      return "QBE";
+    case SpecificationKind::kKeyword:
+      return "keyword";
+    case SpecificationKind::kAttribute:
+      return "attribute";
+  }
+  return "unknown";
+}
+
+std::vector<ColumnSelectionResult> SpecifyByExample(
+    const DiscoveryEngine& engine, const ExampleQuery& query,
+    const ColumnSelectionOptions& options) {
+  return SelectColumnsForQuery(engine, query, options);
+}
+
+namespace {
+
+ColumnSelectionResult FromHits(const std::vector<KeywordHit>& hits) {
+  ColumnSelectionResult result;
+  ColumnCluster cluster;
+  for (const KeywordHit& h : hits) {
+    cluster.columns.push_back(ScoredColumn{h.column, h.match_count});
+    cluster.score = std::max(cluster.score, h.match_count);
+  }
+  std::sort(cluster.columns.begin(), cluster.columns.end(),
+            [](const ScoredColumn& a, const ScoredColumn& b) {
+              return a.ref < b.ref;
+            });
+  cluster.columns.erase(
+      std::unique(cluster.columns.begin(), cluster.columns.end(),
+                  [](const ScoredColumn& a, const ScoredColumn& b) {
+                    return a.ref == b.ref;
+                  }),
+      cluster.columns.end());
+  result.total_columns_before_clustering =
+      static_cast<int>(cluster.columns.size());
+  result.clusters = {cluster};
+  result.selected_clusters = result.clusters;
+  result.candidates = cluster.columns;
+  return result;
+}
+
+}  // namespace
+
+std::vector<ColumnSelectionResult> SpecifyByKeywords(
+    const DiscoveryEngine& engine, const std::vector<std::string>& keywords) {
+  std::vector<ColumnSelectionResult> out;
+  out.reserve(keywords.size());
+  for (const std::string& kw : keywords) {
+    std::vector<KeywordHit> hits =
+        engine.SearchKeyword(kw, KeywordTarget::kValues, /*fuzzy=*/false);
+    if (hits.empty()) {
+      hits = engine.SearchKeyword(kw, KeywordTarget::kValues, /*fuzzy=*/true);
+    }
+    out.push_back(FromHits(hits));
+  }
+  return out;
+}
+
+std::vector<ColumnSelectionResult> SpecifyByAttributes(
+    const DiscoveryEngine& engine,
+    const std::vector<std::string>& attributes) {
+  std::vector<ColumnSelectionResult> out;
+  out.reserve(attributes.size());
+  for (const std::string& attr : attributes) {
+    std::vector<KeywordHit> hits =
+        engine.SearchKeyword(attr, KeywordTarget::kAttributes,
+                             /*fuzzy=*/false);
+    if (hits.empty()) {
+      hits = engine.SearchKeyword(attr, KeywordTarget::kAttributes,
+                                  /*fuzzy=*/true);
+    }
+    out.push_back(FromHits(hits));
+  }
+  return out;
+}
+
+}  // namespace ver

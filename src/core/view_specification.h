@@ -1,0 +1,39 @@
+// VIEW-SPECIFICATION implementations (Section VI-C.1): QBE (Ver's default),
+// keyword search, and attribute-name search. Each produces per-attribute
+// candidate column sets that feed JOIN-GRAPH-SEARCH.
+
+#ifndef VER_CORE_VIEW_SPECIFICATION_H_
+#define VER_CORE_VIEW_SPECIFICATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/column_selection.h"
+#include "discovery/engine.h"
+
+namespace ver {
+
+enum class SpecificationKind { kQbe, kKeyword, kAttribute };
+
+const char* SpecificationKindToString(SpecificationKind k);
+
+/// QBE: runs COLUMN-SELECTION over the example columns (Algorithm 4).
+std::vector<ColumnSelectionResult> SpecifyByExample(
+    const DiscoveryEngine& engine, const ExampleQuery& query,
+    const ColumnSelectionOptions& options);
+
+/// Keyword search: each keyword acts as one pseudo-attribute whose
+/// candidates are every column containing the keyword as a value (fuzzy
+/// fallback included). Broader than QBE — more candidate columns per
+/// attribute, hence more views (the behaviour reported in Section VI-C.1).
+std::vector<ColumnSelectionResult> SpecifyByKeywords(
+    const DiscoveryEngine& engine, const std::vector<std::string>& keywords);
+
+/// Attribute search: each requested attribute name matches columns by
+/// header (exact first, fuzzy fallback).
+std::vector<ColumnSelectionResult> SpecifyByAttributes(
+    const DiscoveryEngine& engine, const std::vector<std::string>& attributes);
+
+}  // namespace ver
+
+#endif  // VER_CORE_VIEW_SPECIFICATION_H_

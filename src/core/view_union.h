@@ -1,0 +1,48 @@
+// Complementary-view union: the C3 distillation strategy materialized.
+//
+// ComputeComplementaryReduction (distillation.h) only *counts* how many
+// views would remain under a candidate-key choice; this module actually
+// merges them: views that are pairwise complementary under the chosen key
+// (and never contradictory under it) are unioned into a single view whose
+// row set is the union of the group's rows. Provenance lists the source
+// views.
+
+#ifndef VER_CORE_VIEW_UNION_H_
+#define VER_CORE_VIEW_UNION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/distillation.h"
+#include "engine/view.h"
+
+namespace ver {
+
+/// One merged group produced by the union strategy.
+struct UnionedView {
+  /// The merged data (canonical column order of the first source view).
+  Table table;
+  /// Indices (into the original view vector) merged into this view;
+  /// singleton when nothing could be unioned.
+  std::vector<int> sources;
+  /// The candidate key (attribute names) the union was performed under;
+  /// empty for singleton pass-throughs.
+  std::vector<std::string> key;
+};
+
+enum class KeyChoice {
+  kBestCase,   // key that maximizes the union opportunities per block
+  kWorstCase,  // key that minimizes them
+};
+
+/// Applies the C3 union strategy to the surviving views of a distillation
+/// result. Per schema block, picks the candidate key according to `choice`
+/// (the best/worst cases of Table IV), unions complementary groups, and
+/// passes everything else through. Views in no block keep their identity.
+std::vector<UnionedView> UnionComplementaryViews(
+    const std::vector<View>& views, const DistillationResult& distillation,
+    KeyChoice choice);
+
+}  // namespace ver
+
+#endif  // VER_CORE_VIEW_UNION_H_

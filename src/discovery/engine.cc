@@ -1,0 +1,82 @@
+#include "discovery/engine.h"
+
+namespace ver {
+
+std::unique_ptr<DiscoveryEngine> DiscoveryEngine::Build(
+    const TableRepository& repo, const DiscoveryOptions& options) {
+  std::unique_ptr<DiscoveryEngine> engine(new DiscoveryEngine());
+  engine->repo_ = &repo;
+  engine->options_ = options;
+  engine->profiles_ = ProfileRepository(repo, options.profiler);
+  engine->profile_index_.reserve(engine->profiles_.size());
+  for (size_t i = 0; i < engine->profiles_.size(); ++i) {
+    engine->profile_index_.emplace(engine->profiles_[i].ref.Encode(),
+                                   static_cast<int>(i));
+  }
+  engine->keywords_.Build(repo);
+  engine->similarity_.Build(&engine->profiles_, options.similarity);
+  engine->join_paths_.Build(&engine->profiles_, engine->similarity_,
+                            options.join_paths);
+  return engine;
+}
+
+Status DiscoveryEngine::IndexNewTable(int32_t table_id) {
+  if (table_id < 0 || table_id >= repo_->num_tables()) {
+    return Status::InvalidArgument("table id " + std::to_string(table_id) +
+                                   " not in repository");
+  }
+  if (profile_index_.count(ColumnRef{table_id, 0}.Encode()) ||
+      repo_->table(table_id).num_columns() == 0) {
+    if (repo_->table(table_id).num_columns() == 0) return Status::OK();
+    return Status::AlreadyExists("table " + std::to_string(table_id) +
+                                 " is already indexed");
+  }
+  size_t first_new = profiles_.size();
+  std::vector<ColumnProfile> fresh =
+      ProfileTable(*repo_, table_id, options_.profiler);
+  for (ColumnProfile& p : fresh) {
+    profile_index_.emplace(p.ref.Encode(), static_cast<int>(profiles_.size()));
+    profiles_.push_back(std::move(p));
+  }
+  keywords_.AddTable(*repo_, table_id);
+  similarity_.AddProfiles(first_new);
+  join_paths_.AddColumns(&profiles_, similarity_, first_new);
+  return Status::OK();
+}
+
+std::vector<KeywordHit> DiscoveryEngine::SearchKeyword(
+    const std::string& keyword, KeywordTarget target, bool fuzzy) const {
+  return keywords_.Search(keyword, target,
+                          fuzzy ? options_.fuzzy_max_edits : 0);
+}
+
+std::vector<ColumnRef> DiscoveryEngine::Neighbors(const ColumnRef& column,
+                                                  double threshold) const {
+  auto it = profile_index_.find(column.Encode());
+  if (it == profile_index_.end()) return {};
+  std::vector<ColumnRef> out;
+  for (const Neighbor& n :
+       similarity_.ContainmentNeighbors(it->second, threshold)) {
+    out.push_back(profiles_[n.profile_index].ref);
+  }
+  return out;
+}
+
+std::vector<ColumnRef> DiscoveryEngine::SimilarColumns(
+    const ColumnRef& column, double jaccard_threshold) const {
+  auto it = profile_index_.find(column.Encode());
+  if (it == profile_index_.end()) return {};
+  std::vector<ColumnRef> out;
+  for (const Neighbor& n :
+       similarity_.JaccardNeighbors(it->second, jaccard_threshold)) {
+    out.push_back(profiles_[n.profile_index].ref);
+  }
+  return out;
+}
+
+std::vector<JoinGraph> DiscoveryEngine::GenerateJoinGraphs(
+    const std::vector<int32_t>& tables, int max_hops) const {
+  return join_paths_.GenerateJoinGraphs(tables, max_hops);
+}
+
+}  // namespace ver

@@ -1,0 +1,96 @@
+// DiscoveryEngine: the facade over all offline indices (the paper's
+// DISCOVERY ENGINE AND INDEX CREATION component). Exposes the three
+// functions Ver consumes (Appendix A): SEARCH-KEYWORD, NEIGHBORS and
+// GENERATE-JOIN-GRAPHS, plus profile access.
+
+#ifndef VER_DISCOVERY_ENGINE_H_
+#define VER_DISCOVERY_ENGINE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "discovery/join_path_index.h"
+#include "discovery/keyword_index.h"
+#include "discovery/profile.h"
+#include "discovery/similarity_index.h"
+#include "storage/repository.h"
+
+namespace ver {
+
+struct DiscoveryOptions {
+  ProfilerOptions profiler;
+  SimilarityOptions similarity;
+  JoinPathOptions join_paths;
+  /// Jaccard threshold for content-similarity clustering (column selection).
+  double similarity_cluster_threshold = 0.5;
+  /// Levenshtein budget for fuzzy keyword search.
+  int fuzzy_max_edits = 2;
+};
+
+/// Offline discovery index over one repository.
+///
+/// Build once, query many times. The engine borrows the repository; the
+/// repository must outlive the engine.
+class DiscoveryEngine {
+ public:
+  /// Profiles all columns and constructs all indices.
+  static std::unique_ptr<DiscoveryEngine> Build(
+      const TableRepository& repo,
+      const DiscoveryOptions& options = DiscoveryOptions());
+
+  const TableRepository& repo() const { return *repo_; }
+  const DiscoveryOptions& options() const { return options_; }
+
+  /// SEARCH-KEYWORD(target, fuzzy): columns containing `keyword`.
+  std::vector<KeywordHit> SearchKeyword(const std::string& keyword,
+                                        KeywordTarget target,
+                                        bool fuzzy = false) const;
+
+  /// NEIGHBORS(threshold): columns whose containment with `column` is at
+  /// least `threshold` (inclusion-dependency neighbors).
+  std::vector<ColumnRef> Neighbors(const ColumnRef& column,
+                                   double threshold) const;
+
+  /// Content-similar columns (Jaccard), used for candidate clustering.
+  std::vector<ColumnRef> SimilarColumns(const ColumnRef& column,
+                                        double jaccard_threshold) const;
+
+  /// GENERATE-JOIN-GRAPHS(tables, rho).
+  std::vector<JoinGraph> GenerateJoinGraphs(const std::vector<int32_t>& tables,
+                                            int max_hops) const;
+
+  const ColumnProfile& profile(const ColumnRef& ref) const {
+    return profiles_[profile_index_.at(ref.Encode())];
+  }
+  const std::vector<ColumnProfile>& profiles() const { return profiles_; }
+  const JoinPathIndex& join_path_index() const { return join_paths_; }
+  const KeywordIndex& keyword_index() const { return keywords_; }
+  const SimilarityIndex& similarity_index() const { return similarity_; }
+
+  /// Table I statistic: total joinable column pairs discovered offline.
+  int64_t num_joinable_column_pairs() const {
+    return join_paths_.num_joinable_column_pairs();
+  }
+
+  /// Online index maintenance: indexes a table that was appended to the
+  /// repository after Build(). All indices (keyword, similarity, join
+  /// paths) are updated incrementally; queries afterwards behave as if the
+  /// engine had been built from scratch over the grown repository.
+  Status IndexNewTable(int32_t table_id);
+
+ private:
+  DiscoveryEngine() = default;
+
+  const TableRepository* repo_ = nullptr;
+  DiscoveryOptions options_;
+  std::vector<ColumnProfile> profiles_;
+  std::unordered_map<uint64_t, int> profile_index_;  // ColumnRef -> index
+  KeywordIndex keywords_;
+  SimilarityIndex similarity_;
+  JoinPathIndex join_paths_;
+};
+
+}  // namespace ver
+
+#endif  // VER_DISCOVERY_ENGINE_H_

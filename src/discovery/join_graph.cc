@@ -1,0 +1,71 @@
+#include "discovery/join_graph.h"
+
+#include <algorithm>
+
+namespace ver {
+
+std::string JoinGraph::Signature() const {
+  std::vector<std::pair<uint64_t, uint64_t>> encs;
+  encs.reserve(edges.size());
+  for (const JoinEdge& e : edges) encs.push_back(e.CanonicalEncoding());
+  std::sort(encs.begin(), encs.end());
+  std::string sig;
+  sig.reserve(encs.size() * 16 + tables.size() * 4);
+  for (const auto& [a, b] : encs) {
+    sig += std::to_string(a);
+    sig.push_back(':');
+    sig += std::to_string(b);
+    sig.push_back(';');
+  }
+  // Single-table graphs have no edges; distinguish them by table id.
+  if (encs.empty()) {
+    for (int32_t t : tables) {
+      sig += std::to_string(t);
+      sig.push_back(',');
+    }
+  }
+  return sig;
+}
+
+std::string JoinGraph::ToString(const TableRepository& repo) const {
+  if (edges.empty()) {
+    std::string out = "single-table{";
+    for (size_t i = 0; i < tables.size(); ++i) {
+      if (i) out += ",";
+      out += repo.table(tables[i]).name();
+    }
+    return out + "}";
+  }
+  std::string out = "join{";
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (i) out += ", ";
+    out += repo.ColumnDisplayName(edges[i].left);
+    out += " = ";
+    out += repo.ColumnDisplayName(edges[i].right);
+  }
+  return out + "}";
+}
+
+void NormalizeJoinGraph(JoinGraph* graph,
+                        const std::vector<int32_t>& mandatory_tables) {
+  std::vector<int32_t> tables = mandatory_tables;
+  for (const JoinEdge& e : graph->edges) {
+    tables.push_back(e.left.table_id);
+    tables.push_back(e.right.table_id);
+  }
+  std::sort(tables.begin(), tables.end());
+  tables.erase(std::unique(tables.begin(), tables.end()), tables.end());
+  graph->tables = std::move(tables);
+  graph->score = ScoreJoinGraph(*graph);
+}
+
+double ScoreJoinGraph(const JoinGraph& graph) {
+  if (graph.edges.empty()) return 1.0;
+  double quality_sum = 0.0;
+  for (const JoinEdge& e : graph.edges) quality_sum += e.key_quality;
+  double mean_quality = quality_sum / static_cast<double>(graph.edges.size());
+  // Smaller graphs rank higher (paper, Appendix C): light per-hop penalty.
+  return mean_quality - 0.05 * static_cast<double>(graph.edges.size());
+}
+
+}  // namespace ver

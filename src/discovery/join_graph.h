@@ -1,0 +1,58 @@
+// Join graphs: the combinatorial object connecting candidate tables through
+// inferred inclusion dependencies (Definition 4's join paths, generalized to
+// graphs over more than two tables).
+
+#ifndef VER_DISCOVERY_JOIN_GRAPH_H_
+#define VER_DISCOVERY_JOIN_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/repository.h"
+
+namespace ver {
+
+/// One inferred joinable column pair (an inclusion-dependency edge).
+struct JoinEdge {
+  ColumnRef left;
+  ColumnRef right;
+  /// Max containment across directions — strength of the inclusion proxy.
+  double containment = 0.0;
+  /// How key-like the better side is (max uniqueness); PK/FK approximation.
+  double key_quality = 0.0;
+
+  /// Canonical encoding independent of left/right orientation.
+  std::pair<uint64_t, uint64_t> CanonicalEncoding() const {
+    uint64_t a = left.Encode(), b = right.Encode();
+    return a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+};
+
+/// A set of join edges whose induced table graph is connected; an empty edge
+/// set denotes the single-table "graph".
+struct JoinGraph {
+  std::vector<JoinEdge> edges;
+  /// Tables touched by the graph, sorted ascending (includes intermediates).
+  std::vector<int32_t> tables;
+  /// Discovery-engine ranking score: key-like edges up, more hops down.
+  double score = 0.0;
+
+  int num_hops() const { return static_cast<int>(edges.size()); }
+
+  /// Canonical signature for deduplication across enumeration orders.
+  std::string Signature() const;
+
+  /// Human-readable description using repository names.
+  std::string ToString(const TableRepository& repo) const;
+};
+
+/// Recomputes `tables` from the edge set plus mandatory tables.
+void NormalizeJoinGraph(JoinGraph* graph,
+                        const std::vector<int32_t>& mandatory_tables);
+
+/// score = mean key quality - hop penalty; single-table graphs score 1.
+double ScoreJoinGraph(const JoinGraph& graph);
+
+}  // namespace ver
+
+#endif  // VER_DISCOVERY_JOIN_GRAPH_H_

@@ -1,0 +1,234 @@
+#include "discovery/join_path_index.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_set>
+
+namespace ver {
+
+namespace {
+
+const std::vector<JoinEdge> kNoEdges;
+
+std::pair<int32_t, int32_t> TableKey(int32_t a, int32_t b) {
+  return a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+}  // namespace
+
+void JoinPathIndex::MaybeAddEdge(const ColumnProfile& a,
+                                 const ColumnProfile& b) {
+  if (a.ref.table_id == b.ref.table_id) return;  // self-joins out of scope
+  if (a.stats.num_distinct < options_.min_distinct ||
+      b.stats.num_distinct < options_.min_distinct) {
+    return;
+  }
+  // Join keys must be type-compatible: strings join strings, numbers join
+  // numbers (int/double interchangeable).
+  bool a_str = a.stats.dominant_type == ValueType::kString;
+  bool b_str = b.stats.dominant_type == ValueType::kString;
+  if (a_str != b_str) return;
+
+  double c_ab = ProfileContainment(a, b);
+  double c_ba = ProfileContainment(b, a);
+  double containment = std::max(c_ab, c_ba);
+  if (containment < options_.containment_threshold) return;
+
+  JoinEdge edge;
+  edge.left = a.ref;
+  edge.right = b.ref;
+  edge.containment = containment;
+  edge.key_quality = std::max(a.stats.uniqueness(), b.stats.uniqueness());
+  auto key = TableKey(a.ref.table_id, b.ref.table_id);
+  pair_edges_[key].push_back(edge);
+  ++num_joinable_column_pairs_;
+}
+
+void JoinPathIndex::RebuildAdjacency() {
+  adjacency_.clear();
+  for (const auto& [key, edges] : pair_edges_) {
+    (void)edges;
+    adjacency_[key.first].push_back(key.second);
+    adjacency_[key.second].push_back(key.first);
+  }
+  for (auto& [table, neighbors] : adjacency_) {
+    (void)table;
+    std::sort(neighbors.begin(), neighbors.end());
+    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                    neighbors.end());
+  }
+}
+
+void JoinPathIndex::Build(const std::vector<ColumnProfile>* profiles,
+                          const SimilarityIndex& similarity,
+                          const JoinPathOptions& options) {
+  options_ = options;
+  pair_edges_.clear();
+  adjacency_.clear();
+  num_joinable_column_pairs_ = 0;
+
+  const auto& ps = *profiles;
+  for (auto [i, j] : similarity.AllCandidatePairs()) {
+    MaybeAddEdge(ps[i], ps[j]);
+  }
+  RebuildAdjacency();
+}
+
+void JoinPathIndex::AddColumns(const std::vector<ColumnProfile>* profiles,
+                               const SimilarityIndex& similarity,
+                               size_t first_new) {
+  const auto& ps = *profiles;
+  for (size_t i = first_new; i < ps.size(); ++i) {
+    for (int j : similarity.Candidates(static_cast<int>(i))) {
+      // Pairs among the new columns appear from both endpoints; keep the
+      // j < i orientation so each pair is evaluated exactly once.
+      if (static_cast<size_t>(j) >= first_new &&
+          static_cast<size_t>(j) >= i) {
+        continue;
+      }
+      MaybeAddEdge(ps[i], ps[static_cast<size_t>(j)]);
+    }
+  }
+  RebuildAdjacency();
+}
+
+const std::vector<JoinEdge>& JoinPathIndex::EdgesBetween(
+    int32_t table_a, int32_t table_b) const {
+  auto it = pair_edges_.find(TableKey(table_a, table_b));
+  return it == pair_edges_.end() ? kNoEdges : it->second;
+}
+
+std::vector<int32_t> JoinPathIndex::AdjacentTables(int32_t table) const {
+  auto it = adjacency_.find(table);
+  return it == adjacency_.end() ? std::vector<int32_t>{} : it->second;
+}
+
+std::vector<std::vector<int32_t>> JoinPathIndex::TablePaths(
+    int32_t from, int32_t to, int max_hops) const {
+  std::vector<std::vector<int32_t>> paths;
+  std::vector<int32_t> current{from};
+  std::unordered_set<int32_t> on_path{from};
+
+  // Depth-first enumeration of simple paths with at most max_hops edges.
+  std::function<void(int32_t, int)> dfs = [&](int32_t node, int hops_left) {
+    if (node == to) {
+      paths.push_back(current);
+      return;
+    }
+    if (hops_left == 0) return;
+    auto it = adjacency_.find(node);
+    if (it == adjacency_.end()) return;
+    for (int32_t next : it->second) {
+      if (on_path.count(next)) continue;
+      current.push_back(next);
+      on_path.insert(next);
+      dfs(next, hops_left - 1);
+      on_path.erase(next);
+      current.pop_back();
+    }
+  };
+  if (from == to) {
+    paths.push_back(current);
+    return paths;
+  }
+  dfs(from, max_hops);
+  return paths;
+}
+
+void JoinPathIndex::ExpandPath(const std::vector<int32_t>& path,
+                               std::vector<JoinGraph>* out) const {
+  if (path.size() < 2) return;
+  // Cartesian product of column-pair choices along the path, capped.
+  std::vector<JoinGraph> partial{JoinGraph{}};
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    const std::vector<JoinEdge>& choices = EdgesBetween(path[i], path[i + 1]);
+    if (choices.empty()) return;  // path not realizable
+    std::vector<JoinGraph> next;
+    for (const JoinGraph& g : partial) {
+      for (const JoinEdge& e : choices) {
+        if (static_cast<int>(next.size()) >= options_.max_graphs_per_path) {
+          break;
+        }
+        JoinGraph g2 = g;
+        g2.edges.push_back(e);
+        next.push_back(std::move(g2));
+      }
+    }
+    partial = std::move(next);
+  }
+  for (JoinGraph& g : partial) out->push_back(std::move(g));
+}
+
+std::vector<JoinGraph> JoinPathIndex::GenerateJoinGraphs(
+    const std::vector<int32_t>& tables, int max_hops) const {
+  std::vector<int32_t> unique_tables = tables;
+  std::sort(unique_tables.begin(), unique_tables.end());
+  unique_tables.erase(
+      std::unique(unique_tables.begin(), unique_tables.end()),
+      unique_tables.end());
+
+  std::vector<JoinGraph> graphs;
+  if (unique_tables.empty()) return graphs;
+  if (unique_tables.size() == 1) {
+    JoinGraph g;
+    NormalizeJoinGraph(&g, unique_tables);
+    graphs.push_back(std::move(g));
+    return graphs;
+  }
+
+  // Pairwise paths composed along a spanning chain t0-t1, t1-t2, ...
+  // For tau = 2 (the common QBE case) this is exact path enumeration; for
+  // tau > 2 it is a spanning-tree approximation of Steiner enumeration.
+  std::vector<JoinGraph> partial{JoinGraph{}};
+  for (size_t i = 0; i + 1 < unique_tables.size(); ++i) {
+    std::vector<std::vector<int32_t>> paths =
+        TablePaths(unique_tables[i], unique_tables[i + 1], max_hops);
+    if (paths.empty()) return {};  // pair not connectable within rho
+    std::vector<JoinGraph> segment_graphs;
+    for (const auto& path : paths) {
+      ExpandPath(path, &segment_graphs);
+      if (static_cast<int>(segment_graphs.size()) >=
+          options_.max_total_graphs) {
+        break;
+      }
+    }
+    std::vector<JoinGraph> next;
+    for (const JoinGraph& g : partial) {
+      for (const JoinGraph& seg : segment_graphs) {
+        if (static_cast<int>(next.size()) >= options_.max_total_graphs) break;
+        JoinGraph g2 = g;
+        g2.edges.insert(g2.edges.end(), seg.edges.begin(), seg.edges.end());
+        next.push_back(std::move(g2));
+      }
+    }
+    partial = std::move(next);
+  }
+
+  // Normalize, dedupe by signature, sort by score.
+  std::unordered_set<std::string> seen;
+  for (JoinGraph& g : partial) {
+    // Drop duplicate edges introduced by composing overlapping segments.
+    std::sort(g.edges.begin(), g.edges.end(),
+              [](const JoinEdge& a, const JoinEdge& b) {
+                return a.CanonicalEncoding() < b.CanonicalEncoding();
+              });
+    g.edges.erase(std::unique(g.edges.begin(), g.edges.end(),
+                              [](const JoinEdge& a, const JoinEdge& b) {
+                                return a.CanonicalEncoding() ==
+                                       b.CanonicalEncoding();
+                              }),
+                  g.edges.end());
+    NormalizeJoinGraph(&g, unique_tables);
+    if (seen.insert(g.Signature()).second) {
+      graphs.push_back(std::move(g));
+    }
+  }
+  std::sort(graphs.begin(), graphs.end(),
+            [](const JoinGraph& a, const JoinGraph& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.Signature() < b.Signature();
+            });
+  return graphs;
+}
+
+}  // namespace ver

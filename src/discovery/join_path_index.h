@@ -1,0 +1,83 @@
+// Join path index: GENERATE-JOIN-GRAPHS(tables, rho) from the paper's
+// Appendix A. Built offline from the similarity index's inclusion-dependency
+// edges; queried online to connect candidate tables within rho hops.
+
+#ifndef VER_DISCOVERY_JOIN_PATH_INDEX_H_
+#define VER_DISCOVERY_JOIN_PATH_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "discovery/join_graph.h"
+#include "discovery/profile.h"
+#include "discovery/similarity_index.h"
+
+namespace ver {
+
+struct JoinPathOptions {
+  /// Containment threshold above which a column pair is a join edge.
+  double containment_threshold = 0.8;
+  /// Join endpoints need at least this many distinct values.
+  int64_t min_distinct = 2;
+  /// Cap on alternative join graphs returned per table-path, guarding the
+  /// cartesian blowup of alternate keys along multi-hop paths.
+  int max_graphs_per_path = 64;
+  /// Cap on total join graphs per query.
+  int max_total_graphs = 4096;
+};
+
+/// Table-level join connectivity with per-table-pair column-pair choices.
+class JoinPathIndex {
+ public:
+  /// Discovers all joinable column pairs and builds table adjacency.
+  void Build(const std::vector<ColumnProfile>* profiles,
+             const SimilarityIndex& similarity, const JoinPathOptions& options);
+
+  /// Incrementally discovers join edges for profiles appended after
+  /// Build() (starting at `first_new`) and refreshes table adjacency.
+  void AddColumns(const std::vector<ColumnProfile>* profiles,
+                  const SimilarityIndex& similarity, size_t first_new);
+
+  /// All join graphs connecting `tables` where every inter-table route uses
+  /// at most `max_hops` join edges. With a single input table, returns the
+  /// single-table graph. Results are deduplicated and sorted by score.
+  std::vector<JoinGraph> GenerateJoinGraphs(
+      const std::vector<int32_t>& tables, int max_hops) const;
+
+  /// All joinable column pairs between two specific tables.
+  const std::vector<JoinEdge>& EdgesBetween(int32_t table_a,
+                                            int32_t table_b) const;
+
+  /// Total number of joinable column pairs discovered (Table I statistic).
+  int64_t num_joinable_column_pairs() const {
+    return num_joinable_column_pairs_;
+  }
+
+  /// Tables adjacent to `table` in the join connectivity graph.
+  std::vector<int32_t> AdjacentTables(int32_t table) const;
+
+ private:
+  // Key: (min_table_id, max_table_id).
+  std::map<std::pair<int32_t, int32_t>, std::vector<JoinEdge>> pair_edges_;
+  std::map<int32_t, std::vector<int32_t>> adjacency_;
+  int64_t num_joinable_column_pairs_ = 0;
+  JoinPathOptions options_;
+
+  // Evaluates one candidate column pair and records the edge if joinable.
+  void MaybeAddEdge(const ColumnProfile& a, const ColumnProfile& b);
+  void RebuildAdjacency();
+
+  // Simple table paths a -> b with <= max_hops edges (excluding cycles).
+  std::vector<std::vector<int32_t>> TablePaths(int32_t from, int32_t to,
+                                               int max_hops) const;
+
+  // Expands one table path into concrete join graphs (one column pair per
+  // consecutive table pair), capped at options_.max_graphs_per_path.
+  void ExpandPath(const std::vector<int32_t>& path,
+                  std::vector<JoinGraph>* out) const;
+};
+
+}  // namespace ver
+
+#endif  // VER_DISCOVERY_JOIN_PATH_INDEX_H_

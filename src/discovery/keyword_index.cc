@@ -1,0 +1,131 @@
+#include "discovery/keyword_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/levenshtein.h"
+#include "util/string_util.h"
+
+namespace ver {
+
+namespace {
+
+void BucketVocabulary(
+    const std::unordered_map<std::string, std::vector<ColumnRef>>& postings,
+    std::vector<std::vector<const std::string*>>* buckets) {
+  buckets->clear();
+  for (const auto& [text, cols] : postings) {
+    size_t len = text.size();
+    if (buckets->size() <= len) buckets->resize(len + 1);
+    (*buckets)[len].push_back(&text);
+  }
+}
+
+}  // namespace
+
+void KeywordIndex::Build(const TableRepository& repo) {
+  value_postings_.clear();
+  attr_postings_.clear();
+  for (int32_t t = 0; t < repo.num_tables(); ++t) {
+    IndexTable(repo, t);
+  }
+  BucketVocabulary(value_postings_, &vocab_by_length_);
+  BucketVocabulary(attr_postings_, &attr_vocab_by_length_);
+}
+
+void KeywordIndex::AddTable(const TableRepository& repo, int32_t table_id) {
+  IndexTable(repo, table_id);
+  // Key pointers in unordered_map are stable across inserts, but the fuzzy
+  // buckets only know keys present at bucketing time; rebucket.
+  BucketVocabulary(value_postings_, &vocab_by_length_);
+  BucketVocabulary(attr_postings_, &attr_vocab_by_length_);
+}
+
+void KeywordIndex::IndexTable(const TableRepository& repo, int32_t t) {
+  const Table& table = repo.table(t);
+  for (int c = 0; c < table.num_columns(); ++c) {
+    ColumnRef ref{t, c};
+    const Attribute& attr = table.schema().attribute(c);
+    if (attr.has_name()) {
+      attr_postings_[ToLower(attr.name)].push_back(ref);
+    }
+    std::unordered_set<std::string> seen;  // dedupe cell texts per column
+    for (const Value& v : table.column(c)) {
+      if (v.is_null()) continue;
+      std::string text = ToLower(v.ToText());
+      if (seen.insert(text).second) {
+        value_postings_[text].push_back(ref);
+      }
+    }
+  }
+}
+
+std::vector<KeywordHit> KeywordIndex::Search(const std::string& keyword,
+                                             KeywordTarget target,
+                                             int max_edits) const {
+  std::string needle = ToLower(Trim(keyword));
+  // Accumulate per-column hit counts, keeping attribute/value hits distinct.
+  std::unordered_map<uint64_t, KeywordHit> hits;
+
+  auto add_hit = [&hits](const ColumnRef& ref, bool attribute, bool exact) {
+    uint64_t key = ref.Encode() * 2 + (attribute ? 1 : 0);
+    auto it = hits.find(key);
+    if (it == hits.end()) {
+      hits.emplace(key, KeywordHit{ref, attribute, exact, 1});
+    } else {
+      it->second.match_count += 1;
+      it->second.exact = it->second.exact || exact;
+    }
+  };
+
+  auto search_postings =
+      [&](const std::unordered_map<std::string, std::vector<ColumnRef>>&
+              postings,
+          const std::vector<std::vector<const std::string*>>& buckets,
+          bool attribute) {
+        auto it = postings.find(needle);
+        if (it != postings.end()) {
+          for (const ColumnRef& ref : it->second) {
+            add_hit(ref, attribute, /*exact=*/true);
+          }
+        }
+        if (max_edits <= 0) return;
+        int lo = std::max<int>(0, static_cast<int>(needle.size()) - max_edits);
+        int hi = static_cast<int>(needle.size()) + max_edits;
+        for (int len = lo; len <= hi && len < static_cast<int>(buckets.size());
+             ++len) {
+          for (const std::string* candidate : buckets[len]) {
+            if (*candidate == needle) continue;  // already handled exactly
+            if (WithinEditDistance(needle, *candidate, max_edits)) {
+              for (const ColumnRef& ref : postings.at(*candidate)) {
+                add_hit(ref, attribute, /*exact=*/false);
+              }
+            }
+          }
+        }
+      };
+
+  if (target == KeywordTarget::kValues || target == KeywordTarget::kAll) {
+    search_postings(value_postings_, vocab_by_length_, /*attribute=*/false);
+  }
+  if (target == KeywordTarget::kAttributes || target == KeywordTarget::kAll) {
+    search_postings(attr_postings_, attr_vocab_by_length_, /*attribute=*/true);
+  }
+
+  std::vector<KeywordHit> out;
+  out.reserve(hits.size());
+  for (auto& [_, hit] : hits) out.push_back(hit);
+  std::sort(out.begin(), out.end(), [](const KeywordHit& a,
+                                       const KeywordHit& b) {
+    if (a.column.table_id != b.column.table_id) {
+      return a.column.table_id < b.column.table_id;
+    }
+    if (a.column.column_index != b.column.column_index) {
+      return a.column.column_index < b.column.column_index;
+    }
+    return a.matched_attribute < b.matched_attribute;
+  });
+  return out;
+}
+
+}  // namespace ver

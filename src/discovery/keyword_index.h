@@ -1,0 +1,66 @@
+// Keyword retrieval index: SEARCH-KEYWORD(target, fuzzy) of the paper's
+// Appendix A. Finds columns whose attribute name or cell values contain an
+// input string, exactly or within a Levenshtein distance.
+
+#ifndef VER_DISCOVERY_KEYWORD_INDEX_H_
+#define VER_DISCOVERY_KEYWORD_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/repository.h"
+
+namespace ver {
+
+/// What part of a table the keyword may match.
+enum class KeywordTarget {
+  kValues,      // cell contents
+  kAttributes,  // attribute (header) names
+  kAll,
+};
+
+struct KeywordHit {
+  ColumnRef column;
+  bool matched_attribute = false;  // else matched a value
+  bool exact = true;               // else fuzzy
+  /// For value hits: how many distinct cell texts of this column matched.
+  int match_count = 1;
+};
+
+/// Inverted index over lowercased cell texts and attribute names.
+class KeywordIndex {
+ public:
+  /// Indexes every column of the repository. Cell texts are trimmed and
+  /// lowercased; numeric values are indexed by their canonical text.
+  void Build(const TableRepository& repo);
+
+  /// Incrementally indexes one table that was appended to the repository
+  /// after Build() (online index maintenance).
+  void AddTable(const TableRepository& repo, int32_t table_id);
+
+  /// Columns matching `keyword`. `max_edits` = 0 means exact match only;
+  /// otherwise the vocabulary is scanned with a banded edit-distance check.
+  std::vector<KeywordHit> Search(const std::string& keyword,
+                                 KeywordTarget target,
+                                 int max_edits = 0) const;
+
+  int64_t vocabulary_size() const {
+    return static_cast<int64_t>(value_postings_.size());
+  }
+
+ private:
+  void IndexTable(const TableRepository& repo, int32_t table_id);
+
+  // lowercased cell text -> columns containing it (deduped).
+  std::unordered_map<std::string, std::vector<ColumnRef>> value_postings_;
+  // lowercased attribute name -> columns with that header.
+  std::unordered_map<std::string, std::vector<ColumnRef>> attr_postings_;
+  // vocabulary bucketed by length for banded fuzzy scans.
+  std::vector<std::vector<const std::string*>> vocab_by_length_;
+  std::vector<std::vector<const std::string*>> attr_vocab_by_length_;
+};
+
+}  // namespace ver
+
+#endif  // VER_DISCOVERY_KEYWORD_INDEX_H_

@@ -1,0 +1,96 @@
+#include "discovery/profile.h"
+
+#include <algorithm>
+
+namespace ver {
+
+namespace {
+
+void ProfileTableInto(const TableRepository& repo, int32_t t,
+                      const MinHasher& hasher, const ProfilerOptions& options,
+                      std::vector<ColumnProfile>* out) {
+  const Table& table = repo.table(t);
+  for (int c = 0; c < table.num_columns(); ++c) {
+    ColumnProfile p;
+    p.ref = ColumnRef{t, c};
+    p.attribute_name = table.schema().attribute(c).name;
+    p.stats = ComputeColumnStats(table, c);
+    std::vector<uint64_t> hashes = DistinctValueHashes(table, c);
+    p.signature = hasher.Compute(hashes);
+    if (static_cast<int64_t>(hashes.size()) <= options.exact_set_max) {
+      std::sort(hashes.begin(), hashes.end());
+      p.distinct_hashes = std::move(hashes);
+    }
+    out->push_back(std::move(p));
+  }
+}
+
+}  // namespace
+
+std::vector<ColumnProfile> ProfileRepository(const TableRepository& repo,
+                                             const ProfilerOptions& options) {
+  MinHasher hasher(options.minhash_permutations, options.seed);
+  std::vector<ColumnProfile> profiles;
+  profiles.reserve(static_cast<size_t>(repo.TotalColumns()));
+  for (int32_t t = 0; t < repo.num_tables(); ++t) {
+    ProfileTableInto(repo, t, hasher, options, &profiles);
+  }
+  return profiles;
+}
+
+std::vector<ColumnProfile> ProfileTable(const TableRepository& repo,
+                                        int32_t table_id,
+                                        const ProfilerOptions& options) {
+  MinHasher hasher(options.minhash_permutations, options.seed);
+  std::vector<ColumnProfile> profiles;
+  ProfileTableInto(repo, table_id, hasher, options, &profiles);
+  return profiles;
+}
+
+namespace {
+
+uint64_t SortedIntersectionSize(const std::vector<uint64_t>& a,
+                                const std::vector<uint64_t>& b) {
+  uint64_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+double ProfileContainment(const ColumnProfile& a, const ColumnProfile& b) {
+  if (a.has_exact_set() && b.has_exact_set()) {
+    if (a.distinct_hashes.empty()) return 0.0;
+    uint64_t inter =
+        SortedIntersectionSize(a.distinct_hashes, b.distinct_hashes);
+    return static_cast<double>(inter) /
+           static_cast<double>(a.distinct_hashes.size());
+  }
+  return EstimateContainment(a.signature, b.signature);
+}
+
+double ProfileJaccard(const ColumnProfile& a, const ColumnProfile& b) {
+  if (a.has_exact_set() && b.has_exact_set()) {
+    if (a.distinct_hashes.empty() && b.distinct_hashes.empty()) return 1.0;
+    uint64_t inter =
+        SortedIntersectionSize(a.distinct_hashes, b.distinct_hashes);
+    uint64_t uni =
+        a.distinct_hashes.size() + b.distinct_hashes.size() - inter;
+    return uni == 0 ? 0.0
+                    : static_cast<double>(inter) / static_cast<double>(uni);
+  }
+  return EstimateJaccard(a.signature, b.signature);
+}
+
+}  // namespace ver

@@ -1,0 +1,57 @@
+// Column profiles: the per-column summaries the discovery index is built on.
+
+#ifndef VER_DISCOVERY_PROFILE_H_
+#define VER_DISCOVERY_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/repository.h"
+#include "table/column_stats.h"
+#include "util/minhash.h"
+
+namespace ver {
+
+/// Offline summary of one column: statistics plus sketches.
+///
+/// `distinct_hashes` is retained (sorted) when the column has at most
+/// `exact_set_max` distinct values, enabling exact containment; larger
+/// columns fall back to the MinHash/Lazo estimate.
+struct ColumnProfile {
+  ColumnRef ref;
+  std::string attribute_name;  // may be empty (noisy tables)
+  ColumnStats stats;
+  MinHashSignature signature;
+  std::vector<uint64_t> distinct_hashes;  // sorted; empty when too large
+
+  bool has_exact_set() const { return !distinct_hashes.empty(); }
+};
+
+struct ProfilerOptions {
+  int minhash_permutations = 128;
+  uint64_t seed = 0x7065726d7574ULL;
+  /// Columns with more distinct values than this keep only the sketch.
+  int64_t exact_set_max = 100000;
+};
+
+/// Profiles every column of the repository (the offline indexing pass).
+std::vector<ColumnProfile> ProfileRepository(const TableRepository& repo,
+                                             const ProfilerOptions& options);
+
+/// Profiles the columns of one table (incremental index maintenance).
+/// Sketches are comparable with ProfileRepository output for the same
+/// options (the permutation family is derived from options.seed).
+std::vector<ColumnProfile> ProfileTable(const TableRepository& repo,
+                                        int32_t table_id,
+                                        const ProfilerOptions& options);
+
+/// Containment JC(a ⊆ b): exact when both profiles kept their value sets,
+/// otherwise the Lazo sketch estimate.
+double ProfileContainment(const ColumnProfile& a, const ColumnProfile& b);
+
+/// Jaccard similarity J(a, b), exact when possible.
+double ProfileJaccard(const ColumnProfile& a, const ColumnProfile& b);
+
+}  // namespace ver
+
+#endif  // VER_DISCOVERY_PROFILE_H_

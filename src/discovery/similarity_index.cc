@@ -1,0 +1,133 @@
+#include "discovery/similarity_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/hash.h"
+
+namespace ver {
+
+void SimilarityIndex::Build(const std::vector<ColumnProfile>* profiles,
+                            const SimilarityOptions& options) {
+  profiles_ = profiles;
+  options_ = options;
+  value_postings_.clear();
+  band_buckets_.clear();
+
+  const auto& ps = *profiles_;
+  eligible_.clear();
+  int permutations =
+      ps.empty() ? 128 : ps.front().signature.num_permutations();
+  int bands = std::max(1, std::min(options_.lsh_bands, permutations));
+  rows_per_band_ = std::max(1, permutations / bands);
+  band_buckets_.resize(bands);
+  AddProfiles(0);
+}
+
+void SimilarityIndex::AddProfiles(size_t first_new) {
+  const auto& ps = *profiles_;
+  eligible_.resize(ps.size(), false);
+  int bands = static_cast<int>(band_buckets_.size());
+  for (size_t i = first_new; i < ps.size(); ++i) {
+    const ColumnProfile& p = ps[i];
+    if (p.stats.num_distinct < options_.min_distinct) continue;
+    eligible_[i] = true;
+    for (uint64_t h : p.distinct_hashes) {
+      auto& posting = value_postings_[h];
+      if (posting.size() < options_.max_posting_length) {
+        posting.push_back(static_cast<int>(i));
+      }
+    }
+    for (int b = 0; b < bands; ++b) {
+      band_buckets_[b][BandHash(p.signature, b)].push_back(
+          static_cast<int>(i));
+    }
+  }
+}
+
+uint64_t SimilarityIndex::BandHash(const MinHashSignature& sig,
+                                   int band) const {
+  uint64_t h = Mix64(static_cast<uint64_t>(band) + 0xabcdef12345ULL);
+  int start = band * rows_per_band_;
+  int end = std::min<int>(start + rows_per_band_,
+                          static_cast<int>(sig.slots.size()));
+  for (int i = start; i < end; ++i) h = HashCombine(h, sig.slots[i]);
+  return h;
+}
+
+std::vector<int> SimilarityIndex::Candidates(int profile_index) const {
+  std::unordered_set<int> out;
+  const ColumnProfile& p = (*profiles_)[profile_index];
+  if (!eligible_[profile_index]) return {};
+  for (uint64_t h : p.distinct_hashes) {
+    auto it = value_postings_.find(h);
+    if (it == value_postings_.end()) continue;
+    for (int other : it->second) {
+      if (other != profile_index) out.insert(other);
+    }
+  }
+  for (size_t b = 0; b < band_buckets_.size(); ++b) {
+    auto it = band_buckets_[b].find(BandHash(p.signature, static_cast<int>(b)));
+    if (it == band_buckets_[b].end()) continue;
+    for (int other : it->second) {
+      if (other != profile_index) out.insert(other);
+    }
+  }
+  std::vector<int> v(out.begin(), out.end());
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+std::vector<Neighbor> SimilarityIndex::ContainmentNeighbors(
+    int profile_index, double threshold) const {
+  std::vector<Neighbor> out;
+  const ColumnProfile& query = (*profiles_)[profile_index];
+  for (int other : Candidates(profile_index)) {
+    double c = ProfileContainment(query, (*profiles_)[other]);
+    if (c >= threshold) out.push_back(Neighbor{other, c});
+  }
+  std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.profile_index < b.profile_index;
+  });
+  return out;
+}
+
+std::vector<Neighbor> SimilarityIndex::JaccardNeighbors(
+    int profile_index, double threshold) const {
+  std::vector<Neighbor> out;
+  const ColumnProfile& query = (*profiles_)[profile_index];
+  for (int other : Candidates(profile_index)) {
+    double j = ProfileJaccard(query, (*profiles_)[other]);
+    if (j >= threshold) out.push_back(Neighbor{other, j});
+  }
+  std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.profile_index < b.profile_index;
+  });
+  return out;
+}
+
+std::vector<std::pair<int, int>> SimilarityIndex::AllCandidatePairs() const {
+  std::unordered_set<uint64_t> seen;
+  std::vector<std::pair<int, int>> pairs;
+  auto add_bucket = [&](const std::vector<int>& bucket) {
+    for (size_t i = 0; i < bucket.size(); ++i) {
+      for (size_t j = i + 1; j < bucket.size(); ++j) {
+        int a = bucket[i], b = bucket[j];
+        if (a > b) std::swap(a, b);
+        uint64_t key = (static_cast<uint64_t>(a) << 32) |
+                       static_cast<uint64_t>(static_cast<uint32_t>(b));
+        if (seen.insert(key).second) pairs.emplace_back(a, b);
+      }
+    }
+  };
+  for (const auto& [_, bucket] : value_postings_) add_bucket(bucket);
+  for (const auto& band : band_buckets_) {
+    for (const auto& [_, bucket] : band) add_bucket(bucket);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+}  // namespace ver

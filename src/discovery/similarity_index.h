@@ -1,0 +1,76 @@
+// Column-similarity index: the NEIGHBORS(threshold) function of the paper's
+// Appendix A. Candidate pairs come from two tiers — an exact value-overlap
+// posting list for columns whose distinct sets were retained, and LSH banding
+// over MinHash signatures for everything — then candidates are verified with
+// the containment/Jaccard estimators.
+
+#ifndef VER_DISCOVERY_SIMILARITY_INDEX_H_
+#define VER_DISCOVERY_SIMILARITY_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "discovery/profile.h"
+
+namespace ver {
+
+struct SimilarityOptions {
+  /// Number of LSH bands; rows per band = permutations / bands.
+  int lsh_bands = 32;
+  /// Columns with fewer distinct values than this are ignored as join
+  /// endpoints (single-value columns join everything and mean nothing).
+  int64_t min_distinct = 2;
+  /// Cap on postings per value hash in the overlap tier; very frequent
+  /// values (e.g. "0") otherwise create quadratic candidate blowup.
+  size_t max_posting_length = 256;
+};
+
+struct Neighbor {
+  int profile_index;  // index into the profile vector
+  double score;       // containment or jaccard, per query
+};
+
+/// Approximate nearest-neighbor structure over column profiles.
+class SimilarityIndex {
+ public:
+  /// Builds both tiers from the profiles. Profiles must outlive the index.
+  void Build(const std::vector<ColumnProfile>* profiles,
+             const SimilarityOptions& options);
+
+  /// Indexes profiles appended to the vector after Build(), starting at
+  /// index `first_new` (incremental index maintenance).
+  void AddProfiles(size_t first_new);
+
+  /// Columns b with containment(query ⊆ b) >= threshold (excluding itself).
+  std::vector<Neighbor> ContainmentNeighbors(int profile_index,
+                                             double threshold) const;
+
+  /// Columns b with Jaccard(query, b) >= threshold (excluding itself).
+  std::vector<Neighbor> JaccardNeighbors(int profile_index,
+                                         double threshold) const;
+
+  /// Candidate profile indices for a query column (union of both tiers).
+  std::vector<int> Candidates(int profile_index) const;
+
+  /// All unordered candidate pairs (i < j), for offline edge construction.
+  std::vector<std::pair<int, int>> AllCandidatePairs() const;
+
+ private:
+  const std::vector<ColumnProfile>* profiles_ = nullptr;
+  SimilarityOptions options_;
+  int rows_per_band_ = 4;
+
+  // Tier 1: value hash -> profile indices containing that value.
+  std::unordered_map<uint64_t, std::vector<int>> value_postings_;
+  // Tier 2: per-band bucket -> profile indices.
+  std::vector<std::unordered_map<uint64_t, std::vector<int>>> band_buckets_;
+  // Columns eligible as join endpoints.
+  std::vector<bool> eligible_;
+
+  uint64_t BandHash(const MinHashSignature& sig, int band) const;
+};
+
+}  // namespace ver
+
+#endif  // VER_DISCOVERY_SIMILARITY_INDEX_H_

@@ -1,0 +1,197 @@
+#include "engine/materializer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "table/csv.h"
+#include "util/hash.h"
+
+namespace ver {
+
+namespace {
+
+// Intermediate join state: for every table bound so far, the row index each
+// output tuple takes from that table.
+struct Bindings {
+  std::vector<int32_t> tables;                 // bound tables, in bind order
+  std::vector<std::vector<int64_t>> tuples;    // tuples[i][t] = row in tables[t]
+
+  int IndexOfTable(int32_t table) const {
+    for (size_t i = 0; i < tables.size(); ++i) {
+      if (tables[i] == table) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+}  // namespace
+
+Result<Table> Materializer::Materialize(
+    const JoinGraph& graph, const std::vector<ColumnRef>& projection,
+    const MaterializeOptions& options, std::string view_name) const {
+  if (projection.empty()) {
+    return Status::InvalidArgument("projection must not be empty");
+  }
+
+  // Single-table graph: plain projection.
+  if (graph.edges.empty()) {
+    if (graph.tables.size() != 1) {
+      return Status::InvalidArgument(
+          "edgeless join graph must cover exactly one table");
+    }
+    int32_t t = graph.tables[0];
+    std::vector<int> cols;
+    for (const ColumnRef& p : projection) {
+      if (p.table_id != t) {
+        return Status::InvalidArgument(
+            "projection column " + p.ToString() +
+            " outside single-table graph over table " + std::to_string(t));
+      }
+      cols.push_back(p.column_index);
+    }
+    return repo_->table(t).Project(cols, options.distinct,
+                                   std::move(view_name));
+  }
+
+  // Seed bindings with the first edge's left table, then BFS join edges
+  // whose endpoint tables become reachable.
+  Bindings state;
+  int32_t seed = graph.edges.front().left.table_id;
+  state.tables.push_back(seed);
+  const Table& seed_table = repo_->table(seed);
+  state.tuples.reserve(static_cast<size_t>(seed_table.num_rows()));
+  for (int64_t r = 0; r < seed_table.num_rows(); ++r) {
+    state.tuples.push_back({r});
+  }
+
+  std::vector<bool> edge_done(graph.edges.size(), false);
+  size_t remaining = graph.edges.size();
+  while (remaining > 0) {
+    // Pick an edge with at least one bound endpoint.
+    int chosen = -1;
+    for (size_t i = 0; i < graph.edges.size(); ++i) {
+      if (edge_done[i]) continue;
+      if (state.IndexOfTable(graph.edges[i].left.table_id) >= 0 ||
+          state.IndexOfTable(graph.edges[i].right.table_id) >= 0) {
+        chosen = static_cast<int>(i);
+        break;
+      }
+    }
+    if (chosen < 0) {
+      return Status::InvalidArgument(
+          "join graph is disconnected; cannot materialize");
+    }
+    const JoinEdge& edge = graph.edges[chosen];
+    edge_done[chosen] = true;
+    --remaining;
+
+    int left_idx = state.IndexOfTable(edge.left.table_id);
+    int right_idx = state.IndexOfTable(edge.right.table_id);
+
+    if (left_idx >= 0 && right_idx >= 0) {
+      // Both sides bound: filter tuples where the key values agree.
+      const Table& lt = repo_->table(edge.left.table_id);
+      const Table& rt = repo_->table(edge.right.table_id);
+      std::vector<std::vector<int64_t>> kept;
+      for (auto& tuple : state.tuples) {
+        const Value& lv = lt.at(tuple[left_idx], edge.left.column_index);
+        const Value& rv = rt.at(tuple[right_idx], edge.right.column_index);
+        if (!lv.is_null() && lv == rv) kept.push_back(std::move(tuple));
+      }
+      state.tuples = std::move(kept);
+      continue;
+    }
+
+    // One side bound: hash join to extend bindings with the new table.
+    const ColumnRef& bound_col = left_idx >= 0 ? edge.left : edge.right;
+    const ColumnRef& new_col = left_idx >= 0 ? edge.right : edge.left;
+    int bound_idx = left_idx >= 0 ? left_idx : right_idx;
+
+    const Table& new_table = repo_->table(new_col.table_id);
+    std::unordered_map<uint64_t, std::vector<int64_t>> build;
+    build.reserve(static_cast<size_t>(new_table.num_rows()));
+    for (int64_t r = 0; r < new_table.num_rows(); ++r) {
+      const Value& v = new_table.at(r, new_col.column_index);
+      if (v.is_null()) continue;  // null keys never join
+      build[v.Hash()].push_back(r);
+    }
+
+    const Table& bound_table = repo_->table(bound_col.table_id);
+    std::vector<std::vector<int64_t>> next;
+    for (const auto& tuple : state.tuples) {
+      const Value& v = bound_table.at(tuple[bound_idx], bound_col.column_index);
+      if (v.is_null()) continue;
+      auto it = build.find(v.Hash());
+      if (it == build.end()) continue;
+      for (int64_t r : it->second) {
+        // Hash equality is not value equality; verify to be exact.
+        if (!(new_table.at(r, new_col.column_index) == v)) continue;
+        std::vector<int64_t> extended = tuple;
+        extended.push_back(r);
+        next.push_back(std::move(extended));
+        if (static_cast<int64_t>(next.size()) >
+            options.max_intermediate_rows) {
+          return Status::OutOfRange(
+              "intermediate join result exceeded max_intermediate_rows (" +
+              std::to_string(options.max_intermediate_rows) + ")");
+        }
+      }
+    }
+    state.tables.push_back(new_col.table_id);
+    state.tuples = std::move(next);
+  }
+
+  // Project with optional distinct.
+  Schema schema;
+  for (const ColumnRef& p : projection) {
+    schema.AddAttribute(repo_->attribute(p));
+  }
+  Table out(std::move(view_name), std::move(schema));
+  std::unordered_set<uint64_t> seen;
+  for (const auto& tuple : state.tuples) {
+    std::vector<Value> row;
+    row.reserve(projection.size());
+    for (const ColumnRef& p : projection) {
+      int idx = state.IndexOfTable(p.table_id);
+      if (idx < 0) {
+        return Status::InvalidArgument("projection column " + p.ToString() +
+                                       " not covered by join graph");
+      }
+      row.push_back(repo_->table(p.table_id).at(tuple[idx], p.column_index));
+    }
+    if (options.distinct) {
+      uint64_t h = 0x726f7768617368ULL;
+      for (const Value& v : row) h = HashCombine(h, v.Hash());
+      if (!seen.insert(h).second) continue;
+    }
+    VER_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
+  }
+  return out;
+}
+
+Result<View> Materializer::MaterializeView(
+    const JoinGraph& graph, const std::vector<ColumnRef>& projection,
+    const MaterializeOptions& options, int64_t view_id) const {
+  std::string name = "view_" + std::to_string(view_id);
+  VER_ASSIGN_OR_RETURN(Table table,
+                       Materialize(graph, projection, options, name));
+  View view;
+  view.id = view_id;
+  view.table = std::move(table);
+  view.graph = graph;
+  view.projection = projection;
+  view.score = graph.score;
+  if (!options.spill_dir.empty()) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(options.spill_dir, ec);
+    view.spill_path =
+        (fs::path(options.spill_dir) / (name + ".csv")).string();
+    VER_RETURN_IF_ERROR(WriteCsvFile(view.table, view.spill_path));
+  }
+  return view;
+}
+
+}  // namespace ver

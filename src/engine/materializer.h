@@ -1,0 +1,56 @@
+// Materializer: executes project-join plans over the repository.
+//
+// The paper implements this component on pandas; here it is a small columnar
+// executor: BFS over the join graph, hash join per edge, then projection with
+// set semantics. Views can optionally be spilled to CSV so that downstream
+// stages measure the "read views from disk" cost the paper reports (Fig. 3/4).
+
+#ifndef VER_ENGINE_MATERIALIZER_H_
+#define VER_ENGINE_MATERIALIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "discovery/join_graph.h"
+#include "engine/view.h"
+#include "storage/repository.h"
+#include "util/result.h"
+
+namespace ver {
+
+struct MaterializeOptions {
+  /// Set semantics for PJ-views (Algorithm 3 operates on row sets).
+  bool distinct = true;
+  /// Abort materialization when an intermediate exceeds this row count —
+  /// a runaway join over a wrong path is a noisy-join-path artifact, not a
+  /// useful view.
+  int64_t max_intermediate_rows = 2'000'000;
+  /// When non-empty, materialized views are also written as CSV here.
+  std::string spill_dir;
+};
+
+/// Stateless executor bound to one repository.
+class Materializer {
+ public:
+  explicit Materializer(const TableRepository* repo) : repo_(repo) {}
+
+  /// Materializes `graph` and projects `projection` (one output attribute
+  /// per entry). Output attribute names come from the source columns.
+  Result<Table> Materialize(const JoinGraph& graph,
+                            const std::vector<ColumnRef>& projection,
+                            const MaterializeOptions& options,
+                            std::string view_name) const;
+
+  /// Materializes and wraps into a View (id assigned by the caller).
+  Result<View> MaterializeView(const JoinGraph& graph,
+                               const std::vector<ColumnRef>& projection,
+                               const MaterializeOptions& options,
+                               int64_t view_id) const;
+
+ private:
+  const TableRepository* repo_;
+};
+
+}  // namespace ver
+
+#endif  // VER_ENGINE_MATERIALIZER_H_

@@ -1,0 +1,19 @@
+#include "engine/view.h"
+
+#include <algorithm>
+
+namespace ver {
+
+bool View::HasSameProjection(const std::vector<ColumnRef>& other) const {
+  if (projection.size() != other.size()) return false;
+  std::vector<uint64_t> a, b;
+  a.reserve(projection.size());
+  b.reserve(other.size());
+  for (const ColumnRef& c : projection) a.push_back(c.Encode());
+  for (const ColumnRef& c : other) b.push_back(c.Encode());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+}  // namespace ver

@@ -1,0 +1,64 @@
+#include "table/column_stats.h"
+
+#include <unordered_set>
+
+namespace ver {
+
+ColumnStats ComputeColumnStats(const Table& table, int col) {
+  ColumnStats stats;
+  stats.num_rows = table.num_rows();
+  std::unordered_set<uint64_t> distinct;
+  int64_t ints = 0, doubles = 0, strings = 0;
+  for (const Value& v : table.column(col)) {
+    if (v.is_null()) {
+      ++stats.num_nulls;
+      continue;
+    }
+    distinct.insert(v.Hash());
+    switch (v.type()) {
+      case ValueType::kInt:
+        ++ints;
+        break;
+      case ValueType::kDouble:
+        ++doubles;
+        break;
+      default:
+        ++strings;
+        break;
+    }
+  }
+  stats.num_distinct = static_cast<int64_t>(distinct.size());
+  if (strings >= ints && strings >= doubles && strings > 0) {
+    stats.dominant_type = ValueType::kString;
+  } else if (doubles >= ints && doubles > 0) {
+    stats.dominant_type = ValueType::kDouble;
+  } else if (ints > 0) {
+    stats.dominant_type = ValueType::kInt;
+  }
+  return stats;
+}
+
+std::vector<uint64_t> DistinctValueHashes(const Table& table, int col) {
+  std::unordered_set<uint64_t> distinct;
+  distinct.reserve(static_cast<size_t>(table.num_rows()));
+  for (const Value& v : table.column(col)) {
+    if (!v.is_null()) distinct.insert(v.Hash());
+  }
+  return {distinct.begin(), distinct.end()};
+}
+
+std::vector<int> ApproximateKeyColumns(const Table& table,
+                                       double min_uniqueness) {
+  std::vector<int> keys;
+  for (int c = 0; c < table.num_columns(); ++c) {
+    ColumnStats stats = ComputeColumnStats(table, c);
+    // A key must actually identify rows: require low nulls and uniqueness.
+    if (stats.num_rows > 0 && stats.null_fraction() < 0.05 &&
+        stats.uniqueness() >= min_uniqueness) {
+      keys.push_back(c);
+    }
+  }
+  return keys;
+}
+
+}  // namespace ver

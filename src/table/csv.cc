@@ -1,0 +1,161 @@
+#include "table/csv.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace ver {
+
+namespace {
+
+// Splits one logical CSV record honoring quotes; advances *pos past the
+// record's trailing newline. Returns false at end of input.
+bool NextRecord(const std::string& text, size_t* pos, char delim,
+                std::vector<std::string>* fields) {
+  if (*pos >= text.size()) return false;
+  fields->clear();
+  std::string field;
+  bool in_quotes = false;
+  size_t i = *pos;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields->push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n' || c == '\r') {
+      if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
+      ++i;
+      break;
+    } else {
+      field.push_back(c);
+    }
+  }
+  fields->push_back(std::move(field));
+  *pos = i;
+  return true;
+}
+
+bool NeedsQuoting(const std::string& s, char delim) {
+  for (char c : s) {
+    if (c == delim || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+std::string QuoteField(const std::string& s, char delim) {
+  if (!NeedsQuoting(s, delim)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+Result<Table> ReadCsvString(const std::string& text, std::string table_name,
+                            const CsvOptions& options) {
+  size_t pos = 0;
+  std::vector<std::string> fields;
+  Schema schema;
+  bool have_schema = false;
+
+  if (options.has_header) {
+    if (!NextRecord(text, &pos, options.delimiter, &fields)) {
+      return Table(std::move(table_name), Schema());
+    }
+    for (const std::string& name : fields) {
+      schema.AddAttribute(Attribute{Trim(name), ValueType::kString});
+    }
+    have_schema = true;
+  }
+
+  Table table;
+  bool table_initialized = false;
+  while (NextRecord(text, &pos, options.delimiter, &fields)) {
+    // Skip fully empty trailing records.
+    if (fields.size() == 1 && TrimView(fields[0]).empty() &&
+        pos >= text.size()) {
+      break;
+    }
+    if (!have_schema) {
+      for (size_t i = 0; i < fields.size(); ++i) {
+        schema.AddAttribute(Attribute{"", ValueType::kString});
+      }
+      have_schema = true;
+    }
+    if (!table_initialized) {
+      table = Table(table_name, schema);
+      table_initialized = true;
+    }
+    if (static_cast<int>(fields.size()) > table.num_columns()) {
+      return Status::InvalidArgument(
+          "csv record with " + std::to_string(fields.size()) +
+          " fields exceeds " + std::to_string(table.num_columns()) +
+          " columns in table '" + table_name + "'");
+    }
+    std::vector<Value> row;
+    row.reserve(fields.size());
+    for (const std::string& f : fields) row.push_back(Value::Parse(f));
+    VER_RETURN_IF_ERROR(table.AppendRow(std::move(row)));
+  }
+  if (!table_initialized) table = Table(std::move(table_name), schema);
+  table.InferColumnTypes();
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string stem = std::filesystem::path(path).stem().string();
+  return ReadCsvString(buffer.str(), std::move(stem), options);
+}
+
+std::string WriteCsvString(const Table& table, const CsvOptions& options) {
+  std::string out;
+  if (options.has_header) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out.push_back(options.delimiter);
+      out += QuoteField(table.schema().attribute(c).name, options.delimiter);
+    }
+    out.push_back('\n');
+  }
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out.push_back(options.delimiter);
+      out += QuoteField(table.at(r, c).ToText(), options.delimiter);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << WriteCsvString(table, options);
+  if (!out.good()) return Status::IOError("short write to '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace ver

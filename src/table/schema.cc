@@ -1,0 +1,35 @@
+#include "table/schema.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace ver {
+
+int Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (EqualsIgnoreCase(attributes_[i].name, name)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::string Schema::CanonicalSignature() const {
+  std::vector<std::string> names;
+  names.reserve(attributes_.size());
+  for (const Attribute& a : attributes_) names.push_back(ToLower(a.name));
+  std::sort(names.begin(), names.end());
+  return Join(names, "\x1f");
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> names;
+  names.reserve(attributes_.size());
+  for (const Attribute& a : attributes_) {
+    names.push_back(a.has_name() ? a.name : "<unnamed>");
+  }
+  return Join(names, ", ");
+}
+
+}  // namespace ver

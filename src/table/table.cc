@@ -1,0 +1,125 @@
+#include "table/table.h"
+
+#include <unordered_set>
+
+#include "util/hash.h"
+
+namespace ver {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  columns_.resize(schema_.num_attributes());
+}
+
+Status Table::AppendRow(std::vector<Value> row) {
+  if (static_cast<int>(row.size()) > num_columns()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " cells but table '" +
+        name_ + "' has " + std::to_string(num_columns()) + " columns");
+  }
+  for (int c = 0; c < num_columns(); ++c) {
+    if (c < static_cast<int>(row.size())) {
+      columns_[c].push_back(std::move(row[c]));
+    } else {
+      columns_[c].push_back(Value::Null());
+    }
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+std::vector<Value> Table::Row(int64_t row) const {
+  std::vector<Value> out;
+  out.reserve(num_columns());
+  for (int c = 0; c < num_columns(); ++c) out.push_back(columns_[c][row]);
+  return out;
+}
+
+uint64_t Table::RowHash(int64_t row) const {
+  uint64_t h = 0x726f7768617368ULL;  // arbitrary row-hash seed
+  for (int c = 0; c < num_columns(); ++c) {
+    h = HashCombine(h, columns_[c][row].Hash());
+  }
+  return h;
+}
+
+std::vector<uint64_t> Table::AllRowHashes() const {
+  std::vector<uint64_t> out;
+  out.reserve(static_cast<size_t>(num_rows_));
+  for (int64_t r = 0; r < num_rows_; ++r) out.push_back(RowHash(r));
+  return out;
+}
+
+int64_t Table::DistinctCount(int col) const {
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(num_rows_));
+  for (const Value& v : columns_[col]) seen.insert(v.Hash());
+  return static_cast<int64_t>(seen.size());
+}
+
+Table Table::Project(const std::vector<int>& col_indices, bool distinct,
+                     std::string new_name) const {
+  Schema schema;
+  for (int c : col_indices) schema.AddAttribute(schema_.attribute(c));
+  Table out(std::move(new_name), std::move(schema));
+  std::unordered_set<uint64_t> seen;
+  for (int64_t r = 0; r < num_rows_; ++r) {
+    std::vector<Value> row;
+    row.reserve(col_indices.size());
+    for (int c : col_indices) row.push_back(columns_[c][r]);
+    if (distinct) {
+      uint64_t h = 0x726f7768617368ULL;
+      for (const Value& v : row) h = HashCombine(h, v.Hash());
+      if (!seen.insert(h).second) continue;
+    }
+    out.AppendRow(std::move(row));
+  }
+  return out;
+}
+
+void Table::InferColumnTypes() {
+  for (int c = 0; c < num_columns(); ++c) {
+    int64_t ints = 0, doubles = 0, strings = 0;
+    for (const Value& v : columns_[c]) {
+      switch (v.type()) {
+        case ValueType::kInt:
+          ++ints;
+          break;
+        case ValueType::kDouble:
+          ++doubles;
+          break;
+        case ValueType::kString:
+          ++strings;
+          break;
+        case ValueType::kNull:
+          break;
+      }
+    }
+    ValueType t = ValueType::kString;
+    if (strings == 0 && doubles == 0 && ints > 0) {
+      t = ValueType::kInt;
+    } else if (strings == 0 && (doubles > 0 || ints > 0)) {
+      t = ValueType::kDouble;
+    } else if (strings == 0 && ints == 0 && doubles == 0) {
+      t = ValueType::kNull;
+    }
+    schema_.attribute(c).type = t;
+  }
+}
+
+std::string Table::ToString(int64_t max_rows) const {
+  std::string out = name_ + " (" + std::to_string(num_rows_) + " rows)\n";
+  out += schema_.ToString() + "\n";
+  int64_t limit = std::min<int64_t>(max_rows, num_rows_);
+  for (int64_t r = 0; r < limit; ++r) {
+    for (int c = 0; c < num_columns(); ++c) {
+      if (c > 0) out += " | ";
+      out += columns_[c][r].ToText();
+    }
+    out += "\n";
+  }
+  if (limit < num_rows_) out += "...\n";
+  return out;
+}
+
+}  // namespace ver

@@ -1,0 +1,74 @@
+// Columnar in-memory table: the unit of a pathless table collection.
+
+#ifndef VER_TABLE_TABLE_H_
+#define VER_TABLE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "table/schema.h"
+#include "table/value.h"
+#include "util/result.h"
+
+namespace ver {
+
+/// A named table with a (possibly noisy) schema and columnar storage.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const Schema& schema() const { return schema_; }
+  Schema& mutable_schema() { return schema_; }
+
+  int num_columns() const { return schema_.num_attributes(); }
+  int64_t num_rows() const { return num_rows_; }
+
+  /// Appends one row; missing trailing cells become null, extra cells are an
+  /// error (Definition 1 allows at most m values per tuple).
+  Status AppendRow(std::vector<Value> row);
+
+  const Value& at(int64_t row, int col) const { return columns_[col][row]; }
+  void set(int64_t row, int col, Value v) {
+    columns_[col][row] = std::move(v);
+  }
+
+  const std::vector<Value>& column(int col) const { return columns_[col]; }
+
+  /// Materialized copy of row `row`.
+  std::vector<Value> Row(int64_t row) const;
+
+  /// Stable hash of one row (order-sensitive in schema column order).
+  uint64_t RowHash(int64_t row) const;
+
+  /// Hash of every row; the row-wise hash function H of Algorithm 3.
+  std::vector<uint64_t> AllRowHashes() const;
+
+  /// Distinct count of a column (null counts as a value).
+  int64_t DistinctCount(int col) const;
+
+  /// Projects to `col_indices` (in that order), optionally de-duplicating
+  /// rows. PJ-views use distinct=true (set semantics).
+  Table Project(const std::vector<int>& col_indices, bool distinct,
+                std::string new_name) const;
+
+  /// Re-infers attribute types from the data (majority non-null cell type).
+  void InferColumnTypes();
+
+  /// First `max_rows` rows rendered as text, for debugging and examples.
+  std::string ToString(int64_t max_rows = 10) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<std::vector<Value>> columns_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace ver
+
+#endif  // VER_TABLE_TABLE_H_

@@ -1,0 +1,90 @@
+// Value: the dynamically-typed cell of a noisy table.
+//
+// Pathless collections mix clean and dirty data; a cell is one of
+// {null, int64, double, string}. Values order and hash across types so that
+// row hashing, join keys and inverted indexes treat cells uniformly.
+
+#ifndef VER_TABLE_VALUE_H_
+#define VER_TABLE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ver {
+
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+const char* ValueTypeToString(ValueType t);
+
+/// A single table cell. Small, copyable, totally ordered.
+class Value {
+ public:
+  /// Null value.
+  Value() : type_(ValueType::kNull), int_(0), double_(0) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) {
+    Value out;
+    out.type_ = ValueType::kInt;
+    out.int_ = v;
+    return out;
+  }
+  static Value Double(double v) {
+    Value out;
+    out.type_ = ValueType::kDouble;
+    out.double_ = v;
+    return out;
+  }
+  static Value String(std::string v) {
+    Value out;
+    out.type_ = ValueType::kString;
+    out.string_ = std::move(v);
+    return out;
+  }
+
+  /// Parses with type inference: "" -> null, "42" -> int, "4.2" -> double,
+  /// anything else -> string (trimmed).
+  static Value Parse(std::string_view text);
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+  bool is_numeric() const {
+    return type_ == ValueType::kInt || type_ == ValueType::kDouble;
+  }
+
+  int64_t AsInt() const { return int_; }
+  double AsDouble() const {
+    return type_ == ValueType::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& AsString() const { return string_; }
+
+  /// Canonical textual form; Parse(ToText()) round-trips the value.
+  std::string ToText() const;
+
+  /// Stable 64-bit hash; equal values hash equally, including int/double
+  /// values that compare equal (e.g. 2 == 2.0).
+  uint64_t Hash() const;
+
+  /// Total order: null < numerics (by numeric value) < strings (lexicographic).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+ private:
+  ValueType type_;
+  int64_t int_;
+  double double_;
+  std::string string_;
+};
+
+}  // namespace ver
+
+#endif  // VER_TABLE_VALUE_H_

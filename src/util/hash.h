@@ -1,0 +1,44 @@
+// 64-bit hashing primitives shared across sketches, row hashing and indexing.
+
+#ifndef VER_UTIL_HASH_H_
+#define VER_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace ver {
+
+/// Finalizer of splitmix64: a fast, well-distributed 64-bit mixer.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over bytes; stable across platforms and runs.
+inline uint64_t HashBytes(const void* data, size_t len,
+                          uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  // A final mix sharpens avalanche behaviour of plain FNV.
+  return Mix64(h);
+}
+
+inline uint64_t HashString(std::string_view s,
+                           uint64_t seed = 0xcbf29ce484222325ULL) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+/// Boost-style combiner for aggregating field hashes into a row hash.
+inline uint64_t HashCombine(uint64_t h, uint64_t v) {
+  return h ^ (Mix64(v) + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4));
+}
+
+}  // namespace ver
+
+#endif  // VER_UTIL_HASH_H_

@@ -1,0 +1,49 @@
+#include "util/levenshtein.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+namespace ver {
+
+int BoundedLevenshtein(std::string_view a, std::string_view b,
+                       int max_distance) {
+  if (max_distance < 0) return 1;
+  int la = static_cast<int>(a.size());
+  int lb = static_cast<int>(b.size());
+  if (std::abs(la - lb) > max_distance) return max_distance + 1;
+  if (la == 0) return lb;
+  if (lb == 0) return la;
+
+  // Banded dynamic program: only cells within `max_distance` of the diagonal
+  // can yield a distance <= max_distance.
+  const int kInf = max_distance + 1;
+  std::vector<int> prev(lb + 1, kInf);
+  std::vector<int> cur(lb + 1, kInf);
+  for (int j = 0; j <= std::min(lb, max_distance); ++j) prev[j] = j;
+
+  for (int i = 1; i <= la; ++i) {
+    int lo = std::max(1, i - max_distance);
+    int hi = std::min(lb, i + max_distance);
+    std::fill(cur.begin(), cur.end(), kInf);
+    if (lo == 1) cur[0] = (i <= max_distance) ? i : kInf;
+    int row_min = cur[0];
+    for (int j = lo; j <= hi; ++j) {
+      int sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      int del = prev[j] + 1;
+      int ins = cur[j - 1] + 1;
+      cur[j] = std::min({sub, del, ins, kInf});
+      row_min = std::min(row_min, cur[j]);
+    }
+    if (row_min > max_distance) return kInf;
+    std::swap(prev, cur);
+  }
+  return std::min(prev[lb], kInf);
+}
+
+bool WithinEditDistance(std::string_view a, std::string_view b,
+                        int max_distance) {
+  return BoundedLevenshtein(a, b, max_distance) <= max_distance;
+}
+
+}  // namespace ver

@@ -1,0 +1,21 @@
+// Bounded Levenshtein edit distance for fuzzy keyword matching.
+
+#ifndef VER_UTIL_LEVENSHTEIN_H_
+#define VER_UTIL_LEVENSHTEIN_H_
+
+#include <string_view>
+
+namespace ver {
+
+/// Edit distance between `a` and `b`, or `max_distance + 1` as soon as the
+/// distance provably exceeds `max_distance` (banded DP, O(len * max_distance)).
+int BoundedLevenshtein(std::string_view a, std::string_view b,
+                       int max_distance);
+
+/// True when edit distance <= max_distance (case-sensitive).
+bool WithinEditDistance(std::string_view a, std::string_view b,
+                        int max_distance);
+
+}  // namespace ver
+
+#endif  // VER_UTIL_LEVENSHTEIN_H_

@@ -1,0 +1,65 @@
+// MinHash sketches with Lazo-style joint Jaccard/containment estimation.
+//
+// The discovery engine proxies join paths by inclusion dependencies between
+// columns (paper, Challenge 2). Exact containment over large columns is
+// expensive, so columns are sketched once and compared in O(num_permutations).
+// Cardinalities are kept alongside the signature so that containment can be
+// derived from the Jaccard estimate the way Lazo [ICDE'19] does.
+
+#ifndef VER_UTIL_MINHASH_H_
+#define VER_UTIL_MINHASH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ver {
+
+/// A MinHash signature plus the exact cardinality of the sketched set.
+struct MinHashSignature {
+  std::vector<uint64_t> slots;
+  /// Number of distinct elements that were sketched.
+  uint64_t cardinality = 0;
+
+  bool empty() const { return cardinality == 0; }
+  int num_permutations() const { return static_cast<int>(slots.size()); }
+};
+
+/// Produces MinHash signatures with a fixed family of hash permutations.
+///
+/// Two MinHashers with the same (num_permutations, seed) produce comparable
+/// signatures; the discovery index uses a single shared instance.
+class MinHasher {
+ public:
+  explicit MinHasher(int num_permutations = 128,
+                     uint64_t seed = 0x5eed1234abcdef01ULL);
+
+  /// Sketches a set given the 64-bit hashes of its *distinct* elements.
+  MinHashSignature Compute(const std::vector<uint64_t>& element_hashes) const;
+
+  int num_permutations() const { return num_permutations_; }
+
+ private:
+  int num_permutations_;
+  std::vector<uint64_t> permutation_seeds_;
+};
+
+/// Fraction of agreeing slots: unbiased estimator of Jaccard similarity.
+double EstimateJaccard(const MinHashSignature& a, const MinHashSignature& b);
+
+/// Lazo estimator of Jaccard containment JC(a ⊆ b) = |a∩b| / |a|.
+///
+/// With J = J(a,b) and cardinalities |a|, |b|:
+///   |a∩b| = J * (|a| + |b|) / (1 + J),  so  JC = |a∩b| / |a|.
+/// The result is clamped to [0, 1].
+double EstimateContainment(const MinHashSignature& a,
+                           const MinHashSignature& b);
+
+/// Exact counterparts used for validation and for small columns.
+double ExactJaccard(const std::vector<uint64_t>& a,
+                    const std::vector<uint64_t>& b);
+double ExactContainment(const std::vector<uint64_t>& a,
+                        const std::vector<uint64_t>& b);
+
+}  // namespace ver
+
+#endif  // VER_UTIL_MINHASH_H_

@@ -1,0 +1,77 @@
+// Result<T>: value-or-Status, the return type of fallible producers.
+
+#ifndef VER_UTIL_RESULT_H_
+#define VER_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace ver {
+
+/// Holds either a T or a non-OK Status explaining why no T was produced.
+///
+/// Accessing `value()` on an errored Result is a programming error (checked
+/// by assert in debug builds). Typical use:
+///
+///   Result<Table> r = ReadCsv(path);
+///   if (!r.ok()) return r.status();
+///   Table t = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return my_table;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status: `return Status::NotFound(...);`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value, or `fallback` when errored.
+  T value_or(T fallback) const& { return ok() ? *value_ : fallback; }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace ver
+
+/// Unwraps a Result into `lhs`, propagating a non-OK status to the caller.
+#define VER_ASSIGN_OR_RETURN(lhs, expr)         \
+  VER_ASSIGN_OR_RETURN_IMPL(                    \
+      VER_CONCAT_NAME(_res_, __LINE__), lhs, expr)
+
+#define VER_CONCAT_NAME_INNER(x, y) x##y
+#define VER_CONCAT_NAME(x, y) VER_CONCAT_NAME_INNER(x, y)
+#define VER_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value();
+
+#endif  // VER_UTIL_RESULT_H_

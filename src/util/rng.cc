@@ -1,0 +1,51 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/hash.h"
+
+namespace ver {
+
+size_t Rng::SkewedIndex(size_t n, double exponent) {
+  assert(n > 0);
+  // Inverse-CDF draw: P(index < q*n) = q^(1/exponent), so exponent = 3
+  // sends ~58% of the mass to the first fifth of the range.
+  double u = UniformDouble(1e-12, 1.0);
+  double x = std::pow(u, exponent);
+  auto idx = static_cast<size_t>(x * static_cast<double>(n));
+  return std::min(idx, n - 1);
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  assert(k <= n);
+  std::vector<size_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (k * 3 >= n) {
+    // Dense case: partial Fisher-Yates over the full index range.
+    std::vector<size_t> idx(n);
+    for (size_t i = 0; i < n; ++i) idx[i] = i;
+    for (size_t i = 0; i < k; ++i) {
+      size_t j = static_cast<size_t>(UniformInt(i, n - 1));
+      std::swap(idx[i], idx[j]);
+      out.push_back(idx[i]);
+    }
+    return out;
+  }
+  // Sparse case: rejection sampling.
+  std::unordered_set<size_t> seen;
+  while (out.size() < k) {
+    auto candidate = static_cast<size_t>(UniformInt(0, n - 1));
+    if (seen.insert(candidate).second) out.push_back(candidate);
+  }
+  return out;
+}
+
+uint64_t Rng::Fork(uint64_t tag) {
+  uint64_t base = engine_();
+  return Mix64(base ^ Mix64(tag));
+}
+
+}  // namespace ver

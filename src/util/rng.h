@@ -1,0 +1,64 @@
+// Deterministic random source; every generator and randomized algorithm in
+// the library takes an explicit seed so experiments are reproducible.
+
+#ifndef VER_UTIL_RNG_H_
+#define VER_UTIL_RNG_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace ver {
+
+/// Thin deterministic wrapper over mt19937_64 with sampling helpers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Skewed index in [0, n): low indices are much more popular (inverse-CDF
+  /// of u^exponent). Used to model skewed value popularity in workloads.
+  size_t SkewedIndex(size_t n, double exponent = 3.0);
+
+  /// k distinct indices drawn uniformly from [0, n) (k <= n).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    assert(!items.empty());
+    return items[static_cast<size_t>(UniformInt(0, items.size() - 1))];
+  }
+
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    std::shuffle(items->begin(), items->end(), engine_);
+  }
+
+  /// Derives an independent child seed; children of distinct tags diverge.
+  uint64_t Fork(uint64_t tag);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ver
+
+#endif  // VER_UTIL_RNG_H_

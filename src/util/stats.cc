@@ -1,0 +1,50 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ver {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  double rank = (p / 100.0) * static_cast<double>(xs.size() - 1);
+  auto lo = static_cast<size_t>(std::floor(rank));
+  auto hi = static_cast<size_t>(std::ceil(rank));
+  double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double Median(std::vector<double> xs) { return Percentile(std::move(xs), 50); }
+
+FiveNumberSummary Summarize(const std::vector<double>& xs) {
+  FiveNumberSummary s;
+  if (xs.empty()) return s;
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p25 = Percentile(sorted, 25);
+  s.median = Percentile(sorted, 50);
+  s.p75 = Percentile(sorted, 75);
+  return s;
+}
+
+std::string FiveNumberSummary::ToString(int decimals) const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "min=%.*f p25=%.*f med=%.*f p75=%.*f max=%.*f", decimals, min,
+                decimals, p25, decimals, median, decimals, p75, decimals, max);
+  return buf;
+}
+
+}  // namespace ver

@@ -1,0 +1,29 @@
+// Descriptive statistics for benchmark reporting (medians, percentiles,
+// boxplot-style summaries as in the paper's Fig. 3/4).
+
+#ifndef VER_UTIL_STATS_H_
+#define VER_UTIL_STATS_H_
+
+#include <string>
+#include <vector>
+
+namespace ver {
+
+double Mean(const std::vector<double>& xs);
+double Median(std::vector<double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double Percentile(std::vector<double> xs, double p);
+
+/// min / p25 / median / p75 / max summary of a sample.
+struct FiveNumberSummary {
+  double min = 0, p25 = 0, median = 0, p75 = 0, max = 0;
+
+  std::string ToString(int decimals = 2) const;
+};
+
+FiveNumberSummary Summarize(const std::vector<double>& xs);
+
+}  // namespace ver
+
+#endif  // VER_UTIL_STATS_H_

@@ -1,0 +1,56 @@
+// Wall-clock timing used by the benchmark harness and pipeline stage timing.
+
+#ifndef VER_UTIL_TIMER_H_
+#define VER_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace ver {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time across multiple timed sections.
+class StopwatchAccumulator {
+ public:
+  void Start() { timer_.Restart(); }
+  void Stop() { total_ += timer_.ElapsedSeconds(); }
+  double total_seconds() const { return total_; }
+  void Reset() { total_ = 0.0; }
+
+ private:
+  WallTimer timer_;
+  double total_ = 0.0;
+};
+
+/// RAII helper adding a scope's duration to an accumulator double.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink) : sink_(sink) {}
+  ~ScopedTimer() { *sink_ += timer_.ElapsedSeconds(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* sink_;
+  WallTimer timer_;
+};
+
+}  // namespace ver
+
+#endif  // VER_UTIL_TIMER_H_

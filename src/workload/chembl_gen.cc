@@ -1,0 +1,319 @@
+#include "workload/chembl_gen.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/string_util.h"
+#include "workload/vocab.h"
+
+namespace ver {
+
+namespace {
+
+Table MakeTable(const std::string& name,
+                const std::vector<std::string>& attrs) {
+  Schema schema;
+  for (const std::string& a : attrs) {
+    schema.AddAttribute(Attribute{a, ValueType::kString});
+  }
+  return Table(name, schema);
+}
+
+void MustAdd(TableRepository* repo, Table t) {
+  t.InferColumnTypes();
+  Result<int32_t> id = repo->AddTable(std::move(t));
+  assert(id.ok());
+  (void)id;
+}
+
+// Sample of `fraction` of `pool` plus `extra` synthetic values not in the
+// pool — a noise column with high containment w.r.t. the pool.
+std::vector<std::string> NoisePool(const std::vector<std::string>& pool,
+                                   double fraction,
+                                   const std::string& extra_prefix, int extra,
+                                   Rng* rng) {
+  std::vector<std::string> out;
+  int keep = static_cast<int>(fraction * static_cast<double>(pool.size()));
+  for (size_t idx : rng->SampleWithoutReplacement(pool.size(), keep)) {
+    out.push_back(pool[idx]);
+  }
+  std::vector<std::string> extras =
+      SyntheticNames(extra_prefix, extra, rng->Fork(0xe17a));
+  out.insert(out.end(), extras.begin(), extras.end());
+  rng->Shuffle(&out);
+  return out;
+}
+
+}  // namespace
+
+GeneratedDataset GenerateChemblLike(const ChemblSpec& spec) {
+  GeneratedDataset dataset;
+  dataset.name = "ChEMBL-like";
+  Rng rng(spec.seed);
+
+  // --- value domains ----------------------------------------------------
+  std::vector<std::string> compound_names =
+      SyntheticNames("Comp-", spec.num_compounds, rng.Fork(1));
+  std::vector<std::string> target_names =
+      SyntheticNames("TGT-", spec.num_targets, rng.Fork(2));
+  std::vector<std::string> cell_names =
+      SyntheticNames("CELL-", spec.num_cells, rng.Fork(3));
+  std::vector<std::string> cell_descriptions;
+  cell_descriptions.reserve(cell_names.size());
+  for (const std::string& n : cell_names) {
+    cell_descriptions.push_back(n + " immortalized line");  // 1:1 mapping
+  }
+  const auto& organisms = Organisms();
+  const auto& assay_types = AssayTypes();
+  const auto& protein_classes = ProteinClasses();
+
+  // Organism assignment per target: "mapping A" (ground truth).
+  std::vector<std::string> target_organism(target_names.size());
+  for (size_t i = 0; i < target_names.size(); ++i) {
+    target_organism[i] = organisms[rng.SkewedIndex(organisms.size())];
+  }
+
+  // --- compounds ---------------------------------------------------------
+  {
+    Table t = MakeTable("compounds",
+                        {"compound_id", "pref_name", "molweight", "formula"});
+    for (int i = 0; i < spec.num_compounds; ++i) {
+      t.AppendRow({Value::Int(1000 + i), Value::String(compound_names[i]),
+                   Value::Double(100.0 + rng.UniformInt(0, 7000) / 10.0),
+                   Value::String("C" + std::to_string(rng.UniformInt(5, 40)) +
+                                 "H" + std::to_string(rng.UniformInt(5, 60)))});
+    }
+    MustAdd(&dataset.repo, std::move(t));
+  }
+
+  // --- molecule_dictionary: 85% of compound names + extras (noise column
+  // for compounds.pref_name; also creates contained (pref_name, molweight)
+  // views when joined back to compounds) ---------------------------------
+  {
+    std::vector<std::string> md_names =
+        NoisePool(compound_names, 0.85, "Mol-", spec.num_compounds / 7, &rng);
+    Table t = MakeTable("molecule_dictionary",
+                        {"molregno", "pref_name", "max_phase"});
+    for (size_t i = 0; i < md_names.size(); ++i) {
+      t.AppendRow({Value::Int(5000 + static_cast<int64_t>(i)),
+                   Value::String(md_names[i]),
+                   Value::Int(rng.UniformInt(0, 4))});
+    }
+    MustAdd(&dataset.repo, std::move(t));
+  }
+
+  // --- cell_dictionary (alternate 1:1 keys) ------------------------------
+  {
+    Table t = MakeTable("cell_dictionary",
+                        {"cell_id", "cell_name", "cell_description"});
+    for (int i = 0; i < spec.num_cells; ++i) {
+      t.AppendRow({Value::Int(i), Value::String(cell_names[i]),
+                   Value::String(cell_descriptions[i])});
+    }
+    MustAdd(&dataset.repo, std::move(t));
+  }
+
+  // --- assays: denormalized with BOTH cell_name and cell_description so
+  // two join keys connect assays <-> cell_dictionary (compatible views) ---
+  {
+    Table t = MakeTable("assays", {"assay_id", "assay_type", "cell_name",
+                                   "cell_description", "organism"});
+    for (int i = 0; i < spec.num_assays; ++i) {
+      int cell = static_cast<int>(rng.UniformInt(0, spec.num_cells - 1));
+      t.AppendRow({Value::Int(20000 + i),
+                   Value::String(assay_types[rng.SkewedIndex(
+                       assay_types.size())]),
+                   Value::String(cell_names[cell]),
+                   Value::String(cell_descriptions[cell]),
+                   Value::String(organisms[rng.SkewedIndex(
+                       organisms.size())])});
+    }
+    MustAdd(&dataset.repo, std::move(t));
+  }
+
+  // --- target_dictionary: ground truth (pref_name, organism) -------------
+  {
+    Table t = MakeTable("target_dictionary",
+                        {"tid", "pref_name", "organism", "target_type"});
+    for (int i = 0; i < spec.num_targets; ++i) {
+      t.AppendRow({Value::Int(i), Value::String(target_names[i]),
+                   Value::String(target_organism[i]),
+                   Value::String(rng.Bernoulli(0.7) ? "SINGLE PROTEIN"
+                                                    : "PROTEIN COMPLEX")});
+    }
+    MustAdd(&dataset.repo, std::move(t));
+  }
+
+  // --- component_sequences: pref_name covers 90% of target names, but the
+  // organism disagrees with target_dictionary for ~30% of them. A wrong
+  // join path through pref_name then yields contradictory
+  // (pref_name, organism) views (the paper's Q4 insight). -----------------
+  {
+    Table t = MakeTable(
+        "component_sequences",
+        {"component_id", "pref_name", "organism", "sequence_length"});
+    int keep = static_cast<int>(0.9 * spec.num_targets);
+    std::vector<size_t> chosen =
+        rng.SampleWithoutReplacement(target_names.size(), keep);
+    std::sort(chosen.begin(), chosen.end());
+    int component_id = 7000;
+    for (size_t idx : chosen) {
+      std::string organism = target_organism[idx];
+      if (rng.Bernoulli(0.3)) {
+        // Disagreeing mapping: a different organism for the same name.
+        std::string other = organisms[rng.SkewedIndex(organisms.size())];
+        if (other == organism) {
+          other = organisms[(rng.SkewedIndex(organisms.size()) + 1) %
+                            organisms.size()];
+        }
+        organism = other;
+      }
+      t.AppendRow({Value::Int(component_id++),
+                   Value::String(target_names[idx]), Value::String(organism),
+                   Value::Int(rng.UniformInt(120, 3000))});
+    }
+    // A few extra components not in target_dictionary.
+    for (const std::string& name : SyntheticNames(
+             "CMP-", spec.num_targets / 8, rng.Fork(0xc0))) {
+      t.AppendRow({Value::Int(component_id++), Value::String(name),
+                   Value::String(organisms[rng.SkewedIndex(organisms.size())]),
+                   Value::Int(rng.UniformInt(120, 3000))});
+    }
+    MustAdd(&dataset.repo, std::move(t));
+  }
+
+  // --- component_class ----------------------------------------------------
+  {
+    Table t = MakeTable("component_class", {"component_id", "protein_class"});
+    int num_components = static_cast<int>(0.9 * spec.num_targets);
+    for (int i = 0; i < num_components; ++i) {
+      if (rng.Bernoulli(0.8)) {
+        t.AppendRow({Value::Int(7000 + i),
+                     Value::String(protein_classes[rng.SkewedIndex(
+                         protein_classes.size())])});
+      }
+    }
+    MustAdd(&dataset.repo, std::move(t));
+  }
+
+  // --- activities ----------------------------------------------------------
+  {
+    Table t = MakeTable("activities", {"activity_id", "compound_id",
+                                       "assay_id", "standard_value"});
+    for (int i = 0; i < spec.num_activities; ++i) {
+      t.AppendRow(
+          {Value::Int(90000 + i),
+           Value::Int(1000 + rng.UniformInt(0, spec.num_compounds - 1)),
+           Value::Int(20000 + rng.UniformInt(0, spec.num_assays - 1)),
+           Value::Double(rng.UniformInt(1, 99999) / 100.0)});
+    }
+    MustAdd(&dataset.repo, std::move(t));
+  }
+
+  // --- compound_records: 60% of compound names (contained mechanism and
+  // noise column for Q4) ---------------------------------------------------
+  {
+    std::vector<std::string> rec_names =
+        NoisePool(compound_names, 0.82, "Rec-", spec.num_compounds / 6, &rng);
+    Table t = MakeTable("compound_records",
+                        {"record_id", "pref_name", "record_source"});
+    for (size_t i = 0; i < rec_names.size(); ++i) {
+      t.AppendRow({Value::Int(40000 + static_cast<int64_t>(i)),
+                   Value::String(rec_names[i]),
+                   Value::String(rng.Bernoulli(0.5) ? "LITERATURE"
+                                                    : "DEPOSITION")});
+    }
+    MustAdd(&dataset.repo, std::move(t));
+  }
+
+  // --- biosamples: noise column for cell_name ------------------------------
+  {
+    std::vector<std::string> sample_names =
+        NoisePool(cell_names, 0.85, "SMP-", spec.num_cells / 6, &rng);
+    Table t = MakeTable("biosamples", {"sample_id", "sample_name", "tissue"});
+    static const std::vector<std::string> kTissues = {
+        "lung", "liver", "brain", "kidney", "skin", "blood"};
+    for (size_t i = 0; i < sample_names.size(); ++i) {
+      t.AppendRow({Value::Int(60000 + static_cast<int64_t>(i)),
+                   Value::String(sample_names[i]),
+                   Value::String(kTissues[rng.SkewedIndex(kTissues.size())])});
+    }
+    MustAdd(&dataset.repo, std::move(t));
+  }
+
+  // --- filler dictionaries -------------------------------------------------
+  // Every third dictionary carries a couple of coincidental matches (a
+  // stray cell/compound/target name in an unrelated column): Select-All
+  // retrieves these on any example hit, Column-Selection's clustering
+  // discards them (Fig. 5 mechanism).
+  const auto& nouns = GenericNouns();
+  for (int f = 0; f < spec.num_filler_tables; ++f) {
+    Table t = MakeTable("dict_" + std::to_string(f),
+                        {"id", "name", "category"});
+    std::vector<std::string> names =
+        SyntheticNames("D" + std::to_string(f) + "-", 40,
+                       rng.Fork(0xf00 + f));
+    for (int j = 0; j < 5; ++j) {
+      names[j] = cell_names[rng.UniformInt(0, cell_names.size() - 1)];
+      names[j + 5] =
+          compound_names[rng.UniformInt(0, compound_names.size() - 1)];
+      names[j + 10] =
+          target_names[rng.UniformInt(0, target_names.size() - 1)];
+    }
+    for (size_t i = 0; i < names.size(); ++i) {
+      t.AppendRow({Value::Int(static_cast<int64_t>(f) * 1000 +
+                              static_cast<int64_t>(i)),
+                   Value::String(names[i]),
+                   Value::String(nouns[rng.SkewedIndex(nouns.size())])});
+    }
+    MustAdd(&dataset.repo, std::move(t));
+  }
+
+  // --- ground-truth queries -----------------------------------------------
+  dataset.queries = {
+      // Q1: cell_name x assay_type via assays ⋈ cell_dictionary. The
+      // alternate 1:1 key (cell_description) creates compatible views.
+      GroundTruthQuery{
+          "Q1",
+          {"cell_dictionary", "assays"},
+          {"cell_name", "assay_type"},
+          {GtJoin{"cell_dictionary", "cell_name", "assays", "cell_name"}},
+          {"biosamples", ""},
+          {"sample_name", ""}},
+      // Q2: target pref_name x organism, single table; contradictions come
+      // from component_sequences' disagreeing organism mapping.
+      GroundTruthQuery{"Q2",
+                       {"target_dictionary", "target_dictionary"},
+                       {"pref_name", "organism"},
+                       {},
+                       {"component_sequences", ""},
+                       {"pref_name", ""}},
+      // Q3: compound pref_name x molweight; molecule_dictionary joins
+      // produce contained views.
+      GroundTruthQuery{"Q3",
+                       {"compounds", "compounds"},
+                       {"pref_name", "molweight"},
+                       {},
+                       {"molecule_dictionary", ""},
+                       {"pref_name", ""}},
+      // Q4: compound pref_name x standard_value via activities.
+      GroundTruthQuery{
+          "Q4",
+          {"compounds", "activities"},
+          {"pref_name", "standard_value"},
+          {GtJoin{"compounds", "compound_id", "activities", "compound_id"}},
+          {"compound_records", ""},
+          {"pref_name", ""}},
+      // Q5: cell_name x organism via assays.
+      GroundTruthQuery{
+          "Q5",
+          {"cell_dictionary", "assays"},
+          {"cell_name", "organism"},
+          {GtJoin{"cell_dictionary", "cell_name", "assays", "cell_name"}},
+          {"biosamples", ""},
+          {"sample_name", ""}},
+  };
+  return dataset;
+}
+
+}  // namespace ver

@@ -1,0 +1,38 @@
+// ChEMBL-like dataset generator.
+//
+// Reproduces the *mechanisms* the paper reports on ChEMBL rather than the
+// corpus itself: a snowflake of bio-activity tables with
+//   - alternate 1:1 join keys (cell_name <-> cell_description) that yield
+//     *compatible* candidate views (Table IV C1 insight),
+//   - dictionary tables covering subsets of a fact table's domain that
+//     yield *contained* views (C2),
+//   - a low-quality join column (component pref_name vs target pref_name)
+//     whose organism mapping partially disagrees, yielding *contradictory*
+//     views from wrong join paths (C4 / Fig. 2 insight),
+//   - per-query noise columns with Jaccard containment > 0.8 w.r.t. the
+//     ground-truth columns, for the Medium/High noise workloads (Table V).
+
+#ifndef VER_WORKLOAD_CHEMBL_GEN_H_
+#define VER_WORKLOAD_CHEMBL_GEN_H_
+
+#include "workload/ground_truth.h"
+
+namespace ver {
+
+struct ChemblSpec {
+  int num_compounds = 300;
+  int num_targets = 120;
+  int num_cells = 80;
+  int num_assays = 400;
+  int num_activities = 600;
+  /// Additional small dictionary tables (ChEMBL has ~70 tables total).
+  int num_filler_tables = 12;
+  uint64_t seed = 0xc4e3b1;
+};
+
+/// Builds the repository and its 5 ground-truth queries (Q1..Q5).
+GeneratedDataset GenerateChemblLike(const ChemblSpec& spec);
+
+}  // namespace ver
+
+#endif  // VER_WORKLOAD_CHEMBL_GEN_H_

@@ -1,0 +1,106 @@
+#include "workload/noisy_query.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace ver {
+
+const char* NoiseLevelToString(NoiseLevel level) {
+  switch (level) {
+    case NoiseLevel::kZero:
+      return "Zero";
+    case NoiseLevel::kMedium:
+      return "Med";
+    case NoiseLevel::kHigh:
+      return "High";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::vector<std::string> DistinctTexts(const TableRepository& repo,
+                                       const ColumnRef& ref) {
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  for (const Value& v : repo.column_values(ref)) {
+    if (v.is_null()) continue;
+    std::string text = v.ToText();
+    if (seen.insert(text).second) out.push_back(std::move(text));
+  }
+  std::sort(out.begin(), out.end());  // determinism across hash orders
+  return out;
+}
+
+std::vector<std::string> SampleK(const std::vector<std::string>& pool, int k,
+                                 Rng* rng) {
+  std::vector<std::string> out;
+  if (pool.empty() || k <= 0) return out;
+  int take = std::min<int>(k, static_cast<int>(pool.size()));
+  for (size_t idx : rng->SampleWithoutReplacement(pool.size(), take)) {
+    out.push_back(pool[idx]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ExampleQuery> MakeNoisyQuery(const TableRepository& repo,
+                                    const GroundTruthQuery& gt,
+                                    NoiseLevel level, int rows_per_column,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  ExampleQuery query;
+  for (size_t a = 0; a < gt.gt_tables.size(); ++a) {
+    VER_ASSIGN_OR_RETURN(
+        ColumnRef gt_col,
+        ResolveColumn(repo, gt.gt_tables[a], gt.gt_attributes[a]));
+    std::vector<std::string> gt_values = DistinctTexts(repo, gt_col);
+
+    // Noise pool: values of the noise column that are NOT ground truth.
+    std::vector<std::string> noise_values;
+    if (a < gt.noise_tables.size() && !gt.noise_tables[a].empty()) {
+      Result<ColumnRef> noise_col =
+          ResolveColumn(repo, gt.noise_tables[a], gt.noise_attributes[a]);
+      if (noise_col.ok()) {
+        std::unordered_set<std::string> gt_set(gt_values.begin(),
+                                               gt_values.end());
+        for (std::string& text : DistinctTexts(repo, noise_col.value())) {
+          if (!gt_set.count(text)) noise_values.push_back(std::move(text));
+        }
+      }
+    }
+
+    int num_noise = 0;
+    switch (level) {
+      case NoiseLevel::kZero:
+        num_noise = 0;
+        break;
+      case NoiseLevel::kMedium:
+        num_noise = rows_per_column / 3;  // 1/3 noise (1 of 3 by default)
+        break;
+      case NoiseLevel::kHigh:
+        num_noise = (2 * rows_per_column) / 3;  // 2/3 noise
+        break;
+    }
+    num_noise = std::min<int>(num_noise, static_cast<int>(noise_values.size()));
+    int num_gt = rows_per_column - num_noise;
+
+    std::vector<std::string> examples = SampleK(gt_values, num_gt, &rng);
+    std::vector<std::string> noise = SampleK(noise_values, num_noise, &rng);
+    examples.insert(examples.end(), noise.begin(), noise.end());
+    // Top up from ground truth when pools ran dry.
+    while (static_cast<int>(examples.size()) < rows_per_column &&
+           !gt_values.empty()) {
+      examples.push_back(rng.Choice(gt_values));
+    }
+    query.columns.push_back(std::move(examples));
+    query.attribute_hints.push_back(gt.gt_attributes[a]);
+  }
+  return query;
+}
+
+}  // namespace ver

@@ -1,0 +1,31 @@
+// Noisy QBE query generation (Section VI-B "Noisy Query Generation"):
+// example values sampled from ground-truth columns mixed, per noise level,
+// with values sampled from high-containment noise columns.
+
+#ifndef VER_WORKLOAD_NOISY_QUERY_H_
+#define VER_WORKLOAD_NOISY_QUERY_H_
+
+#include "core/query.h"
+#include "util/result.h"
+#include "workload/ground_truth.h"
+
+namespace ver {
+
+enum class NoiseLevel { kZero, kMedium, kHigh };
+
+const char* NoiseLevelToString(NoiseLevel level);
+
+/// Builds an l-row example query for `gt`.
+///   Zero:   all examples from the ground-truth columns.
+///   Medium: 2/3 ground truth, 1/3 from the noise column (values NOT in the
+///           ground-truth column — genuinely misleading examples).
+///   High:   1/3 ground truth, 2/3 noise.
+/// Falls back to ground-truth values when a noise column is missing/dry.
+Result<ExampleQuery> MakeNoisyQuery(const TableRepository& repo,
+                                    const GroundTruthQuery& gt,
+                                    NoiseLevel level, int rows_per_column,
+                                    uint64_t seed);
+
+}  // namespace ver
+
+#endif  // VER_WORKLOAD_NOISY_QUERY_H_

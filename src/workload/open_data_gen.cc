@@ -1,0 +1,214 @@
+#include "workload/open_data_gen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+#include "workload/vocab.h"
+
+namespace ver {
+
+namespace {
+
+void MustAdd(TableRepository* repo, Table t) {
+  t.InferColumnTypes();
+  Result<int32_t> id = repo->AddTable(std::move(t));
+  assert(id.ok());
+  (void)id;
+}
+
+// Shared value domains that make open-data tables joinable.
+struct Pool {
+  std::string attr_name;
+  std::vector<std::string> values;
+};
+
+// A planted shared-pool column, recorded for query derivation.
+struct PlantedColumn {
+  int table_index;         // generation order index
+  std::string table_name;
+  int pool_id;
+  std::string pool_attr;   // the joinable column
+  std::string other_attr;  // a same-table payload column
+  double coverage;
+};
+
+}  // namespace
+
+GeneratedDataset GenerateOpenDataLike(const OpenDataSpec& spec) {
+  GeneratedDataset dataset;
+  dataset.name = "OpenData-like";
+  Rng seed_rng(spec.seed);
+
+  std::vector<Pool> pools;
+  pools.push_back({"city", UsCities()});
+  pools.push_back({"state", UsStates()});
+  pools.push_back({"country", Countries()});
+  pools.push_back({"agency",
+                   SyntheticNames("Agency of ", 40, seed_rng.Fork(1))});
+  pools.push_back({"department",
+                   SyntheticNames("Dept-", 40, seed_rng.Fork(2))});
+  pools.push_back({"vendor", SyntheticNames("Vendor-", 50,
+                                            seed_rng.Fork(3))});
+
+  const auto& nouns = GenericNouns();
+  const int total = std::max(
+      8, static_cast<int>(std::ceil(spec.portion * spec.num_tables)));
+  const int quarter =
+      std::max(4, static_cast<int>(std::ceil(0.25 * spec.num_tables)));
+
+  std::vector<PlantedColumn> planted;
+
+  for (int i = 0; i < total; ++i) {
+    // Per-table RNG keyed only by (seed, i): table i is identical across
+    // portions — the nesting guarantee.
+    Rng rng(spec.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+
+    // The first |pools| tables are full-coverage "registry" tables; they
+    // sit inside every portion and keep the join graph connected.
+    if (i < static_cast<int>(pools.size())) {
+      const Pool& pool = pools[i];
+      Schema schema;
+      schema.AddAttribute(Attribute{pool.attr_name, ValueType::kString});
+      schema.AddAttribute(Attribute{"registry_id", ValueType::kInt});
+      Table t("od_registry_" + pool.attr_name, schema);
+      for (size_t v = 0; v < pool.values.size(); ++v) {
+        t.AppendRow({Value::String(pool.values[v]),
+                     Value::Int(static_cast<int64_t>(v))});
+      }
+      MustAdd(&dataset.repo, std::move(t));
+      continue;
+    }
+
+    std::string noun = nouns[rng.SkewedIndex(nouns.size())];
+    std::string table_name =
+        "od_" + noun + "_" + std::to_string(i);
+    int rows = static_cast<int>(rng.UniformInt(spec.min_rows, spec.max_rows));
+
+    bool has_pool = rng.Bernoulli(0.65);
+    int pool_id =
+        has_pool ? static_cast<int>(rng.UniformInt(0, pools.size() - 1)) : -1;
+
+    Schema schema;
+    std::string other_attr = noun + "_name";
+    if (has_pool) {
+      schema.AddAttribute(
+          Attribute{pools[pool_id].attr_name, ValueType::kString});
+    }
+    schema.AddAttribute(Attribute{other_attr, ValueType::kString});
+    // With small probability the payload header is missing (noisy schema).
+    if (rng.Bernoulli(0.08)) {
+      schema.AddAttribute(Attribute{"", ValueType::kString});
+    } else {
+      schema.AddAttribute(Attribute{noun + "_count", ValueType::kInt});
+    }
+
+    double coverage = 0.0;
+    std::vector<std::string> pool_sample;
+    if (has_pool) {
+      const auto& values = pools[pool_id].values;
+      coverage = 0.45 + 0.5 * rng.UniformDouble();
+      int take = std::max<int>(
+          2, static_cast<int>(coverage * static_cast<double>(values.size())));
+      take = std::min<int>(take, static_cast<int>(values.size()));
+      for (size_t idx : rng.SampleWithoutReplacement(values.size(), take)) {
+        pool_sample.push_back(values[idx]);
+      }
+      // One row per pool key so the key column is an approximate key.
+      rows = std::min<int>(rows, static_cast<int>(pool_sample.size()));
+    }
+    Table t(table_name, schema);
+    std::vector<std::string> uniques =
+        SyntheticNames(noun + std::to_string(i) + "-", rows,
+                       rng.Fork(0xabc));
+    for (int r = 0; r < rows; ++r) {
+      std::vector<Value> row;
+      if (has_pool) {
+        row.push_back(Value::String(pool_sample[static_cast<size_t>(r)]));
+      }
+      row.push_back(Value::String(uniques[r]));
+      row.push_back(Value::Int(rng.UniformInt(0, 100000)));
+      t.AppendRow(std::move(row));
+    }
+    MustAdd(&dataset.repo, std::move(t));
+
+    // A third of the pooled tables ship with a conflicting "alternative"
+    // sibling: same schema and key coverage, and a payload column sharing
+    // ~70% of the parent's values (so column selection clusters them
+    // together) but remapping/disagreeing on the rest — the semantic
+    // ambiguity VIEW-PRESENTATION is meant to resolve (surviving views
+    // that contradict on the pool key).
+    if (has_pool && rng.Bernoulli(0.35)) {
+      Schema alt_schema;
+      alt_schema.AddAttribute(
+          Attribute{pools[pool_id].attr_name, ValueType::kString});
+      alt_schema.AddAttribute(Attribute{other_attr, ValueType::kString});
+      alt_schema.AddAttribute(Attribute{noun + "_count", ValueType::kInt});
+      Table alt(table_name + "_alt", alt_schema);
+      std::vector<std::string> alt_uniques =
+          SyntheticNames(noun + std::to_string(i) + "x-", rows,
+                         rng.Fork(0xabd));
+      for (int r = 0; r < rows; ++r) {
+        // Shift by one so even "shared" payload values land on different
+        // keys: the views disagree per key while sharing a value domain.
+        const std::string& payload =
+            (r % 10 < 7) ? uniques[static_cast<size_t>((r + 1) % rows)]
+                         : alt_uniques[static_cast<size_t>(r)];
+        alt.AppendRow({Value::String(pool_sample[static_cast<size_t>(r)]),
+                       Value::String(payload),
+                       Value::Int(rng.UniformInt(0, 100000))});
+      }
+      MustAdd(&dataset.repo, std::move(alt));
+    }
+
+    if (has_pool && i < quarter) {
+      planted.push_back(PlantedColumn{i, table_name, pool_id,
+                                      pools[pool_id].attr_name, other_attr,
+                                      coverage});
+    }
+  }
+
+  // --- queries: all inside the smallest portion ---------------------------
+  // Alternate single-table queries (pool key + payload) with join queries
+  // (payloads of two tables sharing a pool, joined through the pool column).
+  std::unordered_map<int, std::vector<int>> by_pool;  // pool -> planted idx
+  for (size_t p = 0; p < planted.size(); ++p) {
+    by_pool[planted[p].pool_id].push_back(static_cast<int>(p));
+  }
+  Rng qrng(spec.seed ^ 0x5151);
+  int qid = 0;
+  size_t round = 0;
+  while (static_cast<int>(dataset.queries.size()) < spec.num_queries &&
+         round < 4 * planted.size() + 16) {
+    ++round;
+    if (planted.empty()) break;
+    const PlantedColumn& a =
+        planted[static_cast<size_t>(qrng.UniformInt(0, planted.size() - 1))];
+    bool join_query = qrng.Bernoulli(0.5);
+    const std::vector<int>& same_pool = by_pool[a.pool_id];
+    if (join_query && same_pool.size() >= 2) {
+      const PlantedColumn& b = planted[static_cast<size_t>(
+          same_pool[qrng.UniformInt(0, same_pool.size() - 1)])];
+      if (b.table_name == a.table_name) continue;
+      dataset.queries.push_back(GroundTruthQuery{
+          "OD-Q" + std::to_string(qid++),
+          {a.table_name, b.table_name},
+          {a.other_attr, b.other_attr},
+          {GtJoin{a.table_name, a.pool_attr, b.table_name, b.pool_attr}},
+          {"", ""},
+          {"", ""}});
+    } else {
+      dataset.queries.push_back(GroundTruthQuery{
+          "OD-Q" + std::to_string(qid++),
+          {a.table_name, a.table_name},
+          {a.pool_attr, a.other_attr},
+          {},
+          {"", ""},
+          {"", ""}});
+    }
+  }
+  return dataset;
+}
+
+}  // namespace ver

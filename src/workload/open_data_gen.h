@@ -1,0 +1,34 @@
+// Open-Data-like generator: a large heterogeneous portal crawl.
+//
+// Drives the scalability experiments (Fig. 3/4): tables are generated in a
+// fixed deterministic order, so the dataset at sample portion p is exactly
+// the first ceil(p*N) tables — the nesting property the paper's subsampling
+// guarantees ("all datasets present in a smaller size version are also
+// present in the larger sample"). Queries reference only tables inside the
+// smallest portion so every portion can answer every query.
+
+#ifndef VER_WORKLOAD_OPEN_DATA_GEN_H_
+#define VER_WORKLOAD_OPEN_DATA_GEN_H_
+
+#include "workload/ground_truth.h"
+
+namespace ver {
+
+struct OpenDataSpec {
+  /// Table count at portion 1.0.
+  int num_tables = 240;
+  /// Fraction of tables to materialize (0 < portion <= 1).
+  double portion = 1.0;
+  /// Ground-truth queries to derive (all within the first 25% of tables).
+  int num_queries = 50;
+  /// Rows per table are drawn from [min_rows, max_rows].
+  int min_rows = 15;
+  int max_rows = 90;
+  uint64_t seed = 0x0da7a;
+};
+
+GeneratedDataset GenerateOpenDataLike(const OpenDataSpec& spec);
+
+}  // namespace ver
+
+#endif  // VER_WORKLOAD_OPEN_DATA_GEN_H_

@@ -1,0 +1,73 @@
+// SimulatedUser: stand-in for the paper's IRB user study participants.
+//
+// The user knows which candidate views are acceptable (the ground truth) and
+// answers questions truthfully — but only when competent on the question's
+// interface (per-interface answer probability); otherwise they skip. This
+// reproduces the paper's observation that different users can answer
+// different interfaces, which is exactly what the bandit learns.
+
+#ifndef VER_WORKLOAD_SIMULATED_USER_H_
+#define VER_WORKLOAD_SIMULATED_USER_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/distillation.h"
+#include "core/presentation.h"
+#include "engine/view.h"
+#include "util/rng.h"
+
+namespace ver {
+
+struct SimulatedUserProfile {
+  /// Probability of answering (vs. skipping) per question interface,
+  /// indexed by QuestionInterface.
+  double competence[kNumQuestionInterfaces] = {0.9, 0.9, 0.9, 0.9};
+  uint64_t seed = 0x5eed0e5e;
+};
+
+class SimulatedUser {
+ public:
+  /// `views` and `distillation` must outlive the user.
+  SimulatedUser(SimulatedUserProfile profile,
+                std::vector<int> acceptable_views,
+                const std::vector<View>* views,
+                const DistillationResult* distillation);
+
+  /// Answers one question (truthful or skip).
+  Answer Respond(const Question& question);
+
+  /// True when the user would recognize `view_index` as their view.
+  bool Accepts(int view_index) const {
+    return acceptable_.count(view_index) > 0;
+  }
+
+  const std::unordered_set<int>& acceptable() const { return acceptable_; }
+
+ private:
+  SimulatedUserProfile profile_;
+  std::unordered_set<int> acceptable_;
+  const std::vector<View>* views_;
+  const DistillationResult* distillation_;
+  Rng rng_;
+
+  bool GroundTruthHasAttribute(const std::string& attribute) const;
+};
+
+/// Outcome of driving one presentation session with a simulated user.
+struct SessionOutcome {
+  bool found = false;        // ground truth surfaced as top-1 / selected
+  int interactions = 0;      // questions answered or skipped
+  int views_remaining = 0;   // candidate count at session end
+};
+
+/// Runs a full session: asks up to `max_interactions` questions, stopping
+/// early when an acceptable view ranks first (the user would select it) or
+/// the candidate set collapses. Uses the session's ranking after every
+/// answer, mirroring the user-study protocol.
+SessionOutcome DriveSession(PresentationSession* session, SimulatedUser* user,
+                            int max_interactions);
+
+}  // namespace ver
+
+#endif  // VER_WORKLOAD_SIMULATED_USER_H_

@@ -1,0 +1,187 @@
+#include "workload/vocab.h"
+
+#include <unordered_set>
+
+namespace ver {
+
+const std::vector<std::string>& UsStates() {
+  static const std::vector<std::string> kStates = {
+      "Alabama",       "Alaska",        "Arizona",        "Arkansas",
+      "California",    "Colorado",      "Connecticut",    "Delaware",
+      "Florida",       "Georgia",       "Hawaii",         "Idaho",
+      "Illinois",      "Indiana",       "Iowa",           "Kansas",
+      "Kentucky",      "Louisiana",     "Maine",          "Maryland",
+      "Massachusetts", "Michigan",      "Minnesota",      "Mississippi",
+      "Missouri",      "Montana",       "Nebraska",       "Nevada",
+      "New Hampshire", "New Jersey",    "New Mexico",     "New York",
+      "North Carolina", "North Dakota", "Ohio",           "Oklahoma",
+      "Oregon",        "Pennsylvania",  "Rhode Island",   "South Carolina",
+      "South Dakota",  "Tennessee",     "Texas",          "Utah",
+      "Vermont",       "Virginia",      "Washington",     "West Virginia",
+      "Wisconsin",     "Wyoming"};
+  return kStates;
+}
+
+const std::vector<std::string>& UsCities() {
+  static const std::vector<std::string> kCities = {
+      "New York",     "Los Angeles",  "Chicago",      "Houston",
+      "Phoenix",      "Philadelphia", "San Antonio",  "San Diego",
+      "Dallas",       "San Jose",     "Austin",       "Jacksonville",
+      "Fort Worth",   "Columbus",     "Charlotte",    "San Francisco",
+      "Indianapolis", "Seattle",      "Denver",       "Boston",
+      "El Paso",      "Nashville",    "Detroit",      "Oklahoma City",
+      "Portland",     "Las Vegas",    "Memphis",      "Louisville",
+      "Baltimore",    "Milwaukee",    "Albuquerque",  "Tucson",
+      "Fresno",       "Mesa",         "Sacramento",   "Atlanta",
+      "Kansas City",  "Colorado Springs", "Omaha",    "Raleigh",
+      "Miami",        "Long Beach",   "Virginia Beach", "Oakland",
+      "Minneapolis",  "Tulsa",        "Tampa",        "Arlington",
+      "New Orleans",  "Wichita",      "Cleveland",    "Bakersfield",
+      "Aurora",       "Anaheim",      "Honolulu",     "Santa Ana",
+      "Riverside",    "Corpus Christi", "Lexington",  "Pittsburgh"};
+  return kCities;
+}
+
+const std::vector<std::string>& Countries() {
+  static const std::vector<std::string> kCountries = {
+      "China",        "India",        "United States", "Indonesia",
+      "Pakistan",     "Brazil",       "Nigeria",       "Bangladesh",
+      "Russia",       "Mexico",       "Japan",         "Ethiopia",
+      "Philippines",  "Egypt",        "Vietnam",       "Congo",
+      "Turkey",       "Iran",         "Germany",       "Thailand",
+      "France",       "United Kingdom", "Italy",       "Tanzania",
+      "South Africa", "Myanmar",      "Kenya",         "Colombia",
+      "Spain",        "Argentina",    "Uganda",        "Ukraine",
+      "Algeria",      "Sudan",        "Iraq",          "Afghanistan",
+      "Poland",       "Canada",       "Morocco",       "Saudi Arabia",
+      "Uzbekistan",   "Peru",         "Malaysia",      "Angola",
+      "Ghana",        "Mozambique",   "Yemen",         "Nepal",
+      "Venezuela",    "Madagascar",   "Australia",     "North Korea",
+      "Cameroon",     "Niger",        "Sri Lanka",     "Burkina Faso",
+      "Mali",         "Chile",        "Romania",       "Kazakhstan"};
+  return kCountries;
+}
+
+const std::vector<std::string>& Organisms() {
+  static const std::vector<std::string> kOrganisms = {
+      "Homo sapiens",        "Mus musculus",     "Rattus norvegicus",
+      "Escherichia coli",    "Bos taurus",       "Danio rerio",
+      "Gallus gallus",       "Sus scrofa",       "Canis familiaris",
+      "Plasmodium falciparum", "Saccharomyces cerevisiae",
+      "Drosophila melanogaster"};
+  return kOrganisms;
+}
+
+const std::vector<std::string>& AssayTypes() {
+  static const std::vector<std::string> kTypes = {
+      "Binding", "Functional", "ADMET", "Toxicity", "Physicochemical",
+      "Unclassified"};
+  return kTypes;
+}
+
+const std::vector<std::string>& ProteinClasses() {
+  static const std::vector<std::string> kClasses = {
+      "Enzyme",         "Kinase",          "Protease",
+      "Ion channel",    "Transporter",     "Epigenetic regulator",
+      "Membrane receptor", "Transcription factor", "Secreted protein",
+      "Other cytosolic protein"};
+  return kClasses;
+}
+
+const std::vector<std::string>& GenericNouns() {
+  static const std::vector<std::string> kNouns = {
+      "budget",   "permit",    "inspection", "license",  "project",
+      "contract", "school",    "hospital",   "library",  "park",
+      "route",    "station",   "district",   "zone",     "survey",
+      "census",   "election",  "program",    "grant",    "vendor",
+      "facility", "crime",     "incident",   "violation", "property",
+      "parcel",   "street",    "bridge",     "tunnel",   "transit",
+      "energy",   "water",     "sewer",      "waste",    "recycling",
+      "health",   "food",      "restaurant", "business", "employee",
+      "salary",   "payroll",   "tax",        "revenue",  "expense"};
+  return kNouns;
+}
+
+namespace {
+
+// Deterministic pronounceable token: alternating consonant/vowel pairs.
+std::string Pronounceable(Rng* rng, int syllables) {
+  static const char* kConsonants = "bcdfghklmnprstvz";
+  static const char* kVowels = "aeiou";
+  std::string out;
+  for (int s = 0; s < syllables; ++s) {
+    out.push_back(kConsonants[rng->UniformInt(0, 15)]);
+    out.push_back(kVowels[rng->UniformInt(0, 4)]);
+  }
+  if (!out.empty()) out[0] = static_cast<char>(out[0] - 'a' + 'A');
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> SyntheticNames(const std::string& prefix, int n,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  out.reserve(n);
+  while (static_cast<int>(out.size()) < n) {
+    std::string name = prefix + Pronounceable(&rng, 3) + "-" +
+                       std::to_string(rng.UniformInt(100, 999));
+    if (seen.insert(name).second) out.push_back(std::move(name));
+  }
+  return out;
+}
+
+std::vector<std::string> IataCodes(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  out.reserve(n);
+  while (static_cast<int>(out.size()) < n) {
+    std::string code;
+    for (int i = 0; i < 3; ++i) {
+      code.push_back(static_cast<char>('A' + rng.UniformInt(0, 25)));
+    }
+    if (seen.insert(code).second) out.push_back(std::move(code));
+  }
+  return out;
+}
+
+std::vector<std::string> ChurchNames(int n, uint64_t seed) {
+  static const std::vector<std::string> kPrefixes = {
+      "First Baptist Church of",   "St. Mary's Church of",
+      "Grace Community Church of", "Holy Trinity Church of",
+      "Calvary Chapel of",         "First Methodist Church of"};
+  Rng rng(seed);
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  out.reserve(n);
+  const auto& cities = UsCities();
+  while (static_cast<int>(out.size()) < n) {
+    std::string name = rng.Choice(kPrefixes) + " " + rng.Choice(cities);
+    if (seen.insert(name).second) out.push_back(std::move(name));
+    if (seen.size() >= kPrefixes.size() * cities.size()) break;
+  }
+  return out;
+}
+
+std::vector<std::string> NewspaperTitles(int n, uint64_t seed) {
+  static const std::vector<std::string> kSuffixes = {
+      "Chronicle", "Tribune", "Herald", "Times", "Gazette", "Post",
+      "Courier",   "Observer"};
+  Rng rng(seed);
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  out.reserve(n);
+  const auto& cities = UsCities();
+  while (static_cast<int>(out.size()) < n) {
+    std::string name =
+        "The " + rng.Choice(cities) + " " + rng.Choice(kSuffixes);
+    if (seen.insert(name).second) out.push_back(std::move(name));
+    if (seen.size() >= kSuffixes.size() * cities.size()) break;
+  }
+  return out;
+}
+
+}  // namespace ver

@@ -1,0 +1,53 @@
+// Deterministic vocabularies backing the synthetic dataset generators.
+//
+// The paper evaluates on ChEMBL, WDC web tables and Open Data portal crawls;
+// those corpora are substituted with generators whose value domains come
+// from these pools (real small lists expanded with seeded synthetic names).
+
+#ifndef VER_WORKLOAD_VOCAB_H_
+#define VER_WORKLOAD_VOCAB_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ver {
+
+/// The 50 US states.
+const std::vector<std::string>& UsStates();
+
+/// ~60 large US cities.
+const std::vector<std::string>& UsCities();
+
+/// ~60 countries.
+const std::vector<std::string>& Countries();
+
+/// Organism names (ChEMBL-like).
+const std::vector<std::string>& Organisms();
+
+/// Assay type codes (ChEMBL-like).
+const std::vector<std::string>& AssayTypes();
+
+/// Protein class labels (ChEMBL-like).
+const std::vector<std::string>& ProteinClasses();
+
+/// Generic english-ish nouns for filler schemas and open-data content.
+const std::vector<std::string>& GenericNouns();
+
+/// `n` unique pronounceable names with the given prefix, seeded.
+std::vector<std::string> SyntheticNames(const std::string& prefix, int n,
+                                        uint64_t seed);
+
+/// `n` unique 3-letter IATA-like codes, seeded.
+std::vector<std::string> IataCodes(int n, uint64_t seed);
+
+/// Church names built from states/cities ("First Baptist Church of X").
+std::vector<std::string> ChurchNames(int n, uint64_t seed);
+
+/// Newspaper titles built from cities ("The <City> Chronicle").
+std::vector<std::string> NewspaperTitles(int n, uint64_t seed);
+
+}  // namespace ver
+
+#endif  // VER_WORKLOAD_VOCAB_H_

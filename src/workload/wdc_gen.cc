@@ -1,0 +1,234 @@
+#include "workload/wdc_gen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "workload/vocab.h"
+
+namespace ver {
+
+namespace {
+
+Table MakeTable(const std::string& name,
+                const std::vector<std::string>& attrs) {
+  Schema schema;
+  for (const std::string& a : attrs) {
+    schema.AddAttribute(Attribute{a, ValueType::kString});
+  }
+  return Table(name, schema);
+}
+
+void MustAdd(TableRepository* repo, Table t) {
+  t.InferColumnTypes();
+  Result<int32_t> id = repo->AddTable(std::move(t));
+  assert(id.ok());
+  (void)id;
+}
+
+// One topic: a key column domain plus a per-key fact value. Version tables
+// subset the key domain; some carry a coherent *alternative* fact mapping
+// (like a conflicting census year), so that views derived from them agree
+// with each other and contradict master-derived views — the discriminative
+// contradictions of the paper's WDC Q3 / Fig. 2.
+struct Topic {
+  std::string table_prefix;
+  std::string key_attr;
+  std::string value_attr;
+  std::vector<std::string> keys;
+  std::vector<std::string> values;      // parallel ground-truth facts
+  std::vector<std::string> alt_values;  // conflicting alternative mapping
+  bool numeric_value = false;
+};
+
+// Builds the alternative mapping: ~40% of keys get a conflicting value.
+void FillAlternativeMapping(Topic* topic, Rng* rng) {
+  topic->alt_values = topic->values;
+  for (size_t i = 0; i < topic->alt_values.size(); ++i) {
+    if (!rng->Bernoulli(0.4)) continue;
+    if (topic->numeric_value) {
+      topic->alt_values[i] = std::to_string(rng->UniformInt(1000, 2000000));
+    } else {
+      topic->alt_values[i] =
+          topic->values[(i + 7) % topic->values.size()];
+    }
+  }
+}
+
+void EmitTopic(const Topic& topic, int versions, Rng* rng,
+               TableRepository* repo) {
+  const int n = static_cast<int>(topic.keys.size());
+  // The master covers most but not all of the domain; random versions draw
+  // from the full domain so their coverage overlaps without nesting — the
+  // complementary-union mechanism (paper's WDC Q2 / C3 insight).
+  const int master_n = std::max(2, (17 * n) / 20);
+
+  {
+    Table t = MakeTable(topic.table_prefix + "_master",
+                        {topic.key_attr, topic.value_attr});
+    for (int i = 0; i < master_n; ++i) {
+      t.AppendRow({Value::String(topic.keys[i]),
+                   Value::Parse(topic.values[i])});
+    }
+    MustAdd(repo, std::move(t));
+  }
+
+  for (int v = 0; v < versions; ++v) {
+    // Version style: duplicates of master (compatible), nested-prefix
+    // subsets (contained), random full-domain subsets (complementary), and
+    // some conflicting-fact versions (contradictory).
+    Table t = MakeTable(topic.table_prefix + "_v" + std::to_string(v),
+                        {topic.key_attr, topic.value_attr});
+    std::vector<size_t> members;
+    if (v < 2) {
+      // Exact duplicate of the master.
+      members.resize(master_n);
+      for (int i = 0; i < master_n; ++i) members[i] = i;
+    } else if (v < 4) {
+      // Nested prefix subsets: master ⊃ v2 ⊃ v3 (contained mechanism).
+      int take = v == 2 ? (3 * master_n) / 4 : master_n / 2;
+      members.resize(take);
+      for (int i = 0; i < take; ++i) members[i] = i;
+    } else {
+      // Random subset of the FULL domain with 40-90% coverage.
+      int take = static_cast<int>(
+          n * (0.4 + 0.5 * rng->UniformDouble()));
+      take = std::max(take, 2);
+      members = rng->SampleWithoutReplacement(n, take);
+      std::sort(members.begin(), members.end());
+    }
+    // Every third random version reports the coherent alternative mapping,
+    // so alternative-side views agree with each other and contradict the
+    // master side on the same key values (discriminative contradictions).
+    bool alternative = v >= 4 && (v % 3 == 1);
+    for (size_t idx : members) {
+      const std::string& value =
+          alternative ? topic.alt_values[idx] : topic.values[idx];
+      t.AppendRow({Value::String(topic.keys[idx]), Value::Parse(value)});
+    }
+    MustAdd(repo, std::move(t));
+  }
+}
+
+}  // namespace
+
+GeneratedDataset GenerateWdcLike(const WdcSpec& spec) {
+  GeneratedDataset dataset;
+  dataset.name = "WDC-like";
+  Rng rng(spec.seed);
+
+  const auto& states = UsStates();
+  const auto& countries = Countries();
+
+  // --- topic domains ------------------------------------------------------
+  std::vector<std::string> iata = IataCodes(static_cast<int>(states.size()),
+                                            rng.Fork(11));
+  std::vector<std::string> churches =
+      ChurchNames(static_cast<int>(states.size()), rng.Fork(12));
+  std::vector<std::string> newspapers =
+      NewspaperTitles(static_cast<int>(states.size()), rng.Fork(13));
+  std::vector<std::string> population;
+  std::vector<std::string> births;
+  for (size_t i = 0; i < countries.size(); ++i) {
+    population.push_back(std::to_string(rng.UniformInt(500000, 1400000000)));
+    births.push_back(std::to_string(rng.UniformInt(60, 480) / 10.0));
+  }
+
+  std::vector<Topic> topics = {
+      {"airports", "state", "iata_code", states, iata, {}, false},
+      {"churches", "state", "church", states, churches, {}, false},
+      {"newspapers", "state", "newspaper_title", states, newspapers, {},
+       false},
+      {"population", "country", "population", countries, population, {},
+       true},
+      {"births", "country", "births_per_1000", countries, births, {}, true},
+  };
+  for (Topic& topic : topics) {
+    FillAlternativeMapping(&topic, &rng);
+    EmitTopic(topic, spec.versions_per_topic, &rng, &dataset.repo);
+  }
+
+  // --- noise columns ------------------------------------------------------
+  // state_mailing.state_name: most states + fake region names (noise for
+  // the 'state' key); country_codes.country_name analogous.
+  {
+    Table t = MakeTable("state_mailing", {"state_name", "zip_prefix"});
+    int keep = static_cast<int>(0.86 * states.size());
+    for (size_t idx : rng.SampleWithoutReplacement(states.size(), keep)) {
+      t.AppendRow({Value::String(states[idx]),
+                   Value::String(std::to_string(rng.UniformInt(100, 999)))});
+    }
+    for (const std::string& fake :
+         SyntheticNames("Region of ", 8, rng.Fork(21))) {
+      t.AppendRow({Value::String(fake),
+                   Value::String(std::to_string(rng.UniformInt(100, 999)))});
+    }
+    MustAdd(&dataset.repo, std::move(t));
+  }
+  {
+    Table t = MakeTable("country_codes", {"country_name", "iso_code"});
+    int keep = static_cast<int>(0.85 * countries.size());
+    for (size_t idx : rng.SampleWithoutReplacement(countries.size(), keep)) {
+      t.AppendRow({Value::String(countries[idx]),
+                   Value::String(IataCodes(1, rng.Fork(idx + 500))[0])});
+    }
+    for (const std::string& fake :
+         SyntheticNames("Territory of ", 8, rng.Fork(22))) {
+      t.AppendRow({Value::String(fake), Value::String("ZZZ")});
+    }
+    MustAdd(&dataset.repo, std::move(t));
+  }
+
+  // --- filler tables --------------------------------------------------------
+  // A third of the filler tables carry a couple of *coincidental* matches
+  // (a state or country string inside an unrelated column, like the person
+  // name "Virginia"). Select-All retrieves these columns on any example
+  // hit; Column-Selection's clustering discards them (low similarity to
+  // the true domain) — the mechanism behind the Fig. 5/6 gap.
+  const auto& nouns = GenericNouns();
+  const auto& cities = UsCities();
+  for (int f = 0; f < spec.num_filler_tables; ++f) {
+    std::string noun = nouns[rng.SkewedIndex(nouns.size())];
+    Table t = MakeTable("web_" + noun + "_" + std::to_string(f),
+                        {noun + "_name", "city", "count"});
+    int rows = static_cast<int>(rng.UniformInt(8, 40));
+    std::vector<std::string> names =
+        SyntheticNames(noun + "-", rows, rng.Fork(0x1000 + f));
+    bool coincidental = (f % 3 == 0);
+    for (int r = 0; r < rows; ++r) {
+      std::string name = names[r];
+      std::string city = cities[rng.SkewedIndex(cities.size())];
+      if (coincidental && r < 2) {
+        // Two stray domain values in unrelated columns.
+        name = states[rng.SkewedIndex(states.size())];
+        city = countries[rng.SkewedIndex(countries.size())];
+      }
+      t.AppendRow({Value::String(name), Value::String(city),
+                   Value::Int(rng.UniformInt(1, 5000))});
+    }
+    MustAdd(&dataset.repo, std::move(t));
+  }
+
+  // --- ground-truth queries (one per user-study task) ----------------------
+  auto topic_query = [&](const std::string& name, const Topic& t,
+                         const std::string& noise_table,
+                         const std::string& noise_attr) {
+    return GroundTruthQuery{
+        name,
+        {t.table_prefix + "_master", t.table_prefix + "_master"},
+        {t.key_attr, t.value_attr},
+        {},
+        {noise_table, ""},
+        {noise_attr, ""}};
+  };
+  dataset.queries = {
+      topic_query("Q1", topics[0], "state_mailing", "state_name"),
+      topic_query("Q2", topics[1], "state_mailing", "state_name"),
+      topic_query("Q3", topics[2], "state_mailing", "state_name"),
+      topic_query("Q4", topics[3], "country_codes", "country_name"),
+      topic_query("Q5", topics[4], "country_codes", "country_name"),
+  };
+  return dataset;
+}
+
+}  // namespace ver

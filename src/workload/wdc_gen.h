@@ -1,0 +1,35 @@
+// WDC-like web table generator.
+//
+// Models the paper's WDC slice: thousands of tiny topic tables crawled from
+// the web, many versions of the same fact table with
+//   - exact duplicates (compatible),
+//   - nested coverage through shared join keys (contained; the paper's WDC
+//     Q2 insight),
+//   - partially overlapping coverage (complementary unions; C3 insight),
+//   - conflicting fact versions (highly discriminative contradictions; the
+//     paper's WDC Q3 / Fig. 2 insight),
+// plus unrelated filler tables. The five topics mirror the user-study tasks
+// of Table II (airports/IATA, churches, newspapers, population, birth rate).
+
+#ifndef VER_WORKLOAD_WDC_GEN_H_
+#define VER_WORKLOAD_WDC_GEN_H_
+
+#include "workload/ground_truth.h"
+
+namespace ver {
+
+struct WdcSpec {
+  /// Versions of each topic's fact table.
+  int versions_per_topic = 10;
+  /// Unrelated small tables.
+  int num_filler_tables = 60;
+  uint64_t seed = 0x3dc;
+};
+
+/// Builds the repository and its 5 ground-truth queries (Q1..Q5, one per
+/// user-study topic).
+GeneratedDataset GenerateWdcLike(const WdcSpec& spec);
+
+}  // namespace ver
+
+#endif  // VER_WORKLOAD_WDC_GEN_H_

@@ -1,0 +1,158 @@
+// FastTopK baseline and view-specification variant tests.
+
+#include <gtest/gtest.h>
+
+#include "baselines/fast_topk.h"
+#include "core/view_specification.h"
+#include "discovery/engine.h"
+
+namespace ver {
+namespace {
+
+Schema MakeSchema(std::vector<std::string> names) {
+  Schema s;
+  for (std::string& n : names) {
+    s.AddAttribute(Attribute{std::move(n), ValueType::kString});
+  }
+  return s;
+}
+
+View MakeView(int64_t id, std::vector<std::string> attrs,
+              std::vector<std::vector<std::string>> rows) {
+  View v;
+  v.id = id;
+  v.table = Table("view_" + std::to_string(id), MakeSchema(std::move(attrs)));
+  for (auto& row : rows) {
+    std::vector<Value> values;
+    for (auto& cell : row) values.push_back(Value::Parse(cell));
+    EXPECT_TRUE(v.table.AppendRow(std::move(values)).ok());
+  }
+  return v;
+}
+
+TEST(FastTopKTest, RanksByOverlap) {
+  std::vector<View> views;
+  views.push_back(MakeView(0, {"c"}, {{"china"}}));                 // 1 hit
+  views.push_back(MakeView(1, {"c"}, {{"china"}, {"japan"}}));      // 2 hits
+  views.push_back(MakeView(2, {"c"}, {{"peru"}}));                  // 0 hits
+  ExampleQuery query = ExampleQuery::FromColumns({{"china", "japan"}});
+  std::vector<OverlapRankedView> ranked = RankViewsByOverlap(views, query);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].view_index, 1);
+  EXPECT_EQ(ranked[0].overlap, 2);
+  EXPECT_DOUBLE_EQ(ranked[0].score, 1.0);
+  EXPECT_EQ(ranked[2].view_index, 2);
+  EXPECT_EQ(ranked[2].overlap, 0);
+}
+
+TEST(FastTopKTest, TiesPreferSmallerViews) {
+  std::vector<View> views;
+  views.push_back(MakeView(0, {"c"}, {{"china"}, {"x"}, {"y"}, {"z"}}));
+  views.push_back(MakeView(1, {"c"}, {{"china"}}));
+  ExampleQuery query = ExampleQuery::FromColumns({{"china"}});
+  std::vector<OverlapRankedView> ranked = RankViewsByOverlap(views, query);
+  EXPECT_EQ(ranked[0].view_index, 1);  // same overlap, fewer rows
+}
+
+TEST(FastTopKTest, OverlapIsCaseInsensitive) {
+  std::vector<View> views;
+  views.push_back(MakeView(0, {"c"}, {{"China"}}));
+  ExampleQuery query = ExampleQuery::FromColumns({{"  china "}});
+  EXPECT_EQ(ViewOverlap(views[0], query), 1);
+}
+
+TEST(FastTopKTest, CountsAcrossAllQueryColumns) {
+  std::vector<View> views;
+  views.push_back(MakeView(0, {"a", "b"}, {{"china", "1400"}}));
+  ExampleQuery query =
+      ExampleQuery::FromColumns({{"china"}, {"1400", "9999"}});
+  EXPECT_EQ(ViewOverlap(views[0], query), 2);
+}
+
+TEST(FastTopKTest, EmptyInputs) {
+  EXPECT_TRUE(RankViewsByOverlap({}, ExampleQuery()).empty());
+  std::vector<View> views;
+  views.push_back(MakeView(0, {"a"}, {{"x"}}));
+  std::vector<OverlapRankedView> ranked =
+      RankViewsByOverlap(views, ExampleQuery());
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_DOUBLE_EQ(ranked[0].score, 0.0);
+}
+
+// ------------------------- view specification ---------------------------
+
+TableRepository MakeSpecRepo() {
+  TableRepository repo;
+  Table t1("news", MakeSchema({"city", "newspaper"}));
+  EXPECT_TRUE(
+      t1.AppendRow({Value::String("boston"), Value::String("the globe")})
+          .ok());
+  EXPECT_TRUE(
+      t1.AppendRow({Value::String("chicago"), Value::String("the trib")})
+          .ok());
+  EXPECT_TRUE(repo.AddTable(std::move(t1)).ok());
+  Table t2("people", MakeSchema({"name", "city"}));
+  EXPECT_TRUE(
+      t2.AppendRow({Value::String("ann"), Value::String("boston")}).ok());
+  EXPECT_TRUE(repo.AddTable(std::move(t2)).ok());
+  return repo;
+}
+
+TEST(ViewSpecificationTest, KeywordSpecFindsValueColumns) {
+  TableRepository repo = MakeSpecRepo();
+  auto engine = DiscoveryEngine::Build(repo);
+  std::vector<ColumnSelectionResult> spec =
+      SpecifyByKeywords(*engine, {"boston"});
+  ASSERT_EQ(spec.size(), 1u);
+  // boston appears in news.city and people.city.
+  EXPECT_EQ(spec[0].candidates.size(), 2u);
+}
+
+TEST(ViewSpecificationTest, KeywordSpecUsesFuzzyFallback) {
+  TableRepository repo = MakeSpecRepo();
+  auto engine = DiscoveryEngine::Build(repo);
+  std::vector<ColumnSelectionResult> spec =
+      SpecifyByKeywords(*engine, {"bostan"});
+  ASSERT_EQ(spec.size(), 1u);
+  EXPECT_EQ(spec[0].candidates.size(), 2u);
+}
+
+TEST(ViewSpecificationTest, AttributeSpecMatchesHeaders) {
+  TableRepository repo = MakeSpecRepo();
+  auto engine = DiscoveryEngine::Build(repo);
+  std::vector<ColumnSelectionResult> spec =
+      SpecifyByAttributes(*engine, {"city", "newspaper"});
+  ASSERT_EQ(spec.size(), 2u);
+  EXPECT_EQ(spec[0].candidates.size(), 2u);  // two 'city' columns
+  EXPECT_EQ(spec[1].candidates.size(), 1u);
+}
+
+TEST(ViewSpecificationTest, AttributeSpecFuzzyFallback) {
+  TableRepository repo = MakeSpecRepo();
+  auto engine = DiscoveryEngine::Build(repo);
+  std::vector<ColumnSelectionResult> spec =
+      SpecifyByAttributes(*engine, {"citty"});
+  ASSERT_EQ(spec.size(), 1u);
+  EXPECT_EQ(spec[0].candidates.size(), 2u);
+}
+
+TEST(ViewSpecificationTest, QbeDelegatesToColumnSelection) {
+  TableRepository repo = MakeSpecRepo();
+  auto engine = DiscoveryEngine::Build(repo);
+  ExampleQuery query = ExampleQuery::FromColumns({{"boston", "chicago"}});
+  std::vector<ColumnSelectionResult> spec =
+      SpecifyByExample(*engine, query, ColumnSelectionOptions());
+  ASSERT_EQ(spec.size(), 1u);
+  EXPECT_FALSE(spec[0].candidates.empty());
+}
+
+TEST(ViewSpecificationTest, KindNames) {
+  EXPECT_STREQ(SpecificationKindToString(SpecificationKind::kQbe), "QBE");
+  EXPECT_STREQ(SpecificationKindToString(SpecificationKind::kKeyword),
+               "keyword");
+  EXPECT_STREQ(SpecificationKindToString(SpecificationKind::kAttribute),
+               "attribute");
+}
+
+}  // namespace
+}  // namespace ver

@@ -1,0 +1,208 @@
+// COLUMN-SELECTION (Algorithm 4) tests and baseline comparisons:
+// Select-All / Select-Best / Column-Selection behaviour under noise.
+
+#include <gtest/gtest.h>
+
+#include "core/column_selection.h"
+
+namespace ver {
+namespace {
+
+// Repository engineered for noise experiments:
+//   gt(city, metric)          — ground-truth column "city" (8 cities)
+//   noisy(place, junk)        — 7 of the 8 cities + 2 extras (the noise
+//                               column; containment 7/9 toward gt, J ~ 0.7)
+//   unrelated(color)          — disjoint values
+TableRepository MakeRepo() {
+  TableRepository repo;
+  std::vector<std::string> cities = {"boston",  "chicago", "denver",
+                                     "austin",  "seattle", "miami",
+                                     "detroit", "phoenix"};
+  auto add = [&repo](const std::string& name,
+                     const std::vector<std::string>& attrs,
+                     const std::vector<std::vector<std::string>>& rows) {
+    Schema schema;
+    for (const auto& a : attrs) {
+      schema.AddAttribute(Attribute{a, ValueType::kString});
+    }
+    Table t(name, schema);
+    for (const auto& row : rows) {
+      std::vector<Value> values;
+      for (const auto& cell : row) values.push_back(Value::Parse(cell));
+      EXPECT_TRUE(t.AppendRow(std::move(values)).ok());
+    }
+    t.InferColumnTypes();
+    EXPECT_TRUE(repo.AddTable(std::move(t)).ok());
+  };
+
+  std::vector<std::vector<std::string>> gt_rows;
+  for (size_t i = 0; i < cities.size(); ++i) {
+    gt_rows.push_back({cities[i], std::to_string(100 + i)});
+  }
+  add("gt", {"city", "metric"}, gt_rows);
+
+  std::vector<std::vector<std::string>> noisy_rows;
+  for (size_t i = 0; i < 7; ++i) noisy_rows.push_back({cities[i], "x"});
+  noisy_rows.push_back({"springfield", "x"});
+  noisy_rows.push_back({"gotham", "x"});
+  add("noisy", {"place", "junk"}, noisy_rows);
+
+  add("unrelated", {"color"},
+      {{"red"}, {"green"}, {"blue"}, {"cyan"}, {"mauve"}});
+  return repo;
+}
+
+class ColumnSelectionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    repo_ = new TableRepository(MakeRepo());
+    engine_ = DiscoveryEngine::Build(*repo_).release();
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete repo_;
+  }
+  static ColumnRef Col(const std::string& table, const std::string& attr) {
+    int32_t t = repo_->FindTable(table).value();
+    return ColumnRef{t, repo_->table(t).schema().IndexOf(attr)};
+  }
+  static bool HasColumn(const ColumnSelectionResult& result,
+                        const ColumnRef& ref) {
+    for (const ScoredColumn& c : result.candidates) {
+      if (c.ref == ref) return true;
+    }
+    return false;
+  }
+  static TableRepository* repo_;
+  static DiscoveryEngine* engine_;
+};
+
+TableRepository* ColumnSelectionTest::repo_ = nullptr;
+DiscoveryEngine* ColumnSelectionTest::engine_ = nullptr;
+
+TEST_F(ColumnSelectionTest, CleanExamplesSelectGroundTruthCluster) {
+  ColumnSelectionOptions options;
+  ColumnSelectionResult result =
+      SelectColumns(*engine_, {"boston", "chicago", "denver"}, options);
+  EXPECT_TRUE(HasColumn(result, Col("gt", "city")));
+  // The noisy column clusters together with gt.city (high similarity), so
+  // the top cluster may contain both — but "unrelated.color" never appears.
+  EXPECT_FALSE(HasColumn(result, Col("unrelated", "color")));
+  EXPECT_EQ(result.selected_clusters[0].score, 3);
+}
+
+TEST_F(ColumnSelectionTest, NoisyExamplesStillCoverGroundTruth) {
+  // 2 ground-truth values + 1 noise-only value ("springfield").
+  ColumnSelectionOptions options;
+  ColumnSelectionResult result =
+      SelectColumns(*engine_, {"boston", "chicago", "springfield"}, options);
+  EXPECT_TRUE(HasColumn(result, Col("gt", "city")))
+      << "clustering must keep the ground-truth column despite noise";
+}
+
+TEST_F(ColumnSelectionTest, SelectBestCrumblesUnderNoise) {
+  // noisy.place contains all three examples, gt.city only two: SELECT-BEST
+  // picks the wrong column (the Table V mechanism).
+  ColumnSelectionOptions options;
+  options.strategy = SelectionStrategy::kSelectBest;
+  ColumnSelectionResult result =
+      SelectColumns(*engine_, {"boston", "chicago", "springfield"}, options);
+  EXPECT_TRUE(HasColumn(result, Col("noisy", "place")));
+  EXPECT_FALSE(HasColumn(result, Col("gt", "city")));
+}
+
+TEST_F(ColumnSelectionTest, SelectBestFineWithoutNoise) {
+  ColumnSelectionOptions options;
+  options.strategy = SelectionStrategy::kSelectBest;
+  ColumnSelectionResult result =
+      SelectColumns(*engine_, {"boston", "chicago", "phoenix"}, options);
+  // phoenix is NOT in noisy.place, so gt.city uniquely holds all three.
+  ASSERT_EQ(result.candidates.size(), 1u);
+  EXPECT_TRUE(HasColumn(result, Col("gt", "city")));
+}
+
+TEST_F(ColumnSelectionTest, SelectAllReturnsEverythingWithAHit) {
+  ColumnSelectionOptions options;
+  options.strategy = SelectionStrategy::kSelectAll;
+  ColumnSelectionResult result =
+      SelectColumns(*engine_, {"boston", "red"}, options);
+  EXPECT_TRUE(HasColumn(result, Col("gt", "city")));
+  EXPECT_TRUE(HasColumn(result, Col("noisy", "place")));
+  EXPECT_TRUE(HasColumn(result, Col("unrelated", "color")));
+}
+
+TEST_F(ColumnSelectionTest, SelectAllIsSuperSetOfColumnSelection) {
+  ColumnSelectionOptions cs;
+  ColumnSelectionOptions sa;
+  sa.strategy = SelectionStrategy::kSelectAll;
+  std::vector<std::string> examples = {"boston", "chicago", "springfield"};
+  ColumnSelectionResult cs_result = SelectColumns(*engine_, examples, cs);
+  ColumnSelectionResult sa_result = SelectColumns(*engine_, examples, sa);
+  EXPECT_GE(sa_result.candidates.size(), cs_result.candidates.size());
+}
+
+TEST_F(ColumnSelectionTest, ThetaInfinityKeepsAllClusters) {
+  ColumnSelectionOptions narrow;
+  narrow.theta = 1;
+  ColumnSelectionOptions wide;
+  wide.theta = 1000000;
+  // "red" hits only unrelated.color (score 1); city examples score higher.
+  std::vector<std::string> examples = {"boston", "chicago", "red"};
+  ColumnSelectionResult top = SelectColumns(*engine_, examples, narrow);
+  ColumnSelectionResult all = SelectColumns(*engine_, examples, wide);
+  EXPECT_FALSE(HasColumn(top, Col("unrelated", "color")));
+  EXPECT_TRUE(HasColumn(all, Col("unrelated", "color")));
+}
+
+TEST_F(ColumnSelectionTest, FuzzyFallbackRecoversTypos) {
+  ColumnSelectionOptions options;
+  options.fuzzy_fallback = true;
+  ColumnSelectionResult with_fuzzy =
+      SelectColumns(*engine_, {"bostan", "chicago"}, options);
+  EXPECT_TRUE(HasColumn(with_fuzzy, Col("gt", "city")));
+  EXPECT_EQ(with_fuzzy.selected_clusters[0].score, 2);
+
+  options.fuzzy_fallback = false;
+  ColumnSelectionResult without =
+      SelectColumns(*engine_, {"bostan", "chicago"}, options);
+  EXPECT_EQ(without.selected_clusters.empty() ? 0
+                                              : without.selected_clusters[0]
+                                                    .score,
+            1);
+}
+
+TEST_F(ColumnSelectionTest, EmptyExamplesGiveNoCandidates) {
+  ColumnSelectionOptions options;
+  ColumnSelectionResult result = SelectColumns(*engine_, {}, options);
+  EXPECT_TRUE(result.candidates.empty());
+}
+
+TEST_F(ColumnSelectionTest, UnknownValuesGiveNoCandidates) {
+  ColumnSelectionOptions options;
+  options.fuzzy_fallback = false;
+  ColumnSelectionResult result =
+      SelectColumns(*engine_, {"zzzzqqqq"}, options);
+  EXPECT_TRUE(result.candidates.empty());
+}
+
+TEST_F(ColumnSelectionTest, PerQuerySelection) {
+  ExampleQuery query = ExampleQuery::FromColumns(
+      {{"boston", "chicago"}, {"101", "102"}});
+  std::vector<ColumnSelectionResult> results =
+      SelectColumnsForQuery(*engine_, query, ColumnSelectionOptions());
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(HasColumn(results[0], Col("gt", "city")));
+  EXPECT_TRUE(HasColumn(results[1], Col("gt", "metric")));
+}
+
+TEST(SelectionStrategyTest, Names) {
+  EXPECT_STREQ(SelectionStrategyToString(SelectionStrategy::kColumnSelection),
+               "Column-Selection");
+  EXPECT_STREQ(SelectionStrategyToString(SelectionStrategy::kSelectAll),
+               "Select-All");
+  EXPECT_STREQ(SelectionStrategyToString(SelectionStrategy::kSelectBest),
+               "Select-Best");
+}
+
+}  // namespace
+}  // namespace ver

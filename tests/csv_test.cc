@@ -1,0 +1,157 @@
+// CSV reader/writer tests: quoting, headers, type inference, round trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "table/csv.h"
+
+namespace ver {
+namespace {
+
+TEST(CsvReadTest, BasicWithHeader) {
+  Result<Table> r = ReadCsvString("city,pop\nBoston,650000\nChicago,2700000\n",
+                                  "cities");
+  ASSERT_TRUE(r.ok());
+  const Table& t = r.value();
+  EXPECT_EQ(t.name(), "cities");
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.schema().attribute(0).name, "city");
+  EXPECT_EQ(t.at(0, 1).AsInt(), 650000);
+  EXPECT_EQ(t.schema().attribute(1).type, ValueType::kInt);
+}
+
+TEST(CsvReadTest, NoHeaderGivesUnnamedColumns) {
+  CsvOptions options;
+  options.has_header = false;
+  Result<Table> r = ReadCsvString("a,1\nb,2\n", "t", options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2);
+  EXPECT_FALSE(r->schema().attribute(0).has_name());
+}
+
+TEST(CsvReadTest, QuotedFieldsWithDelimitersAndQuotes) {
+  Result<Table> r = ReadCsvString(
+      "name,quote\n\"Smith, John\",\"said \"\"hi\"\"\"\n", "q");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->at(0, 0).AsString(), "Smith, John");
+  EXPECT_EQ(r->at(0, 1).AsString(), "said \"hi\"");
+}
+
+TEST(CsvReadTest, QuotedNewlines) {
+  Result<Table> r = ReadCsvString("a,b\n\"line1\nline2\",x\n", "t");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 1);
+  EXPECT_EQ(r->at(0, 0).AsString(), "line1\nline2");
+}
+
+TEST(CsvReadTest, CrLfLineEndings) {
+  Result<Table> r = ReadCsvString("a,b\r\n1,2\r\n3,4\r\n", "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2);
+  EXPECT_EQ(r->at(1, 1).AsInt(), 4);
+}
+
+TEST(CsvReadTest, EmptyCellsAreNull) {
+  Result<Table> r = ReadCsvString("a,b\n1,\n,2\n", "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->at(0, 1).is_null());
+  EXPECT_TRUE(r->at(1, 0).is_null());
+}
+
+TEST(CsvReadTest, ShortRecordsPad) {
+  Result<Table> r = ReadCsvString("a,b,c\n1,2\n", "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->at(0, 2).is_null());
+}
+
+TEST(CsvReadTest, OverlongRecordFails) {
+  Result<Table> r = ReadCsvString("a\n1,2\n", "t");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(CsvReadTest, EmptyInput) {
+  Result<Table> r = ReadCsvString("", "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 0);
+}
+
+TEST(CsvReadTest, HeaderOnly) {
+  Result<Table> r = ReadCsvString("a,b\n", "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 0);
+  EXPECT_EQ(r->num_columns(), 2);
+}
+
+TEST(CsvWriteTest, QuotesOnlyWhenNeeded) {
+  Schema schema;
+  schema.AddAttribute(Attribute{"text", ValueType::kString});
+  Table t("t", schema);
+  t.AppendRow({Value::String("plain")});
+  t.AppendRow({Value::String("has,comma")});
+  t.AppendRow({Value::String("has\"quote")});
+  std::string csv = WriteCsvString(t);
+  EXPECT_NE(csv.find("plain\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(CsvRoundTripTest, ValuesSurvive) {
+  Schema schema;
+  schema.AddAttribute(Attribute{"s", ValueType::kString});
+  schema.AddAttribute(Attribute{"i", ValueType::kInt});
+  schema.AddAttribute(Attribute{"d", ValueType::kDouble});
+  Table t("round", schema);
+  t.AppendRow({Value::String("x,y"), Value::Int(-5), Value::Double(2.25)});
+  t.AppendRow({Value::Null(), Value::Int(0), Value::Double(1e6)});
+
+  Result<Table> back = ReadCsvString(WriteCsvString(t), "round");
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->num_rows(), t.num_rows());
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    for (int c = 0; c < t.num_columns(); ++c) {
+      EXPECT_EQ(t.at(r, c), back->at(r, c)) << "r=" << r << " c=" << c;
+    }
+  }
+}
+
+TEST(CsvFileTest, WriteAndReadBack) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "ver_csv_test";
+  fs::create_directories(dir);
+  fs::path file = dir / "roundtrip.csv";
+
+  Schema schema;
+  schema.AddAttribute(Attribute{"k", ValueType::kInt});
+  Table t("roundtrip", schema);
+  t.AppendRow({Value::Int(1)});
+  ASSERT_TRUE(WriteCsvFile(t, file.string()).ok());
+
+  Result<Table> back = ReadCsvFile(file.string());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->name(), "roundtrip");  // named after the file stem
+  EXPECT_EQ(back->num_rows(), 1);
+  fs::remove_all(dir);
+}
+
+TEST(CsvFileTest, MissingFileIsIOError) {
+  Result<Table> r = ReadCsvFile("/nonexistent/path/x.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  CsvOptions options;
+  options.delimiter = ';';
+  Result<Table> r = ReadCsvString("a;b\n1;2\n", "t", options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_columns(), 2);
+  EXPECT_EQ(r->at(0, 1).AsInt(), 2);
+  std::string out = WriteCsvString(r.value(), options);
+  EXPECT_NE(out.find("a;b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ver

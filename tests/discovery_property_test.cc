@@ -1,0 +1,173 @@
+// Property tests validating the discovery index against brute-force
+// references on randomized repositories: containment neighbors vs exact
+// pairwise computation, keyword search vs linear scan, join-graph
+// connectivity vs reachability.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "discovery/engine.h"
+#include "table/column_stats.h"
+#include "util/minhash.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace ver {
+namespace {
+
+// Random repository over a small shared vocabulary so containment
+// relationships actually occur.
+TableRepository RandomRepo(uint64_t seed, int num_tables) {
+  Rng rng(seed);
+  TableRepository repo;
+  for (int t = 0; t < num_tables; ++t) {
+    Schema schema;
+    int cols = static_cast<int>(rng.UniformInt(1, 3));
+    for (int c = 0; c < cols; ++c) {
+      schema.AddAttribute(Attribute{
+          "col" + std::to_string(c) + "_" + std::to_string(t),
+          ValueType::kString});
+    }
+    Table table("t" + std::to_string(t), schema);
+    int rows = static_cast<int>(rng.UniformInt(3, 25));
+    for (int r = 0; r < rows; ++r) {
+      std::vector<Value> row;
+      for (int c = 0; c < cols; ++c) {
+        row.push_back(
+            Value::String("w" + std::to_string(rng.UniformInt(0, 30))));
+      }
+      (void)table.AppendRow(std::move(row));
+    }
+    table.InferColumnTypes();
+    (void)repo.AddTable(std::move(table));
+  }
+  return repo;
+}
+
+class DiscoveryPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiscoveryPropertyTest, NeighborsMatchBruteForceContainment) {
+  TableRepository repo = RandomRepo(GetParam(), 8);
+  auto engine = DiscoveryEngine::Build(repo);
+  const double threshold = 0.8;
+
+  // Brute force: exact containment between all column pairs.
+  std::vector<ColumnRef> columns = repo.AllColumns();
+  std::unordered_map<uint64_t, std::vector<uint64_t>> distinct;
+  for (const ColumnRef& c : columns) {
+    distinct[c.Encode()] = DistinctValueHashes(
+        repo.table(c.table_id), c.column_index);
+  }
+  for (const ColumnRef& query : columns) {
+    if (distinct[query.Encode()].size() < 2) continue;  // below min_distinct
+    std::set<uint64_t> expected;
+    for (const ColumnRef& other : columns) {
+      if (other == query) continue;
+      if (distinct[other.Encode()].size() < 2) continue;
+      if (ExactContainment(distinct[query.Encode()],
+                           distinct[other.Encode()]) >= threshold) {
+        expected.insert(other.Encode());
+      }
+    }
+    std::set<uint64_t> actual;
+    for (const ColumnRef& n : engine->Neighbors(query, threshold)) {
+      actual.insert(n.Encode());
+    }
+    EXPECT_EQ(actual, expected)
+        << "neighbors mismatch for " << repo.ColumnDisplayName(query);
+  }
+}
+
+TEST_P(DiscoveryPropertyTest, KeywordSearchMatchesLinearScan) {
+  TableRepository repo = RandomRepo(GetParam() + 100, 6);
+  auto engine = DiscoveryEngine::Build(repo);
+  for (int w = 0; w < 31; w += 5) {
+    std::string needle = "w" + std::to_string(w);
+    std::set<uint64_t> expected;
+    for (const ColumnRef& c : repo.AllColumns()) {
+      for (const Value& v : repo.column_values(c)) {
+        if (!v.is_null() && ToLower(v.ToText()) == needle) {
+          expected.insert(c.Encode());
+          break;
+        }
+      }
+    }
+    std::set<uint64_t> actual;
+    for (const KeywordHit& h :
+         engine->SearchKeyword(needle, KeywordTarget::kValues)) {
+      actual.insert(h.column.Encode());
+    }
+    EXPECT_EQ(actual, expected) << needle;
+  }
+}
+
+TEST_P(DiscoveryPropertyTest, JoinGraphsConnectAllRequestedTables) {
+  TableRepository repo = RandomRepo(GetParam() + 200, 8);
+  auto engine = DiscoveryEngine::Build(repo);
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 5; ++trial) {
+    int32_t a = static_cast<int32_t>(rng.UniformInt(0, repo.num_tables() - 1));
+    int32_t b = static_cast<int32_t>(rng.UniformInt(0, repo.num_tables() - 1));
+    std::vector<JoinGraph> graphs = engine->GenerateJoinGraphs({a, b}, 2);
+    for (const JoinGraph& g : graphs) {
+      // Both requested tables appear.
+      EXPECT_TRUE(std::find(g.tables.begin(), g.tables.end(), a) !=
+                  g.tables.end());
+      EXPECT_TRUE(std::find(g.tables.begin(), g.tables.end(), b) !=
+                  g.tables.end());
+      if (a == b) continue;
+      // Edge set forms a connected graph over g.tables.
+      std::unordered_map<int32_t, std::vector<int32_t>> adj;
+      for (const JoinEdge& e : g.edges) {
+        adj[e.left.table_id].push_back(e.right.table_id);
+        adj[e.right.table_id].push_back(e.left.table_id);
+      }
+      std::unordered_set<int32_t> seen{g.tables.front()};
+      std::vector<int32_t> stack{g.tables.front()};
+      while (!stack.empty()) {
+        int32_t cur = stack.back();
+        stack.pop_back();
+        for (int32_t next : adj[cur]) {
+          if (seen.insert(next).second) stack.push_back(next);
+        }
+      }
+      for (int32_t t : g.tables) {
+        EXPECT_TRUE(seen.count(t))
+            << "table " << t << " disconnected in " << g.ToString(repo);
+      }
+      // Hop limit respected per requested pair (spanning-chain bound).
+      EXPECT_LE(g.num_hops(), 2 * 2);
+    }
+  }
+}
+
+TEST_P(DiscoveryPropertyTest, SketchEstimatesTrackExactScores) {
+  TableRepository repo = RandomRepo(GetParam() + 300, 6);
+  DiscoveryOptions sketch_only;
+  sketch_only.profiler.exact_set_max = 0;
+  sketch_only.profiler.minhash_permutations = 256;
+  auto engine = DiscoveryEngine::Build(repo, sketch_only);
+  std::vector<ColumnRef> columns = repo.AllColumns();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    for (size_t j = i + 1; j < columns.size(); ++j) {
+      const ColumnProfile& a = engine->profile(columns[i]);
+      const ColumnProfile& b = engine->profile(columns[j]);
+      double est = ProfileJaccard(a, b);
+      double exact = ExactJaccard(
+          DistinctValueHashes(repo.table(columns[i].table_id),
+                              columns[i].column_index),
+          DistinctValueHashes(repo.table(columns[j].table_id),
+                              columns[j].column_index));
+      EXPECT_NEAR(est, exact, 0.25);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiscoveryPropertyTest,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace ver

@@ -1,0 +1,382 @@
+// VIEW-DISTILLATION (Algorithm 3) tests: 4C classification on constructed
+// view sets, distillation strategy, complementary reduction, contradiction
+// pruning curves, and invariant property sweeps.
+
+#include <gtest/gtest.h>
+
+#include "core/distillation.h"
+#include "util/rng.h"
+
+namespace ver {
+namespace {
+
+Schema MakeSchema(std::vector<std::string> names) {
+  Schema s;
+  for (std::string& n : names) {
+    s.AddAttribute(Attribute{std::move(n), ValueType::kString});
+  }
+  return s;
+}
+
+View MakeView(int64_t id, std::vector<std::string> attrs,
+              std::vector<std::vector<std::string>> rows) {
+  View v;
+  v.id = id;
+  v.table = Table("view_" + std::to_string(id), MakeSchema(std::move(attrs)));
+  for (auto& row : rows) {
+    std::vector<Value> values;
+    for (auto& cell : row) values.push_back(Value::Parse(cell));
+    EXPECT_TRUE(v.table.AppendRow(std::move(values)).ok());
+  }
+  return v;
+}
+
+// ------------------------------ compatible ------------------------------
+
+TEST(DistillationTest, IdenticalViewsAreCompatible) {
+  std::vector<View> views;
+  views.push_back(MakeView(0, {"k", "v"}, {{"a", "1"}, {"b", "2"}}));
+  views.push_back(MakeView(1, {"k", "v"}, {{"b", "2"}, {"a", "1"}}));  // perm
+  DistillationResult r = DistillViews(views, DistillationOptions());
+  EXPECT_EQ(r.num_compatible_pairs, 1);
+  EXPECT_EQ(r.surviving.size(), 1u);
+  EXPECT_EQ(r.count_after_compatible, 1);
+  EXPECT_EQ(r.representative.at(1), 0);
+}
+
+TEST(DistillationTest, ColumnPermutationIsStillCompatible) {
+  std::vector<View> views;
+  views.push_back(MakeView(0, {"k", "v"}, {{"a", "1"}}));
+  views.push_back(MakeView(1, {"v", "k"}, {{"1", "a"}}));  // columns swapped
+  DistillationResult r = DistillViews(views, DistillationOptions());
+  EXPECT_EQ(r.num_compatible_pairs, 1);
+  EXPECT_EQ(r.surviving.size(), 1u);
+}
+
+TEST(DistillationTest, CompatibleTransitivityGroupsAll) {
+  std::vector<View> views;
+  for (int i = 0; i < 4; ++i) {
+    views.push_back(MakeView(i, {"k"}, {{"x"}, {"y"}}));
+  }
+  DistillationResult r = DistillViews(views, DistillationOptions());
+  EXPECT_EQ(r.surviving.size(), 1u);
+  EXPECT_EQ(r.num_compatible_pairs, 3);  // each duplicate counted once
+}
+
+// ------------------------------ contained -------------------------------
+
+TEST(DistillationTest, SubsetIsContainedAndLargestKept) {
+  std::vector<View> views;
+  views.push_back(MakeView(0, {"k", "v"}, {{"a", "1"}}));
+  views.push_back(
+      MakeView(1, {"k", "v"}, {{"a", "1"}, {"b", "2"}, {"c", "3"}}));
+  DistillationResult r = DistillViews(views, DistillationOptions());
+  EXPECT_EQ(r.num_contained_pairs, 1);
+  ASSERT_EQ(r.surviving.size(), 1u);
+  EXPECT_EQ(r.surviving[0], 1);  // the larger view survives
+  EXPECT_EQ(r.representative.at(0), 1);
+  ASSERT_EQ(r.edges.size(), 1u);
+  EXPECT_EQ(r.edges[0].relation, ViewRelation::kContained);
+  EXPECT_EQ(r.edges[0].container, 1);
+}
+
+TEST(DistillationTest, ContainmentChainKeepsOnlyMaximal) {
+  std::vector<View> views;
+  views.push_back(MakeView(0, {"k"}, {{"a"}}));
+  views.push_back(MakeView(0, {"k"}, {{"a"}, {"b"}}));
+  views.push_back(MakeView(2, {"k"}, {{"a"}, {"b"}, {"c"}}));
+  DistillationResult r = DistillViews(views, DistillationOptions());
+  ASSERT_EQ(r.surviving.size(), 1u);
+  EXPECT_EQ(r.surviving[0], 2);
+  EXPECT_EQ(r.count_after_contained, 1);
+}
+
+TEST(DistillationTest, DifferentSchemasNeverCompared) {
+  std::vector<View> views;
+  views.push_back(MakeView(0, {"k", "v"}, {{"a", "1"}}));
+  views.push_back(MakeView(1, {"k", "w"}, {{"a", "1"}}));  // other block
+  DistillationResult r = DistillViews(views, DistillationOptions());
+  EXPECT_EQ(r.num_compatible_pairs, 0);
+  EXPECT_EQ(r.num_contained_pairs, 0);
+  EXPECT_EQ(r.surviving.size(), 2u);
+}
+
+// ---------------------------- complementary -----------------------------
+
+TEST(DistillationTest, OverlappingViewsWithSharedKeyAreComplementary) {
+  std::vector<View> views;
+  views.push_back(
+      MakeView(0, {"k", "v"}, {{"a", "1"}, {"b", "2"}, {"c", "3"}}));
+  views.push_back(
+      MakeView(1, {"k", "v"}, {{"b", "2"}, {"c", "3"}, {"d", "4"}}));
+  DistillationResult r = DistillViews(views, DistillationOptions());
+  EXPECT_EQ(r.num_complementary_pairs, 1);
+  EXPECT_EQ(r.num_contradictory_pairs, 0);
+  EXPECT_EQ(r.surviving.size(), 2u);
+
+  ComplementaryReduction red = ComputeComplementaryReduction(views, r);
+  EXPECT_EQ(red.best_case, 1);  // union them under key k (or v)
+  EXPECT_EQ(red.worst_case, 1);
+}
+
+TEST(DistillationTest, DisjointViewsAreNotComplementary) {
+  std::vector<View> views;
+  views.push_back(MakeView(0, {"k", "v"}, {{"a", "1"}, {"b", "2"}}));
+  views.push_back(MakeView(1, {"k", "v"}, {{"c", "3"}, {"d", "4"}}));
+  DistillationResult r = DistillViews(views, DistillationOptions());
+  EXPECT_EQ(r.num_complementary_pairs, 0);
+}
+
+TEST(DistillationTest, NoCandidateKeyNoUnion) {
+  // Non-unique columns: no approximate keys, so no complementary edges
+  // (the ChEMBL Q5 insight: no valid candidate keys, no unionable views).
+  std::vector<View> views;
+  views.push_back(MakeView(
+      0, {"k", "v"}, {{"a", "1"}, {"a", "2"}, {"b", "1"}, {"b", "3"}}));
+  views.push_back(MakeView(
+      1, {"k", "v"}, {{"a", "1"}, {"b", "1"}, {"c", "2"}, {"c", "9"}}));
+  DistillationOptions options;
+  options.key_uniqueness_threshold = 0.9;
+  DistillationResult r = DistillViews(views, options);
+  EXPECT_EQ(r.num_complementary_pairs, 0);
+  ComplementaryReduction red = ComputeComplementaryReduction(views, r);
+  EXPECT_EQ(red.best_case, 2);
+  EXPECT_EQ(red.worst_case, 2);
+}
+
+// ---------------------------- contradictory -----------------------------
+
+TEST(DistillationTest, SameKeyDifferentRowsContradict) {
+  std::vector<View> views;
+  views.push_back(
+      MakeView(0, {"country", "population"}, {{"china", "1400"},
+                                              {"japan", "125"}}));
+  views.push_back(
+      MakeView(1, {"country", "population"}, {{"china", "1398"},
+                                              {"japan", "125"}}));
+  DistillationResult r = DistillViews(views, DistillationOptions());
+  EXPECT_EQ(r.num_contradictory_pairs, 1);
+  ASSERT_EQ(r.contradictions.size(), 1u);
+  const Contradiction& c = r.contradictions[0];
+  EXPECT_EQ(c.key, std::vector<std::string>{"country"});
+  EXPECT_EQ(c.key_value_text, "china");
+  EXPECT_EQ(c.groups.size(), 2u);
+  EXPECT_EQ(c.degree_of_discrimination(), 1);
+}
+
+TEST(DistillationTest, ContradictoryOnOneKeyComplementaryOnAnother) {
+  // Views agree under key 'code' (codes differ per row) but contradict on
+  // key 'name' — the paper's note: categories are relative to a key.
+  std::vector<View> views;
+  views.push_back(MakeView(0, {"name", "code"},
+                           {{"alpha", "1"}, {"beta", "2"}}));
+  views.push_back(MakeView(1, {"name", "code"},
+                           {{"alpha", "9"}, {"beta", "2"}}));
+  DistillationResult r = DistillViews(views, DistillationOptions());
+  bool complementary_on_code = false;
+  bool contradictory_on_name = false;
+  for (const ViewEdge& e : r.edges) {
+    if (e.relation == ViewRelation::kComplementary &&
+        e.key == std::vector<std::string>{"code"}) {
+      complementary_on_code = true;
+    }
+    if (e.relation == ViewRelation::kContradictory &&
+        e.key == std::vector<std::string>{"name"}) {
+      contradictory_on_name = true;
+    }
+  }
+  EXPECT_TRUE(contradictory_on_name);
+  EXPECT_TRUE(complementary_on_code);
+}
+
+TEST(DistillationTest, DiscriminativeContradictionGroups) {
+  // Three views agree ("1400"), one disagrees ("9999"): degree = 3.
+  std::vector<View> views;
+  for (int i = 0; i < 3; ++i) {
+    views.push_back(MakeView(i, {"country", "population"},
+                             {{"china", "1400"}, {"cuba", std::to_string(i)}}));
+  }
+  views.push_back(MakeView(3, {"country", "population"},
+                           {{"china", "9999"}, {"peru", "33"}}));
+  DistillationResult r = DistillViews(views, DistillationOptions());
+  ASSERT_GE(r.contradictions.size(), 1u);
+  int max_degree = 0;
+  for (const Contradiction& c : r.contradictions) {
+    max_degree = std::max(max_degree, c.degree_of_discrimination());
+  }
+  EXPECT_EQ(max_degree, 3);
+}
+
+// ------------------------- pruning curve (Fig. 2) ------------------------
+
+TEST(DistillationTest, PruningCurveBestVsWorst) {
+  // Group A: 3 views say china=1400; group B: 1 view says 9999.
+  std::vector<View> views;
+  for (int i = 0; i < 3; ++i) {
+    views.push_back(MakeView(i, {"country", "population"},
+                             {{"china", "1400"}, {"cuba", std::to_string(i)}}));
+  }
+  views.push_back(MakeView(3, {"country", "population"},
+                           {{"china", "9999"}, {"peru", "33"}}));
+  DistillationResult r = DistillViews(views, DistillationOptions());
+  ASSERT_EQ(r.surviving.size(), 4u);
+
+  std::vector<int64_t> best = ContradictionPruningCurve(r, true, 10);
+  std::vector<int64_t> worst = ContradictionPruningCurve(r, false, 10);
+  ASSERT_GE(best.size(), 2u);
+  ASSERT_GE(worst.size(), 2u);
+  EXPECT_EQ(best[0], 4);
+  EXPECT_EQ(worst[0], 4);
+  // Best case: keep the single dissenting view, prune 3. Worst: prune 1.
+  EXPECT_LE(best[1], worst[1]);
+  EXPECT_EQ(best[1], 1);
+  EXPECT_EQ(worst[1], 3);
+}
+
+TEST(DistillationTest, PruningCurveMonotonicallyDecreases) {
+  Rng rng(99);
+  std::vector<View> views;
+  for (int i = 0; i < 10; ++i) {
+    std::vector<std::vector<std::string>> rows;
+    for (int k = 0; k < 6; ++k) {
+      rows.push_back({"key" + std::to_string(k),
+                      std::to_string(rng.UniformInt(0, 2))});
+    }
+    views.push_back(MakeView(i, {"k", "v"}, rows));
+  }
+  DistillationResult r = DistillViews(views, DistillationOptions());
+  for (bool best : {true, false}) {
+    std::vector<int64_t> curve = ContradictionPruningCurve(r, best, 10);
+    for (size_t i = 1; i < curve.size(); ++i) {
+      EXPECT_LE(curve[i], curve[i - 1]);
+      EXPECT_GE(curve[i], 0);
+    }
+  }
+}
+
+TEST(DistillationTest, NoContradictionsFlatCurve) {
+  std::vector<View> views;
+  views.push_back(MakeView(0, {"k", "v"}, {{"a", "1"}}));
+  views.push_back(MakeView(1, {"k", "v"}, {{"b", "2"}}));
+  DistillationResult r = DistillViews(views, DistillationOptions());
+  std::vector<int64_t> curve = ContradictionPruningCurve(r, true, 10);
+  EXPECT_EQ(curve.size(), 1u);  // just the starting count
+  EXPECT_EQ(curve[0], 2);
+}
+
+// ------------------------------ composite keys ---------------------------
+
+TEST(DistillationTest, CompositeKeysFoundWhenEnabled) {
+  // No column alone is unique; the pair (a, b) is.
+  std::vector<View> views;
+  views.push_back(MakeView(0, {"a", "b", "v"},
+                           {{"x", "1", "p"}, {"x", "2", "q"},
+                            {"y", "1", "p"}, {"y", "2", "q"}}));
+  views.push_back(MakeView(1, {"a", "b", "v"},
+                           {{"x", "1", "p"}, {"x", "2", "DIFFERENT"},
+                            {"y", "1", "p"}, {"y", "2", "DIFFERENT"}}));
+  DistillationOptions options;
+  options.composite_keys = true;
+  DistillationResult r = DistillViews(views, options);
+  EXPECT_GT(r.num_contradictory_pairs, 0)
+      << "composite key (a,b) should expose the x/2 disagreement";
+
+  DistillationOptions no_composite;
+  DistillationResult r2 = DistillViews(views, no_composite);
+  EXPECT_EQ(r2.num_contradictory_pairs, 0);
+}
+
+// ------------------------------ bookkeeping ------------------------------
+
+TEST(DistillationTest, TimingPopulated) {
+  std::vector<View> views;
+  views.push_back(MakeView(0, {"k"}, {{"a"}, {"b"}}));
+  views.push_back(MakeView(1, {"k"}, {{"a"}, {"b"}}));
+  DistillationResult r = DistillViews(views, DistillationOptions());
+  EXPECT_GE(r.timing.total_s(), 0.0);
+  EXPECT_GE(r.timing.hash_and_c1_s, 0.0);
+}
+
+TEST(DistillationTest, EmptyInput) {
+  DistillationResult r = DistillViews({}, DistillationOptions());
+  EXPECT_TRUE(r.surviving.empty());
+  EXPECT_TRUE(r.edges.empty());
+  EXPECT_EQ(r.count_after_compatible, 0);
+}
+
+TEST(DistillationTest, SingleView) {
+  std::vector<View> views;
+  views.push_back(MakeView(0, {"k"}, {{"a"}}));
+  DistillationResult r = DistillViews(views, DistillationOptions());
+  EXPECT_EQ(r.surviving.size(), 1u);
+  EXPECT_TRUE(r.edges.empty());
+}
+
+TEST(ViewRelationTest, Names) {
+  EXPECT_STREQ(ViewRelationToString(ViewRelation::kCompatible), "compatible");
+  EXPECT_STREQ(ViewRelationToString(ViewRelation::kContained), "contained");
+  EXPECT_STREQ(ViewRelationToString(ViewRelation::kComplementary),
+               "complementary");
+  EXPECT_STREQ(ViewRelationToString(ViewRelation::kContradictory),
+               "contradictory");
+}
+
+// --------------------- property sweep: 4C invariants ---------------------
+
+class DistillationPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistillationPropertyTest, InvariantsHoldOnRandomViewSets) {
+  Rng rng(GetParam());
+  std::vector<View> views;
+  int n = static_cast<int>(rng.UniformInt(3, 14));
+  for (int i = 0; i < n; ++i) {
+    // Random small views over a tiny domain: every category can occur.
+    std::vector<std::vector<std::string>> rows;
+    int num_rows = static_cast<int>(rng.UniformInt(1, 8));
+    for (int k = 0; k < num_rows; ++k) {
+      rows.push_back({"key" + std::to_string(rng.UniformInt(0, 5)),
+                      std::to_string(rng.UniformInt(0, 3))});
+    }
+    views.push_back(MakeView(i, {"k", "v"}, rows));
+  }
+  DistillationResult r = DistillViews(views, DistillationOptions());
+
+  // Invariant 1: funnel counts are monotone.
+  EXPECT_LE(r.count_after_contained, r.count_after_compatible);
+  EXPECT_LE(r.count_after_compatible, static_cast<int64_t>(views.size()));
+  EXPECT_EQ(static_cast<int64_t>(r.surviving.size()),
+            r.count_after_contained);
+
+  // Invariant 2: every pruned view has a surviving representative chain.
+  for (const auto& [pruned, rep] : r.representative) {
+    EXPECT_NE(pruned, rep);
+    int cursor = rep;
+    int steps = 0;
+    while (r.representative.count(cursor) && steps < n) {
+      cursor = r.representative.at(cursor);
+      ++steps;
+    }
+    EXPECT_TRUE(std::find(r.surviving.begin(), r.surviving.end(), cursor) !=
+                r.surviving.end());
+  }
+
+  // Invariant 3: edges reference valid views and are canonically ordered.
+  for (const ViewEdge& e : r.edges) {
+    EXPECT_GE(e.view_a, 0);
+    EXPECT_LT(e.view_b, n);
+    EXPECT_LT(e.view_a, e.view_b);
+  }
+
+  // Invariant 4: complementary reduction is bounded by the surviving count
+  // and best <= worst.
+  ComplementaryReduction red = ComputeComplementaryReduction(views, r);
+  EXPECT_LE(red.best_case, red.worst_case);
+  EXPECT_LE(red.worst_case, static_cast<int64_t>(r.surviving.size()));
+  EXPECT_GE(red.best_case, r.surviving.empty() ? 0 : 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistillationPropertyTest,
+                         ::testing::Range(1, 26));
+
+}  // namespace
+}  // namespace ver

@@ -1,0 +1,136 @@
+// Online index maintenance: adding a table to an already-built discovery
+// engine must behave exactly like rebuilding from scratch.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "discovery/engine.h"
+
+namespace ver {
+namespace {
+
+Table SharedDomainTable(const std::string& name, int offset, int count) {
+  Schema schema;
+  schema.AddAttribute(Attribute{"k", ValueType::kString});
+  schema.AddAttribute(Attribute{"v_" + name, ValueType::kInt});
+  Table t(name, schema);
+  for (int i = 0; i < count; ++i) {
+    (void)t.AppendRow({Value::String("k" + std::to_string(offset + i)),
+                       Value::Int(i)});
+  }
+  t.InferColumnTypes();
+  return t;
+}
+
+TEST(IncrementalIndexTest, MatchesFromScratchRebuild) {
+  TableRepository repo;
+  ASSERT_TRUE(repo.AddTable(SharedDomainTable("a", 0, 20)).ok());
+  ASSERT_TRUE(repo.AddTable(SharedDomainTable("b", 0, 20)).ok());
+
+  auto engine = DiscoveryEngine::Build(repo);
+  int64_t pairs_before = engine->num_joinable_column_pairs();
+
+  // Grow the repository online: table "c" joins a and b on "k".
+  Result<int32_t> c_id = repo.AddTable(SharedDomainTable("c", 0, 20));
+  ASSERT_TRUE(c_id.ok());
+  ASSERT_TRUE(engine->IndexNewTable(c_id.value()).ok());
+
+  // Reference: an engine built from scratch over the grown repo.
+  auto rebuilt = DiscoveryEngine::Build(repo);
+
+  EXPECT_GT(engine->num_joinable_column_pairs(), pairs_before);
+  EXPECT_EQ(engine->num_joinable_column_pairs(),
+            rebuilt->num_joinable_column_pairs());
+
+  // Keyword search sees the new table's values.
+  std::set<uint64_t> inc_hits, ref_hits;
+  for (const KeywordHit& h :
+       engine->SearchKeyword("k3", KeywordTarget::kValues)) {
+    inc_hits.insert(h.column.Encode());
+  }
+  for (const KeywordHit& h :
+       rebuilt->SearchKeyword("k3", KeywordTarget::kValues)) {
+    ref_hits.insert(h.column.Encode());
+  }
+  EXPECT_EQ(inc_hits, ref_hits);
+  EXPECT_EQ(inc_hits.size(), 3u);
+
+  // Neighbors and join graphs match the rebuild.
+  ColumnRef ck{c_id.value(), 0};
+  std::set<uint64_t> inc_neighbors, ref_neighbors;
+  for (const ColumnRef& n : engine->Neighbors(ck, 0.8)) {
+    inc_neighbors.insert(n.Encode());
+  }
+  for (const ColumnRef& n : rebuilt->Neighbors(ck, 0.8)) {
+    ref_neighbors.insert(n.Encode());
+  }
+  EXPECT_EQ(inc_neighbors, ref_neighbors);
+  EXPECT_EQ(inc_neighbors.size(), 2u);
+
+  std::set<std::string> inc_graphs, ref_graphs;
+  for (const JoinGraph& g : engine->GenerateJoinGraphs({0, c_id.value()}, 2)) {
+    inc_graphs.insert(g.Signature());
+  }
+  for (const JoinGraph& g :
+       rebuilt->GenerateJoinGraphs({0, c_id.value()}, 2)) {
+    ref_graphs.insert(g.Signature());
+  }
+  EXPECT_EQ(inc_graphs, ref_graphs);
+  EXPECT_FALSE(inc_graphs.empty());
+}
+
+TEST(IncrementalIndexTest, FuzzySearchSeesNewVocabulary) {
+  TableRepository repo;
+  ASSERT_TRUE(repo.AddTable(SharedDomainTable("a", 0, 5)).ok());
+  auto engine = DiscoveryEngine::Build(repo);
+
+  Schema schema;
+  schema.AddAttribute(Attribute{"word", ValueType::kString});
+  Table t("words", schema);
+  (void)t.AppendRow({Value::String("zebra")});
+  Result<int32_t> id = repo.AddTable(std::move(t));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine->IndexNewTable(id.value()).ok());
+
+  std::vector<KeywordHit> hits =
+      engine->SearchKeyword("zebrq", KeywordTarget::kValues, /*fuzzy=*/true);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_FALSE(hits[0].exact);
+}
+
+TEST(IncrementalIndexTest, DoubleIndexingRejected) {
+  TableRepository repo;
+  ASSERT_TRUE(repo.AddTable(SharedDomainTable("a", 0, 5)).ok());
+  auto engine = DiscoveryEngine::Build(repo);
+  Status again = engine->IndexNewTable(0);
+  EXPECT_TRUE(again.IsAlreadyExists());
+}
+
+TEST(IncrementalIndexTest, UnknownTableRejected) {
+  TableRepository repo;
+  ASSERT_TRUE(repo.AddTable(SharedDomainTable("a", 0, 5)).ok());
+  auto engine = DiscoveryEngine::Build(repo);
+  EXPECT_TRUE(engine->IndexNewTable(7).IsInvalidArgument());
+  EXPECT_TRUE(engine->IndexNewTable(-1).IsInvalidArgument());
+}
+
+TEST(IncrementalIndexTest, RepeatedGrowthStaysConsistent) {
+  TableRepository repo;
+  ASSERT_TRUE(repo.AddTable(SharedDomainTable("t0", 0, 15)).ok());
+  auto engine = DiscoveryEngine::Build(repo);
+  for (int i = 1; i <= 4; ++i) {
+    Result<int32_t> id =
+        repo.AddTable(SharedDomainTable("t" + std::to_string(i), 0, 15));
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(engine->IndexNewTable(id.value()).ok());
+  }
+  auto rebuilt = DiscoveryEngine::Build(repo);
+  EXPECT_EQ(engine->num_joinable_column_pairs(),
+            rebuilt->num_joinable_column_pairs());
+  // All five key columns are mutual neighbors.
+  EXPECT_EQ(engine->Neighbors(ColumnRef{0, 0}, 0.9).size(), 4u);
+}
+
+}  // namespace
+}  // namespace ver

@@ -1,0 +1,280 @@
+// Materializer tests: hash-join chains validated against a brute-force
+// nested-loop reference, plus projection, distinct, spill and guard rails.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "engine/materializer.h"
+#include "table/csv.h"
+#include "util/rng.h"
+
+namespace ver {
+namespace {
+
+Schema MakeSchema(std::vector<std::string> names) {
+  Schema s;
+  for (std::string& n : names) {
+    s.AddAttribute(Attribute{std::move(n), ValueType::kString});
+  }
+  return s;
+}
+
+// Reference implementation: nested-loop join of two tables on one column
+// pair followed by distinct projection; returns sorted row texts.
+std::multiset<std::string> ReferenceJoin(const Table& left, int lcol,
+                                         const Table& right, int rcol,
+                                         const std::vector<int>& lproj,
+                                         const std::vector<int>& rproj) {
+  std::set<std::string> rows;
+  for (int64_t i = 0; i < left.num_rows(); ++i) {
+    for (int64_t j = 0; j < right.num_rows(); ++j) {
+      const Value& lv = left.at(i, lcol);
+      if (lv.is_null() || !(lv == right.at(j, rcol))) continue;
+      std::string row;
+      for (int c : lproj) row += left.at(i, c).ToText() + "|";
+      for (int c : rproj) row += right.at(j, c).ToText() + "|";
+      rows.insert(row);
+    }
+  }
+  return {rows.begin(), rows.end()};
+}
+
+std::multiset<std::string> ViewRows(const Table& t) {
+  std::multiset<std::string> rows;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    std::string row;
+    for (int c = 0; c < t.num_columns(); ++c) {
+      row += t.at(r, c).ToText() + "|";
+    }
+    rows.insert(row);
+  }
+  return rows;
+}
+
+TEST(MaterializerTest, SingleTableProjection) {
+  TableRepository repo;
+  Table t("t", MakeSchema({"a", "b"}));
+  t.AppendRow({Value::String("x"), Value::String("1")});
+  t.AppendRow({Value::String("x"), Value::String("1")});
+  t.AppendRow({Value::String("y"), Value::String("2")});
+  ASSERT_TRUE(repo.AddTable(std::move(t)).ok());
+
+  JoinGraph graph;
+  graph.tables = {0};
+  Materializer m(&repo);
+  Result<Table> view = m.Materialize(graph, {ColumnRef{0, 0}},
+                                     MaterializeOptions(), "v");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->num_rows(), 2);  // distinct by default
+}
+
+TEST(MaterializerTest, TwoTableHashJoinMatchesReference) {
+  TableRepository repo;
+  Table left("left", MakeSchema({"k", "lval"}));
+  left.AppendRow({Value::String("a"), Value::String("l1")});
+  left.AppendRow({Value::String("b"), Value::String("l2")});
+  left.AppendRow({Value::String("c"), Value::String("l3")});
+  left.AppendRow({Value::String("a"), Value::String("l4")});
+  Table right("right", MakeSchema({"k", "rval"}));
+  right.AppendRow({Value::String("a"), Value::String("r1")});
+  right.AppendRow({Value::String("b"), Value::String("r2")});
+  right.AppendRow({Value::String("b"), Value::String("r3")});
+  right.AppendRow({Value::String("z"), Value::String("r4")});
+  const Table lcopy = left;
+  const Table rcopy = right;
+  ASSERT_TRUE(repo.AddTable(std::move(left)).ok());
+  ASSERT_TRUE(repo.AddTable(std::move(right)).ok());
+
+  JoinGraph graph;
+  graph.edges.push_back(JoinEdge{ColumnRef{0, 0}, ColumnRef{1, 0}, 1.0, 1.0});
+  NormalizeJoinGraph(&graph, {});
+  Materializer m(&repo);
+  Result<Table> view = m.Materialize(
+      graph, {ColumnRef{0, 1}, ColumnRef{1, 1}}, MaterializeOptions(), "v");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(ViewRows(view.value()),
+            ReferenceJoin(lcopy, 0, rcopy, 0, {1}, {1}));
+}
+
+TEST(MaterializerTest, NullKeysNeverJoin) {
+  TableRepository repo;
+  Table left("left", MakeSchema({"k"}));
+  left.AppendRow({Value::Null()});
+  left.AppendRow({Value::String("a")});
+  Table right("right", MakeSchema({"k"}));
+  right.AppendRow({Value::Null()});
+  right.AppendRow({Value::String("a")});
+  ASSERT_TRUE(repo.AddTable(std::move(left)).ok());
+  ASSERT_TRUE(repo.AddTable(std::move(right)).ok());
+
+  JoinGraph graph;
+  graph.edges.push_back(JoinEdge{ColumnRef{0, 0}, ColumnRef{1, 0}, 1.0, 1.0});
+  NormalizeJoinGraph(&graph, {});
+  Materializer m(&repo);
+  Result<Table> view = m.Materialize(
+      graph, {ColumnRef{0, 0}, ColumnRef{1, 0}}, MaterializeOptions(), "v");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->num_rows(), 1);  // only "a" = "a"
+}
+
+TEST(MaterializerTest, ChainJoinThreeTables) {
+  TableRepository repo;
+  Table a("a", MakeSchema({"k", "va"}));
+  Table b("b", MakeSchema({"k", "k2"}));
+  Table c("c", MakeSchema({"k2", "vc"}));
+  a.AppendRow({Value::String("x"), Value::String("a1")});
+  a.AppendRow({Value::String("y"), Value::String("a2")});
+  b.AppendRow({Value::String("x"), Value::String("m1")});
+  b.AppendRow({Value::String("y"), Value::String("m2")});
+  c.AppendRow({Value::String("m1"), Value::String("c1")});
+  c.AppendRow({Value::String("m2"), Value::String("c2")});
+  ASSERT_TRUE(repo.AddTable(std::move(a)).ok());
+  ASSERT_TRUE(repo.AddTable(std::move(b)).ok());
+  ASSERT_TRUE(repo.AddTable(std::move(c)).ok());
+
+  JoinGraph graph;
+  graph.edges.push_back(JoinEdge{ColumnRef{0, 0}, ColumnRef{1, 0}, 1.0, 1.0});
+  graph.edges.push_back(JoinEdge{ColumnRef{1, 1}, ColumnRef{2, 0}, 1.0, 1.0});
+  NormalizeJoinGraph(&graph, {});
+  Materializer m(&repo);
+  Result<Table> view = m.Materialize(
+      graph, {ColumnRef{0, 1}, ColumnRef{2, 1}}, MaterializeOptions(), "v");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->num_rows(), 2);
+  EXPECT_EQ(view->at(0, 0).AsString(), "a1");
+  EXPECT_EQ(view->at(0, 1).AsString(), "c1");
+}
+
+TEST(MaterializerTest, CycleEdgeFiltersBindings) {
+  // Two edges between the same pair of tables: both must hold.
+  TableRepository repo;
+  Table a("a", MakeSchema({"k1", "k2"}));
+  Table b("b", MakeSchema({"k1", "k2"}));
+  a.AppendRow({Value::String("x"), Value::String("1")});
+  a.AppendRow({Value::String("y"), Value::String("2")});
+  b.AppendRow({Value::String("x"), Value::String("1")});
+  b.AppendRow({Value::String("y"), Value::String("9")});  // k2 mismatch
+  ASSERT_TRUE(repo.AddTable(std::move(a)).ok());
+  ASSERT_TRUE(repo.AddTable(std::move(b)).ok());
+
+  JoinGraph graph;
+  graph.edges.push_back(JoinEdge{ColumnRef{0, 0}, ColumnRef{1, 0}, 1.0, 1.0});
+  graph.edges.push_back(JoinEdge{ColumnRef{0, 1}, ColumnRef{1, 1}, 1.0, 1.0});
+  NormalizeJoinGraph(&graph, {});
+  Materializer m(&repo);
+  Result<Table> view = m.Materialize(
+      graph, {ColumnRef{0, 0}}, MaterializeOptions(), "v");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->num_rows(), 1);  // only the "x" row satisfies both edges
+}
+
+TEST(MaterializerTest, IntermediateBlowupGuard) {
+  TableRepository repo;
+  Table a("a", MakeSchema({"k"}));
+  Table b("b", MakeSchema({"k"}));
+  for (int i = 0; i < 100; ++i) {
+    a.AppendRow({Value::String("same")});
+    b.AppendRow({Value::String("same")});
+  }
+  ASSERT_TRUE(repo.AddTable(std::move(a)).ok());
+  ASSERT_TRUE(repo.AddTable(std::move(b)).ok());
+
+  JoinGraph graph;
+  graph.edges.push_back(JoinEdge{ColumnRef{0, 0}, ColumnRef{1, 0}, 1.0, 1.0});
+  NormalizeJoinGraph(&graph, {});
+  MaterializeOptions options;
+  options.max_intermediate_rows = 1000;  // 100x100 cross join exceeds this
+  Materializer m(&repo);
+  Result<Table> view = m.Materialize(
+      graph, {ColumnRef{0, 0}, ColumnRef{1, 0}}, options, "v");
+  EXPECT_FALSE(view.ok());
+  EXPECT_TRUE(view.status().IsOutOfRange());
+}
+
+TEST(MaterializerTest, ProjectionOutsideGraphFails) {
+  TableRepository repo;
+  Table a("a", MakeSchema({"k"}));
+  a.AppendRow({Value::String("x")});
+  ASSERT_TRUE(repo.AddTable(std::move(a)).ok());
+  JoinGraph graph;
+  graph.tables = {0};
+  Materializer m(&repo);
+  Result<Table> view = m.Materialize(graph, {ColumnRef{5, 0}},
+                                     MaterializeOptions(), "v");
+  EXPECT_FALSE(view.ok());
+}
+
+TEST(MaterializerTest, EmptyProjectionFails) {
+  TableRepository repo;
+  Materializer m(&repo);
+  JoinGraph graph;
+  graph.tables = {0};
+  EXPECT_FALSE(m.Materialize(graph, {}, MaterializeOptions(), "v").ok());
+}
+
+TEST(MaterializerTest, SpillWritesCsv) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "ver_spill_test";
+  fs::remove_all(dir);
+
+  TableRepository repo;
+  Table t("t", MakeSchema({"a"}));
+  t.AppendRow({Value::String("x")});
+  ASSERT_TRUE(repo.AddTable(std::move(t)).ok());
+  JoinGraph graph;
+  graph.tables = {0};
+  MaterializeOptions options;
+  options.spill_dir = dir.string();
+  Materializer m(&repo);
+  Result<View> view =
+      m.MaterializeView(graph, {ColumnRef{0, 0}}, options, /*view_id=*/7);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->id, 7);
+  ASSERT_FALSE(view->spill_path.empty());
+  Result<Table> reloaded = ReadCsvFile(view->spill_path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->num_rows(), 1);
+  fs::remove_all(dir);
+}
+
+// ------------ Property test: random joins match nested loops ------------
+
+class MaterializerPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaterializerPropertyTest, RandomJoinMatchesNestedLoop) {
+  Rng rng(GetParam());
+  TableRepository repo;
+  auto random_table = [&rng](const std::string& name, int rows) {
+    Table t(name, MakeSchema({"k", "v"}));
+    for (int i = 0; i < rows; ++i) {
+      t.AppendRow({Value::String("k" + std::to_string(rng.UniformInt(0, 9))),
+                   Value::String(name + std::to_string(i))});
+    }
+    return t;
+  };
+  Table lt = random_table("l", static_cast<int>(rng.UniformInt(5, 30)));
+  Table rt = random_table("r", static_cast<int>(rng.UniformInt(5, 30)));
+  const Table lcopy = lt;
+  const Table rcopy = rt;
+  ASSERT_TRUE(repo.AddTable(std::move(lt)).ok());
+  ASSERT_TRUE(repo.AddTable(std::move(rt)).ok());
+
+  JoinGraph graph;
+  graph.edges.push_back(JoinEdge{ColumnRef{0, 0}, ColumnRef{1, 0}, 1.0, 1.0});
+  NormalizeJoinGraph(&graph, {});
+  Materializer m(&repo);
+  Result<Table> view = m.Materialize(
+      graph, {ColumnRef{0, 0}, ColumnRef{0, 1}, ColumnRef{1, 1}},
+      MaterializeOptions(), "v");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(ViewRows(view.value()),
+            ReferenceJoin(lcopy, 0, rcopy, 0, {0, 1}, {1}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaterializerPropertyTest,
+                         ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace ver

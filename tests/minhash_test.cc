@@ -1,0 +1,166 @@
+// MinHash & containment estimation tests, including parameterized accuracy
+// sweeps validating the sketch against exact set computations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/hash.h"
+#include "util/minhash.h"
+#include "util/rng.h"
+
+namespace ver {
+namespace {
+
+std::vector<uint64_t> MakeSet(uint64_t tag, int n) {
+  std::vector<uint64_t> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    out.push_back(Mix64(tag * 1000003ULL + static_cast<uint64_t>(i)));
+  }
+  return out;
+}
+
+TEST(MinHashTest, IdenticalSetsHaveJaccardOne) {
+  MinHasher hasher(128);
+  std::vector<uint64_t> s = MakeSet(1, 500);
+  MinHashSignature a = hasher.Compute(s);
+  MinHashSignature b = hasher.Compute(s);
+  EXPECT_DOUBLE_EQ(EstimateJaccard(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(EstimateContainment(a, b), 1.0);
+}
+
+TEST(MinHashTest, DisjointSetsHaveNearZeroJaccard) {
+  MinHasher hasher(128);
+  MinHashSignature a = hasher.Compute(MakeSet(1, 500));
+  MinHashSignature b = hasher.Compute(MakeSet(2, 500));
+  EXPECT_LT(EstimateJaccard(a, b), 0.05);
+}
+
+TEST(MinHashTest, EmptySetConventions) {
+  MinHasher hasher(64);
+  MinHashSignature empty = hasher.Compute({});
+  MinHashSignature full = hasher.Compute(MakeSet(3, 10));
+  EXPECT_TRUE(empty.empty());
+  EXPECT_DOUBLE_EQ(EstimateJaccard(empty, empty), 1.0);
+  EXPECT_DOUBLE_EQ(EstimateJaccard(empty, full), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateContainment(empty, full), 0.0);
+}
+
+TEST(MinHashTest, SignatureIndependentOfElementOrder) {
+  MinHasher hasher(64);
+  std::vector<uint64_t> s = MakeSet(4, 100);
+  std::vector<uint64_t> rev(s.rbegin(), s.rend());
+  EXPECT_EQ(hasher.Compute(s).slots, hasher.Compute(rev).slots);
+}
+
+TEST(ExactSetTest, JaccardAndContainment) {
+  std::vector<uint64_t> a = {1, 2, 3, 4};
+  std::vector<uint64_t> b = {3, 4, 5, 6, 7, 8};
+  EXPECT_DOUBLE_EQ(ExactJaccard(a, b), 2.0 / 8.0);
+  EXPECT_DOUBLE_EQ(ExactContainment(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(ExactContainment(b, a), 2.0 / 6.0);
+}
+
+TEST(ExactSetTest, DuplicatesIgnored) {
+  std::vector<uint64_t> a = {1, 1, 2, 2};
+  std::vector<uint64_t> b = {2, 2, 3};
+  EXPECT_DOUBLE_EQ(ExactJaccard(a, b), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ExactContainment(a, b), 0.5);
+}
+
+TEST(ExactSetTest, EmptyEdgeCases) {
+  EXPECT_DOUBLE_EQ(ExactJaccard({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(ExactJaccard({}, {1}), 0.0);
+  EXPECT_DOUBLE_EQ(ExactContainment({}, {1}), 0.0);
+}
+
+// --- Parameterized accuracy sweep: estimated vs exact Jaccard -----------
+
+struct OverlapCase {
+  int size_a;
+  int size_b;
+  int shared;
+};
+
+class MinHashAccuracyTest : public ::testing::TestWithParam<OverlapCase> {};
+
+TEST_P(MinHashAccuracyTest, JaccardEstimateWithinTolerance) {
+  const OverlapCase& c = GetParam();
+  std::vector<uint64_t> shared = MakeSet(100, c.shared);
+  std::vector<uint64_t> a = shared;
+  std::vector<uint64_t> only_a = MakeSet(101, c.size_a - c.shared);
+  a.insert(a.end(), only_a.begin(), only_a.end());
+  std::vector<uint64_t> b = shared;
+  std::vector<uint64_t> only_b = MakeSet(102, c.size_b - c.shared);
+  b.insert(b.end(), only_b.begin(), only_b.end());
+
+  MinHasher hasher(256);
+  MinHashSignature sa = hasher.Compute(a);
+  MinHashSignature sb = hasher.Compute(b);
+  double exact = ExactJaccard(a, b);
+  double est = EstimateJaccard(sa, sb);
+  // 256 permutations give std-err ~ sqrt(J(1-J)/256) <= 0.032; allow 4x.
+  EXPECT_NEAR(est, exact, 0.13) << "sizes " << c.size_a << "/" << c.size_b
+                                << " shared " << c.shared;
+}
+
+TEST_P(MinHashAccuracyTest, ContainmentEstimateWithinTolerance) {
+  const OverlapCase& c = GetParam();
+  std::vector<uint64_t> shared = MakeSet(200, c.shared);
+  std::vector<uint64_t> a = shared;
+  std::vector<uint64_t> only_a = MakeSet(201, c.size_a - c.shared);
+  a.insert(a.end(), only_a.begin(), only_a.end());
+  std::vector<uint64_t> b = shared;
+  std::vector<uint64_t> only_b = MakeSet(202, c.size_b - c.shared);
+  b.insert(b.end(), only_b.begin(), only_b.end());
+
+  MinHasher hasher(256);
+  double exact = ExactContainment(a, b);
+  double est =
+      EstimateContainment(hasher.Compute(a), hasher.Compute(b));
+  // Containment is derived from the Jaccard estimate; error propagation
+  // amplifies sigma_J by dJC/dJ = (|a|+|b|) / (|a| * (1+J)^2). Allow 5
+  // sigma plus a small floor.
+  double na = static_cast<double>(c.size_a), nb = static_cast<double>(c.size_b);
+  double jaccard = ExactJaccard(a, b);
+  double sigma_j = std::sqrt(jaccard * (1 - jaccard) / 256.0);
+  double amplification = (na + nb) / (na * (1 + jaccard) * (1 + jaccard));
+  EXPECT_NEAR(est, exact, 5 * sigma_j * amplification + 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OverlapSweep, MinHashAccuracyTest,
+    ::testing::Values(OverlapCase{200, 200, 0}, OverlapCase{200, 200, 50},
+                      OverlapCase{200, 200, 100}, OverlapCase{200, 200, 150},
+                      OverlapCase{200, 200, 200}, OverlapCase{50, 500, 25},
+                      OverlapCase{50, 500, 50}, OverlapCase{500, 50, 25},
+                      OverlapCase{1000, 100, 80}, OverlapCase{100, 1000, 90}));
+
+// --- Permutation-count sweep: more permutations, smaller error ----------
+
+class MinHashResolutionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinHashResolutionTest, ErrorShrinksWithPermutations) {
+  int permutations = GetParam();
+  MinHasher hasher(permutations);
+  std::vector<uint64_t> shared = MakeSet(300, 120);
+  std::vector<uint64_t> a = shared;
+  std::vector<uint64_t> extra_a = MakeSet(301, 80);
+  a.insert(a.end(), extra_a.begin(), extra_a.end());
+  std::vector<uint64_t> b = shared;
+  std::vector<uint64_t> extra_b = MakeSet(302, 80);
+  b.insert(b.end(), extra_b.begin(), extra_b.end());
+
+  double exact = ExactJaccard(a, b);
+  double est = EstimateJaccard(hasher.Compute(a), hasher.Compute(b));
+  // 3-sigma tolerance by permutation count.
+  double sigma = std::sqrt(exact * (1 - exact) / permutations);
+  EXPECT_NEAR(est, exact, std::max(4 * sigma, 0.02));
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, MinHashResolutionTest,
+                         ::testing::Values(64, 128, 256, 512));
+
+}  // namespace
+}  // namespace ver

@@ -1,0 +1,159 @@
+// Property sweeps over randomized presentation sessions: the bandit and
+// pruning machinery must keep its invariants for any answer sequence.
+
+#include <gtest/gtest.h>
+
+#include "core/distillation.h"
+#include "core/presentation.h"
+#include "util/rng.h"
+#include "workload/simulated_user.h"
+
+namespace ver {
+namespace {
+
+Schema MakeSchema(std::vector<std::string> names) {
+  Schema s;
+  for (std::string& n : names) {
+    s.AddAttribute(Attribute{std::move(n), ValueType::kString});
+  }
+  return s;
+}
+
+// Random candidate pool: several schema blocks, random overlaps and
+// conflicts so every interface has material.
+std::vector<View> RandomViews(uint64_t seed, int n) {
+  Rng rng(seed);
+  std::vector<View> views;
+  for (int i = 0; i < n; ++i) {
+    View v;
+    v.id = i;
+    v.score = rng.UniformDouble();
+    std::vector<std::string> attrs =
+        rng.Bernoulli(0.5)
+            ? std::vector<std::string>{"country", "population"}
+            : std::vector<std::string>{"country", "births"};
+    v.table = Table("view_" + std::to_string(i), MakeSchema(attrs));
+    int rows = static_cast<int>(rng.UniformInt(2, 8));
+    for (int r = 0; r < rows; ++r) {
+      (void)v.table.AppendRow(
+          {Value::String("c" + std::to_string(rng.UniformInt(0, 5))),
+           Value::Int(rng.UniformInt(0, 3))});
+    }
+    views.push_back(std::move(v));
+  }
+  return views;
+}
+
+Answer RandomAnswer(const Question& q, Rng* rng) {
+  double draw = rng->UniformDouble();
+  if (draw < 0.2) return Answer{AnswerType::kSkip};
+  switch (q.interface_kind) {
+    case QuestionInterface::kDatasetPair:
+      return Answer{draw < 0.6 ? AnswerType::kPickA : AnswerType::kPickB};
+    default:
+      return Answer{draw < 0.6 ? AnswerType::kYes : AnswerType::kNo};
+  }
+}
+
+class PresentationPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PresentationPropertyTest, SessionInvariantsUnderRandomAnswers) {
+  uint64_t seed = GetParam();
+  std::vector<View> views = RandomViews(seed, 12);
+  DistillationResult d = DistillViews(views, DistillationOptions());
+  ExampleQuery query = ExampleQuery::FromColumns({{"c0", "c1"}});
+  PresentationOptions options;
+  options.seed = seed;
+  options.bootstrap_pulls_per_arm = 1;
+  PresentationSession session(&views, &d, &query, options);
+  Rng rng(seed * 13);
+
+  size_t previous_remaining = session.remaining().size();
+  std::unordered_set<int> initial(d.surviving.begin(), d.surviving.end());
+
+  for (int step = 0; step < 30 && !session.Done(); ++step) {
+    // Arm probabilities always form a distribution.
+    double total = 0;
+    for (int i = 0; i < kNumQuestionInterfaces; ++i) {
+      double p = session.ArmProbability(static_cast<QuestionInterface>(i));
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0 + 1e-12);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+
+    Question q = session.NextQuestion();
+    Answer a = RandomAnswer(q, &rng);
+    session.SubmitAnswer(q, a);
+
+    // Remaining set shrinks monotonically and never empties.
+    EXPECT_LE(session.remaining().size(), previous_remaining);
+    EXPECT_GE(session.remaining().size(), 1u);
+    previous_remaining = session.remaining().size();
+
+    // Remaining views are always a subset of the initial candidates.
+    for (int v : session.remaining()) {
+      EXPECT_TRUE(initial.count(v));
+    }
+
+    // Ranking covers exactly the remaining set, sorted by utility.
+    std::vector<RankedView> ranking = session.RankedViews();
+    EXPECT_EQ(ranking.size(), session.remaining().size());
+    for (size_t i = 1; i < ranking.size(); ++i) {
+      EXPECT_GE(ranking[i - 1].utility, ranking[i].utility);
+    }
+  }
+}
+
+TEST_P(PresentationPropertyTest, RetractionIsAlwaysConsistent) {
+  uint64_t seed = GetParam() + 50;
+  std::vector<View> views = RandomViews(seed, 10);
+  DistillationResult d = DistillViews(views, DistillationOptions());
+  ExampleQuery query = ExampleQuery::FromColumns({{"c0"}});
+  PresentationOptions options;
+  options.seed = seed;
+  options.bootstrap_pulls_per_arm = 0;
+  PresentationSession session(&views, &d, &query, options);
+  Rng rng(seed * 31);
+
+  for (int step = 0; step < 8 && !session.Done(); ++step) {
+    Question q = session.NextQuestion();
+    session.SubmitAnswer(q, RandomAnswer(q, &rng));
+  }
+  // Retract every answer in random order: the remaining set must return
+  // exactly to the distilled starting set.
+  while (session.num_answers() > 0) {
+    session.RetractAnswer(
+        static_cast<int>(rng.UniformInt(0, session.num_answers() - 1)));
+  }
+  EXPECT_EQ(session.remaining().size(), d.surviving.size());
+}
+
+TEST_P(PresentationPropertyTest, CompetentUserConvergesOnItsView) {
+  uint64_t seed = GetParam() + 500;
+  std::vector<View> views = RandomViews(seed, 14);
+  DistillationResult d = DistillViews(views, DistillationOptions());
+  if (d.surviving.size() < 2) return;  // degenerate pool
+  ExampleQuery query = ExampleQuery::FromColumns({{"c0", "c1"}});
+  PresentationOptions options;
+  options.seed = seed;
+  PresentationSession session(&views, &d, &query, options);
+
+  // The "desired" view: a random survivor.
+  Rng rng(seed);
+  int target = d.surviving[static_cast<size_t>(
+      rng.UniformInt(0, d.surviving.size() - 1))];
+  SimulatedUserProfile profile;
+  profile.seed = seed;
+  for (double& c : profile.competence) c = 1.0;
+  SimulatedUser user(profile, {target}, &views, &d);
+  SessionOutcome outcome = DriveSession(&session, &user, 50);
+  EXPECT_TRUE(outcome.found) << "perfect user failed to locate view "
+                             << target << " among " << d.surviving.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PresentationPropertyTest,
+                         ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace ver

@@ -1,0 +1,334 @@
+// VIEW-PRESENTATION (Algorithm 2) tests: bandit probabilities, question
+// generation per interface, pruning semantics, ranking, and retraction.
+
+#include <gtest/gtest.h>
+
+#include "core/distillation.h"
+#include "core/presentation.h"
+
+namespace ver {
+namespace {
+
+Schema MakeSchema(std::vector<std::string> names) {
+  Schema s;
+  for (std::string& n : names) {
+    s.AddAttribute(Attribute{std::move(n), ValueType::kString});
+  }
+  return s;
+}
+
+View MakeView(int64_t id, std::vector<std::string> attrs,
+              std::vector<std::vector<std::string>> rows, double score = 0) {
+  View v;
+  v.id = id;
+  v.score = score;
+  v.table = Table("view_" + std::to_string(id), MakeSchema(std::move(attrs)));
+  for (auto& row : rows) {
+    std::vector<Value> values;
+    for (auto& cell : row) values.push_back(Value::Parse(cell));
+    EXPECT_TRUE(v.table.AppendRow(std::move(values)).ok());
+  }
+  return v;
+}
+
+// A candidate pool with two schema blocks, one contradiction, and varied
+// attributes so all four interfaces have questions to ask.
+struct Fixture {
+  std::vector<View> views;
+  DistillationResult distillation;
+  ExampleQuery query;
+
+  Fixture() {
+    // Block 1: (country, population) — 3 views, one contradicting.
+    views.push_back(MakeView(0, {"country", "population"},
+                             {{"china", "1400"}, {"peru", "33"}}, 0.9));
+    views.push_back(MakeView(1, {"country", "population"},
+                             {{"china", "1400"}, {"cuba", "11"}}, 0.8));
+    views.push_back(MakeView(2, {"country", "population"},
+                             {{"china", "9999"}, {"peru", "33"}}, 0.7));
+    // Block 2: (country, births) — 2 views.
+    views.push_back(MakeView(3, {"country", "births"},
+                             {{"china", "12"}, {"peru", "19"}}, 0.6));
+    views.push_back(MakeView(4, {"country", "births"},
+                             {{"japan", "7"}}, 0.5));
+    distillation = DistillViews(views, DistillationOptions());
+    query = ExampleQuery::FromColumns({{"china", "peru"}, {"1400", "33"}});
+    query.attribute_hints = {"country", "population"};
+  }
+};
+
+PresentationOptions FastOptions() {
+  PresentationOptions o;
+  o.bootstrap_pulls_per_arm = 0;  // skip bootstrap in unit tests
+  o.gamma = 0.1;
+  o.seed = 7;
+  return o;
+}
+
+TEST(PresentationTest, StartsWithAllSurvivingViews) {
+  Fixture f;
+  PresentationSession session(&f.views, &f.distillation, &f.query,
+                              FastOptions());
+  EXPECT_EQ(session.remaining().size(), f.distillation.surviving.size());
+  EXPECT_FALSE(session.Done());
+}
+
+TEST(PresentationTest, ArmProbabilitiesFormDistribution) {
+  Fixture f;
+  PresentationSession session(&f.views, &f.distillation, &f.query,
+                              FastOptions());
+  double total = 0;
+  for (int i = 0; i < kNumQuestionInterfaces; ++i) {
+    double p = session.ArmProbability(static_cast<QuestionInterface>(i));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PresentationTest, GammaOneIsUniform) {
+  Fixture f;
+  PresentationOptions options = FastOptions();
+  options.gamma = 1.0;
+  PresentationSession session(&f.views, &f.distillation, &f.query, options);
+  for (int i = 0; i < kNumQuestionInterfaces; ++i) {
+    EXPECT_NEAR(session.ArmProbability(static_cast<QuestionInterface>(i)),
+                0.25, 1e-9);
+  }
+}
+
+TEST(PresentationTest, BootstrapPhaseIsUniform) {
+  Fixture f;
+  PresentationOptions options = FastOptions();
+  options.bootstrap_pulls_per_arm = 2;  // no arm pulled yet -> bootstrap
+  PresentationSession session(&f.views, &f.distillation, &f.query, options);
+  for (int i = 0; i < kNumQuestionInterfaces; ++i) {
+    EXPECT_NEAR(session.ArmProbability(static_cast<QuestionInterface>(i)),
+                0.25, 1e-9);
+  }
+}
+
+TEST(PresentationTest, AnswerLikelihoodUpdatesWithSkips) {
+  Fixture f;
+  PresentationSession session(&f.views, &f.distillation, &f.query,
+                              FastOptions());
+  double before = session.AnswerLikelihood(QuestionInterface::kAttribute);
+  Question q;
+  q.interface_kind = QuestionInterface::kAttribute;
+  q.attribute = "population";
+  session.SubmitAnswer(q, Answer{AnswerType::kSkip});
+  double after = session.AnswerLikelihood(QuestionInterface::kAttribute);
+  EXPECT_LT(after, before);  // skips lower the answer-rate estimate
+
+  session.SubmitAnswer(q, Answer{AnswerType::kYes});
+  double recovered = session.AnswerLikelihood(QuestionInterface::kAttribute);
+  EXPECT_GT(recovered, after);
+}
+
+TEST(PresentationTest, AttributeYesPrunesViewsWithoutIt) {
+  Fixture f;
+  PresentationSession session(&f.views, &f.distillation, &f.query,
+                              FastOptions());
+  Question q;
+  q.interface_kind = QuestionInterface::kAttribute;
+  q.attribute = "population";
+  session.SubmitAnswer(q, Answer{AnswerType::kYes});
+  for (int v : session.remaining()) {
+    EXPECT_GE(f.views[v].table.schema().IndexOf("population"), 0);
+  }
+}
+
+TEST(PresentationTest, AttributeNoPrunesViewsWithIt) {
+  Fixture f;
+  PresentationSession session(&f.views, &f.distillation, &f.query,
+                              FastOptions());
+  Question q;
+  q.interface_kind = QuestionInterface::kAttribute;
+  q.attribute = "births";
+  session.SubmitAnswer(q, Answer{AnswerType::kNo});
+  for (int v : session.remaining()) {
+    EXPECT_LT(f.views[v].table.schema().IndexOf("births"), 0);
+  }
+}
+
+TEST(PresentationTest, DatasetYesSelectsView) {
+  Fixture f;
+  PresentationSession session(&f.views, &f.distillation, &f.query,
+                              FastOptions());
+  Question q;
+  q.interface_kind = QuestionInterface::kDataset;
+  q.view_index = 0;
+  session.SubmitAnswer(q, Answer{AnswerType::kYes});
+  EXPECT_EQ(session.remaining().size(), 1u);
+  EXPECT_TRUE(session.remaining().count(0));
+  EXPECT_TRUE(session.Done());
+}
+
+TEST(PresentationTest, DatasetNoPrunesOnlyThatView) {
+  Fixture f;
+  PresentationSession session(&f.views, &f.distillation, &f.query,
+                              FastOptions());
+  size_t before = session.remaining().size();
+  Question q;
+  q.interface_kind = QuestionInterface::kDataset;
+  q.view_index = 0;
+  session.SubmitAnswer(q, Answer{AnswerType::kNo});
+  EXPECT_EQ(session.remaining().size(), before - 1);
+  EXPECT_FALSE(session.remaining().count(0));
+}
+
+TEST(PresentationTest, DatasetPairPrunesOtherSide) {
+  Fixture f;
+  ASSERT_GT(f.distillation.contradictions.size(), 0u);
+  PresentationSession session(&f.views, &f.distillation, &f.query,
+                              FastOptions());
+  // Build the pair question from the contradiction (china 1400 vs 9999).
+  Question q;
+  q.interface_kind = QuestionInterface::kDatasetPair;
+  q.contradiction_index = 0;
+  const Contradiction& contra = f.distillation.contradictions[0];
+  ASSERT_EQ(contra.groups.size(), 2u);
+  q.view_a = contra.groups[0].front();
+  q.view_b = contra.groups[1].front();
+  session.SubmitAnswer(q, Answer{AnswerType::kPickA});
+  for (int v : contra.groups[1]) {
+    EXPECT_FALSE(session.remaining().count(v))
+        << "view " << v << " should have been pruned";
+  }
+}
+
+TEST(PresentationTest, SummaryAnswersPruneCluster) {
+  Fixture f;
+  PresentationSession session(&f.views, &f.distillation, &f.query,
+                              FastOptions());
+  Question q;
+  q.interface_kind = QuestionInterface::kSummary;
+  q.summary_views = {3, 4};  // the births block
+  session.SubmitAnswer(q, Answer{AnswerType::kNo});
+  EXPECT_FALSE(session.remaining().count(3));
+  EXPECT_FALSE(session.remaining().count(4));
+}
+
+TEST(PresentationTest, SkipChangesNothingButCounts) {
+  Fixture f;
+  PresentationSession session(&f.views, &f.distillation, &f.query,
+                              FastOptions());
+  size_t before = session.remaining().size();
+  Question q;
+  q.interface_kind = QuestionInterface::kSummary;
+  q.summary_views = {3, 4};
+  session.SubmitAnswer(q, Answer{AnswerType::kSkip});
+  EXPECT_EQ(session.remaining().size(), before);
+  EXPECT_EQ(session.num_answers(), 0);
+}
+
+TEST(PresentationTest, NextQuestionHasPositiveInfoGain) {
+  Fixture f;
+  PresentationSession session(&f.views, &f.distillation, &f.query,
+                              FastOptions());
+  Question q = session.NextQuestion();
+  EXPECT_GT(q.info_gain, 0);
+  EXPECT_FALSE(q.prompt.empty());
+  EXPECT_EQ(session.num_questions_asked(), 1);
+}
+
+TEST(PresentationTest, RankingRewardsConsistentViews) {
+  Fixture f;
+  PresentationSession session(&f.views, &f.distillation, &f.query,
+                              FastOptions());
+  Question q;
+  q.interface_kind = QuestionInterface::kAttribute;
+  q.attribute = "population";
+  session.SubmitAnswer(q, Answer{AnswerType::kYes});
+  std::vector<RankedView> ranking = session.RankedViews();
+  ASSERT_FALSE(ranking.empty());
+  // All remaining views have population; top view must contain it.
+  EXPECT_GE(f.views[ranking.front().view_index].table.schema().IndexOf(
+                "population"),
+            0);
+  // Utilities are sorted descending.
+  for (size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_GE(ranking[i - 1].utility, ranking[i].utility);
+  }
+}
+
+TEST(PresentationTest, RetractionRestoresViews) {
+  Fixture f;
+  PresentationSession session(&f.views, &f.distillation, &f.query,
+                              FastOptions());
+  size_t initial = session.remaining().size();
+  Question q;
+  q.interface_kind = QuestionInterface::kAttribute;
+  q.attribute = "births";
+  session.SubmitAnswer(q, Answer{AnswerType::kNo});
+  size_t after = session.remaining().size();
+  ASSERT_LT(after, initial);
+  session.RetractAnswer(0);  // the user changes their mind
+  EXPECT_EQ(session.remaining().size(), initial);
+}
+
+TEST(PresentationTest, RetractionOutOfRangeIsNoOp) {
+  Fixture f;
+  PresentationSession session(&f.views, &f.distillation, &f.query,
+                              FastOptions());
+  session.RetractAnswer(5);
+  session.RetractAnswer(-1);
+  EXPECT_EQ(session.remaining().size(), f.distillation.surviving.size());
+}
+
+TEST(PresentationTest, InconsistentAnswerNeverEmptiesCandidates) {
+  Fixture f;
+  PresentationSession session(&f.views, &f.distillation, &f.query,
+                              FastOptions());
+  Question q;
+  q.interface_kind = QuestionInterface::kAttribute;
+  q.attribute = "country";  // every view has it
+  session.SubmitAnswer(q, Answer{AnswerType::kNo});
+  EXPECT_GT(session.remaining().size(), 0u);
+}
+
+TEST(PresentationTest, QuestionsAreNotRepeated) {
+  Fixture f;
+  PresentationSession session(&f.views, &f.distillation, &f.query,
+                              FastOptions());
+  std::set<std::string> attribute_questions;
+  for (int i = 0; i < 20 && !session.Done(); ++i) {
+    Question q = session.NextQuestion();
+    if (q.interface_kind == QuestionInterface::kAttribute) {
+      EXPECT_TRUE(attribute_questions.insert(q.attribute).second)
+          << "attribute '" << q.attribute << "' asked twice";
+    }
+    session.SubmitAnswer(q, Answer{AnswerType::kSkip});
+    // Skipped questions may be re-asked; answer them to consume.
+    if (q.interface_kind == QuestionInterface::kAttribute) {
+      session.SubmitAnswer(q, Answer{AnswerType::kYes});
+      break;
+    }
+  }
+  SUCCEED();
+}
+
+TEST(PresentationInterfaceTest, Names) {
+  EXPECT_STREQ(QuestionInterfaceToString(QuestionInterface::kDataset),
+               "dataset");
+  EXPECT_STREQ(QuestionInterfaceToString(QuestionInterface::kAttribute),
+               "attribute");
+  EXPECT_STREQ(QuestionInterfaceToString(QuestionInterface::kDatasetPair),
+               "dataset-pair");
+  EXPECT_STREQ(QuestionInterfaceToString(QuestionInterface::kSummary),
+               "summary");
+}
+
+// Sessions over a degenerate single-view pool are immediately done.
+TEST(PresentationTest, SingleViewIsDone) {
+  std::vector<View> views;
+  views.push_back(MakeView(0, {"k"}, {{"a"}}));
+  DistillationResult d = DistillViews(views, DistillationOptions());
+  ExampleQuery query = ExampleQuery::FromColumns({{"a"}});
+  PresentationSession session(&views, &d, &query, FastOptions());
+  EXPECT_TRUE(session.Done());
+}
+
+}  // namespace
+}  // namespace ver

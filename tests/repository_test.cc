@@ -1,0 +1,104 @@
+// TableRepository catalog tests: ids, lookups, directory round trip.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "storage/repository.h"
+
+namespace ver {
+namespace {
+
+Table SimpleTable(const std::string& name, int rows) {
+  Schema schema;
+  schema.AddAttribute(Attribute{"id", ValueType::kInt});
+  schema.AddAttribute(Attribute{"label", ValueType::kString});
+  Table t(name, schema);
+  for (int i = 0; i < rows; ++i) {
+    t.AppendRow({Value::Int(i), Value::String(name + std::to_string(i))});
+  }
+  return t;
+}
+
+TEST(RepositoryTest, AddAndFind) {
+  TableRepository repo;
+  Result<int32_t> a = repo.AddTable(SimpleTable("alpha", 3));
+  Result<int32_t> b = repo.AddTable(SimpleTable("beta", 2));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), 0);
+  EXPECT_EQ(b.value(), 1);
+  EXPECT_EQ(repo.num_tables(), 2);
+  EXPECT_EQ(repo.FindTable("beta").value(), 1);
+  EXPECT_TRUE(repo.FindTable("gamma").status().IsNotFound());
+}
+
+TEST(RepositoryTest, DuplicateNameRejected) {
+  TableRepository repo;
+  ASSERT_TRUE(repo.AddTable(SimpleTable("alpha", 1)).ok());
+  Result<int32_t> dup = repo.AddTable(SimpleTable("alpha", 1));
+  EXPECT_FALSE(dup.ok());
+  EXPECT_TRUE(dup.status().IsAlreadyExists());
+}
+
+TEST(RepositoryTest, UnnamedTableRejected) {
+  TableRepository repo;
+  EXPECT_TRUE(repo.AddTable(Table("", Schema())).status().IsInvalidArgument());
+}
+
+TEST(RepositoryTest, Totals) {
+  TableRepository repo;
+  ASSERT_TRUE(repo.AddTable(SimpleTable("alpha", 3)).ok());
+  ASSERT_TRUE(repo.AddTable(SimpleTable("beta", 2)).ok());
+  EXPECT_EQ(repo.TotalRows(), 5);
+  EXPECT_EQ(repo.TotalColumns(), 4);
+  EXPECT_EQ(repo.AllColumns().size(), 4u);
+}
+
+TEST(RepositoryTest, ColumnRefHelpers) {
+  TableRepository repo;
+  ASSERT_TRUE(repo.AddTable(SimpleTable("alpha", 1)).ok());
+  ColumnRef ref{0, 1};
+  EXPECT_TRUE(ref.valid());
+  EXPECT_EQ(repo.ColumnDisplayName(ref), "alpha.label");
+  EXPECT_EQ(repo.attribute(ref).name, "label");
+  EXPECT_EQ(repo.column_values(ref).size(), 1u);
+}
+
+TEST(RepositoryTest, ColumnRefOrderingAndEncoding) {
+  ColumnRef a{0, 1}, b{0, 2}, c{1, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_NE(a.Encode(), b.Encode());
+  EXPECT_EQ(a, (ColumnRef{0, 1}));
+  EXPECT_FALSE((ColumnRef{}.valid()));
+}
+
+TEST(RepositoryTest, DirectoryRoundTrip) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "ver_repo_test";
+  fs::remove_all(dir);
+
+  TableRepository repo;
+  ASSERT_TRUE(repo.AddTable(SimpleTable("alpha", 3)).ok());
+  ASSERT_TRUE(repo.AddTable(SimpleTable("beta", 2)).ok());
+  ASSERT_TRUE(repo.SaveDirectory(dir.string()).ok());
+
+  TableRepository loaded;
+  ASSERT_TRUE(loaded.LoadDirectory(dir.string()).ok());
+  EXPECT_EQ(loaded.num_tables(), 2);
+  // Loading is alphabetical, so ids are deterministic.
+  EXPECT_EQ(loaded.table(0).name(), "alpha");
+  EXPECT_EQ(loaded.table(1).name(), "beta");
+  EXPECT_EQ(loaded.table(0).num_rows(), 3);
+  EXPECT_EQ(loaded.table(0).at(1, 1).AsString(), "alpha1");
+  fs::remove_all(dir);
+}
+
+TEST(RepositoryTest, LoadMissingDirectoryFails) {
+  TableRepository repo;
+  EXPECT_TRUE(repo.LoadDirectory("/nonexistent/ver/dir").IsIOError());
+}
+
+}  // namespace
+}  // namespace ver

@@ -1,0 +1,216 @@
+// Unit tests for Value, Schema, Table and column statistics.
+
+#include <gtest/gtest.h>
+
+#include "table/column_stats.h"
+#include "table/table.h"
+
+namespace ver {
+namespace {
+
+// ------------------------------- Value ----------------------------------
+
+TEST(ValueTest, ParseInfersTypes) {
+  EXPECT_EQ(Value::Parse("").type(), ValueType::kNull);
+  EXPECT_EQ(Value::Parse("  ").type(), ValueType::kNull);
+  EXPECT_EQ(Value::Parse("42").type(), ValueType::kInt);
+  EXPECT_EQ(Value::Parse("-17").AsInt(), -17);
+  EXPECT_EQ(Value::Parse("3.5").type(), ValueType::kDouble);
+  EXPECT_EQ(Value::Parse("hello world").type(), ValueType::kString);
+  EXPECT_EQ(Value::Parse(" padded ").AsString(), "padded");
+}
+
+TEST(ValueTest, HugeDigitStringsStayStrings) {
+  EXPECT_EQ(Value::Parse("123456789012345678901234").type(),
+            ValueType::kString);
+}
+
+TEST(ValueTest, ToTextRoundTrips) {
+  for (const char* text : {"42", "-7", "3.5", "hello", ""}) {
+    Value v = Value::Parse(text);
+    Value round = Value::Parse(v.ToText());
+    EXPECT_EQ(v, round) << text;
+  }
+}
+
+TEST(ValueTest, TotalOrder) {
+  EXPECT_LT(Value::Null(), Value::Int(0));
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::Int(2), Value::String("a"));
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Double(1.5), Value::Int(2));
+}
+
+TEST(ValueTest, IntDoubleEqualityHashesEqual) {
+  EXPECT_EQ(Value::Int(2), Value::Double(2.0));
+  EXPECT_EQ(Value::Int(2).Hash(), Value::Double(2.0).Hash());
+  EXPECT_NE(Value::Double(2.5).Hash(), Value::Int(2).Hash());
+}
+
+TEST(ValueTest, NullsCompareEqual) {
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_EQ(Value::Null().Hash(), Value::Null().Hash());
+}
+
+// ------------------------------- Schema ---------------------------------
+
+Schema MakeSchema(std::vector<std::string> names) {
+  Schema s;
+  for (std::string& n : names) {
+    s.AddAttribute(Attribute{std::move(n), ValueType::kString});
+  }
+  return s;
+}
+
+TEST(SchemaTest, IndexOfIsCaseInsensitive) {
+  Schema s = MakeSchema({"State", "IATA_Code"});
+  EXPECT_EQ(s.IndexOf("state"), 0);
+  EXPECT_EQ(s.IndexOf("iata_code"), 1);
+  EXPECT_EQ(s.IndexOf("nope"), -1);
+}
+
+TEST(SchemaTest, CanonicalSignatureIsOrderInsensitive) {
+  EXPECT_EQ(MakeSchema({"a", "b"}).CanonicalSignature(),
+            MakeSchema({"B", "A"}).CanonicalSignature());
+  EXPECT_NE(MakeSchema({"a", "b"}).CanonicalSignature(),
+            MakeSchema({"a", "c"}).CanonicalSignature());
+}
+
+TEST(SchemaTest, UnnamedAttributes) {
+  Schema s = MakeSchema({"", "x"});
+  EXPECT_FALSE(s.attribute(0).has_name());
+  EXPECT_NE(s.ToString().find("<unnamed>"), std::string::npos);
+}
+
+// -------------------------------- Table ---------------------------------
+
+Table MakeCityTable() {
+  Table t("cities", MakeSchema({"city", "population"}));
+  t.AppendRow({Value::String("Chicago"), Value::Int(2700000)});
+  t.AppendRow({Value::String("Boston"), Value::Int(650000)});
+  t.AppendRow({Value::String("Boston"), Value::Int(650000)});
+  return t;
+}
+
+TEST(TableTest, AppendAndAccess) {
+  Table t = MakeCityTable();
+  EXPECT_EQ(t.num_rows(), 3);
+  EXPECT_EQ(t.num_columns(), 2);
+  EXPECT_EQ(t.at(0, 0).AsString(), "Chicago");
+  EXPECT_EQ(t.at(1, 1).AsInt(), 650000);
+}
+
+TEST(TableTest, ShortRowsPadWithNulls) {
+  Table t("t", MakeSchema({"a", "b", "c"}));
+  ASSERT_TRUE(t.AppendRow({Value::Int(1)}).ok());
+  EXPECT_TRUE(t.at(0, 1).is_null());
+  EXPECT_TRUE(t.at(0, 2).is_null());
+}
+
+TEST(TableTest, OverlongRowsRejected) {
+  Table t("t", MakeSchema({"a"}));
+  Status s = t.AppendRow({Value::Int(1), Value::Int(2)});
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(t.num_rows(), 0);
+}
+
+TEST(TableTest, RowHashDetectsDuplicates) {
+  Table t = MakeCityTable();
+  EXPECT_EQ(t.RowHash(1), t.RowHash(2));
+  EXPECT_NE(t.RowHash(0), t.RowHash(1));
+  EXPECT_EQ(t.AllRowHashes().size(), 3u);
+}
+
+TEST(TableTest, DistinctCount) {
+  Table t = MakeCityTable();
+  EXPECT_EQ(t.DistinctCount(0), 2);
+}
+
+TEST(TableTest, ProjectDistinct) {
+  Table t = MakeCityTable();
+  Table p = t.Project({0}, /*distinct=*/true, "p");
+  EXPECT_EQ(p.num_rows(), 2);
+  EXPECT_EQ(p.num_columns(), 1);
+  Table all = t.Project({0}, /*distinct=*/false, "all");
+  EXPECT_EQ(all.num_rows(), 3);
+}
+
+TEST(TableTest, ProjectReordersColumns) {
+  Table t = MakeCityTable();
+  Table p = t.Project({1, 0}, false, "swapped");
+  EXPECT_EQ(p.schema().attribute(0).name, "population");
+  EXPECT_EQ(p.at(0, 1).AsString(), "Chicago");
+}
+
+TEST(TableTest, InferColumnTypes) {
+  Table t("t", MakeSchema({"i", "d", "s", "n"}));
+  t.AppendRow({Value::Int(1), Value::Double(1.5), Value::String("x"),
+               Value::Null()});
+  t.AppendRow({Value::Int(2), Value::Int(2), Value::String("y"),
+               Value::Null()});
+  t.InferColumnTypes();
+  EXPECT_EQ(t.schema().attribute(0).type, ValueType::kInt);
+  EXPECT_EQ(t.schema().attribute(1).type, ValueType::kDouble);
+  EXPECT_EQ(t.schema().attribute(2).type, ValueType::kString);
+  EXPECT_EQ(t.schema().attribute(3).type, ValueType::kNull);
+}
+
+TEST(TableTest, ToStringTruncates) {
+  Table t = MakeCityTable();
+  std::string s = t.ToString(1);
+  EXPECT_NE(s.find("Chicago"), std::string::npos);
+  EXPECT_EQ(s.find("Boston"), std::string::npos);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+// ----------------------------- column stats ------------------------------
+
+TEST(ColumnStatsTest, UniquenessAndNulls) {
+  Table t("t", MakeSchema({"k", "v"}));
+  t.AppendRow({Value::Int(1), Value::String("a")});
+  t.AppendRow({Value::Int(2), Value::String("a")});
+  t.AppendRow({Value::Int(3), Value::Null()});
+  ColumnStats k = ComputeColumnStats(t, 0);
+  EXPECT_EQ(k.num_distinct, 3);
+  EXPECT_DOUBLE_EQ(k.uniqueness(), 1.0);
+  ColumnStats v = ComputeColumnStats(t, 1);
+  EXPECT_EQ(v.num_nulls, 1);
+  EXPECT_EQ(v.num_distinct, 1);
+  EXPECT_DOUBLE_EQ(v.uniqueness(), 0.5);
+  EXPECT_NEAR(v.null_fraction(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ColumnStatsTest, DominantType) {
+  Table t("t", MakeSchema({"mixed"}));
+  t.AppendRow({Value::Int(1)});
+  t.AppendRow({Value::String("x")});
+  t.AppendRow({Value::String("y")});
+  EXPECT_EQ(ComputeColumnStats(t, 0).dominant_type, ValueType::kString);
+}
+
+TEST(ColumnStatsTest, ApproximateKeyColumns) {
+  Table t("t", MakeSchema({"id", "dup", "mostly"}));
+  for (int i = 0; i < 20; ++i) {
+    t.AppendRow({Value::Int(i), Value::Int(i % 3),
+                 Value::Int(i < 19 ? i : 0)});  // 19/20 unique
+  }
+  std::vector<int> keys95 = ApproximateKeyColumns(t, 0.95);
+  ASSERT_EQ(keys95.size(), 2u);  // id exact, "mostly" at 0.95
+  EXPECT_EQ(keys95[0], 0);
+  EXPECT_EQ(keys95[1], 2);
+  std::vector<int> keys100 = ApproximateKeyColumns(t, 1.0);
+  ASSERT_EQ(keys100.size(), 1u);
+  EXPECT_EQ(keys100[0], 0);
+}
+
+TEST(ColumnStatsTest, DistinctValueHashesSkipNulls) {
+  Table t("t", MakeSchema({"x"}));
+  t.AppendRow({Value::Null()});
+  t.AppendRow({Value::Int(5)});
+  t.AppendRow({Value::Int(5)});
+  EXPECT_EQ(DistinctValueHashes(t, 0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace ver

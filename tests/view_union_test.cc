@@ -1,0 +1,172 @@
+// Tests for the C3 union strategy materialization and the graph exports.
+
+#include <gtest/gtest.h>
+
+#include "core/view_graph_export.h"
+#include "core/view_union.h"
+
+namespace ver {
+namespace {
+
+Schema MakeSchema(std::vector<std::string> names) {
+  Schema s;
+  for (std::string& n : names) {
+    s.AddAttribute(Attribute{std::move(n), ValueType::kString});
+  }
+  return s;
+}
+
+View MakeView(int64_t id, std::vector<std::string> attrs,
+              std::vector<std::vector<std::string>> rows) {
+  View v;
+  v.id = id;
+  v.table = Table("view_" + std::to_string(id), MakeSchema(std::move(attrs)));
+  for (auto& row : rows) {
+    std::vector<Value> values;
+    for (auto& cell : row) values.push_back(Value::Parse(cell));
+    EXPECT_TRUE(v.table.AppendRow(std::move(values)).ok());
+  }
+  return v;
+}
+
+std::set<std::string> RowTexts(const Table& t) {
+  std::set<std::string> out;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    std::string row;
+    for (int c = 0; c < t.num_columns(); ++c) {
+      row += t.at(r, c).ToText() + "|";
+    }
+    out.insert(row);
+  }
+  return out;
+}
+
+TEST(ViewUnionTest, ComplementaryViewsMerge) {
+  std::vector<View> views;
+  views.push_back(
+      MakeView(0, {"k", "v"}, {{"a", "1"}, {"b", "2"}, {"c", "3"}}));
+  views.push_back(
+      MakeView(1, {"k", "v"}, {{"c", "3"}, {"d", "4"}, {"e", "5"}}));
+  DistillationResult d = DistillViews(views, DistillationOptions());
+  ASSERT_EQ(d.surviving.size(), 2u);
+
+  std::vector<UnionedView> merged =
+      UnionComplementaryViews(views, d, KeyChoice::kBestCase);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].sources, (std::vector<int>{0, 1}));
+  EXPECT_EQ(merged[0].table.num_rows(), 5);  // a..e, c deduped
+  std::set<std::string> rows = RowTexts(merged[0].table);
+  EXPECT_TRUE(rows.count("a|1|"));
+  EXPECT_TRUE(rows.count("e|5|"));
+}
+
+TEST(ViewUnionTest, KeyRelativityDrivesUnionDecision) {
+  // The paper's note under Definition 9: a pair may be contradictory
+  // w.r.t. key k yet complementary w.r.t. key v. The best-case key choice
+  // ('v') unions them; the worst-case choice ('k') must not.
+  std::vector<View> views;
+  views.push_back(MakeView(0, {"k", "v"}, {{"a", "1"}, {"b", "2"}}));
+  views.push_back(MakeView(1, {"k", "v"}, {{"a", "9"}, {"b", "2"}}));
+  DistillationResult d = DistillViews(views, DistillationOptions());
+  std::vector<UnionedView> best =
+      UnionComplementaryViews(views, d, KeyChoice::kBestCase);
+  ASSERT_EQ(best.size(), 1u);
+  EXPECT_EQ(best[0].sources.size(), 2u);
+  EXPECT_EQ(best[0].key, std::vector<std::string>{"v"});
+  EXPECT_EQ(best[0].table.num_rows(), 3);  // (a,1), (b,2), (a,9)
+
+  std::vector<UnionedView> worst =
+      UnionComplementaryViews(views, d, KeyChoice::kWorstCase);
+  EXPECT_EQ(worst.size(), 2u);
+  for (const UnionedView& uv : worst) {
+    EXPECT_EQ(uv.sources.size(), 1u);
+  }
+}
+
+TEST(ViewUnionTest, WorstCaseKeyUnionsLess) {
+  // Key 'k': views overlap and never contradict -> union works.
+  // Key 'v': contradictory mapping (x->1 vs x->2 share no rows per v)...
+  // Construct: under key k all three merge; under key v, view 2's v values
+  // collide with different k's so pairs become contradictory.
+  std::vector<View> views;
+  views.push_back(MakeView(0, {"k", "v"}, {{"a", "1"}, {"b", "2"}}));
+  views.push_back(MakeView(1, {"k", "v"}, {{"b", "2"}, {"c", "3"}}));
+  views.push_back(MakeView(2, {"k", "v"}, {{"c", "3"}, {"a", "4"}}));
+  DistillationResult d = DistillViews(views, DistillationOptions());
+  ComplementaryReduction red = ComputeComplementaryReduction(views, d);
+  EXPECT_LE(red.best_case, red.worst_case);
+
+  std::vector<UnionedView> best =
+      UnionComplementaryViews(views, d, KeyChoice::kBestCase);
+  std::vector<UnionedView> worst =
+      UnionComplementaryViews(views, d, KeyChoice::kWorstCase);
+  EXPECT_EQ(static_cast<int64_t>(best.size()), red.best_case);
+  EXPECT_EQ(static_cast<int64_t>(worst.size()), red.worst_case);
+}
+
+TEST(ViewUnionTest, PermutedSchemasAlignByName) {
+  std::vector<View> views;
+  views.push_back(MakeView(0, {"k", "v"}, {{"a", "1"}, {"b", "2"}}));
+  views.push_back(MakeView(1, {"v", "k"}, {{"3", "c"}, {"2", "b"}}));
+  DistillationResult d = DistillViews(views, DistillationOptions());
+  std::vector<UnionedView> merged =
+      UnionComplementaryViews(views, d, KeyChoice::kBestCase);
+  ASSERT_EQ(merged.size(), 1u);
+  // Row (b,2) shared; union has 3 rows in view 0's column order.
+  EXPECT_EQ(merged[0].table.num_rows(), 3);
+  EXPECT_EQ(merged[0].table.schema().attribute(0).name, "k");
+  std::set<std::string> rows = RowTexts(merged[0].table);
+  EXPECT_TRUE(rows.count("c|3|"));
+}
+
+TEST(ViewUnionTest, ViewsWithoutKeysPassThrough) {
+  std::vector<View> views;
+  views.push_back(MakeView(
+      0, {"k", "v"}, {{"a", "1"}, {"a", "2"}, {"b", "1"}, {"b", "3"}}));
+  views.push_back(MakeView(
+      1, {"k", "v"}, {{"a", "1"}, {"c", "2"}, {"c", "5"}, {"d", "3"}}));
+  DistillationResult d = DistillViews(views, DistillationOptions());
+  std::vector<UnionedView> merged =
+      UnionComplementaryViews(views, d, KeyChoice::kBestCase);
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(ViewUnionTest, EmptyInput) {
+  DistillationResult d = DistillViews({}, DistillationOptions());
+  EXPECT_TRUE(
+      UnionComplementaryViews({}, d, KeyChoice::kBestCase).empty());
+}
+
+// ------------------------------ exports ---------------------------------
+
+TEST(ViewGraphExportTest, DotContainsNodesAndColoredEdges) {
+  std::vector<View> views;
+  views.push_back(MakeView(0, {"k", "v"}, {{"a", "1"}}));
+  views.push_back(MakeView(1, {"k", "v"}, {{"a", "1"}, {"b", "2"}}));
+  views.push_back(MakeView(2, {"k", "v"}, {{"a", "9"}, {"b", "2"}}));
+  DistillationResult d = DistillViews(views, DistillationOptions());
+  std::string dot = ViewGraphToDot(views, d);
+  EXPECT_NE(dot.find("graph view_distillation"), std::string::npos);
+  EXPECT_NE(dot.find("v0"), std::string::npos);
+  EXPECT_NE(dot.find("v2"), std::string::npos);
+  EXPECT_NE(dot.find("contained"), std::string::npos);
+  EXPECT_NE(dot.find("color=blue"), std::string::npos);      // contained
+  EXPECT_NE(dot.find("color=red"), std::string::npos);       // contradictory
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);    // pruned node
+}
+
+TEST(ViewGraphExportTest, ReportSummarizesCounts) {
+  std::vector<View> views;
+  views.push_back(MakeView(0, {"k", "v"}, {{"a", "1"}, {"b", "2"}}));
+  views.push_back(MakeView(1, {"k", "v"}, {{"a", "9"}, {"b", "2"}}));
+  DistillationResult d = DistillViews(views, DistillationOptions());
+  std::string report = DistillationReport(views, d);
+  EXPECT_NE(report.find("input views        : 2"), std::string::npos);
+  EXPECT_NE(report.find("contradictory pairs: 1"), std::string::npos);
+  EXPECT_NE(report.find("key k = 'a'"), std::string::npos);
+  EXPECT_NE(report.find("surviving views    : view_0 view_1"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ver

@@ -1,0 +1,345 @@
+// Workload substrate tests: vocabularies, generators, noisy queries,
+// ground-truth plumbing, simulated users.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "workload/chembl_gen.h"
+#include "workload/noisy_query.h"
+#include "workload/open_data_gen.h"
+#include "workload/simulated_user.h"
+#include "workload/vocab.h"
+#include "workload/wdc_gen.h"
+
+namespace ver {
+namespace {
+
+// ------------------------------- vocab ----------------------------------
+
+TEST(VocabTest, PoolsAreNonEmptyAndDistinct) {
+  EXPECT_EQ(UsStates().size(), 50u);
+  EXPECT_GE(UsCities().size(), 50u);
+  EXPECT_GE(Countries().size(), 50u);
+  EXPECT_GE(Organisms().size(), 10u);
+  std::set<std::string> states(UsStates().begin(), UsStates().end());
+  EXPECT_EQ(states.size(), UsStates().size());
+}
+
+TEST(VocabTest, SyntheticNamesAreUniqueAndSeeded) {
+  std::vector<std::string> a = SyntheticNames("X-", 100, 42);
+  std::vector<std::string> b = SyntheticNames("X-", 100, 42);
+  std::vector<std::string> c = SyntheticNames("X-", 100, 43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  std::set<std::string> unique(a.begin(), a.end());
+  EXPECT_EQ(unique.size(), 100u);
+  for (const std::string& name : a) {
+    EXPECT_EQ(name.rfind("X-", 0), 0u) << name;
+  }
+}
+
+TEST(VocabTest, IataCodesAreThreeLetters) {
+  for (const std::string& code : IataCodes(60, 7)) {
+    EXPECT_EQ(code.size(), 3u);
+    for (char ch : code) {
+      EXPECT_GE(ch, 'A');
+      EXPECT_LE(ch, 'Z');
+    }
+  }
+}
+
+TEST(VocabTest, DerivedNamePools) {
+  EXPECT_EQ(ChurchNames(40, 1).size(), 40u);
+  EXPECT_EQ(NewspaperTitles(40, 1).size(), 40u);
+}
+
+// ----------------------------- generators --------------------------------
+
+TEST(ChemblGenTest, DeterministicAndShaped) {
+  ChemblSpec spec;
+  spec.num_compounds = 50;
+  spec.num_targets = 30;
+  spec.num_cells = 20;
+  spec.num_assays = 60;
+  spec.num_activities = 80;
+  spec.num_filler_tables = 3;
+  GeneratedDataset a = GenerateChemblLike(spec);
+  GeneratedDataset b = GenerateChemblLike(spec);
+  EXPECT_EQ(a.repo.num_tables(), b.repo.num_tables());
+  EXPECT_EQ(a.repo.TotalRows(), b.repo.TotalRows());
+  EXPECT_EQ(a.queries.size(), 5u);
+  // Core tables exist.
+  for (const char* name :
+       {"compounds", "assays", "cell_dictionary", "target_dictionary",
+        "component_sequences", "activities"}) {
+    EXPECT_TRUE(a.repo.FindTable(name).ok()) << name;
+  }
+}
+
+TEST(ChemblGenTest, CellNameDescriptionBijection) {
+  GeneratedDataset d = GenerateChemblLike(ChemblSpec());
+  int32_t cells = d.repo.FindTable("cell_dictionary").value();
+  const Table& t = d.repo.table(cells);
+  int name_col = t.schema().IndexOf("cell_name");
+  int desc_col = t.schema().IndexOf("cell_description");
+  std::unordered_set<std::string> names, descs;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    names.insert(t.at(r, name_col).AsString());
+    descs.insert(t.at(r, desc_col).AsString());
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(t.num_rows()));
+  EXPECT_EQ(descs.size(), static_cast<size_t>(t.num_rows()));
+}
+
+TEST(ChemblGenTest, NoiseColumnHasHighContainment) {
+  GeneratedDataset d = GenerateChemblLike(ChemblSpec());
+  // molecule_dictionary.pref_name must contain >= 80% of compounds.pref_name
+  // values plus extras (the noise-column property of Section VI-B).
+  int32_t compounds = d.repo.FindTable("compounds").value();
+  int32_t md = d.repo.FindTable("molecule_dictionary").value();
+  const Table& ct = d.repo.table(compounds);
+  const Table& mt = d.repo.table(md);
+  std::unordered_set<std::string> c_names, m_names;
+  int c_col = ct.schema().IndexOf("pref_name");
+  int m_col = mt.schema().IndexOf("pref_name");
+  for (int64_t r = 0; r < ct.num_rows(); ++r) {
+    c_names.insert(ct.at(r, c_col).AsString());
+  }
+  for (int64_t r = 0; r < mt.num_rows(); ++r) {
+    m_names.insert(mt.at(r, m_col).AsString());
+  }
+  size_t shared = 0, extra = 0;
+  for (const std::string& n : m_names) {
+    if (c_names.count(n)) {
+      ++shared;
+    } else {
+      ++extra;
+    }
+  }
+  EXPECT_GT(static_cast<double>(shared) / c_names.size(), 0.8);
+  EXPECT_GT(extra, 0u);  // genuinely misleading values exist
+}
+
+TEST(WdcGenTest, TopicVersionsShareSchema) {
+  WdcSpec spec;
+  spec.versions_per_topic = 5;
+  spec.num_filler_tables = 5;
+  GeneratedDataset d = GenerateWdcLike(spec);
+  int32_t master = d.repo.FindTable("airports_master").value();
+  int32_t v0 = d.repo.FindTable("airports_v0").value();
+  EXPECT_EQ(d.repo.table(master).schema().CanonicalSignature(),
+            d.repo.table(v0).schema().CanonicalSignature());
+  // v0 duplicates the master exactly.
+  EXPECT_EQ(d.repo.table(master).num_rows(), d.repo.table(v0).num_rows());
+}
+
+TEST(WdcGenTest, NestedVersionsAreSubsets) {
+  WdcSpec spec;
+  spec.versions_per_topic = 5;
+  GeneratedDataset d = GenerateWdcLike(spec);
+  const Table& v2 = d.repo.table(d.repo.FindTable("airports_v2").value());
+  const Table& v3 = d.repo.table(d.repo.FindTable("airports_v3").value());
+  EXPECT_GT(v2.num_rows(), v3.num_rows());
+  std::set<uint64_t> v2_rows, v3_rows;
+  for (int64_t r = 0; r < v2.num_rows(); ++r) v2_rows.insert(v2.RowHash(r));
+  for (int64_t r = 0; r < v3.num_rows(); ++r) v3_rows.insert(v3.RowHash(r));
+  for (uint64_t h : v3_rows) {
+    EXPECT_TRUE(v2_rows.count(h)) << "v3 must be a subset of v2";
+  }
+}
+
+TEST(OpenDataGenTest, RegistriesKeepJoinsAvailable) {
+  OpenDataSpec spec;
+  spec.num_tables = 40;
+  GeneratedDataset d = GenerateOpenDataLike(spec);
+  EXPECT_TRUE(d.repo.FindTable("od_registry_city").ok());
+  EXPECT_TRUE(d.repo.FindTable("od_registry_state").ok());
+  EXPECT_GT(d.queries.size(), 0u);
+}
+
+TEST(OpenDataGenTest, QueryCountRespected) {
+  OpenDataSpec spec;
+  spec.num_tables = 80;
+  spec.num_queries = 12;
+  GeneratedDataset d = GenerateOpenDataLike(spec);
+  EXPECT_EQ(d.queries.size(), 12u);
+}
+
+// ------------------------- ground truth plumbing -------------------------
+
+TEST(GroundTruthTest, ResolveAndMaterialize) {
+  GeneratedDataset d = GenerateChemblLike(ChemblSpec());
+  const GroundTruthQuery& q2 = d.queries[1];  // single-table query
+  Result<std::vector<ColumnRef>> proj = ResolveProjection(d.repo, q2);
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(proj->size(), 2u);
+  Result<Table> gt = MaterializeGroundTruth(d.repo, q2);
+  ASSERT_TRUE(gt.ok());
+  EXPECT_GT(gt->num_rows(), 0);
+  EXPECT_EQ(gt->num_columns(), 2);
+}
+
+TEST(GroundTruthTest, ResolveUnknownFails) {
+  GeneratedDataset d = GenerateChemblLike(ChemblSpec());
+  EXPECT_FALSE(ResolveColumn(d.repo, "nope", "x").ok());
+  EXPECT_FALSE(ResolveColumn(d.repo, "compounds", "nope").ok());
+}
+
+// ----------------------------- noisy queries -----------------------------
+
+class NoisyQueryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new GeneratedDataset(GenerateChemblLike(ChemblSpec()));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  // Distinct texts of the ground-truth column for attribute `a`.
+  static std::unordered_set<std::string> GtValues(const GroundTruthQuery& gt,
+                                                  int a) {
+    ColumnRef ref =
+        ResolveColumn(dataset_->repo, gt.gt_tables[a], gt.gt_attributes[a])
+            .value();
+    std::unordered_set<std::string> out;
+    for (const Value& v : dataset_->repo.column_values(ref)) {
+      if (!v.is_null()) out.insert(v.ToText());
+    }
+    return out;
+  }
+  static GeneratedDataset* dataset_;
+};
+
+GeneratedDataset* NoisyQueryTest::dataset_ = nullptr;
+
+TEST_F(NoisyQueryTest, ZeroNoiseDrawsOnlyGroundTruth) {
+  const GroundTruthQuery& gt = dataset_->queries[0];
+  Result<ExampleQuery> q =
+      MakeNoisyQuery(dataset_->repo, gt, NoiseLevel::kZero, 3, 5);
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->num_attributes(), 2);
+  for (int a = 0; a < 2; ++a) {
+    std::unordered_set<std::string> gt_values = GtValues(gt, a);
+    ASSERT_EQ(q->columns[a].size(), 3u);
+    for (const std::string& example : q->columns[a]) {
+      EXPECT_TRUE(gt_values.count(example)) << example;
+    }
+  }
+}
+
+TEST_F(NoisyQueryTest, MediumNoiseInjectsOneMisleadingValue) {
+  const GroundTruthQuery& gt = dataset_->queries[0];  // noise on attribute 0
+  Result<ExampleQuery> q =
+      MakeNoisyQuery(dataset_->repo, gt, NoiseLevel::kMedium, 3, 5);
+  ASSERT_TRUE(q.ok());
+  std::unordered_set<std::string> gt_values = GtValues(gt, 0);
+  int noise = 0;
+  for (const std::string& example : q->columns[0]) {
+    if (!gt_values.count(example)) ++noise;
+  }
+  EXPECT_EQ(noise, 1);
+}
+
+TEST_F(NoisyQueryTest, HighNoiseInjectsTwoMisleadingValues) {
+  const GroundTruthQuery& gt = dataset_->queries[0];
+  Result<ExampleQuery> q =
+      MakeNoisyQuery(dataset_->repo, gt, NoiseLevel::kHigh, 3, 5);
+  ASSERT_TRUE(q.ok());
+  std::unordered_set<std::string> gt_values = GtValues(gt, 0);
+  int noise = 0;
+  for (const std::string& example : q->columns[0]) {
+    if (!gt_values.count(example)) ++noise;
+  }
+  EXPECT_EQ(noise, 2);
+}
+
+TEST_F(NoisyQueryTest, DeterministicPerSeed) {
+  const GroundTruthQuery& gt = dataset_->queries[0];
+  Result<ExampleQuery> a =
+      MakeNoisyQuery(dataset_->repo, gt, NoiseLevel::kMedium, 3, 5);
+  Result<ExampleQuery> b =
+      MakeNoisyQuery(dataset_->repo, gt, NoiseLevel::kMedium, 3, 5);
+  Result<ExampleQuery> c =
+      MakeNoisyQuery(dataset_->repo, gt, NoiseLevel::kMedium, 3, 6);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a->columns, b->columns);
+  EXPECT_NE(a->columns, c->columns);
+}
+
+TEST_F(NoisyQueryTest, MissingNoiseColumnFallsBack) {
+  GroundTruthQuery gt = dataset_->queries[0];
+  gt.noise_tables = {"", ""};
+  gt.noise_attributes = {"", ""};
+  Result<ExampleQuery> q =
+      MakeNoisyQuery(dataset_->repo, gt, NoiseLevel::kHigh, 3, 5);
+  ASSERT_TRUE(q.ok());
+  std::unordered_set<std::string> gt_values = GtValues(gt, 0);
+  for (const std::string& example : q->columns[0]) {
+    EXPECT_TRUE(gt_values.count(example));
+  }
+}
+
+TEST(NoiseLevelTest, Names) {
+  EXPECT_STREQ(NoiseLevelToString(NoiseLevel::kZero), "Zero");
+  EXPECT_STREQ(NoiseLevelToString(NoiseLevel::kMedium), "Med");
+  EXPECT_STREQ(NoiseLevelToString(NoiseLevel::kHigh), "High");
+}
+
+// ---------------------------- simulated user -----------------------------
+
+TEST(SimulatedUserTest, AnswersTruthfullyWhenCompetent) {
+  std::vector<View> views;
+  {
+    View v;
+    v.id = 0;
+    Schema s;
+    s.AddAttribute(Attribute{"country", ValueType::kString});
+    v.table = Table("view_0", s);
+    v.table.AppendRow({Value::String("china")});
+    views.push_back(std::move(v));
+  }
+  DistillationResult d;
+  d.surviving = {0};
+  SimulatedUserProfile profile;
+  for (double& c : profile.competence) c = 1.0;  // always answers
+  SimulatedUser user(profile, {0}, &views, &d);
+
+  Question dataset_q;
+  dataset_q.interface_kind = QuestionInterface::kDataset;
+  dataset_q.view_index = 0;
+  EXPECT_EQ(user.Respond(dataset_q).type, AnswerType::kYes);
+
+  Question attr_q;
+  attr_q.interface_kind = QuestionInterface::kAttribute;
+  attr_q.attribute = "country";
+  EXPECT_EQ(user.Respond(attr_q).type, AnswerType::kYes);
+  attr_q.attribute = "nope";
+  EXPECT_EQ(user.Respond(attr_q).type, AnswerType::kNo);
+
+  Question summary_q;
+  summary_q.interface_kind = QuestionInterface::kSummary;
+  summary_q.summary_views = {0};
+  EXPECT_EQ(user.Respond(summary_q).type, AnswerType::kYes);
+  summary_q.summary_views = {};
+  EXPECT_EQ(user.Respond(summary_q).type, AnswerType::kNo);
+}
+
+TEST(SimulatedUserTest, IncompetentUserAlwaysSkips) {
+  std::vector<View> views;
+  DistillationResult d;
+  SimulatedUserProfile profile;
+  for (double& c : profile.competence) c = 0.0;
+  SimulatedUser user(profile, {}, &views, &d);
+  Question q;
+  q.interface_kind = QuestionInterface::kAttribute;
+  q.attribute = "x";
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(user.Respond(q).type, AnswerType::kSkip);
+  }
+}
+
+}  // namespace
+}  // namespace ver
