@@ -6,8 +6,15 @@
 // dataset; the subsampling is nested (tables in a smaller portion are in
 // every larger one). Runtimes are reported as five-number summaries, like
 // the paper's boxplots.
+//
+// A second section times the offline DiscoveryEngine::Build at each
+// repository size, serial vs DiscoveryOptions::parallelism = 8, checks the
+// two indexes agree, and records the measurements as JSON (default
+// BENCH_fig3.json in the working directory, overridable with
+// VER_BENCH_JSON) so successive PRs have a perf trajectory to compare.
 
 #include <filesystem>
+#include <thread>
 
 #include "bench_common.h"
 #include "util/stats.h"
@@ -15,6 +22,66 @@
 namespace ver {
 namespace bench {
 namespace {
+
+constexpr int kParallelWorkers = 8;
+constexpr int kBuildRepetitions = 3;
+
+// Best-of-N wall-clock for one engine build at the given parallelism.
+double TimeEngineBuild(const TableRepository& repo, int parallelism,
+                       int64_t* joinable_pairs) {
+  DiscoveryOptions options;
+  options.parallelism = parallelism;
+  double best = 0;
+  for (int rep = 0; rep < kBuildRepetitions; ++rep) {
+    WallTimer timer;
+    std::unique_ptr<DiscoveryEngine> engine =
+        DiscoveryEngine::Build(repo, options);
+    double elapsed = timer.ElapsedSeconds();
+    if (rep == 0 || elapsed < best) best = elapsed;
+    *joinable_pairs = engine->num_joinable_column_pairs();
+  }
+  return best;
+}
+
+struct BuildMeasurement {
+  double portion = 0;
+  int num_tables = 0;
+  int64_t num_columns = 0;
+  int64_t joinable_pairs = 0;
+  double serial_s = 0;
+  double parallel_s = 0;
+
+  double speedup() const { return parallel_s == 0 ? 0 : serial_s / parallel_s; }
+};
+
+void WriteJson(const std::vector<BuildMeasurement>& rows) {
+  const char* env = std::getenv("VER_BENCH_JSON");
+  std::string path = env != nullptr ? env : "BENCH_fig3.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"fig3_index_build_scalability\",\n");
+  std::fprintf(f, "  \"parallel_workers\": %d,\n", kParallelWorkers);
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"scale\": %d,\n  \"rows\": [\n", BenchScale());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const BuildMeasurement& r = rows[i];
+    std::fprintf(f,
+                 "    {\"portion\": %.2f, \"tables\": %d, \"columns\": %lld, "
+                 "\"joinable_pairs\": %lld, \"build_serial_s\": %.6f, "
+                 "\"build_parallel_s\": %.6f, \"speedup\": %.3f}%s\n",
+                 r.portion, r.num_tables,
+                 static_cast<long long>(r.num_columns),
+                 static_cast<long long>(r.joinable_pairs), r.serial_s,
+                 r.parallel_s, r.speedup(), i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
 
 void Run() {
   PrintHeader("Fig. 3: VIEW-DISTILLATION scalability vs sample portion",
@@ -63,6 +130,50 @@ void Run() {
       "Paper shape: total runtime grows roughly linearly with the number\n"
       "of views; reading views from disk (Get Views Time) dominates and\n"
       "the 4C runtime proper stays comparatively small.\n");
+
+  // ---- offline index-build scalability: serial vs parallel ----
+  std::printf("\nOffline DiscoveryEngine::Build: serial vs parallelism=%d\n",
+              kParallelWorkers);
+  TextTable build_table({"Portion", "#Tables", "#Cols", "Join pairs",
+                         "Serial", "Parallel", "Speedup"});
+  std::vector<BuildMeasurement> measurements;
+  for (double portion : {0.25, 0.5, 0.75, 1.0}) {
+    GeneratedDataset dataset =
+        GenerateOpenDataLike(BenchOpenDataSpec(portion, 1));
+    BuildMeasurement m;
+    m.portion = portion;
+    m.num_tables = dataset.repo.num_tables();
+    m.num_columns = dataset.repo.TotalColumns();
+    int64_t serial_pairs = 0, parallel_pairs = 0;
+    m.serial_s = TimeEngineBuild(dataset.repo, 1, &serial_pairs);
+    m.parallel_s =
+        TimeEngineBuild(dataset.repo, kParallelWorkers, &parallel_pairs);
+    m.joinable_pairs = serial_pairs;
+    if (serial_pairs != parallel_pairs) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION at portion %.2f: serial %lld "
+                   "pairs, parallel %lld pairs\n",
+                   portion, static_cast<long long>(serial_pairs),
+                   static_cast<long long>(parallel_pairs));
+      std::exit(1);
+    }
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx", m.speedup());
+    build_table.AddRow({std::to_string(portion),
+                        std::to_string(m.num_tables),
+                        std::to_string(m.num_columns),
+                        std::to_string(m.joinable_pairs),
+                        FormatSeconds(m.serial_s),
+                        FormatSeconds(m.parallel_s), speedup});
+    measurements.push_back(m);
+  }
+  build_table.Print();
+  std::printf(
+      "Sanity check: parallel join-pair counts match serial (full "
+      "bit-identity\nis guarded by parallel_determinism_test); speedup "
+      "tracks available\nhardware threads (%u here).\n",
+      std::thread::hardware_concurrency());
+  WriteJson(measurements);
 }
 
 }  // namespace

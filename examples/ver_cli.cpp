@@ -35,7 +35,9 @@ int RunQueryOverDirectory(const std::string& dir,
   std::printf("loaded %d tables (%lld rows) from %s\n", repo.num_tables(),
               static_cast<long long>(repo.TotalRows()), dir.c_str());
 
-  Ver system(&repo, VerConfig());
+  VerConfig config;
+  config.discovery.parallelism = 0;  // offline indexing on every core
+  Ver system(&repo, config);
   std::printf("indexed: %lld joinable column pairs\n",
               static_cast<long long>(
                   system.engine().num_joinable_column_pairs()));

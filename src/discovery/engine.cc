@@ -1,5 +1,9 @@
 #include "discovery/engine.h"
 
+#include <memory>
+
+#include "util/thread_pool.h"
+
 namespace ver {
 
 std::unique_ptr<DiscoveryEngine> DiscoveryEngine::Build(
@@ -7,16 +11,20 @@ std::unique_ptr<DiscoveryEngine> DiscoveryEngine::Build(
   std::unique_ptr<DiscoveryEngine> engine(new DiscoveryEngine());
   engine->repo_ = &repo;
   engine->options_ = options;
-  engine->profiles_ = ProfileRepository(repo, options.profiler);
+  int workers = ResolveParallelism(options.parallelism);
+  std::unique_ptr<ThreadPool> pool;
+  if (workers > 1) pool = std::make_unique<ThreadPool>(workers);
+  engine->profiles_ = ProfileRepository(repo, options.profiler, pool.get());
   engine->profile_index_.reserve(engine->profiles_.size());
   for (size_t i = 0; i < engine->profiles_.size(); ++i) {
     engine->profile_index_.emplace(engine->profiles_[i].ref.Encode(),
                                    static_cast<int>(i));
   }
   engine->keywords_.Build(repo);
-  engine->similarity_.Build(&engine->profiles_, options.similarity);
+  engine->similarity_.Build(&engine->profiles_, options.similarity,
+                            pool.get());
   engine->join_paths_.Build(&engine->profiles_, engine->similarity_,
-                            options.join_paths);
+                            options.join_paths, pool.get());
   return engine;
 }
 

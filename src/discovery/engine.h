@@ -26,6 +26,10 @@ struct DiscoveryOptions {
   double similarity_cluster_threshold = 0.5;
   /// Levenshtein budget for fuzzy keyword search.
   int fuzzy_max_edits = 2;
+  /// Worker threads for offline index construction (profiling, LSH banding,
+  /// join-path candidate scoring). 1 = serial; 0 = all hardware threads.
+  /// Output is bit-identical to serial for any value.
+  int parallelism = 1;
 };
 
 /// Offline discovery index over one repository.

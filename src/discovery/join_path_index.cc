@@ -16,31 +16,36 @@ std::pair<int32_t, int32_t> TableKey(int32_t a, int32_t b) {
 
 }  // namespace
 
-void JoinPathIndex::MaybeAddEdge(const ColumnProfile& a,
-                                 const ColumnProfile& b) {
-  if (a.ref.table_id == b.ref.table_id) return;  // self-joins out of scope
+bool JoinPathIndex::ScoreEdge(const ColumnProfile& a, const ColumnProfile& b,
+                              JoinEdge* edge) const {
+  if (a.ref.table_id == b.ref.table_id) return false;  // self-joins out of scope
   if (a.stats.num_distinct < options_.min_distinct ||
       b.stats.num_distinct < options_.min_distinct) {
-    return;
+    return false;
   }
   // Join keys must be type-compatible: strings join strings, numbers join
   // numbers (int/double interchangeable).
   bool a_str = a.stats.dominant_type == ValueType::kString;
   bool b_str = b.stats.dominant_type == ValueType::kString;
-  if (a_str != b_str) return;
+  if (a_str != b_str) return false;
 
   double c_ab = ProfileContainment(a, b);
   double c_ba = ProfileContainment(b, a);
   double containment = std::max(c_ab, c_ba);
-  if (containment < options_.containment_threshold) return;
+  if (containment < options_.containment_threshold) return false;
 
+  edge->left = a.ref;
+  edge->right = b.ref;
+  edge->containment = containment;
+  edge->key_quality = std::max(a.stats.uniqueness(), b.stats.uniqueness());
+  return true;
+}
+
+void JoinPathIndex::MaybeAddEdge(const ColumnProfile& a,
+                                 const ColumnProfile& b) {
   JoinEdge edge;
-  edge.left = a.ref;
-  edge.right = b.ref;
-  edge.containment = containment;
-  edge.key_quality = std::max(a.stats.uniqueness(), b.stats.uniqueness());
-  auto key = TableKey(a.ref.table_id, b.ref.table_id);
-  pair_edges_[key].push_back(edge);
+  if (!ScoreEdge(a, b, &edge)) return;
+  pair_edges_[TableKey(a.ref.table_id, b.ref.table_id)].push_back(edge);
   ++num_joinable_column_pairs_;
 }
 
@@ -61,15 +66,42 @@ void JoinPathIndex::RebuildAdjacency() {
 
 void JoinPathIndex::Build(const std::vector<ColumnProfile>* profiles,
                           const SimilarityIndex& similarity,
-                          const JoinPathOptions& options) {
+                          const JoinPathOptions& options, ThreadPool* pool) {
   options_ = options;
   pair_edges_.clear();
   adjacency_.clear();
   num_joinable_column_pairs_ = 0;
 
   const auto& ps = *profiles;
-  for (auto [i, j] : similarity.AllCandidatePairs()) {
-    MaybeAddEdge(ps[i], ps[j]);
+  std::vector<std::pair<int, int>> pairs = similarity.AllCandidatePairs();
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    for (auto [i, j] : pairs) MaybeAddEdge(ps[i], ps[j]);
+    RebuildAdjacency();
+    return;
+  }
+  // Candidate scoring (the containment computations) dominates Build; shard
+  // the sorted pair list into contiguous chunks scored on workers. Each
+  // chunk emits edges in pair order, and chunks merge in chunk order, so
+  // pair_edges_ content and per-key edge order match the serial pass.
+  size_t num_chunks =
+      std::max<size_t>(1, std::min(RecommendedChunks(pool), pairs.size()));
+  std::vector<std::vector<JoinEdge>> local(num_chunks);
+  ParallelFor(pool, pairs.size(), num_chunks,
+              [&](size_t c, size_t lo, size_t hi) {
+                for (size_t k = lo; k < hi; ++k) {
+                  JoinEdge edge;
+                  if (ScoreEdge(ps[pairs[k].first], ps[pairs[k].second],
+                                &edge)) {
+                    local[c].push_back(edge);
+                  }
+                }
+              });
+  for (const std::vector<JoinEdge>& chunk : local) {
+    for (const JoinEdge& edge : chunk) {
+      pair_edges_[TableKey(edge.left.table_id, edge.right.table_id)].push_back(
+          edge);
+      ++num_joinable_column_pairs_;
+    }
   }
   RebuildAdjacency();
 }

@@ -12,6 +12,7 @@
 #include "discovery/join_graph.h"
 #include "discovery/profile.h"
 #include "discovery/similarity_index.h"
+#include "util/thread_pool.h"
 
 namespace ver {
 
@@ -31,8 +32,11 @@ struct JoinPathOptions {
 class JoinPathIndex {
  public:
   /// Discovers all joinable column pairs and builds table adjacency.
+  /// With a pool, candidate-pair scoring shards across workers; per-chunk
+  /// edges merge in chunk order, so the index equals a serial build.
   void Build(const std::vector<ColumnProfile>* profiles,
-             const SimilarityIndex& similarity, const JoinPathOptions& options);
+             const SimilarityIndex& similarity, const JoinPathOptions& options,
+             ThreadPool* pool = nullptr);
 
   /// Incrementally discovers join edges for profiles appended after
   /// Build() (starting at `first_new`) and refreshes table adjacency.
@@ -64,6 +68,11 @@ class JoinPathIndex {
   int64_t num_joinable_column_pairs_ = 0;
   JoinPathOptions options_;
 
+  // Evaluates one candidate column pair; returns true and fills `edge` when
+  // the pair is joinable. Pure with respect to index state, so candidate
+  // scoring can run on worker threads.
+  bool ScoreEdge(const ColumnProfile& a, const ColumnProfile& b,
+                 JoinEdge* edge) const;
   // Evaluates one candidate column pair and records the edge if joinable.
   void MaybeAddEdge(const ColumnProfile& a, const ColumnProfile& b);
   void RebuildAdjacency();

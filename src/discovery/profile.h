@@ -9,6 +9,7 @@
 #include "storage/repository.h"
 #include "table/column_stats.h"
 #include "util/minhash.h"
+#include "util/thread_pool.h"
 
 namespace ver {
 
@@ -35,8 +36,11 @@ struct ProfilerOptions {
 };
 
 /// Profiles every column of the repository (the offline indexing pass).
+/// With a pool, tables are profiled concurrently and concatenated in table
+/// order, so the result is identical to the serial pass.
 std::vector<ColumnProfile> ProfileRepository(const TableRepository& repo,
-                                             const ProfilerOptions& options);
+                                             const ProfilerOptions& options,
+                                             ThreadPool* pool = nullptr);
 
 /// Profiles the columns of one table (incremental index maintenance).
 /// Sketches are comparable with ProfileRepository output for the same

@@ -8,7 +8,8 @@
 namespace ver {
 
 void SimilarityIndex::Build(const std::vector<ColumnProfile>* profiles,
-                            const SimilarityOptions& options) {
+                            const SimilarityOptions& options,
+                            ThreadPool* pool) {
   profiles_ = profiles;
   options_ = options;
   value_postings_.clear();
@@ -21,26 +22,74 @@ void SimilarityIndex::Build(const std::vector<ColumnProfile>* profiles,
   int bands = std::max(1, std::min(options_.lsh_bands, permutations));
   rows_per_band_ = std::max(1, permutations / bands);
   band_buckets_.resize(bands);
-  AddProfiles(0);
+  AddProfiles(0, pool);
 }
 
-void SimilarityIndex::AddProfiles(size_t first_new) {
+void SimilarityIndex::AddProfiles(size_t first_new, ThreadPool* pool) {
   const auto& ps = *profiles_;
   eligible_.resize(ps.size(), false);
-  int bands = static_cast<int>(band_buckets_.size());
+  if (first_new >= ps.size()) return;
   for (size_t i = first_new; i < ps.size(); ++i) {
-    const ColumnProfile& p = ps[i];
-    if (p.stats.num_distinct < options_.min_distinct) continue;
-    eligible_[i] = true;
-    for (uint64_t h : p.distinct_hashes) {
-      auto& posting = value_postings_[h];
-      if (posting.size() < options_.max_posting_length) {
-        posting.push_back(static_cast<int>(i));
+    eligible_[i] = ps[i].stats.num_distinct >= options_.min_distinct;
+  }
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    for (size_t i = first_new; i < ps.size(); ++i) {
+      if (!eligible_[i]) continue;
+      const ColumnProfile& p = ps[i];
+      for (uint64_t h : p.distinct_hashes) {
+        auto& posting = value_postings_[h];
+        if (posting.size() < options_.max_posting_length) {
+          posting.push_back(static_cast<int>(i));
+        }
+      }
+      for (size_t b = 0; b < band_buckets_.size(); ++b) {
+        band_buckets_[b][BandHash(p.signature, static_cast<int>(b))].push_back(
+            static_cast<int>(i));
       }
     }
-    for (int b = 0; b < bands; ++b) {
-      band_buckets_[b][BandHash(p.signature, b)].push_back(
-          static_cast<int>(i));
+    return;
+  }
+
+  // Tier 2 (LSH banding): each band owns an independent bucket map, so a
+  // worker filling whole bands — scanning profiles in ascending index order
+  // — writes exactly what the serial loop writes.
+  size_t bands = band_buckets_.size();
+  ParallelFor(pool, bands, bands, [&](size_t, size_t b0, size_t b1) {
+    for (size_t b = b0; b < b1; ++b) {
+      for (size_t i = first_new; i < ps.size(); ++i) {
+        if (!eligible_[i]) continue;
+        band_buckets_[b][BandHash(ps[i].signature, static_cast<int>(b))]
+            .push_back(static_cast<int>(i));
+      }
+    }
+  });
+
+  // Tier 1 (value postings): contiguous profile chunks build local posting
+  // maps; merging in chunk order with the cap applied at merge time keeps
+  // each posting list equal to the first max_posting_length column indices
+  // in ascending order — the serial result.
+  size_t n = ps.size() - first_new;
+  size_t num_chunks = std::max<size_t>(1, std::min(RecommendedChunks(pool), n));
+  std::vector<std::unordered_map<uint64_t, std::vector<int>>> local(num_chunks);
+  ParallelFor(pool, n, num_chunks, [&](size_t c, size_t lo, size_t hi) {
+    for (size_t k = lo; k < hi; ++k) {
+      size_t i = first_new + k;
+      if (!eligible_[i]) continue;
+      for (uint64_t h : ps[i].distinct_hashes) {
+        auto& posting = local[c][h];
+        if (posting.size() < options_.max_posting_length) {
+          posting.push_back(static_cast<int>(i));
+        }
+      }
+    }
+  });
+  for (auto& chunk : local) {
+    for (auto& [h, ids] : chunk) {
+      auto& posting = value_postings_[h];
+      for (int id : ids) {
+        if (posting.size() >= options_.max_posting_length) break;
+        posting.push_back(id);
+      }
     }
   }
 }

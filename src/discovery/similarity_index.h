@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "discovery/profile.h"
+#include "util/thread_pool.h"
 
 namespace ver {
 
@@ -35,12 +36,14 @@ struct Neighbor {
 class SimilarityIndex {
  public:
   /// Builds both tiers from the profiles. Profiles must outlive the index.
+  /// With a pool, banding and posting construction shard across workers;
+  /// the merged index is identical to a serial build.
   void Build(const std::vector<ColumnProfile>* profiles,
-             const SimilarityOptions& options);
+             const SimilarityOptions& options, ThreadPool* pool = nullptr);
 
   /// Indexes profiles appended to the vector after Build(), starting at
   /// index `first_new` (incremental index maintenance).
-  void AddProfiles(size_t first_new);
+  void AddProfiles(size_t first_new, ThreadPool* pool = nullptr);
 
   /// Columns b with containment(query ⊆ b) >= threshold (excluding itself).
   std::vector<Neighbor> ContainmentNeighbors(int profile_index,

@@ -1,0 +1,131 @@
+// Regression guard for parallel offline indexing: a DiscoveryEngine built
+// with parallelism=8 must be indistinguishable from a serial build — same
+// profiles, same similarity neighbors, same join paths. The parallel code
+// merges per-chunk results in deterministic chunk order; this test is what
+// keeps that contract honest.
+
+#include <gtest/gtest.h>
+
+#include "discovery/engine.h"
+#include "util/thread_pool.h"
+#include "workload/open_data_gen.h"
+
+namespace ver {
+namespace {
+
+void ExpectSameProfiles(const std::vector<ColumnProfile>& a,
+                        const std::vector<ColumnProfile>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("profile " + std::to_string(i));
+    EXPECT_EQ(a[i].ref.Encode(), b[i].ref.Encode());
+    EXPECT_EQ(a[i].attribute_name, b[i].attribute_name);
+    EXPECT_EQ(a[i].stats.num_rows, b[i].stats.num_rows);
+    EXPECT_EQ(a[i].stats.num_nulls, b[i].stats.num_nulls);
+    EXPECT_EQ(a[i].stats.num_distinct, b[i].stats.num_distinct);
+    EXPECT_EQ(a[i].stats.dominant_type, b[i].stats.dominant_type);
+    EXPECT_EQ(a[i].signature.cardinality, b[i].signature.cardinality);
+    EXPECT_EQ(a[i].signature.slots, b[i].signature.slots);
+    EXPECT_EQ(a[i].distinct_hashes, b[i].distinct_hashes);
+  }
+}
+
+void ExpectSameNeighbors(const std::vector<Neighbor>& a,
+                         const std::vector<Neighbor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].profile_index, b[i].profile_index);
+    EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+  }
+}
+
+TEST(ParallelDeterminismTest, ParallelBuildIsBitIdenticalToSerial) {
+  OpenDataSpec spec;
+  spec.num_tables = 60;
+  spec.num_queries = 4;
+  GeneratedDataset dataset = GenerateOpenDataLike(spec);
+
+  DiscoveryOptions serial_options;
+  serial_options.parallelism = 1;
+  DiscoveryOptions parallel_options;
+  parallel_options.parallelism = 8;
+
+  std::unique_ptr<DiscoveryEngine> serial =
+      DiscoveryEngine::Build(dataset.repo, serial_options);
+  std::unique_ptr<DiscoveryEngine> parallel =
+      DiscoveryEngine::Build(dataset.repo, parallel_options);
+
+  ExpectSameProfiles(serial->profiles(), parallel->profiles());
+
+  EXPECT_EQ(serial->num_joinable_column_pairs(),
+            parallel->num_joinable_column_pairs());
+
+  // Candidate generation and neighbor verification, from every column.
+  int n = static_cast<int>(serial->profiles().size());
+  for (int i = 0; i < n; ++i) {
+    SCOPED_TRACE("column " + std::to_string(i));
+    EXPECT_EQ(serial->similarity_index().Candidates(i),
+              parallel->similarity_index().Candidates(i));
+    for (double threshold : {0.5, 0.8}) {
+      ExpectSameNeighbors(
+          serial->similarity_index().ContainmentNeighbors(i, threshold),
+          parallel->similarity_index().ContainmentNeighbors(i, threshold));
+      ExpectSameNeighbors(
+          serial->similarity_index().JaccardNeighbors(i, threshold),
+          parallel->similarity_index().JaccardNeighbors(i, threshold));
+    }
+  }
+
+  // Join edges between every table pair, and join graphs for every
+  // consecutive table pair within 3 hops.
+  EXPECT_EQ(serial->similarity_index().AllCandidatePairs(),
+            parallel->similarity_index().AllCandidatePairs());
+  for (int32_t a = 0; a < dataset.repo.num_tables(); ++a) {
+    for (int32_t b = a + 1; b < dataset.repo.num_tables(); ++b) {
+      const auto& ea = serial->join_path_index().EdgesBetween(a, b);
+      const auto& eb = parallel->join_path_index().EdgesBetween(a, b);
+      ASSERT_EQ(ea.size(), eb.size());
+      for (size_t k = 0; k < ea.size(); ++k) {
+        EXPECT_EQ(ea[k].CanonicalEncoding(), eb[k].CanonicalEncoding());
+        EXPECT_DOUBLE_EQ(ea[k].containment, eb[k].containment);
+        EXPECT_DOUBLE_EQ(ea[k].key_quality, eb[k].key_quality);
+      }
+    }
+    EXPECT_EQ(serial->join_path_index().AdjacentTables(a),
+              parallel->join_path_index().AdjacentTables(a));
+  }
+  for (int32_t t = 0; t + 1 < dataset.repo.num_tables(); t += 7) {
+    std::vector<JoinGraph> ga = serial->GenerateJoinGraphs({t, t + 1}, 3);
+    std::vector<JoinGraph> gb = parallel->GenerateJoinGraphs({t, t + 1}, 3);
+    ASSERT_EQ(ga.size(), gb.size());
+    for (size_t k = 0; k < ga.size(); ++k) {
+      EXPECT_EQ(ga[k].Signature(), gb[k].Signature());
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, ZeroMeansHardwareConcurrency) {
+  EXPECT_GE(ResolveParallelism(0), 1);
+  EXPECT_EQ(ResolveParallelism(1), 1);
+  EXPECT_EQ(ResolveParallelism(-3), 1);
+  EXPECT_EQ(ResolveParallelism(8), 8);
+}
+
+TEST(ParallelDeterminismTest, ParallelForCoversRangeInChunkOrderMerge) {
+  ThreadPool pool(4);
+  std::vector<std::vector<int>> chunks(8);
+  ParallelFor(&pool, 100, 8, [&](size_t c, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      chunks[c].push_back(static_cast<int>(i));
+    }
+  });
+  std::vector<int> merged;
+  for (const auto& c : chunks) {
+    merged.insert(merged.end(), c.begin(), c.end());
+  }
+  ASSERT_EQ(merged.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(merged[i], i);
+}
+
+}  // namespace
+}  // namespace ver
