@@ -1,0 +1,106 @@
+// Serving throughput: queries/second through VerServer at increasing
+// worker counts, versus a serial Ver::RunQuery loop over the same query
+// mix, plus the fully-cached serving rate. No paper counterpart — this
+// measures the concurrent serving layer added on top of the paper's
+// single-query pipeline. On a 1-core container the pool cannot beat the
+// serial loop (expect ~1x minus queue overhead); the cached row shows what
+// the LRU cache is worth regardless of core count.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "serving/ver_server.h"
+
+namespace ver {
+namespace bench {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void Run() {
+  PrintHeader("Serving throughput (VerServer vs serial Ver)",
+              "the serving-layer extension (no figure)");
+
+  OpenDataSpec spec = BenchOpenDataSpec(/*portion=*/0.5, /*num_queries=*/6);
+  GeneratedDataset dataset = GenerateOpenDataLike(spec);
+  std::vector<ExampleQuery> queries;
+  for (size_t i = 0; i < dataset.queries.size(); ++i) {
+    Result<ExampleQuery> q = MakeNoisyQuery(dataset.repo, dataset.queries[i],
+                                            NoiseLevel::kZero, 3, 7 + i);
+    if (q.ok()) queries.push_back(std::move(q).value());
+  }
+  int rounds = 4 * BenchScale();
+  int total = rounds * static_cast<int>(queries.size());
+  std::printf("%d tables, %zu distinct queries x %d rounds = %d serves\n\n",
+              dataset.repo.num_tables(), queries.size(), rounds, total);
+
+  VerConfig config;
+  TextTable table({"mode", "workers", "cache", "total", "QPS", "hit rate"});
+
+  // Serial baseline: one Ver, one thread, no cache.
+  {
+    Ver serial(&dataset.repo, config);
+    auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < rounds; ++r) {
+      for (const ExampleQuery& q : queries) serial.RunQuery(q);
+    }
+    double elapsed = SecondsSince(start);
+    table.AddRow({"serial Ver", "1", "off", FormatSeconds(elapsed),
+                  std::to_string(static_cast<int>(total / elapsed)), "-"});
+  }
+
+  for (int workers : {1, 2, 4, 8}) {
+    for (bool cached : {false, true}) {
+      ServingOptions serving;
+      serving.num_workers = workers;
+      serving.cache_capacity = cached ? 64 : 0;
+      serving.max_queue_depth = 0;  // unbounded: rejects would skew the QPS
+      VerServer server(&dataset.repo, config, serving);
+      auto start = std::chrono::steady_clock::now();
+      std::vector<std::shared_ptr<QueryTicket>> tickets;
+      tickets.reserve(total);
+      for (int r = 0; r < rounds; ++r) {
+        for (const ExampleQuery& q : queries) {
+          tickets.push_back(server.Submit(q));
+        }
+      }
+      int failures = 0;
+      for (const auto& t : tickets) {
+        if (!t->Wait().status.ok()) ++failures;
+      }
+      double elapsed = SecondsSince(start);
+      if (failures > 0) {
+        std::printf("WARNING: %d/%d serves failed; QPS row is invalid\n",
+                    failures, total);
+      }
+      ServerStats stats = server.stats();
+      char hit_rate[32] = "-";
+      if (cached) {
+        std::snprintf(hit_rate, sizeof(hit_rate), "%.0f%%",
+                      100.0 * stats.cache_hits /
+                          (stats.cache_hits + stats.cache_misses));
+      }
+      table.AddRow({"VerServer", std::to_string(workers),
+                    cached ? "64" : "off", FormatSeconds(elapsed),
+                    std::to_string(static_cast<int>(total / elapsed)),
+                    hit_rate});
+    }
+  }
+  table.Print();
+  std::printf("\nQPS = end-to-end serves per second including queueing.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ver
+
+int main() {
+  ver::bench::Run();
+  return 0;
+}

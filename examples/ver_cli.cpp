@@ -1,15 +1,21 @@
 // ver_cli: command-line view discovery over a directory of CSV files.
 //
-//   ver_cli <csv-dir> <examples-A> <examples-B> [...]
+//   ver_cli [--parallelism=N] <csv-dir> <examples-A> <examples-B> [...]
 //
 // where each <examples-X> is a comma-separated list of example values for
 // one output attribute, e.g.:
 //
 //   ver_cli ./portal "Boston,Chicago" "Wu,Johnson"
 //
-// Run without arguments it demos itself on a generated open-data corpus.
+// --parallelism=N sets the worker count for offline index construction
+// (DiscoveryOptions::parallelism): 1 = serial, 0 = all hardware threads
+// (the default). Run without arguments it demos itself on a generated
+// open-data corpus.
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -24,8 +30,8 @@ using namespace ver;  // NOLINT — example brevity
 
 namespace {
 
-int RunQueryOverDirectory(const std::string& dir,
-                          const ExampleQuery& query) {
+int RunQueryOverDirectory(const std::string& dir, const ExampleQuery& query,
+                          int parallelism) {
   TableRepository repo;
   Status load = repo.LoadDirectory(dir);
   if (!load.ok()) {
@@ -36,7 +42,7 @@ int RunQueryOverDirectory(const std::string& dir,
               static_cast<long long>(repo.TotalRows()), dir.c_str());
 
   VerConfig config;
-  config.discovery.parallelism = 0;  // offline indexing on every core
+  config.discovery.parallelism = parallelism;
   Ver system(&repo, config);
   std::printf("indexed: %lld joinable column pairs\n",
               static_cast<long long>(
@@ -66,23 +72,68 @@ int RunQueryOverDirectory(const std::string& dir,
 
 }  // namespace
 
+namespace {
+
+// Strict integer parse; rejects empty/trailing garbage (atoi would map
+// "one" to 0 = all cores silently).
+bool ParseInt(const std::string& text, int* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long v = std::strtol(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || errno == ERANGE ||
+      v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max()) {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc >= 3) {
+  int parallelism = 0;  // default: offline indexing on every core
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    bool is_flag = false;
+    if (arg.rfind("--parallelism=", 0) == 0) {
+      is_flag = true;
+      value = arg.substr(14);
+    } else if (arg == "--parallelism") {
+      is_flag = true;
+      if (i + 1 < argc) value = argv[++i];
+    }
+    if (is_flag) {
+      if (!ParseInt(value, &parallelism)) {
+        std::fprintf(stderr, "error: --parallelism needs an integer "
+                             "(got '%s')\n", value.c_str());
+        return 2;
+      }
+    } else {
+      args.push_back(std::move(arg));
+    }
+  }
+
+  if (args.size() >= 2) {
     std::vector<std::vector<std::string>> columns;
-    for (int i = 2; i < argc; ++i) {
+    for (size_t i = 1; i < args.size(); ++i) {
       std::vector<std::string> values;
-      for (std::string& v : Split(argv[i], ',')) {
+      for (std::string& v : Split(args[i], ',')) {
         std::string trimmed = Trim(v);
         if (!trimmed.empty()) values.push_back(std::move(trimmed));
       }
       columns.push_back(std::move(values));
     }
     return RunQueryOverDirectory(
-        argv[1], ExampleQuery::FromColumns(std::move(columns)));
+        args[0], ExampleQuery::FromColumns(std::move(columns)), parallelism);
   }
 
   // Demo mode: write a generated portal to a temp dir and query it.
-  std::printf("usage: %s <csv-dir> <examples-A> <examples-B> [...]\n"
+  std::printf("usage: %s [--parallelism=N] <csv-dir> <examples-A> "
+              "<examples-B> [...]\n"
               "no arguments given — running the self-demo.\n\n",
               argc > 0 ? argv[0] : "ver_cli");
   namespace fs = std::filesystem;
@@ -103,7 +154,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
     return 1;
   }
-  int rc = RunQueryOverDirectory(dir.string(), query.value());
+  int rc = RunQueryOverDirectory(dir.string(), query.value(), parallelism);
   fs::remove_all(dir);
   return rc;
 }

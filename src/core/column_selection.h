@@ -45,9 +45,12 @@ struct ColumnSelectionOptions {
   /// keeps the best-scoring clusters (with ties), matching the paper's
   /// default configuration.
   int theta = 1;
-  /// Jaccard threshold for the similarity edges used in clustering.
+  /// Jaccard threshold for the similarity edges used in clustering
+  /// (Algorithm 4 line 5). Unitless, in [0, 1]; default 0.5.
   double cluster_similarity_threshold = 0.5;
-  /// Allow fuzzy (edit-distance) matches when an example finds nothing.
+  /// Allow fuzzy (edit-distance) matches when an example finds nothing —
+  /// the noise tolerance of Definition 3. Default true; edit budget is
+  /// DiscoveryOptions::fuzzy_max_edits.
   bool fuzzy_fallback = true;
 };
 

@@ -21,10 +21,14 @@ namespace ver {
 
 struct JoinGraphSearchOptions {
   /// Maximum hops per inter-table route (the paper's rho; default 2).
+  /// Units: join edges per route.
   int max_hops = 2;
-  /// Materialize this many top-ranked candidates; <= 0 means all.
+  /// Materialize this many top-ranked candidates (Algorithm 5's top-k);
+  /// <= 0 means all. Units: views; default -1.
   int expected_views = -1;
-  /// Guard on the candidate column-combination product.
+  /// Guard on the candidate column-combination product (Algorithm 5
+  /// line 2's cartesian walk). Units: combinations; default 100000.
+  /// No paper counterpart (implementation guard).
   int64_t max_combinations = 100000;
   /// When false, only enumerate and rank; the caller materializes later
   /// (lets the Ver pipeline time enumeration and materialization apart).

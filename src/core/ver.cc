@@ -5,27 +5,58 @@
 
 namespace ver {
 
+Status QueryControl::Check(const char* next_stage) const {
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    return Status::Cancelled(std::string("query cancelled before ") +
+                             next_stage);
+  }
+  if (deadline != std::chrono::steady_clock::time_point::max() &&
+      std::chrono::steady_clock::now() >= deadline) {
+    return Status::DeadlineExceeded(std::string("deadline passed before ") +
+                                    next_stage);
+  }
+  return Status::OK();
+}
+
 Ver::Ver(const TableRepository* repo, VerConfig config)
     : repo_(repo), config_(std::move(config)) {
   engine_ = DiscoveryEngine::Build(*repo_, config_.discovery);
 }
 
 QueryResult Ver::RunQuery(const ExampleQuery& query) const {
-  QueryResult result;
+  // A default control never fires, so the controlled path cannot fail.
+  return std::move(RunQuery(query, QueryControl())).value();
+}
+
+Result<QueryResult> Ver::RunQuery(const ExampleQuery& query,
+                                  const QueryControl& control) const {
+  VER_RETURN_IF_ERROR(control.Check("COLUMN-SELECTION"));
+  double column_selection_s = 0;
+  std::vector<ColumnSelectionResult> selection;
   {
-    ScopedTimer timer(&result.timing.column_selection_s);
-    result.selection = SelectColumnsForQuery(*engine_, query,
-                                             config_.selection);
+    ScopedTimer timer(&column_selection_s);
+    selection = SelectColumnsForQuery(*engine_, query, config_.selection);
   }
-  QueryResult rest = RunWithCandidates(result.selection, query);
-  rest.selection = std::move(result.selection);
-  rest.timing.column_selection_s = result.timing.column_selection_s;
+  // RunWithCandidates copies `selection` into its result, so nothing needs
+  // to be patched back besides the timing.
+  Result<QueryResult> rest = RunWithCandidates(selection, query, control);
+  if (!rest.ok()) return rest.status();
+  rest->timing.column_selection_s = column_selection_s;
   return rest;
 }
 
 QueryResult Ver::RunWithCandidates(
     const std::vector<ColumnSelectionResult>& per_attribute,
     const ExampleQuery& query_for_ranking) const {
+  return std::move(
+             RunWithCandidates(per_attribute, query_for_ranking,
+                               QueryControl()))
+      .value();
+}
+
+Result<QueryResult> Ver::RunWithCandidates(
+    const std::vector<ColumnSelectionResult>& per_attribute,
+    const ExampleQuery& query_for_ranking, const QueryControl& control) const {
   QueryResult result;
   result.selection = per_attribute;
 
@@ -35,10 +66,12 @@ QueryResult Ver::RunWithCandidates(
     search_options.materialize.spill_dir = config_.spill_dir;
   }
 
+  VER_RETURN_IF_ERROR(control.Check("JOIN-GRAPH-SEARCH"));
   {
     ScopedTimer timer(&result.timing.join_graph_search_s);
     result.search = SearchJoinGraphs(*engine_, per_attribute, search_options);
   }
+  VER_RETURN_IF_ERROR(control.Check("MATERIALIZER"));
   {
     ScopedTimer timer(&result.timing.materialize_s);
     result.views = MaterializeCandidates(
@@ -49,6 +82,7 @@ QueryResult Ver::RunWithCandidates(
   if (!config_.spill_dir.empty()) {
     // Read the spilled views back from disk — distillation's input IO cost
     // ("Get Views Time" in Fig. 3 / VD-IO in Fig. 4b).
+    VER_RETURN_IF_ERROR(control.Check("VD-IO"));
     ScopedTimer timer(&result.timing.vd_io_s);
     for (View& v : result.views) {
       if (v.spill_path.empty()) continue;
@@ -61,6 +95,7 @@ QueryResult Ver::RunWithCandidates(
     }
   }
 
+  VER_RETURN_IF_ERROR(control.Check("VIEW-DISTILLATION"));
   if (config_.run_distillation) {
     ScopedTimer timer(&result.timing.four_c_s);
     result.distillation = DistillViews(result.views, config_.distillation);
@@ -77,6 +112,7 @@ QueryResult Ver::RunWithCandidates(
 
   // Automatic mode (Algorithm 1 line 13): overlap-based ranking of the
   // surviving views.
+  VER_RETURN_IF_ERROR(control.Check("ranking"));
   std::vector<View> survivors;
   survivors.reserve(result.distillation.surviving.size());
   for (int idx : result.distillation.surviving) {

@@ -9,6 +9,8 @@
 #ifndef VER_CORE_VER_H_
 #define VER_CORE_VER_H_
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,20 +23,49 @@
 #include "core/query.h"
 #include "core/view_specification.h"
 #include "discovery/engine.h"
+#include "util/result.h"
 
 namespace ver {
 
+/// Everything the online pipeline is configured by. Each nested options
+/// struct documents its own knobs (default, units, paper parameter).
 struct VerConfig {
+  /// Offline index construction + Appendix A discovery functions.
   DiscoveryOptions discovery;
+  /// COLUMN-SELECTION (Algorithm 4): strategy, theta, clustering threshold.
   ColumnSelectionOptions selection;
+  /// JOIN-GRAPH-SEARCH (Algorithm 5): rho, top-k, combination guard.
   JoinGraphSearchOptions search;
+  /// VIEW-DISTILLATION (Algorithm 3 / 4C): key detection thresholds.
   DistillationOptions distillation;
+  /// VIEW-PRESENTATION (Algorithm 2): bandit gamma, bootstrap pulls, seed.
   PresentationOptions presentation;
   /// Run VIEW-DISTILLATION after materialization (Algorithm 1 line 9).
+  /// Default true; false reproduces the "no-4C" ablations (Table IV).
   bool run_distillation = true;
   /// When non-empty, views spill to disk after materialization and are read
-  /// back before distillation, reproducing the paper's VD-IO cost.
+  /// back before distillation, reproducing the paper's VD-IO cost ("Get
+  /// Views Time", Fig. 3 / Fig. 4b). Default empty = keep views in memory.
+  /// Must stay empty in serving mode: concurrent queries would race on the
+  /// spill files (see serving/serving_options.h).
   std::string spill_dir;
+};
+
+/// Cooperative per-query control for the online pipeline: an optional
+/// wall-clock deadline and an optional cancellation flag. `Ver` checks the
+/// control between pipeline stages (never mid-stage), so a query stops at
+/// the next stage boundary after the deadline passes or `cancel` becomes
+/// true. Default-constructed control never fires.
+struct QueryControl {
+  /// Absolute deadline; `steady_clock::time_point::max()` means none.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  /// When non-null and set to true, the query stops at the next stage
+  /// boundary with a Cancelled status. The flag is owned by the caller.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// OK, or DeadlineExceeded / Cancelled naming the stage not started.
+  Status Check(const char* next_stage) const;
 };
 
 /// Per-stage wall-clock seconds (Fig. 4b components).
@@ -64,6 +95,15 @@ struct QueryResult {
 };
 
 /// End-to-end system bound to one repository.
+///
+/// Thread-safety: after construction the object is immutable, and every
+/// const method is safe to call from many threads concurrently — the online
+/// pipeline keeps all its state on the stack and the discovery engine's
+/// read path mutates nothing (see the contract in discovery/engine.h).
+/// Concurrent RunQuery calls return results identical to serial execution;
+/// tests/serving_test.cc guards that contract. The one caveat is
+/// `VerConfig::spill_dir`: concurrent queries would race on the spill
+/// files, so serving keeps it empty.
 class Ver {
  public:
   /// Builds the discovery index offline. `repo` must outlive this object.
@@ -72,11 +112,23 @@ class Ver {
   /// Runs the full automatic pipeline on a QBE query.
   QueryResult RunQuery(const ExampleQuery& query) const;
 
+  /// RunQuery with deadline/cancellation checks between pipeline stages.
+  /// Fails with DeadlineExceeded or Cancelled; never returns a partial
+  /// result.
+  Result<QueryResult> RunQuery(const ExampleQuery& query,
+                               const QueryControl& control) const;
+
   /// Runs the pipeline starting from pre-computed candidate columns (used
   /// by the keyword / attribute specification variants).
   QueryResult RunWithCandidates(
       const std::vector<ColumnSelectionResult>& per_attribute,
       const ExampleQuery& query_for_ranking) const;
+
+  /// RunWithCandidates with deadline/cancellation checks between stages.
+  Result<QueryResult> RunWithCandidates(
+      const std::vector<ColumnSelectionResult>& per_attribute,
+      const ExampleQuery& query_for_ranking,
+      const QueryControl& control) const;
 
   /// Starts an interactive VIEW-PRESENTATION session over a query result.
   /// The result must outlive the session.

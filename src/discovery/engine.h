@@ -18,17 +18,26 @@
 
 namespace ver {
 
+/// Knobs for offline index construction and the Appendix A discovery
+/// functions. Each nested struct documents its own knobs.
 struct DiscoveryOptions {
+  /// Column profiling: sketch width, seed, exact-set cutoff.
   ProfilerOptions profiler;
+  /// NEIGHBORS index: LSH bands, posting caps, distinct-value floor.
   SimilarityOptions similarity;
+  /// GENERATE-JOIN-GRAPHS index: join-edge threshold and graph caps.
   JoinPathOptions join_paths;
-  /// Jaccard threshold for content-similarity clustering (column selection).
+  /// Jaccard threshold for content-similarity clustering during
+  /// COLUMN-SELECTION (Algorithm 4 line 5's similarity edges). Unitless,
+  /// in [0, 1]; default 0.5.
   double similarity_cluster_threshold = 0.5;
-  /// Levenshtein budget for fuzzy keyword search.
+  /// Levenshtein budget for fuzzy SEARCH-KEYWORD (Appendix A's
+  /// fuzzy=true). Units: edits; default 2; 0 disables fuzzy matching.
   int fuzzy_max_edits = 2;
   /// Worker threads for offline index construction (profiling, LSH banding,
-  /// join-path candidate scoring). 1 = serial; 0 = all hardware threads.
-  /// Output is bit-identical to serial for any value.
+  /// join-path candidate scoring). Units: threads; default 1 = serial;
+  /// 0 = all hardware threads. No paper counterpart (the paper builds
+  /// indices with Aurum). Output is bit-identical to serial for any value.
   int parallelism = 1;
 };
 
@@ -36,6 +45,18 @@ struct DiscoveryOptions {
 ///
 /// Build once, query many times. The engine borrows the repository; the
 /// repository must outlive the engine.
+///
+/// Thread-safety contract (audited for the serving layer): Build() and
+/// IndexNewTable() are exclusive writers. Every const method —
+/// SearchKeyword, Neighbors, SimilarColumns, GenerateJoinGraphs, profile
+/// access and the index accessors — only reads state built beforehand;
+/// there are no lazily-populated caches, memoization, or hidden statics on
+/// the read path (KeywordIndex::Search, SimilarityIndex neighbor queries
+/// and JoinPathIndex::GenerateJoinGraphs allocate their results on the
+/// stack). Concurrent const calls are therefore data-race-free and return
+/// results identical to serial execution. IndexNewTable must not run
+/// concurrently with any other call; callers that need online maintenance
+/// under traffic must serialize it externally (VerServer never calls it).
 class DiscoveryEngine {
  public:
   /// Profiles all columns and constructs all indices.

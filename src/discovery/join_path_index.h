@@ -17,14 +17,19 @@
 namespace ver {
 
 struct JoinPathOptions {
-  /// Containment threshold above which a column pair is a join edge.
+  /// Containment threshold above which a column pair is a join edge — the
+  /// discovery-index threshold t of Fig. 8a (paper default 0.8; lowering
+  /// it admits noisier join paths). Unitless, in [0, 1].
   double containment_threshold = 0.8;
-  /// Join endpoints need at least this many distinct values.
+  /// Join endpoints need at least this many distinct values. Units:
+  /// distinct values; default 2.
   int64_t min_distinct = 2;
   /// Cap on alternative join graphs returned per table-path, guarding the
-  /// cartesian blowup of alternate keys along multi-hop paths.
+  /// cartesian blowup of alternate keys along multi-hop paths. Units:
+  /// graphs; default 64. No paper counterpart (implementation guard).
   int max_graphs_per_path = 64;
-  /// Cap on total join graphs per query.
+  /// Cap on total join graphs per query. Units: graphs; default 4096.
+  /// No paper counterpart (implementation guard).
   int max_total_graphs = 4096;
 };
 

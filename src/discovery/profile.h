@@ -29,9 +29,16 @@ struct ColumnProfile {
 };
 
 struct ProfilerOptions {
+  /// MinHash signature width (the paper's Lazo sketches, Section VI-A).
+  /// Units: permutations; default 128. More = better containment
+  /// estimates, linearly more memory per column.
   int minhash_permutations = 128;
+  /// Seed deriving the permutation family. Sketches are only comparable
+  /// across profiles built with the same seed.
   uint64_t seed = 0x7065726d7574ULL;
-  /// Columns with more distinct values than this keep only the sketch.
+  /// Columns with more distinct values than this keep only the sketch
+  /// (larger ones would make exact containment too expensive). Units:
+  /// distinct values; default 100000.
   int64_t exact_set_max = 100000;
 };
 

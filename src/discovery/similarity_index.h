@@ -17,13 +17,18 @@
 namespace ver {
 
 struct SimilarityOptions {
-  /// Number of LSH bands; rows per band = permutations / bands.
+  /// Number of LSH bands; rows per band = permutations / bands. Default
+  /// 32 bands over 128 permutations (4 rows/band), tuned for the paper's
+  /// NEIGHBORS thresholds around 0.5-0.8. More bands = higher recall at
+  /// lower thresholds, more candidates to verify.
   int lsh_bands = 32;
   /// Columns with fewer distinct values than this are ignored as join
   /// endpoints (single-value columns join everything and mean nothing).
+  /// Units: distinct values; default 2.
   int64_t min_distinct = 2;
   /// Cap on postings per value hash in the overlap tier; very frequent
   /// values (e.g. "0") otherwise create quadratic candidate blowup.
+  /// Units: columns per posting list; default 256.
   size_t max_posting_length = 256;
 };
 

@@ -1,0 +1,69 @@
+// LRU result cache for the serving layer, keyed by canonicalized queries.
+//
+// Canonicalization sorts the example values within each attribute but keeps
+// attribute order, duplicates and hints. That is exactly the set of
+// transformations the pipeline is invariant under: per-attribute hit counts
+// (Algorithm 4) and overlap ranking both aggregate over examples
+// order-independently, while duplicate examples and attribute order do
+// change results. tests/serving_test.cc guards the invariance.
+
+#ifndef VER_SERVING_QUERY_CACHE_H_
+#define VER_SERVING_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/query.h"
+#include "core/ver.h"
+
+namespace ver {
+
+/// Unambiguous cache key: attribute order and hints preserved, example
+/// values sorted within each attribute, every string length-prefixed.
+std::string CanonicalQueryKey(const ExampleQuery& query);
+
+/// Thread-safe LRU map from canonical query key to a shared immutable
+/// QueryResult. A hit returns the exact object a previous miss stored, so
+/// cached results are trivially identical to the originals.
+class QueryCache {
+ public:
+  /// `capacity` in entries; 0 disables the cache (every lookup misses,
+  /// inserts are dropped).
+  explicit QueryCache(size_t capacity) : capacity_(capacity) {}
+
+  /// The cached result for `key`, or null on miss. Bumps the entry to
+  /// most-recently-used and counts a hit/miss.
+  std::shared_ptr<const QueryResult> Lookup(const std::string& key);
+
+  /// Stores `result` under `key`, evicting the least-recently-used entry
+  /// when full. Overwrites an existing entry for the same key.
+  void Insert(const std::string& key,
+              std::shared_ptr<const QueryResult> result);
+
+  struct Counters {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+  };
+  Counters counters() const;
+
+  size_t size() const;
+
+ private:
+  using Entry = std::pair<std::string, std::shared_ptr<const QueryResult>>;
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Counters counters_;
+};
+
+}  // namespace ver
+
+#endif  // VER_SERVING_QUERY_CACHE_H_

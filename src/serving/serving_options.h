@@ -1,0 +1,42 @@
+// ServingOptions: knobs for the concurrent query-serving layer (VerServer).
+//
+// The paper's system is single-query; serving has no paper counterpart, so
+// none of these knobs map to a paper parameter. They control how one
+// immutable Ver instance is shared by many concurrent callers.
+
+#ifndef VER_SERVING_SERVING_OPTIONS_H_
+#define VER_SERVING_SERVING_OPTIONS_H_
+
+#include <cstddef>
+
+namespace ver {
+
+struct ServingOptions {
+  /// Worker threads draining the submission queue. Units: threads.
+  /// Default 4; 0 = all hardware threads (same convention as
+  /// DiscoveryOptions::parallelism). Each worker runs one query at a time
+  /// end to end, so this bounds in-flight pipeline executions.
+  int num_workers = 4;
+
+  /// Bound on queries admitted but not yet started. Units: queries.
+  /// Default 256; <= 0 means unbounded. Submit() fails with Unavailable
+  /// once the backlog is this deep — backpressure instead of unbounded
+  /// memory growth.
+  int max_queue_depth = 256;
+
+  /// LRU result-cache capacity. Units: entries (one full QueryResult each).
+  /// Default 128; 0 disables caching. Keys are canonicalized queries (see
+  /// serving/query_cache.h), so re-ordered example values still hit.
+  size_t cache_capacity = 128;
+
+  /// Deadline applied to queries submitted without an explicit one.
+  /// Units: seconds of wall-clock time from submission. Default 0 = no
+  /// deadline. Checked between pipeline stages and at dequeue, so a query
+  /// over deadline fails cleanly with DeadlineExceeded at the next
+  /// boundary, never mid-stage.
+  double default_deadline_s = 0;
+};
+
+}  // namespace ver
+
+#endif  // VER_SERVING_SERVING_OPTIONS_H_

@@ -1,0 +1,161 @@
+#include "serving/ver_server.h"
+
+#include <utility>
+
+namespace ver {
+
+namespace {
+
+std::chrono::steady_clock::time_point DeadlineFromSeconds(double seconds) {
+  if (seconds <= 0) return std::chrono::steady_clock::time_point::max();
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+VerServer::VerServer(const TableRepository* repo, VerConfig config,
+                     ServingOptions options)
+    : options_(options), cache_(options.cache_capacity) {
+  // Spilling shares file names across queries; serving keeps views in
+  // memory instead of letting concurrent queries race on the spill files.
+  config.spill_dir.clear();
+  ver_ = std::make_unique<Ver>(repo, std::move(config));
+  pool_ = std::make_unique<ThreadPool>(ResolveParallelism(options_.num_workers));
+}
+
+VerServer::~VerServer() { Shutdown(); }
+
+std::shared_ptr<QueryTicket> VerServer::Submit(ExampleQuery query) {
+  return Submit(std::move(query), options_.default_deadline_s);
+}
+
+std::shared_ptr<QueryTicket> VerServer::Submit(ExampleQuery query,
+                                               double deadline_s) {
+  std::shared_ptr<QueryTicket> ticket(new QueryTicket());
+  ticket->query_ = std::move(query);
+  ticket->submitted_at_ = std::chrono::steady_clock::now();
+  ticket->deadline_ = DeadlineFromSeconds(deadline_s);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!accepting_ || pool_ == nullptr) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    ServedResult out;
+    out.status = Status::Unavailable("server is shut down");
+    ticket->promise_.set_value(std::move(out));
+    return ticket;
+  }
+  if (options_.max_queue_depth > 0 &&
+      static_cast<int>(queue_.size()) >= options_.max_queue_depth) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    ServedResult out;
+    out.status = Status::Unavailable("submission queue is full");
+    ticket->promise_.set_value(std::move(out));
+    return ticket;
+  }
+  queue_.push_back(ticket);
+  pool_->Submit([this] { ServeOne(); });
+  return ticket;
+}
+
+ServedResult VerServer::Serve(ExampleQuery query) {
+  return Submit(std::move(query))->Wait();
+}
+
+void VerServer::Shutdown() {
+  std::unique_ptr<ThreadPool> pool;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    accepting_ = false;
+    pool = std::move(pool_);
+  }
+  // The pool destructor runs every already-submitted ServeOne task, so all
+  // queued tickets complete before Shutdown returns.
+  pool.reset();
+}
+
+void VerServer::ServeOne() {
+  std::shared_ptr<QueryTicket> ticket;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return;  // ticket served by an earlier task
+    ticket = std::move(queue_.front());
+    queue_.pop_front();
+  }
+
+  auto started = std::chrono::steady_clock::now();
+  ServedResult out;
+  out.queue_wait_s =
+      std::chrono::duration<double>(started - ticket->submitted_at_).count();
+  auto finish = [&](ServedResult&& done) {
+    done.run_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - started)
+                     .count();
+    Finish(ticket, std::move(done));
+  };
+
+  QueryControl control;
+  control.deadline = ticket->deadline_;
+  control.cancel = &ticket->cancel_;
+
+  // Queries can expire or be cancelled while queued; fail them without
+  // touching the cache counters.
+  out.status = control.Check("serving");
+  if (!out.status.ok()) {
+    finish(std::move(out));
+    return;
+  }
+
+  std::string key;
+  if (options_.cache_capacity > 0) {
+    key = CanonicalQueryKey(ticket->query_);
+    if (std::shared_ptr<const QueryResult> cached = cache_.Lookup(key)) {
+      out.result = std::move(cached);
+      out.cache_hit = true;
+      finish(std::move(out));
+      return;
+    }
+  }
+
+  Result<QueryResult> run = ver_->RunQuery(ticket->query_, control);
+  if (!run.ok()) {
+    out.status = run.status();
+    finish(std::move(out));
+    return;
+  }
+  auto result =
+      std::make_shared<const QueryResult>(std::move(run).value());
+  if (options_.cache_capacity > 0) cache_.Insert(key, result);
+  out.result = std::move(result);
+  finish(std::move(out));
+}
+
+void VerServer::Finish(const std::shared_ptr<QueryTicket>& ticket,
+                       ServedResult out) {
+  if (out.status.ok()) {
+    served_ok_.fetch_add(1, std::memory_order_relaxed);
+  } else if (out.status.IsCancelled()) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+  } else if (out.status.IsDeadlineExceeded()) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ticket->promise_.set_value(std::move(out));
+}
+
+ServerStats VerServer::stats() const {
+  ServerStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.served_ok = served_ok_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  QueryCache::Counters c = cache_.counters();
+  s.cache_hits = c.hits;
+  s.cache_misses = c.misses;
+  s.cache_evictions = c.evictions;
+  return s;
+}
+
+}  // namespace ver

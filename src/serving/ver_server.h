@@ -1,0 +1,147 @@
+// VerServer: the concurrent query-serving layer.
+//
+// Owns one immutable Ver instance (discovery engine + online pipeline) and
+// serves many concurrent QBE queries: a fixed worker pool (util/thread_pool)
+// drains a bounded submission queue, an LRU cache short-circuits repeated
+// queries, and every query carries a QueryControl so deadlines and
+// cancellation take effect at pipeline-stage boundaries. The engine is
+// never mutated after construction (IndexNewTable is deliberately not
+// exposed here), which is what makes the lock-free shared read path safe —
+// see the thread-safety contract in discovery/engine.h.
+
+#ifndef VER_SERVING_VER_SERVER_H_
+#define VER_SERVING_VER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+
+#include "core/ver.h"
+#include "serving/query_cache.h"
+#include "serving/serving_options.h"
+#include "storage/repository.h"
+#include "util/thread_pool.h"
+
+namespace ver {
+
+/// What the server hands back for one query.
+struct ServedResult {
+  /// OK, or DeadlineExceeded / Cancelled / Unavailable (queue full or
+  /// server shut down). Non-OK results carry no partial data.
+  Status status;
+  /// The query's result; shared with the cache, so treat as immutable.
+  /// Null when status is not OK.
+  std::shared_ptr<const QueryResult> result;
+  /// True when `result` came from the cache instead of a pipeline run.
+  bool cache_hit = false;
+  /// Seconds spent queued before a worker picked the query up.
+  double queue_wait_s = 0;
+  /// Seconds the pipeline (or cache lookup) ran on the worker.
+  double run_s = 0;
+};
+
+/// Handle for one submitted query. Obtained from VerServer::Submit; safe to
+/// share across threads.
+class QueryTicket {
+ public:
+  /// Requests cooperative cancellation: the query fails with Cancelled at
+  /// the next pipeline-stage boundary (or immediately, if still queued).
+  /// No-op once the query finished.
+  void Cancel() { cancel_.store(true, std::memory_order_relaxed); }
+
+  /// Blocks until the query finishes and returns its outcome.
+  const ServedResult& Wait() const { return future_.get(); }
+
+ private:
+  friend class VerServer;
+  QueryTicket() : future_(promise_.get_future().share()) {}
+
+  ExampleQuery query_;
+  std::chrono::steady_clock::time_point submitted_at_;
+  std::chrono::steady_clock::time_point deadline_;
+  std::atomic<bool> cancel_{false};
+  std::promise<ServedResult> promise_;
+  std::shared_future<ServedResult> future_;
+};
+
+/// Monotonic counters describing server activity so far.
+struct ServerStats {
+  int64_t submitted = 0;          // Submit() calls
+  int64_t served_ok = 0;          // finished with OK
+  int64_t rejected = 0;           // refused at Submit (queue full/shutdown)
+  int64_t cancelled = 0;          // finished Cancelled
+  int64_t deadline_exceeded = 0;  // finished DeadlineExceeded
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
+};
+
+/// Concurrent QBE serving over one repository.
+///
+/// Thread-safety: Submit, Serve, Shutdown and stats may be called from any
+/// thread. Results are identical to serial Ver::RunQuery execution
+/// (tests/serving_test.cc guards bit-identity under 8 concurrent threads).
+class VerServer {
+ public:
+  /// Builds the discovery index (offline, possibly parallel per
+  /// `config.discovery.parallelism`) and starts the serving workers.
+  /// `repo` must outlive the server and must not be mutated while serving.
+  /// `config.spill_dir` is cleared: concurrent queries would race on the
+  /// spill files.
+  VerServer(const TableRepository* repo, VerConfig config,
+            ServingOptions options);
+
+  /// Drains outstanding queries and joins the workers.
+  ~VerServer();
+
+  VerServer(const VerServer&) = delete;
+  VerServer& operator=(const VerServer&) = delete;
+
+  /// Enqueues a query under the default deadline. Always returns a ticket;
+  /// a rejected query (queue full, server shut down) carries an
+  /// Unavailable status. `deadline_s` (seconds from now, <= 0 = none)
+  /// overrides ServingOptions::default_deadline_s.
+  std::shared_ptr<QueryTicket> Submit(ExampleQuery query);
+  std::shared_ptr<QueryTicket> Submit(ExampleQuery query, double deadline_s);
+
+  /// Submit + Wait, for callers without their own concurrency.
+  ServedResult Serve(ExampleQuery query);
+
+  /// Stops accepting new queries, serves everything already queued, joins
+  /// the workers. Idempotent; also run by the destructor.
+  void Shutdown();
+
+  ServerStats stats() const;
+
+  /// The underlying system (for engine statistics, presentation sessions).
+  const Ver& system() const { return *ver_; }
+  const ServingOptions& options() const { return options_; }
+
+ private:
+  void ServeOne();
+  void Finish(const std::shared_ptr<QueryTicket>& ticket, ServedResult out);
+
+  ServingOptions options_;
+  std::unique_ptr<Ver> ver_;
+  QueryCache cache_;
+
+  // Guards the submission queue, the accepting flag, and pool submission
+  // (so Shutdown cannot destroy the pool under a concurrent Submit).
+  mutable std::mutex mu_;
+  std::deque<std::shared_ptr<QueryTicket>> queue_;
+  bool accepting_ = true;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> served_ok_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> cancelled_{0};
+  std::atomic<int64_t> deadline_exceeded_{0};
+};
+
+}  // namespace ver
+
+#endif  // VER_SERVING_VER_SERVER_H_

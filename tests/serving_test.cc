@@ -1,0 +1,319 @@
+// Serving-layer guards: concurrent queries through VerServer must be
+// bit-identical to serial Ver::RunQuery execution, cache hits must return
+// the identical result, and deadline / cancellation / backpressure paths
+// must fail cleanly with the right status. The 8-thread test doubles as the
+// ThreadSanitizer workload for the shared-engine read path.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ver.h"
+#include "serving/query_cache.h"
+#include "serving/ver_server.h"
+#include "workload/noisy_query.h"
+#include "workload/open_data_gen.h"
+
+namespace ver {
+namespace {
+
+// Deterministic parts of a QueryResult rendered as one string; excludes only
+// wall-clock timings. Two results with equal fingerprints went through the
+// same selection, search funnel, views (cell-exact), distillation and
+// ranking.
+std::string Fingerprint(const QueryResult& r) {
+  std::string out;
+  for (const ColumnSelectionResult& sel : r.selection) {
+    out += "sel:";
+    out += std::to_string(sel.total_columns_before_clustering) + ";";
+    for (const ScoredColumn& c : sel.candidates) {
+      out += std::to_string(c.ref.Encode()) + "*" +
+             std::to_string(c.example_hits) + ",";
+    }
+  }
+  out += "|funnel:" + std::to_string(r.search.num_combinations) + "," +
+         std::to_string(r.search.num_joinable_groups) + "," +
+         std::to_string(r.search.num_join_graphs) + "," +
+         std::to_string(r.search.num_materialization_failures);
+  out += "|cands:";
+  for (const ViewCandidate& c : r.search.candidates) {
+    out += c.graph.Signature() + "@" + std::to_string(c.score) + ";";
+  }
+  out += "|views:";
+  for (const View& v : r.views) {
+    out += v.graph.Signature() + "#" +
+           v.table.ToString(v.table.num_rows()) + ";";
+  }
+  out += "|distill:" + std::to_string(r.distillation.num_compatible_pairs) +
+         "," + std::to_string(r.distillation.num_contained_pairs) + "," +
+         std::to_string(r.distillation.num_complementary_pairs) + "," +
+         std::to_string(r.distillation.num_contradictory_pairs) + ":";
+  for (int s : r.distillation.surviving) out += std::to_string(s) + ",";
+  out += "|rank:";
+  for (const OverlapRankedView& rv : r.automatic_ranking) {
+    out += std::to_string(rv.view_index) + "*" + std::to_string(rv.overlap) +
+           ";";
+  }
+  return out;
+}
+
+struct ServingFixture {
+  GeneratedDataset dataset;
+  std::vector<ExampleQuery> queries;
+
+  ServingFixture() {
+    OpenDataSpec spec;
+    spec.num_tables = 40;
+    spec.num_queries = 4;
+    dataset = GenerateOpenDataLike(spec);
+    NoiseLevel levels[] = {NoiseLevel::kZero, NoiseLevel::kMedium,
+                           NoiseLevel::kHigh};
+    for (size_t i = 0; i < dataset.queries.size(); ++i) {
+      Result<ExampleQuery> q = MakeNoisyQuery(
+          dataset.repo, dataset.queries[i], levels[i % 3], 3, 7 + i);
+      if (q.ok()) queries.push_back(std::move(q).value());
+    }
+  }
+};
+
+ServingFixture& Fixture() {
+  static ServingFixture* fixture = new ServingFixture();
+  return *fixture;
+}
+
+TEST(ServingTest, ConcurrentMixedQueriesMatchSerialExecution) {
+  ServingFixture& f = Fixture();
+  ASSERT_GE(f.queries.size(), 2u);
+
+  // Serial ground truth from a plain Ver.
+  VerConfig config;
+  Ver serial(&f.dataset.repo, config);
+  std::vector<std::string> expected;
+  for (const ExampleQuery& q : f.queries) {
+    expected.push_back(Fingerprint(serial.RunQuery(q)));
+  }
+
+  ServingOptions serving;
+  serving.num_workers = 4;
+  serving.cache_capacity = 16;
+  VerServer server(&f.dataset.repo, config, serving);
+
+  // 8 client threads, each issuing every query twice (same + different
+  // queries interleaved across threads, exercising cache hits and misses).
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 2;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t i = 0; i < f.queries.size(); ++i) {
+          size_t q = (i + t) % f.queries.size();
+          ServedResult served = server.Serve(f.queries[q]);
+          if (!served.status.ok() || served.result == nullptr ||
+              Fingerprint(*served.result) != expected[q]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  ServerStats stats = server.stats();
+  int64_t total = static_cast<int64_t>(kThreads) * kRounds *
+                  static_cast<int64_t>(f.queries.size());
+  EXPECT_EQ(stats.submitted, total);
+  EXPECT_EQ(stats.served_ok, total);
+  EXPECT_EQ(stats.rejected, 0);
+  // Every distinct query computes at least once; with 16 slots for <= 4
+  // distinct queries nothing evicts, so all remaining serves can hit.
+  EXPECT_GE(stats.cache_misses, static_cast<int64_t>(f.queries.size()));
+  EXPECT_GT(stats.cache_hits, 0);
+  EXPECT_EQ(stats.cache_evictions, 0);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, total);
+}
+
+TEST(ServingTest, CacheHitReturnsIdenticalResultAndCountsHit) {
+  ServingFixture& f = Fixture();
+  VerConfig config;
+  ServingOptions serving;
+  serving.num_workers = 2;
+  serving.cache_capacity = 8;
+  VerServer server(&f.dataset.repo, config, serving);
+
+  ServedResult first = server.Serve(f.queries[0]);
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.cache_hit);
+
+  ServedResult second = server.Serve(f.queries[0]);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.cache_hit);
+  // The cache returns the very same immutable object.
+  EXPECT_EQ(second.result.get(), first.result.get());
+
+  // A query with re-ordered examples canonicalizes to the same key and
+  // must hit with the identical result.
+  ExampleQuery reordered = f.queries[0];
+  for (auto& column : reordered.columns) {
+    std::reverse(column.begin(), column.end());
+  }
+  ServedResult third = server.Serve(reordered);
+  ASSERT_TRUE(third.status.ok());
+  EXPECT_TRUE(third.cache_hit);
+  EXPECT_EQ(third.result.get(), first.result.get());
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.cache_hits, 2);
+  EXPECT_EQ(stats.cache_misses, 1);
+}
+
+TEST(ServingTest, DeadlineExceededFailsCleanly) {
+  ServingFixture& f = Fixture();
+  VerConfig config;
+  ServingOptions serving;
+  serving.num_workers = 1;
+  VerServer server(&f.dataset.repo, config, serving);
+
+  // A deadline of 1ns is over before any worker can pick the query up.
+  ServedResult served = server.Submit(f.queries[0], 1e-9)->Wait();
+  EXPECT_TRUE(served.status.IsDeadlineExceeded()) << served.status.ToString();
+  EXPECT_EQ(served.result, nullptr);
+  EXPECT_FALSE(served.cache_hit);
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1);
+  EXPECT_EQ(stats.served_ok, 0);
+  // Expired queries never touch the cache.
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, 0);
+
+  // The server still serves fresh queries afterwards.
+  ServedResult ok = server.Serve(f.queries[0]);
+  EXPECT_TRUE(ok.status.ok());
+}
+
+TEST(ServingTest, QueryControlStopsBetweenStages) {
+  ServingFixture& f = Fixture();
+  VerConfig config;
+  Ver system(&f.dataset.repo, config);
+
+  // Pre-cancelled query: fails before COLUMN-SELECTION.
+  std::atomic<bool> cancel{true};
+  QueryControl control;
+  control.cancel = &cancel;
+  Result<QueryResult> cancelled = system.RunQuery(f.queries[0], control);
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_TRUE(cancelled.status().IsCancelled());
+
+  // Expired deadline: fails before COLUMN-SELECTION.
+  QueryControl expired;
+  expired.deadline = std::chrono::steady_clock::now();
+  Result<QueryResult> late = system.RunQuery(f.queries[0], expired);
+  ASSERT_FALSE(late.ok());
+  EXPECT_TRUE(late.status().IsDeadlineExceeded());
+
+  // Default control never fires and matches the uncontrolled overload.
+  Result<QueryResult> plain = system.RunQuery(f.queries[0], QueryControl());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(Fingerprint(*plain), Fingerprint(system.RunQuery(f.queries[0])));
+}
+
+TEST(ServingTest, ServerCancellationIsCooperative) {
+  ServingFixture& f = Fixture();
+  VerConfig config;
+  ServingOptions serving;
+  serving.num_workers = 1;
+  VerServer server(&f.dataset.repo, config, serving);
+
+  // Keep the single worker busy, then cancel a queued ticket. The cancel
+  // races with the worker, so the outcome is OK or Cancelled — never a
+  // crash, a hang, or a partial result.
+  auto busy = server.Submit(f.queries[0]);
+  auto target = server.Submit(f.queries[1 % f.queries.size()]);
+  target->Cancel();
+  const ServedResult& served = target->Wait();
+  if (served.status.ok()) {
+    EXPECT_NE(served.result, nullptr);
+  } else {
+    EXPECT_TRUE(served.status.IsCancelled()) << served.status.ToString();
+    EXPECT_EQ(served.result, nullptr);
+  }
+  EXPECT_TRUE(busy->Wait().status.ok());
+}
+
+TEST(ServingTest, SubmitAfterShutdownIsRejected) {
+  ServingFixture& f = Fixture();
+  VerConfig config;
+  ServingOptions serving;
+  serving.num_workers = 2;
+  VerServer server(&f.dataset.repo, config, serving);
+
+  ServedResult before = server.Serve(f.queries[0]);
+  EXPECT_TRUE(before.status.ok());
+
+  server.Shutdown();
+  ServedResult after = server.Submit(f.queries[0])->Wait();
+  EXPECT_TRUE(after.status.IsUnavailable()) << after.status.ToString();
+  EXPECT_EQ(server.stats().rejected, 1);
+
+  server.Shutdown();  // idempotent
+}
+
+TEST(ServingTest, CanonicalKeyIsOrderInvariantWithinAttribute) {
+  ExampleQuery a = ExampleQuery::FromColumns({{"x", "y"}, {"1", "2"}});
+  ExampleQuery b = ExampleQuery::FromColumns({{"y", "x"}, {"2", "1"}});
+  EXPECT_EQ(CanonicalQueryKey(a), CanonicalQueryKey(b));
+
+  // Attribute order matters (it is the output column order).
+  ExampleQuery swapped = ExampleQuery::FromColumns({{"1", "2"}, {"x", "y"}});
+  EXPECT_NE(CanonicalQueryKey(a), CanonicalQueryKey(swapped));
+
+  // Duplicate examples change hit counts, so they change the key.
+  ExampleQuery duped = ExampleQuery::FromColumns({{"x", "x", "y"}, {"1", "2"}});
+  EXPECT_NE(CanonicalQueryKey(a), CanonicalQueryKey(duped));
+
+  // Hints participate in the key.
+  ExampleQuery hinted = a;
+  hinted.attribute_hints[0] = "city";
+  EXPECT_NE(CanonicalQueryKey(a), CanonicalQueryKey(hinted));
+
+  // Values containing the delimiter bytes stay unambiguous.
+  ExampleQuery tricky1 = ExampleQuery::FromColumns({{"ab", "c"}});
+  ExampleQuery tricky2 = ExampleQuery::FromColumns({{"a", "bc"}});
+  EXPECT_NE(CanonicalQueryKey(tricky1), CanonicalQueryKey(tricky2));
+}
+
+TEST(ServingTest, QueryCacheEvictsLeastRecentlyUsed) {
+  QueryCache cache(2);
+  auto r1 = std::make_shared<const QueryResult>();
+  auto r2 = std::make_shared<const QueryResult>();
+  auto r3 = std::make_shared<const QueryResult>();
+
+  cache.Insert("a", r1);
+  cache.Insert("b", r2);
+  EXPECT_EQ(cache.Lookup("a").get(), r1.get());  // bumps "a"
+  cache.Insert("c", r3);                         // evicts "b"
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  EXPECT_EQ(cache.Lookup("a").get(), r1.get());
+  EXPECT_EQ(cache.Lookup("c").get(), r3.get());
+  EXPECT_EQ(cache.size(), 2u);
+
+  QueryCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.hits, 3);
+  EXPECT_EQ(counters.misses, 1);
+  EXPECT_EQ(counters.evictions, 1);
+
+  // Capacity 0 disables caching entirely.
+  QueryCache disabled(0);
+  disabled.Insert("a", r1);
+  EXPECT_EQ(disabled.Lookup("a"), nullptr);
+  EXPECT_EQ(disabled.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ver
