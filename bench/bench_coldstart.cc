@@ -1,0 +1,177 @@
+// Cold start: build-from-scratch vs snapshot load.
+//
+// The production north star is a server that comes up in milliseconds: the
+// offline index is built once (ver_cli build-index), persisted as a
+// versioned snapshot, and every process start thereafter loads it instead
+// of re-profiling the repository. This bench measures both paths on the
+// Fig. 3 synthetic open-data repository (full portion), checks that the
+// loaded engine equals the built one, and records the measurements as JSON
+// (default BENCH_coldstart.json, overridable with VER_BENCH_JSON) so
+// successive PRs have a cold-start trajectory to compare.
+
+#include <filesystem>
+#include <thread>
+
+#include "bench_common.h"
+#include "discovery/engine.h"
+
+namespace ver {
+namespace bench {
+namespace {
+
+constexpr int kParallelWorkers = 8;
+constexpr int kRepetitions = 3;
+
+struct ColdStartMeasurement {
+  int num_tables = 0;
+  int64_t num_columns = 0;
+  int64_t joinable_pairs = 0;
+  double build_serial_s = 0;
+  double build_parallel_s = 0;
+  double save_s = 0;
+  double load_s = 0;
+  int64_t snapshot_bytes = 0;
+
+  double speedup_vs_serial() const {
+    return load_s == 0 ? 0 : build_serial_s / load_s;
+  }
+  double speedup_vs_parallel() const {
+    return load_s == 0 ? 0 : build_parallel_s / load_s;
+  }
+};
+
+void WriteJson(const ColdStartMeasurement& m) {
+  const char* env = std::getenv("VER_BENCH_JSON");
+  std::string path = env != nullptr ? env : "BENCH_coldstart.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"coldstart_snapshot_load\",\n");
+  std::fprintf(f, "  \"parallel_workers\": %d,\n", kParallelWorkers);
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"scale\": %d,\n", BenchScale());
+  std::fprintf(f, "  \"tables\": %d,\n  \"columns\": %lld,\n",
+               m.num_tables, static_cast<long long>(m.num_columns));
+  std::fprintf(f, "  \"joinable_pairs\": %lld,\n",
+               static_cast<long long>(m.joinable_pairs));
+  std::fprintf(f, "  \"build_serial_s\": %.6f,\n", m.build_serial_s);
+  std::fprintf(f, "  \"build_parallel_s\": %.6f,\n", m.build_parallel_s);
+  std::fprintf(f, "  \"save_s\": %.6f,\n", m.save_s);
+  std::fprintf(f, "  \"load_s\": %.6f,\n", m.load_s);
+  std::fprintf(f, "  \"snapshot_bytes\": %lld,\n",
+               static_cast<long long>(m.snapshot_bytes));
+  std::fprintf(f, "  \"load_speedup_vs_serial_build\": %.3f,\n",
+               m.speedup_vs_serial());
+  std::fprintf(f, "  \"load_speedup_vs_parallel_build\": %.3f\n",
+               m.speedup_vs_parallel());
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+void Run() {
+  PrintHeader("Cold start: snapshot load vs index rebuild",
+              "the deployment story around Fig. 3");
+  GeneratedDataset dataset =
+      GenerateOpenDataLike(BenchOpenDataSpec(1.0, 1));
+  ColdStartMeasurement m;
+  m.num_tables = dataset.repo.num_tables();
+  m.num_columns = dataset.repo.TotalColumns();
+
+  namespace fs = std::filesystem;
+  std::string path =
+      (fs::temp_directory_path() / "ver_coldstart.versnap").string();
+
+  // Build (serial and parallel), best of N.
+  std::unique_ptr<DiscoveryEngine> engine;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    DiscoveryOptions options;
+    options.parallelism = 1;
+    WallTimer timer;
+    engine = DiscoveryEngine::Build(dataset.repo, options);
+    double s = timer.ElapsedSeconds();
+    if (rep == 0 || s < m.build_serial_s) m.build_serial_s = s;
+  }
+  m.joinable_pairs = engine->num_joinable_column_pairs();
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    DiscoveryOptions options;
+    options.parallelism = kParallelWorkers;
+    WallTimer timer;
+    std::unique_ptr<DiscoveryEngine> parallel =
+        DiscoveryEngine::Build(dataset.repo, options);
+    double s = timer.ElapsedSeconds();
+    if (rep == 0 || s < m.build_parallel_s) m.build_parallel_s = s;
+    if (parallel->num_joinable_column_pairs() != m.joinable_pairs) {
+      std::fprintf(stderr, "DETERMINISM VIOLATION: parallel build found %lld "
+                           "pairs, serial %lld\n",
+                   static_cast<long long>(
+                       parallel->num_joinable_column_pairs()),
+                   static_cast<long long>(m.joinable_pairs));
+      std::exit(1);
+    }
+  }
+
+  // Save once, then load best of N.
+  {
+    WallTimer timer;
+    Status saved = engine->Save(path);
+    m.save_s = timer.ElapsedSeconds();
+    if (!saved.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  std::error_code ec;
+  m.snapshot_bytes = static_cast<int64_t>(fs::file_size(path, ec));
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    WallTimer timer;
+    Result<std::unique_ptr<DiscoveryEngine>> loaded =
+        DiscoveryEngine::Load(dataset.repo, path);
+    double s = timer.ElapsedSeconds();
+    if (rep == 0 || s < m.load_s) m.load_s = s;
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (loaded.value()->num_joinable_column_pairs() != m.joinable_pairs) {
+      std::fprintf(stderr, "SNAPSHOT MISMATCH: loaded %lld pairs, built "
+                           "%lld\n",
+                   static_cast<long long>(
+                       loaded.value()->num_joinable_column_pairs()),
+                   static_cast<long long>(m.joinable_pairs));
+      std::exit(1);
+    }
+  }
+  std::remove(path.c_str());
+
+  TextTable table({"#Tables", "#Cols", "Join pairs", "Build serial",
+                   "Build par8", "Save", "Load", "Load speedup"});
+  char speedup[48];
+  std::snprintf(speedup, sizeof(speedup), "%.1fx / %.1fx",
+                m.speedup_vs_serial(), m.speedup_vs_parallel());
+  table.AddRow({std::to_string(m.num_tables), std::to_string(m.num_columns),
+                std::to_string(m.joinable_pairs),
+                FormatSeconds(m.build_serial_s),
+                FormatSeconds(m.build_parallel_s), FormatSeconds(m.save_s),
+                FormatSeconds(m.load_s), speedup});
+  table.Print();
+  std::printf("snapshot: %lld bytes; loaded engine verified against the "
+              "built one.\nLoad skips profiling, LSH banding and join-edge "
+              "scoring entirely, so the\nspeedup grows with repository "
+              "size.\n",
+              static_cast<long long>(m.snapshot_bytes));
+  WriteJson(m);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ver
+
+int main() {
+  ver::bench::Run();
+  return 0;
+}

@@ -1,76 +1,56 @@
 // ver_cli: command-line view discovery over a directory of CSV files.
 //
+// Subcommands (the production snapshot workflow):
+//
+//   ver_cli build-index [--parallelism=N] --index-path=PATH <csv-dir>
+//       Profiles and indexes the repository offline, then persists the
+//       discovery snapshot to PATH (versioned binary format, atomic write).
+//
+//   ver_cli query --index-path=PATH <csv-dir> <examples-A> [<examples-B> ...]
+//       Loads the snapshot (no rebuild) and runs one QBE query, where each
+//       <examples-X> is a comma-separated list of example values for one
+//       output attribute, e.g.  "Boston,Chicago" "Wu,Johnson".
+//
+//   ver_cli serve --index-path=PATH <csv-dir>
+//       Loads the snapshot and serves queries from stdin, one per line:
+//         a1,a2|b1,b2          run a QBE query (| separates attributes)
+//         swap <snapshot>      hot-swap to a newer snapshot (zero downtime)
+//         quit                 exit (EOF works too)
+//
+//   ver_cli demo-data <output-dir>
+//       Writes a generated open-data portal to <output-dir> and prints the
+//       example columns of a known-answer query to stdout (one line per
+//       attribute) — handy for scripting an end-to-end smoke test.
+//
+// Legacy one-shot mode (kept for muscle memory) builds the index in memory
+// and queries immediately:
+//
 //   ver_cli [--parallelism=N] <csv-dir> <examples-A> <examples-B> [...]
-//
-// where each <examples-X> is a comma-separated list of example values for
-// one output attribute, e.g.:
-//
-//   ver_cli ./portal "Boston,Chicago" "Wu,Johnson"
 //
 // --parallelism=N sets the worker count for offline index construction
 // (DiscoveryOptions::parallelism): 1 = serial, 0 = all hardware threads
 // (the default). Run without arguments it demos itself on a generated
-// open-data corpus.
+// open-data corpus, exercising the full build-index -> query round trip.
 
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <filesystem>
+#include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/view_graph_export.h"
 #include "core/ver.h"
+#include "serving/ver_server.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 #include "workload/noisy_query.h"
 #include "workload/open_data_gen.h"
 
 using namespace ver;  // NOLINT — example brevity
-
-namespace {
-
-int RunQueryOverDirectory(const std::string& dir, const ExampleQuery& query,
-                          int parallelism) {
-  TableRepository repo;
-  Status load = repo.LoadDirectory(dir);
-  if (!load.ok()) {
-    std::fprintf(stderr, "error: %s\n", load.ToString().c_str());
-    return 1;
-  }
-  std::printf("loaded %d tables (%lld rows) from %s\n", repo.num_tables(),
-              static_cast<long long>(repo.TotalRows()), dir.c_str());
-
-  VerConfig config;
-  config.discovery.parallelism = parallelism;
-  Ver system(&repo, config);
-  std::printf("indexed: %lld joinable column pairs\n",
-              static_cast<long long>(
-                  system.engine().num_joinable_column_pairs()));
-
-  QueryResult result = system.RunQuery(query);
-  std::printf("\n%zu candidate views; %zu after 4C distillation "
-              "(CS %.1fms, JGS %.1fms, M %.1fms, 4C %.1fms)\n",
-              result.views.size(), result.distillation.surviving.size(),
-              result.timing.column_selection_s * 1000,
-              result.timing.join_graph_search_s * 1000,
-              result.timing.materialize_s * 1000,
-              result.timing.four_c_s * 1000);
-
-  std::printf("\n%s\n", DistillationReport(result.views,
-                                           result.distillation).c_str());
-
-  int shown = 0;
-  for (const OverlapRankedView& r : result.automatic_ranking) {
-    const View& v = result.views[r.view_index];
-    std::printf("#%d (overlap %d) %s\n%s\n", ++shown, r.overlap,
-                v.graph.ToString(repo).c_str(), v.table.ToString(5).c_str());
-    if (shown >= 3) break;
-  }
-  return 0;
-}
-
-}  // namespace
 
 namespace {
 
@@ -90,62 +70,193 @@ bool ParseInt(const std::string& text, int* out) {
   return true;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  int parallelism = 0;  // default: offline indexing on every core
-  std::vector<std::string> args;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    std::string value;
-    bool is_flag = false;
-    if (arg.rfind("--parallelism=", 0) == 0) {
-      is_flag = true;
-      value = arg.substr(14);
-    } else if (arg == "--parallelism") {
-      is_flag = true;
-      if (i + 1 < argc) value = argv[++i];
-    }
-    if (is_flag) {
-      if (!ParseInt(value, &parallelism)) {
-        std::fprintf(stderr, "error: --parallelism needs an integer "
-                             "(got '%s')\n", value.c_str());
-        return 2;
-      }
-    } else {
-      args.push_back(std::move(arg));
-    }
+bool LoadRepo(const std::string& dir, TableRepository* repo) {
+  Status load = repo->LoadDirectory(dir);
+  if (!load.ok()) {
+    std::fprintf(stderr, "error: %s\n", load.ToString().c_str());
+    return false;
   }
+  std::fprintf(stderr, "loaded %d tables (%lld rows) from %s\n",
+               repo->num_tables(), static_cast<long long>(repo->TotalRows()),
+               dir.c_str());
+  return true;
+}
 
-  if (args.size() >= 2) {
-    std::vector<std::vector<std::string>> columns;
-    for (size_t i = 1; i < args.size(); ++i) {
-      std::vector<std::string> values;
-      for (std::string& v : Split(args[i], ',')) {
-        std::string trimmed = Trim(v);
-        if (!trimmed.empty()) values.push_back(std::move(trimmed));
-      }
-      columns.push_back(std::move(values));
+ExampleQuery QueryFromColumnArgs(const std::vector<std::string>& column_args) {
+  std::vector<std::vector<std::string>> columns;
+  for (const std::string& arg : column_args) {
+    std::vector<std::string> values;
+    for (std::string& v : Split(arg, ',')) {
+      std::string trimmed = Trim(v);
+      if (!trimmed.empty()) values.push_back(std::move(trimmed));
     }
-    return RunQueryOverDirectory(
-        args[0], ExampleQuery::FromColumns(std::move(columns)), parallelism);
+    columns.push_back(std::move(values));
   }
+  return ExampleQuery::FromColumns(std::move(columns));
+}
 
-  // Demo mode: write a generated portal to a temp dir and query it.
-  std::printf("usage: %s [--parallelism=N] <csv-dir> <examples-A> "
-              "<examples-B> [...]\n"
-              "no arguments given — running the self-demo.\n\n",
-              argc > 0 ? argv[0] : "ver_cli");
-  namespace fs = std::filesystem;
-  fs::path dir = fs::temp_directory_path() / "ver_cli_demo";
-  fs::remove_all(dir);
+void PrintResult(const TableRepository& repo, const QueryResult& result) {
+  std::printf("\n%zu candidate views; %zu after 4C distillation "
+              "(CS %.1fms, JGS %.1fms, M %.1fms, 4C %.1fms)\n",
+              result.views.size(), result.distillation.surviving.size(),
+              result.timing.column_selection_s * 1000,
+              result.timing.join_graph_search_s * 1000,
+              result.timing.materialize_s * 1000,
+              result.timing.four_c_s * 1000);
+
+  std::printf("\n%s\n", DistillationReport(result.views,
+                                           result.distillation).c_str());
+
+  int shown = 0;
+  for (const OverlapRankedView& r : result.automatic_ranking) {
+    const View& v = result.views[r.view_index];
+    std::printf("#%d (overlap %d) %s\n%s\n", ++shown, r.overlap,
+                v.graph.ToString(repo).c_str(), v.table.ToString(5).c_str());
+    if (shown >= 3) break;
+  }
+}
+
+int BuildIndex(const std::string& dir, const std::string& index_path,
+               int parallelism) {
+  TableRepository repo;
+  if (!LoadRepo(dir, &repo)) return 1;
+
+  DiscoveryOptions options;
+  options.parallelism = parallelism;
+  WallTimer timer;
+  std::unique_ptr<DiscoveryEngine> engine = DiscoveryEngine::Build(repo, options);
+  double build_s = timer.ElapsedSeconds();
+
+  timer.Restart();
+  Status saved = engine->Save(index_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::error_code ec;
+  uintmax_t bytes = std::filesystem::file_size(index_path, ec);
+  std::printf("indexed %lld joinable column pairs in %.2fs; wrote %s "
+              "(%lld bytes) in %.3fs\n",
+              static_cast<long long>(engine->num_joinable_column_pairs()),
+              build_s, index_path.c_str(),
+              ec ? 0LL : static_cast<long long>(bytes),
+              timer.ElapsedSeconds());
+  return 0;
+}
+
+// Loads the snapshot when `index_path` is set, otherwise builds in memory.
+std::unique_ptr<Ver> MakeSystem(const TableRepository& repo,
+                                const std::string& index_path,
+                                int parallelism) {
+  VerConfig config;
+  if (index_path.empty()) {
+    config.discovery.parallelism = parallelism;
+    return std::make_unique<Ver>(&repo, config);
+  }
+  WallTimer timer;
+  Result<std::unique_ptr<DiscoveryEngine>> engine =
+      DiscoveryEngine::Load(repo, index_path);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
+    return nullptr;
+  }
+  std::fprintf(stderr, "loaded snapshot %s in %.3fs (no rebuild)\n",
+               index_path.c_str(), timer.ElapsedSeconds());
+  return std::make_unique<Ver>(&repo, config, std::move(engine).value());
+}
+
+int RunQueryOverDirectory(const std::string& dir, const ExampleQuery& query,
+                          int parallelism, const std::string& index_path) {
+  TableRepository repo;
+  if (!LoadRepo(dir, &repo)) return 1;
+
+  std::unique_ptr<Ver> system = MakeSystem(repo, index_path, parallelism);
+  if (system == nullptr) return 1;
+  std::printf("indexed: %lld joinable column pairs\n",
+              static_cast<long long>(
+                  system->engine().num_joinable_column_pairs()));
+
+  QueryResult result = system->RunQuery(query);
+  PrintResult(repo, result);
+  return 0;
+}
+
+int ServeFromSnapshot(const std::string& dir, const std::string& index_path) {
+  if (index_path.empty()) {
+    std::fprintf(stderr, "error: serve needs --index-path\n");
+    return 2;
+  }
+  TableRepository repo;
+  if (!LoadRepo(dir, &repo)) return 1;
+
+  Result<std::unique_ptr<DiscoveryEngine>> engine =
+      DiscoveryEngine::Load(repo, index_path);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  VerServer server(std::make_shared<const Ver>(&repo, VerConfig(),
+                                               std::move(engine).value()),
+                   ServingOptions());
+  std::fprintf(stderr,
+               "serving %s from snapshot %s; enter queries as "
+               "a1,a2|b1,b2 — 'swap <path>' hot-swaps, 'quit' exits\n",
+               dir.c_str(), index_path.c_str());
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    line = Trim(line);
+    if (line.empty()) continue;
+    if (line == "quit" || line == "exit") break;
+    if (line.rfind("swap ", 0) == 0) {
+      std::string path = Trim(line.substr(5));
+      Result<std::unique_ptr<DiscoveryEngine>> next =
+          DiscoveryEngine::Load(repo, path);
+      if (!next.ok()) {
+        std::fprintf(stderr, "swap failed: %s\n",
+                     next.status().ToString().c_str());
+        continue;
+      }
+      server.SwapSnapshot(std::make_shared<const Ver>(
+          &repo, VerConfig(), std::move(next).value()));
+      std::fprintf(stderr, "swapped in %s (in-flight queries finish on the "
+                           "old snapshot)\n", path.c_str());
+      continue;
+    }
+    ServedResult served = server.Serve(QueryFromColumnArgs(Split(line, '|')));
+    if (!served.status.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   served.status.ToString().c_str());
+      continue;
+    }
+    std::printf("%zu views (%zu after distillation)%s in %.1fms\n",
+                served.result->views.size(),
+                served.result->distillation.surviving.size(),
+                served.cache_hit ? " [cache]" : "", served.run_s * 1000);
+  }
+  ServerStats stats = server.stats();
+  std::fprintf(stderr, "served %lld queries (%lld ok, %lld swaps)\n",
+               static_cast<long long>(stats.submitted),
+               static_cast<long long>(stats.served_ok),
+               static_cast<long long>(stats.snapshot_swaps));
+  return 0;
+}
+
+// Writes a deterministic demo portal and prints the example columns of a
+// known-answer query to stdout (one line per attribute).
+int WriteDemoData(const std::string& dir, ExampleQuery* query_out) {
   OpenDataSpec spec;
   spec.num_tables = 60;
   spec.num_queries = 1;
   GeneratedDataset dataset = GenerateOpenDataLike(spec);
-  if (!dataset.repo.SaveDirectory(dir.string()).ok() ||
-      dataset.queries.empty()) {
-    std::fprintf(stderr, "demo setup failed\n");
+  Status saved = dataset.repo.SaveDirectory(dir);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "demo setup failed: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  if (dataset.queries.empty()) {
+    std::fprintf(stderr, "demo setup failed: generator produced no "
+                         "ground-truth queries\n");
     return 1;
   }
   Result<ExampleQuery> query = MakeNoisyQuery(
@@ -154,7 +265,115 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
     return 1;
   }
-  int rc = RunQueryOverDirectory(dir.string(), query.value(), parallelism);
+  std::fprintf(stderr, "wrote %d tables to %s\n", dataset.repo.num_tables(),
+               dir.c_str());
+  for (const std::vector<std::string>& column : query.value().columns) {
+    std::printf("%s\n", Join(column, ",").c_str());
+  }
+  if (query_out != nullptr) *query_out = std::move(query).value();
+  return 0;
+}
+
+// Argument-free self-demo: the full snapshot round trip (build-index over a
+// generated portal, then query through the loaded snapshot).
+int SelfDemo(int parallelism) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "ver_cli_demo";
+  fs::remove_all(dir);
+  ExampleQuery query;
+  int rc = WriteDemoData(dir.string(), &query);
+  if (rc != 0) return rc;
+  std::string index_path = (dir / "index.versnap").string();
+  rc = BuildIndex(dir.string(), index_path, parallelism);
+  if (rc == 0) {
+    rc = RunQueryOverDirectory(dir.string(), query, parallelism, index_path);
+  }
   fs::remove_all(dir);
   return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int parallelism = 0;  // default: offline indexing on every core
+  std::string index_path;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--parallelism", 0) == 0) {
+      std::string value;
+      if (arg.rfind("--parallelism=", 0) == 0) {
+        value = arg.substr(14);
+      } else if (arg == "--parallelism" && i + 1 < argc) {
+        value = argv[++i];
+      }
+      if (!ParseInt(value, &parallelism)) {
+        std::fprintf(stderr, "error: --parallelism needs an integer "
+                             "(got '%s')\n", value.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--index-path=", 0) == 0) {
+      index_path = arg.substr(13);
+    } else if (arg == "--index-path") {
+      if (i + 1 < argc) index_path = argv[++i];
+      if (index_path.empty()) {
+        std::fprintf(stderr, "error: --index-path needs a path\n");
+        return 2;
+      }
+    } else {
+      args.push_back(std::move(arg));
+    }
+  }
+
+  if (!args.empty()) {
+    const std::string& cmd = args[0];
+    if (cmd == "build-index") {
+      if (args.size() != 2 || index_path.empty()) {
+        std::fprintf(stderr, "usage: ver_cli build-index [--parallelism=N] "
+                             "--index-path=PATH <csv-dir>\n");
+        return 2;
+      }
+      return BuildIndex(args[1], index_path, parallelism);
+    }
+    if (cmd == "query") {
+      if (args.size() < 3 || index_path.empty()) {
+        std::fprintf(stderr, "usage: ver_cli query --index-path=PATH "
+                             "<csv-dir> <examples-A> [<examples-B> ...]\n");
+        return 2;
+      }
+      return RunQueryOverDirectory(
+          args[1],
+          QueryFromColumnArgs({args.begin() + 2, args.end()}),
+          parallelism, index_path);
+    }
+    if (cmd == "serve") {
+      if (args.size() != 2) {
+        std::fprintf(stderr, "usage: ver_cli serve --index-path=PATH "
+                             "<csv-dir>\n");
+        return 2;
+      }
+      return ServeFromSnapshot(args[1], index_path);
+    }
+    if (cmd == "demo-data") {
+      if (args.size() != 2) {
+        std::fprintf(stderr, "usage: ver_cli demo-data <output-dir>\n");
+        return 2;
+      }
+      return WriteDemoData(args[1], nullptr);
+    }
+    if (args.size() >= 2) {
+      // Legacy one-shot mode: build in memory (or load --index-path) and
+      // query immediately.
+      return RunQueryOverDirectory(
+          args[0], QueryFromColumnArgs({args.begin() + 1, args.end()}),
+          parallelism, index_path);
+    }
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return 2;
+  }
+
+  std::printf("usage: ver_cli build-index|query|serve|demo-data ... "
+              "(see source header)\nno arguments given — running the "
+              "self-demo (build-index + query round trip).\n\n");
+  return SelfDemo(parallelism);
 }

@@ -1,9 +1,18 @@
 #include "core/ver.h"
 
+#include <filesystem>
+
 #include "table/csv.h"
 #include "util/timer.h"
 
 namespace ver {
+
+namespace {
+
+// Process-wide Ver instance counter feeding the spill-directory tag.
+std::atomic<uint64_t> g_ver_instances{0};
+
+}  // namespace
 
 Status QueryControl::Check(const char* next_stage) const {
   if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
@@ -19,8 +28,29 @@ Status QueryControl::Check(const char* next_stage) const {
 }
 
 Ver::Ver(const TableRepository* repo, VerConfig config)
-    : repo_(repo), config_(std::move(config)) {
+    : repo_(repo),
+      config_(std::move(config)),
+      spill_instance_(g_ver_instances.fetch_add(1, std::memory_order_relaxed)) {
   engine_ = DiscoveryEngine::Build(*repo_, config_.discovery);
+}
+
+Ver::Ver(const TableRepository* repo, VerConfig config,
+         std::unique_ptr<DiscoveryEngine> engine)
+    : repo_(repo),
+      config_(std::move(config)),
+      engine_(std::move(engine)),
+      spill_instance_(g_ver_instances.fetch_add(1, std::memory_order_relaxed)) {
+  // The engine dictates the discovery knobs: a snapshot built with one
+  // sketch seed must not be queried as if built with another.
+  config_.discovery = engine_->options();
+}
+
+std::string Ver::NextSpillDir() const {
+  uint64_t seq = spill_seq_.fetch_add(1, std::memory_order_relaxed);
+  return (std::filesystem::path(config_.spill_dir) /
+          ("v" + std::to_string(spill_instance_) + "_q" +
+           std::to_string(seq)))
+      .string();
 }
 
 QueryResult Ver::RunQuery(const ExampleQuery& query) const {
@@ -63,7 +93,9 @@ Result<QueryResult> Ver::RunWithCandidates(
   JoinGraphSearchOptions search_options = config_.search;
   search_options.materialize_views = false;  // timed separately below
   if (!config_.spill_dir.empty()) {
-    search_options.materialize.spill_dir = config_.spill_dir;
+    // Each query spills into its own subdirectory, so concurrent queries
+    // never read or overwrite each other's spill files.
+    search_options.materialize.spill_dir = NextSpillDir();
   }
 
   VER_RETURN_IF_ERROR(control.Check("JOIN-GRAPH-SEARCH"));
@@ -83,15 +115,25 @@ Result<QueryResult> Ver::RunWithCandidates(
     // Read the spilled views back from disk — distillation's input IO cost
     // ("Get Views Time" in Fig. 3 / VD-IO in Fig. 4b).
     VER_RETURN_IF_ERROR(control.Check("VD-IO"));
-    ScopedTimer timer(&result.timing.vd_io_s);
-    for (View& v : result.views) {
-      if (v.spill_path.empty()) continue;
-      Result<Table> reloaded = ReadCsvFile(v.spill_path);
-      if (reloaded.ok()) {
-        std::string name = v.table.name();
-        v.table = std::move(reloaded).value();
-        v.table.set_name(std::move(name));
+    {
+      ScopedTimer timer(&result.timing.vd_io_s);
+      for (View& v : result.views) {
+        if (v.spill_path.empty()) continue;
+        Result<Table> reloaded = ReadCsvFile(v.spill_path);
+        if (reloaded.ok()) {
+          std::string name = v.table.name();
+          v.table = std::move(reloaded).value();
+          v.table.set_name(std::move(name));
+        }
       }
+    }
+    if (config_.cleanup_spilled_views) {
+      // Serving mode: drop this query's spill subdirectory now that the
+      // views are back in memory, so disk use stays bounded under
+      // sustained traffic (untimed — cleanup is not a paper cost).
+      std::error_code ec;
+      std::filesystem::remove_all(search_options.materialize.spill_dir, ec);
+      for (View& v : result.views) v.spill_path.clear();
     }
   }
 

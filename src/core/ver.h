@@ -46,9 +46,15 @@ struct VerConfig {
   /// When non-empty, views spill to disk after materialization and are read
   /// back before distillation, reproducing the paper's VD-IO cost ("Get
   /// Views Time", Fig. 3 / Fig. 4b). Default empty = keep views in memory.
-  /// Must stay empty in serving mode: concurrent queries would race on the
-  /// spill files (see serving/serving_options.h).
+  /// Each query spills into its own unique subdirectory of `spill_dir`, so
+  /// concurrent queries (serving mode) never race on spill files.
   std::string spill_dir;
+  /// Remove each query's spill subdirectory once its views have been read
+  /// back (after the VD-IO stage). Default false keeps the files on disk
+  /// for inspection (`View::spill_path` stays valid); a long-lived server
+  /// must set it true or disk use grows by one directory per query —
+  /// VerServer's index-building constructor does so automatically.
+  bool cleanup_spilled_views = false;
 };
 
 /// Cooperative per-query control for the online pipeline: an optional
@@ -96,18 +102,27 @@ struct QueryResult {
 
 /// End-to-end system bound to one repository.
 ///
-/// Thread-safety: after construction the object is immutable, and every
-/// const method is safe to call from many threads concurrently — the online
-/// pipeline keeps all its state on the stack and the discovery engine's
-/// read path mutates nothing (see the contract in discovery/engine.h).
-/// Concurrent RunQuery calls return results identical to serial execution;
-/// tests/serving_test.cc guards that contract. The one caveat is
-/// `VerConfig::spill_dir`: concurrent queries would race on the spill
-/// files, so serving keeps it empty.
+/// Thread-safety: after construction the object is immutable (the only
+/// mutable member is the atomic spill-directory counter), and every const
+/// method is safe to call from many threads concurrently — the online
+/// pipeline keeps all its state on the stack, the discovery engine's read
+/// path mutates nothing (see the contract in discovery/engine.h), and
+/// spilling queries each write into a unique per-query subdirectory of
+/// `VerConfig::spill_dir`. Concurrent RunQuery calls return results
+/// identical to serial execution; tests/serving_test.cc guards that
+/// contract.
 class Ver {
  public:
   /// Builds the discovery index offline. `repo` must outlive this object.
   Ver(const TableRepository* repo, VerConfig config);
+
+  /// Adopts an already-built engine — typically one restored with
+  /// DiscoveryEngine::Load — so startup never forces a rebuild. The engine
+  /// must have been built (or loaded) over `repo`; `config.discovery` is
+  /// overwritten with the engine's own build options so the online
+  /// pipeline sees the knobs the index was actually constructed with.
+  Ver(const TableRepository* repo, VerConfig config,
+      std::unique_ptr<DiscoveryEngine> engine);
 
   /// Runs the full automatic pipeline on a QBE query.
   QueryResult RunQuery(const ExampleQuery& query) const;
@@ -139,9 +154,17 @@ class Ver {
   const VerConfig& config() const { return config_; }
 
  private:
+  /// Unique spill subdirectory for the next query ("<spill_dir>/v<i>_q<n>",
+  /// unique per Ver instance and per query within this process).
+  std::string NextSpillDir() const;
+
   const TableRepository* repo_;
   VerConfig config_;
   std::unique_ptr<DiscoveryEngine> engine_;
+  /// Process-unique tag of this instance, so two systems sharing one
+  /// spill_dir cannot collide on subdirectory names.
+  uint64_t spill_instance_ = 0;
+  mutable std::atomic<uint64_t> spill_seq_{0};
 };
 
 }  // namespace ver

@@ -52,6 +52,245 @@ Status DiscoveryEngine::IndexNewTable(int32_t table_id) {
   return Status::OK();
 }
 
+namespace {
+
+// Section ids of the snapshot file. New sections get new ids; changing the
+// payload of an existing section requires a kSnapshotFormatVersion bump.
+constexpr uint32_t kSectionRepoFingerprint = 1;
+constexpr uint32_t kSectionOptions = 2;
+constexpr uint32_t kSectionProfiles = 3;
+constexpr uint32_t kSectionKeywordIndex = 4;
+constexpr uint32_t kSectionSimilarityIndex = 5;
+constexpr uint32_t kSectionJoinPathIndex = 6;
+
+void SaveOptions(const DiscoveryOptions& o, SerdeWriter* w) {
+  w->WriteI32(o.profiler.minhash_permutations);
+  w->WriteU64(o.profiler.seed);
+  w->WriteI64(o.profiler.exact_set_max);
+  w->WriteI32(o.similarity.lsh_bands);
+  w->WriteI64(o.similarity.min_distinct);
+  w->WriteU64(o.similarity.max_posting_length);
+  w->WriteDouble(o.join_paths.containment_threshold);
+  w->WriteI64(o.join_paths.min_distinct);
+  w->WriteI32(o.join_paths.max_graphs_per_path);
+  w->WriteI32(o.join_paths.max_total_graphs);
+  w->WriteDouble(o.similarity_cluster_threshold);
+  w->WriteI32(o.fuzzy_max_edits);
+  w->WriteI32(o.parallelism);
+}
+
+Status LoadOptions(SerdeReader* r, DiscoveryOptions* o) {
+  VER_RETURN_IF_ERROR(r->ReadI32(&o->profiler.minhash_permutations));
+  VER_RETURN_IF_ERROR(r->ReadU64(&o->profiler.seed));
+  VER_RETURN_IF_ERROR(r->ReadI64(&o->profiler.exact_set_max));
+  VER_RETURN_IF_ERROR(r->ReadI32(&o->similarity.lsh_bands));
+  VER_RETURN_IF_ERROR(r->ReadI64(&o->similarity.min_distinct));
+  uint64_t max_posting;
+  VER_RETURN_IF_ERROR(r->ReadU64(&max_posting));
+  o->similarity.max_posting_length = static_cast<size_t>(max_posting);
+  VER_RETURN_IF_ERROR(r->ReadDouble(&o->join_paths.containment_threshold));
+  VER_RETURN_IF_ERROR(r->ReadI64(&o->join_paths.min_distinct));
+  VER_RETURN_IF_ERROR(r->ReadI32(&o->join_paths.max_graphs_per_path));
+  VER_RETURN_IF_ERROR(r->ReadI32(&o->join_paths.max_total_graphs));
+  VER_RETURN_IF_ERROR(r->ReadDouble(&o->similarity_cluster_threshold));
+  VER_RETURN_IF_ERROR(r->ReadI32(&o->fuzzy_max_edits));
+  return r->ReadI32(&o->parallelism);
+}
+
+void SaveRepoFingerprint(const TableRepository& repo, SerdeWriter* w) {
+  w->WriteI32(repo.num_tables());
+  for (int32_t t = 0; t < repo.num_tables(); ++t) {
+    const Table& table = repo.table(t);
+    w->WriteString(table.name());
+    w->WriteI64(table.num_rows());
+    table.schema().SaveTo(w);
+  }
+}
+
+// Compares the stored fingerprint against the live repository; a snapshot
+// only loads over the exact table set it was built from.
+Status CheckRepoFingerprint(SerdeReader* r, const TableRepository& repo) {
+  int32_t num_tables;
+  VER_RETURN_IF_ERROR(r->ReadI32(&num_tables));
+  if (num_tables != repo.num_tables()) {
+    return Status::InvalidArgument(
+        "snapshot was built over " + std::to_string(num_tables) +
+        " tables but the repository has " + std::to_string(repo.num_tables()));
+  }
+  for (int32_t t = 0; t < num_tables; ++t) {
+    std::string name;
+    int64_t num_rows;
+    Schema schema;
+    VER_RETURN_IF_ERROR(r->ReadString(&name));
+    VER_RETURN_IF_ERROR(r->ReadI64(&num_rows));
+    VER_RETURN_IF_ERROR(schema.LoadFrom(r));
+    const Table& table = repo.table(t);
+    if (table.name() != name || table.num_rows() != num_rows ||
+        table.schema().num_attributes() != schema.num_attributes()) {
+      return Status::InvalidArgument(
+          "snapshot table " + std::to_string(t) + " (" + name + ", " +
+          std::to_string(num_rows) + " rows, " +
+          std::to_string(schema.num_attributes()) +
+          " columns) does not match repository table " + table.name());
+    }
+    for (int c = 0; c < schema.num_attributes(); ++c) {
+      if (schema.attribute(c).name != table.schema().attribute(c).name) {
+        return Status::InvalidArgument(
+            "snapshot table " + name + " column " + std::to_string(c) +
+            " is named '" + schema.attribute(c).name +
+            "' but the repository has '" + table.schema().attribute(c).name +
+            "'");
+      }
+      // Type drift means the column's *content* changed (types are
+      // inferred from data), so the stored sketches no longer describe it.
+      if (schema.attribute(c).type != table.schema().attribute(c).type) {
+        return Status::InvalidArgument(
+            "snapshot table " + name + " column " + std::to_string(c) +
+            " was " + ValueTypeToString(schema.attribute(c).type) +
+            " but the repository has " +
+            ValueTypeToString(table.schema().attribute(c).type) +
+            " — re-run build-index");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status DiscoveryEngine::Save(const std::string& path) const {
+  std::vector<SnapshotSection> sections;
+  {
+    SerdeWriter w;
+    SaveRepoFingerprint(*repo_, &w);
+    sections.push_back({kSectionRepoFingerprint, w.TakeBuffer()});
+  }
+  {
+    SerdeWriter w;
+    SaveOptions(options_, &w);
+    sections.push_back({kSectionOptions, w.TakeBuffer()});
+  }
+  {
+    SerdeWriter w;
+    w.WriteU64(profiles_.size());
+    for (const ColumnProfile& p : profiles_) p.SaveTo(&w);
+    sections.push_back({kSectionProfiles, w.TakeBuffer()});
+  }
+  {
+    SerdeWriter w;
+    VER_RETURN_IF_ERROR(keywords_.SaveTo(&w));
+    sections.push_back({kSectionKeywordIndex, w.TakeBuffer()});
+  }
+  {
+    SerdeWriter w;
+    VER_RETURN_IF_ERROR(similarity_.SaveTo(&w));
+    sections.push_back({kSectionSimilarityIndex, w.TakeBuffer()});
+  }
+  {
+    SerdeWriter w;
+    join_paths_.SaveTo(&w);
+    sections.push_back({kSectionJoinPathIndex, w.TakeBuffer()});
+  }
+  return WriteSnapshotFile(path, sections);
+}
+
+Result<std::unique_ptr<DiscoveryEngine>> DiscoveryEngine::Load(
+    const TableRepository& repo, const std::string& path) {
+  std::vector<SnapshotSection> sections;
+  VER_RETURN_IF_ERROR(ReadSnapshotFile(path, &sections));
+
+  auto find_section = [&](uint32_t id,
+                          const char* name) -> Result<const SnapshotSection*> {
+    const SnapshotSection* found = nullptr;
+    for (const SnapshotSection& s : sections) {
+      if (s.id != id) continue;
+      if (found != nullptr) {
+        return Status::IOError("snapshot " + path + " has duplicate " + name +
+                               " sections");
+      }
+      found = &s;
+    }
+    if (found == nullptr) {
+      return Status::IOError("snapshot " + path + " is missing the " +
+                             std::string(name) + " section");
+    }
+    return found;
+  };
+  auto reader_for = [&](const SnapshotSection& s, const char* name) {
+    return SerdeReader(s.payload, std::string(name) + " section of " + path);
+  };
+
+  VER_ASSIGN_OR_RETURN(const SnapshotSection* fingerprint,
+                       find_section(kSectionRepoFingerprint, "fingerprint"));
+  {
+    SerdeReader r = reader_for(*fingerprint, "fingerprint");
+    VER_RETURN_IF_ERROR(CheckRepoFingerprint(&r, repo));
+    VER_RETURN_IF_ERROR(r.ExpectEnd());
+  }
+
+  std::unique_ptr<DiscoveryEngine> engine(new DiscoveryEngine());
+  engine->repo_ = &repo;
+
+  VER_ASSIGN_OR_RETURN(const SnapshotSection* options,
+                       find_section(kSectionOptions, "options"));
+  {
+    SerdeReader r = reader_for(*options, "options");
+    VER_RETURN_IF_ERROR(LoadOptions(&r, &engine->options_));
+    VER_RETURN_IF_ERROR(r.ExpectEnd());
+  }
+
+  VER_ASSIGN_OR_RETURN(const SnapshotSection* profiles,
+                       find_section(kSectionProfiles, "profiles"));
+  {
+    SerdeReader r = reader_for(*profiles, "profiles");
+    uint64_t count;
+    VER_RETURN_IF_ERROR(r.ReadU64(&count));
+    // A serialized profile is >= 57 bytes (ref + name length + stats +
+    // sketch + hash-set length); 8 is a safe floor for the count guard.
+    VER_RETURN_IF_ERROR(r.CheckCount(count, 8, "profile count"));
+    engine->profiles_.reserve(static_cast<size_t>(count));
+    for (uint64_t i = 0; i < count; ++i) {
+      ColumnProfile p;
+      VER_RETURN_IF_ERROR(p.LoadFrom(&r));
+      engine->profiles_.push_back(std::move(p));
+    }
+    VER_RETURN_IF_ERROR(r.ExpectEnd());
+  }
+  engine->profile_index_.reserve(engine->profiles_.size());
+  for (size_t i = 0; i < engine->profiles_.size(); ++i) {
+    engine->profile_index_.emplace(engine->profiles_[i].ref.Encode(),
+                                   static_cast<int>(i));
+  }
+
+  VER_ASSIGN_OR_RETURN(const SnapshotSection* keywords,
+                       find_section(kSectionKeywordIndex, "keyword index"));
+  {
+    SerdeReader r = reader_for(*keywords, "keyword index");
+    VER_RETURN_IF_ERROR(engine->keywords_.LoadFrom(&r, repo));
+    VER_RETURN_IF_ERROR(r.ExpectEnd());
+  }
+
+  VER_ASSIGN_OR_RETURN(
+      const SnapshotSection* similarity,
+      find_section(kSectionSimilarityIndex, "similarity index"));
+  {
+    SerdeReader r = reader_for(*similarity, "similarity index");
+    VER_RETURN_IF_ERROR(engine->similarity_.LoadFrom(
+        &r, &engine->profiles_, engine->options_.similarity));
+    VER_RETURN_IF_ERROR(r.ExpectEnd());
+  }
+
+  VER_ASSIGN_OR_RETURN(const SnapshotSection* join_paths,
+                       find_section(kSectionJoinPathIndex, "join path index"));
+  {
+    SerdeReader r = reader_for(*join_paths, "join path index");
+    VER_RETURN_IF_ERROR(
+        engine->join_paths_.LoadFrom(&r, repo, engine->options_.join_paths));
+    VER_RETURN_IF_ERROR(r.ExpectEnd());
+  }
+  return engine;
+}
+
 std::vector<KeywordHit> DiscoveryEngine::SearchKeyword(
     const std::string& keyword, KeywordTarget target, bool fuzzy) const {
   return keywords_.Search(keyword, target,

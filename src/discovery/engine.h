@@ -15,6 +15,8 @@
 #include "discovery/profile.h"
 #include "discovery/similarity_index.h"
 #include "storage/repository.h"
+#include "util/result.h"
+#include "util/serde.h"
 
 namespace ver {
 
@@ -63,6 +65,22 @@ class DiscoveryEngine {
   static std::unique_ptr<DiscoveryEngine> Build(
       const TableRepository& repo,
       const DiscoveryOptions& options = DiscoveryOptions());
+
+  /// Persists the engine — options, column profiles (with sketches), and
+  /// all four indices, plus a fingerprint of the repository's table names,
+  /// row counts and schemas — as one versioned snapshot file (see
+  /// util/serde.h for the format). The write is atomic (temp + rename).
+  Status Save(const std::string& path) const;
+
+  /// Restores an engine from a snapshot written by Save(). `repo` must be
+  /// the repository the snapshot was built over (checked against the
+  /// stored fingerprint) and must outlive the engine. A loaded engine
+  /// answers every query bit-identically to the freshly built engine it
+  /// was saved from, and supports IndexNewTable exactly like one. On any
+  /// corruption (bad magic, version skew, truncation, checksum mismatch)
+  /// returns a descriptive error and constructs nothing.
+  static Result<std::unique_ptr<DiscoveryEngine>> Load(
+      const TableRepository& repo, const std::string& path);
 
   const TableRepository& repo() const { return *repo_; }
   const DiscoveryOptions& options() const { return options_; }

@@ -124,6 +124,74 @@ void JoinPathIndex::AddColumns(const std::vector<ColumnProfile>* profiles,
   RebuildAdjacency();
 }
 
+void JoinPathIndex::SaveTo(SerdeWriter* w) const {
+  // Options are NOT written here: they live once in the engine's options
+  // section (the single source of truth) and are passed back to LoadFrom.
+  w->WriteI64(num_joinable_column_pairs_);
+  w->WriteU64(pair_edges_.size());
+  for (const auto& [key, edges] : pair_edges_) {
+    w->WriteI32(key.first);
+    w->WriteI32(key.second);
+    w->WriteU64(edges.size());
+    for (const JoinEdge& e : edges) {
+      w->WriteI32(e.left.table_id);
+      w->WriteI32(e.left.column_index);
+      w->WriteI32(e.right.table_id);
+      w->WriteI32(e.right.column_index);
+      w->WriteDouble(e.containment);
+      w->WriteDouble(e.key_quality);
+    }
+  }
+}
+
+Status JoinPathIndex::LoadFrom(SerdeReader* r, const TableRepository& repo,
+                               const JoinPathOptions& options) {
+  auto valid_ref = [&repo](const ColumnRef& ref) {
+    return ref.table_id >= 0 && ref.table_id < repo.num_tables() &&
+           ref.column_index >= 0 &&
+           ref.column_index < repo.table(ref.table_id).num_columns();
+  };
+  int64_t num_pairs;
+  VER_RETURN_IF_ERROR(r->ReadI64(&num_pairs));
+  uint64_t num_table_pairs;
+  VER_RETURN_IF_ERROR(r->ReadU64(&num_table_pairs));
+  std::map<std::pair<int32_t, int32_t>, std::vector<JoinEdge>> edges_by_pair;
+  for (uint64_t p = 0; p < num_table_pairs; ++p) {
+    std::pair<int32_t, int32_t> key;
+    VER_RETURN_IF_ERROR(r->ReadI32(&key.first));
+    VER_RETURN_IF_ERROR(r->ReadI32(&key.second));
+    uint64_t num_edges;
+    VER_RETURN_IF_ERROR(r->ReadU64(&num_edges));
+    // A serialized edge is 32 bytes; guard before reserving.
+    VER_RETURN_IF_ERROR(r->CheckCount(num_edges, 32, "edge count"));
+    std::vector<JoinEdge> edges;
+    edges.reserve(static_cast<size_t>(num_edges));
+    for (uint64_t e = 0; e < num_edges; ++e) {
+      JoinEdge edge;
+      VER_RETURN_IF_ERROR(r->ReadI32(&edge.left.table_id));
+      VER_RETURN_IF_ERROR(r->ReadI32(&edge.left.column_index));
+      VER_RETURN_IF_ERROR(r->ReadI32(&edge.right.table_id));
+      VER_RETURN_IF_ERROR(r->ReadI32(&edge.right.column_index));
+      VER_RETURN_IF_ERROR(r->ReadDouble(&edge.containment));
+      VER_RETURN_IF_ERROR(r->ReadDouble(&edge.key_quality));
+      // Edges feed the materializer, which dereferences both endpoints
+      // against the repository — reject out-of-range addresses here.
+      if (!valid_ref(edge.left) || !valid_ref(edge.right)) {
+        return Status::IOError(
+            "corrupt join path index: edge addresses nonexistent column " +
+            edge.left.ToString() + " / " + edge.right.ToString());
+      }
+      edges.push_back(edge);
+    }
+    edges_by_pair[key] = std::move(edges);
+  }
+  options_ = options;
+  num_joinable_column_pairs_ = num_pairs;
+  pair_edges_ = std::move(edges_by_pair);
+  RebuildAdjacency();
+  return Status::OK();
+}
+
 const std::vector<JoinEdge>& JoinPathIndex::EdgesBetween(
     int32_t table_a, int32_t table_b) const {
   auto it = pair_edges_.find(TableKey(table_a, table_b));

@@ -66,6 +66,15 @@ class JoinPathIndex {
   /// Tables adjacent to `table` in the join connectivity graph.
   std::vector<int32_t> AdjacentTables(int32_t table) const;
 
+  /// Snapshot serialization. pair_edges_ is an ordered map, so the bytes
+  /// are deterministic; the adjacency lists are derived data and are
+  /// rebuilt on load. Edge endpoints are validated against `repo` so a
+  /// corrupt file cannot smuggle in out-of-range column addresses;
+  /// `options` comes from the engine's options section (persisted once).
+  void SaveTo(SerdeWriter* w) const;
+  Status LoadFrom(SerdeReader* r, const TableRepository& repo,
+                  const JoinPathOptions& options);
+
  private:
   // Key: (min_table_id, max_table_id).
   std::map<std::pair<int32_t, int32_t>, std::vector<JoinEdge>> pair_edges_;

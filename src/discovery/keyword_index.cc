@@ -10,35 +10,99 @@ namespace ver {
 
 namespace {
 
-void BucketVocabulary(
-    const std::unordered_map<std::string, std::vector<ColumnRef>>& postings,
-    std::vector<std::vector<const std::string*>>* buckets) {
-  buckets->clear();
+ColumnRef DecodeColumnRef(uint64_t encoded) {
+  return ColumnRef{static_cast<int32_t>(encoded >> 32),
+                   static_cast<int32_t>(encoded & 0xffffffffULL)};
+}
+
+// Sorted pointers to the hash-map keys (deterministic iteration order).
+std::vector<const std::string*> SortedKeys(
+    const std::unordered_map<std::string, std::vector<ColumnRef>>& postings) {
+  std::vector<const std::string*> keys;
+  keys.reserve(postings.size());
   for (const auto& [text, cols] : postings) {
-    size_t len = text.size();
-    if (buckets->size() <= len) buckets->resize(len + 1);
-    (*buckets)[len].push_back(&text);
+    (void)cols;
+    keys.push_back(&text);
   }
+  std::sort(keys.begin(), keys.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  return keys;
 }
 
 }  // namespace
 
+ptrdiff_t KeywordIndex::FlatPostings::find(std::string_view needle) const {
+  size_t lo = 0, hi = num_keys();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (key(mid) < needle) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < num_keys() && key(lo) == needle) return static_cast<ptrdiff_t>(lo);
+  return -1;
+}
+
+void KeywordIndex::FlatPostings::SaveTo(SerdeWriter* w) const {
+  w->WriteString(blob);
+  w->WriteU32Vector(key_offsets);
+  w->WriteU64Vector(columns);
+  w->WriteU32Vector(posting_offsets);
+}
+
+Status KeywordIndex::FlatPostings::LoadFrom(SerdeReader* r) {
+  VER_RETURN_IF_ERROR(r->ReadString(&blob));
+  VER_RETURN_IF_ERROR(r->ReadU32Vector(&key_offsets));
+  VER_RETURN_IF_ERROR(r->ReadU64Vector(&columns));
+  VER_RETURN_IF_ERROR(r->ReadU32Vector(&posting_offsets));
+  // Offset sanity: monotonic and in bounds, so key()/posting slicing can
+  // never read out of range even if a corrupt file slipped past the
+  // checksum.
+  auto offsets_valid = [](const std::vector<uint32_t>& offsets, size_t end) {
+    if (offsets.empty()) return end == 0;
+    if (offsets.front() != 0 || offsets.back() != end) return false;
+    for (size_t i = 1; i < offsets.size(); ++i) {
+      if (offsets[i] < offsets[i - 1]) return false;
+    }
+    return true;
+  };
+  if (key_offsets.size() != posting_offsets.size() ||
+      !offsets_valid(key_offsets, blob.size()) ||
+      !offsets_valid(posting_offsets, columns.size())) {
+    return Status::IOError("corrupt keyword index: inconsistent offsets");
+  }
+  return Status::OK();
+}
+
+int64_t KeywordIndex::vocabulary_size() const {
+  int64_t size = static_cast<int64_t>(flat_values_.num_keys());
+  for (const auto& [text, cols] : value_postings_) {
+    (void)cols;
+    // Words already in the flat base (re-indexed after a snapshot load)
+    // count once.
+    if (flat_values_.num_keys() == 0 || flat_values_.find(text) < 0) ++size;
+  }
+  return size;
+}
+
 void KeywordIndex::Build(const TableRepository& repo) {
   value_postings_.clear();
   attr_postings_.clear();
+  flat_values_ = FlatPostings();
+  flat_attrs_ = FlatPostings();
   for (int32_t t = 0; t < repo.num_tables(); ++t) {
     IndexTable(repo, t);
   }
-  BucketVocabulary(value_postings_, &vocab_by_length_);
-  BucketVocabulary(attr_postings_, &attr_vocab_by_length_);
+  RebuildVocabBuckets();
 }
 
 void KeywordIndex::AddTable(const TableRepository& repo, int32_t table_id) {
   IndexTable(repo, table_id);
   // Key pointers in unordered_map are stable across inserts, but the fuzzy
   // buckets only know keys present at bucketing time; rebucket.
-  BucketVocabulary(value_postings_, &vocab_by_length_);
-  BucketVocabulary(attr_postings_, &attr_vocab_by_length_);
+  RebuildVocabBuckets();
 }
 
 void KeywordIndex::IndexTable(const TableRepository& repo, int32_t t) {
@@ -58,6 +122,28 @@ void KeywordIndex::IndexTable(const TableRepository& repo, int32_t t) {
       }
     }
   }
+}
+
+void KeywordIndex::RebuildVocabBuckets() {
+  auto bucket = [](const std::unordered_map<std::string,
+                                            std::vector<ColumnRef>>& postings,
+                   const FlatPostings& flat,
+                   std::vector<std::vector<VocabEntry>>* buckets) {
+    buckets->clear();
+    auto add = [buckets](VocabEntry entry) {
+      size_t len = entry.text.size();
+      if (buckets->size() <= len) buckets->resize(len + 1);
+      (*buckets)[len].push_back(entry);
+    };
+    for (size_t i = 0; i < flat.num_keys(); ++i) {
+      add(VocabEntry{flat.key(i), nullptr, static_cast<ptrdiff_t>(i)});
+    }
+    for (const auto& [text, cols] : postings) {
+      add(VocabEntry{text, &cols, -1});
+    }
+  };
+  bucket(value_postings_, flat_values_, &vocab_by_length_);
+  bucket(attr_postings_, flat_attrs_, &attr_vocab_by_length_);
 }
 
 std::vector<KeywordHit> KeywordIndex::Search(const std::string& keyword,
@@ -81,12 +167,23 @@ std::vector<KeywordHit> KeywordIndex::Search(const std::string& keyword,
   auto search_postings =
       [&](const std::unordered_map<std::string, std::vector<ColumnRef>>&
               postings,
-          const std::vector<std::vector<const std::string*>>& buckets,
+          const FlatPostings& flat,
+          const std::vector<std::vector<VocabEntry>>& buckets,
           bool attribute) {
+        // Exact lookups, in both stores (a key present in both — the flat
+        // base plus tables indexed after a Load — contributes from each).
         auto it = postings.find(needle);
         if (it != postings.end()) {
           for (const ColumnRef& ref : it->second) {
             add_hit(ref, attribute, /*exact=*/true);
+          }
+        }
+        ptrdiff_t fi = flat.find(needle);
+        if (fi >= 0) {
+          for (uint32_t p = flat.posting_offsets[fi];
+               p < flat.posting_offsets[fi + 1]; ++p) {
+            add_hit(DecodeColumnRef(flat.columns[p]), attribute,
+                    /*exact=*/true);
           }
         }
         if (max_edits <= 0) return;
@@ -94,11 +191,18 @@ std::vector<KeywordHit> KeywordIndex::Search(const std::string& keyword,
         int hi = static_cast<int>(needle.size()) + max_edits;
         for (int len = lo; len <= hi && len < static_cast<int>(buckets.size());
              ++len) {
-          for (const std::string* candidate : buckets[len]) {
-            if (*candidate == needle) continue;  // already handled exactly
-            if (WithinEditDistance(needle, *candidate, max_edits)) {
-              for (const ColumnRef& ref : postings.at(*candidate)) {
+          for (const VocabEntry& entry : buckets[len]) {
+            if (entry.text == needle) continue;  // already handled exactly
+            if (!WithinEditDistance(needle, entry.text, max_edits)) continue;
+            if (entry.map_postings != nullptr) {
+              for (const ColumnRef& ref : *entry.map_postings) {
                 add_hit(ref, attribute, /*exact=*/false);
+              }
+            } else {
+              for (uint32_t p = flat.posting_offsets[entry.flat_index];
+                   p < flat.posting_offsets[entry.flat_index + 1]; ++p) {
+                add_hit(DecodeColumnRef(flat.columns[p]), attribute,
+                        /*exact=*/false);
               }
             }
           }
@@ -106,10 +210,12 @@ std::vector<KeywordHit> KeywordIndex::Search(const std::string& keyword,
       };
 
   if (target == KeywordTarget::kValues || target == KeywordTarget::kAll) {
-    search_postings(value_postings_, vocab_by_length_, /*attribute=*/false);
+    search_postings(value_postings_, flat_values_, vocab_by_length_,
+                    /*attribute=*/false);
   }
   if (target == KeywordTarget::kAttributes || target == KeywordTarget::kAll) {
-    search_postings(attr_postings_, attr_vocab_by_length_, /*attribute=*/true);
+    search_postings(attr_postings_, flat_attrs_, attr_vocab_by_length_,
+                    /*attribute=*/true);
   }
 
   std::vector<KeywordHit> out;
@@ -126,6 +232,93 @@ std::vector<KeywordHit> KeywordIndex::Search(const std::string& keyword,
     return a.matched_attribute < b.matched_attribute;
   });
   return out;
+}
+
+// Merges the flat base and the sorted hash-map keys into one flat store.
+// For a key present in both, flat postings come first — flat entries are
+// older (lower) table ids, so the merged order equals a from-scratch
+// build's insertion order.
+Status KeywordIndex::SaveTo(SerdeWriter* w) const {
+  auto save_merged =
+      [w](const FlatPostings& flat,
+          const std::unordered_map<std::string, std::vector<ColumnRef>>&
+              postings) -> Status {
+        std::vector<const std::string*> map_keys = SortedKeys(postings);
+        FlatPostings out;
+        out.key_offsets.push_back(0);
+        out.posting_offsets.push_back(0);
+        size_t fi = 0, mi = 0;
+        auto emit_flat = [&](size_t i) {
+          std::string_view key = flat.key(i);
+          out.blob.append(key.data(), key.size());
+          for (uint32_t p = flat.posting_offsets[i];
+               p < flat.posting_offsets[i + 1]; ++p) {
+            out.columns.push_back(flat.columns[p]);
+          }
+        };
+        auto emit_map = [&](size_t i) {
+          const std::string& key = *map_keys[i];
+          out.blob.append(key);
+          for (const ColumnRef& ref : postings.at(key)) {
+            out.columns.push_back(ref.Encode());
+          }
+        };
+        while (fi < flat.num_keys() || mi < map_keys.size()) {
+          if (mi >= map_keys.size() ||
+              (fi < flat.num_keys() && flat.key(fi) < *map_keys[mi])) {
+            emit_flat(fi++);
+          } else if (fi >= flat.num_keys() || *map_keys[mi] < flat.key(fi)) {
+            emit_map(mi++);
+          } else {  // same key in both stores: flat (older tables) first
+            std::string_view key = flat.key(fi);
+            out.blob.append(key.data(), key.size());
+            for (uint32_t p = flat.posting_offsets[fi];
+                 p < flat.posting_offsets[fi + 1]; ++p) {
+              out.columns.push_back(flat.columns[p]);
+            }
+            for (const ColumnRef& ref : postings.at(*map_keys[mi])) {
+              out.columns.push_back(ref.Encode());
+            }
+            ++fi;
+            ++mi;
+          }
+          if (out.blob.size() > UINT32_MAX || out.columns.size() > UINT32_MAX) {
+            return Status::OutOfRange(
+                "keyword index exceeds the snapshot format's u32 offset "
+                "range; cannot save");
+          }
+          out.key_offsets.push_back(static_cast<uint32_t>(out.blob.size()));
+          out.posting_offsets.push_back(
+              static_cast<uint32_t>(out.columns.size()));
+        }
+        out.SaveTo(w);
+        return Status::OK();
+      };
+  VER_RETURN_IF_ERROR(save_merged(flat_values_, value_postings_));
+  return save_merged(flat_attrs_, attr_postings_);
+}
+
+Status KeywordIndex::LoadFrom(SerdeReader* r, const TableRepository& repo) {
+  VER_RETURN_IF_ERROR(flat_values_.LoadFrom(r));
+  VER_RETURN_IF_ERROR(flat_attrs_.LoadFrom(r));
+  // Every posting must address a real column: hits flow straight into the
+  // pipeline, which dereferences them against the repository.
+  for (const FlatPostings* flat : {&flat_values_, &flat_attrs_}) {
+    for (uint64_t encoded : flat->columns) {
+      ColumnRef ref = DecodeColumnRef(encoded);
+      if (ref.table_id < 0 || ref.table_id >= repo.num_tables() ||
+          ref.column_index < 0 ||
+          ref.column_index >= repo.table(ref.table_id).num_columns()) {
+        return Status::IOError(
+            "corrupt keyword index: posting addresses nonexistent column " +
+            ref.ToString());
+      }
+    }
+  }
+  value_postings_.clear();
+  attr_postings_.clear();
+  RebuildVocabBuckets();
+  return Status::OK();
 }
 
 }  // namespace ver

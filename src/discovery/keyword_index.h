@@ -1,15 +1,28 @@
 // Keyword retrieval index: SEARCH-KEYWORD(target, fuzzy) of the paper's
 // Appendix A. Finds columns whose attribute name or cell values contain an
 // input string, exactly or within a Levenshtein distance.
+//
+// Postings live in two stores that Search consults together:
+//  - a mutable hash map, filled by Build()/AddTable() (fast incremental
+//    inserts while indexing);
+//  - an immutable flat store (sorted key blob + offset arrays), bulk-loaded
+//    from a snapshot in a handful of memcpys — this is what makes
+//    zero-rebuild cold starts fast, since rehashing tens of thousands of
+//    string keys dominated snapshot loading otherwise.
+// A column's postings are never split across stores for the same key
+// growth step, and tables indexed after a Load land in the hash map, so
+// the combined view is identical to a from-scratch build.
 
 #ifndef VER_DISCOVERY_KEYWORD_INDEX_H_
 #define VER_DISCOVERY_KEYWORD_INDEX_H_
 
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "storage/repository.h"
+#include "util/serde.h"
 
 namespace ver {
 
@@ -36,7 +49,7 @@ class KeywordIndex {
   void Build(const TableRepository& repo);
 
   /// Incrementally indexes one table that was appended to the repository
-  /// after Build() (online index maintenance).
+  /// after Build() or LoadFrom() (online index maintenance).
   void AddTable(const TableRepository& repo, int32_t table_id);
 
   /// Columns matching `keyword`. `max_edits` = 0 means exact match only;
@@ -45,20 +58,62 @@ class KeywordIndex {
                                  KeywordTarget target,
                                  int max_edits = 0) const;
 
-  int64_t vocabulary_size() const {
-    return static_cast<int64_t>(value_postings_.size());
-  }
+  /// Distinct indexed cell texts across both stores.
+  int64_t vocabulary_size() const;
+
+  /// Snapshot serialization. Writes both stores merged into one sorted
+  /// flat layout (deterministic bytes for a given logical index state);
+  /// LoadFrom restores it as the immutable flat store with no per-key
+  /// work beyond bounds validation — offsets and every posting's
+  /// ColumnRef are checked against `repo`, so a corrupt file cannot
+  /// smuggle in out-of-range column addresses. SaveTo fails (rather than
+  /// silently wrapping the u32 offsets) if the flat layout exceeds 4 GiB
+  /// of key text or 2^32 postings.
+  Status SaveTo(SerdeWriter* w) const;
+  Status LoadFrom(SerdeReader* r, const TableRepository& repo);
 
  private:
-  void IndexTable(const TableRepository& repo, int32_t table_id);
+  /// Immutable posting store: keys sorted ascending in one blob, postings
+  /// concatenated in key order. find() is a binary search over key slices.
+  struct FlatPostings {
+    std::string blob;                       // key bytes, concatenated
+    std::vector<uint32_t> key_offsets;      // num_keys + 1 entries
+    std::vector<uint64_t> columns;          // ColumnRef::Encode, concatenated
+    std::vector<uint32_t> posting_offsets;  // num_keys + 1 entries
 
-  // lowercased cell text -> columns containing it (deduped).
+    size_t num_keys() const {
+      return key_offsets.empty() ? 0 : key_offsets.size() - 1;
+    }
+    std::string_view key(size_t i) const {
+      return std::string_view(blob).substr(key_offsets[i],
+                                           key_offsets[i + 1] - key_offsets[i]);
+    }
+    /// Index of `needle`, or -1.
+    ptrdiff_t find(std::string_view needle) const;
+    void SaveTo(SerdeWriter* w) const;
+    /// Restores and validates the offset arrays (monotonic, in bounds).
+    Status LoadFrom(SerdeReader* r);
+  };
+
+  /// One vocabulary word, resolvable to its postings in either store.
+  struct VocabEntry {
+    std::string_view text;
+    const std::vector<ColumnRef>* map_postings;  // null when flat
+    ptrdiff_t flat_index;                        // -1 when in the hash map
+  };
+
+  void IndexTable(const TableRepository& repo, int32_t table_id);
+  void RebuildVocabBuckets();
+
+  // Mutable store: lowercased text -> columns containing it (deduped).
   std::unordered_map<std::string, std::vector<ColumnRef>> value_postings_;
-  // lowercased attribute name -> columns with that header.
   std::unordered_map<std::string, std::vector<ColumnRef>> attr_postings_;
-  // vocabulary bucketed by length for banded fuzzy scans.
-  std::vector<std::vector<const std::string*>> vocab_by_length_;
-  std::vector<std::vector<const std::string*>> attr_vocab_by_length_;
+  // Immutable store (snapshot-loaded base).
+  FlatPostings flat_values_;
+  FlatPostings flat_attrs_;
+  // Vocabulary of both stores bucketed by length for banded fuzzy scans.
+  std::vector<std::vector<VocabEntry>> vocab_by_length_;
+  std::vector<std::vector<VocabEntry>> attr_vocab_by_length_;
 };
 
 }  // namespace ver

@@ -27,6 +27,24 @@ void ProfileTableInto(const TableRepository& repo, int32_t t,
 
 }  // namespace
 
+void ColumnProfile::SaveTo(SerdeWriter* w) const {
+  w->WriteI32(ref.table_id);
+  w->WriteI32(ref.column_index);
+  w->WriteString(attribute_name);
+  stats.SaveTo(w);
+  signature.SaveTo(w);
+  w->WriteU64Vector(distinct_hashes);
+}
+
+Status ColumnProfile::LoadFrom(SerdeReader* r) {
+  VER_RETURN_IF_ERROR(r->ReadI32(&ref.table_id));
+  VER_RETURN_IF_ERROR(r->ReadI32(&ref.column_index));
+  VER_RETURN_IF_ERROR(r->ReadString(&attribute_name));
+  VER_RETURN_IF_ERROR(stats.LoadFrom(r));
+  VER_RETURN_IF_ERROR(signature.LoadFrom(r));
+  return r->ReadU64Vector(&distinct_hashes);
+}
+
 std::vector<ColumnProfile> ProfileRepository(const TableRepository& repo,
                                              const ProfilerOptions& options,
                                              ThreadPool* pool) {

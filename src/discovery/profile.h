@@ -9,6 +9,7 @@
 #include "storage/repository.h"
 #include "table/column_stats.h"
 #include "util/minhash.h"
+#include "util/serde.h"
 #include "util/thread_pool.h"
 
 namespace ver {
@@ -26,6 +27,10 @@ struct ColumnProfile {
   std::vector<uint64_t> distinct_hashes;  // sorted; empty when too large
 
   bool has_exact_set() const { return !distinct_hashes.empty(); }
+
+  /// Snapshot serialization (the profiles section of a DiscoverySnapshot).
+  void SaveTo(SerdeWriter* w) const;
+  Status LoadFrom(SerdeReader* r);
 };
 
 struct ProfilerOptions {

@@ -7,6 +7,44 @@
 
 namespace ver {
 
+ptrdiff_t SimilarityIndex::FlatBuckets::find(uint64_t key) const {
+  auto it = std::lower_bound(keys.begin(), keys.end(), key);
+  if (it == keys.end() || *it != key) return -1;
+  return it - keys.begin();
+}
+
+size_t SimilarityIndex::FlatBuckets::posting_count(uint64_t key) const {
+  if (keys.empty()) return 0;
+  ptrdiff_t i = find(key);
+  if (i < 0) return 0;
+  return offsets[i + 1] - offsets[i];
+}
+
+void SimilarityIndex::FlatBuckets::SaveTo(SerdeWriter* w) const {
+  w->WriteU64Vector(keys);
+  w->WriteU32Vector(offsets);
+  w->WriteI32Vector(postings);
+}
+
+Status SimilarityIndex::FlatBuckets::LoadFrom(SerdeReader* r) {
+  VER_RETURN_IF_ERROR(r->ReadU64Vector(&keys));
+  VER_RETURN_IF_ERROR(r->ReadU32Vector(&offsets));
+  VER_RETURN_IF_ERROR(r->ReadI32Vector(&postings));
+  bool valid = keys.empty() ? offsets.empty()
+                            : offsets.size() == keys.size() + 1 &&
+                                  offsets.front() == 0 &&
+                                  offsets.back() == postings.size();
+  if (valid) {
+    for (size_t i = 1; i < offsets.size(); ++i) {
+      if (offsets[i] < offsets[i - 1]) valid = false;
+    }
+  }
+  if (!valid) {
+    return Status::IOError("corrupt similarity index: inconsistent offsets");
+  }
+  return Status::OK();
+}
+
 void SimilarityIndex::Build(const std::vector<ColumnProfile>* profiles,
                             const SimilarityOptions& options,
                             ThreadPool* pool) {
@@ -14,6 +52,8 @@ void SimilarityIndex::Build(const std::vector<ColumnProfile>* profiles,
   options_ = options;
   value_postings_.clear();
   band_buckets_.clear();
+  flat_value_postings_ = FlatBuckets();
+  flat_band_buckets_.clear();
 
   const auto& ps = *profiles_;
   eligible_.clear();
@@ -22,6 +62,7 @@ void SimilarityIndex::Build(const std::vector<ColumnProfile>* profiles,
   int bands = std::max(1, std::min(options_.lsh_bands, permutations));
   rows_per_band_ = std::max(1, permutations / bands);
   band_buckets_.resize(bands);
+  flat_band_buckets_.resize(bands);
   AddProfiles(0, pool);
 }
 
@@ -32,13 +73,20 @@ void SimilarityIndex::AddProfiles(size_t first_new, ThreadPool* pool) {
   for (size_t i = first_new; i < ps.size(); ++i) {
     eligible_[i] = ps[i].stats.num_distinct >= options_.min_distinct;
   }
+  // The posting cap spans both stores: a hash whose flat (snapshot-loaded)
+  // posting list already holds N entries accepts only max_posting_length-N
+  // more into the overlay map.
+  auto posting_budget = [this](uint64_t h, size_t overlay_size) {
+    return flat_value_postings_.posting_count(h) + overlay_size <
+           options_.max_posting_length;
+  };
   if (pool == nullptr || pool->num_threads() <= 1) {
     for (size_t i = first_new; i < ps.size(); ++i) {
       if (!eligible_[i]) continue;
       const ColumnProfile& p = ps[i];
       for (uint64_t h : p.distinct_hashes) {
         auto& posting = value_postings_[h];
-        if (posting.size() < options_.max_posting_length) {
+        if (posting_budget(h, posting.size())) {
           posting.push_back(static_cast<int>(i));
         }
       }
@@ -87,7 +135,7 @@ void SimilarityIndex::AddProfiles(size_t first_new, ThreadPool* pool) {
     for (auto& [h, ids] : chunk) {
       auto& posting = value_postings_[h];
       for (int id : ids) {
-        if (posting.size() >= options_.max_posting_length) break;
+        if (!posting_budget(h, posting.size())) break;
         posting.push_back(id);
       }
     }
@@ -108,7 +156,17 @@ std::vector<int> SimilarityIndex::Candidates(int profile_index) const {
   std::unordered_set<int> out;
   const ColumnProfile& p = (*profiles_)[profile_index];
   if (!eligible_[profile_index]) return {};
+  auto collect_flat = [&out, profile_index](const FlatBuckets& flat,
+                                            uint64_t key) {
+    if (flat.keys.empty()) return;
+    ptrdiff_t i = flat.find(key);
+    if (i < 0) return;
+    for (uint32_t o = flat.offsets[i]; o < flat.offsets[i + 1]; ++o) {
+      if (flat.postings[o] != profile_index) out.insert(flat.postings[o]);
+    }
+  };
   for (uint64_t h : p.distinct_hashes) {
+    collect_flat(flat_value_postings_, h);
     auto it = value_postings_.find(h);
     if (it == value_postings_.end()) continue;
     for (int other : it->second) {
@@ -116,7 +174,11 @@ std::vector<int> SimilarityIndex::Candidates(int profile_index) const {
     }
   }
   for (size_t b = 0; b < band_buckets_.size(); ++b) {
-    auto it = band_buckets_[b].find(BandHash(p.signature, static_cast<int>(b)));
+    uint64_t key = BandHash(p.signature, static_cast<int>(b));
+    if (b < flat_band_buckets_.size()) {
+      collect_flat(flat_band_buckets_[b], key);
+    }
+    auto it = band_buckets_[b].find(key);
     if (it == band_buckets_[b].end()) continue;
     for (int other : it->second) {
       if (other != profile_index) out.insert(other);
@@ -171,12 +233,163 @@ std::vector<std::pair<int, int>> SimilarityIndex::AllCandidatePairs() const {
       }
     }
   };
-  for (const auto& [_, bucket] : value_postings_) add_bucket(bucket);
-  for (const auto& band : band_buckets_) {
-    for (const auto& [_, bucket] : band) add_bucket(bucket);
+  // A key may live in both stores (flat base + overlay growth); its
+  // logical bucket is the concatenation.
+  auto add_store_pair =
+      [&](const FlatBuckets& flat,
+          const std::unordered_map<uint64_t, std::vector<int>>& map) {
+        std::vector<int> combined;
+        for (size_t i = 0; i < flat.num_keys(); ++i) {
+          combined.assign(flat.postings.begin() + flat.offsets[i],
+                          flat.postings.begin() + flat.offsets[i + 1]);
+          auto it = map.find(flat.keys[i]);
+          if (it != map.end()) {
+            combined.insert(combined.end(), it->second.begin(),
+                            it->second.end());
+          }
+          add_bucket(combined);
+        }
+        for (const auto& [key, bucket] : map) {
+          if (!flat.keys.empty() && flat.find(key) >= 0) continue;  // merged
+          add_bucket(bucket);
+        }
+      };
+  add_store_pair(flat_value_postings_, value_postings_);
+  for (size_t b = 0; b < band_buckets_.size(); ++b) {
+    static const FlatBuckets kEmpty;
+    add_store_pair(
+        b < flat_band_buckets_.size() ? flat_band_buckets_[b] : kEmpty,
+        band_buckets_[b]);
   }
   std::sort(pairs.begin(), pairs.end());
   return pairs;
+}
+
+// SaveTo merges the flat store and the overlay map into one sorted flat
+// store; for a key in both, flat postings (older, lower profile indices)
+// come first — the insertion order of a from-scratch build.
+Status SimilarityIndex::SaveTo(SerdeWriter* w) const {
+  auto save_merged =
+      [w](const FlatBuckets& flat,
+          const std::unordered_map<uint64_t, std::vector<int>>& map)
+      -> Status {
+        std::vector<uint64_t> map_keys;
+        map_keys.reserve(map.size());
+        for (const auto& [key, bucket] : map) {
+          (void)bucket;
+          map_keys.push_back(key);
+        }
+        std::sort(map_keys.begin(), map_keys.end());
+        FlatBuckets out;
+        out.offsets.push_back(0);
+        size_t fi = 0, mi = 0;
+        auto append_flat = [&](size_t i) {
+          out.postings.insert(out.postings.end(),
+                              flat.postings.begin() + flat.offsets[i],
+                              flat.postings.begin() + flat.offsets[i + 1]);
+        };
+        auto append_map = [&](uint64_t key) {
+          const std::vector<int>& bucket = map.at(key);
+          out.postings.insert(out.postings.end(), bucket.begin(),
+                              bucket.end());
+        };
+        while (fi < flat.num_keys() || mi < map_keys.size()) {
+          if (mi >= map_keys.size() ||
+              (fi < flat.num_keys() && flat.keys[fi] < map_keys[mi])) {
+            out.keys.push_back(flat.keys[fi]);
+            append_flat(fi++);
+          } else if (fi >= flat.num_keys() || map_keys[mi] < flat.keys[fi]) {
+            out.keys.push_back(map_keys[mi]);
+            append_map(map_keys[mi++]);
+          } else {  // both stores: flat (older profiles) first
+            out.keys.push_back(flat.keys[fi]);
+            append_flat(fi++);
+            append_map(map_keys[mi++]);
+          }
+          if (out.postings.size() > UINT32_MAX) {
+            return Status::OutOfRange(
+                "similarity index exceeds the snapshot format's u32 offset "
+                "range; cannot save");
+          }
+          out.offsets.push_back(static_cast<uint32_t>(out.postings.size()));
+        }
+        out.SaveTo(w);
+        return Status::OK();
+      };
+
+  // Options are NOT written here: they live once in the engine's options
+  // section (the single source of truth) and are passed back to LoadFrom.
+  w->WriteI32(rows_per_band_);
+  w->WriteU64(eligible_.size());
+  for (bool e : eligible_) w->WriteBool(e);
+  VER_RETURN_IF_ERROR(save_merged(flat_value_postings_, value_postings_));
+  w->WriteU64(band_buckets_.size());
+  static const FlatBuckets kEmpty;
+  for (size_t b = 0; b < band_buckets_.size(); ++b) {
+    VER_RETURN_IF_ERROR(save_merged(
+        b < flat_band_buckets_.size() ? flat_band_buckets_[b] : kEmpty,
+        band_buckets_[b]));
+  }
+  return Status::OK();
+}
+
+Status SimilarityIndex::LoadFrom(SerdeReader* r,
+                                 const std::vector<ColumnProfile>* profiles,
+                                 const SimilarityOptions& options) {
+  int rows_per_band;
+  VER_RETURN_IF_ERROR(r->ReadI32(&rows_per_band));
+  uint64_t num_eligible;
+  VER_RETURN_IF_ERROR(r->ReadU64(&num_eligible));
+  if (num_eligible != profiles->size()) {
+    return Status::InvalidArgument(
+        "snapshot similarity index covers " + std::to_string(num_eligible) +
+        " columns but the profile section has " +
+        std::to_string(profiles->size()));
+  }
+  std::vector<bool> eligible(static_cast<size_t>(num_eligible));
+  for (uint64_t i = 0; i < num_eligible; ++i) {
+    bool e;
+    VER_RETURN_IF_ERROR(r->ReadBool(&e));
+    eligible[i] = e;
+  }
+  // Posting values index the profile vector; a checksum-valid but crafted
+  // or stale file must not smuggle in out-of-range indices that queries
+  // would dereference.
+  auto postings_in_range = [profiles](const FlatBuckets& flat) {
+    for (int p : flat.postings) {
+      if (p < 0 || static_cast<size_t>(p) >= profiles->size()) return false;
+    }
+    return true;
+  };
+  FlatBuckets values;
+  VER_RETURN_IF_ERROR(values.LoadFrom(r));
+  uint64_t num_bands;
+  VER_RETURN_IF_ERROR(r->ReadU64(&num_bands));
+  // An empty serialized FlatBuckets is 24 bytes (three vector lengths);
+  // guard the band count before sizing the vector.
+  VER_RETURN_IF_ERROR(r->CheckCount(num_bands, 24, "band count"));
+  std::vector<FlatBuckets> bands(static_cast<size_t>(num_bands));
+  for (auto& band : bands) VER_RETURN_IF_ERROR(band.LoadFrom(r));
+  if (!postings_in_range(values)) {
+    return Status::IOError(
+        "corrupt similarity index: posting out of profile range");
+  }
+  for (const auto& band : bands) {
+    if (!postings_in_range(band)) {
+      return Status::IOError(
+          "corrupt similarity index: band posting out of profile range");
+    }
+  }
+
+  profiles_ = profiles;
+  options_ = options;
+  rows_per_band_ = rows_per_band;
+  eligible_ = std::move(eligible);
+  flat_value_postings_ = std::move(values);
+  flat_band_buckets_ = std::move(bands);
+  value_postings_.clear();
+  band_buckets_.assign(flat_band_buckets_.size(), {});
+  return Status::OK();
 }
 
 }  // namespace ver

@@ -64,15 +64,51 @@ class SimilarityIndex {
   /// All unordered candidate pairs (i < j), for offline edge construction.
   std::vector<std::pair<int, int>> AllCandidatePairs() const;
 
+  /// Snapshot serialization. Both stores are written merged into one flat
+  /// sorted layout (deterministic bytes for a given logical index state);
+  /// posting order inside each bucket is preserved verbatim, keeping the
+  /// max_posting_length cap semantics of the build ("first N columns in
+  /// ascending index order") intact for later AddProfiles calls. LoadFrom
+  /// restores the flat store with a handful of bulk copies — no rehashing
+  /// — which is what makes snapshot cold starts fast. `profiles` and
+  /// `options` play the role Build()'s arguments do (options are
+  /// persisted once, in the engine's options section, not here). SaveTo
+  /// fails rather than silently wrapping the u32 posting offsets.
+  Status SaveTo(SerdeWriter* w) const;
+  Status LoadFrom(SerdeReader* r, const std::vector<ColumnProfile>* profiles,
+                  const SimilarityOptions& options);
+
  private:
+  /// Immutable bucket store: sorted keys with concatenated posting lists,
+  /// bulk-loaded from snapshots. Queries binary-search it; incremental
+  /// growth goes to the mutable hash maps instead.
+  struct FlatBuckets {
+    std::vector<uint64_t> keys;      // sorted ascending
+    std::vector<uint32_t> offsets;   // keys.size() + 1 entries
+    std::vector<int> postings;       // concatenated, in key order
+
+    size_t num_keys() const { return keys.size(); }
+    /// Index of `key`, or -1.
+    ptrdiff_t find(uint64_t key) const;
+    size_t posting_count(uint64_t key) const;
+    void SaveTo(SerdeWriter* w) const;
+    /// Restores and validates the offset array (monotonic, in bounds).
+    Status LoadFrom(SerdeReader* r);
+  };
+
   const std::vector<ColumnProfile>* profiles_ = nullptr;
   SimilarityOptions options_;
   int rows_per_band_ = 4;
 
-  // Tier 1: value hash -> profile indices containing that value.
+  // Tier 1: value hash -> profile indices containing that value. Mutable
+  // overlay (Build/AddProfiles) plus immutable snapshot-loaded base; the
+  // logical posting list for a key is flat postings followed by map
+  // postings, and the max_posting_length cap spans both.
   std::unordered_map<uint64_t, std::vector<int>> value_postings_;
-  // Tier 2: per-band bucket -> profile indices.
+  FlatBuckets flat_value_postings_;
+  // Tier 2: per-band bucket -> profile indices (same two-store layout).
   std::vector<std::unordered_map<uint64_t, std::vector<int>>> band_buckets_;
+  std::vector<FlatBuckets> flat_band_buckets_;
   // Columns eligible as join endpoints.
   std::vector<bool> eligible_;
 

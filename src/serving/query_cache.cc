@@ -65,6 +65,12 @@ void QueryCache::Insert(const std::string& key,
   index_.emplace(key, lru_.begin());
 }
 
+void QueryCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  index_.clear();
+  lru_.clear();
+}
+
 QueryCache::Counters QueryCache::counters() const {
   std::lock_guard<std::mutex> lock(mu_);
   return counters_;

@@ -45,6 +45,10 @@ class QueryCache {
   void Insert(const std::string& key,
               std::shared_ptr<const QueryResult> result);
 
+  /// Drops every entry (snapshot hot-swap invalidation). Counters keep
+  /// their cumulative values; dropped entries do not count as evictions.
+  void Clear();
+
   struct Counters {
     int64_t hits = 0;
     int64_t misses = 0;

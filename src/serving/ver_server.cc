@@ -17,12 +17,41 @@ std::chrono::steady_clock::time_point DeadlineFromSeconds(double seconds) {
 
 VerServer::VerServer(const TableRepository* repo, VerConfig config,
                      ServingOptions options)
-    : options_(options), cache_(options.cache_capacity) {
-  // Spilling shares file names across queries; serving keeps views in
-  // memory instead of letting concurrent queries race on the spill files.
-  config.spill_dir.clear();
-  ver_ = std::make_unique<Ver>(repo, std::move(config));
+    : VerServer(
+          [&] {
+            // A server runs indefinitely; per-query spill directories must
+            // not accumulate.
+            config.cleanup_spilled_views = true;
+            return std::make_shared<const Ver>(repo, std::move(config));
+          }(),
+          options) {}
+
+VerServer::VerServer(std::shared_ptr<const Ver> ver, ServingOptions options)
+    : options_(options), cache_(options.cache_capacity), ver_(std::move(ver)) {
   pool_ = std::make_unique<ThreadPool>(ResolveParallelism(options_.num_workers));
+}
+
+bool VerServer::SwapSnapshot(std::shared_ptr<const Ver> ver) {
+  if (ver == nullptr) return false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!accepting_) return false;
+    ver_ = std::move(ver);
+    ++snapshot_epoch_;
+  }
+  snapshot_swaps_.fetch_add(1, std::memory_order_relaxed);
+  // Results computed on earlier snapshots are keyed under earlier epochs
+  // and can never hit again; drop them now instead of waiting for LRU
+  // eviction. A racing worker that finishes an old-snapshot query after
+  // this point re-inserts under its old epoch key, which is merely dead
+  // weight, never a stale answer.
+  cache_.Clear();
+  return true;
+}
+
+std::shared_ptr<const Ver> VerServer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ver_;
 }
 
 VerServer::~VerServer() { Shutdown(); }
@@ -78,11 +107,17 @@ void VerServer::Shutdown() {
 
 void VerServer::ServeOne() {
   std::shared_ptr<QueryTicket> ticket;
+  std::shared_ptr<const Ver> snapshot;
+  uint64_t epoch;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (queue_.empty()) return;  // ticket served by an earlier task
     ticket = std::move(queue_.front());
     queue_.pop_front();
+    // The snapshot is pinned at dequeue: this query runs to completion on
+    // it even if SwapSnapshot replaces the served snapshot mid-run.
+    snapshot = ver_;
+    epoch = snapshot_epoch_;
   }
 
   auto started = std::chrono::steady_clock::now();
@@ -110,7 +145,9 @@ void VerServer::ServeOne() {
 
   std::string key;
   if (options_.cache_capacity > 0) {
-    key = CanonicalQueryKey(ticket->query_);
+    // Epoch-prefixed key: entries computed on an older snapshot can never
+    // answer a query dequeued after a swap.
+    key = std::to_string(epoch) + "|" + CanonicalQueryKey(ticket->query_);
     if (std::shared_ptr<const QueryResult> cached = cache_.Lookup(key)) {
       out.result = std::move(cached);
       out.cache_hit = true;
@@ -119,7 +156,7 @@ void VerServer::ServeOne() {
     }
   }
 
-  Result<QueryResult> run = ver_->RunQuery(ticket->query_, control);
+  Result<QueryResult> run = snapshot->RunQuery(ticket->query_, control);
   if (!run.ok()) {
     out.status = run.status();
     finish(std::move(out));
@@ -151,6 +188,7 @@ ServerStats VerServer::stats() const {
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.cancelled = cancelled_.load(std::memory_order_relaxed);
   s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.snapshot_swaps = snapshot_swaps_.load(std::memory_order_relaxed);
   QueryCache::Counters c = cache_.counters();
   s.cache_hits = c.hits;
   s.cache_misses = c.misses;

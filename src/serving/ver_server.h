@@ -1,13 +1,21 @@
 // VerServer: the concurrent query-serving layer.
 //
-// Owns one immutable Ver instance (discovery engine + online pipeline) and
-// serves many concurrent QBE queries: a fixed worker pool (util/thread_pool)
-// drains a bounded submission queue, an LRU cache short-circuits repeated
-// queries, and every query carries a QueryControl so deadlines and
-// cancellation take effect at pipeline-stage boundaries. The engine is
-// never mutated after construction (IndexNewTable is deliberately not
-// exposed here), which is what makes the lock-free shared read path safe —
-// see the thread-safety contract in discovery/engine.h.
+// Serves many concurrent QBE queries over one immutable Ver snapshot
+// (discovery engine + online pipeline): a fixed worker pool
+// (util/thread_pool) drains a bounded submission queue, an LRU cache
+// short-circuits repeated queries, and every query carries a QueryControl
+// so deadlines and cancellation take effect at pipeline-stage boundaries.
+// Each snapshot is never mutated while serving (IndexNewTable is
+// deliberately not exposed here), which is what makes the lock-free shared
+// read path safe — see the thread-safety contract in discovery/engine.h.
+//
+// Snapshots are hot-swappable: SwapSnapshot atomically replaces the served
+// Ver (e.g. with one loaded from a newer DiscoveryEngine::Save file), so a
+// re-indexed repository rolls out under traffic with zero downtime.
+// Queries hold a shared_ptr to the snapshot they started on — in-flight
+// queries finish on the old snapshot, submissions dequeued after the swap
+// run on the new one, and the old snapshot is destroyed when its last
+// in-flight query (or external reference) drops it.
 
 #ifndef VER_SERVING_VER_SERVER_H_
 #define VER_SERVING_VER_SERVER_H_
@@ -77,22 +85,30 @@ struct ServerStats {
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
   int64_t cache_evictions = 0;
+  int64_t snapshot_swaps = 0;  // successful SwapSnapshot calls
 };
 
 /// Concurrent QBE serving over one repository.
 ///
-/// Thread-safety: Submit, Serve, Shutdown and stats may be called from any
-/// thread. Results are identical to serial Ver::RunQuery execution
-/// (tests/serving_test.cc guards bit-identity under 8 concurrent threads).
+/// Thread-safety: Submit, Serve, Shutdown, SwapSnapshot, snapshot and
+/// stats may be called from any thread. Results are identical to serial
+/// Ver::RunQuery execution (tests/serving_test.cc guards bit-identity
+/// under 8 concurrent threads, including under concurrent swaps).
 class VerServer {
  public:
   /// Builds the discovery index (offline, possibly parallel per
   /// `config.discovery.parallelism`) and starts the serving workers.
   /// `repo` must outlive the server and must not be mutated while serving.
-  /// `config.spill_dir` is cleared: concurrent queries would race on the
-  /// spill files.
+  /// Spilling (`config.spill_dir`) is safe under concurrency: every query
+  /// spills into its own subdirectory (see core/ver.h).
   VerServer(const TableRepository* repo, VerConfig config,
             ServingOptions options);
+
+  /// Starts serving an already-built system — typically one constructed
+  /// from a snapshot via DiscoveryEngine::Load + the Ver engine-adopting
+  /// constructor — so a server process can come up without rebuilding any
+  /// index. The Ver's repository must outlive the server.
+  VerServer(std::shared_ptr<const Ver> ver, ServingOptions options);
 
   /// Drains outstanding queries and joins the workers.
   ~VerServer();
@@ -116,8 +132,18 @@ class VerServer {
 
   ServerStats stats() const;
 
-  /// The underlying system (for engine statistics, presentation sessions).
-  const Ver& system() const { return *ver_; }
+  /// Atomically replaces the served snapshot. In-flight queries finish on
+  /// the snapshot they dequeued with; queries dequeued afterwards run on
+  /// `ver`. Cached results from earlier snapshots become unreachable (the
+  /// cache key is epoch-prefixed) and are dropped eagerly. A null `ver` is
+  /// rejected (returns false); swapping after Shutdown is a no-op.
+  bool SwapSnapshot(std::shared_ptr<const Ver> ver);
+
+  /// The currently served snapshot (for engine statistics, presentation
+  /// sessions). Holding the returned pointer keeps that snapshot alive
+  /// across later swaps — exactly the guarantee in-flight queries rely on.
+  std::shared_ptr<const Ver> snapshot() const;
+
   const ServingOptions& options() const { return options_; }
 
  private:
@@ -125,12 +151,16 @@ class VerServer {
   void Finish(const std::shared_ptr<QueryTicket>& ticket, ServedResult out);
 
   ServingOptions options_;
-  std::unique_ptr<Ver> ver_;
   QueryCache cache_;
 
-  // Guards the submission queue, the accepting flag, and pool submission
-  // (so Shutdown cannot destroy the pool under a concurrent Submit).
+  // Guards the served snapshot, the submission queue, the accepting flag,
+  // and pool submission (so Shutdown cannot destroy the pool under a
+  // concurrent Submit).
   mutable std::mutex mu_;
+  std::shared_ptr<const Ver> ver_;
+  // Bumped per swap; prefixes cache keys so a result computed on an old
+  // snapshot can never answer a query admitted after the swap.
+  uint64_t snapshot_epoch_ = 0;
   std::deque<std::shared_ptr<QueryTicket>> queue_;
   bool accepting_ = true;
   std::unique_ptr<ThreadPool> pool_;
@@ -140,6 +170,7 @@ class VerServer {
   std::atomic<int64_t> rejected_{0};
   std::atomic<int64_t> cancelled_{0};
   std::atomic<int64_t> deadline_exceeded_{0};
+  std::atomic<int64_t> snapshot_swaps_{0};
 };
 
 }  // namespace ver

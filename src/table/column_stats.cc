@@ -38,6 +38,27 @@ ColumnStats ComputeColumnStats(const Table& table, int col) {
   return stats;
 }
 
+void ColumnStats::SaveTo(SerdeWriter* w) const {
+  w->WriteI64(num_rows);
+  w->WriteI64(num_nulls);
+  w->WriteI64(num_distinct);
+  w->WriteU8(static_cast<uint8_t>(dominant_type));
+}
+
+Status ColumnStats::LoadFrom(SerdeReader* r) {
+  VER_RETURN_IF_ERROR(r->ReadI64(&num_rows));
+  VER_RETURN_IF_ERROR(r->ReadI64(&num_nulls));
+  VER_RETURN_IF_ERROR(r->ReadI64(&num_distinct));
+  uint8_t type;
+  VER_RETURN_IF_ERROR(r->ReadU8(&type));
+  if (type > static_cast<uint8_t>(ValueType::kString)) {
+    return Status::IOError("corrupt column stats: unknown value type " +
+                           std::to_string(type));
+  }
+  dominant_type = static_cast<ValueType>(type);
+  return Status::OK();
+}
+
 std::vector<uint64_t> DistinctValueHashes(const Table& table, int col) {
   std::unordered_set<uint64_t> distinct;
   distinct.reserve(static_cast<size_t>(table.num_rows()));

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "table/table.h"
+#include "util/serde.h"
 
 namespace ver {
 
@@ -27,6 +28,10 @@ struct ColumnStats {
                ? 0.0
                : static_cast<double>(num_nulls) / static_cast<double>(num_rows);
   }
+
+  /// Snapshot serialization (stats ride inside persisted column profiles).
+  void SaveTo(SerdeWriter* w) const;
+  Status LoadFrom(SerdeReader* r);
 };
 
 /// Computes stats for one column.

@@ -23,6 +23,35 @@ std::string Schema::CanonicalSignature() const {
   return Join(names, "\x1f");
 }
 
+void Schema::SaveTo(SerdeWriter* w) const {
+  w->WriteU64(attributes_.size());
+  for (const Attribute& a : attributes_) {
+    w->WriteString(a.name);
+    w->WriteU8(static_cast<uint8_t>(a.type));
+  }
+}
+
+Status Schema::LoadFrom(SerdeReader* r) {
+  uint64_t count;
+  VER_RETURN_IF_ERROR(r->ReadU64(&count));
+  std::vector<Attribute> attrs;
+  attrs.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    Attribute a;
+    VER_RETURN_IF_ERROR(r->ReadString(&a.name));
+    uint8_t type;
+    VER_RETURN_IF_ERROR(r->ReadU8(&type));
+    if (type > static_cast<uint8_t>(ValueType::kString)) {
+      return Status::IOError("corrupt schema: unknown value type " +
+                             std::to_string(type));
+    }
+    a.type = static_cast<ValueType>(type);
+    attrs.push_back(std::move(a));
+  }
+  attributes_ = std::move(attrs);
+  return Status::OK();
+}
+
 std::string Schema::ToString() const {
   std::vector<std::string> names;
   names.reserve(attributes_.size());

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "table/value.h"
+#include "util/serde.h"
 
 namespace ver {
 
@@ -42,6 +43,11 @@ class Schema {
 
   /// Attribute names joined by ", " for display.
   std::string ToString() const;
+
+  /// Snapshot serialization (discovery snapshots persist table schemas so
+  /// a loaded index can be validated against the live repository).
+  void SaveTo(SerdeWriter* w) const;
+  Status LoadFrom(SerdeReader* r);
 
  private:
   std::vector<Attribute> attributes_;

@@ -32,6 +32,16 @@ MinHashSignature MinHasher::Compute(
   return sig;
 }
 
+void MinHashSignature::SaveTo(SerdeWriter* w) const {
+  w->WriteU64(cardinality);
+  w->WriteU64Vector(slots);
+}
+
+Status MinHashSignature::LoadFrom(SerdeReader* r) {
+  VER_RETURN_IF_ERROR(r->ReadU64(&cardinality));
+  return r->ReadU64Vector(&slots);
+}
+
 double EstimateJaccard(const MinHashSignature& a, const MinHashSignature& b) {
   if (a.slots.size() != b.slots.size() || a.slots.empty()) return 0.0;
   if (a.empty() && b.empty()) return 1.0;

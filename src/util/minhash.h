@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/serde.h"
+
 namespace ver {
 
 /// A MinHash signature plus the exact cardinality of the sketched set.
@@ -22,6 +24,10 @@ struct MinHashSignature {
 
   bool empty() const { return cardinality == 0; }
   int num_permutations() const { return static_cast<int>(slots.size()); }
+
+  /// Snapshot serialization (sketches ride inside persisted profiles).
+  void SaveTo(SerdeWriter* w) const;
+  Status LoadFrom(SerdeReader* r);
 };
 
 /// Produces MinHash signatures with a fixed family of hash permutations.

@@ -1,0 +1,113 @@
+// Checked binary serialization for persistent discovery snapshots.
+//
+// Snapshots are little-endian regardless of host byte order. A snapshot
+// file is a magic number, a format version, and a sequence of tagged
+// sections, each protected by its own checksum. Readers are bounds-checked
+// and return Status on truncation or corruption — a damaged snapshot must
+// produce a descriptive error, never a crash or an over-allocation.
+
+#ifndef VER_UTIL_SERDE_H_
+#define VER_UTIL_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ver {
+
+/// Appends fixed-width little-endian primitives to an in-memory buffer.
+/// Writing cannot fail; errors surface when the buffer is flushed to disk.
+class SerdeWriter {
+ public:
+  void WriteU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI32(int32_t v) { WriteU32(static_cast<uint32_t>(v)); }
+  void WriteI64(int64_t v) { WriteU64(static_cast<uint64_t>(v)); }
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+  /// IEEE-754 bit pattern, so doubles round-trip exactly.
+  void WriteDouble(double v);
+  /// u64 byte length followed by the raw bytes.
+  void WriteString(std::string_view s);
+  void WriteU64Vector(const std::vector<uint64_t>& v);
+  void WriteU32Vector(const std::vector<uint32_t>& v);
+  void WriteI32Vector(const std::vector<int>& v);
+
+  const std::string& buffer() const { return buf_; }
+  std::string TakeBuffer() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian reader over one in-memory payload. Every
+/// Read returns IOError naming `context` when the payload is too short;
+/// length prefixes are validated against the remaining bytes before any
+/// allocation happens.
+class SerdeReader {
+ public:
+  SerdeReader(std::string_view data, std::string context)
+      : data_(data), context_(std::move(context)) {}
+
+  Status ReadU8(uint8_t* out);
+  Status ReadU32(uint32_t* out);
+  Status ReadU64(uint64_t* out);
+  Status ReadI32(int32_t* out);
+  Status ReadI64(int64_t* out);
+  Status ReadBool(bool* out);
+  Status ReadDouble(double* out);
+  Status ReadString(std::string* out);
+  Status ReadU64Vector(std::vector<uint64_t>* out);
+  Status ReadU32Vector(std::vector<uint32_t>* out);
+  Status ReadI32Vector(std::vector<int>* out);
+  /// Bulk copy of `n` raw bytes (section payload extraction).
+  Status ReadRaw(void* out, size_t n);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  /// Error when payload bytes are left over (format drift guard).
+  Status ExpectEnd() const;
+
+  /// Overflow-safe guard for element counts before resize/allocate: fails
+  /// unless `count` elements of at least `elem_width` bytes each could
+  /// still fit in the remaining payload. Callers sizing containers from a
+  /// file-supplied count must run it first, so a corrupt count errors out
+  /// instead of triggering a huge allocation.
+  Status CheckCount(uint64_t count, size_t elem_width, const char* what);
+
+ private:
+  Status Need(size_t n, const char* what);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  std::string context_;
+};
+
+/// One tagged section of a snapshot file.
+struct SnapshotSection {
+  uint32_t id = 0;
+  std::string payload;
+};
+
+/// Bumped on any incompatible layout change; see docs/ARCHITECTURE.md
+/// ("Persistence & snapshot lifecycle") for the version-bump policy.
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// Writes `sections` as a snapshot file: magic, format version, section
+/// count, then per section {id, size, payload, checksum}. The file is
+/// written to `path + ".tmp"` and renamed into place, so a concurrent
+/// reader never observes a half-written snapshot.
+Status WriteSnapshotFile(const std::string& path,
+                         const std::vector<SnapshotSection>& sections);
+
+/// Reads a snapshot file and validates magic, format version, section
+/// framing and every per-section checksum. On any mismatch returns a
+/// descriptive IOError/InvalidArgument and leaves `sections` untouched.
+Status ReadSnapshotFile(const std::string& path,
+                        std::vector<SnapshotSection>* sections);
+
+}  // namespace ver
+
+#endif  // VER_UTIL_SERDE_H_

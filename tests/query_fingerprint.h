@@ -1,0 +1,55 @@
+// Shared test helper: a deterministic fingerprint of a QueryResult.
+//
+// Renders every deterministic part of a result as one string; excludes only
+// wall-clock timings. Two results with equal fingerprints went through the
+// same selection, search funnel, views (cell-exact), distillation and
+// ranking — the bit-identity bar used by the serving and snapshot tests.
+
+#ifndef VER_TESTS_QUERY_FINGERPRINT_H_
+#define VER_TESTS_QUERY_FINGERPRINT_H_
+
+#include <string>
+
+#include "core/ver.h"
+
+namespace ver {
+
+inline std::string Fingerprint(const QueryResult& r) {
+  std::string out;
+  for (const ColumnSelectionResult& sel : r.selection) {
+    out += "sel:";
+    out += std::to_string(sel.total_columns_before_clustering) + ";";
+    for (const ScoredColumn& c : sel.candidates) {
+      out += std::to_string(c.ref.Encode()) + "*" +
+             std::to_string(c.example_hits) + ",";
+    }
+  }
+  out += "|funnel:" + std::to_string(r.search.num_combinations) + "," +
+         std::to_string(r.search.num_joinable_groups) + "," +
+         std::to_string(r.search.num_join_graphs) + "," +
+         std::to_string(r.search.num_materialization_failures);
+  out += "|cands:";
+  for (const ViewCandidate& c : r.search.candidates) {
+    out += c.graph.Signature() + "@" + std::to_string(c.score) + ";";
+  }
+  out += "|views:";
+  for (const View& v : r.views) {
+    out += v.graph.Signature() + "#" +
+           v.table.ToString(v.table.num_rows()) + ";";
+  }
+  out += "|distill:" + std::to_string(r.distillation.num_compatible_pairs) +
+         "," + std::to_string(r.distillation.num_contained_pairs) + "," +
+         std::to_string(r.distillation.num_complementary_pairs) + "," +
+         std::to_string(r.distillation.num_contradictory_pairs) + ":";
+  for (int s : r.distillation.surviving) out += std::to_string(s) + ",";
+  out += "|rank:";
+  for (const OverlapRankedView& rv : r.automatic_ranking) {
+    out += std::to_string(rv.view_index) + "*" + std::to_string(rv.overlap) +
+           ";";
+  }
+  return out;
+}
+
+}  // namespace ver
+
+#endif  // VER_TESTS_QUERY_FINGERPRINT_H_

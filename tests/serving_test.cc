@@ -7,11 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/ver.h"
+#include "query_fingerprint.h"
 #include "serving/query_cache.h"
 #include "serving/ver_server.h"
 #include "workload/noisy_query.h"
@@ -19,46 +21,6 @@
 
 namespace ver {
 namespace {
-
-// Deterministic parts of a QueryResult rendered as one string; excludes only
-// wall-clock timings. Two results with equal fingerprints went through the
-// same selection, search funnel, views (cell-exact), distillation and
-// ranking.
-std::string Fingerprint(const QueryResult& r) {
-  std::string out;
-  for (const ColumnSelectionResult& sel : r.selection) {
-    out += "sel:";
-    out += std::to_string(sel.total_columns_before_clustering) + ";";
-    for (const ScoredColumn& c : sel.candidates) {
-      out += std::to_string(c.ref.Encode()) + "*" +
-             std::to_string(c.example_hits) + ",";
-    }
-  }
-  out += "|funnel:" + std::to_string(r.search.num_combinations) + "," +
-         std::to_string(r.search.num_joinable_groups) + "," +
-         std::to_string(r.search.num_join_graphs) + "," +
-         std::to_string(r.search.num_materialization_failures);
-  out += "|cands:";
-  for (const ViewCandidate& c : r.search.candidates) {
-    out += c.graph.Signature() + "@" + std::to_string(c.score) + ";";
-  }
-  out += "|views:";
-  for (const View& v : r.views) {
-    out += v.graph.Signature() + "#" +
-           v.table.ToString(v.table.num_rows()) + ";";
-  }
-  out += "|distill:" + std::to_string(r.distillation.num_compatible_pairs) +
-         "," + std::to_string(r.distillation.num_contained_pairs) + "," +
-         std::to_string(r.distillation.num_complementary_pairs) + "," +
-         std::to_string(r.distillation.num_contradictory_pairs) + ":";
-  for (int s : r.distillation.surviving) out += std::to_string(s) + ",";
-  out += "|rank:";
-  for (const OverlapRankedView& rv : r.automatic_ranking) {
-    out += std::to_string(rv.view_index) + "*" + std::to_string(rv.overlap) +
-           ";";
-  }
-  return out;
-}
 
 struct ServingFixture {
   GeneratedDataset dataset;
@@ -286,6 +248,192 @@ TEST(ServingTest, CanonicalKeyIsOrderInvariantWithinAttribute) {
   ExampleQuery tricky1 = ExampleQuery::FromColumns({{"ab", "c"}});
   ExampleQuery tricky2 = ExampleQuery::FromColumns({{"a", "bc"}});
   EXPECT_NE(CanonicalQueryKey(tricky1), CanonicalQueryKey(tricky2));
+}
+
+TEST(ServingTest, ConcurrentSpillingQueriesDoNotRace) {
+  // VD-IO spilling is allowed in serving mode: every query spills into a
+  // unique subdirectory, so concurrent spilled queries must be
+  // bit-identical to serial spilled execution. Cache off to force every
+  // serve through the full pipeline (and through disk).
+  ServingFixture& f = Fixture();
+  namespace fs = std::filesystem;
+  fs::path spill = fs::temp_directory_path() / "ver_serving_spill_test";
+  fs::remove_all(spill);
+
+  VerConfig config;
+  config.spill_dir = spill.string();
+  Ver serial(&f.dataset.repo, config);
+  std::vector<std::string> expected;
+  for (const ExampleQuery& q : f.queries) {
+    expected.push_back(Fingerprint(serial.RunQuery(q)));
+  }
+  // The spill path actually ran: per-query subdirectories exist on disk
+  // (the serial Ver keeps them — cleanup_spilled_views defaults to false).
+  ASSERT_TRUE(fs::exists(spill));
+  size_t dirs_before_serving = 0;
+  for (const auto& entry : fs::directory_iterator(spill)) {
+    (void)entry;
+    ++dirs_before_serving;
+  }
+  EXPECT_GT(dirs_before_serving, 0u);
+
+  ServingOptions serving;
+  serving.num_workers = 4;
+  serving.cache_capacity = 0;
+  VerServer server(&f.dataset.repo, config, serving);
+
+  constexpr int kThreads = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (size_t i = 0; i < f.queries.size(); ++i) {
+        size_t q = (i + t) % f.queries.size();
+        ServedResult served = server.Serve(f.queries[q]);
+        if (!served.status.ok() || served.result == nullptr ||
+            Fingerprint(*served.result) != expected[q]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // The server cleans up each query's spill subdirectory after VD-IO, so
+  // only the serial Ver's directories remain — a long-lived server's disk
+  // use stays bounded.
+  size_t dirs_after_serving = 0;
+  for (const auto& entry : fs::directory_iterator(spill)) {
+    (void)entry;
+    ++dirs_after_serving;
+  }
+  EXPECT_EQ(dirs_after_serving, dirs_before_serving);
+  fs::remove_all(spill);
+}
+
+TEST(ServingTest, HotSwapServesNewSnapshotToNewSubmissions) {
+  ServingFixture& f = Fixture();
+  VerConfig config_a;
+  VerConfig config_b;
+  config_b.run_distillation = false;  // distinguishable results
+  auto ver_a = std::make_shared<const Ver>(&f.dataset.repo, config_a);
+  auto ver_b = std::make_shared<const Ver>(&f.dataset.repo, config_b);
+  std::string fp_a = Fingerprint(ver_a->RunQuery(f.queries[0]));
+  std::string fp_b = Fingerprint(ver_b->RunQuery(f.queries[0]));
+  ASSERT_NE(fp_a, fp_b);
+
+  ServingOptions serving;
+  serving.num_workers = 2;
+  serving.cache_capacity = 8;
+  VerServer server(ver_a, serving);
+
+  ServedResult first = server.Serve(f.queries[0]);
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_EQ(Fingerprint(*first.result), fp_a);
+
+  // Pin the old snapshot the way an in-flight query does.
+  std::shared_ptr<const Ver> pinned = server.snapshot();
+
+  EXPECT_TRUE(server.SwapSnapshot(ver_b));
+  EXPECT_FALSE(server.SwapSnapshot(nullptr));
+
+  // The same query is now answered by the new snapshot; the cached result
+  // from the old epoch must not resurface.
+  ServedResult second = server.Serve(f.queries[0]);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_EQ(Fingerprint(*second.result), fp_b);
+
+  // The pinned old snapshot stays fully queryable — the lifetime guarantee
+  // in-flight queries rely on while a swap lands mid-run.
+  EXPECT_EQ(Fingerprint(pinned->RunQuery(f.queries[0])), fp_a);
+  EXPECT_EQ(server.stats().snapshot_swaps, 1);
+}
+
+TEST(ServingTest, QueriesSubmittedBeforeSwapCompleteCleanly) {
+  ServingFixture& f = Fixture();
+  VerConfig config_a;
+  VerConfig config_b;
+  config_b.run_distillation = false;
+  auto ver_a = std::make_shared<const Ver>(&f.dataset.repo, config_a);
+  auto ver_b = std::make_shared<const Ver>(&f.dataset.repo, config_b);
+  std::string fp_a = Fingerprint(ver_a->RunQuery(f.queries[0]));
+  std::string fp_b = Fingerprint(ver_b->RunQuery(f.queries[0]));
+
+  ServingOptions serving;
+  serving.num_workers = 1;  // serializes the backlog across the swap
+  serving.cache_capacity = 0;
+  VerServer server(ver_a, serving);
+
+  // Queue a burst, swap while it drains. Every ticket must complete OK on
+  // whichever snapshot it was dequeued with — old before the swap landed,
+  // new after — never on a torn or destroyed one.
+  std::vector<std::shared_ptr<QueryTicket>> tickets;
+  for (int i = 0; i < 4; ++i) tickets.push_back(server.Submit(f.queries[0]));
+  ASSERT_TRUE(server.SwapSnapshot(ver_b));
+  for (int i = 0; i < 4; ++i) tickets.push_back(server.Submit(f.queries[0]));
+
+  bool saw_new = false;
+  for (auto& t : tickets) {
+    const ServedResult& served = t->Wait();
+    ASSERT_TRUE(served.status.ok()) << served.status.ToString();
+    std::string fp = Fingerprint(*served.result);
+    EXPECT_TRUE(fp == fp_a || fp == fp_b);
+    if (fp == fp_b) saw_new = true;
+    // Once the new snapshot answers, the old one never answers again (the
+    // single worker drains in order, and a swap is atomic at dequeue).
+    if (saw_new) EXPECT_EQ(fp, fp_b);
+  }
+  // Tickets submitted after the swap ran on the new snapshot.
+  EXPECT_TRUE(saw_new);
+}
+
+TEST(ServingTest, HotSwapUnderConcurrentTrafficIsSafeAndConsistent) {
+  // ThreadSanitizer workload: clients stream queries while snapshots swap
+  // underneath them. Every result must be OK and exactly one of the two
+  // snapshots' answers.
+  ServingFixture& f = Fixture();
+  VerConfig config_a;
+  VerConfig config_b;
+  config_b.run_distillation = false;
+  auto ver_a = std::make_shared<const Ver>(&f.dataset.repo, config_a);
+  auto ver_b = std::make_shared<const Ver>(&f.dataset.repo, config_b);
+  std::string fp_a = Fingerprint(ver_a->RunQuery(f.queries[0]));
+  std::string fp_b = Fingerprint(ver_b->RunQuery(f.queries[0]));
+
+  ServingOptions serving;
+  serving.num_workers = 2;
+  serving.cache_capacity = 8;
+  VerServer server(ver_a, serving);
+
+  std::atomic<int> bad{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < 6; ++i) {
+        ServedResult served = server.Serve(f.queries[0]);
+        if (!served.status.ok() || served.result == nullptr) {
+          bad.fetch_add(1);
+          continue;
+        }
+        std::string fp = Fingerprint(*served.result);
+        if (fp != fp_a && fp != fp_b) bad.fetch_add(1);
+      }
+    });
+  }
+  for (int s = 0; s < 8; ++s) {
+    server.SwapSnapshot(s % 2 == 0 ? ver_b : ver_a);
+  }
+  for (std::thread& c : clients) c.join();
+  EXPECT_EQ(bad.load(), 0);
+
+  // With traffic drained, one more swap then a fresh submission: the new
+  // snapshot answers.
+  ASSERT_TRUE(server.SwapSnapshot(ver_b));
+  ServedResult final_result = server.Serve(f.queries[0]);
+  ASSERT_TRUE(final_result.status.ok());
+  EXPECT_EQ(Fingerprint(*final_result.result), fp_b);
 }
 
 TEST(ServingTest, QueryCacheEvictsLeastRecentlyUsed) {
