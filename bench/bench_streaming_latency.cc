@@ -1,0 +1,151 @@
+// Streaming latency: time-to-first-view through the DiscoveryRequest API
+// versus the monolithic RunQuery total.
+//
+// The monolithic pipeline only hands results back after every ranked
+// candidate is materialized and distilled; a DiscoveryRequest with
+// StopAfter(k) materializes candidates in rank order, re-evaluates
+// distillation incrementally, and delivers each surviving view through the
+// QueryObserver the moment it is classified — so the first view arrives at
+// CS + JGS + first-materialization latency (the Fig. 4b component stack
+// truncated at its first materialized candidate) instead of the end-to-end
+// total. This bench measures both on the open-data workload and records the
+// comparison as JSON (default BENCH_streaming.json, overridable with
+// VER_BENCH_JSON). The acceptance bar: first-view latency strictly below
+// the monolithic total on every query.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/discovery_request.h"
+#include "api/discovery_response.h"
+#include "api/query_observer.h"
+#include "bench_common.h"
+
+namespace ver {
+namespace bench {
+namespace {
+
+struct FirstViewObserver : public QueryObserver {
+  double first_view_s = -1;
+  int views = 0;
+
+  void OnViewDelivered(const View&, int, double elapsed_s) override {
+    if (views == 0) first_view_s = elapsed_s;
+    ++views;
+  }
+};
+
+struct Measurement {
+  int query = 0;
+  double full_total_s = 0;       // monolithic RunQuery wall clock
+  double stream_first_view_s = 0;  // StopAfter(1): time to first view
+  double stream_total_s = 0;       // StopAfter(1): whole Execute call
+  size_t full_views = 0;
+  bool early_terminated = false;
+};
+
+void WriteJson(const std::vector<Measurement>& rows) {
+  const char* env = std::getenv("VER_BENCH_JSON");
+  std::string path = env != nullptr ? env : "BENCH_streaming.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"streaming_first_view_latency\",\n");
+  std::fprintf(f, "  \"scale\": %d,\n  \"rows\": [\n", BenchScale());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Measurement& m = rows[i];
+    std::fprintf(f,
+                 "    {\"query\": %d, \"full_total_s\": %.6f, "
+                 "\"stream_first_view_s\": %.6f, \"stream_total_s\": %.6f, "
+                 "\"full_views\": %zu, "
+                 "\"first_view_speedup\": %.2f}%s\n",
+                 m.query, m.full_total_s, m.stream_first_view_s,
+                 m.stream_total_s, m.full_views,
+                 m.stream_first_view_s > 0
+                     ? m.full_total_s / m.stream_first_view_s
+                     : 0.0,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+void Run() {
+  PrintHeader("Streaming first-view latency (StopAfter vs monolithic)",
+              "the request/response API extension (no figure)");
+
+  OpenDataSpec spec = BenchOpenDataSpec(/*portion=*/0.5, /*num_queries=*/6);
+  GeneratedDataset dataset = GenerateOpenDataLike(spec);
+  std::vector<ExampleQuery> queries;
+  for (size_t i = 0; i < dataset.queries.size(); ++i) {
+    Result<ExampleQuery> q = MakeNoisyQuery(dataset.repo, dataset.queries[i],
+                                            NoiseLevel::kZero, 3, 7 + i);
+    if (q.ok()) queries.push_back(std::move(q).value());
+  }
+  std::printf("%d tables, %zu queries\n\n", dataset.repo.num_tables(),
+              queries.size());
+
+  Ver system(&dataset.repo, VerConfig());
+  TextTable table({"query", "full total", "first view", "stream total",
+                   "full #views", "first-view speedup", "strictly earlier"});
+  std::vector<Measurement> rows;
+  int violations = 0;
+
+  for (size_t q = 0; q < queries.size(); ++q) {
+    Measurement m;
+    m.query = static_cast<int>(q);
+
+    // Monolithic baseline: the legacy RunQuery, results only at the end.
+    WallTimer full_timer;
+    QueryResult full = system.RunQuery(queries[q]);
+    m.full_total_s = full_timer.ElapsedSeconds();
+    m.full_views = full.views.size();
+
+    // Streaming: first distilled view via StopAfter(1).
+    FirstViewObserver observer;
+    DiscoveryResponse streamed = system.Execute(
+        DiscoveryRequest::ForQuery(queries[q]).StopAfter(1), &observer);
+    m.stream_total_s = streamed.total_s;
+    m.stream_first_view_s = observer.first_view_s;
+    m.early_terminated = streamed.early_terminated;
+
+    bool has_views = m.full_views > 0 && observer.views > 0;
+    bool earlier = has_views && m.stream_first_view_s < m.full_total_s;
+    if (has_views && !earlier) ++violations;
+
+    char speedup[32] = "-";
+    if (has_views && m.stream_first_view_s > 0) {
+      std::snprintf(speedup, sizeof(speedup), "%.1fx",
+                    m.full_total_s / m.stream_first_view_s);
+    }
+    table.AddRow({std::to_string(q), FormatSeconds(m.full_total_s),
+                  has_views ? FormatSeconds(m.stream_first_view_s) : "-",
+                  FormatSeconds(m.stream_total_s),
+                  std::to_string(m.full_views), speedup,
+                  has_views ? (earlier ? "yes" : "NO") : "n/a"});
+    rows.push_back(m);
+  }
+  table.Print();
+  std::printf(
+      "\nfirst view = elapsed until the first OnViewDelivered event of a\n"
+      "StopAfter(1) request; 'strictly earlier' compares it against the\n"
+      "monolithic RunQuery total on the same query.\n");
+  if (violations > 0) {
+    std::printf("WARNING: %d queries delivered their first view no earlier "
+                "than the monolithic total\n", violations);
+  }
+  WriteJson(rows);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ver
+
+int main() {
+  ver::bench::Run();
+  return 0;
+}

@@ -8,6 +8,9 @@
 
 #include <cstdio>
 
+#include "api/discovery_request.h"
+#include "api/discovery_response.h"
+#include "api/query_observer.h"
 #include "core/ver.h"
 #include "workload/noisy_query.h"
 #include "workload/simulated_user.h"
@@ -16,6 +19,21 @@
 using namespace ver;  // NOLINT — example brevity
 
 namespace {
+
+// Narrates the pipeline while the journalist waits — stage progress plus
+// every candidate view the moment it survives 4C.
+class ProgressObserver : public QueryObserver {
+ public:
+  void OnStageFinished(PipelineStage stage, double elapsed_s) override {
+    std::printf("  %s finished in %.1fms\n", PipelineStageToString(stage),
+                elapsed_s * 1000);
+  }
+  void OnViewDelivered(const View&, int delivery_index, double) override {
+    if (delivery_index == 0) {
+      std::printf("  first surviving view available — session could start\n");
+    }
+  }
+};
 
 const char* AnswerToString(AnswerType t) {
   switch (t) {
@@ -47,7 +65,14 @@ int main() {
     std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
     return 1;
   }
-  QueryResult result = system.RunQuery(query.value());
+  ProgressObserver progress;
+  DiscoveryResponse response =
+      system.Execute(DiscoveryRequest::ForQuery(query.value()), &progress);
+  if (!response.status.ok()) {
+    std::fprintf(stderr, "%s\n", response.status.ToString().c_str());
+    return 1;
+  }
+  QueryResult result = std::move(response.result);
   std::printf("%zu candidate views, %zu after distillation, %zu known "
               "contradictions\n",
               result.views.size(), result.distillation.surviving.size(),

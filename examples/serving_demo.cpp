@@ -1,20 +1,41 @@
-// serving_demo: the concurrent serving layer in ~80 lines.
+// serving_demo: the concurrent serving layer in ~100 lines.
 //
 // Generates an open-data-like portal, starts a VerServer with 4 workers and
 // an LRU result cache, then fires the same small query mix from 4 client
 // threads — showing submission tickets, cache hits, a deadline miss, and
-// the server statistics. Runs argument-free (it doubles as a CTest smoke
-// test).
+// the server statistics. A second act demos the request/response API: a
+// DiscoveryRequest with per-request knob overrides (its result never
+// aliases the default-knob cache entries), and a streaming StopAfter(1)
+// request whose first view arrives through a QueryObserver long before the
+// full pipeline would have finished. Runs argument-free (it doubles as a
+// CTest smoke test).
 
 #include <cstdio>
 #include <thread>
 #include <vector>
 
+#include "api/discovery_request.h"
+#include "api/query_observer.h"
 #include "serving/ver_server.h"
 #include "workload/noisy_query.h"
 #include "workload/open_data_gen.h"
 
 using namespace ver;  // NOLINT — example brevity
+
+namespace {
+
+// Prints every view the moment a worker thread classifies it as surviving.
+class PrintingObserver : public QueryObserver {
+ public:
+  void OnViewDelivered(const View& view, int delivery_index,
+                       double elapsed_s) override {
+    std::printf("  streamed view #%d after %.1fms (%lld rows)\n",
+                delivery_index + 1, elapsed_s * 1000,
+                static_cast<long long>(view.num_rows()));
+  }
+};
+
+}  // namespace
 
 int main() {
   OpenDataSpec spec;
@@ -67,6 +88,32 @@ int main() {
   }
   for (std::thread& c : clients) c.join();
 
+  // Per-request knobs: the same query with theta=2 and distillation off is
+  // a different request — it can never alias the cached default results.
+  DiscoveryRequest tweaked = DiscoveryRequest::ForQuery(queries[0]);
+  tweaked.overrides.theta = 2;
+  tweaked.overrides.run_distillation = false;
+  ServedResult custom = server.Serve(std::move(tweaked));
+  if (custom.status.ok()) {
+    std::printf("\ntheta=2, no-distill request: %zu views%s\n",
+                custom.result->views.size(),
+                custom.cache_hit ? " [cache hit — BUG]" : " [cache miss]");
+  }
+
+  // Streaming early termination: StopAfter(1) delivers the first surviving
+  // view through the observer and stops materializing the rest.
+  PrintingObserver observer;
+  std::printf("streaming StopAfter(1) request:\n");
+  auto ticket = server.Submit(
+      DiscoveryRequest::ForQuery(queries[0]).StopAfter(1), &observer);
+  const ServedResult& streamed = ticket->Wait();
+  if (streamed.status.ok()) {
+    std::printf("  -> %d views delivered, early_terminated=%s, run %.1fms\n",
+                streamed.views_delivered,
+                streamed.early_terminated ? "true" : "false",
+                streamed.run_s * 1000);
+  }
+
   // A 1-nanosecond deadline always expires while queued: a clean failure.
   ServedResult late = server.Submit(queries[0], /*deadline_s=*/1e-9)->Wait();
   std::printf("1ns deadline: %s\n", late.status.ToString().c_str());
@@ -74,13 +121,17 @@ int main() {
   ServerStats stats = server.stats();
   std::printf(
       "\nstats: submitted=%lld ok=%lld deadline_exceeded=%lld rejected=%lld\n"
-      "cache: hits=%lld misses=%lld evictions=%lld\n",
+      "cache: hits=%lld misses=%lld evictions=%lld\n"
+      "queue: peak depth=%lld; overrides=%lld streaming=%lld\n",
       static_cast<long long>(stats.submitted),
       static_cast<long long>(stats.served_ok),
       static_cast<long long>(stats.deadline_exceeded),
       static_cast<long long>(stats.rejected),
       static_cast<long long>(stats.cache_hits),
       static_cast<long long>(stats.cache_misses),
-      static_cast<long long>(stats.cache_evictions));
+      static_cast<long long>(stats.cache_evictions),
+      static_cast<long long>(stats.peak_queue_depth),
+      static_cast<long long>(stats.requests_with_overrides),
+      static_cast<long long>(stats.requests_streaming));
   return stats.served_ok > 0 ? 0 : 1;
 }

@@ -10,10 +10,19 @@
 //       Loads the snapshot (no rebuild) and runs one QBE query, where each
 //       <examples-X> is a comma-separated list of example values for one
 //       output attribute, e.g.  "Boston,Chicago" "Wu,Johnson".
+//       Per-request knobs ride along as flags: --theta=N --rho=N --k=N
+//       --no-distill --stop-after=N --deadline=SECONDS. With --stop-after
+//       the pipeline streams each surviving view as it is classified and
+//       stops once N views survive.
 //
 //   ver_cli serve --index-path=PATH <csv-dir>
 //       Loads the snapshot and serves queries from stdin, one per line:
 //         a1,a2|b1,b2          run a QBE query (| separates attributes)
+//         opts k=v ...         sticky per-request knobs for later queries:
+//                              theta= rho= k= stop= deadline= nodistill
+//                              ('opts clear' resets, bare 'opts' prints)
+//         stats                print server statistics (queue depth, cache,
+//                              per-knob override usage)
 //         swap <snapshot>      hot-swap to a newer snapshot (zero downtime)
 //         quit                 exit (EOF works too)
 //
@@ -42,6 +51,9 @@
 #include <string>
 #include <vector>
 
+#include "api/discovery_request.h"
+#include "api/discovery_response.h"
+#include "api/query_observer.h"
 #include "core/view_graph_export.h"
 #include "core/ver.h"
 #include "serving/ver_server.h"
@@ -69,6 +81,115 @@ bool ParseInt(const std::string& text, int* out) {
   *out = static_cast<int>(v);
   return true;
 }
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+// Per-request knobs accepted by `query` flags and the serve REPL's `opts`
+// command; Resolve() folds them into a DiscoveryRequest.
+struct RequestFlags {
+  RequestOverrides overrides;
+  int stop_after = 0;
+  double deadline_s = 0;
+
+  bool any() const {
+    return overrides.any() || stop_after > 0 || deadline_s > 0;
+  }
+
+  void ApplyTo(DiscoveryRequest* request) const {
+    request->overrides = overrides;
+    request->stop_after = stop_after;
+    request->deadline_s = deadline_s;
+  }
+
+  std::string Describe() const {
+    std::string out;
+    auto add = [&out](const std::string& piece) {
+      if (!out.empty()) out += " ";
+      out += piece;
+    };
+    if (overrides.theta) add("theta=" + std::to_string(*overrides.theta));
+    if (overrides.max_hops) add("rho=" + std::to_string(*overrides.max_hops));
+    if (overrides.expected_views) {
+      add("k=" + std::to_string(*overrides.expected_views));
+    }
+    if (overrides.run_distillation && !*overrides.run_distillation) {
+      add("nodistill");
+    }
+    if (stop_after > 0) add("stop=" + std::to_string(stop_after));
+    if (deadline_s > 0) add("deadline=" + std::to_string(deadline_s));
+    return out.empty() ? "(defaults)" : out;
+  }
+
+  /// Parses one key=value token ("theta=2", "nodistill", ...). Returns
+  /// false (with a message on stderr) on an unknown option or a value
+  /// that does not parse.
+  bool ParseToken(const std::string& token) {
+    if (token == "nodistill" || token == "no-distill") {
+      overrides.run_distillation = false;
+      return true;
+    }
+    size_t eq = token.find('=');
+    std::string key = token.substr(0, eq);  // whole token when no '='
+    std::string value = eq == std::string::npos ? "" : token.substr(eq + 1);
+    auto bad_value = [&](const char* kind) {
+      std::fprintf(stderr, "request option '%s' needs %s value (got '%s')\n",
+                   key.c_str(), kind, value.c_str());
+      return false;
+    };
+    int v = 0;
+    if (key == "theta" || key == "rho" || key == "k" || key == "stop") {
+      if (!ParseInt(value, &v)) return bad_value("an integer");
+      if (key == "theta") overrides.theta = v;
+      if (key == "rho") overrides.max_hops = v;
+      if (key == "k") overrides.expected_views = v;
+      if (key == "stop") stop_after = v;
+      return true;
+    }
+    if (key == "deadline") {
+      double d = 0;
+      if (!ParseDouble(value, &d)) return bad_value("a seconds");
+      deadline_s = d;
+      return true;
+    }
+    std::fprintf(stderr, "unrecognized request option '%s' (known: theta= "
+                         "rho= k= stop= deadline= nodistill)\n",
+                 token.c_str());
+    return false;
+  }
+};
+
+// Prints pipeline progress; with `print_views` (streaming StopAfter runs)
+// each view is printed the moment the pipeline classifies it as surviving —
+// the streaming face of the request/response API.
+class StreamingPrinter : public QueryObserver {
+ public:
+  StreamingPrinter(const TableRepository* repo, bool print_views)
+      : repo_(repo), print_views_(print_views) {}
+
+  void OnStageFinished(PipelineStage stage, double elapsed_s) override {
+    std::fprintf(stderr, "  [%s done in %.1fms]\n",
+                 PipelineStageToString(stage), elapsed_s * 1000);
+  }
+  void OnViewDelivered(const View& view, int delivery_index,
+                       double elapsed_s) override {
+    if (!print_views_) return;
+    std::printf("view #%d at %.1fms: %s (%lld rows)\n", delivery_index + 1,
+                elapsed_s * 1000, view.graph.ToString(*repo_).c_str(),
+                static_cast<long long>(view.num_rows()));
+  }
+
+ private:
+  const TableRepository* repo_;
+  bool print_views_;
+};
 
 bool LoadRepo(const std::string& dir, TableRepository* repo) {
   Status load = repo->LoadDirectory(dir);
@@ -166,7 +287,8 @@ std::unique_ptr<Ver> MakeSystem(const TableRepository& repo,
 }
 
 int RunQueryOverDirectory(const std::string& dir, const ExampleQuery& query,
-                          int parallelism, const std::string& index_path) {
+                          int parallelism, const std::string& index_path,
+                          const RequestFlags& flags) {
   TableRepository repo;
   if (!LoadRepo(dir, &repo)) return 1;
 
@@ -176,12 +298,27 @@ int RunQueryOverDirectory(const std::string& dir, const ExampleQuery& query,
               static_cast<long long>(
                   system->engine().num_joinable_column_pairs()));
 
-  QueryResult result = system->RunQuery(query);
-  PrintResult(repo, result);
+  DiscoveryRequest request = DiscoveryRequest::ForQuery(query);
+  flags.ApplyTo(&request);
+  if (flags.any()) {
+    std::fprintf(stderr, "request options: %s\n", flags.Describe().c_str());
+  }
+  StreamingPrinter printer(&repo, /*print_views=*/flags.stop_after > 0);
+  DiscoveryResponse response = system->Execute(request, &printer);
+  if (!response.status.ok()) {
+    std::fprintf(stderr, "error: %s\n", response.status.ToString().c_str());
+    return 1;
+  }
+  if (response.early_terminated) {
+    std::printf("(stopped early after %d surviving views)\n",
+                response.views_delivered);
+  }
+  PrintResult(repo, response.result);
   return 0;
 }
 
-int ServeFromSnapshot(const std::string& dir, const std::string& index_path) {
+int ServeFromSnapshot(const std::string& dir, const std::string& index_path,
+                      const RequestFlags& initial_flags) {
   if (index_path.empty()) {
     std::fprintf(stderr, "error: serve needs --index-path\n");
     return 2;
@@ -200,14 +337,71 @@ int ServeFromSnapshot(const std::string& dir, const std::string& index_path) {
                    ServingOptions());
   std::fprintf(stderr,
                "serving %s from snapshot %s; enter queries as "
-               "a1,a2|b1,b2 — 'swap <path>' hot-swaps, 'quit' exits\n",
+               "a1,a2|b1,b2 — 'opts k=v ...' sets per-request knobs, "
+               "'stats' prints counters, 'swap <path>' hot-swaps, "
+               "'quit' exits\n",
                dir.c_str(), index_path.c_str());
+
+  // Command-line knobs seed the session; `opts` adjusts them live.
+  RequestFlags session_flags = initial_flags;
+  if (session_flags.any()) {
+    std::fprintf(stderr, "request options: %s\n",
+                 session_flags.Describe().c_str());
+  }
+  auto print_stats = [&server] {
+    ServerStats stats = server.stats();
+    std::printf(
+        "submitted=%lld ok=%lld rejected=%lld invalid=%lld "
+        "cancelled=%lld deadline_exceeded=%lld swaps=%lld\n"
+        "queue: depth=%lld peak=%lld\n"
+        "cache: hits=%lld misses=%lld evictions=%lld\n"
+        "requests: with_overrides=%lld streaming=%lld\n",
+        static_cast<long long>(stats.submitted),
+        static_cast<long long>(stats.served_ok),
+        static_cast<long long>(stats.rejected),
+        static_cast<long long>(stats.invalid),
+        static_cast<long long>(stats.cancelled),
+        static_cast<long long>(stats.deadline_exceeded),
+        static_cast<long long>(stats.snapshot_swaps),
+        static_cast<long long>(stats.current_queue_depth),
+        static_cast<long long>(stats.peak_queue_depth),
+        static_cast<long long>(stats.cache_hits),
+        static_cast<long long>(stats.cache_misses),
+        static_cast<long long>(stats.cache_evictions),
+        static_cast<long long>(stats.requests_with_overrides),
+        static_cast<long long>(stats.requests_streaming));
+    for (int k = 0; k < RequestOverrides::kNumKnobs; ++k) {
+      if (stats.override_uses[k] > 0) {
+        std::printf("  override %s: %lld requests\n",
+                    RequestOverrides::KnobName(k),
+                    static_cast<long long>(stats.override_uses[k]));
+      }
+    }
+  };
 
   std::string line;
   while (std::getline(std::cin, line)) {
     line = Trim(line);
     if (line.empty()) continue;
     if (line == "quit" || line == "exit") break;
+    if (line == "stats") {
+      print_stats();
+      continue;
+    }
+    if (line == "opts" || line.rfind("opts ", 0) == 0) {
+      std::string rest = line == "opts" ? "" : Trim(line.substr(5));
+      if (rest == "clear") {
+        session_flags = RequestFlags();
+      } else {
+        for (std::string& token : Split(rest, ' ')) {
+          std::string trimmed = Trim(token);
+          if (!trimmed.empty()) session_flags.ParseToken(trimmed);
+        }
+      }
+      std::fprintf(stderr, "request options: %s\n",
+                   session_flags.Describe().c_str());
+      continue;
+    }
     if (line.rfind("swap ", 0) == 0) {
       std::string path = Trim(line.substr(5));
       Result<std::unique_ptr<DiscoveryEngine>> next =
@@ -223,22 +417,24 @@ int ServeFromSnapshot(const std::string& dir, const std::string& index_path) {
                            "old snapshot)\n", path.c_str());
       continue;
     }
-    ServedResult served = server.Serve(QueryFromColumnArgs(Split(line, '|')));
+    DiscoveryRequest request =
+        DiscoveryRequest::ForQuery(QueryFromColumnArgs(Split(line, '|')));
+    session_flags.ApplyTo(&request);
+    ServedResult served = server.Serve(std::move(request));
     if (!served.status.ok()) {
       std::fprintf(stderr, "query failed: %s\n",
                    served.status.ToString().c_str());
       continue;
     }
-    std::printf("%zu views (%zu after distillation)%s in %.1fms\n",
+    std::printf("%zu views (%zu after distillation)%s%s in %.1fms\n",
                 served.result->views.size(),
                 served.result->distillation.surviving.size(),
-                served.cache_hit ? " [cache]" : "", served.run_s * 1000);
+                served.cache_hit ? " [cache]" : "",
+                served.early_terminated ? " [stopped early]" : "",
+                served.run_s * 1000);
   }
-  ServerStats stats = server.stats();
-  std::fprintf(stderr, "served %lld queries (%lld ok, %lld swaps)\n",
-               static_cast<long long>(stats.submitted),
-               static_cast<long long>(stats.served_ok),
-               static_cast<long long>(stats.snapshot_swaps));
+  std::fprintf(stderr, "final stats:\n");
+  print_stats();
   return 0;
 }
 
@@ -286,7 +482,8 @@ int SelfDemo(int parallelism) {
   std::string index_path = (dir / "index.versnap").string();
   rc = BuildIndex(dir.string(), index_path, parallelism);
   if (rc == 0) {
-    rc = RunQueryOverDirectory(dir.string(), query, parallelism, index_path);
+    rc = RunQueryOverDirectory(dir.string(), query, parallelism, index_path,
+                               RequestFlags());
   }
   fs::remove_all(dir);
   return rc;
@@ -297,9 +494,26 @@ int SelfDemo(int parallelism) {
 int main(int argc, char** argv) {
   int parallelism = 0;  // default: offline indexing on every core
   std::string index_path;
+  RequestFlags request_flags;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    // Per-request pipeline knobs (query subcommand / legacy one-shot).
+    if (arg == "--no-distill") {
+      request_flags.overrides.run_distillation = false;
+      continue;
+    }
+    if (arg.rfind("--theta=", 0) == 0 || arg.rfind("--rho=", 0) == 0 ||
+        arg.rfind("--k=", 0) == 0 || arg.rfind("--stop-after=", 0) == 0 ||
+        arg.rfind("--deadline=", 0) == 0) {
+      // Map "--stop-after=N" to the REPL token grammar ("stop=N", ...).
+      std::string token = arg.substr(2);
+      if (token.rfind("stop-after=", 0) == 0) {
+        token = "stop=" + token.substr(11);
+      }
+      if (!request_flags.ParseToken(token)) return 2;
+      continue;
+    }
     if (arg.rfind("--parallelism", 0) == 0) {
       std::string value;
       if (arg.rfind("--parallelism=", 0) == 0) {
@@ -333,26 +547,34 @@ int main(int argc, char** argv) {
                              "--index-path=PATH <csv-dir>\n");
         return 2;
       }
+      if (request_flags.any()) {
+        std::fprintf(stderr, "error: per-request options (%s) do not apply "
+                             "to build-index\n",
+                     request_flags.Describe().c_str());
+        return 2;
+      }
       return BuildIndex(args[1], index_path, parallelism);
     }
     if (cmd == "query") {
       if (args.size() < 3 || index_path.empty()) {
         std::fprintf(stderr, "usage: ver_cli query --index-path=PATH "
+                             "[--theta=N] [--rho=N] [--k=N] [--no-distill] "
+                             "[--stop-after=N] [--deadline=S] "
                              "<csv-dir> <examples-A> [<examples-B> ...]\n");
         return 2;
       }
       return RunQueryOverDirectory(
           args[1],
           QueryFromColumnArgs({args.begin() + 2, args.end()}),
-          parallelism, index_path);
+          parallelism, index_path, request_flags);
     }
     if (cmd == "serve") {
       if (args.size() != 2) {
         std::fprintf(stderr, "usage: ver_cli serve --index-path=PATH "
-                             "<csv-dir>\n");
+                             "[request options] <csv-dir>\n");
         return 2;
       }
-      return ServeFromSnapshot(args[1], index_path);
+      return ServeFromSnapshot(args[1], index_path, request_flags);
     }
     if (cmd == "demo-data") {
       if (args.size() != 2) {
@@ -366,7 +588,7 @@ int main(int argc, char** argv) {
       // query immediately.
       return RunQueryOverDirectory(
           args[0], QueryFromColumnArgs({args.begin() + 1, args.end()}),
-          parallelism, index_path);
+          parallelism, index_path, request_flags);
     }
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     return 2;

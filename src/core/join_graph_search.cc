@@ -139,38 +139,44 @@ JoinGraphSearchResult SearchJoinGraphs(
   return result;
 }
 
+CandidateMaterializer::CandidateMaterializer(const TableRepository* repo,
+                                             const MaterializeOptions& options)
+    : materializer_(repo), options_(options) {}
+
+bool CandidateMaterializer::Materialize(const ViewCandidate& candidate) {
+  Result<View> view = materializer_.MaterializeView(
+      candidate.graph, candidate.projection, options_, next_id_);
+  if (!view.ok()) {
+    ++num_failures_;
+    return false;
+  }
+  if (view->table.num_rows() == 0) return false;  // empty joins are noise
+  // Views with identical content are still distinct candidates (the 4C
+  // stage is what merges compatible views); dedupe only exact
+  // graph+projection duplicates produced by symmetric enumeration.
+  std::string key = candidate.graph.Signature();
+  for (const ColumnRef& c : candidate.projection) {
+    key += "|" + std::to_string(c.Encode());
+  }
+  if (!seen_views_.insert(key).second) return false;
+  ++next_id_;
+  views_.push_back(std::move(view).value());
+  return true;
+}
+
 std::vector<View> MaterializeCandidates(
     const TableRepository& repo, const std::vector<ViewCandidate>& candidates,
     const JoinGraphSearchOptions& options, int64_t* num_failures) {
-  std::vector<View> views;
   int64_t limit = options.expected_views <= 0
                       ? static_cast<int64_t>(candidates.size())
                       : std::min<int64_t>(options.expected_views,
                                           candidates.size());
-  Materializer materializer(&repo);
-  // Views with identical content are still distinct candidates (the 4C
-  // stage is what merges compatible views); dedupe only exact
-  // graph+projection duplicates produced by symmetric enumeration.
-  std::unordered_set<std::string> seen_views;
-  int64_t next_id = 0;
+  CandidateMaterializer incremental(&repo, options.materialize);
   for (int64_t i = 0; i < limit; ++i) {
-    const ViewCandidate& cand = candidates[i];
-    Result<View> view = materializer.MaterializeView(
-        cand.graph, cand.projection, options.materialize, next_id);
-    if (!view.ok()) {
-      if (num_failures != nullptr) ++(*num_failures);
-      continue;
-    }
-    if (view->table.num_rows() == 0) continue;  // empty joins are noise
-    std::string key = cand.graph.Signature();
-    for (const ColumnRef& c : cand.projection) {
-      key += "|" + std::to_string(c.Encode());
-    }
-    if (!seen_views.insert(key).second) continue;
-    ++next_id;
-    views.push_back(std::move(view).value());
+    incremental.Materialize(candidates[i]);
   }
-  return views;
+  if (num_failures != nullptr) *num_failures += incremental.num_failures();
+  return incremental.TakeViews();
 }
 
 }  // namespace ver

@@ -10,6 +10,8 @@
 #ifndef VER_CORE_JOIN_GRAPH_SEARCH_H_
 #define VER_CORE_JOIN_GRAPH_SEARCH_H_
 
+#include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/column_selection.h"
@@ -73,6 +75,41 @@ JoinGraphSearchResult SearchJoinGraphs(
 std::vector<View> MaterializeCandidates(
     const TableRepository& repo, const std::vector<ViewCandidate>& candidates,
     const JoinGraphSearchOptions& options, int64_t* num_failures);
+
+/// One-candidate-at-a-time materialization with the exact semantics of
+/// MaterializeCandidates (id assignment, empty-view and duplicate dropping,
+/// failure counting) — MaterializeCandidates is implemented as a loop over
+/// this class, so feeding the same ranked candidates incrementally yields
+/// bit-identical views. The streaming StopAfter path of Ver::Execute uses it
+/// to stop materializing as soon as enough views survive distillation.
+class CandidateMaterializer {
+ public:
+  CandidateMaterializer(const TableRepository* repo,
+                        const MaterializeOptions& options);
+
+  /// Materializes one candidate. Returns true when the view was kept and
+  /// appended to views(); false when it failed (counted in num_failures),
+  /// joined empty, or duplicated an earlier graph+projection.
+  bool Materialize(const ViewCandidate& candidate);
+
+  const std::vector<View>& views() const { return views_; }
+  std::vector<View> TakeViews() { return std::move(views_); }
+  int64_t num_failures() const { return num_failures_; }
+
+  /// The most recently kept view (for in-place spill reload between
+  /// materialization and distillation). Null when no view was kept yet.
+  View* mutable_last_view() {
+    return views_.empty() ? nullptr : &views_.back();
+  }
+
+ private:
+  Materializer materializer_;
+  MaterializeOptions options_;
+  std::vector<View> views_;
+  std::unordered_set<std::string> seen_views_;
+  int64_t next_id_ = 0;
+  int64_t num_failures_ = 0;
+};
 
 }  // namespace ver
 

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.h"
+
 namespace ver {
 
 /// A query-by-example input. `columns[i]` holds the example values the user
@@ -29,6 +31,30 @@ struct ExampleQuery {
     q.columns = std::move(cols);
     q.attribute_hints.assign(q.columns.size(), "");
     return q;
+  }
+
+  /// Structural well-formedness: at least one attribute, at least one
+  /// example per attribute, and attribute_hints aligned with columns
+  /// (FromColumns guarantees the alignment). Ver::Execute and
+  /// VerServer::Submit reject a failing query with this InvalidArgument
+  /// instead of running the pipeline on undefined input.
+  Status Validate() const {
+    if (columns.empty()) {
+      return Status::InvalidArgument("query has no attributes");
+    }
+    for (size_t a = 0; a < columns.size(); ++a) {
+      if (columns[a].empty()) {
+        return Status::InvalidArgument("query attribute " + std::to_string(a) +
+                                       " has zero example values");
+      }
+    }
+    if (attribute_hints.size() != columns.size()) {
+      return Status::InvalidArgument(
+          "attribute_hints has " + std::to_string(attribute_hints.size()) +
+          " entries for " + std::to_string(columns.size()) +
+          " attributes; use ExampleQuery::FromColumns or align them");
+    }
+    return Status::OK();
   }
 };
 

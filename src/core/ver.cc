@@ -1,9 +1,15 @@
+// Ver facade: construction, spill-directory management, and the legacy
+// RunQuery / RunWithCandidates wrappers. The actual pipeline driver is
+// Ver::Execute in src/api/execute.cc — every overload below is a thin shim
+// that builds a DiscoveryRequest and unwraps the DiscoveryResponse, so all
+// five entry points share one implementation.
+
 #include "core/ver.h"
 
 #include <filesystem>
 
-#include "table/csv.h"
-#include "util/timer.h"
+#include "api/discovery_request.h"
+#include "api/discovery_response.h"
 
 namespace ver {
 
@@ -54,120 +60,39 @@ std::string Ver::NextSpillDir() const {
 }
 
 QueryResult Ver::RunQuery(const ExampleQuery& query) const {
-  // A default control never fires, so the controlled path cannot fail.
-  return std::move(RunQuery(query, QueryControl())).value();
+  return std::move(Execute(DiscoveryRequest::ForQuery(query)).result);
 }
 
 Result<QueryResult> Ver::RunQuery(const ExampleQuery& query,
                                   const QueryControl& control) const {
-  VER_RETURN_IF_ERROR(control.Check("COLUMN-SELECTION"));
-  double column_selection_s = 0;
-  std::vector<ColumnSelectionResult> selection;
-  {
-    ScopedTimer timer(&column_selection_s);
-    selection = SelectColumnsForQuery(*engine_, query, config_.selection);
-  }
-  // RunWithCandidates copies `selection` into its result, so nothing needs
-  // to be patched back besides the timing.
-  Result<QueryResult> rest = RunWithCandidates(selection, query, control);
-  if (!rest.ok()) return rest.status();
-  rest->timing.column_selection_s = column_selection_s;
-  return rest;
+  DiscoveryRequest request = DiscoveryRequest::ForQuery(query);
+  request.deadline = control.deadline;
+  request.cancel = control.cancel;
+  DiscoveryResponse response = Execute(request);
+  if (!response.status.ok()) return response.status;
+  return std::move(response.result);
 }
 
 QueryResult Ver::RunWithCandidates(
     const std::vector<ColumnSelectionResult>& per_attribute,
     const ExampleQuery& query_for_ranking) const {
+  // Rvalue Execute: the request's candidate copy moves into the result, so
+  // the wrapper costs one candidate copy total, same as before the API.
   return std::move(
-             RunWithCandidates(per_attribute, query_for_ranking,
-                               QueryControl()))
-      .value();
+      Execute(DiscoveryRequest::ForCandidates(per_attribute, query_for_ranking))
+          .result);
 }
 
 Result<QueryResult> Ver::RunWithCandidates(
     const std::vector<ColumnSelectionResult>& per_attribute,
     const ExampleQuery& query_for_ranking, const QueryControl& control) const {
-  QueryResult result;
-  result.selection = per_attribute;
-
-  JoinGraphSearchOptions search_options = config_.search;
-  search_options.materialize_views = false;  // timed separately below
-  if (!config_.spill_dir.empty()) {
-    // Each query spills into its own subdirectory, so concurrent queries
-    // never read or overwrite each other's spill files.
-    search_options.materialize.spill_dir = NextSpillDir();
-  }
-
-  VER_RETURN_IF_ERROR(control.Check("JOIN-GRAPH-SEARCH"));
-  {
-    ScopedTimer timer(&result.timing.join_graph_search_s);
-    result.search = SearchJoinGraphs(*engine_, per_attribute, search_options);
-  }
-  VER_RETURN_IF_ERROR(control.Check("MATERIALIZER"));
-  {
-    ScopedTimer timer(&result.timing.materialize_s);
-    result.views = MaterializeCandidates(
-        *repo_, result.search.candidates, search_options,
-        &result.search.num_materialization_failures);
-  }
-
-  if (!config_.spill_dir.empty()) {
-    // Read the spilled views back from disk — distillation's input IO cost
-    // ("Get Views Time" in Fig. 3 / VD-IO in Fig. 4b).
-    VER_RETURN_IF_ERROR(control.Check("VD-IO"));
-    {
-      ScopedTimer timer(&result.timing.vd_io_s);
-      for (View& v : result.views) {
-        if (v.spill_path.empty()) continue;
-        Result<Table> reloaded = ReadCsvFile(v.spill_path);
-        if (reloaded.ok()) {
-          std::string name = v.table.name();
-          v.table = std::move(reloaded).value();
-          v.table.set_name(std::move(name));
-        }
-      }
-    }
-    if (config_.cleanup_spilled_views) {
-      // Serving mode: drop this query's spill subdirectory now that the
-      // views are back in memory, so disk use stays bounded under
-      // sustained traffic (untimed — cleanup is not a paper cost).
-      std::error_code ec;
-      std::filesystem::remove_all(search_options.materialize.spill_dir, ec);
-      for (View& v : result.views) v.spill_path.clear();
-    }
-  }
-
-  VER_RETURN_IF_ERROR(control.Check("VIEW-DISTILLATION"));
-  if (config_.run_distillation) {
-    ScopedTimer timer(&result.timing.four_c_s);
-    result.distillation = DistillViews(result.views, config_.distillation);
-  } else {
-    // Without distillation every view survives.
-    for (size_t i = 0; i < result.views.size(); ++i) {
-      result.distillation.surviving.push_back(static_cast<int>(i));
-    }
-    result.distillation.count_after_compatible =
-        static_cast<int64_t>(result.views.size());
-    result.distillation.count_after_contained =
-        static_cast<int64_t>(result.views.size());
-  }
-
-  // Automatic mode (Algorithm 1 line 13): overlap-based ranking of the
-  // surviving views.
-  VER_RETURN_IF_ERROR(control.Check("ranking"));
-  std::vector<View> survivors;
-  survivors.reserve(result.distillation.surviving.size());
-  for (int idx : result.distillation.surviving) {
-    // Rank on a lightweight copy; indices refer back to result.views.
-    survivors.push_back(result.views[idx]);
-  }
-  std::vector<OverlapRankedView> ranked =
-      RankViewsByOverlap(survivors, query_for_ranking);
-  for (OverlapRankedView& r : ranked) {
-    r.view_index = result.distillation.surviving[r.view_index];
-  }
-  result.automatic_ranking = std::move(ranked);
-  return result;
+  DiscoveryRequest request =
+      DiscoveryRequest::ForCandidates(per_attribute, query_for_ranking);
+  request.deadline = control.deadline;
+  request.cancel = control.cancel;
+  DiscoveryResponse response = Execute(std::move(request));
+  if (!response.status.ok()) return response.status;
+  return std::move(response.result);
 }
 
 std::unique_ptr<PresentationSession> Ver::StartSession(

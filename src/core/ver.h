@@ -100,7 +100,20 @@ struct QueryResult {
   std::vector<OverlapRankedView> automatic_ranking;
 };
 
+// The request/response API layer (src/api/): Execute is declared against
+// these; include "api/discovery_request.h" etc. to construct them.
+struct DiscoveryRequest;
+struct DiscoveryResponse;
+class QueryObserver;
+
 /// End-to-end system bound to one repository.
+///
+/// `Execute(DiscoveryRequest, QueryObserver*)` is the one real pipeline
+/// driver (src/api/execute.cc): per-request knob overrides, deadlines,
+/// streaming view delivery and StopAfter early termination all live there.
+/// The RunQuery / RunWithCandidates overloads below are thin
+/// source-compatibility wrappers over Execute and produce bit-identical
+/// results (tests/api_test.cc guards the identity).
 ///
 /// Thread-safety: after construction the object is immutable (the only
 /// mutable member is the atomic spill-directory counter), and every const
@@ -124,22 +137,43 @@ class Ver {
   Ver(const TableRepository* repo, VerConfig config,
       std::unique_ptr<DiscoveryEngine> engine);
 
-  /// Runs the full automatic pipeline on a QBE query.
+  /// THE pipeline driver: runs one DiscoveryRequest (QBE or precomputed
+  /// candidates, per-request knob overrides merged over config(), deadline,
+  /// cancellation, StopAfter early termination) and streams typed events —
+  /// stage started/finished, each view as soon as it survives 4C — to the
+  /// optional observer. Validates the request first; an invalid request
+  /// returns InvalidArgument without running any stage. Defined in
+  /// src/api/execute.cc.
+  DiscoveryResponse Execute(const DiscoveryRequest& request,
+                            QueryObserver* observer = nullptr) const;
+
+  /// Rvalue overload: identical behavior, but moves the request's
+  /// candidate columns into the response instead of copying them (the
+  /// legacy RunWithCandidates wrappers use it to stay copy-for-copy with
+  /// the pre-API implementation).
+  DiscoveryResponse Execute(DiscoveryRequest&& request,
+                            QueryObserver* observer = nullptr) const;
+
+  /// Runs the full automatic pipeline on a QBE query. Wrapper over Execute;
+  /// an invalid query yields an empty result (use Execute or the controlled
+  /// overload to see the InvalidArgument).
   QueryResult RunQuery(const ExampleQuery& query) const;
 
   /// RunQuery with deadline/cancellation checks between pipeline stages.
-  /// Fails with DeadlineExceeded or Cancelled; never returns a partial
-  /// result.
+  /// Fails with InvalidArgument, DeadlineExceeded or Cancelled; never
+  /// returns a partial result. Wrapper over Execute.
   Result<QueryResult> RunQuery(const ExampleQuery& query,
                                const QueryControl& control) const;
 
   /// Runs the pipeline starting from pre-computed candidate columns (used
-  /// by the keyword / attribute specification variants).
+  /// by the keyword / attribute specification variants). Wrapper over
+  /// Execute.
   QueryResult RunWithCandidates(
       const std::vector<ColumnSelectionResult>& per_attribute,
       const ExampleQuery& query_for_ranking) const;
 
   /// RunWithCandidates with deadline/cancellation checks between stages.
+  /// Wrapper over Execute.
   Result<QueryResult> RunWithCandidates(
       const std::vector<ColumnSelectionResult>& per_attribute,
       const ExampleQuery& query_for_ranking,
@@ -154,6 +188,13 @@ class Ver {
   const VerConfig& config() const { return config_; }
 
  private:
+  /// The one pipeline driver behind both Execute overloads.
+  /// `stolen_candidates` (nullable) lets the rvalue overload donate the
+  /// request's candidate vector instead of copying it.
+  DiscoveryResponse ExecuteInternal(
+      const DiscoveryRequest& request, QueryObserver* observer,
+      std::vector<ColumnSelectionResult>* stolen_candidates) const;
+
   /// Unique spill subdirectory for the next query ("<spill_dir>/v<i>_q<n>",
   /// unique per Ver instance and per query within this process).
   std::string NextSpillDir() const;

@@ -1,40 +1,11 @@
 #include "serving/query_cache.h"
 
-#include <algorithm>
-#include <vector>
+#include <utility>
 
 namespace ver {
 
-namespace {
-
-// Length-prefixed append keeps keys unambiguous regardless of the bytes in
-// the value (a value may contain any delimiter).
-void AppendString(const std::string& s, std::string* out) {
-  out->append(std::to_string(s.size()));
-  out->push_back(':');
-  out->append(s);
-}
-
-}  // namespace
-
-std::string CanonicalQueryKey(const ExampleQuery& query) {
-  std::string key;
-  for (size_t a = 0; a < query.columns.size(); ++a) {
-    key.push_back('A');
-    AppendString(a < query.attribute_hints.size() ? query.attribute_hints[a]
-                                                  : std::string(),
-                 &key);
-    std::vector<std::string> values = query.columns[a];
-    std::sort(values.begin(), values.end());
-    for (const std::string& v : values) {
-      key.push_back('v');
-      AppendString(v, &key);
-    }
-  }
-  return key;
-}
-
-std::shared_ptr<const QueryResult> QueryCache::Lookup(const std::string& key) {
+std::shared_ptr<const QueryResult> QueryCache::Lookup(
+    const std::string& key, bool* early_terminated) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
@@ -43,25 +14,30 @@ std::shared_ptr<const QueryResult> QueryCache::Lookup(const std::string& key) {
   }
   lru_.splice(lru_.begin(), lru_, it->second);
   ++counters_.hits;
-  return it->second->second;
+  if (early_terminated != nullptr) {
+    *early_terminated = it->second->early_terminated;
+  }
+  return it->second->result;
 }
 
 void QueryCache::Insert(const std::string& key,
-                        std::shared_ptr<const QueryResult> result) {
+                        std::shared_ptr<const QueryResult> result,
+                        bool early_terminated) {
   if (capacity_ == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
-    it->second->second = std::move(result);
+    it->second->result = std::move(result);
+    it->second->early_terminated = early_terminated;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
   if (lru_.size() >= capacity_) {
-    index_.erase(lru_.back().first);
+    index_.erase(lru_.back().key);
     lru_.pop_back();
     ++counters_.evictions;
   }
-  lru_.emplace_front(key, std::move(result));
+  lru_.push_front(Entry{key, std::move(result), early_terminated});
   index_.emplace(key, lru_.begin());
 }
 

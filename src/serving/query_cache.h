@@ -1,11 +1,12 @@
-// LRU result cache for the serving layer, keyed by canonicalized queries.
+// LRU result cache for the serving layer, keyed by canonicalized requests.
 //
-// Canonicalization sorts the example values within each attribute but keeps
-// attribute order, duplicates and hints. That is exactly the set of
-// transformations the pipeline is invariant under: per-attribute hit counts
-// (Algorithm 4) and overlap ranking both aggregate over examples
-// order-independently, while duplicate examples and attribute order do
-// change results. tests/serving_test.cc guards the invariance.
+// Keys are built by VerServer from the snapshot epoch plus
+// DiscoveryRequest::CanonicalKey (api/discovery_request.h), which
+// canonicalizes the query (sorted example values within each attribute,
+// attribute order / duplicates / hints preserved) and appends every set
+// override knob and the StopAfter bound — so two requests differing in any
+// knob never alias. tests/serving_test.cc and tests/api_test.cc guard the
+// invariance.
 
 #ifndef VER_SERVING_QUERY_CACHE_H_
 #define VER_SERVING_QUERY_CACHE_H_
@@ -16,34 +17,35 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
-#include <utility>
 
+#include "api/discovery_request.h"
 #include "core/query.h"
 #include "core/ver.h"
 
 namespace ver {
 
-/// Unambiguous cache key: attribute order and hints preserved, example
-/// values sorted within each attribute, every string length-prefixed.
-std::string CanonicalQueryKey(const ExampleQuery& query);
-
-/// Thread-safe LRU map from canonical query key to a shared immutable
-/// QueryResult. A hit returns the exact object a previous miss stored, so
-/// cached results are trivially identical to the originals.
+/// Thread-safe LRU map from canonical request key to a shared immutable
+/// QueryResult (plus the response's early-termination flag, so a cached
+/// StopAfter result reports the same truncation its original run did). A
+/// hit returns the exact object a previous miss stored, so cached results
+/// are trivially identical to the originals.
 class QueryCache {
  public:
   /// `capacity` in entries; 0 disables the cache (every lookup misses,
   /// inserts are dropped).
   explicit QueryCache(size_t capacity) : capacity_(capacity) {}
 
-  /// The cached result for `key`, or null on miss. Bumps the entry to
-  /// most-recently-used and counts a hit/miss.
-  std::shared_ptr<const QueryResult> Lookup(const std::string& key);
+  /// The cached result for `key`, or null on miss. On a hit,
+  /// `*early_terminated` (when non-null) receives the stored flag. Bumps
+  /// the entry to most-recently-used and counts a hit/miss.
+  std::shared_ptr<const QueryResult> Lookup(const std::string& key,
+                                            bool* early_terminated = nullptr);
 
   /// Stores `result` under `key`, evicting the least-recently-used entry
   /// when full. Overwrites an existing entry for the same key.
   void Insert(const std::string& key,
-              std::shared_ptr<const QueryResult> result);
+              std::shared_ptr<const QueryResult> result,
+              bool early_terminated = false);
 
   /// Drops every entry (snapshot hot-swap invalidation). Counters keep
   /// their cumulative values; dropped entries do not count as evictions.
@@ -59,7 +61,11 @@ class QueryCache {
   size_t size() const;
 
  private:
-  using Entry = std::pair<std::string, std::shared_ptr<const QueryResult>>;
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const QueryResult> result;
+    bool early_terminated = false;
+  };
 
   mutable std::mutex mu_;
   size_t capacity_;

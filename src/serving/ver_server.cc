@@ -1,5 +1,6 @@
 #include "serving/ver_server.h"
 
+#include <string>
 #include <utility>
 
 namespace ver {
@@ -12,6 +13,34 @@ std::chrono::steady_clock::time_point DeadlineFromSeconds(double seconds) {
          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
              std::chrono::duration<double>(seconds));
 }
+
+// Worker-side observer: counts delivered views into the ticket (so
+// QueryTicket::views_delivered and Poll-based progress work) and forwards
+// every event to the caller's observer, if any.
+class TicketObserver : public QueryObserver {
+ public:
+  TicketObserver(std::atomic<int>* delivered, QueryObserver* user)
+      : delivered_(delivered), user_(user) {}
+
+  void OnStageStarted(PipelineStage stage) override {
+    if (user_ != nullptr) user_->OnStageStarted(stage);
+  }
+  void OnStageFinished(PipelineStage stage, double elapsed_s) override {
+    if (user_ != nullptr) user_->OnStageFinished(stage, elapsed_s);
+  }
+  void OnViewDelivered(const View& view, int delivery_index,
+                       double elapsed_s) override {
+    delivered_->fetch_add(1, std::memory_order_relaxed);
+    if (user_ != nullptr) user_->OnViewDelivered(view, delivery_index, elapsed_s);
+  }
+  void OnFinished(const Status& status) override {
+    if (user_ != nullptr) user_->OnFinished(status);
+  }
+
+ private:
+  std::atomic<int>* delivered_;
+  QueryObserver* user_;
+};
 
 }  // namespace
 
@@ -56,41 +85,87 @@ std::shared_ptr<const Ver> VerServer::snapshot() const {
 
 VerServer::~VerServer() { Shutdown(); }
 
-std::shared_ptr<QueryTicket> VerServer::Submit(ExampleQuery query) {
-  return Submit(std::move(query), options_.default_deadline_s);
-}
-
-std::shared_ptr<QueryTicket> VerServer::Submit(ExampleQuery query,
-                                               double deadline_s) {
+std::shared_ptr<QueryTicket> VerServer::Submit(DiscoveryRequest request,
+                                               QueryObserver* observer) {
   std::shared_ptr<QueryTicket> ticket(new QueryTicket());
-  ticket->query_ = std::move(query);
+  ticket->request_ = std::move(request);
+  ticket->observer_ = observer;
   ticket->submitted_at_ = std::chrono::steady_clock::now();
-  ticket->deadline_ = DeadlineFromSeconds(deadline_s);
   submitted_.fetch_add(1, std::memory_order_relaxed);
 
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!accepting_ || pool_ == nullptr) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+  auto reject = [&](Status status) {
+    // OnFinished is the terminal event even for requests that never reach
+    // a worker; it fires on the submitting thread here.
+    if (observer != nullptr) observer->OnFinished(status);
     ServedResult out;
-    out.status = Status::Unavailable("server is shut down");
+    out.status = std::move(status);
     ticket->promise_.set_value(std::move(out));
     return ticket;
+  };
+
+  // Validation happens at admission, before any queue slot is consumed —
+  // the worker-side Execute would reject the same request, but failing
+  // here keeps garbage out of the queue and the stats clean.
+  Status valid = ticket->request_.Validate();
+  if (!valid.ok()) {
+    invalid_.fetch_add(1, std::memory_order_relaxed);
+    return reject(std::move(valid));
   }
-  if (options_.max_queue_depth > 0 &&
-      static_cast<int>(queue_.size()) >= options_.max_queue_depth) {
+
+  // Resolve the effective deadline once, at submission: a positive
+  // deadline_s wins, 0 (unset) falls back to the server default, negative
+  // means explicitly none (suppresses the default); the earliest absolute
+  // deadline wins overall. The ticket's cancel flag replaces any
+  // caller-supplied pointer so QueryTicket::Cancel is the one knob.
+  DiscoveryRequest& req = ticket->request_;
+  double relative_s = req.deadline_s != 0 ? req.deadline_s
+                                          : options_.default_deadline_s;
+  auto relative = DeadlineFromSeconds(relative_s);
+  if (relative < req.deadline) req.deadline = relative;
+  req.deadline_s = 0;  // consumed; Execute sees the absolute deadline only
+  req.cancel = &ticket->cancel_;
+
+  // Admission decision under the lock; the reject path (which may call the
+  // caller's observer) runs outside it.
+  Status admit;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!accepting_ || pool_ == nullptr) {
+      admit = Status::Unavailable("server is shut down");
+    } else if (options_.max_queue_depth > 0 &&
+               static_cast<int>(queue_.size()) >= options_.max_queue_depth) {
+      admit = Status::Unavailable("submission queue is full");
+    } else {
+      queue_.push_back(ticket);
+      if (static_cast<int64_t>(queue_.size()) > peak_queue_depth_) {
+        peak_queue_depth_ = static_cast<int64_t>(queue_.size());
+      }
+      pool_->Submit([this] { ServeOne(); });
+    }
+  }
+  if (!admit.ok()) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
-    ServedResult out;
-    out.status = Status::Unavailable("submission queue is full");
-    ticket->promise_.set_value(std::move(out));
-    return ticket;
+    return reject(std::move(admit));
   }
-  queue_.push_back(ticket);
-  pool_->Submit([this] { ServeOne(); });
+
+  // Request-shape counters cover admitted requests only.
+  if (req.overrides.any()) {
+    requests_with_overrides_.fetch_add(1, std::memory_order_relaxed);
+    for (int k = 0; k < RequestOverrides::kNumKnobs; ++k) {
+      if (req.overrides.knob_set(k)) {
+        override_uses_[static_cast<size_t>(k)].fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    }
+  }
+  if (req.stop_after > 0) {
+    requests_streaming_.fetch_add(1, std::memory_order_relaxed);
+  }
   return ticket;
 }
 
-ServedResult VerServer::Serve(ExampleQuery query) {
-  return Submit(std::move(query))->Wait();
+ServedResult VerServer::Serve(DiscoveryRequest request) {
+  return Submit(std::move(request))->Wait();
 }
 
 void VerServer::Shutdown() {
@@ -125,46 +200,74 @@ void VerServer::ServeOne() {
   out.queue_wait_s =
       std::chrono::duration<double>(started - ticket->submitted_at_).count();
   auto finish = [&](ServedResult&& done) {
+    done.views_delivered =
+        ticket->views_delivered_.load(std::memory_order_relaxed);
     done.run_s = std::chrono::duration<double>(
                      std::chrono::steady_clock::now() - started)
                      .count();
     Finish(ticket, std::move(done));
   };
 
-  QueryControl control;
-  control.deadline = ticket->deadline_;
-  control.cancel = &ticket->cancel_;
+  const DiscoveryRequest& request = ticket->request_;
+  TicketObserver observer(&ticket->views_delivered_, ticket->observer_);
 
-  // Queries can expire or be cancelled while queued; fail them without
+  // Requests can expire or be cancelled while queued; fail them without
   // touching the cache counters.
-  out.status = control.Check("serving");
-  if (!out.status.ok()) {
-    finish(std::move(out));
-    return;
-  }
-
-  std::string key;
-  if (options_.cache_capacity > 0) {
-    // Epoch-prefixed key: entries computed on an older snapshot can never
-    // answer a query dequeued after a swap.
-    key = std::to_string(epoch) + "|" + CanonicalQueryKey(ticket->query_);
-    if (std::shared_ptr<const QueryResult> cached = cache_.Lookup(key)) {
-      out.result = std::move(cached);
-      out.cache_hit = true;
+  {
+    QueryControl control;
+    control.deadline = request.deadline;
+    control.cancel = request.cancel;
+    out.status = control.Check("serving");
+    if (!out.status.ok()) {
+      observer.OnFinished(out.status);
       finish(std::move(out));
       return;
     }
   }
 
-  Result<QueryResult> run = snapshot->RunQuery(ticket->query_, control);
-  if (!run.ok()) {
-    out.status = run.status();
+  // Candidate-based requests are never cached: their candidate columns are
+  // not part of the canonical key.
+  const bool cacheable = options_.cache_capacity > 0 && !request.from_candidates;
+  std::string key;
+  if (cacheable) {
+    // Epoch-prefixed key: entries computed on an older snapshot can never
+    // answer a query dequeued after a swap.
+    key = std::to_string(epoch) + "|" + request.CanonicalKey();
+    bool cached_early_terminated = false;
+    if (std::shared_ptr<const QueryResult> cached =
+            cache_.Lookup(key, &cached_early_terminated)) {
+      // Re-deliver the cached surviving views (final order, no stage
+      // events) so a streaming client still receives every view the
+      // result contains before OnFinished.
+      for (int idx : cached->distillation.surviving) {
+        observer.OnViewDelivered(
+            cached->views[static_cast<size_t>(idx)],
+            ticket->views_delivered_.load(std::memory_order_relaxed),
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          started)
+                .count());
+      }
+      observer.OnFinished(Status::OK());
+      out.result = std::move(cached);
+      out.cache_hit = true;
+      // A cached StopAfter result reports the truncation its original run
+      // observed — a hit must be indistinguishable from a re-run.
+      out.early_terminated = cached_early_terminated;
+      finish(std::move(out));
+      return;
+    }
+  }
+
+  DiscoveryResponse response = snapshot->Execute(request, &observer);
+  if (!response.status.ok()) {
+    out.status = std::move(response.status);
     finish(std::move(out));
     return;
   }
+  out.early_terminated = response.early_terminated;
   auto result =
-      std::make_shared<const QueryResult>(std::move(run).value());
-  if (options_.cache_capacity > 0) cache_.Insert(key, result);
+      std::make_shared<const QueryResult>(std::move(response.result));
+  if (cacheable) cache_.Insert(key, result, response.early_terminated);
   out.result = std::move(result);
   finish(std::move(out));
 }
@@ -186,13 +289,26 @@ ServerStats VerServer::stats() const {
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.served_ok = served_ok_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.invalid = invalid_.load(std::memory_order_relaxed);
   s.cancelled = cancelled_.load(std::memory_order_relaxed);
   s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   s.snapshot_swaps = snapshot_swaps_.load(std::memory_order_relaxed);
+  s.requests_with_overrides =
+      requests_with_overrides_.load(std::memory_order_relaxed);
+  s.requests_streaming = requests_streaming_.load(std::memory_order_relaxed);
+  for (int k = 0; k < RequestOverrides::kNumKnobs; ++k) {
+    s.override_uses[static_cast<size_t>(k)] =
+        override_uses_[static_cast<size_t>(k)].load(std::memory_order_relaxed);
+  }
   QueryCache::Counters c = cache_.counters();
   s.cache_hits = c.hits;
   s.cache_misses = c.misses;
   s.cache_evictions = c.evictions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.current_queue_depth = static_cast<int64_t>(queue_.size());
+    s.peak_queue_depth = peak_queue_depth_;
+  }
   return s;
 }
 

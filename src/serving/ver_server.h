@@ -1,13 +1,23 @@
 // VerServer: the concurrent query-serving layer.
 //
-// Serves many concurrent QBE queries over one immutable Ver snapshot
+// Serves many concurrent discovery requests over one immutable Ver snapshot
 // (discovery engine + online pipeline): a fixed worker pool
 // (util/thread_pool) drains a bounded submission queue, an LRU cache
-// short-circuits repeated queries, and every query carries a QueryControl
-// so deadlines and cancellation take effect at pipeline-stage boundaries.
-// Each snapshot is never mutated while serving (IndexNewTable is
-// deliberately not exposed here), which is what makes the lock-free shared
-// read path safe — see the thread-safety contract in discovery/engine.h.
+// short-circuits repeated requests, and every request carries its own
+// pipeline knobs, deadline and cancellation (see api/discovery_request.h).
+// Workers run Ver::Execute, so per-request overrides, StopAfter early
+// termination and streaming view delivery all work under the server: pass a
+// QueryObserver to Submit and its events fire on the worker thread as the
+// pipeline progresses. Each snapshot is never mutated while serving
+// (IndexNewTable is deliberately not exposed here), which is what makes the
+// lock-free shared read path safe — see the thread-safety contract in
+// discovery/engine.h.
+//
+// The result cache is keyed by the *canonicalized request* — query plus the
+// set overrides plus StopAfter — prefixed with the snapshot epoch, so two
+// requests differing in any knob (a different k, theta, rho, ...) can never
+// alias, and a result computed on an old snapshot can never answer a query
+// admitted after a hot swap.
 //
 // Snapshots are hot-swappable: SwapSnapshot atomically replaces the served
 // Ver (e.g. with one loaded from a newer DiscoveryEngine::Save file), so a
@@ -20,6 +30,7 @@
 #ifndef VER_SERVING_VER_SERVER_H_
 #define VER_SERVING_VER_SERVER_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <deque>
@@ -27,6 +38,9 @@
 #include <memory>
 #include <mutex>
 
+#include "api/discovery_request.h"
+#include "api/discovery_response.h"
+#include "api/query_observer.h"
 #include "core/ver.h"
 #include "serving/query_cache.h"
 #include "serving/serving_options.h"
@@ -35,65 +49,99 @@
 
 namespace ver {
 
-/// What the server hands back for one query.
+/// What the server hands back for one request.
 struct ServedResult {
-  /// OK, or DeadlineExceeded / Cancelled / Unavailable (queue full or
-  /// server shut down). Non-OK results carry no partial data.
+  /// OK, or InvalidArgument (request rejected by validation) /
+  /// DeadlineExceeded / Cancelled / Unavailable (queue full or server shut
+  /// down). Non-OK results carry no partial data.
   Status status;
-  /// The query's result; shared with the cache, so treat as immutable.
+  /// The request's result; shared with the cache, so treat as immutable.
   /// Null when status is not OK.
   std::shared_ptr<const QueryResult> result;
   /// True when `result` came from the cache instead of a pipeline run.
   bool cache_hit = false;
-  /// Seconds spent queued before a worker picked the query up.
+  /// True when StopAfter(k) stopped the pipeline early (preserved across
+  /// cache hits: a cached StopAfter result reports its original flag).
+  bool early_terminated = false;
+  /// OnViewDelivered events fired for this serve. A cache hit re-delivers
+  /// the cached *surviving* views (in their final order, no stage events),
+  /// so this can differ from the original miss when a streamed view was
+  /// later pruned by distillation.
+  int views_delivered = 0;
+  /// Seconds spent queued before a worker picked the request up.
   double queue_wait_s = 0;
   /// Seconds the pipeline (or cache lookup) ran on the worker.
   double run_s = 0;
 };
 
-/// Handle for one submitted query. Obtained from VerServer::Submit; safe to
-/// share across threads.
+/// Handle for one submitted request. Obtained from VerServer::Submit; safe
+/// to share across threads.
 class QueryTicket {
  public:
   /// Requests cooperative cancellation: the query fails with Cancelled at
-  /// the next pipeline-stage boundary (or immediately, if still queued).
-  /// No-op once the query finished.
+  /// the next pipeline-stage (or candidate) boundary, or immediately if
+  /// still queued. No-op once the query finished.
   void Cancel() { cancel_.store(true, std::memory_order_relaxed); }
 
   /// Blocks until the query finishes and returns its outcome.
   const ServedResult& Wait() const { return future_.get(); }
 
+  /// Non-blocking: true when the result is ready (Wait will not block).
+  bool Poll() const {
+    return future_.wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+  }
+
+  /// Views streamed so far — grows while the query runs (each increment
+  /// follows an OnViewDelivered event on the submitting observer, if any).
+  int views_delivered() const {
+    return views_delivered_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class VerServer;
   QueryTicket() : future_(promise_.get_future().share()) {}
 
-  ExampleQuery query_;
+  DiscoveryRequest request_;
+  /// Caller-owned; events fire on the worker thread running the request.
+  QueryObserver* observer_ = nullptr;
   std::chrono::steady_clock::time_point submitted_at_;
-  std::chrono::steady_clock::time_point deadline_;
   std::atomic<bool> cancel_{false};
+  std::atomic<int> views_delivered_{0};
   std::promise<ServedResult> promise_;
   std::shared_future<ServedResult> future_;
 };
 
-/// Monotonic counters describing server activity so far.
+/// Monotonic counters describing server activity so far (plus two queue
+/// gauges). `override_uses[k]` counts submitted requests that set override
+/// knob k — see RequestOverrides::KnobName for the knob order.
 struct ServerStats {
   int64_t submitted = 0;          // Submit() calls
   int64_t served_ok = 0;          // finished with OK
   int64_t rejected = 0;           // refused at Submit (queue full/shutdown)
+  int64_t invalid = 0;            // refused at Submit (validation failed)
   int64_t cancelled = 0;          // finished Cancelled
   int64_t deadline_exceeded = 0;  // finished DeadlineExceeded
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
   int64_t cache_evictions = 0;
   int64_t snapshot_swaps = 0;  // successful SwapSnapshot calls
+  // --- request-shape counters (admitted requests only) ---
+  int64_t requests_with_overrides = 0;  // >= 1 override knob set
+  int64_t requests_streaming = 0;       // StopAfter(k) requests
+  std::array<int64_t, RequestOverrides::kNumKnobs> override_uses{};
+  // --- queue gauges ---
+  int64_t current_queue_depth = 0;  // admitted, not yet dequeued, right now
+  int64_t peak_queue_depth = 0;     // high-water mark since construction
 };
 
-/// Concurrent QBE serving over one repository.
+/// Concurrent discovery serving over one repository.
 ///
 /// Thread-safety: Submit, Serve, Shutdown, SwapSnapshot, snapshot and
 /// stats may be called from any thread. Results are identical to serial
-/// Ver::RunQuery execution (tests/serving_test.cc guards bit-identity
-/// under 8 concurrent threads, including under concurrent swaps).
+/// Ver::Execute execution (tests/serving_test.cc and tests/api_test.cc
+/// guard bit-identity under 8 concurrent threads, including under
+/// concurrent swaps and streaming observers).
 class VerServer {
  public:
   /// Builds the discovery index (offline, possibly parallel per
@@ -116,15 +164,37 @@ class VerServer {
   VerServer(const VerServer&) = delete;
   VerServer& operator=(const VerServer&) = delete;
 
-  /// Enqueues a query under the default deadline. Always returns a ticket;
-  /// a rejected query (queue full, server shut down) carries an
-  /// Unavailable status. `deadline_s` (seconds from now, <= 0 = none)
-  /// overrides ServingOptions::default_deadline_s.
-  std::shared_ptr<QueryTicket> Submit(ExampleQuery query);
-  std::shared_ptr<QueryTicket> Submit(ExampleQuery query, double deadline_s);
+  /// Enqueues one request. Always returns a ticket; a rejected request
+  /// (validation failure, queue full, server shut down) carries an
+  /// InvalidArgument / Unavailable status. When `request.deadline_s <= 0`,
+  /// ServingOptions::default_deadline_s applies. `observer` (optional,
+  /// caller-owned, must outlive the ticket's completion) receives the
+  /// pipeline's streamed events on the worker thread — or, for a request
+  /// rejected at Submit, a single OnFinished on the submitting thread. On
+  /// a cache hit the cached surviving views are re-delivered in final
+  /// order followed by OnFinished (no stage events — the pipeline did not
+  /// run). The request's `cancel` pointer is replaced by the ticket's own
+  /// flag — use QueryTicket::Cancel().
+  std::shared_ptr<QueryTicket> Submit(DiscoveryRequest request,
+                                      QueryObserver* observer = nullptr);
+
+  /// Legacy shims: a bare QBE query under the default (or given) deadline.
+  std::shared_ptr<QueryTicket> Submit(ExampleQuery query) {
+    return Submit(DiscoveryRequest::ForQuery(std::move(query)));
+  }
+  std::shared_ptr<QueryTicket> Submit(ExampleQuery query, double deadline_s) {
+    // Legacy contract: an explicit deadline_s <= 0 means *no* deadline,
+    // overriding the server default — map it to the request's "explicitly
+    // none" encoding (negative).
+    return Submit(DiscoveryRequest::ForQuery(std::move(query))
+                      .WithDeadline(deadline_s > 0 ? deadline_s : -1));
+  }
 
   /// Submit + Wait, for callers without their own concurrency.
-  ServedResult Serve(ExampleQuery query);
+  ServedResult Serve(DiscoveryRequest request);
+  ServedResult Serve(ExampleQuery query) {
+    return Serve(DiscoveryRequest::ForQuery(std::move(query)));
+  }
 
   /// Stops accepting new queries, serves everything already queued, joins
   /// the workers. Idempotent; also run by the destructor.
@@ -154,23 +224,29 @@ class VerServer {
   QueryCache cache_;
 
   // Guards the served snapshot, the submission queue, the accepting flag,
-  // and pool submission (so Shutdown cannot destroy the pool under a
-  // concurrent Submit).
+  // the queue-depth peak, and pool submission (so Shutdown cannot destroy
+  // the pool under a concurrent Submit).
   mutable std::mutex mu_;
   std::shared_ptr<const Ver> ver_;
   // Bumped per swap; prefixes cache keys so a result computed on an old
   // snapshot can never answer a query admitted after the swap.
   uint64_t snapshot_epoch_ = 0;
   std::deque<std::shared_ptr<QueryTicket>> queue_;
+  int64_t peak_queue_depth_ = 0;
   bool accepting_ = true;
   std::unique_ptr<ThreadPool> pool_;
 
   std::atomic<int64_t> submitted_{0};
   std::atomic<int64_t> served_ok_{0};
   std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> invalid_{0};
   std::atomic<int64_t> cancelled_{0};
   std::atomic<int64_t> deadline_exceeded_{0};
   std::atomic<int64_t> snapshot_swaps_{0};
+  std::atomic<int64_t> requests_with_overrides_{0};
+  std::atomic<int64_t> requests_streaming_{0};
+  std::array<std::atomic<int64_t>, RequestOverrides::kNumKnobs>
+      override_uses_{};
 };
 
 }  // namespace ver
