@@ -1,0 +1,262 @@
+// Storage scan: typed columnar layout vs the seed Value-matrix layout.
+//
+// The seed data model stored every cell as an owning ver::Value inside
+// vector<vector<Value>> columns. This bench rebuilds that exact layout
+// next to the columnar Table for a string-heavy generated repository (the
+// ChEMBL-like corpus: hundreds-of-rows tables repeating shared string
+// domains next to numeric id/measurement columns) and measures both:
+//
+//   memory    resident bytes per cell (capacities + string heap for the
+//             seed layout; ColumnData::ApproxBytes for the columnar one)
+//   row hash  AllRowHashes-style full scans (join/dedup/distill hot path)
+//   distinct  per-column distinct-hash collection (profiling hot path)
+//
+// Row-hash streams from the two layouts are cross-checked — a mismatch is
+// a correctness bug and exits nonzero. Results land in BENCH_storage.json
+// (VER_BENCH_JSON overrides). The memory reduction is the tracked
+// acceptance number: a WARNING prints when columnar fails to halve the
+// seed layout's bytes-per-cell, and CI greps for it.
+
+#include <thread>
+#include <unordered_set>
+
+#include "bench_common.h"
+#include "table/column_stats.h"
+#include "util/hash.h"
+
+namespace ver {
+namespace bench {
+namespace {
+
+constexpr int kRepetitions = 5;
+
+// The seed cell layout, reconstructed: column-major owned Values.
+struct SeedTable {
+  std::vector<std::vector<Value>> columns;
+};
+
+// Heap bytes behind one seed cell beyond sizeof(Value): the std::string
+// buffer for strings too long for the small-string optimization.
+size_t SeedCellHeapBytes(const Value& v) {
+  if (v.type() != ValueType::kString) return 0;
+  const std::string& s = v.AsString();
+  constexpr size_t kSsoCapacity = 15;  // libstdc++/libc++ inline buffer
+  return s.capacity() > kSsoCapacity ? s.capacity() + 1 : 0;
+}
+
+struct Measurement {
+  int num_tables = 0;
+  int64_t num_columns = 0;
+  int64_t num_cells = 0;
+  double columnar_bytes_per_cell = 0;
+  double seed_bytes_per_cell = 0;
+  double rowhash_columnar_s = 0;
+  double rowhash_seed_s = 0;
+  double distinct_columnar_s = 0;
+  double distinct_seed_s = 0;
+
+  double memory_reduction() const {
+    return columnar_bytes_per_cell == 0
+               ? 0
+               : seed_bytes_per_cell / columnar_bytes_per_cell;
+  }
+  double mcells_per_s(double seconds) const {
+    return seconds == 0 ? 0
+                        : static_cast<double>(num_cells) / seconds / 1e6;
+  }
+};
+
+void WriteJson(const Measurement& m) {
+  const char* env = std::getenv("VER_BENCH_JSON");
+  std::string path = env != nullptr ? env : "BENCH_storage.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"storage_scan_columnar_vs_seed\",\n");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"scale\": %d,\n", BenchScale());
+  std::fprintf(f, "  \"tables\": %d,\n", m.num_tables);
+  std::fprintf(f, "  \"columns\": %lld,\n",
+               static_cast<long long>(m.num_columns));
+  std::fprintf(f, "  \"cells\": %lld,\n", static_cast<long long>(m.num_cells));
+  std::fprintf(f, "  \"bytes_per_cell_columnar\": %.2f,\n",
+               m.columnar_bytes_per_cell);
+  std::fprintf(f, "  \"bytes_per_cell_seed\": %.2f,\n", m.seed_bytes_per_cell);
+  std::fprintf(f, "  \"memory_reduction_x\": %.2f,\n", m.memory_reduction());
+  std::fprintf(f, "  \"rowhash_mcells_per_s_columnar\": %.2f,\n",
+               m.mcells_per_s(m.rowhash_columnar_s));
+  std::fprintf(f, "  \"rowhash_mcells_per_s_seed\": %.2f,\n",
+               m.mcells_per_s(m.rowhash_seed_s));
+  std::fprintf(f, "  \"rowhash_speedup_x\": %.2f,\n",
+               m.rowhash_columnar_s == 0
+                   ? 0
+                   : m.rowhash_seed_s / m.rowhash_columnar_s);
+  std::fprintf(f, "  \"distinct_mcells_per_s_columnar\": %.2f,\n",
+               m.mcells_per_s(m.distinct_columnar_s));
+  std::fprintf(f, "  \"distinct_mcells_per_s_seed\": %.2f,\n",
+               m.mcells_per_s(m.distinct_seed_s));
+  std::fprintf(f, "  \"distinct_speedup_x\": %.2f\n",
+               m.distinct_columnar_s == 0
+                   ? 0
+                   : m.distinct_seed_s / m.distinct_columnar_s);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+void Run() {
+  PrintHeader("Storage scan: columnar vs seed Value-matrix layout",
+              "the storage engine behind every figure");
+  // The ChEMBL-like corpus: the string-heavy shape the dictionary targets —
+  // hundreds-of-rows tables whose string columns repeat shared domains
+  // (organisms, assay types, cell descriptions) next to numeric id/measure
+  // columns. (The WDC-like corpus is deliberately NOT used for the memory
+  // number: its tables are 8-40 rows, so per-column struct overhead — not
+  // cell storage — dominates both layouts.)
+  ChemblSpec spec = BenchChemblSpec();
+  spec.num_compounds *= 4;
+  spec.num_assays *= 4;
+  spec.num_activities *= 4;
+  GeneratedDataset dataset = GenerateChemblLike(spec);
+  const TableRepository& repo = dataset.repo;
+
+  Measurement m;
+  m.num_tables = repo.num_tables();
+  m.num_columns = repo.TotalColumns();
+
+  // Rebuild the seed layout next to the columnar one.
+  std::vector<SeedTable> seed(static_cast<size_t>(repo.num_tables()));
+  size_t columnar_bytes = 0, seed_bytes = 0;
+  for (int32_t t = 0; t < repo.num_tables(); ++t) {
+    const Table& table = repo.table(t);
+    columnar_bytes += table.ApproxBytes();
+    SeedTable& st = seed[t];
+    st.columns.resize(static_cast<size_t>(table.num_columns()));
+    for (int c = 0; c < table.num_columns(); ++c) {
+      std::vector<Value>& col = st.columns[c];
+      col.reserve(static_cast<size_t>(table.num_rows()));
+      for (int64_t r = 0; r < table.num_rows(); ++r) {
+        col.push_back(table.at(r, c));
+      }
+      seed_bytes += col.capacity() * sizeof(Value);
+      for (const Value& v : col) seed_bytes += SeedCellHeapBytes(v);
+      m.num_cells += table.num_rows();
+    }
+  }
+  m.columnar_bytes_per_cell =
+      static_cast<double>(columnar_bytes) / static_cast<double>(m.num_cells);
+  m.seed_bytes_per_cell =
+      static_cast<double>(seed_bytes) / static_cast<double>(m.num_cells);
+
+  // Row-hash scans. The two layouts must produce the same hash stream.
+  uint64_t columnar_check = 0, seed_check = 0;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    columnar_check = 0;
+    WallTimer timer;
+    for (int32_t t = 0; t < repo.num_tables(); ++t) {
+      for (uint64_t h : repo.table(t).AllRowHashes()) {
+        columnar_check = HashCombine(columnar_check, h);
+      }
+    }
+    double s = timer.ElapsedSeconds();
+    if (rep == 0 || s < m.rowhash_columnar_s) m.rowhash_columnar_s = s;
+  }
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    seed_check = 0;
+    WallTimer timer;
+    for (const SeedTable& st : seed) {
+      if (st.columns.empty()) continue;
+      int64_t rows = static_cast<int64_t>(st.columns[0].size());
+      for (int64_t r = 0; r < rows; ++r) {
+        uint64_t h = 0x726f7768617368ULL;
+        for (const std::vector<Value>& col : st.columns) {
+          h = HashCombine(h, col[r].Hash());
+        }
+        seed_check = HashCombine(seed_check, h);
+      }
+    }
+    double s = timer.ElapsedSeconds();
+    if (rep == 0 || s < m.rowhash_seed_s) m.rowhash_seed_s = s;
+  }
+  if (columnar_check != seed_check) {
+    std::fprintf(stderr,
+                 "EQUIVALENCE VIOLATION: columnar row-hash stream differs "
+                 "from the seed layout\n");
+    std::exit(1);
+  }
+
+  // Distinct-hash collection (the profiling scan).
+  int64_t columnar_distinct = 0, seed_distinct = 0;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    columnar_distinct = 0;
+    WallTimer timer;
+    for (int32_t t = 0; t < repo.num_tables(); ++t) {
+      const Table& table = repo.table(t);
+      for (int c = 0; c < table.num_columns(); ++c) {
+        columnar_distinct +=
+            static_cast<int64_t>(DistinctValueHashes(table, c).size());
+      }
+    }
+    double s = timer.ElapsedSeconds();
+    if (rep == 0 || s < m.distinct_columnar_s) m.distinct_columnar_s = s;
+  }
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    seed_distinct = 0;
+    WallTimer timer;
+    for (const SeedTable& st : seed) {
+      for (const std::vector<Value>& col : st.columns) {
+        std::unordered_set<uint64_t> distinct;
+        distinct.reserve(col.size());
+        for (const Value& v : col) {
+          if (!v.is_null()) distinct.insert(v.Hash());
+        }
+        seed_distinct += static_cast<int64_t>(distinct.size());
+      }
+    }
+    double s = timer.ElapsedSeconds();
+    if (rep == 0 || s < m.distinct_seed_s) m.distinct_seed_s = s;
+  }
+  if (columnar_distinct != seed_distinct) {
+    std::fprintf(stderr,
+                 "EQUIVALENCE VIOLATION: columnar distinct counts differ "
+                 "from the seed layout\n");
+    std::exit(1);
+  }
+
+  TextTable table({"Metric", "Seed layout", "Columnar", "Ratio"});
+  char buf[64];
+  auto fmt = [&buf](double v) {
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+    return std::string(buf);
+  };
+  table.AddRow({"bytes / cell", fmt(m.seed_bytes_per_cell),
+                fmt(m.columnar_bytes_per_cell),
+                fmt(m.memory_reduction()) + "x smaller"});
+  table.AddRow({"row hash (Mcells/s)", fmt(m.mcells_per_s(m.rowhash_seed_s)),
+                fmt(m.mcells_per_s(m.rowhash_columnar_s)),
+                fmt(m.rowhash_seed_s / m.rowhash_columnar_s) + "x faster"});
+  table.AddRow({"distinct (Mcells/s)",
+                fmt(m.mcells_per_s(m.distinct_seed_s)),
+                fmt(m.mcells_per_s(m.distinct_columnar_s)),
+                fmt(m.distinct_seed_s / m.distinct_columnar_s) + "x faster"});
+  table.Print();
+  std::printf("%d tables, %lld columns, %lld cells\n", m.num_tables,
+              static_cast<long long>(m.num_columns),
+              static_cast<long long>(m.num_cells));
+
+  if (m.memory_reduction() < 2.0) {
+    std::printf("WARNING: columnar layout is only %.2fx smaller than the "
+                "seed layout (acceptance bar: >= 2x)\n",
+                m.memory_reduction());
+  }
+  WriteJson(m);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ver
+
+int main() { ver::bench::Run(); }

@@ -19,8 +19,8 @@ int64_t ApproximateBytes(const TableRepository& repo) {
   for (int32_t t = 0; t < repo.num_tables(); ++t) {
     const Table& table = repo.table(t);
     for (int c = 0; c < table.num_columns(); ++c) {
-      for (const Value& v : table.column(c)) {
-        bytes += static_cast<int64_t>(v.ToText().size()) + 1;
+      for (int64_t r = 0; r < table.num_rows(); ++r) {
+        bytes += static_cast<int64_t>(table.cell(r, c).ToText().size()) + 1;
       }
     }
   }

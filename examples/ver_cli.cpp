@@ -6,17 +6,20 @@
 //       Profiles and indexes the repository offline, then persists the
 //       discovery snapshot to PATH (versioned binary format, atomic write).
 //
-//   ver_cli query --index-path=PATH <csv-dir> <examples-A> [<examples-B> ...]
+//   ver_cli query --index-path=PATH [<csv-dir>] <examples-A> [<examples-B> ...]
 //       Loads the snapshot (no rebuild) and runs one QBE query, where each
 //       <examples-X> is a comma-separated list of example values for one
-//       output attribute, e.g.  "Boston,Chicago" "Wu,Johnson".
+//       output attribute, e.g.  "Boston,Chicago" "Wu,Johnson". When
+//       <csv-dir> is omitted the repository itself loads from the
+//       snapshot's columnar table sections — zero CSV parsing.
 //       Per-request knobs ride along as flags: --theta=N --rho=N --k=N
 //       --no-distill --stop-after=N --deadline=SECONDS. With --stop-after
 //       the pipeline streams each surviving view as it is classified and
 //       stops once N views survive.
 //
-//   ver_cli serve --index-path=PATH <csv-dir>
-//       Loads the snapshot and serves queries from stdin, one per line:
+//   ver_cli serve --index-path=PATH [<csv-dir>]
+//       Loads the snapshot (tables from <csv-dir>, or from the snapshot
+//       itself when omitted) and serves queries from stdin, one per line:
 //         a1,a2|b1,b2          run a QBE query (| separates attributes)
 //         opts k=v ...         sticky per-request knobs for later queries:
 //                              theta= rho= k= stop= deadline= nodistill
@@ -203,6 +206,28 @@ bool LoadRepo(const std::string& dir, TableRepository* repo) {
   return true;
 }
 
+// With a CSV directory: parse it. Without one: reconstruct the repository
+// from the snapshot's columnar table sections (format v2) — the zero-CSV
+// cold-start path.
+bool LoadRepoFromDirOrSnapshot(const std::string& dir,
+                               const std::string& index_path,
+                               TableRepository* repo) {
+  if (!dir.empty()) return LoadRepo(dir, repo);
+  WallTimer timer;
+  Result<TableRepository> loaded = DiscoveryEngine::LoadRepository(index_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return false;
+  }
+  *repo = std::move(loaded).value();
+  std::fprintf(stderr,
+               "loaded %d tables (%lld rows) from snapshot %s in %.3fs "
+               "(no CSV parsing)\n",
+               repo->num_tables(), static_cast<long long>(repo->TotalRows()),
+               index_path.c_str(), timer.ElapsedSeconds());
+  return true;
+}
+
 ExampleQuery QueryFromColumnArgs(const std::vector<std::string>& column_args) {
   std::vector<std::vector<std::string>> columns;
   for (const std::string& arg : column_args) {
@@ -290,7 +315,7 @@ int RunQueryOverDirectory(const std::string& dir, const ExampleQuery& query,
                           int parallelism, const std::string& index_path,
                           const RequestFlags& flags) {
   TableRepository repo;
-  if (!LoadRepo(dir, &repo)) return 1;
+  if (!LoadRepoFromDirOrSnapshot(dir, index_path, &repo)) return 1;
 
   std::unique_ptr<Ver> system = MakeSystem(repo, index_path, parallelism);
   if (system == nullptr) return 1;
@@ -324,7 +349,7 @@ int ServeFromSnapshot(const std::string& dir, const std::string& index_path,
     return 2;
   }
   TableRepository repo;
-  if (!LoadRepo(dir, &repo)) return 1;
+  if (!LoadRepoFromDirOrSnapshot(dir, index_path, &repo)) return 1;
 
   Result<std::unique_ptr<DiscoveryEngine>> engine =
       DiscoveryEngine::Load(repo, index_path);
@@ -340,7 +365,8 @@ int ServeFromSnapshot(const std::string& dir, const std::string& index_path,
                "a1,a2|b1,b2 — 'opts k=v ...' sets per-request knobs, "
                "'stats' prints counters, 'swap <path>' hot-swaps, "
                "'quit' exits\n",
-               dir.c_str(), index_path.c_str());
+               dir.empty() ? "snapshot-embedded tables" : dir.c_str(),
+               index_path.c_str());
 
   // Command-line knobs seed the session; `opts` adjusts them live.
   RequestFlags session_flags = initial_flags;
@@ -556,25 +582,46 @@ int main(int argc, char** argv) {
       return BuildIndex(args[1], index_path, parallelism);
     }
     if (cmd == "query") {
-      if (args.size() < 3 || index_path.empty()) {
+      // The csv-dir is optional when the (v2) snapshot embeds the tables:
+      // an argument that is not a directory is treated as the first
+      // example column and the repository loads from the snapshot.
+      bool has_dir = args.size() >= 2 &&
+                     std::filesystem::is_directory(args[1]);
+      // Guard against a typo'd directory silently becoming an example
+      // value: example lists never contain a path separator.
+      if (!has_dir && args.size() >= 2 &&
+          args[1].find('/') != std::string::npos) {
+        std::fprintf(stderr, "error: '%s' is not a directory\n",
+                     args[1].c_str());
+        return 2;
+      }
+      size_t first_example = has_dir ? 2 : 1;
+      if (args.size() <= first_example || index_path.empty()) {
         std::fprintf(stderr, "usage: ver_cli query --index-path=PATH "
                              "[--theta=N] [--rho=N] [--k=N] [--no-distill] "
                              "[--stop-after=N] [--deadline=S] "
-                             "<csv-dir> <examples-A> [<examples-B> ...]\n");
+                             "[<csv-dir>] <examples-A> [<examples-B> ...]\n"
+                             "(omit <csv-dir> to load tables from the "
+                             "snapshot itself)\n");
         return 2;
       }
       return RunQueryOverDirectory(
-          args[1],
-          QueryFromColumnArgs({args.begin() + 2, args.end()}),
+          has_dir ? args[1] : std::string(),
+          QueryFromColumnArgs(
+              {args.begin() + static_cast<ptrdiff_t>(first_example),
+               args.end()}),
           parallelism, index_path, request_flags);
     }
     if (cmd == "serve") {
-      if (args.size() != 2) {
+      if (args.size() > 2) {
         std::fprintf(stderr, "usage: ver_cli serve --index-path=PATH "
-                             "[request options] <csv-dir>\n");
+                             "[request options] [<csv-dir>]\n"
+                             "(omit <csv-dir> to load tables from the "
+                             "snapshot itself)\n");
         return 2;
       }
-      return ServeFromSnapshot(args[1], index_path, request_flags);
+      return ServeFromSnapshot(args.size() == 2 ? args[1] : std::string(),
+                               index_path, request_flags);
     }
     if (cmd == "demo-data") {
       if (args.size() != 2) {

@@ -8,13 +8,14 @@
 namespace ver {
 
 int ViewOverlap(const View& view, const ExampleQuery& query) {
-  // Collect the view's cell texts once.
+  // Collect the view's cell texts once. Dictionary columns contribute each
+  // distinct cell exactly once without a row scan; other encodings walk
+  // rows through zero-copy views (the set dedups).
   std::unordered_set<std::string> cell_texts;
   const Table& t = view.table;
   for (int c = 0; c < t.num_columns(); ++c) {
-    for (const Value& v : t.column(c)) {
-      if (!v.is_null()) cell_texts.insert(ToLower(v.ToText()));
-    }
+    t.column_data(c).ForEachDistinctCell(
+        [&](CellView v) { cell_texts.insert(ToLower(v.ToText())); });
   }
   int overlap = 0;
   for (const auto& column : query.columns) {

@@ -52,7 +52,7 @@ struct ViewData {
 uint64_t CanonicalRowHash(const Table& t, int64_t row,
                           const std::vector<int>& canonical_cols) {
   uint64_t h = 0x726f7768617368ULL;
-  for (int c : canonical_cols) h = HashCombine(h, t.at(row, c).Hash());
+  for (int c : canonical_cols) h = HashCombine(h, t.cell_hash(row, c));
   return h;
 }
 
@@ -121,13 +121,11 @@ std::vector<std::vector<std::string>> FindCandidateKeys(
       std::unordered_set<uint64_t> combos;
       bool has_null = false;
       for (int64_t r = 0; r < t.num_rows(); ++r) {
-        const Value& va = t.at(r, a);
-        const Value& vb = t.at(r, b);
-        if (va.is_null() || vb.is_null()) {
+        if (t.cell(r, a).is_null() || t.cell(r, b).is_null()) {
           has_null = true;
           break;
         }
-        combos.insert(HashCombine(va.Hash(), vb.Hash()));
+        combos.insert(HashCombine(t.cell_hash(r, a), t.cell_hash(r, b)));
       }
       if (has_null || t.num_rows() == 0) continue;
       double uniq = static_cast<double>(combos.size()) /
@@ -316,9 +314,9 @@ DistillationResult DistillViews(const std::vector<View>& views,
             uint64_t kh = 0x6b657968ULL;
             std::string text;
             for (int c : key_cols) {
-              kh = HashCombine(kh, t.at(r, c).Hash());
+              kh = HashCombine(kh, t.cell_hash(r, c));
               if (!text.empty()) text += "|";
-              text += t.at(r, c).ToText();
+              text += t.cell(r, c).ToText();
             }
             index[kh].push_back(
                 Entry{v, CanonicalRowHash(t, r, data[v].canonical_cols)});

@@ -260,7 +260,7 @@ bool PresentationSession::BestQuestion(QuestionInterface interface_kind,
         int64_t sample = std::min<int64_t>(t.num_rows(), 5);
         for (int64_t r = 0; r < sample; ++r) {
           for (int c = 0; c < t.num_columns(); ++c) {
-            for (std::string& tok : Tokenize(t.at(r, c).ToText())) {
+            for (std::string& tok : Tokenize(t.cell(r, c).ToText())) {
               token_freq[tok] += 1;
             }
           }

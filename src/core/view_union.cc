@@ -55,16 +55,19 @@ Table MergeGroup(const std::vector<View>& views,
       mapping[c] = t.schema().IndexOf(first.schema().attribute(c).name);
     }
     for (int64_t r = 0; r < t.num_rows(); ++r) {
-      std::vector<Value> row;
-      row.reserve(mapping.size());
+      // Hash first through the typed columns (cached dictionary hashes);
+      // only rows that survive dedup materialize cell views.
       uint64_t h = 0x756e696f6eULL;
       for (int c : mapping) {
-        Value value = c >= 0 ? t.at(r, c) : Value::Null();
-        h = HashCombine(h, value.Hash());
-        row.push_back(std::move(value));
+        h = HashCombine(h, c >= 0 ? t.cell_hash(r, c) : kNullValueHash);
       }
       if (seen.insert(h).second) {
-        (void)out.AppendRow(std::move(row));
+        std::vector<CellView> row;
+        row.reserve(mapping.size());
+        for (int c : mapping) {
+          row.push_back(c >= 0 ? t.cell(r, c) : CellView::Null());
+        }
+        (void)out.AppendCells(row);
       }
     }
   }

@@ -62,6 +62,12 @@ constexpr uint32_t kSectionProfiles = 3;
 constexpr uint32_t kSectionKeywordIndex = 4;
 constexpr uint32_t kSectionSimilarityIndex = 5;
 constexpr uint32_t kSectionJoinPathIndex = 6;
+// v2: the repository's tables in columnar form (per column: null bitmap,
+// typed payload or dictionary + codes + arena — see ColumnData::SaveTo).
+// Absent from v1 files; Load() never needs it (the caller supplies the
+// repository), LoadRepository() reconstructs a repository from it so a
+// server can cold-start without re-parsing CSVs.
+constexpr uint32_t kSectionRepoTables = 7;
 
 void SaveOptions(const DiscoveryOptions& o, SerdeWriter* w) {
   w->WriteI32(o.profiler.minhash_permutations);
@@ -191,7 +197,55 @@ Status DiscoveryEngine::Save(const std::string& path) const {
     join_paths_.SaveTo(&w);
     sections.push_back({kSectionJoinPathIndex, w.TakeBuffer()});
   }
+  {
+    SerdeWriter w;
+    w.WriteI32(repo_->num_tables());
+    for (int32_t t = 0; t < repo_->num_tables(); ++t) {
+      repo_->table(t).SaveTo(&w);
+    }
+    sections.push_back({kSectionRepoTables, w.TakeBuffer()});
+  }
   return WriteSnapshotFile(path, sections);
+}
+
+Result<TableRepository> DiscoveryEngine::LoadRepository(
+    const std::string& path) {
+  std::vector<SnapshotSection> sections;
+  uint32_t version = 0;
+  VER_RETURN_IF_ERROR(ReadSnapshotFile(path, &sections, &version));
+  const SnapshotSection* tables = nullptr;
+  for (const SnapshotSection& s : sections) {
+    if (s.id == kSectionRepoTables) {
+      if (tables != nullptr) {
+        return Status::IOError("snapshot " + path +
+                               " has duplicate repo-tables sections");
+      }
+      tables = &s;
+    }
+  }
+  if (tables == nullptr) {
+    return Status::NotFound(
+        "snapshot " + path + " (format version " + std::to_string(version) +
+        ") carries no table data; re-run build-index to write a version " +
+        std::to_string(kSnapshotFormatVersion) +
+        " snapshot, or load the repository from its CSV directory");
+  }
+  SerdeReader r(tables->payload, "repo tables section of " + path);
+  int32_t num_tables;
+  VER_RETURN_IF_ERROR(r.ReadI32(&num_tables));
+  if (num_tables < 0) {
+    return Status::IOError("snapshot " + path +
+                           " declares a negative table count");
+  }
+  TableRepository repo;
+  for (int32_t t = 0; t < num_tables; ++t) {
+    Table table;
+    VER_RETURN_IF_ERROR(table.LoadFrom(&r));
+    VER_ASSIGN_OR_RETURN(int32_t id, repo.AddTable(std::move(table)));
+    (void)id;
+  }
+  VER_RETURN_IF_ERROR(r.ExpectEnd());
+  return repo;
 }
 
 Result<std::unique_ptr<DiscoveryEngine>> DiscoveryEngine::Load(

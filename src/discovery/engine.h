@@ -82,6 +82,15 @@ class DiscoveryEngine {
   static Result<std::unique_ptr<DiscoveryEngine>> Load(
       const TableRepository& repo, const std::string& path);
 
+  /// Reconstructs the repository a snapshot was built over from the
+  /// snapshot's columnar table sections (format version >= 2): every
+  /// column's dictionary, codes and null bitmap memcpy-load, so a server
+  /// cold-starts without re-parsing a single CSV. The result passes the
+  /// snapshot's own fingerprint check, i.e. Load(LoadRepository(path),
+  /// path) answers queries bit-identically to the engine that was saved.
+  /// v1 snapshots (no table data) return NotFound with guidance.
+  static Result<TableRepository> LoadRepository(const std::string& path);
+
   const TableRepository& repo() const { return *repo_; }
   const DiscoveryOptions& options() const { return options_; }
 

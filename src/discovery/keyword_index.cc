@@ -113,8 +113,27 @@ void KeywordIndex::IndexTable(const TableRepository& repo, int32_t t) {
     if (attr.has_name()) {
       attr_postings_[ToLower(attr.name)].push_back(ref);
     }
+    const ColumnData& data = table.column_data(c);
     std::unordered_set<std::string> seen;  // dedupe cell texts per column
-    for (const Value& v : table.column(c)) {
+    if (data.is_dict()) {
+      // Dictionary columns dedupe on codes first: each distinct cell is
+      // lowercased and text-deduped once, in first-occurrence row order
+      // (same postings as the per-row loop, minus the re-hashing).
+      std::vector<bool> code_seen(data.dict_size(), false);
+      for (int64_t r = 0; r < table.num_rows(); ++r) {
+        if (data.is_null(r)) continue;
+        uint32_t code = data.code(r);
+        if (code_seen[code]) continue;
+        code_seen[code] = true;
+        std::string text = ToLower(data.dict_entry(code).ToText());
+        if (seen.insert(text).second) {
+          value_postings_[text].push_back(ref);
+        }
+      }
+      continue;
+    }
+    for (int64_t r = 0; r < table.num_rows(); ++r) {
+      CellView v = data.cell(r);
       if (v.is_null()) continue;
       std::string text = ToLower(v.ToText());
       if (seen.insert(text).second) {

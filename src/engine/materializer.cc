@@ -92,12 +92,14 @@ Result<Table> Materializer::Materialize(
 
     if (left_idx >= 0 && right_idx >= 0) {
       // Both sides bound: filter tuples where the key values agree.
-      const Table& lt = repo_->table(edge.left.table_id);
-      const Table& rt = repo_->table(edge.right.table_id);
+      const ColumnData& lc =
+          repo_->table(edge.left.table_id).column_data(edge.left.column_index);
+      const ColumnData& rc = repo_->table(edge.right.table_id)
+                                 .column_data(edge.right.column_index);
       std::vector<std::vector<int64_t>> kept;
       for (auto& tuple : state.tuples) {
-        const Value& lv = lt.at(tuple[left_idx], edge.left.column_index);
-        const Value& rv = rt.at(tuple[right_idx], edge.right.column_index);
+        CellView lv = lc.cell(tuple[left_idx]);
+        CellView rv = rc.cell(tuple[right_idx]);
         if (!lv.is_null() && lv == rv) kept.push_back(std::move(tuple));
       }
       state.tuples = std::move(kept);
@@ -110,24 +112,28 @@ Result<Table> Materializer::Materialize(
     int bound_idx = left_idx >= 0 ? left_idx : right_idx;
 
     const Table& new_table = repo_->table(new_col.table_id);
+    const ColumnData& new_data = new_table.column_data(new_col.column_index);
     std::unordered_map<uint64_t, std::vector<int64_t>> build;
     build.reserve(static_cast<size_t>(new_table.num_rows()));
     for (int64_t r = 0; r < new_table.num_rows(); ++r) {
-      const Value& v = new_table.at(r, new_col.column_index);
-      if (v.is_null()) continue;  // null keys never join
-      build[v.Hash()].push_back(r);
+      if (new_data.is_null(r)) continue;  // null keys never join
+      // Dictionary columns answer CellHash from cached entry hashes, so
+      // the build side never re-hashes string bytes.
+      build[new_data.CellHash(r)].push_back(r);
     }
 
-    const Table& bound_table = repo_->table(bound_col.table_id);
+    const ColumnData& bound_data =
+        repo_->table(bound_col.table_id).column_data(bound_col.column_index);
     std::vector<std::vector<int64_t>> next;
     for (const auto& tuple : state.tuples) {
-      const Value& v = bound_table.at(tuple[bound_idx], bound_col.column_index);
-      if (v.is_null()) continue;
-      auto it = build.find(v.Hash());
+      int64_t bound_row = tuple[bound_idx];
+      if (bound_data.is_null(bound_row)) continue;
+      auto it = build.find(bound_data.CellHash(bound_row));
       if (it == build.end()) continue;
+      CellView v = bound_data.cell(bound_row);
       for (int64_t r : it->second) {
         // Hash equality is not value equality; verify to be exact.
-        if (!(new_table.at(r, new_col.column_index) == v)) continue;
+        if (!(new_data.cell(r) == v)) continue;
         std::vector<int64_t> extended = tuple;
         extended.push_back(r);
         next.push_back(std::move(extended));
@@ -143,31 +149,55 @@ Result<Table> Materializer::Materialize(
     state.tuples = std::move(next);
   }
 
-  // Project with optional distinct.
+  // Project with optional distinct. Resolve each projected column to its
+  // tuple slot and typed storage once, outside the row loop.
   Schema schema;
   for (const ColumnRef& p : projection) {
     schema.AddAttribute(repo_->attribute(p));
   }
-  Table out(std::move(view_name), std::move(schema));
-  std::unordered_set<uint64_t> seen;
-  for (const auto& tuple : state.tuples) {
-    std::vector<Value> row;
-    row.reserve(projection.size());
-    for (const ColumnRef& p : projection) {
-      int idx = state.IndexOfTable(p.table_id);
-      if (idx < 0) {
-        return Status::InvalidArgument("projection column " + p.ToString() +
-                                       " not covered by join graph");
-      }
-      row.push_back(repo_->table(p.table_id).at(tuple[idx], p.column_index));
+  std::vector<int> slots;
+  std::vector<const ColumnData*> cols;
+  slots.reserve(projection.size());
+  cols.reserve(projection.size());
+  for (const ColumnRef& p : projection) {
+    int idx = state.IndexOfTable(p.table_id);
+    if (idx < 0) {
+      return Status::InvalidArgument("projection column " + p.ToString() +
+                                     " not covered by join graph");
     }
+    slots.push_back(idx);
+    cols.push_back(&repo_->table(p.table_id).column_data(p.column_index));
+  }
+  Table out(std::move(view_name), std::move(schema));
+  // Distinct hashes the projected cells first (cached dictionary hashes,
+  // no Value materialization) and only confirms collisions cell-by-cell
+  // through the shared RowDeduper — duplicate tuples are skipped without
+  // ever building a row.
+  RowDeduper deduper;
+  auto tuple_cell = [&](int64_t tuple_index, int p) {
+    return cols[p]->cell(state.tuples[tuple_index][slots[p]]);
+  };
+  std::vector<CellView> row;
+  row.reserve(projection.size());
+  for (size_t ti = 0; ti < state.tuples.size(); ++ti) {
+    const std::vector<int64_t>& tuple = state.tuples[ti];
     if (options.distinct) {
       uint64_t h = 0x726f7768617368ULL;
-      for (const Value& v : row) h = HashCombine(h, v.Hash());
-      if (!seen.insert(h).second) continue;
+      for (size_t p = 0; p < projection.size(); ++p) {
+        h = HashCombine(h, cols[p]->CellHash(tuple[slots[p]]));
+      }
+      if (!deduper.Insert(h, static_cast<int64_t>(ti),
+                          static_cast<int>(projection.size()), tuple_cell)) {
+        continue;
+      }
     }
-    VER_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
+    row.clear();
+    for (size_t p = 0; p < projection.size(); ++p) {
+      row.push_back(cols[p]->cell(tuple[slots[p]]));
+    }
+    VER_RETURN_IF_ERROR(out.AppendCells(row));
   }
+  out.DropInternMaps();
   return out;
 }
 

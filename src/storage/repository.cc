@@ -22,8 +22,19 @@ Result<int32_t> TableRepository::AddTable(Table table) {
     return Status::AlreadyExists("table '" + table.name() +
                                  "' already in repository");
   }
+  table.Seal();
   tables_.push_back(std::move(table));
   return it->second;
+}
+
+std::vector<Value> TableRepository::column_values(const ColumnRef& ref) const {
+  const Table& t = tables_[ref.table_id];
+  std::vector<Value> out;
+  out.reserve(static_cast<size_t>(t.num_rows()));
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    out.push_back(t.at(r, ref.column_index));
+  }
+  return out;
 }
 
 Result<int32_t> TableRepository::FindTable(const std::string& name) const {

@@ -48,6 +48,8 @@ struct ColumnRefHash {
 class TableRepository {
  public:
   /// Adds a table; fails on duplicate table name. Returns the new table id.
+  /// The table is sealed on the way in (sorted column dictionaries, ingest
+  /// maps dropped) — every repository table is in serving layout.
   Result<int32_t> AddTable(Table table);
 
   int32_t num_tables() const { return static_cast<int32_t>(tables_.size()); }
@@ -64,9 +66,13 @@ class TableRepository {
   const Attribute& attribute(const ColumnRef& ref) const {
     return tables_[ref.table_id].schema().attribute(ref.column_index);
   }
-  const std::vector<Value>& column_values(const ColumnRef& ref) const {
-    return tables_[ref.table_id].column(ref.column_index);
+  /// Typed storage of a column (the zero-copy read path).
+  const ColumnData& column_data(const ColumnRef& ref) const {
+    return tables_[ref.table_id].column_data(ref.column_index);
   }
+  /// Legacy boundary accessor: materializes every cell as an owning Value.
+  /// O(rows) copies — hot paths should use column_data() instead.
+  std::vector<Value> column_values(const ColumnRef& ref) const;
 
   /// All column refs across all tables.
   std::vector<ColumnRef> AllColumns() const;

@@ -1,0 +1,673 @@
+#include "table/column_data.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace ver {
+
+namespace {
+
+inline uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+inline double BitsToDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+const char* ColumnEncodingToString(ColumnEncoding e) {
+  switch (e) {
+    case ColumnEncoding::kInt64:
+      return "int64";
+    case ColumnEncoding::kDouble:
+      return "double";
+    case ColumnEncoding::kNumeric:
+      return "numeric";
+    case ColumnEncoding::kDict:
+      return "dict";
+  }
+  return "unknown";
+}
+
+// --------------------------------- CellView --------------------------------
+
+CellView CellView::Of(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return Null();
+    case ValueType::kInt:
+      return Int(v.AsInt());
+    case ValueType::kDouble:
+      return Double(v.AsDouble());
+    case ValueType::kString:
+      return String(v.AsString());
+  }
+  return Null();
+}
+
+Value CellView::ToValue() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kInt:
+      return Value::Int(int_);
+    case ValueType::kDouble:
+      return Value::Double(double_);
+    case ValueType::kString:
+      return Value::String(std::string(AsStringView()));
+  }
+  return Value::Null();
+}
+
+std::string CellView::ToText() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kInt:
+      return std::to_string(int_);
+    case ValueType::kDouble:
+      return FormatDouble(double_, 9);
+    case ValueType::kString:
+      return std::string(AsStringView());
+  }
+  return "";
+}
+
+uint64_t CellView::Hash() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return kNullValueHash;
+    case ValueType::kInt:
+      return HashIntValue(int_);
+    case ValueType::kDouble:
+      return HashDoubleValue(double_);
+    case ValueType::kString:
+      return HashStringValue(AsStringView());
+  }
+  return 0;
+}
+
+int CellView::Compare(const CellView& other) const {
+  // Rank: null(0) < numeric(1) < string(2) — mirrors Value::Compare.
+  auto rank = [](ValueType t) {
+    switch (t) {
+      case ValueType::kNull:
+        return 0;
+      case ValueType::kInt:
+      case ValueType::kDouble:
+        return 1;
+      case ValueType::kString:
+        return 2;
+    }
+    return 3;
+  };
+  int ra = rank(type_), rb = rank(other.type_);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 0:
+      return 0;
+    case 1: {
+      if (type_ == ValueType::kInt && other.type_ == ValueType::kInt) {
+        if (int_ == other.int_) return 0;
+        return int_ < other.int_ ? -1 : 1;
+      }
+      double a = AsDouble(), b = other.AsDouble();
+      if (a == b) return 0;
+      return a < b ? -1 : 1;
+    }
+    default: {
+      std::string_view a = AsStringView(), b = other.AsStringView();
+      int c = a.compare(b);
+      return c < 0 ? -1 : (c == 0 ? 0 : 1);
+    }
+  }
+}
+
+// -------------------------------- ColumnData -------------------------------
+
+void ColumnData::AppendValidityBit(bool non_null) {
+  size_t word = static_cast<size_t>(num_rows_) >> 6;
+  if (valid_words_.size() <= word) valid_words_.push_back(0);
+  if (non_null) valid_words_[word] |= uint64_t{1} << (num_rows_ & 63);
+}
+
+void ColumnData::Reserve(int64_t rows) {
+  if (rows > reserved_rows_) reserved_rows_ = rows;
+  valid_words_.reserve(static_cast<size_t>(rows + 63) / 64);
+  switch (enc_) {
+    case ColumnEncoding::kInt64:
+      ints_.reserve(static_cast<size_t>(rows));
+      break;
+    case ColumnEncoding::kDouble:
+      doubles_.reserve(static_cast<size_t>(rows));
+      break;
+    case ColumnEncoding::kNumeric:
+      num_bits_.reserve(static_cast<size_t>(rows));
+      int_tag_words_.reserve(static_cast<size_t>(rows + 63) / 64);
+      break;
+    case ColumnEncoding::kDict:
+      codes_.reserve(static_cast<size_t>(rows));
+      break;
+  }
+}
+
+void ColumnData::Append(const CellView& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      // Placeholder payload keeps per-row arrays aligned with the bitmap.
+      switch (enc_) {
+        case ColumnEncoding::kInt64:
+          ints_.push_back(0);
+          break;
+        case ColumnEncoding::kDouble:
+          doubles_.push_back(0);
+          break;
+        case ColumnEncoding::kNumeric: {
+          size_t word = static_cast<size_t>(num_rows_) >> 6;
+          if (int_tag_words_.size() <= word) int_tag_words_.push_back(0);
+          num_bits_.push_back(0);
+          break;
+        }
+        case ColumnEncoding::kDict:
+          codes_.push_back(0);
+          break;
+      }
+      AppendValidityBit(false);
+      ++num_nulls_;
+      ++num_rows_;
+      return;
+    case ValueType::kInt:
+      if (enc_ == ColumnEncoding::kDouble) PromoteToNumeric();
+      switch (enc_) {
+        case ColumnEncoding::kInt64:
+          ints_.push_back(v.AsInt());
+          break;
+        case ColumnEncoding::kNumeric: {
+          size_t word = static_cast<size_t>(num_rows_) >> 6;
+          if (int_tag_words_.size() <= word) int_tag_words_.push_back(0);
+          int_tag_words_[word] |= uint64_t{1} << (num_rows_ & 63);
+          num_bits_.push_back(static_cast<uint64_t>(v.AsInt()));
+          break;
+        }
+        case ColumnEncoding::kDict:
+          codes_.push_back(Intern(v));
+          break;
+        case ColumnEncoding::kDouble:
+          break;  // unreachable: promoted above
+      }
+      ++num_ints_;
+      break;
+    case ValueType::kDouble:
+      if (enc_ == ColumnEncoding::kInt64) {
+        // A column that only held nulls so far can simply become a double
+        // column; one that already holds ints needs the exact mixed layout.
+        if (num_ints_ == 0) {
+          BecomeDouble();
+        } else {
+          PromoteToNumeric();
+        }
+      }
+      switch (enc_) {
+        case ColumnEncoding::kDouble:
+          doubles_.push_back(v.AsDouble());
+          break;
+        case ColumnEncoding::kNumeric: {
+          size_t word = static_cast<size_t>(num_rows_) >> 6;
+          if (int_tag_words_.size() <= word) int_tag_words_.push_back(0);
+          num_bits_.push_back(DoubleBits(v.AsDouble()));
+          break;
+        }
+        case ColumnEncoding::kDict:
+          codes_.push_back(Intern(v));
+          break;
+        case ColumnEncoding::kInt64:
+          break;  // unreachable: converted above
+      }
+      ++num_doubles_;
+      break;
+    case ValueType::kString:
+      if (enc_ != ColumnEncoding::kDict) PromoteToDict();
+      codes_.push_back(Intern(v));
+      ++num_strings_;
+      break;
+  }
+  AppendValidityBit(true);
+  ++num_rows_;
+}
+
+void ColumnData::BecomeDouble() {
+  doubles_.reserve(
+      static_cast<size_t>(std::max(reserved_rows_, num_rows_)));
+  doubles_.assign(ints_.size(), 0.0);
+  std::vector<int64_t>().swap(ints_);
+  enc_ = ColumnEncoding::kDouble;
+}
+
+void ColumnData::PromoteToNumeric() {
+  num_bits_.reserve(static_cast<size_t>(std::max(reserved_rows_, num_rows_)));
+  if (enc_ == ColumnEncoding::kInt64) {
+    for (int64_t v : ints_) num_bits_.push_back(static_cast<uint64_t>(v));
+    // Every non-null cell so far is an int: the validity bitmap doubles as
+    // the initial int-tag bitmap.
+    int_tag_words_ = valid_words_;
+    std::vector<int64_t>().swap(ints_);
+  } else {
+    for (double v : doubles_) num_bits_.push_back(DoubleBits(v));
+    int_tag_words_.assign(valid_words_.size(), 0);
+    std::vector<double>().swap(doubles_);
+  }
+  enc_ = ColumnEncoding::kNumeric;
+}
+
+void ColumnData::PromoteToDict() {
+  std::vector<uint32_t> codes;
+  codes.reserve(static_cast<size_t>(std::max(reserved_rows_, num_rows_)));
+  codes.resize(static_cast<size_t>(num_rows_), 0);
+  for (int64_t r = 0; r < num_rows_; ++r) {
+    if (!is_null(r)) codes[r] = Intern(cell(r));
+  }
+  codes_ = std::move(codes);
+  std::vector<int64_t>().swap(ints_);
+  std::vector<double>().swap(doubles_);
+  std::vector<uint64_t>().swap(num_bits_);
+  std::vector<uint64_t>().swap(int_tag_words_);
+  enc_ = ColumnEncoding::kDict;
+}
+
+bool ColumnData::EntryEquals(uint32_t code, const CellView& v) const {
+  if (static_cast<ValueType>(entry_types_[code]) != v.type()) return false;
+  switch (v.type()) {
+    case ValueType::kInt:
+      return static_cast<int64_t>(entry_payload_[code]) == v.AsInt();
+    case ValueType::kDouble:
+      // Bit identity (not numeric equality) so cells render back exactly.
+      return entry_payload_[code] == DoubleBits(v.AsDouble());
+    case ValueType::kString: {
+      std::string_view s = v.AsStringView();
+      return entry_lens_[code] == s.size() &&
+             std::memcmp(arena_.data() + entry_payload_[code], s.data(),
+                         s.size()) == 0;
+    }
+    case ValueType::kNull:
+      return false;  // nulls live in the bitmap, never in the dictionary
+  }
+  return false;
+}
+
+uint32_t ColumnData::Intern(const CellView& v) {
+  // The intern map is absent after Seal() or DropInternMap(); rebuild it
+  // before deduping so existing entries are never duplicated.
+  if (sealed_ || (lookup_.empty() && !entry_types_.empty())) EnsureLookup();
+  uint64_t h = v.Hash();
+  std::vector<uint32_t>& bucket = lookup_[h];
+  for (uint32_t c : bucket) {
+    if (EntryEquals(c, v)) return c;
+  }
+  uint32_t code = static_cast<uint32_t>(entry_types_.size());
+  entry_types_.push_back(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kInt:
+      entry_payload_.push_back(static_cast<uint64_t>(v.AsInt()));
+      entry_lens_.push_back(0);
+      break;
+    case ValueType::kDouble:
+      entry_payload_.push_back(DoubleBits(v.AsDouble()));
+      entry_lens_.push_back(0);
+      break;
+    case ValueType::kString: {
+      std::string_view s = v.AsStringView();
+      entry_payload_.push_back(arena_.size());
+      entry_lens_.push_back(static_cast<uint32_t>(s.size()));
+      arena_.append(s.data(), s.size());
+      break;
+    }
+    case ValueType::kNull:
+      break;  // unreachable: callers never intern nulls
+  }
+  entry_hashes_.push_back(h);
+  bucket.push_back(code);
+  return code;
+}
+
+void ColumnData::EnsureLookup() {
+  lookup_.clear();
+  lookup_.reserve(entry_hashes_.size());
+  for (uint32_t c = 0; c < entry_hashes_.size(); ++c) {
+    lookup_[entry_hashes_[c]].push_back(c);
+  }
+  sealed_ = false;
+}
+
+CellView ColumnData::dict_entry(uint32_t code) const {
+  switch (static_cast<ValueType>(entry_types_[code])) {
+    case ValueType::kInt:
+      return CellView::Int(static_cast<int64_t>(entry_payload_[code]));
+    case ValueType::kDouble:
+      return CellView::Double(BitsToDouble(entry_payload_[code]));
+    case ValueType::kString:
+      return CellView::String(std::string_view(
+          arena_.data() + entry_payload_[code], entry_lens_[code]));
+    case ValueType::kNull:
+      break;
+  }
+  return CellView::Null();
+}
+
+CellView ColumnData::cell(int64_t row) const {
+  if (is_null(row)) return CellView::Null();
+  switch (enc_) {
+    case ColumnEncoding::kInt64:
+      return CellView::Int(ints_[row]);
+    case ColumnEncoding::kDouble:
+      return CellView::Double(doubles_[row]);
+    case ColumnEncoding::kNumeric: {
+      bool is_int = (int_tag_words_[static_cast<size_t>(row) >> 6] &
+                     (uint64_t{1} << (row & 63))) != 0;
+      return is_int ? CellView::Int(static_cast<int64_t>(num_bits_[row]))
+                    : CellView::Double(BitsToDouble(num_bits_[row]));
+    }
+    case ColumnEncoding::kDict:
+      return dict_entry(codes_[row]);
+  }
+  return CellView::Null();
+}
+
+uint64_t ColumnData::CellHash(int64_t row) const {
+  if (is_null(row)) return kNullValueHash;
+  switch (enc_) {
+    case ColumnEncoding::kInt64:
+      return HashIntValue(ints_[row]);
+    case ColumnEncoding::kDouble:
+      return HashDoubleValue(doubles_[row]);
+    case ColumnEncoding::kNumeric: {
+      bool is_int = (int_tag_words_[static_cast<size_t>(row) >> 6] &
+                     (uint64_t{1} << (row & 63))) != 0;
+      return is_int ? HashIntValue(static_cast<int64_t>(num_bits_[row]))
+                    : HashDoubleValue(BitsToDouble(num_bits_[row]));
+    }
+    case ColumnEncoding::kDict:
+      return entry_hashes_[codes_[row]];
+  }
+  return kNullValueHash;
+}
+
+namespace {
+
+// Shared distinct-hash collection: dictionary columns answer from cached
+// entry hashes (every entry is referenced by at least one row, and the
+// set merges int/double twins exactly like seed per-cell hashing did);
+// other encodings scan rows.
+void CollectDistinctHashes(const ColumnData& col,
+                           std::unordered_set<uint64_t>* distinct) {
+  if (col.is_dict()) {
+    distinct->reserve(col.dict_size());
+    for (uint32_t c = 0; c < col.dict_size(); ++c) {
+      distinct->insert(col.dict_entry_hash(c));
+    }
+    return;
+  }
+  distinct->reserve(static_cast<size_t>(col.size() - col.null_count()));
+  for (int64_t r = 0; r < col.size(); ++r) {
+    if (!col.is_null(r)) distinct->insert(col.CellHash(r));
+  }
+}
+
+}  // namespace
+
+std::vector<uint64_t> ColumnData::DistinctHashes() const {
+  std::unordered_set<uint64_t> distinct;
+  CollectDistinctHashes(*this, &distinct);
+  return {distinct.begin(), distinct.end()};
+}
+
+int64_t ColumnData::DistinctCount(bool count_null) const {
+  std::unordered_set<uint64_t> distinct;
+  CollectDistinctHashes(*this, &distinct);
+  if (count_null && num_nulls_ > 0) distinct.insert(kNullValueHash);
+  return static_cast<int64_t>(distinct.size());
+}
+
+void ColumnData::Seal() {
+  if (sealed_) return;
+  if (enc_ == ColumnEncoding::kDict && !entry_types_.empty()) {
+    uint32_t n = static_cast<uint32_t>(entry_types_.size());
+    std::vector<uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+      int c = dict_entry(a).Compare(dict_entry(b));
+      if (c != 0) return c < 0;
+      // Equal-comparing but distinct entries (2 vs 2.0, 0.0 vs -0.0):
+      // deterministic tie-break on type tag then payload bits.
+      if (entry_types_[a] != entry_types_[b]) {
+        return entry_types_[a] < entry_types_[b];
+      }
+      return entry_payload_[a] < entry_payload_[b];
+    });
+    std::vector<uint32_t> rank(n);
+    for (uint32_t i = 0; i < n; ++i) rank[order[i]] = i;
+
+    std::vector<uint8_t> types(n);
+    std::vector<uint64_t> payload(n);
+    std::vector<uint32_t> lens(n);
+    std::vector<uint64_t> hashes(n);
+    std::string arena;
+    arena.reserve(arena_.size());
+    for (uint32_t i = 0; i < n; ++i) {
+      uint32_t old = order[i];
+      types[i] = entry_types_[old];
+      hashes[i] = entry_hashes_[old];
+      if (static_cast<ValueType>(entry_types_[old]) == ValueType::kString) {
+        payload[i] = arena.size();
+        lens[i] = entry_lens_[old];
+        arena.append(arena_.data() + entry_payload_[old], entry_lens_[old]);
+      } else {
+        payload[i] = entry_payload_[old];
+        lens[i] = 0;
+      }
+    }
+    entry_types_ = std::move(types);
+    entry_payload_ = std::move(payload);
+    entry_lens_ = std::move(lens);
+    entry_hashes_ = std::move(hashes);
+    arena_ = std::move(arena);
+    for (int64_t r = 0; r < num_rows_; ++r) {
+      if (!is_null(r)) codes_[r] = rank[codes_[r]];
+    }
+  }
+  std::unordered_map<uint64_t, std::vector<uint32_t>>().swap(lookup_);
+  // Serving layout: drop ingest slack (growth-doubling capacity and
+  // over-reserve) — sealed columns are read-only until the next append.
+  valid_words_.shrink_to_fit();
+  ints_.shrink_to_fit();
+  doubles_.shrink_to_fit();
+  num_bits_.shrink_to_fit();
+  int_tag_words_.shrink_to_fit();
+  codes_.shrink_to_fit();
+  entry_types_.shrink_to_fit();
+  entry_payload_.shrink_to_fit();
+  entry_lens_.shrink_to_fit();
+  entry_hashes_.shrink_to_fit();
+  arena_.shrink_to_fit();
+  sealed_ = true;
+}
+
+void ColumnData::DropInternMap() {
+  std::unordered_map<uint64_t, std::vector<uint32_t>>().swap(lookup_);
+}
+
+size_t ColumnData::ApproxBytes() const {
+  size_t bytes = sizeof(*this);
+  bytes += valid_words_.capacity() * sizeof(uint64_t);
+  bytes += ints_.capacity() * sizeof(int64_t);
+  bytes += doubles_.capacity() * sizeof(double);
+  bytes += num_bits_.capacity() * sizeof(uint64_t);
+  bytes += int_tag_words_.capacity() * sizeof(uint64_t);
+  bytes += codes_.capacity() * sizeof(uint32_t);
+  bytes += entry_types_.capacity() * sizeof(uint8_t);
+  bytes += entry_payload_.capacity() * sizeof(uint64_t);
+  bytes += entry_lens_.capacity() * sizeof(uint32_t);
+  bytes += entry_hashes_.capacity() * sizeof(uint64_t);
+  bytes += arena_.capacity();
+  // Intern map estimate: node + bucket overhead per distinct hash plus the
+  // small code vectors. Zero once the column is sealed.
+  bytes += lookup_.size() * 64;
+  return bytes;
+}
+
+void ColumnData::SaveTo(SerdeWriter* w) const {
+  w->WriteU8(static_cast<uint8_t>(enc_));
+  w->WriteBool(sealed_);
+  w->WriteI64(num_rows_);
+  w->WriteI64(num_nulls_);
+  w->WriteI64(num_ints_);
+  w->WriteI64(num_doubles_);
+  w->WriteI64(num_strings_);
+  w->WriteU64Vector(valid_words_);
+  switch (enc_) {
+    case ColumnEncoding::kInt64:
+      w->WriteI64Vector(ints_);
+      break;
+    case ColumnEncoding::kDouble:
+      w->WriteDoubleVector(doubles_);
+      break;
+    case ColumnEncoding::kNumeric:
+      w->WriteU64Vector(num_bits_);
+      w->WriteU64Vector(int_tag_words_);
+      break;
+    case ColumnEncoding::kDict:
+      w->WriteU32Vector(codes_);
+      w->WriteU8Vector(entry_types_);
+      w->WriteU64Vector(entry_payload_);
+      w->WriteU32Vector(entry_lens_);
+      w->WriteU64Vector(entry_hashes_);
+      w->WriteString(arena_);
+      break;
+  }
+}
+
+Status ColumnData::LoadFrom(SerdeReader* r) {
+  uint8_t enc;
+  VER_RETURN_IF_ERROR(r->ReadU8(&enc));
+  if (enc > static_cast<uint8_t>(ColumnEncoding::kDict)) {
+    return Status::IOError("corrupt column: unknown encoding " +
+                           std::to_string(enc));
+  }
+  enc_ = static_cast<ColumnEncoding>(enc);
+  VER_RETURN_IF_ERROR(r->ReadBool(&sealed_));
+  VER_RETURN_IF_ERROR(r->ReadI64(&num_rows_));
+  VER_RETURN_IF_ERROR(r->ReadI64(&num_nulls_));
+  VER_RETURN_IF_ERROR(r->ReadI64(&num_ints_));
+  VER_RETURN_IF_ERROR(r->ReadI64(&num_doubles_));
+  VER_RETURN_IF_ERROR(r->ReadI64(&num_strings_));
+  // Bound every tally by the row count before doing arithmetic on them, so
+  // crafted values can neither overflow the sum below (UB) nor the +63 in
+  // the bitmap sizing.
+  constexpr int64_t kMaxRows = int64_t{1} << 56;
+  if (num_rows_ < 0 || num_rows_ > kMaxRows) {
+    return Status::IOError("corrupt column: implausible row count " +
+                           std::to_string(num_rows_));
+  }
+  for (int64_t tally : {num_nulls_, num_ints_, num_doubles_, num_strings_}) {
+    if (tally < 0 || tally > num_rows_) {
+      return Status::IOError("corrupt column: inconsistent cell tallies");
+    }
+  }
+  if (static_cast<uint64_t>(num_nulls_) + static_cast<uint64_t>(num_ints_) +
+          static_cast<uint64_t>(num_doubles_) +
+          static_cast<uint64_t>(num_strings_) !=
+      static_cast<uint64_t>(num_rows_)) {
+    return Status::IOError("corrupt column: inconsistent cell tallies");
+  }
+  VER_RETURN_IF_ERROR(r->ReadU64Vector(&valid_words_));
+  size_t want_words = static_cast<size_t>(num_rows_ + 63) / 64;
+  if (valid_words_.size() != want_words) {
+    return Status::IOError("corrupt column: validity bitmap has " +
+                           std::to_string(valid_words_.size()) +
+                           " words, expected " + std::to_string(want_words));
+  }
+  lookup_.clear();
+  auto check_rows = [this](size_t got, const char* what) {
+    if (got != static_cast<size_t>(num_rows_)) {
+      return Status::IOError("corrupt column: " + std::string(what) +
+                             " holds " + std::to_string(got) +
+                             " cells, expected " + std::to_string(num_rows_));
+    }
+    return Status::OK();
+  };
+  switch (enc_) {
+    case ColumnEncoding::kInt64:
+      VER_RETURN_IF_ERROR(r->ReadI64Vector(&ints_));
+      VER_RETURN_IF_ERROR(check_rows(ints_.size(), "int payload"));
+      break;
+    case ColumnEncoding::kDouble:
+      VER_RETURN_IF_ERROR(r->ReadDoubleVector(&doubles_));
+      VER_RETURN_IF_ERROR(check_rows(doubles_.size(), "double payload"));
+      break;
+    case ColumnEncoding::kNumeric:
+      VER_RETURN_IF_ERROR(r->ReadU64Vector(&num_bits_));
+      VER_RETURN_IF_ERROR(check_rows(num_bits_.size(), "numeric payload"));
+      VER_RETURN_IF_ERROR(r->ReadU64Vector(&int_tag_words_));
+      if (int_tag_words_.size() != want_words) {
+        return Status::IOError("corrupt column: int-tag bitmap size mismatch");
+      }
+      break;
+    case ColumnEncoding::kDict: {
+      VER_RETURN_IF_ERROR(r->ReadU32Vector(&codes_));
+      VER_RETURN_IF_ERROR(check_rows(codes_.size(), "code array"));
+      VER_RETURN_IF_ERROR(r->ReadU8Vector(&entry_types_));
+      VER_RETURN_IF_ERROR(r->ReadU64Vector(&entry_payload_));
+      VER_RETURN_IF_ERROR(r->ReadU32Vector(&entry_lens_));
+      VER_RETURN_IF_ERROR(r->ReadU64Vector(&entry_hashes_));
+      VER_RETURN_IF_ERROR(r->ReadString(&arena_));
+      size_t n = entry_types_.size();
+      if (entry_payload_.size() != n || entry_lens_.size() != n ||
+          entry_hashes_.size() != n) {
+        return Status::IOError("corrupt column: dictionary arrays disagree");
+      }
+      for (size_t i = 0; i < n; ++i) {
+        ValueType t = static_cast<ValueType>(entry_types_[i]);
+        if (t != ValueType::kInt && t != ValueType::kDouble &&
+            t != ValueType::kString) {
+          return Status::IOError("corrupt column: dictionary entry " +
+                                 std::to_string(i) + " has invalid type");
+        }
+        if (t == ValueType::kString &&
+            (entry_lens_[i] > arena_.size() ||
+             entry_payload_[i] > arena_.size() - entry_lens_[i])) {
+          return Status::IOError("corrupt column: dictionary entry " +
+                                 std::to_string(i) + " exceeds arena");
+        }
+      }
+      for (int64_t row = 0; row < num_rows_; ++row) {
+        if (!is_null(row) && codes_[row] >= n) {
+          return Status::IOError("corrupt column: row " + std::to_string(row) +
+                                 " code out of dictionary range");
+        }
+      }
+      break;
+    }
+  }
+  // The bitmap is the source of truth for nulls; the stored tally must
+  // agree with it.
+  int64_t set_bits = 0;
+  for (uint64_t wv : valid_words_) set_bits += __builtin_popcountll(wv);
+  if (set_bits != num_rows_ - num_nulls_) {
+    return Status::IOError("corrupt column: validity bitmap popcount " +
+                           std::to_string(set_bits) + " disagrees with " +
+                           std::to_string(num_rows_ - num_nulls_) +
+                           " non-null cells");
+  }
+  return Status::OK();
+}
+
+}  // namespace ver

@@ -1,0 +1,291 @@
+// ColumnData: the typed columnar cell store behind Table.
+//
+// The seed data model kept every cell as a fat Value variant (tag + int64 +
+// double + std::string, ~48 bytes before heap), so tables were
+// vector<vector<Value>> and every hot loop — MinHash profiling, join
+// hashing, row hashing, snapshot serde — chased pointers and re-hashed
+// strings. ColumnData stores one column in one of four typed encodings:
+//
+//   kInt64    null bitmap + vector<int64_t>            (all non-null ints)
+//   kDouble   null bitmap + vector<double>             (all non-null doubles)
+//   kNumeric  null bitmap + payload words + int-tag    (ints mixed with
+//             bitmap (bit set = cell is an int)         doubles, bit-exact)
+//   kDict     null bitmap + uint32 codes over a         (any column holding
+//             per-column dictionary of distinct cells    strings; noisy
+//             backed by a string arena                   mixed cells too)
+//
+// A column starts as kInt64 and promotes itself as appended cells demand
+// (int -> double -> numeric -> dict); promotion re-encodes the existing
+// rows once, so ingest stays append-only. Dictionary entries carry a
+// cached Value-compatible hash, which is what makes profiling and join
+// hashing run on codes instead of re-hashing strings.
+//
+// CellView is the zero-copy read path: a 16-byte (type tag + payload)
+// view whose Hash(), Compare() and ToText() are bit-identical to Value's,
+// with string payloads viewing the column arena. Views are invalidated by
+// any subsequent mutation of the column, like vector iterators.
+
+#ifndef VER_TABLE_COLUMN_DATA_H_
+#define VER_TABLE_COLUMN_DATA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "table/value.h"
+#include "util/serde.h"
+
+namespace ver {
+
+/// Physical layout of one column; see the file comment for the lattice.
+enum class ColumnEncoding : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kNumeric = 2,
+  kDict = 3,
+};
+
+const char* ColumnEncodingToString(ColumnEncoding e);
+
+/// A 16-byte non-owning view of one cell. Total order, hashing and text
+/// rendering agree bit-for-bit with Value; string payloads point into the
+/// owning column's arena (or a Value's storage) and stay valid until that
+/// owner is mutated or destroyed.
+class CellView {
+ public:
+  CellView() : int_(0), len_(0), type_(ValueType::kNull) {}
+
+  static CellView Null() { return CellView(); }
+  static CellView Int(int64_t v) {
+    CellView out;
+    out.type_ = ValueType::kInt;
+    out.int_ = v;
+    return out;
+  }
+  static CellView Double(double v) {
+    CellView out;
+    out.type_ = ValueType::kDouble;
+    out.double_ = v;
+    return out;
+  }
+  static CellView String(std::string_view s) {
+    CellView out;
+    out.type_ = ValueType::kString;
+    out.str_ = s.data();
+    out.len_ = static_cast<uint32_t>(s.size());
+    return out;
+  }
+  /// Views `v` without copying; for string values the view borrows the
+  /// Value's buffer and must not outlive it.
+  static CellView Of(const Value& v);
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+  bool is_numeric() const {
+    return type_ == ValueType::kInt || type_ == ValueType::kDouble;
+  }
+
+  int64_t AsInt() const { return int_; }
+  double AsDouble() const {
+    return type_ == ValueType::kInt ? static_cast<double>(int_) : double_;
+  }
+  std::string_view AsStringView() const { return {str_, len_}; }
+
+  /// Materializes an owning Value (the legacy boundary type).
+  Value ToValue() const;
+
+  /// Canonical textual form; identical to Value::ToText().
+  std::string ToText() const;
+
+  /// Stable 64-bit hash; identical to Value::Hash() for the same cell.
+  uint64_t Hash() const;
+
+  /// Total order: null < numerics (by numeric value) < strings; identical
+  /// to Value::Compare() for the same cells.
+  int Compare(const CellView& other) const;
+
+  bool operator==(const CellView& other) const { return Compare(other) == 0; }
+  bool operator!=(const CellView& other) const { return Compare(other) != 0; }
+  bool operator<(const CellView& other) const { return Compare(other) < 0; }
+
+ private:
+  union {
+    int64_t int_;
+    double double_;
+    const char* str_;
+  };
+  uint32_t len_;
+  ValueType type_;
+};
+
+static_assert(sizeof(CellView) == 16, "CellView must stay 16 bytes");
+
+/// Hash-bucketed row dedup with exact cell confirmation on collisions —
+/// the one distinct-row algorithm shared by Table::Project and the
+/// materializer's projection, so the two "bit-identical" paths cannot
+/// diverge. Rows are identified by an opaque token; `cell_at(token, c)`
+/// returns the c-th projected cell of that row.
+class RowDeduper {
+ public:
+  /// Returns true (and records the token) when the row is new; false when
+  /// an equal row was inserted before. `row_hash` must be the combined
+  /// hash of exactly the cells `cell_at` exposes.
+  template <typename CellAt>
+  bool Insert(uint64_t row_hash, int64_t token, int num_cells,
+              const CellAt& cell_at) {
+    std::vector<int64_t>& kept = seen_[row_hash];
+    for (int64_t prev : kept) {
+      bool equal = true;
+      for (int c = 0; c < num_cells; ++c) {
+        if (cell_at(prev, c).Compare(cell_at(token, c)) != 0) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) return false;
+    }
+    kept.push_back(token);
+    return true;
+  }
+
+ private:
+  std::unordered_map<uint64_t, std::vector<int64_t>> seen_;
+};
+
+/// One typed column. Append-only during ingest (Append / Reserve), then
+/// read through cell()/CellHash(). Seal() sorts the dictionary and drops
+/// the intern map once loading is done; appending to a sealed column
+/// transparently unseals it.
+class ColumnData {
+ public:
+  int64_t size() const { return num_rows_; }
+  ColumnEncoding encoding() const { return enc_; }
+  bool is_dict() const { return enc_ == ColumnEncoding::kDict; }
+  bool sealed() const { return sealed_; }
+
+  /// Pre-allocates for `rows` total rows so appends never reallocate.
+  void Reserve(int64_t rows);
+
+  void Append(const Value& v) { Append(CellView::Of(v)); }
+  void Append(const CellView& v);
+
+  /// Zero-copy read of one cell.
+  CellView cell(int64_t row) const;
+  /// Materialized legacy read.
+  Value value(int64_t row) const { return cell(row).ToValue(); }
+  /// Value-compatible hash of one cell; dictionary columns return the
+  /// cached entry hash without touching string bytes.
+  uint64_t CellHash(int64_t row) const;
+  bool is_null(int64_t row) const {
+    return (valid_words_[static_cast<size_t>(row) >> 6] &
+            (uint64_t{1} << (row & 63))) == 0;
+  }
+
+  // Type tallies over appended cells (non-null cells tally under their
+  // type). O(1): maintained during Append.
+  int64_t null_count() const { return num_nulls_; }
+  int64_t int_count() const { return num_ints_; }
+  int64_t double_count() const { return num_doubles_; }
+  int64_t string_count() const { return num_strings_; }
+
+  /// Deduplicated hashes of the distinct non-null cells. Dictionary
+  /// columns answer from cached entry hashes without scanning rows.
+  /// Unordered (callers sort if they need determinism across layouts).
+  std::vector<uint64_t> DistinctHashes() const;
+
+  /// Number of distinct cell hashes, optionally counting null as a value
+  /// (the Table::DistinctCount semantics). One set pass.
+  int64_t DistinctCount(bool count_null) const;
+
+  /// Visits every distinct non-null cell at least once: dictionary columns
+  /// visit each entry exactly once with no row scan; other encodings visit
+  /// all non-null cells (callers that need exact-once dedup keep their own
+  /// set — numeric texts are cheap to re-derive). Keeps the encoding
+  /// special-casing inside the storage layer.
+  template <typename Fn>
+  void ForEachDistinctCell(const Fn& fn) const {
+    if (is_dict()) {
+      for (uint32_t c = 0; c < entry_types_.size(); ++c) fn(dict_entry(c));
+      return;
+    }
+    for (int64_t r = 0; r < num_rows_; ++r) {
+      if (!is_null(r)) fn(cell(r));
+    }
+  }
+
+  // Dictionary access (valid only when is_dict()).
+  size_t dict_size() const { return entry_types_.size(); }
+  /// Dictionary code of a non-null row.
+  uint32_t code(int64_t row) const { return codes_[row]; }
+  CellView dict_entry(uint32_t code) const;
+  uint64_t dict_entry_hash(uint32_t code) const { return entry_hashes_[code]; }
+
+  /// Sorts the dictionary into cell total order (ties broken by type then
+  /// payload bits), remaps codes, frees the intern map and drops capacity
+  /// slack. Idempotent; purely an internal re-layout — cell(), CellHash()
+  /// and all query results are unaffected. Repository tables get this via
+  /// TableRepository::AddTable.
+  void Seal();
+
+  /// Frees only the ingest intern map — the cheap compaction for transient
+  /// tables (materialized views) that skips Seal()'s dictionary sort and
+  /// shrink reallocations. A later Append transparently rebuilds the map.
+  void DropInternMap();
+
+  /// Resident bytes of this column's storage (capacities, arena, intern
+  /// map estimate).
+  size_t ApproxBytes() const;
+
+  /// Columnar snapshot serialization: bitmap words, typed payload and
+  /// dictionary (types + payloads + lengths + cached hashes + arena) are
+  /// written as bulk arrays, so on little-endian hosts loading is a
+  /// handful of memcpys. LoadFrom bounds-checks every count and code.
+  void SaveTo(SerdeWriter* w) const;
+  Status LoadFrom(SerdeReader* r);
+
+ private:
+  void AppendValidityBit(bool non_null);
+  void BecomeDouble();
+  void PromoteToNumeric();
+  void PromoteToDict();
+  uint32_t Intern(const CellView& v);
+  bool EntryEquals(uint32_t code, const CellView& v) const;
+  void EnsureLookup();
+
+  ColumnEncoding enc_ = ColumnEncoding::kInt64;
+  bool sealed_ = false;
+  int64_t num_rows_ = 0;
+  int64_t reserved_rows_ = 0;  // Reserve() target, honored across promotions
+  int64_t num_nulls_ = 0;
+  int64_t num_ints_ = 0;
+  int64_t num_doubles_ = 0;
+  int64_t num_strings_ = 0;
+
+  /// Validity bitmap: bit (row & 63) of word (row >> 6) set = non-null.
+  std::vector<uint64_t> valid_words_;
+
+  std::vector<int64_t> ints_;      // kInt64 payload (0 on null rows)
+  std::vector<double> doubles_;    // kDouble payload (0 on null rows)
+  std::vector<uint64_t> num_bits_; // kNumeric payload: int64 or double bits
+  std::vector<uint64_t> int_tag_words_;  // kNumeric: bit set = cell is kInt
+
+  // kDict state. Entry i: entry_types_[i] in {kInt,kDouble,kString};
+  // numeric entries keep their value/IEEE bits in entry_payload_[i];
+  // string entries keep {arena offset, length} in
+  // {entry_payload_[i], entry_lens_[i]}.
+  std::vector<uint32_t> codes_;  // per-row code (0 on null rows)
+  std::vector<uint8_t> entry_types_;
+  std::vector<uint64_t> entry_payload_;
+  std::vector<uint32_t> entry_lens_;
+  std::vector<uint64_t> entry_hashes_;  // cached Value-compatible hashes
+  std::string arena_;                   // string bytes, back to back
+  // Intern map: cell hash -> codes with that hash (collisions resolved by
+  // exact payload identity). Dropped by Seal(), rebuilt on demand.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> lookup_;
+};
+
+}  // namespace ver
+
+#endif  // VER_TABLE_COLUMN_DATA_H_

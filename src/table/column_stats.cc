@@ -5,29 +5,16 @@
 namespace ver {
 
 ColumnStats ComputeColumnStats(const Table& table, int col) {
+  const ColumnData& data = table.column_data(col);
   ColumnStats stats;
   stats.num_rows = table.num_rows();
-  std::unordered_set<uint64_t> distinct;
-  int64_t ints = 0, doubles = 0, strings = 0;
-  for (const Value& v : table.column(col)) {
-    if (v.is_null()) {
-      ++stats.num_nulls;
-      continue;
-    }
-    distinct.insert(v.Hash());
-    switch (v.type()) {
-      case ValueType::kInt:
-        ++ints;
-        break;
-      case ValueType::kDouble:
-        ++doubles;
-        break;
-      default:
-        ++strings;
-        break;
-    }
-  }
-  stats.num_distinct = static_cast<int64_t>(distinct.size());
+  stats.num_nulls = data.null_count();
+  // Distinct non-null hashes: dictionary columns answer from cached entry
+  // hashes; typed numeric columns scan without materializing Values.
+  stats.num_distinct = data.DistinctCount(/*count_null=*/false);
+  int64_t ints = data.int_count();
+  int64_t doubles = data.double_count();
+  int64_t strings = data.string_count();
   if (strings >= ints && strings >= doubles && strings > 0) {
     stats.dominant_type = ValueType::kString;
   } else if (doubles >= ints && doubles > 0) {
@@ -60,12 +47,7 @@ Status ColumnStats::LoadFrom(SerdeReader* r) {
 }
 
 std::vector<uint64_t> DistinctValueHashes(const Table& table, int col) {
-  std::unordered_set<uint64_t> distinct;
-  distinct.reserve(static_cast<size_t>(table.num_rows()));
-  for (const Value& v : table.column(col)) {
-    if (!v.is_null()) distinct.insert(v.Hash());
-  }
-  return {distinct.begin(), distinct.end()};
+  return table.column_data(col).DistinctHashes();
 }
 
 std::vector<int> ApproximateKeyColumns(const Table& table,

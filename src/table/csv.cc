@@ -1,5 +1,6 @@
 #include "table/csv.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -103,6 +104,12 @@ Result<Table> ReadCsvString(const std::string& text, std::string table_name,
     }
     if (!table_initialized) {
       table = Table(table_name, schema);
+      // Record count upper bound (quoted newlines only overshoot), so
+      // AppendRow never reallocates a column mid-load.
+      table.Reserve(static_cast<int64_t>(std::count(
+                        text.begin() + static_cast<ptrdiff_t>(pos), text.end(),
+                        '\n')) +
+                    2);
       table_initialized = true;
     }
     if (static_cast<int>(fields.size()) > table.num_columns()) {
@@ -118,6 +125,7 @@ Result<Table> ReadCsvString(const std::string& text, std::string table_name,
   }
   if (!table_initialized) table = Table(std::move(table_name), schema);
   table.InferColumnTypes();
+  table.Seal();
   return table;
 }
 
@@ -142,7 +150,7 @@ std::string WriteCsvString(const Table& table, const CsvOptions& options) {
   for (int64_t r = 0; r < table.num_rows(); ++r) {
     for (int c = 0; c < table.num_columns(); ++c) {
       if (c > 0) out.push_back(options.delimiter);
-      out += QuoteField(table.at(r, c).ToText(), options.delimiter);
+      out += QuoteField(table.cell(r, c).ToText(), options.delimiter);
     }
     out.push_back('\n');
   }

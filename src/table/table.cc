@@ -1,6 +1,6 @@
 #include "table/table.h"
 
-#include <unordered_set>
+#include <algorithm>
 
 #include "util/hash.h"
 
@@ -11,6 +11,10 @@ Table::Table(std::string name, Schema schema)
   columns_.resize(schema_.num_attributes());
 }
 
+void Table::Reserve(int64_t rows) {
+  for (ColumnData& c : columns_) c.Reserve(rows);
+}
+
 Status Table::AppendRow(std::vector<Value> row) {
   if (static_cast<int>(row.size()) > num_columns()) {
     return Status::InvalidArgument(
@@ -19,10 +23,24 @@ Status Table::AppendRow(std::vector<Value> row) {
   }
   for (int c = 0; c < num_columns(); ++c) {
     if (c < static_cast<int>(row.size())) {
-      columns_[c].push_back(std::move(row[c]));
+      columns_[c].Append(row[c]);
     } else {
-      columns_[c].push_back(Value::Null());
+      columns_[c].Append(CellView::Null());
     }
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Status Table::AppendCells(const std::vector<CellView>& row) {
+  if (static_cast<int>(row.size()) > num_columns()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " cells but table '" +
+        name_ + "' has " + std::to_string(num_columns()) + " columns");
+  }
+  for (int c = 0; c < num_columns(); ++c) {
+    columns_[c].Append(c < static_cast<int>(row.size()) ? row[c]
+                                                        : CellView::Null());
   }
   ++num_rows_;
   return Status::OK();
@@ -31,14 +49,14 @@ Status Table::AppendRow(std::vector<Value> row) {
 std::vector<Value> Table::Row(int64_t row) const {
   std::vector<Value> out;
   out.reserve(num_columns());
-  for (int c = 0; c < num_columns(); ++c) out.push_back(columns_[c][row]);
+  for (int c = 0; c < num_columns(); ++c) out.push_back(columns_[c].value(row));
   return out;
 }
 
 uint64_t Table::RowHash(int64_t row) const {
   uint64_t h = 0x726f7768617368ULL;  // arbitrary row-hash seed
   for (int c = 0; c < num_columns(); ++c) {
-    h = HashCombine(h, columns_[c][row].Hash());
+    h = HashCombine(h, columns_[c].CellHash(row));
   }
   return h;
 }
@@ -51,10 +69,7 @@ std::vector<uint64_t> Table::AllRowHashes() const {
 }
 
 int64_t Table::DistinctCount(int col) const {
-  std::unordered_set<uint64_t> seen;
-  seen.reserve(static_cast<size_t>(num_rows_));
-  for (const Value& v : columns_[col]) seen.insert(v.Hash());
-  return static_cast<int64_t>(seen.size());
+  return columns_[col].DistinctCount(/*count_null=*/true);
 }
 
 Table Table::Project(const std::vector<int>& col_indices, bool distinct,
@@ -62,39 +77,36 @@ Table Table::Project(const std::vector<int>& col_indices, bool distinct,
   Schema schema;
   for (int c : col_indices) schema.AddAttribute(schema_.attribute(c));
   Table out(std::move(new_name), std::move(schema));
-  std::unordered_set<uint64_t> seen;
+  // Distinct dedups on the row hash and confirms collisions by comparing
+  // the source cells of the previously kept rows — no materialized row
+  // copies, and hash collisions cannot silently drop distinct rows.
+  RowDeduper deduper;
+  auto cell_at = [&](int64_t row, int c) { return cell(row, col_indices[c]); };
+  std::vector<CellView> row;
+  row.reserve(col_indices.size());
   for (int64_t r = 0; r < num_rows_; ++r) {
-    std::vector<Value> row;
-    row.reserve(col_indices.size());
-    for (int c : col_indices) row.push_back(columns_[c][r]);
     if (distinct) {
       uint64_t h = 0x726f7768617368ULL;
-      for (const Value& v : row) h = HashCombine(h, v.Hash());
-      if (!seen.insert(h).second) continue;
+      for (int c : col_indices) h = HashCombine(h, cell_hash(r, c));
+      if (!deduper.Insert(h, r, static_cast<int>(col_indices.size()),
+                          cell_at)) {
+        continue;
+      }
     }
-    out.AppendRow(std::move(row));
+    row.clear();
+    for (int c : col_indices) row.push_back(cell(r, c));
+    (void)out.AppendCells(row);  // arity always matches by construction
   }
+  out.DropInternMaps();
   return out;
 }
 
 void Table::InferColumnTypes() {
   for (int c = 0; c < num_columns(); ++c) {
-    int64_t ints = 0, doubles = 0, strings = 0;
-    for (const Value& v : columns_[c]) {
-      switch (v.type()) {
-        case ValueType::kInt:
-          ++ints;
-          break;
-        case ValueType::kDouble:
-          ++doubles;
-          break;
-        case ValueType::kString:
-          ++strings;
-          break;
-        case ValueType::kNull:
-          break;
-      }
-    }
+    const ColumnData& data = columns_[c];
+    int64_t ints = data.int_count();
+    int64_t doubles = data.double_count();
+    int64_t strings = data.string_count();
     ValueType t = ValueType::kString;
     if (strings == 0 && doubles == 0 && ints > 0) {
       t = ValueType::kInt;
@@ -107,6 +119,49 @@ void Table::InferColumnTypes() {
   }
 }
 
+void Table::Seal() {
+  for (ColumnData& c : columns_) c.Seal();
+}
+
+void Table::DropInternMaps() {
+  for (ColumnData& c : columns_) c.DropInternMap();
+}
+
+size_t Table::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const ColumnData& c : columns_) bytes += c.ApproxBytes();
+  return bytes;
+}
+
+void Table::SaveTo(SerdeWriter* w) const {
+  w->WriteString(name_);
+  schema_.SaveTo(w);
+  w->WriteI64(num_rows_);
+  for (const ColumnData& c : columns_) c.SaveTo(w);
+}
+
+Status Table::LoadFrom(SerdeReader* r) {
+  VER_RETURN_IF_ERROR(r->ReadString(&name_));
+  VER_RETURN_IF_ERROR(schema_.LoadFrom(r));
+  VER_RETURN_IF_ERROR(r->ReadI64(&num_rows_));
+  if (num_rows_ < 0) {
+    return Status::IOError("corrupt table '" + name_ +
+                           "': negative row count");
+  }
+  columns_.assign(static_cast<size_t>(schema_.num_attributes()),
+                  ColumnData());
+  for (ColumnData& c : columns_) {
+    VER_RETURN_IF_ERROR(c.LoadFrom(r));
+    if (c.size() != num_rows_) {
+      return Status::IOError(
+          "corrupt table '" + name_ + "': column holds " +
+          std::to_string(c.size()) + " rows, table declares " +
+          std::to_string(num_rows_));
+    }
+  }
+  return Status::OK();
+}
+
 std::string Table::ToString(int64_t max_rows) const {
   std::string out = name_ + " (" + std::to_string(num_rows_) + " rows)\n";
   out += schema_.ToString() + "\n";
@@ -114,7 +169,7 @@ std::string Table::ToString(int64_t max_rows) const {
   for (int64_t r = 0; r < limit; ++r) {
     for (int c = 0; c < num_columns(); ++c) {
       if (c > 0) out += " | ";
-      out += columns_[c][r].ToText();
+      out += columns_[c].cell(r).ToText();
     }
     out += "\n";
   }

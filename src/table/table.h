@@ -1,4 +1,9 @@
 // Columnar in-memory table: the unit of a pathless table collection.
+//
+// Cells live in typed ColumnData columns (null bitmaps, typed payload
+// vectors, dictionary-encoded strings — see table/column_data.h). The fast
+// read path is cell()/cell_hash() over 16-byte CellViews; at() survives as
+// the legacy boundary accessor and materializes an owning Value per call.
 
 #ifndef VER_TABLE_TABLE_H_
 #define VER_TABLE_TABLE_H_
@@ -7,13 +12,14 @@
 #include <string>
 #include <vector>
 
+#include "table/column_data.h"
 #include "table/schema.h"
 #include "table/value.h"
 #include "util/result.h"
 
 namespace ver {
 
-/// A named table with a (possibly noisy) schema and columnar storage.
+/// A named table with a (possibly noisy) schema and typed columnar storage.
 class Table {
  public:
   Table() = default;
@@ -28,16 +34,33 @@ class Table {
   int num_columns() const { return schema_.num_attributes(); }
   int64_t num_rows() const { return num_rows_; }
 
+  /// Pre-allocates every column for `rows` total rows, so AppendRow never
+  /// reallocates mid-load.
+  void Reserve(int64_t rows);
+
   /// Appends one row; missing trailing cells become null, extra cells are an
   /// error (Definition 1 allows at most m values per tuple).
   Status AppendRow(std::vector<Value> row);
 
-  const Value& at(int64_t row, int col) const { return columns_[col][row]; }
-  void set(int64_t row, int col, Value v) {
-    columns_[col][row] = std::move(v);
+  /// Appends one row of cell views (zero-copy ingest path; string bytes are
+  /// copied into the column dictionaries). Same padding/arity rules as
+  /// AppendRow.
+  Status AppendCells(const std::vector<CellView>& row);
+
+  /// Legacy accessor: materializes an owning Value copy of one cell.
+  Value at(int64_t row, int col) const { return columns_[col].value(row); }
+
+  /// Zero-copy cell read; the view is invalidated by table mutation.
+  CellView cell(int64_t row, int col) const { return columns_[col].cell(row); }
+
+  /// Value-compatible hash of one cell without materializing it
+  /// (dictionary columns answer from cached entry hashes).
+  uint64_t cell_hash(int64_t row, int col) const {
+    return columns_[col].CellHash(row);
   }
 
-  const std::vector<Value>& column(int col) const { return columns_[col]; }
+  /// Typed column storage (profiling / indexing fast paths).
+  const ColumnData& column_data(int col) const { return columns_[col]; }
 
   /// Materialized copy of row `row`.
   std::vector<Value> Row(int64_t row) const;
@@ -52,12 +75,34 @@ class Table {
   int64_t DistinctCount(int col) const;
 
   /// Projects to `col_indices` (in that order), optionally de-duplicating
-  /// rows. PJ-views use distinct=true (set semantics).
+  /// rows. PJ-views use distinct=true (set semantics). Dedup is row-hash
+  /// based with exact cell comparison on hash collisions, and skips
+  /// duplicate rows without materializing them.
   Table Project(const std::vector<int>& col_indices, bool distinct,
                 std::string new_name) const;
 
   /// Re-infers attribute types from the data (majority non-null cell type).
+  /// O(columns): the per-type tallies are maintained by the columns.
   void InferColumnTypes();
+
+  /// Sorts every column dictionary, drops ingest-only intern maps and
+  /// capacity slack. Purely an internal re-layout — call once ingest is
+  /// done (CSV reader and TableRepository::AddTable do). Appending later
+  /// transparently unseals the touched columns.
+  void Seal();
+
+  /// Frees only the ingest intern maps — the cheap per-query compaction
+  /// for transient tables (materialized views, projections) that skips
+  /// Seal()'s dictionary sort and shrink reallocations.
+  void DropInternMaps();
+
+  /// Resident bytes across all column storage.
+  size_t ApproxBytes() const;
+
+  /// Columnar snapshot serialization: name, schema, then each column's
+  /// memcpy-loadable sections (see ColumnData::SaveTo).
+  void SaveTo(SerdeWriter* w) const;
+  Status LoadFrom(SerdeReader* r);
 
   /// First `max_rows` rows rendered as text, for debugging and examples.
   std::string ToString(int64_t max_rows = 10) const;
@@ -65,7 +110,7 @@ class Table {
  private:
   std::string name_;
   Schema schema_;
-  std::vector<std::vector<Value>> columns_;
+  std::vector<ColumnData> columns_;
   int64_t num_rows_ = 0;
 };
 

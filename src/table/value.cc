@@ -60,24 +60,13 @@ std::string Value::ToText() const {
 uint64_t Value::Hash() const {
   switch (type_) {
     case ValueType::kNull:
-      return 0x6e756c6c6e756c6cULL;  // fixed tag for null
+      return kNullValueHash;
     case ValueType::kInt:
-      return Mix64(static_cast<uint64_t>(int_) ^ 0x1234abcdULL);
-    case ValueType::kDouble: {
-      // Integral doubles hash as their integer twin so 2 == 2.0 holds in
-      // hashed containers, matching Compare().
-      double rounded = std::nearbyint(double_);
-      if (rounded == double_ && std::abs(double_) < 9.2e18) {
-        return Mix64(static_cast<uint64_t>(static_cast<int64_t>(double_)) ^
-                     0x1234abcdULL);
-      }
-      uint64_t bits;
-      static_assert(sizeof(bits) == sizeof(double_));
-      __builtin_memcpy(&bits, &double_, sizeof(bits));
-      return Mix64(bits ^ 0x9876fedcULL);
-    }
+      return HashIntValue(int_);
+    case ValueType::kDouble:
+      return HashDoubleValue(double_);
     case ValueType::kString:
-      return HashString(string_);
+      return HashStringValue(string_);
   }
   return 0;
 }

@@ -7,9 +7,12 @@
 #ifndef VER_TABLE_VALUE_H_
 #define VER_TABLE_VALUE_H_
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <string_view>
+
+#include "util/hash.h"
 
 namespace ver {
 
@@ -21,6 +24,31 @@ enum class ValueType : uint8_t {
 };
 
 const char* ValueTypeToString(ValueType t);
+
+// Cell hash primitives, shared by Value::Hash and the columnar CellView /
+// ColumnData fast paths so every representation of the same logical cell
+// hashes to the same 64 bits.
+
+inline constexpr uint64_t kNullValueHash = 0x6e756c6c6e756c6cULL;
+
+inline uint64_t HashIntValue(int64_t v) {
+  return Mix64(static_cast<uint64_t>(v) ^ 0x1234abcdULL);
+}
+
+/// Integral doubles hash as their integer twin so 2 == 2.0 holds in hashed
+/// containers, matching the cell total order.
+inline uint64_t HashDoubleValue(double v) {
+  double rounded = std::nearbyint(v);
+  if (rounded == v && std::abs(v) < 9.2e18) {
+    return HashIntValue(static_cast<int64_t>(v));
+  }
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  return Mix64(bits ^ 0x9876fedcULL);
+}
+
+inline uint64_t HashStringValue(std::string_view s) { return HashString(s); }
 
 /// A single table cell. Small, copyable, totally ordered.
 class Value {

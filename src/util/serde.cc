@@ -101,6 +101,29 @@ void SerdeWriter::WriteI32Vector(const std::vector<int>& v) {
   for (int x : v) WriteI32(x);
 }
 
+void SerdeWriter::WriteI64Vector(const std::vector<int64_t>& v) {
+  WriteU64(v.size());
+  if (kHostIsLittleEndian) {
+    buf_.append(reinterpret_cast<const char*>(v.data()), v.size() * 8);
+    return;
+  }
+  for (int64_t x : v) WriteI64(x);
+}
+
+void SerdeWriter::WriteDoubleVector(const std::vector<double>& v) {
+  WriteU64(v.size());
+  if (kHostIsLittleEndian) {
+    buf_.append(reinterpret_cast<const char*>(v.data()), v.size() * 8);
+    return;
+  }
+  for (double x : v) WriteDouble(x);
+}
+
+void SerdeWriter::WriteU8Vector(const std::vector<uint8_t>& v) {
+  WriteU64(v.size());
+  buf_.append(reinterpret_cast<const char*>(v.data()), v.size());
+}
+
 Status SerdeReader::Need(size_t n, const char* what) {
   if (remaining() < n) {
     return Status::IOError("truncated " + context_ + ": need " +
@@ -224,6 +247,42 @@ Status SerdeReader::ReadI32Vector(std::vector<int>* out) {
   return Status::OK();
 }
 
+Status SerdeReader::ReadI64Vector(std::vector<int64_t>* out) {
+  uint64_t count;
+  VER_RETURN_IF_ERROR(ReadU64(&count));
+  VER_RETURN_IF_ERROR(CheckCount(count, 8, "i64 vector"));
+  out->resize(static_cast<size_t>(count));
+  if (kHostIsLittleEndian) {
+    return ReadRaw(out->data(), static_cast<size_t>(count) * 8);
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    VER_RETURN_IF_ERROR(ReadI64(&(*out)[i]));
+  }
+  return Status::OK();
+}
+
+Status SerdeReader::ReadDoubleVector(std::vector<double>* out) {
+  uint64_t count;
+  VER_RETURN_IF_ERROR(ReadU64(&count));
+  VER_RETURN_IF_ERROR(CheckCount(count, 8, "double vector"));
+  out->resize(static_cast<size_t>(count));
+  if (kHostIsLittleEndian) {
+    return ReadRaw(out->data(), static_cast<size_t>(count) * 8);
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    VER_RETURN_IF_ERROR(ReadDouble(&(*out)[i]));
+  }
+  return Status::OK();
+}
+
+Status SerdeReader::ReadU8Vector(std::vector<uint8_t>* out) {
+  uint64_t count;
+  VER_RETURN_IF_ERROR(ReadU64(&count));
+  VER_RETURN_IF_ERROR(CheckCount(count, 1, "u8 vector"));
+  out->resize(static_cast<size_t>(count));
+  return ReadRaw(out->data(), static_cast<size_t>(count));
+}
+
 Status SerdeReader::ReadRaw(void* out, size_t n) {
   VER_RETURN_IF_ERROR(Need(n, "raw bytes"));
   std::memcpy(out, data_.data() + pos_, n);
@@ -240,10 +299,11 @@ Status SerdeReader::ExpectEnd() const {
 }
 
 Status WriteSnapshotFile(const std::string& path,
-                         const std::vector<SnapshotSection>& sections) {
+                         const std::vector<SnapshotSection>& sections,
+                         uint32_t format_version) {
   std::string out;
   out.append(kMagic, sizeof(kMagic));
-  AppendLE(&out, kSnapshotFormatVersion, 4);
+  AppendLE(&out, format_version, 4);
   AppendLE(&out, sections.size(), 4);
   for (const SnapshotSection& s : sections) {
     AppendLE(&out, s.id, 4);
@@ -271,7 +331,8 @@ Status WriteSnapshotFile(const std::string& path,
 }
 
 Status ReadSnapshotFile(const std::string& path,
-                        std::vector<SnapshotSection>* sections) {
+                        std::vector<SnapshotSection>* sections,
+                        uint32_t* format_version) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::IOError("cannot open snapshot " + path);
@@ -306,14 +367,16 @@ Status ReadSnapshotFile(const std::string& path,
   }
   uint32_t version, section_count;
   VER_RETURN_IF_ERROR(r.ReadU32(&version));
-  if (version != kSnapshotFormatVersion) {
+  if (version < kSnapshotMinReadVersion || version > kSnapshotFormatVersion) {
     return Status::InvalidArgument(
         path + " uses snapshot format version " + std::to_string(version) +
-        "; this build reads version " +
+        "; this build reads versions " +
+        std::to_string(kSnapshotMinReadVersion) + " through " +
         std::to_string(kSnapshotFormatVersion) +
         " (rebuild the index with ver_cli build-index)");
   }
   VER_RETURN_IF_ERROR(r.ReadU32(&section_count));
+  if (format_version != nullptr) *format_version = version;
 
   std::vector<SnapshotSection> parsed;
   // The header is not checksummed, so cap the reserve by what the file

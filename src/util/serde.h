@@ -35,6 +35,9 @@ class SerdeWriter {
   void WriteU64Vector(const std::vector<uint64_t>& v);
   void WriteU32Vector(const std::vector<uint32_t>& v);
   void WriteI32Vector(const std::vector<int>& v);
+  void WriteI64Vector(const std::vector<int64_t>& v);
+  void WriteDoubleVector(const std::vector<double>& v);
+  void WriteU8Vector(const std::vector<uint8_t>& v);
 
   const std::string& buffer() const { return buf_; }
   std::string TakeBuffer() { return std::move(buf_); }
@@ -63,6 +66,9 @@ class SerdeReader {
   Status ReadU64Vector(std::vector<uint64_t>* out);
   Status ReadU32Vector(std::vector<uint32_t>* out);
   Status ReadI32Vector(std::vector<int>* out);
+  Status ReadI64Vector(std::vector<int64_t>* out);
+  Status ReadDoubleVector(std::vector<double>* out);
+  Status ReadU8Vector(std::vector<uint8_t>* out);
   /// Bulk copy of `n` raw bytes (section payload extraction).
   Status ReadRaw(void* out, size_t n);
 
@@ -93,20 +99,33 @@ struct SnapshotSection {
 
 /// Bumped on any incompatible layout change; see docs/ARCHITECTURE.md
 /// ("Persistence & snapshot lifecycle") for the version-bump policy.
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+/// v2 added the memcpy-loadable columnar repo-tables section (dictionary +
+/// codes + null bitmaps per column).
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
+
+/// Oldest format version ReadSnapshotFile still accepts. v1 files simply
+/// lack the sections newer versions added; section consumers treat those
+/// as optional.
+inline constexpr uint32_t kSnapshotMinReadVersion = 1;
 
 /// Writes `sections` as a snapshot file: magic, format version, section
 /// count, then per section {id, size, payload, checksum}. The file is
 /// written to `path + ".tmp"` and renamed into place, so a concurrent
-/// reader never observes a half-written snapshot.
+/// reader never observes a half-written snapshot. `format_version` exists
+/// for tests that emit previous-version files; production callers use the
+/// default.
 Status WriteSnapshotFile(const std::string& path,
-                         const std::vector<SnapshotSection>& sections);
+                         const std::vector<SnapshotSection>& sections,
+                         uint32_t format_version = kSnapshotFormatVersion);
 
-/// Reads a snapshot file and validates magic, format version, section
-/// framing and every per-section checksum. On any mismatch returns a
-/// descriptive IOError/InvalidArgument and leaves `sections` untouched.
+/// Reads a snapshot file and validates magic, format version (any version
+/// in [kSnapshotMinReadVersion, kSnapshotFormatVersion]), section framing
+/// and every per-section checksum. On any mismatch returns a descriptive
+/// IOError/InvalidArgument and leaves `sections` untouched. The file's
+/// format version is reported through `format_version` when non-null.
 Status ReadSnapshotFile(const std::string& path,
-                        std::vector<SnapshotSection>* sections);
+                        std::vector<SnapshotSection>* sections,
+                        uint32_t* format_version = nullptr);
 
 }  // namespace ver
 

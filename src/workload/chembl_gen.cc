@@ -11,12 +11,17 @@ namespace ver {
 namespace {
 
 Table MakeTable(const std::string& name,
-                const std::vector<std::string>& attrs) {
+                const std::vector<std::string>& attrs,
+                int64_t expected_rows = 0) {
   Schema schema;
   for (const std::string& a : attrs) {
     schema.AddAttribute(Attribute{a, ValueType::kString});
   }
-  return Table(name, schema);
+  Table t(name, schema);
+  // Pre-size columns (an upper bound is fine) so the append loops below
+  // never reallocate mid-load.
+  if (expected_rows > 0) t.Reserve(expected_rows);
+  return t;
 }
 
 void MustAdd(TableRepository* repo, Table t) {
@@ -76,7 +81,8 @@ GeneratedDataset GenerateChemblLike(const ChemblSpec& spec) {
   // --- compounds ---------------------------------------------------------
   {
     Table t = MakeTable("compounds",
-                        {"compound_id", "pref_name", "molweight", "formula"});
+                        {"compound_id", "pref_name", "molweight", "formula"},
+                        spec.num_compounds);
     for (int i = 0; i < spec.num_compounds; ++i) {
       t.AppendRow({Value::Int(1000 + i), Value::String(compound_names[i]),
                    Value::Double(100.0 + rng.UniformInt(0, 7000) / 10.0),
@@ -93,7 +99,8 @@ GeneratedDataset GenerateChemblLike(const ChemblSpec& spec) {
     std::vector<std::string> md_names =
         NoisePool(compound_names, 0.85, "Mol-", spec.num_compounds / 7, &rng);
     Table t = MakeTable("molecule_dictionary",
-                        {"molregno", "pref_name", "max_phase"});
+                        {"molregno", "pref_name", "max_phase"},
+                        static_cast<int64_t>(md_names.size()));
     for (size_t i = 0; i < md_names.size(); ++i) {
       t.AppendRow({Value::Int(5000 + static_cast<int64_t>(i)),
                    Value::String(md_names[i]),
@@ -105,7 +112,8 @@ GeneratedDataset GenerateChemblLike(const ChemblSpec& spec) {
   // --- cell_dictionary (alternate 1:1 keys) ------------------------------
   {
     Table t = MakeTable("cell_dictionary",
-                        {"cell_id", "cell_name", "cell_description"});
+                        {"cell_id", "cell_name", "cell_description"},
+                        spec.num_cells);
     for (int i = 0; i < spec.num_cells; ++i) {
       t.AppendRow({Value::Int(i), Value::String(cell_names[i]),
                    Value::String(cell_descriptions[i])});
@@ -117,7 +125,8 @@ GeneratedDataset GenerateChemblLike(const ChemblSpec& spec) {
   // two join keys connect assays <-> cell_dictionary (compatible views) ---
   {
     Table t = MakeTable("assays", {"assay_id", "assay_type", "cell_name",
-                                   "cell_description", "organism"});
+                                   "cell_description", "organism"},
+                        spec.num_assays);
     for (int i = 0; i < spec.num_assays; ++i) {
       int cell = static_cast<int>(rng.UniformInt(0, spec.num_cells - 1));
       t.AppendRow({Value::Int(20000 + i),
@@ -134,7 +143,8 @@ GeneratedDataset GenerateChemblLike(const ChemblSpec& spec) {
   // --- target_dictionary: ground truth (pref_name, organism) -------------
   {
     Table t = MakeTable("target_dictionary",
-                        {"tid", "pref_name", "organism", "target_type"});
+                        {"tid", "pref_name", "organism", "target_type"},
+                        spec.num_targets);
     for (int i = 0; i < spec.num_targets; ++i) {
       t.AppendRow({Value::Int(i), Value::String(target_names[i]),
                    Value::String(target_organism[i]),
@@ -151,7 +161,8 @@ GeneratedDataset GenerateChemblLike(const ChemblSpec& spec) {
   {
     Table t = MakeTable(
         "component_sequences",
-        {"component_id", "pref_name", "organism", "sequence_length"});
+        {"component_id", "pref_name", "organism", "sequence_length"},
+        spec.num_targets + spec.num_targets / 8);
     int keep = static_cast<int>(0.9 * spec.num_targets);
     std::vector<size_t> chosen =
         rng.SampleWithoutReplacement(target_names.size(), keep);
@@ -184,7 +195,8 @@ GeneratedDataset GenerateChemblLike(const ChemblSpec& spec) {
 
   // --- component_class ----------------------------------------------------
   {
-    Table t = MakeTable("component_class", {"component_id", "protein_class"});
+    Table t = MakeTable("component_class", {"component_id", "protein_class"},
+                        spec.num_targets);
     int num_components = static_cast<int>(0.9 * spec.num_targets);
     for (int i = 0; i < num_components; ++i) {
       if (rng.Bernoulli(0.8)) {
@@ -199,7 +211,8 @@ GeneratedDataset GenerateChemblLike(const ChemblSpec& spec) {
   // --- activities ----------------------------------------------------------
   {
     Table t = MakeTable("activities", {"activity_id", "compound_id",
-                                       "assay_id", "standard_value"});
+                                       "assay_id", "standard_value"},
+                        spec.num_activities);
     for (int i = 0; i < spec.num_activities; ++i) {
       t.AppendRow(
           {Value::Int(90000 + i),
@@ -216,7 +229,8 @@ GeneratedDataset GenerateChemblLike(const ChemblSpec& spec) {
     std::vector<std::string> rec_names =
         NoisePool(compound_names, 0.82, "Rec-", spec.num_compounds / 6, &rng);
     Table t = MakeTable("compound_records",
-                        {"record_id", "pref_name", "record_source"});
+                        {"record_id", "pref_name", "record_source"},
+                        static_cast<int64_t>(rec_names.size()));
     for (size_t i = 0; i < rec_names.size(); ++i) {
       t.AppendRow({Value::Int(40000 + static_cast<int64_t>(i)),
                    Value::String(rec_names[i]),
@@ -230,7 +244,8 @@ GeneratedDataset GenerateChemblLike(const ChemblSpec& spec) {
   {
     std::vector<std::string> sample_names =
         NoisePool(cell_names, 0.85, "SMP-", spec.num_cells / 6, &rng);
-    Table t = MakeTable("biosamples", {"sample_id", "sample_name", "tissue"});
+    Table t = MakeTable("biosamples", {"sample_id", "sample_name", "tissue"},
+                        static_cast<int64_t>(sample_names.size()));
     static const std::vector<std::string> kTissues = {
         "lung", "liver", "brain", "kidney", "skin", "blood"};
     for (size_t i = 0; i < sample_names.size(); ++i) {
@@ -249,7 +264,7 @@ GeneratedDataset GenerateChemblLike(const ChemblSpec& spec) {
   const auto& nouns = GenericNouns();
   for (int f = 0; f < spec.num_filler_tables; ++f) {
     Table t = MakeTable("dict_" + std::to_string(f),
-                        {"id", "name", "category"});
+                        {"id", "name", "category"}, 40);
     std::vector<std::string> names =
         SyntheticNames("D" + std::to_string(f) + "-", 40,
                        rng.Fork(0xf00 + f));

@@ -70,7 +70,7 @@ std::unordered_set<uint64_t> CanonicalRowSet(const Table& t) {
   set.reserve(static_cast<size_t>(t.num_rows()));
   for (int64_t r = 0; r < t.num_rows(); ++r) {
     uint64_t h = 0x726f7768617368ULL;
-    for (int c : cols) h = HashCombine(h, t.at(r, c).Hash());
+    for (int c : cols) h = HashCombine(h, t.cell_hash(r, c));
     set.insert(h);
   }
   return set;

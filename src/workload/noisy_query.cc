@@ -24,13 +24,14 @@ namespace {
 
 std::vector<std::string> DistinctTexts(const TableRepository& repo,
                                        const ColumnRef& ref) {
+  // Dictionary columns yield each distinct cell once with no row scan;
+  // text-level duplicates (2 vs 2.0 both render "2") collapse via `seen`.
   std::unordered_set<std::string> seen;
   std::vector<std::string> out;
-  for (const Value& v : repo.column_values(ref)) {
-    if (v.is_null()) continue;
+  repo.column_data(ref).ForEachDistinctCell([&](CellView v) {
     std::string text = v.ToText();
     if (seen.insert(text).second) out.push_back(std::move(text));
-  }
+  });
   std::sort(out.begin(), out.end());  // determinism across hash orders
   return out;
 }

@@ -73,6 +73,7 @@ GeneratedDataset GenerateOpenDataLike(const OpenDataSpec& spec) {
       schema.AddAttribute(Attribute{pool.attr_name, ValueType::kString});
       schema.AddAttribute(Attribute{"registry_id", ValueType::kInt});
       Table t("od_registry_" + pool.attr_name, schema);
+      t.Reserve(static_cast<int64_t>(pool.values.size()));
       for (size_t v = 0; v < pool.values.size(); ++v) {
         t.AppendRow({Value::String(pool.values[v]),
                      Value::Int(static_cast<int64_t>(v))});
@@ -119,6 +120,7 @@ GeneratedDataset GenerateOpenDataLike(const OpenDataSpec& spec) {
       rows = std::min<int>(rows, static_cast<int>(pool_sample.size()));
     }
     Table t(table_name, schema);
+    t.Reserve(rows);
     std::vector<std::string> uniques =
         SyntheticNames(noun + std::to_string(i) + "-", rows,
                        rng.Fork(0xabc));
@@ -146,6 +148,7 @@ GeneratedDataset GenerateOpenDataLike(const OpenDataSpec& spec) {
       alt_schema.AddAttribute(Attribute{other_attr, ValueType::kString});
       alt_schema.AddAttribute(Attribute{noun + "_count", ValueType::kInt});
       Table alt(table_name + "_alt", alt_schema);
+      alt.Reserve(rows);
       std::vector<std::string> alt_uniques =
           SyntheticNames(noun + std::to_string(i) + "x-", rows,
                          rng.Fork(0xabd));

@@ -11,12 +11,17 @@ namespace ver {
 namespace {
 
 Table MakeTable(const std::string& name,
-                const std::vector<std::string>& attrs) {
+                const std::vector<std::string>& attrs,
+                int64_t expected_rows = 0) {
   Schema schema;
   for (const std::string& a : attrs) {
     schema.AddAttribute(Attribute{a, ValueType::kString});
   }
-  return Table(name, schema);
+  Table t(name, schema);
+  // Pre-size columns (an upper bound is fine) so the append loops below
+  // never reallocate mid-load.
+  if (expected_rows > 0) t.Reserve(expected_rows);
+  return t;
 }
 
 void MustAdd(TableRepository* repo, Table t) {
@@ -65,7 +70,7 @@ void EmitTopic(const Topic& topic, int versions, Rng* rng,
 
   {
     Table t = MakeTable(topic.table_prefix + "_master",
-                        {topic.key_attr, topic.value_attr});
+                        {topic.key_attr, topic.value_attr}, master_n);
     for (int i = 0; i < master_n; ++i) {
       t.AppendRow({Value::String(topic.keys[i]),
                    Value::Parse(topic.values[i])});
@@ -78,7 +83,7 @@ void EmitTopic(const Topic& topic, int versions, Rng* rng,
     // subsets (contained), random full-domain subsets (complementary), and
     // some conflicting-fact versions (contradictory).
     Table t = MakeTable(topic.table_prefix + "_v" + std::to_string(v),
-                        {topic.key_attr, topic.value_attr});
+                        {topic.key_attr, topic.value_attr}, n);
     std::vector<size_t> members;
     if (v < 2) {
       // Exact duplicate of the master.
@@ -152,7 +157,8 @@ GeneratedDataset GenerateWdcLike(const WdcSpec& spec) {
   // state_mailing.state_name: most states + fake region names (noise for
   // the 'state' key); country_codes.country_name analogous.
   {
-    Table t = MakeTable("state_mailing", {"state_name", "zip_prefix"});
+    Table t = MakeTable("state_mailing", {"state_name", "zip_prefix"},
+                        static_cast<int64_t>(states.size()) + 8);
     int keep = static_cast<int>(0.86 * states.size());
     for (size_t idx : rng.SampleWithoutReplacement(states.size(), keep)) {
       t.AppendRow({Value::String(states[idx]),
@@ -166,7 +172,8 @@ GeneratedDataset GenerateWdcLike(const WdcSpec& spec) {
     MustAdd(&dataset.repo, std::move(t));
   }
   {
-    Table t = MakeTable("country_codes", {"country_name", "iso_code"});
+    Table t = MakeTable("country_codes", {"country_name", "iso_code"},
+                        static_cast<int64_t>(countries.size()) + 8);
     int keep = static_cast<int>(0.85 * countries.size());
     for (size_t idx : rng.SampleWithoutReplacement(countries.size(), keep)) {
       t.AppendRow({Value::String(countries[idx]),
@@ -190,7 +197,7 @@ GeneratedDataset GenerateWdcLike(const WdcSpec& spec) {
   for (int f = 0; f < spec.num_filler_tables; ++f) {
     std::string noun = nouns[rng.SkewedIndex(nouns.size())];
     Table t = MakeTable("web_" + noun + "_" + std::to_string(f),
-                        {noun + "_name", "city", "count"});
+                        {noun + "_name", "city", "count"}, 40);
     int rows = static_cast<int>(rng.UniformInt(8, 40));
     std::vector<std::string> names =
         SyntheticNames(noun + "-", rows, rng.Fork(0x1000 + f));

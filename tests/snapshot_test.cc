@@ -361,5 +361,101 @@ TEST(SnapshotTest, ServerStartsFromSnapshotWithoutRebuild) {
   std::remove(path.c_str());
 }
 
+// --------------- format v2: columnar repo tables section ------------------
+
+// A v1-era snapshot (previous format version, no columnar table section)
+// must still load and answer bit-identically; LoadRepository must decline
+// it with guidance rather than crash.
+TEST(SnapshotTest, PreviousFormatVersionStillLoads) {
+  SnapshotFixture& f = Fixture();
+  ASSERT_FALSE(f.queries.empty());
+  auto built = DiscoveryEngine::Build(f.dataset.repo);
+  std::string v2_path = TempPath("ver_snapshot_v2.versnap");
+  ASSERT_TRUE(built->Save(v2_path).ok());
+
+  // Reconstruct a faithful v1 file: same index sections, minus the v2
+  // repo-tables section (id 7), framed with format version 1.
+  std::vector<SnapshotSection> sections;
+  uint32_t version = 0;
+  ASSERT_TRUE(ReadSnapshotFile(v2_path, &sections, &version).ok());
+  EXPECT_EQ(version, kSnapshotFormatVersion);
+  std::vector<SnapshotSection> v1_sections;
+  for (SnapshotSection& s : sections) {
+    if (s.id != 7) v1_sections.push_back(std::move(s));
+  }
+  ASSERT_EQ(v1_sections.size(), sections.size() - 1);
+  std::string v1_path = TempPath("ver_snapshot_v1.versnap");
+  ASSERT_TRUE(
+      WriteSnapshotFile(v1_path, v1_sections, /*format_version=*/1).ok());
+
+  Result<std::unique_ptr<DiscoveryEngine>> loaded =
+      DiscoveryEngine::Load(f.dataset.repo, v1_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  VerConfig config;
+  Ver fresh(&f.dataset.repo, config);
+  Ver restored(&f.dataset.repo, config, std::move(loaded).value());
+  for (const ExampleQuery& q : f.queries) {
+    EXPECT_EQ(Fingerprint(fresh.RunQuery(q)),
+              Fingerprint(restored.RunQuery(q)));
+  }
+
+  Result<TableRepository> no_tables = DiscoveryEngine::LoadRepository(v1_path);
+  ASSERT_FALSE(no_tables.ok());
+  EXPECT_TRUE(no_tables.status().IsNotFound())
+      << no_tables.status().ToString();
+  EXPECT_NE(no_tables.status().ToString().find("version"), std::string::npos);
+
+  std::remove(v1_path.c_str());
+  std::remove(v2_path.c_str());
+}
+
+// New-format snapshots embed the repository in columnar form: a process
+// with only the snapshot file reconstructs tables bit-identically and
+// serves queries without touching a CSV.
+TEST(SnapshotTest, RepositoryRoundTripsThroughColumnarSections) {
+  SnapshotFixture& f = Fixture();
+  ASSERT_FALSE(f.queries.empty());
+  auto built = DiscoveryEngine::Build(f.dataset.repo);
+  std::string path = TempPath("ver_snapshot_repo_rt.versnap");
+  ASSERT_TRUE(built->Save(path).ok());
+
+  Result<TableRepository> reloaded = DiscoveryEngine::LoadRepository(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  TableRepository repo2 = std::move(reloaded).value();
+  ASSERT_EQ(repo2.num_tables(), f.dataset.repo.num_tables());
+  for (int32_t t = 0; t < repo2.num_tables(); ++t) {
+    const Table& a = f.dataset.repo.table(t);
+    const Table& b = repo2.table(t);
+    ASSERT_EQ(a.name(), b.name());
+    ASSERT_EQ(a.schema().ToString(), b.schema().ToString());
+    ASSERT_EQ(a.AllRowHashes(), b.AllRowHashes()) << a.name();
+  }
+
+  // The reconstructed repository satisfies the snapshot's fingerprint, so
+  // the full engine loads over it and answers bit-identically.
+  Result<std::unique_ptr<DiscoveryEngine>> engine =
+      DiscoveryEngine::Load(repo2, path);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  VerConfig config;
+  Ver fresh(&f.dataset.repo, config);
+  Ver restored(&repo2, config, std::move(engine).value());
+  for (const ExampleQuery& q : f.queries) {
+    EXPECT_EQ(Fingerprint(fresh.RunQuery(q)),
+              Fingerprint(restored.RunQuery(q)));
+  }
+
+  // Corrupting a byte inside the repo-tables section payload must surface
+  // as a checksum error from LoadRepository, never a crash.
+  std::string bytes = ReadFileBytes(path);
+  std::string flipped = bytes;
+  flipped[bytes.size() - 12] ^= 0x10;  // inside the last section's payload
+  std::string bad_path = TempPath("ver_snapshot_repo_bad.versnap");
+  WriteFileBytes(bad_path, flipped);
+  Result<TableRepository> corrupt = DiscoveryEngine::LoadRepository(bad_path);
+  EXPECT_FALSE(corrupt.ok());
+  std::remove(bad_path.c_str());
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace ver
