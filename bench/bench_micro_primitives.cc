@@ -11,6 +11,7 @@
 #include "util/levenshtein.h"
 #include "util/minhash.h"
 #include "util/rng.h"
+#include "util/check.h"
 
 namespace ver {
 namespace {
@@ -62,9 +63,9 @@ Table RandomTable(const std::string& name, int rows, int key_domain,
   Table t(name, schema);
   Rng rng(seed);
   for (int i = 0; i < rows; ++i) {
-    t.AppendRow(
-        {Value::String("key" + std::to_string(rng.UniformInt(0, key_domain))),
-         Value::Int(rng.UniformInt(0, 1 << 20))});
+    VER_CHECK_OK(t.AppendRow(
+                     {Value::String("key" + std::to_string(rng.UniformInt(0, key_domain))),
+                      Value::Int(rng.UniformInt(0, 1 << 20))}));
   }
   return t;
 }
@@ -122,9 +123,9 @@ void BM_Distill4C(benchmark::State& state) {
     v.table = Table("view_" + std::to_string(i), schema);
     int rows = static_cast<int>(rng.UniformInt(20, 60));
     for (int r = 0; r < rows; ++r) {
-      v.table.AppendRow(
-          {Value::String("key" + std::to_string(rng.UniformInt(0, 99))),
-           Value::Int(rng.UniformInt(0, 3))});
+      VER_CHECK_OK(v.table.AppendRow(
+                       {Value::String("key" + std::to_string(rng.UniformInt(0, 99))),
+                        Value::Int(rng.UniformInt(0, 3))}));
     }
     views.push_back(std::move(v));
   }

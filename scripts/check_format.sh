@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Source-hygiene gate, in two tiers:
+#
+#  1. Mechanical lint that needs no tooling: rejects tab indentation, CRLF
+#     line endings, trailing whitespace, and files missing a final newline
+#     in every C++ source under src/, tests/, bench/, examples/.
+#  2. clang-format --dry-run against .clang-format — but only when
+#     clang-format is installed. Developer machines without it still get
+#     tier 1; CI installs clang-format so both tiers run there.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mapfile -t files < <(find src tests bench examples \
+  \( -name '*.cc' -o -name '*.h' \) | sort)
+
+fail=0
+
+for f in "${files[@]}"; do
+  if grep -qP '\r$' "$f"; then
+    echo "$f: CRLF line endings"
+    fail=1
+  fi
+  if grep -qP '^\t' "$f"; then
+    echo "$f: tab indentation"
+    fail=1
+  fi
+  ws=$(grep -nP '[ \t]+$' "$f" || true)
+  if [ -n "$ws" ]; then
+    head -3 <<<"$ws" | sed "s|^|$f: trailing whitespace at line |"
+    fail=1
+  fi
+  if [ -s "$f" ] && [ -n "$(tail -c 1 "$f")" ]; then
+    echo "$f: missing newline at end of file"
+    fail=1
+  fi
+done
+
+if command -v clang-format >/dev/null 2>&1; then
+  if ! clang-format --dry-run -Werror "${files[@]}"; then
+    echo "clang-format check FAILED (run: clang-format -i <files>)"
+    fail=1
+  fi
+else
+  echo "note: clang-format not installed; skipped style tier (lint tier ran)"
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "format check FAILED"
+  exit 1
+fi
+echo "format check OK: ${#files[@]} files"

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "table/csv.h"
+#include "util/check.h"
 #include "util/hash.h"
 
 namespace ver {
@@ -98,6 +99,11 @@ Result<Table> Materializer::Materialize(
                                  .column_data(edge.right.column_index);
       std::vector<std::vector<int64_t>> kept;
       for (auto& tuple : state.tuples) {
+        // Every tuple carries one row index per bound table, in bind order;
+        // a shorter tuple would read a stale slot below.
+        VER_DCHECK(tuple.size() == state.tables.size())
+            << "tuple width " << tuple.size() << " != " << state.tables.size()
+            << " bound tables";
         CellView lv = lc.cell(tuple[left_idx]);
         CellView rv = rc.cell(tuple[right_idx]);
         if (!lv.is_null() && lv == rv) kept.push_back(std::move(tuple));
@@ -126,6 +132,9 @@ Result<Table> Materializer::Materialize(
         repo_->table(bound_col.table_id).column_data(bound_col.column_index);
     std::vector<std::vector<int64_t>> next;
     for (const auto& tuple : state.tuples) {
+      VER_DCHECK(static_cast<size_t>(bound_idx) < tuple.size())
+          << "bound slot " << bound_idx << " outside tuple of "
+          << tuple.size();
       int64_t bound_row = tuple[bound_idx];
       if (bound_data.is_null(bound_row)) continue;
       auto it = build.find(bound_data.CellHash(bound_row));
@@ -181,6 +190,9 @@ Result<Table> Materializer::Materialize(
   row.reserve(projection.size());
   for (size_t ti = 0; ti < state.tuples.size(); ++ti) {
     const std::vector<int64_t>& tuple = state.tuples[ti];
+    VER_DCHECK(tuple.size() == state.tables.size())
+        << "tuple width " << tuple.size() << " != " << state.tables.size()
+        << " bound tables at projection";
     if (options.distinct) {
       uint64_t h = 0x726f7768617368ULL;
       for (size_t p = 0; p < projection.size(); ++p) {

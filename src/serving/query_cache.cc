@@ -6,7 +6,7 @@ namespace ver {
 
 std::shared_ptr<const QueryResult> QueryCache::Lookup(
     const std::string& key, bool* early_terminated) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++counters_.misses;
@@ -24,7 +24,7 @@ void QueryCache::Insert(const std::string& key,
                         std::shared_ptr<const QueryResult> result,
                         bool early_terminated) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->result = std::move(result);
@@ -42,18 +42,18 @@ void QueryCache::Insert(const std::string& key,
 }
 
 void QueryCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   index_.clear();
   lru_.clear();
 }
 
 QueryCache::Counters QueryCache::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return counters_;
 }
 
 size_t QueryCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return lru_.size();
 }
 

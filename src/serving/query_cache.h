@@ -14,13 +14,14 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "api/discovery_request.h"
 #include "core/query.h"
 #include "core/ver.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace ver {
 
@@ -67,11 +68,12 @@ class QueryCache {
     bool early_terminated = false;
   };
 
-  mutable std::mutex mu_;
-  size_t capacity_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  Counters counters_;
+  mutable Mutex mu_;
+  const size_t capacity_;  // immutable after construction, needs no guard
+  std::list<Entry> lru_ VER_GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      VER_GUARDED_BY(mu_);
+  Counters counters_ VER_GUARDED_BY(mu_);
 };
 
 }  // namespace ver

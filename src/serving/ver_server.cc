@@ -3,6 +3,8 @@
 #include <string>
 #include <utility>
 
+#include "util/check.h"
+
 namespace ver {
 
 namespace {
@@ -63,10 +65,15 @@ VerServer::VerServer(std::shared_ptr<const Ver> ver, ServingOptions options)
 bool VerServer::SwapSnapshot(std::shared_ptr<const Ver> ver) {
   if (ver == nullptr) return false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!accepting_) return false;
     ver_ = std::move(ver);
+    const uint64_t prev_epoch = snapshot_epoch_;
     ++snapshot_epoch_;
+    // The cache-correctness argument below hinges on epochs never reusing
+    // a value; a wrapped counter would let an old snapshot's entry answer
+    // a post-swap query.
+    VER_CHECK(snapshot_epoch_ > prev_epoch) << "snapshot epoch overflowed";
   }
   snapshot_swaps_.fetch_add(1, std::memory_order_relaxed);
   // Results computed on earlier snapshots are keyed under earlier epochs
@@ -79,7 +86,7 @@ bool VerServer::SwapSnapshot(std::shared_ptr<const Ver> ver) {
 }
 
 std::shared_ptr<const Ver> VerServer::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return ver_;
 }
 
@@ -129,7 +136,7 @@ std::shared_ptr<QueryTicket> VerServer::Submit(DiscoveryRequest request,
   // caller's observer) runs outside it.
   Status admit;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!accepting_ || pool_ == nullptr) {
       admit = Status::Unavailable("server is shut down");
     } else if (options_.max_queue_depth > 0 &&
@@ -137,6 +144,12 @@ std::shared_ptr<QueryTicket> VerServer::Submit(DiscoveryRequest request,
       admit = Status::Unavailable("submission queue is full");
     } else {
       queue_.push_back(ticket);
+      // Admission happens strictly under mu_, so an admitted request can
+      // never push the queue past the configured bound.
+      VER_DCHECK(options_.max_queue_depth <= 0 ||
+                 static_cast<int>(queue_.size()) <= options_.max_queue_depth)
+          << "queue depth " << queue_.size() << " exceeds bound "
+          << options_.max_queue_depth;
       if (static_cast<int64_t>(queue_.size()) > peak_queue_depth_) {
         peak_queue_depth_ = static_cast<int64_t>(queue_.size());
       }
@@ -171,7 +184,7 @@ ServedResult VerServer::Serve(DiscoveryRequest request) {
 void VerServer::Shutdown() {
   std::unique_ptr<ThreadPool> pool;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     accepting_ = false;
     pool = std::move(pool_);
   }
@@ -185,7 +198,7 @@ void VerServer::ServeOne() {
   std::shared_ptr<const Ver> snapshot;
   uint64_t epoch;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (queue_.empty()) return;  // ticket served by an earlier task
     ticket = std::move(queue_.front());
     queue_.pop_front();
@@ -194,6 +207,8 @@ void VerServer::ServeOne() {
     snapshot = ver_;
     epoch = snapshot_epoch_;
   }
+  VER_DCHECK(ticket != nullptr) << "null ticket admitted to queue";
+  VER_DCHECK(snapshot != nullptr) << "serving with no snapshot installed";
 
   auto started = std::chrono::steady_clock::now();
   ServedResult out;
@@ -305,7 +320,7 @@ ServerStats VerServer::stats() const {
   s.cache_misses = c.misses;
   s.cache_evictions = c.evictions;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     s.current_queue_depth = static_cast<int64_t>(queue_.size());
     s.peak_queue_depth = peak_queue_depth_;
   }

@@ -36,7 +36,6 @@
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 
 #include "api/discovery_request.h"
 #include "api/discovery_response.h"
@@ -45,6 +44,8 @@
 #include "serving/query_cache.h"
 #include "serving/serving_options.h"
 #include "storage/repository.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace ver {
@@ -226,15 +227,17 @@ class VerServer {
   // Guards the served snapshot, the submission queue, the accepting flag,
   // the queue-depth peak, and pool submission (so Shutdown cannot destroy
   // the pool under a concurrent Submit).
-  mutable std::mutex mu_;
-  std::shared_ptr<const Ver> ver_;
+  mutable Mutex mu_;
+  std::shared_ptr<const Ver> ver_ VER_GUARDED_BY(mu_);
   // Bumped per swap; prefixes cache keys so a result computed on an old
-  // snapshot can never answer a query admitted after the swap.
-  uint64_t snapshot_epoch_ = 0;
-  std::deque<std::shared_ptr<QueryTicket>> queue_;
-  int64_t peak_queue_depth_ = 0;
-  bool accepting_ = true;
-  std::unique_ptr<ThreadPool> pool_;
+  // snapshot can never answer a query admitted after the swap. Strictly
+  // monotonic (VER_CHECKed in SwapSnapshot) — a reused epoch would let an
+  // old snapshot's cached result answer a post-swap query.
+  uint64_t snapshot_epoch_ VER_GUARDED_BY(mu_) = 0;
+  std::deque<std::shared_ptr<QueryTicket>> queue_ VER_GUARDED_BY(mu_);
+  int64_t peak_queue_depth_ VER_GUARDED_BY(mu_) = 0;
+  bool accepting_ VER_GUARDED_BY(mu_) = true;
+  std::unique_ptr<ThreadPool> pool_ VER_GUARDED_BY(mu_);
 
   std::atomic<int64_t> submitted_{0};
   std::atomic<int64_t> served_ok_{0};

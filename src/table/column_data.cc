@@ -142,6 +142,7 @@ void ColumnData::AppendValidityBit(bool non_null) {
 }
 
 void ColumnData::Reserve(int64_t rows) {
+  VER_DCHECK(rows >= 0) << "negative reservation " << rows;
   if (rows > reserved_rows_) reserved_rows_ = rows;
   valid_words_.reserve(static_cast<size_t>(rows + 63) / 64);
   switch (enc_) {
@@ -313,6 +314,11 @@ uint32_t ColumnData::Intern(const CellView& v) {
   for (uint32_t c : bucket) {
     if (EntryEquals(c, v)) return c;
   }
+  // Codes are uint32; a column with 2^32 distinct cells would silently wrap
+  // new codes onto existing entries. Checked per new *entry*, not per row,
+  // so the cost is invisible.
+  VER_CHECK(entry_types_.size() < UINT32_MAX)
+      << "dictionary overflow: 2^32 distinct cells in one column";
   uint32_t code = static_cast<uint32_t>(entry_types_.size());
   entry_types_.push_back(static_cast<uint8_t>(v.type()));
   switch (v.type()) {
@@ -349,6 +355,8 @@ void ColumnData::EnsureLookup() {
 }
 
 CellView ColumnData::dict_entry(uint32_t code) const {
+  VER_DCHECK(code < entry_types_.size())
+      << "code " << code << " outside dictionary of " << entry_types_.size();
   switch (static_cast<ValueType>(entry_types_[code])) {
     case ValueType::kInt:
       return CellView::Int(static_cast<int64_t>(entry_payload_[code]));

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "table/value.h"
+#include "util/check.h"
 #include "util/serde.h"
 
 namespace ver {
@@ -179,6 +180,8 @@ class ColumnData {
   /// cached entry hash without touching string bytes.
   uint64_t CellHash(int64_t row) const;
   bool is_null(int64_t row) const {
+    VER_DCHECK(row >= 0 && row < num_rows_)
+        << "row " << row << " outside column of " << num_rows_;
     return (valid_words_[static_cast<size_t>(row) >> 6] &
             (uint64_t{1} << (row & 63))) == 0;
   }
@@ -218,9 +221,19 @@ class ColumnData {
   // Dictionary access (valid only when is_dict()).
   size_t dict_size() const { return entry_types_.size(); }
   /// Dictionary code of a non-null row.
-  uint32_t code(int64_t row) const { return codes_[row]; }
+  uint32_t code(int64_t row) const {
+    VER_DCHECK(is_dict()) << "code() on a " << ColumnEncodingToString(enc_)
+                          << " column";
+    VER_DCHECK(!is_null(row)) << "code() on null row " << row;
+    return codes_[row];
+  }
   CellView dict_entry(uint32_t code) const;
-  uint64_t dict_entry_hash(uint32_t code) const { return entry_hashes_[code]; }
+  uint64_t dict_entry_hash(uint32_t code) const {
+    VER_DCHECK(code < entry_hashes_.size())
+        << "code " << code << " outside dictionary of "
+        << entry_hashes_.size();
+    return entry_hashes_[code];
+  }
 
   /// Sorts the dictionary into cell total order (ties broken by type then
   /// payload bits), remaps codes, frees the intern map and drops capacity

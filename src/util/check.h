@@ -1,0 +1,108 @@
+// VER_CHECK: machine-checked invariants for conditions the code used to
+// trust silently.
+//
+// A failed check prints `file:line  CHECK failed: <expr>  <message>` to
+// stderr and aborts — an invariant violation means the process state is
+// undefined, and continuing would turn a loud crash into silent data
+// corruption. Checks are NOT error handling: anything a caller could
+// plausibly trigger (bad file bytes, out-of-range user input) must return a
+// Status instead. The full CHECK-vs-DCHECK-vs-Status policy is in
+// docs/HARDENING.md.
+//
+//   VER_CHECK(cond)            always on, in every build type
+//   VER_CHECK_OK(status_expr)  always on; prints Status::ToString() on fail
+//   VER_DCHECK(cond)           debug builds only; compiled out (with its
+//                              arguments still semantically checked but not
+//                              evaluated) under NDEBUG — use on hot paths
+//   VER_DCHECK_OK(status_expr) debug-only variant of VER_CHECK_OK
+//
+// Every macro accepts a streamed message tail for context:
+//
+//   VER_CHECK(row < num_rows_) << "row " << row << " of " << num_rows_;
+//
+// The message expressions after `<<` are evaluated only when the check
+// fails, so an expensive diagnostic (e.g. ToString of a large object) costs
+// nothing on the success path.
+
+#ifndef VER_UTIL_CHECK_H_
+#define VER_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "util/status.h"
+
+namespace ver {
+namespace internal {
+
+/// Accumulates the streamed message of a failing check and aborts in its
+/// destructor. Constructed only on the failure path.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr) {
+    stream_ << file << ":" << line << "  CHECK failed: " << expr;
+  }
+
+  /// Appends user context: `VER_CHECK(x) << "detail " << v;`.
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << sep() << v;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+ private:
+  const char* sep() {
+    if (separated_) return "";
+    separated_ = true;
+    return "  ";
+  }
+
+  std::ostringstream stream_;
+  bool separated_ = false;
+};
+
+/// Swallows streamed message operands of a compiled-out VER_DCHECK without
+/// evaluating them (it sits on the never-taken branch of a short-circuit).
+class CheckSink {
+ public:
+  template <typename T>
+  CheckSink& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace ver
+
+/// Fatal unless `cond` is true. Enabled in every build type.
+#define VER_CHECK(cond)                                      \
+  while (!(cond))                                            \
+  ::ver::internal::CheckFailure(__FILE__, __LINE__, #cond)
+
+/// Fatal unless `status_expr` evaluates to an OK Status.
+#define VER_CHECK_OK(status_expr)                                        \
+  for (::ver::Status _ver_check_st = (status_expr); !_ver_check_st.ok();) \
+  ::ver::internal::CheckFailure(__FILE__, __LINE__, #status_expr)        \
+      << _ver_check_st.ToString()
+
+#ifndef NDEBUG
+#define VER_DCHECK(cond) VER_CHECK(cond)
+#define VER_DCHECK_OK(status_expr) VER_CHECK_OK(status_expr)
+#else
+// `false && (cond)`: the condition still type-checks (so a DCHECK cannot
+// bit-rot in release-only code paths) but is never evaluated, and the whole
+// statement folds away.
+#define VER_DCHECK(cond) \
+  while (false && (cond)) ::ver::internal::CheckSink()
+#define VER_DCHECK_OK(status_expr) \
+  while (false && (status_expr).ok()) ::ver::internal::CheckSink()
+#endif
+
+#endif  // VER_UTIL_CHECK_H_

@@ -1,0 +1,92 @@
+// Annotated locking primitives: std::mutex / std::condition_variable with
+// Clang thread-safety capabilities attached.
+//
+// libstdc++'s std::lock_guard and std::unique_lock carry no thread-safety
+// attributes, so Clang's -Wthread-safety analysis cannot see that they
+// acquire anything — a VER_GUARDED_BY member would warn on every access
+// even inside a perfectly-locked critical section. These zero-overhead
+// wrappers (every method is a single inlined forward) close that gap:
+//
+//   Mutex      a std::mutex that is a Clang "capability"
+//   MutexLock  std::lock_guard equivalent the analysis understands
+//   CondVar    std::condition_variable bound to Mutex; Wait() REQUIRES the
+//              mutex, so predicate loops type-check under the analysis
+//
+// CondVar deliberately has no predicate-lambda Wait overload: the analysis
+// cannot see into a lambda that a predicate would capture guarded state in.
+// Write the standard explicit loop instead — it reads the same and every
+// guarded access stays visible to the compiler:
+//
+//   MutexLock lock(&mu_);
+//   while (!ready_) cv_.Wait(mu_);     // ready_ is VER_GUARDED_BY(mu_)
+
+#ifndef VER_UTIL_MUTEX_H_
+#define VER_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace ver {
+
+/// A std::mutex registered with Clang's capability analysis. Lock/Unlock
+/// are for the RAII wrapper and CondVar; application code should use
+/// MutexLock scopes.
+class VER_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() VER_ACQUIRE() { mu_.lock(); }
+  void Unlock() VER_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII critical section over a Mutex (lock_guard equivalent). Takes a
+/// pointer so call sites read `MutexLock lock(&mu_);` — acquiring a lock is
+/// a side effect worth an explicit `&`.
+class VER_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) VER_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() VER_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable bound to a Mutex. Wait() must be called with the
+/// mutex held (enforced by the analysis) and returns with it held.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, reacquires `mu`.
+  /// Spurious wakeups happen; callers loop on their predicate.
+  void Wait(Mutex& mu) VER_REQUIRES(mu) {
+    // The caller's MutexLock owns the mutex; adopt it for the duration of
+    // the wait and release() afterwards so ownership stays with the caller.
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ver
+
+#endif  // VER_UTIL_MUTEX_H_

@@ -20,7 +20,7 @@ namespace ver {
 ///   if (!r.ok()) return r.status();
 ///   Table t = std::move(r).value();
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: `return my_table;`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

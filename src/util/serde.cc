@@ -154,28 +154,28 @@ Status SerdeReader::ReadU64(uint64_t* out) {
 }
 
 Status SerdeReader::ReadI32(int32_t* out) {
-  uint32_t v;
+  uint32_t v = 0;
   VER_RETURN_IF_ERROR(ReadU32(&v));
   *out = static_cast<int32_t>(v);
   return Status::OK();
 }
 
 Status SerdeReader::ReadI64(int64_t* out) {
-  uint64_t v;
+  uint64_t v = 0;
   VER_RETURN_IF_ERROR(ReadU64(&v));
   *out = static_cast<int64_t>(v);
   return Status::OK();
 }
 
 Status SerdeReader::ReadBool(bool* out) {
-  uint8_t v;
+  uint8_t v = 0;
   VER_RETURN_IF_ERROR(ReadU8(&v));
   *out = v != 0;
   return Status::OK();
 }
 
 Status SerdeReader::ReadDouble(double* out) {
-  uint64_t bits;
+  uint64_t bits = 0;
   VER_RETURN_IF_ERROR(ReadU64(&bits));
   std::memcpy(out, &bits, sizeof(bits));
   return Status::OK();
@@ -192,6 +192,7 @@ Status SerdeReader::ReadString(std::string* out) {
 
 Status SerdeReader::CheckCount(uint64_t count, size_t elem_width,
                                const char* what) {
+  VER_DCHECK(elem_width > 0) << "zero element width for " << what;
   // Divide instead of multiplying: count * width could wrap size_t for a
   // crafted count, sneaking a huge resize() past the bounds check.
   if (count > remaining() / elem_width) {
@@ -284,6 +285,7 @@ Status SerdeReader::ReadU8Vector(std::vector<uint8_t>* out) {
 }
 
 Status SerdeReader::ReadRaw(void* out, size_t n) {
+  VER_DCHECK(out != nullptr || n == 0) << "null destination for raw read";
   VER_RETURN_IF_ERROR(Need(n, "raw bytes"));
   std::memcpy(out, data_.data() + pos_, n);
   pos_ += n;

@@ -14,6 +14,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/check.h"
 #include "util/status.h"
 
 namespace ver {
@@ -72,7 +73,13 @@ class SerdeReader {
   /// Bulk copy of `n` raw bytes (section payload extraction).
   Status ReadRaw(void* out, size_t n);
 
-  size_t remaining() const { return data_.size() - pos_; }
+  size_t remaining() const {
+    // Every Read advances pos_ only after a successful bounds check, so the
+    // cursor can never pass the end — the subtraction cannot wrap.
+    VER_DCHECK(pos_ <= data_.size())
+        << "reader cursor " << pos_ << " past payload of " << data_.size();
+    return data_.size() - pos_;
+  }
   /// Error when payload bytes are left over (format drift guard).
   Status ExpectEnd() const;
 

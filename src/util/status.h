@@ -33,7 +33,12 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// An OK status carries no message and is cheap to copy. Construct error
 /// statuses via the named factories, e.g. `Status::NotFound("no such table")`.
-class Status {
+///
+/// [[nodiscard]]: ignoring a returned Status is a compile error under the
+/// tree-wide -Werror — handle it, propagate it with VER_RETURN_IF_ERROR, or
+/// assert it away with VER_CHECK_OK (util/check.h) when failure would mean
+/// a programming bug rather than a runtime condition.
+class [[nodiscard]] Status {
  public:
   /// Default-constructed status is OK.
   Status() : code_(StatusCode::kOk) {}

@@ -1,0 +1,55 @@
+// Clang thread-safety annotations for compiler-enforced lock discipline.
+//
+// Annotating a member with VER_GUARDED_BY(mu_) (or a function with
+// VER_REQUIRES / VER_EXCLUDES) turns lock misuse into a *build error* under
+// Clang's -Wthread-safety analysis — reading guarded state without the
+// mutex, re-acquiring a held lock, returning with a lock held — instead of
+// a timing-dependent TSan report. GCC does not implement the analysis, so
+// every macro expands to nothing there; the annotations are zero-cost
+// documentation on one compiler and machine-checked contracts on the other.
+//
+// The CI job `clang-static-analysis` builds the tree with Clang and
+// -Werror=thread-safety, so an unannotated mutex acquisition or a guarded
+// access outside its critical section cannot merge. Conventions (which
+// state gets annotated, how to name the guarding mutex in comments) are in
+// docs/HARDENING.md.
+//
+// The macro set mirrors the standard abseil/LLVM vocabulary, prefixed to
+// stay collision-free:
+//
+//   VER_GUARDED_BY(mu)      data member readable/writable only with `mu` held
+//   VER_PT_GUARDED_BY(mu)   pointer member whose *pointee* needs `mu`
+//   VER_REQUIRES(mu)        function must be called with `mu` held
+//   VER_EXCLUDES(mu)        function must be called with `mu` NOT held
+//   VER_ACQUIRE(mu)         function acquires `mu` and returns holding it
+//   VER_RELEASE(mu)         function releases `mu`
+//   VER_CAPABILITY(x)       type acts as a lockable capability (for wrappers)
+//   VER_SCOPED_CAPABILITY   RAII type that acquires in ctor, releases in dtor
+//   VER_RETURN_CAPABILITY(mu)  function returns a reference to `mu`
+//   VER_NO_THREAD_SAFETY_ANALYSIS  opt a function out (justify in a comment)
+
+#ifndef VER_UTIL_THREAD_ANNOTATIONS_H_
+#define VER_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define VER_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define VER_THREAD_ANNOTATION(x)  // no-op: GCC/MSVC lack -Wthread-safety
+#endif
+
+#define VER_GUARDED_BY(x) VER_THREAD_ANNOTATION(guarded_by(x))
+#define VER_PT_GUARDED_BY(x) VER_THREAD_ANNOTATION(pt_guarded_by(x))
+#define VER_REQUIRES(...) \
+  VER_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define VER_EXCLUDES(...) VER_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define VER_ACQUIRE(...) \
+  VER_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define VER_RELEASE(...) \
+  VER_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define VER_CAPABILITY(x) VER_THREAD_ANNOTATION(capability(x))
+#define VER_SCOPED_CAPABILITY VER_THREAD_ANNOTATION(scoped_lockable)
+#define VER_RETURN_CAPABILITY(x) VER_THREAD_ANNOTATION(lock_returned(x))
+#define VER_NO_THREAD_SAFETY_ANALYSIS \
+  VER_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // VER_UTIL_THREAD_ANNOTATIONS_H_

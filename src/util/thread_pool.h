@@ -9,13 +9,14 @@
 #ifndef VER_UTIL_THREAD_POOL_H_
 #define VER_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace ver {
 
@@ -43,12 +44,12 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  std::queue<std::function<void()>> tasks_ VER_GUARDED_BY(mu_);
+  CondVar task_ready_;
+  CondVar all_done_;
+  size_t in_flight_ VER_GUARDED_BY(mu_) = 0;
+  bool stop_ VER_GUARDED_BY(mu_) = false;
 };
 
 /// Resolves a `parallelism` knob to a worker count: 0 means "all hardware

@@ -5,6 +5,7 @@
 
 #include "util/string_util.h"
 #include "workload/vocab.h"
+#include "util/check.h"
 
 namespace ver {
 
@@ -84,10 +85,11 @@ GeneratedDataset GenerateChemblLike(const ChemblSpec& spec) {
                         {"compound_id", "pref_name", "molweight", "formula"},
                         spec.num_compounds);
     for (int i = 0; i < spec.num_compounds; ++i) {
-      t.AppendRow({Value::Int(1000 + i), Value::String(compound_names[i]),
-                   Value::Double(100.0 + rng.UniformInt(0, 7000) / 10.0),
-                   Value::String("C" + std::to_string(rng.UniformInt(5, 40)) +
-                                 "H" + std::to_string(rng.UniformInt(5, 60)))});
+      VER_CHECK_OK(
+          t.AppendRow({Value::Int(1000 + i), Value::String(compound_names[i]),
+                       Value::Double(100.0 + rng.UniformInt(0, 7000) / 10.0),
+                       Value::String("C" + std::to_string(rng.UniformInt(5, 40)) +
+                                     "H" + std::to_string(rng.UniformInt(5, 60)))}));
     }
     MustAdd(&dataset.repo, std::move(t));
   }
@@ -102,9 +104,9 @@ GeneratedDataset GenerateChemblLike(const ChemblSpec& spec) {
                         {"molregno", "pref_name", "max_phase"},
                         static_cast<int64_t>(md_names.size()));
     for (size_t i = 0; i < md_names.size(); ++i) {
-      t.AppendRow({Value::Int(5000 + static_cast<int64_t>(i)),
-                   Value::String(md_names[i]),
-                   Value::Int(rng.UniformInt(0, 4))});
+      VER_CHECK_OK(t.AppendRow({Value::Int(5000 + static_cast<int64_t>(i)),
+                                Value::String(md_names[i]),
+                                Value::Int(rng.UniformInt(0, 4))}));
     }
     MustAdd(&dataset.repo, std::move(t));
   }
@@ -115,8 +117,8 @@ GeneratedDataset GenerateChemblLike(const ChemblSpec& spec) {
                         {"cell_id", "cell_name", "cell_description"},
                         spec.num_cells);
     for (int i = 0; i < spec.num_cells; ++i) {
-      t.AppendRow({Value::Int(i), Value::String(cell_names[i]),
-                   Value::String(cell_descriptions[i])});
+      VER_CHECK_OK(t.AppendRow({Value::Int(i), Value::String(cell_names[i]),
+                                Value::String(cell_descriptions[i])}));
     }
     MustAdd(&dataset.repo, std::move(t));
   }
@@ -129,13 +131,13 @@ GeneratedDataset GenerateChemblLike(const ChemblSpec& spec) {
                         spec.num_assays);
     for (int i = 0; i < spec.num_assays; ++i) {
       int cell = static_cast<int>(rng.UniformInt(0, spec.num_cells - 1));
-      t.AppendRow({Value::Int(20000 + i),
-                   Value::String(assay_types[rng.SkewedIndex(
-                       assay_types.size())]),
-                   Value::String(cell_names[cell]),
-                   Value::String(cell_descriptions[cell]),
-                   Value::String(organisms[rng.SkewedIndex(
-                       organisms.size())])});
+      VER_CHECK_OK(t.AppendRow({Value::Int(20000 + i),
+                                Value::String(assay_types[rng.SkewedIndex(
+                                    assay_types.size())]),
+                                Value::String(cell_names[cell]),
+                                Value::String(cell_descriptions[cell]),
+                                Value::String(organisms[rng.SkewedIndex(
+                                    organisms.size())])}));
     }
     MustAdd(&dataset.repo, std::move(t));
   }
@@ -146,10 +148,10 @@ GeneratedDataset GenerateChemblLike(const ChemblSpec& spec) {
                         {"tid", "pref_name", "organism", "target_type"},
                         spec.num_targets);
     for (int i = 0; i < spec.num_targets; ++i) {
-      t.AppendRow({Value::Int(i), Value::String(target_names[i]),
-                   Value::String(target_organism[i]),
-                   Value::String(rng.Bernoulli(0.7) ? "SINGLE PROTEIN"
-                                                    : "PROTEIN COMPLEX")});
+      VER_CHECK_OK(t.AppendRow({Value::Int(i), Value::String(target_names[i]),
+                                Value::String(target_organism[i]),
+                                Value::String(rng.Bernoulli(0.7) ? "SINGLE PROTEIN"
+                                                                 : "PROTEIN COMPLEX")}));
     }
     MustAdd(&dataset.repo, std::move(t));
   }
@@ -179,16 +181,16 @@ GeneratedDataset GenerateChemblLike(const ChemblSpec& spec) {
         }
         organism = other;
       }
-      t.AppendRow({Value::Int(component_id++),
-                   Value::String(target_names[idx]), Value::String(organism),
-                   Value::Int(rng.UniformInt(120, 3000))});
+      VER_CHECK_OK(t.AppendRow({Value::Int(component_id++),
+                                Value::String(target_names[idx]), Value::String(organism),
+                                Value::Int(rng.UniformInt(120, 3000))}));
     }
     // A few extra components not in target_dictionary.
     for (const std::string& name : SyntheticNames(
              "CMP-", spec.num_targets / 8, rng.Fork(0xc0))) {
-      t.AppendRow({Value::Int(component_id++), Value::String(name),
-                   Value::String(organisms[rng.SkewedIndex(organisms.size())]),
-                   Value::Int(rng.UniformInt(120, 3000))});
+      VER_CHECK_OK(t.AppendRow({Value::Int(component_id++), Value::String(name),
+                                Value::String(organisms[rng.SkewedIndex(organisms.size())]),
+                                Value::Int(rng.UniformInt(120, 3000))}));
     }
     MustAdd(&dataset.repo, std::move(t));
   }
@@ -200,9 +202,9 @@ GeneratedDataset GenerateChemblLike(const ChemblSpec& spec) {
     int num_components = static_cast<int>(0.9 * spec.num_targets);
     for (int i = 0; i < num_components; ++i) {
       if (rng.Bernoulli(0.8)) {
-        t.AppendRow({Value::Int(7000 + i),
-                     Value::String(protein_classes[rng.SkewedIndex(
-                         protein_classes.size())])});
+        VER_CHECK_OK(t.AppendRow({Value::Int(7000 + i),
+                                  Value::String(protein_classes[rng.SkewedIndex(
+                                      protein_classes.size())])}));
       }
     }
     MustAdd(&dataset.repo, std::move(t));
@@ -214,11 +216,11 @@ GeneratedDataset GenerateChemblLike(const ChemblSpec& spec) {
                                        "assay_id", "standard_value"},
                         spec.num_activities);
     for (int i = 0; i < spec.num_activities; ++i) {
-      t.AppendRow(
-          {Value::Int(90000 + i),
-           Value::Int(1000 + rng.UniformInt(0, spec.num_compounds - 1)),
-           Value::Int(20000 + rng.UniformInt(0, spec.num_assays - 1)),
-           Value::Double(rng.UniformInt(1, 99999) / 100.0)});
+      VER_CHECK_OK(t.AppendRow(
+                       {Value::Int(90000 + i),
+                        Value::Int(1000 + rng.UniformInt(0, spec.num_compounds - 1)),
+                        Value::Int(20000 + rng.UniformInt(0, spec.num_assays - 1)),
+                        Value::Double(rng.UniformInt(1, 99999) / 100.0)}));
     }
     MustAdd(&dataset.repo, std::move(t));
   }
@@ -232,10 +234,10 @@ GeneratedDataset GenerateChemblLike(const ChemblSpec& spec) {
                         {"record_id", "pref_name", "record_source"},
                         static_cast<int64_t>(rec_names.size()));
     for (size_t i = 0; i < rec_names.size(); ++i) {
-      t.AppendRow({Value::Int(40000 + static_cast<int64_t>(i)),
-                   Value::String(rec_names[i]),
-                   Value::String(rng.Bernoulli(0.5) ? "LITERATURE"
-                                                    : "DEPOSITION")});
+      VER_CHECK_OK(t.AppendRow({Value::Int(40000 + static_cast<int64_t>(i)),
+                                Value::String(rec_names[i]),
+                                Value::String(rng.Bernoulli(0.5) ? "LITERATURE"
+                                                                 : "DEPOSITION")}));
     }
     MustAdd(&dataset.repo, std::move(t));
   }
@@ -249,9 +251,9 @@ GeneratedDataset GenerateChemblLike(const ChemblSpec& spec) {
     static const std::vector<std::string> kTissues = {
         "lung", "liver", "brain", "kidney", "skin", "blood"};
     for (size_t i = 0; i < sample_names.size(); ++i) {
-      t.AppendRow({Value::Int(60000 + static_cast<int64_t>(i)),
-                   Value::String(sample_names[i]),
-                   Value::String(kTissues[rng.SkewedIndex(kTissues.size())])});
+      VER_CHECK_OK(t.AppendRow({Value::Int(60000 + static_cast<int64_t>(i)),
+                                Value::String(sample_names[i]),
+                                Value::String(kTissues[rng.SkewedIndex(kTissues.size())])}));
     }
     MustAdd(&dataset.repo, std::move(t));
   }
@@ -276,10 +278,10 @@ GeneratedDataset GenerateChemblLike(const ChemblSpec& spec) {
           target_names[rng.UniformInt(0, target_names.size() - 1)];
     }
     for (size_t i = 0; i < names.size(); ++i) {
-      t.AppendRow({Value::Int(static_cast<int64_t>(f) * 1000 +
-                              static_cast<int64_t>(i)),
-                   Value::String(names[i]),
-                   Value::String(nouns[rng.SkewedIndex(nouns.size())])});
+      VER_CHECK_OK(t.AppendRow({Value::Int(static_cast<int64_t>(f) * 1000 +
+                                           static_cast<int64_t>(i)),
+                                Value::String(names[i]),
+                                Value::String(nouns[rng.SkewedIndex(nouns.size())])}));
     }
     MustAdd(&dataset.repo, std::move(t));
   }

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "workload/vocab.h"
+#include "util/check.h"
 
 namespace ver {
 
@@ -75,8 +76,8 @@ GeneratedDataset GenerateOpenDataLike(const OpenDataSpec& spec) {
       Table t("od_registry_" + pool.attr_name, schema);
       t.Reserve(static_cast<int64_t>(pool.values.size()));
       for (size_t v = 0; v < pool.values.size(); ++v) {
-        t.AppendRow({Value::String(pool.values[v]),
-                     Value::Int(static_cast<int64_t>(v))});
+        VER_CHECK_OK(t.AppendRow({Value::String(pool.values[v]),
+                                  Value::Int(static_cast<int64_t>(v))}));
       }
       MustAdd(&dataset.repo, std::move(t));
       continue;
@@ -131,7 +132,7 @@ GeneratedDataset GenerateOpenDataLike(const OpenDataSpec& spec) {
       }
       row.push_back(Value::String(uniques[r]));
       row.push_back(Value::Int(rng.UniformInt(0, 100000)));
-      t.AppendRow(std::move(row));
+      VER_CHECK_OK(t.AppendRow(std::move(row)));
     }
     MustAdd(&dataset.repo, std::move(t));
 
@@ -158,9 +159,10 @@ GeneratedDataset GenerateOpenDataLike(const OpenDataSpec& spec) {
         const std::string& payload =
             (r % 10 < 7) ? uniques[static_cast<size_t>((r + 1) % rows)]
                          : alt_uniques[static_cast<size_t>(r)];
-        alt.AppendRow({Value::String(pool_sample[static_cast<size_t>(r)]),
-                       Value::String(payload),
-                       Value::Int(rng.UniformInt(0, 100000))});
+        VER_CHECK_OK(
+            alt.AppendRow({Value::String(pool_sample[static_cast<size_t>(r)]),
+                           Value::String(payload),
+                           Value::Int(rng.UniformInt(0, 100000))}));
       }
       MustAdd(&dataset.repo, std::move(alt));
     }

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "workload/vocab.h"
+#include "util/check.h"
 
 namespace ver {
 
@@ -72,8 +73,8 @@ void EmitTopic(const Topic& topic, int versions, Rng* rng,
     Table t = MakeTable(topic.table_prefix + "_master",
                         {topic.key_attr, topic.value_attr}, master_n);
     for (int i = 0; i < master_n; ++i) {
-      t.AppendRow({Value::String(topic.keys[i]),
-                   Value::Parse(topic.values[i])});
+      VER_CHECK_OK(t.AppendRow({Value::String(topic.keys[i]),
+                                Value::Parse(topic.values[i])}));
     }
     MustAdd(repo, std::move(t));
   }
@@ -109,7 +110,8 @@ void EmitTopic(const Topic& topic, int versions, Rng* rng,
     for (size_t idx : members) {
       const std::string& value =
           alternative ? topic.alt_values[idx] : topic.values[idx];
-      t.AppendRow({Value::String(topic.keys[idx]), Value::Parse(value)});
+      VER_CHECK_OK(
+          t.AppendRow({Value::String(topic.keys[idx]), Value::Parse(value)}));
     }
     MustAdd(repo, std::move(t));
   }
@@ -161,13 +163,13 @@ GeneratedDataset GenerateWdcLike(const WdcSpec& spec) {
                         static_cast<int64_t>(states.size()) + 8);
     int keep = static_cast<int>(0.86 * states.size());
     for (size_t idx : rng.SampleWithoutReplacement(states.size(), keep)) {
-      t.AppendRow({Value::String(states[idx]),
-                   Value::String(std::to_string(rng.UniformInt(100, 999)))});
+      VER_CHECK_OK(t.AppendRow({Value::String(states[idx]),
+                                Value::String(std::to_string(rng.UniformInt(100, 999)))}));
     }
     for (const std::string& fake :
          SyntheticNames("Region of ", 8, rng.Fork(21))) {
-      t.AppendRow({Value::String(fake),
-                   Value::String(std::to_string(rng.UniformInt(100, 999)))});
+      VER_CHECK_OK(t.AppendRow({Value::String(fake),
+                                Value::String(std::to_string(rng.UniformInt(100, 999)))}));
     }
     MustAdd(&dataset.repo, std::move(t));
   }
@@ -176,12 +178,12 @@ GeneratedDataset GenerateWdcLike(const WdcSpec& spec) {
                         static_cast<int64_t>(countries.size()) + 8);
     int keep = static_cast<int>(0.85 * countries.size());
     for (size_t idx : rng.SampleWithoutReplacement(countries.size(), keep)) {
-      t.AppendRow({Value::String(countries[idx]),
-                   Value::String(IataCodes(1, rng.Fork(idx + 500))[0])});
+      VER_CHECK_OK(t.AppendRow({Value::String(countries[idx]),
+                                Value::String(IataCodes(1, rng.Fork(idx + 500))[0])}));
     }
     for (const std::string& fake :
          SyntheticNames("Territory of ", 8, rng.Fork(22))) {
-      t.AppendRow({Value::String(fake), Value::String("ZZZ")});
+      VER_CHECK_OK(t.AppendRow({Value::String(fake), Value::String("ZZZ")}));
     }
     MustAdd(&dataset.repo, std::move(t));
   }
@@ -210,8 +212,8 @@ GeneratedDataset GenerateWdcLike(const WdcSpec& spec) {
         name = states[rng.SkewedIndex(states.size())];
         city = countries[rng.SkewedIndex(countries.size())];
       }
-      t.AppendRow({Value::String(name), Value::String(city),
-                   Value::Int(rng.UniformInt(1, 5000))});
+      VER_CHECK_OK(t.AppendRow({Value::String(name), Value::String(city),
+                                Value::Int(rng.UniformInt(1, 5000))}));
     }
     MustAdd(&dataset.repo, std::move(t));
   }

@@ -1,0 +1,98 @@
+// Death tests for the VER_CHECK / VER_DCHECK / VER_CHECK_OK assertion
+// library: a failed check must abort with file:line, the failed
+// expression, and any streamed message; a passing check must be free of
+// side effects beyond evaluating its condition exactly once.
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace ver {
+namespace {
+
+TEST(CheckTest, PassingCheckDoesNotAbort) {
+  VER_CHECK(1 + 1 == 2);
+  VER_CHECK(true) << "message is not evaluated on success";
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsWithExpression) {
+  EXPECT_DEATH(VER_CHECK(2 + 2 == 5), "CHECK failed: 2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, FailureMessageNamesFileAndLine) {
+  // __FILE__ may be absolute or relative depending on the build; match the
+  // basename followed by a line number.
+  EXPECT_DEATH(VER_CHECK(false), "check_test\\.cc:[0-9]+");
+}
+
+TEST(CheckDeathTest, StreamedValuesAppearInMessage) {
+  int rows = 7;
+  EXPECT_DEATH(VER_CHECK(rows == 0) << "rows=" << rows << " in segment "
+                                    << "alpha",
+               "rows=7.*alpha");
+}
+
+TEST(CheckTest, ConditionEvaluatedExactlyOnce) {
+  int evals = 0;
+  VER_CHECK(++evals > 0);
+  EXPECT_EQ(evals, 1);
+}
+
+TEST(CheckTest, DanglingElseSafe) {
+  // Must parse as a single statement: the else below binds to the outer
+  // if, not to anything inside the macro expansion.
+  bool took_else = false;
+  if (false)
+    VER_CHECK(true);
+  else
+    took_else = true;
+  EXPECT_TRUE(took_else);
+}
+
+TEST(CheckOkTest, OkStatusPasses) {
+  VER_CHECK_OK(Status::OK());
+}
+
+TEST(CheckOkDeathTest, ErrorStatusAbortsWithStatusText) {
+  EXPECT_DEATH(VER_CHECK_OK(Status::IOError("disk on fire")),
+               "CHECK failed:.*disk on fire");
+}
+
+TEST(CheckOkTest, StatusExpressionEvaluatedExactlyOnce) {
+  int evals = 0;
+  auto make_ok = [&evals]() {
+    ++evals;
+    return Status::OK();
+  };
+  VER_CHECK_OK(make_ok());
+  EXPECT_EQ(evals, 1);
+}
+
+#ifdef NDEBUG
+
+TEST(DCheckTest, CompiledOutInRelease) {
+  // The condition must not even be evaluated: release-mode DCHECK costs
+  // nothing on the hot path.
+  int evals = 0;
+  VER_DCHECK(++evals > 0);
+  EXPECT_EQ(evals, 0);
+  VER_DCHECK(false) << "never reached in release";
+}
+
+#else  // !NDEBUG
+
+TEST(DCheckDeathTest, ActiveInDebugBuilds) {
+  EXPECT_DEATH(VER_DCHECK(false) << "debug invariant", "debug invariant");
+}
+
+TEST(DCheckTest, PassingDCheckEvaluatesOnce) {
+  int evals = 0;
+  VER_DCHECK(++evals > 0);
+  EXPECT_EQ(evals, 1);
+}
+
+#endif  // NDEBUG
+
+}  // namespace
+}  // namespace ver

@@ -11,6 +11,7 @@
 #include "table/column_data.h"
 #include "table/table.h"
 #include "util/serde.h"
+#include "util/check.h"
 
 namespace ver {
 namespace {
@@ -363,9 +364,9 @@ TEST(ColumnDataTest, TableSerdeRoundTripsBitIdentically) {
   schema.AddAttribute(Attribute{"name", ValueType::kString});
   schema.AddAttribute(Attribute{"score", ValueType::kDouble});
   Table t("mixed", schema);
-  t.AppendRow({Value::String("alice"), Value::Double(1.5)});
-  t.AppendRow({Value::Null(), Value::Int(2)});
-  t.AppendRow({Value::String("bob"), Value::Null()});
+  VER_CHECK_OK(t.AppendRow({Value::String("alice"), Value::Double(1.5)}));
+  VER_CHECK_OK(t.AppendRow({Value::Null(), Value::Int(2)}));
+  VER_CHECK_OK(t.AppendRow({Value::String("bob"), Value::Null()}));
   t.Seal();
 
   SerdeWriter w;
@@ -386,11 +387,12 @@ TEST(ColumnDataTest, ProjectDistinctSurvivesHashCollisionSemantics) {
   Schema schema;
   schema.AddAttribute(Attribute{"a", ValueType::kString});
   Table t("t", schema);
-  t.AppendRow({Value::String("x")});
-  t.AppendRow({Value::String("x")});
-  t.AppendRow({Value::Int(2)});
-  t.AppendRow({Value::Double(2.0)});  // hash-equal, compare-equal twin
-  t.AppendRow({Value::String("y")});
+  VER_CHECK_OK(t.AppendRow({Value::String("x")}));
+  VER_CHECK_OK(t.AppendRow({Value::String("x")}));
+  VER_CHECK_OK(t.AppendRow({Value::Int(2)}));
+  // hash-equal, compare-equal twin
+  VER_CHECK_OK(t.AppendRow({Value::Double(2.0)}));
+  VER_CHECK_OK(t.AppendRow({Value::String("y")}));
   Table p = t.Project({0}, /*distinct=*/true, "p");
   // "x" dedupes; Int(2)/Double(2.0) compare equal so they dedupe too.
   EXPECT_EQ(p.num_rows(), 3);
@@ -402,7 +404,8 @@ TEST(ColumnDataTest, ApproxBytesShrinksForRepetitiveStrings) {
   Table t("t", schema);
   const std::string long_val(64, 'z');
   for (int i = 0; i < 1000; ++i) {
-    t.AppendRow({Value::String(long_val + std::to_string(i % 8))});
+    VER_CHECK_OK(
+        t.AppendRow({Value::String(long_val + std::to_string(i % 8))}));
   }
   t.Seal();
   // 1000 cells sharing 8 distinct 65+ byte strings: dictionary storage must

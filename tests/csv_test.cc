@@ -6,6 +6,7 @@
 #include <filesystem>
 
 #include "table/csv.h"
+#include "util/check.h"
 
 namespace ver {
 namespace {
@@ -89,9 +90,9 @@ TEST(CsvWriteTest, QuotesOnlyWhenNeeded) {
   Schema schema;
   schema.AddAttribute(Attribute{"text", ValueType::kString});
   Table t("t", schema);
-  t.AppendRow({Value::String("plain")});
-  t.AppendRow({Value::String("has,comma")});
-  t.AppendRow({Value::String("has\"quote")});
+  VER_CHECK_OK(t.AppendRow({Value::String("plain")}));
+  VER_CHECK_OK(t.AppendRow({Value::String("has,comma")}));
+  VER_CHECK_OK(t.AppendRow({Value::String("has\"quote")}));
   std::string csv = WriteCsvString(t);
   EXPECT_NE(csv.find("plain\n"), std::string::npos);
   EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
@@ -104,8 +105,9 @@ TEST(CsvRoundTripTest, ValuesSurvive) {
   schema.AddAttribute(Attribute{"i", ValueType::kInt});
   schema.AddAttribute(Attribute{"d", ValueType::kDouble});
   Table t("round", schema);
-  t.AppendRow({Value::String("x,y"), Value::Int(-5), Value::Double(2.25)});
-  t.AppendRow({Value::Null(), Value::Int(0), Value::Double(1e6)});
+  VER_CHECK_OK(t.AppendRow(
+      {Value::String("x,y"), Value::Int(-5), Value::Double(2.25)}));
+  VER_CHECK_OK(t.AppendRow({Value::Null(), Value::Int(0), Value::Double(1e6)}));
 
   Result<Table> back = ReadCsvString(WriteCsvString(t), "round");
   ASSERT_TRUE(back.ok());
@@ -126,7 +128,7 @@ TEST(CsvFileTest, WriteAndReadBack) {
   Schema schema;
   schema.AddAttribute(Attribute{"k", ValueType::kInt});
   Table t("roundtrip", schema);
-  t.AppendRow({Value::Int(1)});
+  VER_CHECK_OK(t.AppendRow({Value::Int(1)}));
   ASSERT_TRUE(WriteCsvFile(t, file.string()).ok());
 
   Result<Table> back = ReadCsvFile(file.string());

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "discovery/engine.h"
+#include "util/check.h"
 
 namespace ver {
 namespace {
@@ -21,8 +22,8 @@ TableRepository MakeChainRepo() {
     schema.AddAttribute(Attribute{val_attr, ValueType::kInt});
     Table t(name, schema);
     for (int i = 0; i < 20; ++i) {
-      t.AppendRow({Value::String("k" + std::to_string(i)),
-                   Value::Int(offset + i)});
+      VER_CHECK_OK(t.AppendRow({Value::String("k" + std::to_string(i)),
+                                Value::Int(offset + i)}));
     }
     t.InferColumnTypes();
     EXPECT_TRUE(repo.AddTable(std::move(t)).ok());
@@ -34,7 +35,7 @@ TableRepository MakeChainRepo() {
   schema.AddAttribute(Attribute{"x", ValueType::kString});
   Table d("d", schema);
   for (int i = 0; i < 5; ++i) {
-    d.AppendRow({Value::String("iso" + std::to_string(i))});
+    VER_CHECK_OK(d.AppendRow({Value::String("iso" + std::to_string(i))}));
   }
   EXPECT_TRUE(repo.AddTable(std::move(d)).ok());
   return repo;

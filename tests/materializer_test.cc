@@ -9,6 +9,7 @@
 #include "engine/materializer.h"
 #include "table/csv.h"
 #include "util/rng.h"
+#include "util/check.h"
 
 namespace ver {
 namespace {
@@ -56,9 +57,9 @@ std::multiset<std::string> ViewRows(const Table& t) {
 TEST(MaterializerTest, SingleTableProjection) {
   TableRepository repo;
   Table t("t", MakeSchema({"a", "b"}));
-  t.AppendRow({Value::String("x"), Value::String("1")});
-  t.AppendRow({Value::String("x"), Value::String("1")});
-  t.AppendRow({Value::String("y"), Value::String("2")});
+  VER_CHECK_OK(t.AppendRow({Value::String("x"), Value::String("1")}));
+  VER_CHECK_OK(t.AppendRow({Value::String("x"), Value::String("1")}));
+  VER_CHECK_OK(t.AppendRow({Value::String("y"), Value::String("2")}));
   ASSERT_TRUE(repo.AddTable(std::move(t)).ok());
 
   JoinGraph graph;
@@ -73,15 +74,15 @@ TEST(MaterializerTest, SingleTableProjection) {
 TEST(MaterializerTest, TwoTableHashJoinMatchesReference) {
   TableRepository repo;
   Table left("left", MakeSchema({"k", "lval"}));
-  left.AppendRow({Value::String("a"), Value::String("l1")});
-  left.AppendRow({Value::String("b"), Value::String("l2")});
-  left.AppendRow({Value::String("c"), Value::String("l3")});
-  left.AppendRow({Value::String("a"), Value::String("l4")});
+  VER_CHECK_OK(left.AppendRow({Value::String("a"), Value::String("l1")}));
+  VER_CHECK_OK(left.AppendRow({Value::String("b"), Value::String("l2")}));
+  VER_CHECK_OK(left.AppendRow({Value::String("c"), Value::String("l3")}));
+  VER_CHECK_OK(left.AppendRow({Value::String("a"), Value::String("l4")}));
   Table right("right", MakeSchema({"k", "rval"}));
-  right.AppendRow({Value::String("a"), Value::String("r1")});
-  right.AppendRow({Value::String("b"), Value::String("r2")});
-  right.AppendRow({Value::String("b"), Value::String("r3")});
-  right.AppendRow({Value::String("z"), Value::String("r4")});
+  VER_CHECK_OK(right.AppendRow({Value::String("a"), Value::String("r1")}));
+  VER_CHECK_OK(right.AppendRow({Value::String("b"), Value::String("r2")}));
+  VER_CHECK_OK(right.AppendRow({Value::String("b"), Value::String("r3")}));
+  VER_CHECK_OK(right.AppendRow({Value::String("z"), Value::String("r4")}));
   const Table lcopy = left;
   const Table rcopy = right;
   ASSERT_TRUE(repo.AddTable(std::move(left)).ok());
@@ -101,11 +102,11 @@ TEST(MaterializerTest, TwoTableHashJoinMatchesReference) {
 TEST(MaterializerTest, NullKeysNeverJoin) {
   TableRepository repo;
   Table left("left", MakeSchema({"k"}));
-  left.AppendRow({Value::Null()});
-  left.AppendRow({Value::String("a")});
+  VER_CHECK_OK(left.AppendRow({Value::Null()}));
+  VER_CHECK_OK(left.AppendRow({Value::String("a")}));
   Table right("right", MakeSchema({"k"}));
-  right.AppendRow({Value::Null()});
-  right.AppendRow({Value::String("a")});
+  VER_CHECK_OK(right.AppendRow({Value::Null()}));
+  VER_CHECK_OK(right.AppendRow({Value::String("a")}));
   ASSERT_TRUE(repo.AddTable(std::move(left)).ok());
   ASSERT_TRUE(repo.AddTable(std::move(right)).ok());
 
@@ -124,12 +125,12 @@ TEST(MaterializerTest, ChainJoinThreeTables) {
   Table a("a", MakeSchema({"k", "va"}));
   Table b("b", MakeSchema({"k", "k2"}));
   Table c("c", MakeSchema({"k2", "vc"}));
-  a.AppendRow({Value::String("x"), Value::String("a1")});
-  a.AppendRow({Value::String("y"), Value::String("a2")});
-  b.AppendRow({Value::String("x"), Value::String("m1")});
-  b.AppendRow({Value::String("y"), Value::String("m2")});
-  c.AppendRow({Value::String("m1"), Value::String("c1")});
-  c.AppendRow({Value::String("m2"), Value::String("c2")});
+  VER_CHECK_OK(a.AppendRow({Value::String("x"), Value::String("a1")}));
+  VER_CHECK_OK(a.AppendRow({Value::String("y"), Value::String("a2")}));
+  VER_CHECK_OK(b.AppendRow({Value::String("x"), Value::String("m1")}));
+  VER_CHECK_OK(b.AppendRow({Value::String("y"), Value::String("m2")}));
+  VER_CHECK_OK(c.AppendRow({Value::String("m1"), Value::String("c1")}));
+  VER_CHECK_OK(c.AppendRow({Value::String("m2"), Value::String("c2")}));
   ASSERT_TRUE(repo.AddTable(std::move(a)).ok());
   ASSERT_TRUE(repo.AddTable(std::move(b)).ok());
   ASSERT_TRUE(repo.AddTable(std::move(c)).ok());
@@ -152,10 +153,11 @@ TEST(MaterializerTest, CycleEdgeFiltersBindings) {
   TableRepository repo;
   Table a("a", MakeSchema({"k1", "k2"}));
   Table b("b", MakeSchema({"k1", "k2"}));
-  a.AppendRow({Value::String("x"), Value::String("1")});
-  a.AppendRow({Value::String("y"), Value::String("2")});
-  b.AppendRow({Value::String("x"), Value::String("1")});
-  b.AppendRow({Value::String("y"), Value::String("9")});  // k2 mismatch
+  VER_CHECK_OK(a.AppendRow({Value::String("x"), Value::String("1")}));
+  VER_CHECK_OK(a.AppendRow({Value::String("y"), Value::String("2")}));
+  VER_CHECK_OK(b.AppendRow({Value::String("x"), Value::String("1")}));
+  // k2 mismatch
+  VER_CHECK_OK(b.AppendRow({Value::String("y"), Value::String("9")}));
   ASSERT_TRUE(repo.AddTable(std::move(a)).ok());
   ASSERT_TRUE(repo.AddTable(std::move(b)).ok());
 
@@ -175,8 +177,8 @@ TEST(MaterializerTest, IntermediateBlowupGuard) {
   Table a("a", MakeSchema({"k"}));
   Table b("b", MakeSchema({"k"}));
   for (int i = 0; i < 100; ++i) {
-    a.AppendRow({Value::String("same")});
-    b.AppendRow({Value::String("same")});
+    VER_CHECK_OK(a.AppendRow({Value::String("same")}));
+    VER_CHECK_OK(b.AppendRow({Value::String("same")}));
   }
   ASSERT_TRUE(repo.AddTable(std::move(a)).ok());
   ASSERT_TRUE(repo.AddTable(std::move(b)).ok());
@@ -196,7 +198,7 @@ TEST(MaterializerTest, IntermediateBlowupGuard) {
 TEST(MaterializerTest, ProjectionOutsideGraphFails) {
   TableRepository repo;
   Table a("a", MakeSchema({"k"}));
-  a.AppendRow({Value::String("x")});
+  VER_CHECK_OK(a.AppendRow({Value::String("x")}));
   ASSERT_TRUE(repo.AddTable(std::move(a)).ok());
   JoinGraph graph;
   graph.tables = {0};
@@ -221,7 +223,7 @@ TEST(MaterializerTest, SpillWritesCsv) {
 
   TableRepository repo;
   Table t("t", MakeSchema({"a"}));
-  t.AppendRow({Value::String("x")});
+  VER_CHECK_OK(t.AppendRow({Value::String("x")}));
   ASSERT_TRUE(repo.AddTable(std::move(t)).ok());
   JoinGraph graph;
   graph.tables = {0};
@@ -249,8 +251,9 @@ TEST_P(MaterializerPropertyTest, RandomJoinMatchesNestedLoop) {
   auto random_table = [&rng](const std::string& name, int rows) {
     Table t(name, MakeSchema({"k", "v"}));
     for (int i = 0; i < rows; ++i) {
-      t.AppendRow({Value::String("k" + std::to_string(rng.UniformInt(0, 9))),
-                   Value::String(name + std::to_string(i))});
+      VER_CHECK_OK(t.AppendRow(
+          {Value::String("k" + std::to_string(rng.UniformInt(0, 9))),
+           Value::String(name + std::to_string(i))}));
     }
     return t;
   };

@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "storage/repository.h"
+#include "util/check.h"
 
 namespace ver {
 namespace {
@@ -15,7 +16,8 @@ Table SimpleTable(const std::string& name, int rows) {
   schema.AddAttribute(Attribute{"label", ValueType::kString});
   Table t(name, schema);
   for (int i = 0; i < rows; ++i) {
-    t.AppendRow({Value::Int(i), Value::String(name + std::to_string(i))});
+    VER_CHECK_OK(
+        t.AppendRow({Value::Int(i), Value::String(name + std::to_string(i))}));
   }
   return t;
 }

@@ -383,7 +383,9 @@ TEST(ServingTest, QueriesSubmittedBeforeSwapCompleteCleanly) {
     if (fp == fp_b) saw_new = true;
     // Once the new snapshot answers, the old one never answers again (the
     // single worker drains in order, and a swap is atomic at dequeue).
-    if (saw_new) EXPECT_EQ(fp, fp_b);
+    if (saw_new) {
+      EXPECT_EQ(fp, fp_b);
+    }
   }
   // Tickets submitted after the swap ran on the new snapshot.
   EXPECT_TRUE(saw_new);

@@ -4,6 +4,7 @@
 
 #include "table/column_stats.h"
 #include "table/table.h"
+#include "util/check.h"
 
 namespace ver {
 namespace {
@@ -87,9 +88,9 @@ TEST(SchemaTest, UnnamedAttributes) {
 
 Table MakeCityTable() {
   Table t("cities", MakeSchema({"city", "population"}));
-  t.AppendRow({Value::String("Chicago"), Value::Int(2700000)});
-  t.AppendRow({Value::String("Boston"), Value::Int(650000)});
-  t.AppendRow({Value::String("Boston"), Value::Int(650000)});
+  VER_CHECK_OK(t.AppendRow({Value::String("Chicago"), Value::Int(2700000)}));
+  VER_CHECK_OK(t.AppendRow({Value::String("Boston"), Value::Int(650000)}));
+  VER_CHECK_OK(t.AppendRow({Value::String("Boston"), Value::Int(650000)}));
   return t;
 }
 
@@ -145,10 +146,10 @@ TEST(TableTest, ProjectReordersColumns) {
 
 TEST(TableTest, InferColumnTypes) {
   Table t("t", MakeSchema({"i", "d", "s", "n"}));
-  t.AppendRow({Value::Int(1), Value::Double(1.5), Value::String("x"),
-               Value::Null()});
-  t.AppendRow({Value::Int(2), Value::Int(2), Value::String("y"),
-               Value::Null()});
+  VER_CHECK_OK(t.AppendRow({Value::Int(1), Value::Double(1.5),
+                            Value::String("x"), Value::Null()}));
+  VER_CHECK_OK(t.AppendRow({Value::Int(2), Value::Int(2), Value::String("y"),
+                            Value::Null()}));
   t.InferColumnTypes();
   EXPECT_EQ(t.schema().attribute(0).type, ValueType::kInt);
   EXPECT_EQ(t.schema().attribute(1).type, ValueType::kDouble);
@@ -168,9 +169,9 @@ TEST(TableTest, ToStringTruncates) {
 
 TEST(ColumnStatsTest, UniquenessAndNulls) {
   Table t("t", MakeSchema({"k", "v"}));
-  t.AppendRow({Value::Int(1), Value::String("a")});
-  t.AppendRow({Value::Int(2), Value::String("a")});
-  t.AppendRow({Value::Int(3), Value::Null()});
+  VER_CHECK_OK(t.AppendRow({Value::Int(1), Value::String("a")}));
+  VER_CHECK_OK(t.AppendRow({Value::Int(2), Value::String("a")}));
+  VER_CHECK_OK(t.AppendRow({Value::Int(3), Value::Null()}));
   ColumnStats k = ComputeColumnStats(t, 0);
   EXPECT_EQ(k.num_distinct, 3);
   EXPECT_DOUBLE_EQ(k.uniqueness(), 1.0);
@@ -183,17 +184,17 @@ TEST(ColumnStatsTest, UniquenessAndNulls) {
 
 TEST(ColumnStatsTest, DominantType) {
   Table t("t", MakeSchema({"mixed"}));
-  t.AppendRow({Value::Int(1)});
-  t.AppendRow({Value::String("x")});
-  t.AppendRow({Value::String("y")});
+  VER_CHECK_OK(t.AppendRow({Value::Int(1)}));
+  VER_CHECK_OK(t.AppendRow({Value::String("x")}));
+  VER_CHECK_OK(t.AppendRow({Value::String("y")}));
   EXPECT_EQ(ComputeColumnStats(t, 0).dominant_type, ValueType::kString);
 }
 
 TEST(ColumnStatsTest, ApproximateKeyColumns) {
   Table t("t", MakeSchema({"id", "dup", "mostly"}));
   for (int i = 0; i < 20; ++i) {
-    t.AppendRow({Value::Int(i), Value::Int(i % 3),
-                 Value::Int(i < 19 ? i : 0)});  // 19/20 unique
+    VER_CHECK_OK(t.AppendRow({Value::Int(i), Value::Int(i % 3),
+                              Value::Int(i < 19 ? i : 0)}));  // 19/20 unique
   }
   std::vector<int> keys95 = ApproximateKeyColumns(t, 0.95);
   ASSERT_EQ(keys95.size(), 2u);  // id exact, "mostly" at 0.95
@@ -206,9 +207,9 @@ TEST(ColumnStatsTest, ApproximateKeyColumns) {
 
 TEST(ColumnStatsTest, DistinctValueHashesSkipNulls) {
   Table t("t", MakeSchema({"x"}));
-  t.AppendRow({Value::Null()});
-  t.AppendRow({Value::Int(5)});
-  t.AppendRow({Value::Int(5)});
+  VER_CHECK_OK(t.AppendRow({Value::Null()}));
+  VER_CHECK_OK(t.AppendRow({Value::Int(5)}));
+  VER_CHECK_OK(t.AppendRow({Value::Int(5)}));
   EXPECT_EQ(DistinctValueHashes(t, 0).size(), 1u);
 }
 

@@ -12,6 +12,7 @@
 #include "workload/simulated_user.h"
 #include "workload/vocab.h"
 #include "workload/wdc_gen.h"
+#include "util/check.h"
 
 namespace ver {
 namespace {
@@ -298,7 +299,7 @@ TEST(SimulatedUserTest, AnswersTruthfullyWhenCompetent) {
     Schema s;
     s.AddAttribute(Attribute{"country", ValueType::kString});
     v.table = Table("view_0", s);
-    v.table.AppendRow({Value::String("china")});
+    VER_CHECK_OK(v.table.AppendRow({Value::String("china")}));
     views.push_back(std::move(v));
   }
   DistillationResult d;
