@@ -12,6 +12,7 @@
 
 #include "bench_common.h"
 #include "serving/ver_server.h"
+#include "util/latency_recorder.h"
 
 namespace ver {
 namespace bench {
@@ -41,18 +42,29 @@ void Run() {
               dataset.repo.num_tables(), queries.size(), rounds, total);
 
   VerConfig config;
-  TextTable table({"mode", "workers", "cache", "total", "QPS", "hit rate"});
+  TextTable table({"mode", "workers", "cache", "total", "QPS", "p50", "p99",
+                   "hit rate"});
 
-  // Serial baseline: one Ver, one thread, no cache.
+  // Serial baseline: one Ver, one thread, no cache. Per-query latencies go
+  // through the same histogram type the server uses, so the quantile
+  // columns are apples to apples.
   {
     Ver serial(&dataset.repo, config);
+    LatencyRecorder recorder;
     auto start = std::chrono::steady_clock::now();
     for (int r = 0; r < rounds; ++r) {
-      for (const ExampleQuery& q : queries) serial.RunQuery(q);
+      for (const ExampleQuery& q : queries) {
+        auto begin = std::chrono::steady_clock::now();
+        serial.RunQuery(q);
+        recorder.Record(SecondsSince(begin));
+      }
     }
     double elapsed = SecondsSince(start);
+    LatencyStats serial_stats = recorder.Snapshot();
     table.AddRow({"serial Ver", "1", "off", FormatSeconds(elapsed),
-                  std::to_string(static_cast<int>(total / elapsed)), "-"});
+                  std::to_string(static_cast<int>(total / elapsed)),
+                  FormatSeconds(serial_stats.p50_s),
+                  FormatSeconds(serial_stats.p99_s), "-"});
   }
 
   for (int workers : {1, 2, 4, 8}) {
@@ -86,14 +98,20 @@ void Run() {
                       100.0 * stats.cache_hits /
                           (stats.cache_hits + stats.cache_misses));
       }
+      // End-to-end (submit -> completion) quantiles from the server's own
+      // lock-free histogram — the mean alone hides the queueing tail.
       table.AddRow({"VerServer", std::to_string(workers),
                     cached ? "64" : "off", FormatSeconds(elapsed),
                     std::to_string(static_cast<int>(total / elapsed)),
-                    hit_rate});
+                    FormatSeconds(stats.total.p50_s),
+                    FormatSeconds(stats.total.p99_s), hit_rate});
     }
   }
   table.Print();
-  std::printf("\nQPS = end-to-end serves per second including queueing.\n");
+  std::printf(
+      "\nQPS = end-to-end serves per second including queueing; p50/p99 are\n"
+      "per-request submit->completion latency (serial rows: RunQuery wall\n"
+      "clock) from the util/latency_recorder.h histograms.\n");
 }
 
 }  // namespace

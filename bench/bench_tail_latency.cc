@@ -1,0 +1,284 @@
+// Tail latency under skewed concurrent load: zipf-distributed queries from
+// M client threads hammer VerServer, and the server's lock-free per-stage
+// histograms (util/latency_recorder.h) report p50/p99/p999 for queue wait,
+// pipeline time and end-to-end total — once with admission control off
+// (the queue grows without bound and the total tail explodes past every
+// deadline) and once with predictive deadline shedding on (infeasible
+// requests are rejected at Submit, so the served tail stays bounded near
+// the deadline). No paper counterpart — the paper's system is single-query;
+// this measures the serving-layer extension's overload behavior.
+//
+// Emits BENCH_tail.json (override with VER_BENCH_JSON). CI greps the stdout
+// for WARNING as a regression gate: a WARNING fires when the shed-mode
+// served p999 exceeds its bound or when the no-shed run fails to exhibit
+// the overload the comparison depends on.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/discovery_request.h"
+#include "bench_common.h"
+#include "serving/ver_server.h"
+
+namespace ver {
+namespace bench {
+namespace {
+
+// Deterministic 64-bit mixer (splitmix64) for per-thread streams.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Zipf(s) sampler over {0..n-1} via the precomputed harmonic CDF: rank r
+// is drawn with probability (1/(r+1)^s) / H — the canonical skewed-serving
+// workload (a few hot queries, a long cold tail).
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double s) : cdf_(static_cast<size_t>(n)) {
+    double h = 0;
+    for (int r = 0; r < n; ++r) {
+      h += 1.0 / std::pow(static_cast<double>(r + 1), s);
+      cdf_[static_cast<size_t>(r)] = h;
+    }
+    for (double& c : cdf_) c /= h;
+  }
+
+  int Sample(uint64_t* state) const {
+    *state = Mix(*state);
+    // 53-bit mantissa uniform in [0, 1).
+    const double u =
+        static_cast<double>(*state >> 11) * (1.0 / 9007199254740992.0);
+    return static_cast<int>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+struct ModeResult {
+  std::string mode;
+  double wall_s = 0;
+  ServerStats stats;
+};
+
+void PrintStage(TextTable* table, const std::string& mode,
+                const std::string& stage, const LatencyStats& s) {
+  table->AddRow({mode, stage, std::to_string(s.count), FormatSeconds(s.p50_s),
+                 FormatSeconds(s.p99_s), FormatSeconds(s.p999_s),
+                 FormatSeconds(s.max_s)});
+}
+
+void AppendStageJson(std::FILE* f, const char* name, const LatencyStats& s,
+                     const char* trailer) {
+  std::fprintf(f,
+               "        \"%s\": {\"count\": %lld, \"mean_s\": %.6f, "
+               "\"p50_s\": %.6f, \"p99_s\": %.6f, \"p999_s\": %.6f, "
+               "\"max_s\": %.6f}%s\n",
+               name, static_cast<long long>(s.count), s.mean_s, s.p50_s,
+               s.p99_s, s.p999_s, s.max_s, trailer);
+}
+
+void WriteJson(const std::vector<ModeResult>& modes, double deadline_s,
+               int clients, int per_client, double shed_p999_bound_s) {
+  const char* env = std::getenv("VER_BENCH_JSON");
+  std::string path = env != nullptr ? env : "BENCH_tail.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"tail_latency\",\n");
+  std::fprintf(f, "  \"scale\": %d,\n", BenchScale());
+  std::fprintf(f, "  \"clients\": %d,\n  \"requests_per_client\": %d,\n",
+               clients, per_client);
+  std::fprintf(f, "  \"deadline_s\": %.6f,\n", deadline_s);
+  std::fprintf(f, "  \"shed_p999_bound_s\": %.6f,\n", shed_p999_bound_s);
+  std::fprintf(f, "  \"modes\": [\n");
+  for (size_t i = 0; i < modes.size(); ++i) {
+    const ModeResult& m = modes[i];
+    const ServerStats& s = m.stats;
+    std::fprintf(f, "    {\n      \"mode\": \"%s\",\n", m.mode.c_str());
+    std::fprintf(f, "      \"wall_s\": %.6f,\n", m.wall_s);
+    std::fprintf(
+        f,
+        "      \"submitted\": %lld, \"served_ok\": %lld, \"rejected\": "
+        "%lld, \"shed_deadline\": %lld, \"deadline_exceeded\": %lld, "
+        "\"coalesced\": %lld, \"pipeline_executions\": %lld, "
+        "\"peak_queue_depth\": %lld,\n",
+        static_cast<long long>(s.submitted),
+        static_cast<long long>(s.served_ok),
+        static_cast<long long>(s.rejected),
+        static_cast<long long>(s.shed_deadline),
+        static_cast<long long>(s.deadline_exceeded),
+        static_cast<long long>(s.coalesced),
+        static_cast<long long>(s.pipeline_executions),
+        static_cast<long long>(s.peak_queue_depth));
+    std::fprintf(f, "      \"stages\": {\n");
+    AppendStageJson(f, "queue_wait", s.queue_wait, ",");
+    AppendStageJson(f, "pipeline", s.pipeline, ",");
+    AppendStageJson(f, "total", s.total, "");
+    std::fprintf(f, "      }\n    }%s\n", i + 1 < modes.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+ModeResult RunMode(const std::string& mode, bool shed,
+                   const TableRepository* repo,
+                   const std::vector<ExampleQuery>& queries, double deadline_s,
+                   int clients, int per_client) {
+  ServingOptions serving;
+  serving.num_workers = 2;
+  serving.cache_capacity = 0;  // every miss is a real pipeline run
+  serving.max_queue_depth = 0;  // unbounded: the policy under test is the
+                                // predictive shedder, not the depth bound
+  serving.predictive_deadline_shedding = shed;
+  VerServer server(repo, VerConfig(), serving);
+
+  // Priming pass (both modes, for fairness): one serve per distinct query
+  // warms the pipeline-time EWMA the predictive shedder estimates from — a
+  // live server always has this history; a cold server admits everything.
+  // These serves are included in the reported stats (count = queries.size()
+  // extra OK serves per mode).
+  for (const ExampleQuery& q : queries) {
+    server.Serve(DiscoveryRequest::ForQuery(q));
+  }
+
+  const ZipfSampler zipf(static_cast<int>(queries.size()), /*s=*/1.1);
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      // Open-loop burst: submit everything, then drain — the worst-case
+      // arrival pattern for queue growth.
+      uint64_t state = 0xabcdef + static_cast<uint64_t>(c);
+      std::vector<std::shared_ptr<QueryTicket>> tickets;
+      tickets.reserve(static_cast<size_t>(per_client));
+      for (int i = 0; i < per_client; ++i) {
+        const int q = zipf.Sample(&state);
+        tickets.push_back(server.Submit(
+            DiscoveryRequest::ForQuery(queries[static_cast<size_t>(q)])
+                .WithDeadline(deadline_s)));
+      }
+      for (const auto& ticket : tickets) ticket->Wait();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  ModeResult result;
+  result.mode = mode;
+  result.wall_s = timer.ElapsedSeconds();
+  result.stats = server.stats();
+  return result;
+}
+
+void Run() {
+  PrintHeader("Tail latency under zipf load (shed vs no-shed)",
+              "the serving-layer extension (no figure)");
+
+  OpenDataSpec spec = BenchOpenDataSpec(/*portion=*/0.5, /*num_queries=*/8);
+  GeneratedDataset dataset = GenerateOpenDataLike(spec);
+  std::vector<ExampleQuery> queries;
+  for (size_t i = 0; i < dataset.queries.size(); ++i) {
+    Result<ExampleQuery> q = MakeNoisyQuery(dataset.repo, dataset.queries[i],
+                                            NoiseLevel::kZero, 3, 7 + i);
+    if (q.ok()) queries.push_back(std::move(q).value());
+  }
+
+  // Calibrate the deadline off this machine's actual pipeline speed: one
+  // serial pass over the distinct queries, deadline = 5x the mean.
+  Ver probe(&dataset.repo, VerConfig());
+  WallTimer calibrate;
+  for (const ExampleQuery& q : queries) probe.RunQuery(q);
+  const double mean_run_s =
+      calibrate.ElapsedSeconds() / static_cast<double>(queries.size());
+  const double deadline_s = 5 * mean_run_s;
+
+  const int clients = 4;
+  const int per_client = 30 * BenchScale();
+  std::printf(
+      "%d tables, %zu distinct queries (zipf s=1.1), %d clients x %d "
+      "requests, deadline %s (5x mean pipeline %s)\n\n",
+      dataset.repo.num_tables(), queries.size(), clients, per_client,
+      FormatSeconds(deadline_s).c_str(), FormatSeconds(mean_run_s).c_str());
+
+  std::vector<ModeResult> modes;
+  modes.push_back(RunMode("no_shed", /*shed=*/false, &dataset.repo, queries,
+                          deadline_s, clients, per_client));
+  modes.push_back(RunMode("shed", /*shed=*/true, &dataset.repo, queries,
+                          deadline_s, clients, per_client));
+
+  TextTable stages({"mode", "stage", "count", "p50", "p99", "p999", "max"});
+  for (const ModeResult& m : modes) {
+    PrintStage(&stages, m.mode, "queue_wait", m.stats.queue_wait);
+    PrintStage(&stages, m.mode, "pipeline", m.stats.pipeline);
+    PrintStage(&stages, m.mode, "total", m.stats.total);
+  }
+  stages.Print();
+
+  TextTable outcomes({"mode", "submitted", "ok", "shed", "dl_exceeded",
+                      "coalesced", "pipeline runs", "peak queue"});
+  for (const ModeResult& m : modes) {
+    outcomes.AddRow({m.mode, std::to_string(m.stats.submitted),
+                     std::to_string(m.stats.served_ok),
+                     std::to_string(m.stats.shed_deadline),
+                     std::to_string(m.stats.deadline_exceeded),
+                     std::to_string(m.stats.coalesced),
+                     std::to_string(m.stats.pipeline_executions),
+                     std::to_string(m.stats.peak_queue_depth)});
+  }
+  outcomes.Print();
+  std::printf(
+      "\nqueue_wait/pipeline/total are the server's own lock-free histogram\n"
+      "stages; 'total' covers every worker-completed request (Submit-time\n"
+      "rejects excluded — shedding them is the policy under test).\n");
+
+  // --- regression gates (CI greps stdout for WARNING) ---
+  const ModeResult& no_shed = modes[0];
+  const ModeResult& shed = modes[1];
+  // The shed-mode end-to-end tail must stay bounded near the deadline: a
+  // generous 5x covers scheduler noise on loaded CI runners while still
+  // catching an unbounded-queue regression outright (which overshoots by
+  // orders of magnitude, as the no_shed row demonstrates).
+  const double shed_bound_s = 5 * deadline_s;
+  if (shed.stats.total.p999_s > shed_bound_s) {
+    std::printf("WARNING: shed-mode p999 total %.6fs exceeds bound %.6fs\n",
+                shed.stats.total.p999_s, shed_bound_s);
+  }
+  // The comparison is meaningless unless the no-shed run actually
+  // overloaded: its queue must have grown well past the worker count.
+  if (no_shed.stats.peak_queue_depth < 8) {
+    std::printf(
+        "WARNING: no-shed run never overloaded (peak queue %lld) — load "
+        "too light to exercise the tail\n",
+        static_cast<long long>(no_shed.stats.peak_queue_depth));
+  }
+  // Shedding must actually have fired under this load.
+  if (shed.stats.shed_deadline == 0) {
+    std::printf("WARNING: shed mode never shed a request\n");
+  }
+
+  WriteJson(modes, deadline_s, clients, per_client, shed_bound_s);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ver
+
+int main() {
+  ver::bench::Run();
+  return 0;
+}

@@ -377,14 +377,16 @@ int ServeFromSnapshot(const std::string& dir, const std::string& index_path,
   auto print_stats = [&server] {
     ServerStats stats = server.stats();
     std::printf(
-        "submitted=%lld ok=%lld rejected=%lld invalid=%lld "
+        "submitted=%lld ok=%lld rejected=%lld shed=%lld invalid=%lld "
         "cancelled=%lld deadline_exceeded=%lld swaps=%lld\n"
         "queue: depth=%lld peak=%lld\n"
         "cache: hits=%lld misses=%lld evictions=%lld\n"
+        "flight: pipeline_executions=%lld coalesced=%lld\n"
         "requests: with_overrides=%lld streaming=%lld\n",
         static_cast<long long>(stats.submitted),
         static_cast<long long>(stats.served_ok),
         static_cast<long long>(stats.rejected),
+        static_cast<long long>(stats.shed_deadline),
         static_cast<long long>(stats.invalid),
         static_cast<long long>(stats.cancelled),
         static_cast<long long>(stats.deadline_exceeded),
@@ -394,8 +396,24 @@ int ServeFromSnapshot(const std::string& dir, const std::string& index_path,
         static_cast<long long>(stats.cache_hits),
         static_cast<long long>(stats.cache_misses),
         static_cast<long long>(stats.cache_evictions),
+        static_cast<long long>(stats.pipeline_executions),
+        static_cast<long long>(stats.coalesced),
         static_cast<long long>(stats.requests_with_overrides),
         static_cast<long long>(stats.requests_streaming));
+    auto print_stage = [](const char* name, const LatencyStats& s) {
+      if (s.count == 0) {
+        std::printf("  %s: no samples\n", name);
+        return;
+      }
+      std::printf(
+          "  %s: n=%lld p50=%.3fms p99=%.3fms p999=%.3fms max=%.3fms\n",
+          name, static_cast<long long>(s.count), s.p50_s * 1e3, s.p99_s * 1e3,
+          s.p999_s * 1e3, s.max_s * 1e3);
+    };
+    std::printf("latency:\n");
+    print_stage("queue_wait", stats.queue_wait);
+    print_stage("pipeline", stats.pipeline);
+    print_stage("total", stats.total);
     for (int k = 0; k < RequestOverrides::kNumKnobs; ++k) {
       if (stats.override_uses[k] > 0) {
         std::printf("  override %s: %lld requests\n",

@@ -1,0 +1,143 @@
+#include "util/latency_recorder.h"
+
+#include "util/check.h"
+
+namespace ver {
+
+namespace {
+
+// Largest nanosecond count a double of seconds may convert to without
+// overflowing uint64 (2^63, ~292 years — far beyond any latency).
+constexpr double kMaxNanosAsDouble = 9.2e18;
+
+void AtomicMin(std::atomic<uint64_t>* slot, uint64_t value) {
+  uint64_t current = slot->load(std::memory_order_relaxed);
+  while (value < current &&
+         !slot->compare_exchange_weak(current, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<uint64_t>* slot, uint64_t value) {
+  uint64_t current = slot->load(std::memory_order_relaxed);
+  while (value > current &&
+         !slot->compare_exchange_weak(current, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+size_t LatencyRecorder::BucketIndex(uint64_t nanos) {
+  if (nanos < kSubBucketCount) return static_cast<size_t>(nanos);
+  // Octave = floor(log2(nanos)); its kSubBucketCount linear sub-buckets
+  // each span 2^(octave - kSubBucketBits) nanoseconds.
+  const int octave = 63 - __builtin_clzll(nanos);
+  const int shift = octave - kSubBucketBits;
+  const uint64_t sub = (nanos >> shift) - kSubBucketCount;
+  return kSubBucketCount +
+         static_cast<size_t>(octave - kSubBucketBits) * kSubBucketCount +
+         static_cast<size_t>(sub);
+}
+
+uint64_t LatencyRecorder::BucketLowerBound(size_t index) {
+  VER_DCHECK(index < kNumBuckets) << "bucket index out of range";
+  if (index < kSubBucketCount) return index;
+  const uint64_t octave_offset =
+      (index - kSubBucketCount) / kSubBucketCount;  // octave - kSubBucketBits
+  const uint64_t sub = (index - kSubBucketCount) % kSubBucketCount;
+  return (kSubBucketCount + sub) << octave_offset;
+}
+
+uint64_t LatencyRecorder::BucketUpperBound(size_t index) {
+  VER_DCHECK(index < kNumBuckets) << "bucket index out of range";
+  if (index < kSubBucketCount) return index;
+  const uint64_t octave_offset = (index - kSubBucketCount) / kSubBucketCount;
+  const uint64_t sub = (index - kSubBucketCount) % kSubBucketCount;
+  return ((kSubBucketCount + sub + 1) << octave_offset) - 1;
+}
+
+void LatencyRecorder::Record(double seconds) {
+  if (seconds <= 0) {
+    RecordNanos(0);
+    return;
+  }
+  const double nanos = seconds * 1e9;
+  RecordNanos(nanos >= kMaxNanosAsDouble
+                  ? static_cast<uint64_t>(kMaxNanosAsDouble)
+                  : static_cast<uint64_t>(nanos));
+}
+
+void LatencyRecorder::RecordNanos(uint64_t nanos) {
+  buckets_[BucketIndex(nanos)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  AtomicMin(&min_nanos_, nanos);
+  AtomicMax(&max_nanos_, nanos);
+}
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_nanos_.fetch_add(other.sum_nanos_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  AtomicMin(&min_nanos_, other.min_nanos_.load(std::memory_order_relaxed));
+  AtomicMax(&max_nanos_, other.max_nanos_.load(std::memory_order_relaxed));
+}
+
+void LatencyRecorder::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_nanos_.store(0, std::memory_order_relaxed);
+  min_nanos_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_nanos_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t LatencyRecorder::ValueAtQuantileNanos(double q) const {
+  const int64_t total = count_.load(std::memory_order_relaxed);
+  if (total <= 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the sample that answers the quantile, 1-based: the smallest
+  // rank whose cumulative share is >= q (so p0 and p100 are min and max).
+  int64_t rank = static_cast<int64_t>(q * static_cast<double>(total));
+  if (static_cast<double>(rank) < q * static_cast<double>(total)) ++rank;
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+
+  const uint64_t observed_max = max_nanos_.load(std::memory_order_relaxed);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += static_cast<int64_t>(
+        buckets_[i].load(std::memory_order_relaxed));
+    if (cumulative >= rank) {
+      const uint64_t upper = BucketUpperBound(i);
+      // The exact max is tracked separately; never report a bucket bound
+      // beyond a value actually seen.
+      return upper < observed_max ? upper : observed_max;
+    }
+  }
+  // A concurrent Record bumped count_ before its bucket; report the max.
+  return observed_max;
+}
+
+LatencyStats LatencyRecorder::Snapshot() const {
+  LatencyStats stats;
+  stats.count = count_.load(std::memory_order_relaxed);
+  if (stats.count <= 0) return stats;
+  stats.mean_s = static_cast<double>(sum_nanos_.load(
+                     std::memory_order_relaxed)) /
+                 static_cast<double>(stats.count) / 1e9;
+  stats.p50_s = static_cast<double>(ValueAtQuantileNanos(0.50)) / 1e9;
+  stats.p99_s = static_cast<double>(ValueAtQuantileNanos(0.99)) / 1e9;
+  stats.p999_s = static_cast<double>(ValueAtQuantileNanos(0.999)) / 1e9;
+  stats.max_s =
+      static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) / 1e9;
+  return stats;
+}
+
+}  // namespace ver

@@ -1,0 +1,117 @@
+// LatencyRecorder: a lock-free log-bucketed latency histogram for the
+// serving layer (the tail-latency counterpart of util/stats.h, which keeps
+// every sample and is for offline bench reporting only).
+//
+// Design (HdrHistogram-style): a sample is converted to integer nanoseconds
+// and dropped into one of kNumBuckets counters. Values below
+// kSubBucketCount nanoseconds get an exact bucket each; above that, every
+// power-of-two octave is split into kSubBucketCount linear sub-buckets, so
+// the relative quantization error is bounded by 1/kSubBucketCount (~3% at
+// 32 sub-buckets) across the full uint64 nanosecond range. Bucket
+// boundaries are a pure function of the value — never of recording order
+// or thread count — so two recorders fed the same multiset of samples are
+// bit-identical, and Merge(a, b) equals recording a's and b's samples into
+// one recorder (tests/latency_recorder_test.cc guards both).
+//
+// Thread-safety: Record/RecordNanos are wait-free (one relaxed fetch_add
+// plus two bounded CAS loops for min/max) and may race freely with
+// Snapshot(); a concurrent snapshot sees some subset of in-flight records,
+// which is the right semantics for a stats() gauge read under load.
+// Quantile extraction returns the highest value mapping to the bucket
+// where the cumulative count reaches the requested rank (HdrHistogram's
+// "highest equivalent value"), so reported quantiles never understate.
+
+#ifndef VER_UTIL_LATENCY_RECORDER_H_
+#define VER_UTIL_LATENCY_RECORDER_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace ver {
+
+/// Immutable summary extracted from a LatencyRecorder (or from any merged
+/// set of them): sample count plus mean/quantiles/max in seconds. A plain
+/// value struct so it can ride inside ServerStats.
+struct LatencyStats {
+  int64_t count = 0;
+  double mean_s = 0;
+  double p50_s = 0;
+  double p99_s = 0;
+  double p999_s = 0;
+  double max_s = 0;
+};
+
+class LatencyRecorder {
+ public:
+  /// Sub-buckets per power-of-two octave; also the size of the exact
+  /// low-value region. Power of two.
+  static constexpr uint64_t kSubBucketCount = 32;
+  static constexpr int kSubBucketBits = 5;  // log2(kSubBucketCount)
+  /// Buckets 0..kSubBucketCount-1 are exact; octaves 5..63 contribute
+  /// kSubBucketCount buckets each.
+  static constexpr size_t kNumBuckets =
+      kSubBucketCount + (64 - kSubBucketBits) * kSubBucketCount;
+
+  LatencyRecorder() = default;
+  LatencyRecorder(const LatencyRecorder&) = delete;
+  LatencyRecorder& operator=(const LatencyRecorder&) = delete;
+
+  /// Records one latency sample given in seconds (negative clamps to 0).
+  void Record(double seconds);
+
+  /// Records one latency sample given in integer nanoseconds.
+  void RecordNanos(uint64_t nanos);
+
+  /// Adds every sample recorded into `other` so far into this recorder.
+  /// Merging per-thread recorders is bit-identical to recording all their
+  /// samples into one shared recorder.
+  void Merge(const LatencyRecorder& other);
+
+  /// Drops all samples (counters, sum, min, max). Not linearizable against
+  /// concurrent Record calls; meant for bench warmup resets.
+  void Reset();
+
+  /// Count / mean / p50 / p99 / p999 / max, in seconds. A recorder with no
+  /// samples summarizes to all zeros.
+  [[nodiscard]] LatencyStats Snapshot() const;
+
+  /// Number of samples recorded so far.
+  [[nodiscard]] int64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// The highest recorded-equivalent value (ns) at quantile `q` in [0, 1]:
+  /// the upper bound of the bucket where the cumulative count first reaches
+  /// rank ceil(q * count), clamped to the exact observed max. 0 when empty.
+  [[nodiscard]] uint64_t ValueAtQuantileNanos(double q) const;
+
+  /// Count currently in bucket `index` (for merge/boundary tests).
+  [[nodiscard]] uint64_t BucketCount(size_t index) const {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+
+  // --- bucket geometry (pure functions, exposed for tests and docs) ---
+
+  /// Index of the bucket `nanos` falls into.
+  [[nodiscard]] static size_t BucketIndex(uint64_t nanos);
+
+  /// Smallest nanosecond value mapping to bucket `index`.
+  [[nodiscard]] static uint64_t BucketLowerBound(size_t index);
+
+  /// Largest nanosecond value mapping to bucket `index` — the value
+  /// quantile extraction reports for samples in this bucket.
+  [[nodiscard]] static uint64_t BucketUpperBound(size_t index);
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<uint64_t> sum_nanos_{0};
+  std::atomic<uint64_t> min_nanos_{UINT64_MAX};
+  std::atomic<uint64_t> max_nanos_{0};
+};
+
+}  // namespace ver
+
+#endif  // VER_UTIL_LATENCY_RECORDER_H_

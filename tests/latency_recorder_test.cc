@@ -1,0 +1,250 @@
+// LatencyRecorder guards: bucket geometry (exact low range, contiguous
+// log-bucketed octaves, bounded quantization error), exact quantile
+// extraction on known sample sets, zero/single-sample edge cases, and the
+// merge contract — per-thread recorders merged together must be
+// bit-identical to one shared recorder fed the same samples concurrently
+// (this test doubles as the TSan workload for the wait-free record path).
+
+#include "util/latency_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace ver {
+namespace {
+
+// Deterministic 64-bit mixer (splitmix64) so every thread has its own
+// reproducible sample stream without sharing an RNG.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+TEST(LatencyRecorderTest, LowValuesGetExactBuckets) {
+  for (uint64_t v = 0; v < LatencyRecorder::kSubBucketCount; ++v) {
+    EXPECT_EQ(LatencyRecorder::BucketIndex(v), static_cast<size_t>(v));
+    EXPECT_EQ(LatencyRecorder::BucketLowerBound(v), v);
+    EXPECT_EQ(LatencyRecorder::BucketUpperBound(v), v);
+  }
+}
+
+TEST(LatencyRecorderTest, BucketsAreContiguousAndOrdered) {
+  // Every bucket's range starts exactly one past the previous bucket's end
+  // — no gaps, no overlaps — across the exact region, every octave
+  // boundary, and the top of the index space.
+  for (size_t i = 0; i + 1 < LatencyRecorder::kNumBuckets; ++i) {
+    const uint64_t upper = LatencyRecorder::BucketUpperBound(i);
+    if (upper == UINT64_MAX) break;  // last representable bucket
+    EXPECT_EQ(LatencyRecorder::BucketLowerBound(i + 1), upper + 1)
+        << "gap or overlap after bucket " << i;
+  }
+}
+
+TEST(LatencyRecorderTest, BoundaryValuesMapIntoTheirOwnBucketRange) {
+  // Octave boundaries and their neighbors: the first value of each octave,
+  // the last value of the previous one, and a mid-octave value.
+  std::vector<uint64_t> probes = {31, 32, 33, 63, 64, 65, 1023, 1024, 1025};
+  for (int shift = 10; shift < 63; shift += 7) {
+    probes.push_back((1ULL << shift) - 1);
+    probes.push_back(1ULL << shift);
+    probes.push_back((1ULL << shift) + 1);
+  }
+  probes.push_back(UINT64_MAX);
+  for (uint64_t v : probes) {
+    const size_t idx = LatencyRecorder::BucketIndex(v);
+    ASSERT_LT(idx, LatencyRecorder::kNumBuckets) << v;
+    EXPECT_LE(LatencyRecorder::BucketLowerBound(idx), v) << v;
+    EXPECT_GE(LatencyRecorder::BucketUpperBound(idx), v) << v;
+  }
+  // Index is monotone in the value.
+  size_t prev = 0;
+  std::sort(probes.begin(), probes.end());
+  for (uint64_t v : probes) {
+    const size_t idx = LatencyRecorder::BucketIndex(v);
+    EXPECT_GE(idx, prev);
+    prev = idx;
+  }
+}
+
+TEST(LatencyRecorderTest, QuantizationErrorIsBoundedBySubBucketWidth) {
+  // The reported value for any sample is its bucket's upper bound: never
+  // below the sample, and above it by at most one sub-bucket width
+  // (lower/kSubBucketCount), i.e. ~3.1% relative.
+  for (uint64_t v : {100ULL, 999ULL, 12345ULL, 1000000ULL, 123456789ULL,
+                     987654321012ULL}) {
+    const size_t idx = LatencyRecorder::BucketIndex(v);
+    const uint64_t reported = LatencyRecorder::BucketUpperBound(idx);
+    EXPECT_GE(reported, v);
+    EXPECT_LE(reported - v, v / LatencyRecorder::kSubBucketCount + 1)
+        << "quantization beyond 1/" << LatencyRecorder::kSubBucketCount
+        << " at " << v;
+  }
+}
+
+TEST(LatencyRecorderTest, ExactQuantilesInTheExactRegion) {
+  // Values below kSubBucketCount have exact buckets, so quantiles there
+  // are exact order statistics: record 0..31 once each and probe ranks.
+  LatencyRecorder recorder;
+  for (uint64_t v = 0; v < 32; ++v) recorder.RecordNanos(v);
+  EXPECT_EQ(recorder.count(), 32);
+  // rank = ceil(q * 32); value = rank - 1 (samples are 0-based).
+  EXPECT_EQ(recorder.ValueAtQuantileNanos(0.0), 0u);
+  EXPECT_EQ(recorder.ValueAtQuantileNanos(0.5), 15u);
+  EXPECT_EQ(recorder.ValueAtQuantileNanos(0.75), 23u);
+  EXPECT_EQ(recorder.ValueAtQuantileNanos(1.0), 31u);
+  // p99 of 32 samples is the 32nd (ceil(31.68)) sample: the max.
+  EXPECT_EQ(recorder.ValueAtQuantileNanos(0.99), 31u);
+}
+
+TEST(LatencyRecorderTest, QuantilesNeverUnderstateAndClampToObservedMax) {
+  // 1000 uniform samples 1..1000: each reported quantile must be >= the
+  // true order statistic (highest-equivalent-value semantics) and within
+  // quantization error of it; p100 is the exact max, not a bucket bound.
+  LatencyRecorder recorder;
+  std::vector<uint64_t> values;
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    recorder.RecordNanos(v);
+    values.push_back(v);
+  }
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    int64_t rank = static_cast<int64_t>(q * 1000.0);
+    if (static_cast<double>(rank) < q * 1000.0) ++rank;
+    const uint64_t truth = values[static_cast<size_t>(rank - 1)];
+    const uint64_t reported = recorder.ValueAtQuantileNanos(q);
+    EXPECT_GE(reported, truth) << "understated p" << q * 100;
+    EXPECT_LE(reported, truth + truth / LatencyRecorder::kSubBucketCount + 1)
+        << "overstated p" << q * 100;
+  }
+  EXPECT_EQ(recorder.ValueAtQuantileNanos(1.0), 1000u);
+}
+
+TEST(LatencyRecorderTest, EmptyRecorderSummarizesToZeros) {
+  LatencyRecorder recorder;
+  EXPECT_EQ(recorder.count(), 0);
+  EXPECT_EQ(recorder.ValueAtQuantileNanos(0.5), 0u);
+  const LatencyStats stats = recorder.Snapshot();
+  EXPECT_EQ(stats.count, 0);
+  EXPECT_EQ(stats.mean_s, 0);
+  EXPECT_EQ(stats.p50_s, 0);
+  EXPECT_EQ(stats.p99_s, 0);
+  EXPECT_EQ(stats.p999_s, 0);
+  EXPECT_EQ(stats.max_s, 0);
+}
+
+TEST(LatencyRecorderTest, SingleSampleIsEveryQuantileExactly) {
+  // One sample: every quantile is that sample, exactly — the max clamp
+  // removes even the bucket quantization.
+  LatencyRecorder recorder;
+  recorder.RecordNanos(123456789);
+  for (double q : {0.0, 0.5, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(recorder.ValueAtQuantileNanos(q), 123456789u) << q;
+  }
+  const LatencyStats stats = recorder.Snapshot();
+  EXPECT_EQ(stats.count, 1);
+  EXPECT_DOUBLE_EQ(stats.mean_s, 123456789e-9);
+  EXPECT_DOUBLE_EQ(stats.max_s, 123456789e-9);
+}
+
+TEST(LatencyRecorderTest, SecondsConversionClampsAndTruncates) {
+  LatencyRecorder recorder;
+  recorder.Record(-1.0);    // negative clamps to 0ns
+  recorder.Record(0.0);     // zero is a real sample
+  recorder.Record(1.5e-9);  // truncates to 1ns
+  recorder.Record(1.0);     // 1s = 1e9 ns
+  EXPECT_EQ(recorder.count(), 4);
+  EXPECT_EQ(recorder.ValueAtQuantileNanos(0.5), 0u);   // 2nd of {0,0,1,1e9}
+  EXPECT_EQ(recorder.ValueAtQuantileNanos(0.75), 1u);  // 3rd: the 1ns sample
+  const uint64_t top = recorder.ValueAtQuantileNanos(1.0);
+  EXPECT_EQ(top, 1000000000u);  // exact observed max
+  // An absurd duration must clamp instead of overflowing.
+  recorder.Record(1e30);
+  EXPECT_GE(recorder.ValueAtQuantileNanos(1.0), 1000000000u);
+}
+
+TEST(LatencyRecorderTest, RecordingOrderNeverChangesTheHistogram) {
+  // Same multiset, opposite orders: bit-identical buckets and quantiles.
+  std::vector<uint64_t> samples;
+  uint64_t state = 42;
+  for (int i = 0; i < 500; ++i) {
+    state = Mix(state);
+    samples.push_back(state % 10000000);
+  }
+  LatencyRecorder forward;
+  LatencyRecorder backward;
+  for (uint64_t v : samples) forward.RecordNanos(v);
+  for (auto it = samples.rbegin(); it != samples.rend(); ++it) {
+    backward.RecordNanos(*it);
+  }
+  for (size_t i = 0; i < LatencyRecorder::kNumBuckets; ++i) {
+    ASSERT_EQ(forward.BucketCount(i), backward.BucketCount(i)) << i;
+  }
+  for (double q : {0.5, 0.99, 0.999}) {
+    EXPECT_EQ(forward.ValueAtQuantileNanos(q),
+              backward.ValueAtQuantileNanos(q));
+  }
+}
+
+TEST(LatencyRecorderTest, ConcurrentRecordingMergesBitIdentically) {
+  // 8 threads record deterministic per-thread streams into (a) one shared
+  // recorder, concurrently, and (b) a private recorder each. Merging the
+  // privates must equal the shared recorder bucket for bucket — recording
+  // is commutative, lossless, and unsynchronized threads lose nothing.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  LatencyRecorder shared;
+  std::vector<LatencyRecorder> locals(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t state = 0x1234 + static_cast<uint64_t>(t);
+      for (int i = 0; i < kPerThread; ++i) {
+        state = Mix(state);
+        const uint64_t sample = state % 5000000000ULL;  // spans octaves
+        shared.RecordNanos(sample);
+        locals[static_cast<size_t>(t)].RecordNanos(sample);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  LatencyRecorder merged;
+  for (const LatencyRecorder& local : locals) merged.Merge(local);
+
+  EXPECT_EQ(shared.count(), int64_t{kThreads} * kPerThread);
+  EXPECT_EQ(merged.count(), shared.count());
+  for (size_t i = 0; i < LatencyRecorder::kNumBuckets; ++i) {
+    ASSERT_EQ(merged.BucketCount(i), shared.BucketCount(i)) << "bucket " << i;
+  }
+  for (double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(merged.ValueAtQuantileNanos(q), shared.ValueAtQuantileNanos(q))
+        << q;
+  }
+  const LatencyStats a = merged.Snapshot();
+  const LatencyStats b = shared.Snapshot();
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_DOUBLE_EQ(a.mean_s, b.mean_s);
+  EXPECT_DOUBLE_EQ(a.max_s, b.max_s);
+}
+
+TEST(LatencyRecorderTest, ResetDropsEverything) {
+  LatencyRecorder recorder;
+  for (uint64_t v = 1; v <= 100; ++v) recorder.RecordNanos(v * 1000);
+  ASSERT_EQ(recorder.count(), 100);
+  recorder.Reset();
+  EXPECT_EQ(recorder.count(), 0);
+  EXPECT_EQ(recorder.ValueAtQuantileNanos(1.0), 0u);
+  EXPECT_EQ(recorder.Snapshot().count, 0);
+  // Still usable after the reset.
+  recorder.RecordNanos(7);
+  EXPECT_EQ(recorder.ValueAtQuantileNanos(0.5), 7u);
+}
+
+}  // namespace
+}  // namespace ver

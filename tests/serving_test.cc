@@ -14,6 +14,7 @@
 
 #include "core/ver.h"
 #include "query_fingerprint.h"
+#include "server_test_fixture.h"
 #include "serving/query_cache.h"
 #include "serving/ver_server.h"
 #include "workload/noisy_query.h"
@@ -436,6 +437,260 @@ TEST(ServingTest, HotSwapUnderConcurrentTrafficIsSafeAndConsistent) {
   ServedResult final_result = server.Serve(f.queries[0]);
   ASSERT_TRUE(final_result.status.ok());
   EXPECT_EQ(Fingerprint(*final_result.result), fp_b);
+}
+
+// Observer recording only the terminal event (for admission-path tests
+// where no pipeline events can fire).
+struct FinishObserver : public QueryObserver {
+  std::atomic<int> finished_events{0};
+  Status final_status;
+  void OnFinished(const Status& status) override {
+    final_status = status;
+    finished_events.fetch_add(1);
+  }
+};
+
+TEST(ServingTest, QueueFullRejectsImmediatelyAndNeverLosesTickets) {
+  // One worker held mid-dispatch (via the worker gate), queue bound 2:
+  // filling the queue and submitting once more must reject synchronously
+  // with Unavailable — no deadlock against the held worker, no dropped
+  // ticket — and every admitted request must still complete after release.
+  TableRepository repo = MakeServingTestRepo();
+  WorkerGate gate;
+  ServingOptions serving;
+  serving.num_workers = 1;
+  serving.max_queue_depth = 2;
+  serving.cache_capacity = 0;
+  serving.hooks.after_dequeue = [&] { gate.Arrive(); };
+  VerServer server(&repo, VerConfig(), serving);
+
+  auto held = server.Submit(ServingTestQuery());
+  gate.AwaitArrivals(1);  // the worker holds request 1; queue is empty
+  auto queued_a = server.Submit(ServingTestQuery());
+  auto queued_b = server.Submit(ServingTestAltQuery());
+
+  ServerStats before = server.stats();
+  EXPECT_EQ(before.current_queue_depth, 2);
+
+  FinishObserver observer;
+  auto rejected = server.Submit(
+      DiscoveryRequest::ForQuery(ServingTestQuery()), &observer);
+  // The rejection resolved on the submitting thread: the ticket is already
+  // complete (Poll before Wait proves no blocking was possible) and the
+  // observer got its terminal event.
+  EXPECT_TRUE(rejected->Poll());
+  const ServedResult& shed = rejected->Wait();
+  EXPECT_TRUE(shed.status.IsUnavailable()) << shed.status.ToString();
+  EXPECT_EQ(observer.finished_events.load(), 1);
+  EXPECT_TRUE(observer.final_status.IsUnavailable());
+
+  gate.Open();
+  EXPECT_TRUE(held->Wait().status.ok());
+  EXPECT_TRUE(queued_a->Wait().status.ok());
+  EXPECT_TRUE(queued_b->Wait().status.ok());
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 4);
+  EXPECT_EQ(stats.served_ok, 3);
+  EXPECT_EQ(stats.rejected, 1);
+  EXPECT_EQ(stats.shed_deadline, 0);  // a depth rejection, not a shed
+  EXPECT_EQ(stats.peak_queue_depth, 2);
+  EXPECT_EQ(stats.current_queue_depth, 0);
+}
+
+TEST(ServingTest, QueueDispatchesEarliestDeadlineFirst) {
+  // One worker held on a marker request while four more are queued with
+  // deadlines submitted in shuffled order; the execution order (observed
+  // via the before_execute hook) must be by deadline, with the
+  // deadline-free request last.
+  TableRepository repo = MakeServingTestRepo();
+  WorkerGate gate;
+  std::mutex order_mu;
+  std::vector<int> order;
+  ServingOptions serving;
+  serving.num_workers = 1;
+  serving.cache_capacity = 0;
+  serving.single_flight = false;  // each request must reach execution
+  serving.hooks.after_dequeue = [&] { gate.Arrive(); };
+  serving.hooks.before_execute = [&](const DiscoveryRequest& request) {
+    std::lock_guard<std::mutex> lock(order_mu);
+    order.push_back(request.overrides.expected_views.value_or(-1));
+  };
+  VerServer server(&repo, VerConfig(), serving);
+
+  // Tag each request through a knob the hook can read back. The deadlines
+  // are hours out, so nothing can expire while queued.
+  auto tagged = [](int tag, double deadline_s) {
+    DiscoveryRequest request = DiscoveryRequest::ForQuery(ServingTestQuery());
+    request.overrides.expected_views = tag;
+    if (deadline_s > 0) request.WithDeadline(deadline_s);
+    return request;
+  };
+
+  std::vector<std::shared_ptr<QueryTicket>> tickets;
+  tickets.push_back(server.Submit(tagged(0, 0)));  // marker, held at gate
+  gate.AwaitArrivals(1);
+  tickets.push_back(server.Submit(tagged(3, 10800)));
+  tickets.push_back(server.Submit(tagged(1, 3600)));
+  tickets.push_back(server.Submit(tagged(4, 0)));  // no deadline
+  tickets.push_back(server.Submit(tagged(2, 7200)));
+  gate.Open();
+  for (auto& ticket : tickets) {
+    EXPECT_TRUE(ticket->Wait().status.ok());
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ServingTest, FifoQueueIgnoresDeadlines) {
+  // Same shuffled submission with deadline ordering off: strict FIFO.
+  TableRepository repo = MakeServingTestRepo();
+  WorkerGate gate;
+  std::mutex order_mu;
+  std::vector<int> order;
+  ServingOptions serving;
+  serving.num_workers = 1;
+  serving.cache_capacity = 0;
+  serving.single_flight = false;
+  serving.deadline_ordered_queue = false;
+  serving.hooks.after_dequeue = [&] { gate.Arrive(); };
+  serving.hooks.before_execute = [&](const DiscoveryRequest& request) {
+    std::lock_guard<std::mutex> lock(order_mu);
+    order.push_back(request.overrides.expected_views.value_or(-1));
+  };
+  VerServer server(&repo, VerConfig(), serving);
+
+  auto tagged = [](int tag, double deadline_s) {
+    DiscoveryRequest request = DiscoveryRequest::ForQuery(ServingTestQuery());
+    request.overrides.expected_views = tag;
+    if (deadline_s > 0) request.WithDeadline(deadline_s);
+    return request;
+  };
+
+  std::vector<std::shared_ptr<QueryTicket>> tickets;
+  tickets.push_back(server.Submit(tagged(0, 0)));
+  gate.AwaitArrivals(1);
+  tickets.push_back(server.Submit(tagged(3, 10800)));
+  tickets.push_back(server.Submit(tagged(1, 3600)));
+  tickets.push_back(server.Submit(tagged(4, 0)));
+  tickets.push_back(server.Submit(tagged(2, 7200)));
+  gate.Open();
+  for (auto& ticket : tickets) {
+    EXPECT_TRUE(ticket->Wait().status.ok());
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 3, 1, 4, 2}));
+}
+
+TEST(ServingTest, PredictiveSheddingRejectsInfeasibleDeadlines) {
+  // After one real run primes the pipeline-time EWMA, a request whose
+  // deadline is far below any feasible completion estimate must be shed at
+  // admission (Unavailable + shed_deadline), while deadline-free requests
+  // queued behind the held worker are admitted and complete.
+  TableRepository repo = MakeServingTestRepo();
+  WorkerGate gate;
+  std::atomic<bool> hold{false};
+  ServingOptions serving;
+  serving.num_workers = 1;
+  serving.cache_capacity = 0;
+  serving.single_flight = false;
+  serving.predictive_deadline_shedding = true;
+  serving.hooks.after_dequeue = [&] {
+    if (hold.load()) gate.Arrive();
+  };
+  VerServer server(&repo, VerConfig(), serving);
+
+  // Prime: one served query gives the EWMA a real (positive) sample.
+  ASSERT_TRUE(server.Serve(ServingTestQuery()).status.ok());
+
+  hold.store(true);
+  auto held = server.Submit(ServingTestAltQuery());
+  gate.AwaitArrivals(1);
+  auto queued = server.Submit(ServingTestQuery());  // no deadline: admitted
+
+  // A 1ns deadline can never beat an estimate of at least one EWMA
+  // pipeline time — deterministically shed, synchronously.
+  auto shed = server.Submit(
+      DiscoveryRequest::ForQuery(ServingTestQuery()).WithDeadline(1e-9));
+  EXPECT_TRUE(shed->Poll());
+  EXPECT_TRUE(shed->Wait().status.IsUnavailable())
+      << shed->Wait().status.ToString();
+
+  ServerStats mid = server.stats();
+  EXPECT_EQ(mid.rejected, 1);
+  EXPECT_EQ(mid.shed_deadline, 1);
+
+  gate.Open();
+  EXPECT_TRUE(held->Wait().status.ok());
+  EXPECT_TRUE(queued->Wait().status.ok());
+  EXPECT_EQ(server.stats().served_ok, 3);
+}
+
+TEST(ServingTest, ShutdownWhileSheddingDrainsCleanly) {
+  // Shutdown racing a held worker, a full queue, and fresh rejections:
+  // every admitted ticket completes OK, every rejected ticket resolves
+  // with Unavailable, and Shutdown returns only after the drain.
+  TableRepository repo = MakeServingTestRepo();
+  WorkerGate gate;
+  ServingOptions serving;
+  serving.num_workers = 1;
+  serving.max_queue_depth = 2;
+  serving.cache_capacity = 0;
+  serving.hooks.after_dequeue = [&] { gate.Arrive(); };
+  VerServer server(&repo, VerConfig(), serving);
+
+  auto held = server.Submit(ServingTestQuery());
+  gate.AwaitArrivals(1);
+  auto queued_a = server.Submit(ServingTestQuery());
+  auto queued_b = server.Submit(ServingTestAltQuery());
+  auto shed = server.Submit(ServingTestQuery());  // queue full
+  EXPECT_TRUE(shed->Wait().status.IsUnavailable());
+
+  // Shutdown from another thread blocks on the held worker; opening the
+  // gate lets the backlog drain, after which Shutdown must return.
+  std::thread closer([&] { server.Shutdown(); });
+  gate.Open();
+  closer.join();
+
+  EXPECT_TRUE(held->Wait().status.ok());
+  EXPECT_TRUE(queued_a->Wait().status.ok());
+  EXPECT_TRUE(queued_b->Wait().status.ok());
+
+  // Post-shutdown submissions reject cleanly.
+  EXPECT_TRUE(server.Submit(ServingTestQuery())->Wait().status.IsUnavailable());
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.served_ok, 3);
+  EXPECT_EQ(stats.rejected, 2);
+  EXPECT_EQ(stats.current_queue_depth, 0);
+}
+
+TEST(ServingTest, StatsReportPerStageLatencyQuantiles) {
+  // Every served request contributes to the queue-wait and total
+  // histograms; only real pipeline runs feed the pipeline histogram
+  // (cache hits and coalesced serves do not).
+  TableRepository repo = MakeServingTestRepo();
+  ServingOptions serving;
+  serving.num_workers = 2;
+  serving.cache_capacity = 8;
+  VerServer server(&repo, VerConfig(), serving);
+
+  constexpr int kServes = 6;
+  for (int i = 0; i < kServes; ++i) {
+    ASSERT_TRUE(server.Serve(ServingTestQuery()).status.ok());
+  }
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.queue_wait.count, kServes);
+  EXPECT_EQ(stats.total.count, kServes);
+  // One miss computed the result; the five hits replayed it.
+  EXPECT_EQ(stats.pipeline.count, stats.pipeline_executions);
+  EXPECT_EQ(stats.pipeline.count, 1);
+  EXPECT_GT(stats.pipeline.p50_s, 0);
+  EXPECT_GE(stats.pipeline.p999_s, stats.pipeline.p50_s);
+  EXPECT_GE(stats.pipeline.max_s, stats.pipeline.p999_s * 0.97);
+  EXPECT_GE(stats.total.p50_s, 0);
+  EXPECT_GE(stats.total.p999_s, stats.total.p50_s);
+  EXPECT_GE(stats.total.max_s, stats.total.p50_s);
+  EXPECT_GE(stats.queue_wait.max_s, 0);
 }
 
 TEST(ServingTest, QueryCacheEvictsLeastRecentlyUsed) {

@@ -1,0 +1,336 @@
+// Single-flight coalescing guards: N identical concurrent submissions run
+// the pipeline exactly once (execution-counter hook) and every follower
+// receives the leader's result bit-identically, with the full surviving
+// view sequence re-streamed to its own observer; a leader cancelled or
+// expired mid-flight promotes a follower instead of poisoning the group;
+// and requests differing in any knob never coalesce (the canonicalization
+// alias matrix from tests/api_test.cc, driven end to end). All
+// interleavings are pinned with the worker-gate hooks from
+// tests/server_test_fixture.h — no sleeps — so the suite is deterministic
+// under ThreadSanitizer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/discovery_request.h"
+#include "core/ver.h"
+#include "query_fingerprint.h"
+#include "server_test_fixture.h"
+#include "serving/ver_server.h"
+
+namespace ver {
+namespace {
+
+// Compact identity of one view (provenance + cell-exact contents).
+std::string ViewKey(const View& v) {
+  return v.graph.Signature() + "#" + v.table.ToString(v.table.num_rows());
+}
+
+// Per-ticket observer recording the delivered view sequence and terminal
+// event. Events fire on worker threads; each observer belongs to exactly
+// one ticket, and assertions only run after that ticket's Wait().
+struct StreamObserver : public QueryObserver {
+  std::vector<std::string> delivered;
+  std::atomic<int> finished_events{0};
+  Status final_status;
+
+  void OnViewDelivered(const View& view, int /*delivery_index*/,
+                       double /*elapsed_s*/) override {
+    delivered.push_back(ViewKey(view));
+  }
+  void OnFinished(const Status& status) override {
+    final_status = status;
+    finished_events.fetch_add(1);
+  }
+};
+
+// The view sequence a follower must observe: the result's surviving views
+// in final order (serving/ver_server.cc FinishFollower contract).
+std::vector<std::string> SurvivingKeys(const QueryResult& result) {
+  std::vector<std::string> keys;
+  for (int idx : result.distillation.surviving) {
+    keys.push_back(ViewKey(result.views[static_cast<size_t>(idx)]));
+  }
+  return keys;
+}
+
+TEST(SingleFlightTest, EightIdenticalConcurrentSubmissionsExecuteOnce) {
+  TableRepository repo = MakeServingTestRepo();
+  Ver serial(&repo, VerConfig());
+  const std::string expected = Fingerprint(serial.RunQuery(ServingTestQuery()));
+
+  WorkerGate gate;
+  EventCounter attached;
+  std::atomic<int> executions{0};
+  ServingOptions serving;
+  serving.num_workers = 8;
+  serving.cache_capacity = 0;  // cache off: only coalescing can dedup
+  serving.hooks.before_execute = [&](const DiscoveryRequest&) {
+    executions.fetch_add(1);
+    gate.Arrive();
+  };
+  serving.hooks.on_follower_attached = [&](int) { attached.Signal(); };
+  VerServer server(&repo, VerConfig(), serving);
+
+  constexpr int kClients = 8;
+  std::vector<StreamObserver> observers(kClients);
+  std::vector<std::shared_ptr<QueryTicket>> tickets;
+  for (int i = 0; i < kClients; ++i) {
+    tickets.push_back(server.Submit(
+        DiscoveryRequest::ForQuery(ServingTestQuery()), &observers[i]));
+  }
+  // Exactly one worker can register as leader (registration and attachment
+  // share the server mutex); it is now held just before Ver::Execute.
+  gate.AwaitArrivals(1);
+  // Every other submission must park on the leader — none may execute.
+  attached.Await(kClients - 1);
+  EXPECT_EQ(executions.load(), 1);
+  gate.Open();
+
+  int leaders = 0;
+  std::shared_ptr<const QueryResult> shared_result;
+  for (int i = 0; i < kClients; ++i) {
+    const ServedResult& served = tickets[static_cast<size_t>(i)]->Wait();
+    ASSERT_TRUE(served.status.ok()) << served.status.ToString();
+    ASSERT_NE(served.result, nullptr);
+    EXPECT_EQ(Fingerprint(*served.result), expected) << "client " << i;
+    if (shared_result == nullptr) {
+      shared_result = served.result;
+    } else {
+      // Not merely equal: the very same immutable object.
+      EXPECT_EQ(served.result.get(), shared_result.get());
+    }
+    EXPECT_EQ(observers[static_cast<size_t>(i)].finished_events.load(), 1);
+    EXPECT_TRUE(observers[static_cast<size_t>(i)].final_status.ok());
+    if (!served.coalesced) {
+      ++leaders;
+      EXPECT_GT(served.run_s, 0);
+    } else {
+      EXPECT_EQ(served.run_s, 0);
+      // Followers see the full surviving view sequence, in final order.
+      EXPECT_EQ(observers[static_cast<size_t>(i)].delivered,
+                SurvivingKeys(*served.result));
+    }
+  }
+  EXPECT_EQ(leaders, 1);
+  EXPECT_EQ(executions.load(), 1);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, kClients);
+  EXPECT_EQ(stats.served_ok, kClients);
+  EXPECT_EQ(stats.pipeline_executions, 1);
+  EXPECT_EQ(stats.coalesced, kClients - 1);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, 0);  // cache disabled
+}
+
+TEST(SingleFlightTest, LeaderCancellationPromotesAFollower) {
+  TableRepository repo = MakeServingTestRepo();
+  Ver serial(&repo, VerConfig());
+  const std::string expected = Fingerprint(serial.RunQuery(ServingTestQuery()));
+
+  WorkerGate gate;
+  EventCounter attached;
+  std::atomic<int> executions{0};
+  ServingOptions serving;
+  serving.num_workers = 2;
+  serving.cache_capacity = 0;
+  serving.hooks.before_execute = [&](const DiscoveryRequest&) {
+    executions.fetch_add(1);
+    gate.Arrive();
+  };
+  serving.hooks.on_follower_attached = [&](int) { attached.Signal(); };
+  VerServer server(&repo, VerConfig(), serving);
+
+  // The first submission is the only request, so it is the leader; it is
+  // held just before execution with its flight group registered.
+  auto leader = server.Submit(ServingTestQuery());
+  gate.AwaitArrivals(1);
+  auto follower = server.Submit(ServingTestQuery());
+  attached.Await(1);
+
+  // Cancel the held leader, then release. Its Execute fails with Cancelled
+  // at the first control check; the follower must be promoted and serve
+  // the query to completion.
+  leader->Cancel();
+  gate.Open();
+
+  const ServedResult& cancelled = leader->Wait();
+  EXPECT_TRUE(cancelled.status.IsCancelled()) << cancelled.status.ToString();
+  EXPECT_EQ(cancelled.result, nullptr);
+
+  const ServedResult& promoted = follower->Wait();
+  ASSERT_TRUE(promoted.status.ok()) << promoted.status.ToString();
+  ASSERT_NE(promoted.result, nullptr);
+  EXPECT_EQ(Fingerprint(*promoted.result), expected);
+  // The promoted follower ran the pipeline itself — it is not a coalesced
+  // serve (its run_s is real), even though it entered as a follower.
+  EXPECT_FALSE(promoted.coalesced);
+  EXPECT_GT(promoted.run_s, 0);
+
+  // Two executions: the leader's cancelled attempt + the promoted run.
+  EXPECT_EQ(executions.load(), 2);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.cancelled, 1);
+  EXPECT_EQ(stats.served_ok, 1);
+  EXPECT_EQ(stats.coalesced, 1);
+  EXPECT_EQ(stats.pipeline_executions, 2);
+}
+
+TEST(SingleFlightTest, LeaderDeadlineExpiryPromotesAFollower) {
+  TableRepository repo = MakeServingTestRepo();
+  Ver serial(&repo, VerConfig());
+  const std::string expected = Fingerprint(serial.RunQuery(ServingTestQuery()));
+
+  WorkerGate gate;
+  EventCounter attached;
+  ServingOptions serving;
+  serving.num_workers = 2;
+  serving.cache_capacity = 0;
+  serving.hooks.before_execute = [&](const DiscoveryRequest&) {
+    gate.Arrive();
+  };
+  serving.hooks.on_follower_attached = [&](int) { attached.Signal(); };
+  VerServer server(&repo, VerConfig(), serving);
+
+  // The leader carries a 1s deadline — generous enough that it always
+  // survives the dequeue-time expiry check and registers its group (the
+  // gate arrival proves it did), tight enough to expire while held.
+  const auto submit_time = std::chrono::steady_clock::now();
+  auto leader = server.Submit(
+      DiscoveryRequest::ForQuery(ServingTestQuery()).WithDeadline(1.0));
+  gate.AwaitArrivals(1);
+  auto follower = server.Submit(ServingTestQuery());
+  attached.Await(1);
+
+  // Let the leader's deadline lapse for real (deadline expiry is a clock
+  // condition, so this wait *is* the scenario — not a synchronization
+  // sleep; every cross-thread handoff above used gates).
+  const auto lapsed = submit_time + std::chrono::milliseconds(1100);
+  while (std::chrono::steady_clock::now() < lapsed) std::this_thread::yield();
+  gate.Open();
+
+  const ServedResult& expired = leader->Wait();
+  EXPECT_TRUE(expired.status.IsDeadlineExceeded())
+      << expired.status.ToString();
+  const ServedResult& promoted = follower->Wait();
+  ASSERT_TRUE(promoted.status.ok()) << promoted.status.ToString();
+  EXPECT_EQ(Fingerprint(*promoted.result), expected);
+  EXPECT_EQ(server.stats().deadline_exceeded, 1);
+  EXPECT_EQ(server.stats().served_ok, 1);
+}
+
+TEST(SingleFlightTest, DistinctKnobRequestsNeverCoalesce) {
+  // The canonicalization alias matrix (tests/api_test.cc) driven end to
+  // end: 12 single-knob variants plus the base request, all in flight
+  // simultaneously, must produce 13 independent executions; a duplicate of
+  // the base rides along to prove coalescing was active while they ran.
+  TableRepository repo = MakeServingTestRepo();
+
+  std::vector<DiscoveryRequest> requests;
+  auto add = [&](auto setter) {
+    DiscoveryRequest request = DiscoveryRequest::ForQuery(ServingTestQuery());
+    setter(&request);
+    requests.push_back(std::move(request));
+  };
+  add([](DiscoveryRequest*) {});  // the base
+  add([](DiscoveryRequest* r) {
+    r->overrides.selection_strategy = SelectionStrategy::kSelectAll;
+  });
+  add([](DiscoveryRequest* r) { r->overrides.theta = 2; });
+  add([](DiscoveryRequest* r) {
+    r->overrides.cluster_similarity_threshold = 0.75;
+  });
+  add([](DiscoveryRequest* r) { r->overrides.fuzzy_fallback = false; });
+  add([](DiscoveryRequest* r) { r->overrides.max_hops = 3; });
+  add([](DiscoveryRequest* r) { r->overrides.expected_views = 7; });
+  add([](DiscoveryRequest* r) { r->overrides.max_combinations = 10; });
+  add([](DiscoveryRequest* r) { r->overrides.run_distillation = false; });
+  add([](DiscoveryRequest* r) {
+    r->overrides.key_uniqueness_threshold = 0.8;
+  });
+  add([](DiscoveryRequest* r) { r->overrides.composite_keys = true; });
+  add([](DiscoveryRequest* r) { r->StopAfter(3); });
+  add([](DiscoveryRequest* r) { r->query.columns[0].push_back("Austin"); });
+  const int distinct = static_cast<int>(requests.size());
+  // The duplicate base — the only submission that may coalesce.
+  requests.push_back(DiscoveryRequest::ForQuery(ServingTestQuery()));
+
+  WorkerGate gate;
+  EventCounter attached;
+  std::atomic<int> executions{0};
+  ServingOptions serving;
+  serving.num_workers = distinct + 1;  // every request dequeues in parallel
+  serving.cache_capacity = 0;
+  serving.hooks.before_execute = [&](const DiscoveryRequest&) {
+    executions.fetch_add(1);
+    gate.Arrive();
+  };
+  serving.hooks.on_follower_attached = [&](int) { attached.Signal(); };
+  VerServer server(&repo, VerConfig(), serving);
+
+  std::vector<std::shared_ptr<QueryTicket>> tickets;
+  for (DiscoveryRequest& request : requests) {
+    tickets.push_back(server.Submit(std::move(request)));
+  }
+  // All 13 distinct requests become leaders — if any two knob variants
+  // aliased to one key, one of them would attach instead and this count
+  // would never be reached. The duplicate base must attach.
+  gate.AwaitArrivals(distinct);
+  attached.Await(1);
+  EXPECT_EQ(executions.load(), distinct);
+  gate.Open();
+
+  int coalesced_serves = 0;
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    const ServedResult& served = tickets[i]->Wait();
+    ASSERT_TRUE(served.status.ok())
+        << "request " << i << ": " << served.status.ToString();
+    if (served.coalesced) ++coalesced_serves;
+  }
+  EXPECT_EQ(coalesced_serves, 1);
+  EXPECT_EQ(executions.load(), distinct);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.pipeline_executions, distinct);
+  EXPECT_EQ(stats.coalesced, 1);
+  EXPECT_EQ(stats.served_ok, distinct + 1);
+}
+
+TEST(SingleFlightTest, CoalescingDisabledRunsEveryRequest) {
+  // With single_flight off (and the cache off), identical concurrent
+  // requests all execute — the knob genuinely gates the behavior.
+  TableRepository repo = MakeServingTestRepo();
+  WorkerGate gate;
+  std::atomic<int> executions{0};
+  ServingOptions serving;
+  serving.num_workers = 4;
+  serving.cache_capacity = 0;
+  serving.single_flight = false;
+  serving.hooks.before_execute = [&](const DiscoveryRequest&) {
+    executions.fetch_add(1);
+    gate.Arrive();
+  };
+  VerServer server(&repo, VerConfig(), serving);
+
+  std::vector<std::shared_ptr<QueryTicket>> tickets;
+  for (int i = 0; i < 4; ++i) {
+    tickets.push_back(server.Submit(ServingTestQuery()));
+  }
+  // All four workers reach execution simultaneously — nobody attached.
+  gate.AwaitArrivals(4);
+  gate.Open();
+  for (auto& ticket : tickets) {
+    EXPECT_TRUE(ticket->Wait().status.ok());
+  }
+  EXPECT_EQ(executions.load(), 4);
+  EXPECT_EQ(server.stats().coalesced, 0);
+}
+
+}  // namespace
+}  // namespace ver
