@@ -152,21 +152,20 @@ void Run() {
       static_cast<double>(seed_bytes) / static_cast<double>(m.num_cells);
 
   // Row-hash scans. The two layouts must produce the same hash stream.
+  // Each variant runs one untimed warmup pass (page in the data, settle
+  // the frequency governor) and then reports best-of-N, so the tracked
+  // throughput is stable on shared 1-core CI runners.
   uint64_t columnar_check = 0, seed_check = 0;
-  for (int rep = 0; rep < kRepetitions; ++rep) {
+  auto rowhash_columnar = [&]() {
     columnar_check = 0;
-    WallTimer timer;
     for (int32_t t = 0; t < repo.num_tables(); ++t) {
       for (uint64_t h : repo.table(t).AllRowHashes()) {
         columnar_check = HashCombine(columnar_check, h);
       }
     }
-    double s = timer.ElapsedSeconds();
-    if (rep == 0 || s < m.rowhash_columnar_s) m.rowhash_columnar_s = s;
-  }
-  for (int rep = 0; rep < kRepetitions; ++rep) {
+  };
+  auto rowhash_seed = [&]() {
     seed_check = 0;
-    WallTimer timer;
     for (const SeedTable& st : seed) {
       if (st.columns.empty()) continue;
       int64_t rows = static_cast<int64_t>(st.columns[0].size());
@@ -178,6 +177,18 @@ void Run() {
         seed_check = HashCombine(seed_check, h);
       }
     }
+  };
+  rowhash_columnar();  // warmup (untimed)
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    WallTimer timer;
+    rowhash_columnar();
+    double s = timer.ElapsedSeconds();
+    if (rep == 0 || s < m.rowhash_columnar_s) m.rowhash_columnar_s = s;
+  }
+  rowhash_seed();  // warmup (untimed)
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    WallTimer timer;
+    rowhash_seed();
     double s = timer.ElapsedSeconds();
     if (rep == 0 || s < m.rowhash_seed_s) m.rowhash_seed_s = s;
   }
@@ -190,9 +201,8 @@ void Run() {
 
   // Distinct-hash collection (the profiling scan).
   int64_t columnar_distinct = 0, seed_distinct = 0;
-  for (int rep = 0; rep < kRepetitions; ++rep) {
+  auto distinct_columnar = [&]() {
     columnar_distinct = 0;
-    WallTimer timer;
     for (int32_t t = 0; t < repo.num_tables(); ++t) {
       const Table& table = repo.table(t);
       for (int c = 0; c < table.num_columns(); ++c) {
@@ -200,12 +210,9 @@ void Run() {
             static_cast<int64_t>(DistinctValueHashes(table, c).size());
       }
     }
-    double s = timer.ElapsedSeconds();
-    if (rep == 0 || s < m.distinct_columnar_s) m.distinct_columnar_s = s;
-  }
-  for (int rep = 0; rep < kRepetitions; ++rep) {
+  };
+  auto distinct_seed = [&]() {
     seed_distinct = 0;
-    WallTimer timer;
     for (const SeedTable& st : seed) {
       for (const std::vector<Value>& col : st.columns) {
         std::unordered_set<uint64_t> distinct;
@@ -216,6 +223,18 @@ void Run() {
         seed_distinct += static_cast<int64_t>(distinct.size());
       }
     }
+  };
+  distinct_columnar();  // warmup (untimed)
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    WallTimer timer;
+    distinct_columnar();
+    double s = timer.ElapsedSeconds();
+    if (rep == 0 || s < m.distinct_columnar_s) m.distinct_columnar_s = s;
+  }
+  distinct_seed();  // warmup (untimed)
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    WallTimer timer;
+    distinct_seed();
     double s = timer.ElapsedSeconds();
     if (rep == 0 || s < m.distinct_seed_s) m.distinct_seed_s = s;
   }
@@ -251,6 +270,16 @@ void Run() {
     std::printf("WARNING: columnar layout is only %.2fx smaller than the "
                 "seed layout (acceptance bar: >= 2x)\n",
                 m.memory_reduction());
+  }
+  // Machine-independent perf gate: the vectorized row-hash kernels must
+  // beat the seed Value-matrix scan by a wide relative margin even when
+  // the absolute Mcells/s number varies with the CI runner.
+  double rowhash_speedup =
+      m.rowhash_columnar_s == 0 ? 0 : m.rowhash_seed_s / m.rowhash_columnar_s;
+  if (rowhash_speedup < 3.0) {
+    std::printf("WARNING: columnar row-hash scan is only %.2fx faster than "
+                "the seed layout (acceptance bar: >= 3x)\n",
+                rowhash_speedup);
   }
   WriteJson(m);
 }

@@ -1,8 +1,8 @@
 #include "discovery/keyword_index.h"
 
 #include <algorithm>
-#include <unordered_set>
 
+#include "util/bitset.h"
 #include "util/levenshtein.h"
 #include "util/string_util.h"
 
@@ -107,38 +107,49 @@ void KeywordIndex::AddTable(const TableRepository& repo, int32_t table_id) {
 
 void KeywordIndex::IndexTable(const TableRepository& repo, int32_t t) {
   const Table& table = repo.table(t);
+  // One scratch text buffer for the whole table (the old loop built a
+  // std::string per distinct cell into an unordered_set<std::string>), and
+  // posting dedup that needs no set at all: columns index one at a time,
+  // so a text already posted by *this* column has this column's ref at the
+  // back of its posting list — older refs can never follow it.
+  std::string scratch;
+  PackedBitset code_seen;
   for (int c = 0; c < table.num_columns(); ++c) {
     ColumnRef ref{t, c};
     const Attribute& attr = table.schema().attribute(c);
     if (attr.has_name()) {
       attr_postings_[ToLower(attr.name)].push_back(ref);
     }
+    auto post_scratch = [&]() {
+      ToLowerInPlace(&scratch);
+      std::vector<ColumnRef>& cols = value_postings_[scratch];
+      if (cols.empty() || cols.back().table_id != ref.table_id ||
+          cols.back().column_index != ref.column_index) {
+        cols.push_back(ref);
+      }
+    };
     const ColumnData& data = table.column_data(c);
-    std::unordered_set<std::string> seen;  // dedupe cell texts per column
     if (data.is_dict()) {
       // Dictionary columns dedupe on codes first: each distinct cell is
-      // lowercased and text-deduped once, in first-occurrence row order
-      // (same postings as the per-row loop, minus the re-hashing).
-      std::vector<bool> code_seen(data.dict_size(), false);
+      // lowercased and posted once, in first-occurrence row order (same
+      // postings as the per-row loop, minus the re-hashing).
+      code_seen.Resize(data.dict_size());
       for (int64_t r = 0; r < table.num_rows(); ++r) {
         if (data.is_null(r)) continue;
         uint32_t code = data.code(r);
-        if (code_seen[code]) continue;
-        code_seen[code] = true;
-        std::string text = ToLower(data.dict_entry(code).ToText());
-        if (seen.insert(text).second) {
-          value_postings_[text].push_back(ref);
-        }
+        if (!code_seen.TestAndSet(code)) continue;
+        scratch.clear();
+        data.dict_entry(code).AppendTextTo(&scratch);
+        post_scratch();
       }
       continue;
     }
     for (int64_t r = 0; r < table.num_rows(); ++r) {
       CellView v = data.cell(r);
       if (v.is_null()) continue;
-      std::string text = ToLower(v.ToText());
-      if (seen.insert(text).second) {
-        value_postings_[text].push_back(ref);
-      }
+      scratch.clear();
+      v.AppendTextTo(&scratch);
+      post_scratch();
     }
   }
 }

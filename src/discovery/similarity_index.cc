@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "util/bitset.h"
 #include "util/hash.h"
 
 namespace ver {
@@ -153,16 +154,22 @@ uint64_t SimilarityIndex::BandHash(const MinHashSignature& sig,
 }
 
 std::vector<int> SimilarityIndex::Candidates(int profile_index) const {
-  std::unordered_set<int> out;
   const ColumnProfile& p = (*profiles_)[profile_index];
   if (!eligible_[profile_index]) return {};
+  // Union the posting lists into a packed bitset over the profile universe
+  // — word-level set bits instead of unordered_set nodes — then drain it
+  // ascending: the same sorted candidate list as the set + sort this
+  // replaces, with no per-candidate allocation or rehash.
+  PackedBitset out(profiles_->size());
   auto collect_flat = [&out, profile_index](const FlatBuckets& flat,
                                             uint64_t key) {
     if (flat.keys.empty()) return;
     ptrdiff_t i = flat.find(key);
     if (i < 0) return;
     for (uint32_t o = flat.offsets[i]; o < flat.offsets[i + 1]; ++o) {
-      if (flat.postings[o] != profile_index) out.insert(flat.postings[o]);
+      if (flat.postings[o] != profile_index) {
+        out.set(static_cast<size_t>(flat.postings[o]));
+      }
     }
   };
   for (uint64_t h : p.distinct_hashes) {
@@ -170,7 +177,7 @@ std::vector<int> SimilarityIndex::Candidates(int profile_index) const {
     auto it = value_postings_.find(h);
     if (it == value_postings_.end()) continue;
     for (int other : it->second) {
-      if (other != profile_index) out.insert(other);
+      if (other != profile_index) out.set(static_cast<size_t>(other));
     }
   }
   for (size_t b = 0; b < band_buckets_.size(); ++b) {
@@ -181,11 +188,13 @@ std::vector<int> SimilarityIndex::Candidates(int profile_index) const {
     auto it = band_buckets_[b].find(key);
     if (it == band_buckets_[b].end()) continue;
     for (int other : it->second) {
-      if (other != profile_index) out.insert(other);
+      if (other != profile_index) out.set(static_cast<size_t>(other));
     }
   }
-  std::vector<int> v(out.begin(), out.end());
-  std::sort(v.begin(), v.end());
+  std::vector<int> v;
+  v.reserve(out.Popcount());
+  out.ForEachSetBit(
+      [&v](size_t bit) { v.push_back(static_cast<int>(bit)); });
   return v;
 }
 

@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <filesystem>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "table/csv.h"
 #include "util/check.h"
+#include "util/flat_multimap.h"
 #include "util/hash.h"
 
 namespace ver {
@@ -119,38 +118,60 @@ Result<Table> Materializer::Materialize(
 
     const Table& new_table = repo_->table(new_col.table_id);
     const ColumnData& new_data = new_table.column_data(new_col.column_index);
-    std::unordered_map<uint64_t, std::vector<int64_t>> build;
-    build.reserve(static_cast<size_t>(new_table.num_rows()));
-    for (int64_t r = 0; r < new_table.num_rows(); ++r) {
-      if (new_data.is_null(r)) continue;  // null keys never join
-      // Dictionary columns answer CellHash from cached entry hashes, so
-      // the build side never re-hashes string bytes.
-      build[new_data.CellHash(r)].push_back(r);
-    }
+    // Build side: bulk-hash the key column through the blocked kernel
+    // (dictionary columns answer from cached entry hashes, never touching
+    // string bytes), then load a flat open-addressing multimap. Null keys
+    // are masked out via the validity bitmap — null keys never join —
+    // and each group keeps its rows in ascending row order, preserving
+    // the extension order of the unordered_map + vector build it replaces.
+    std::vector<uint64_t> build_keys(
+        static_cast<size_t>(new_table.num_rows()));
+    new_data.CellHashesInto(build_keys.data(), new_table.num_rows());
+    FlatU64MultiMap build;
+    build.Build(build_keys.data(), new_data.validity_words(),
+                new_table.num_rows());
 
     const ColumnData& bound_data =
         repo_->table(bound_col.table_id).column_data(bound_col.column_index);
     std::vector<std::vector<int64_t>> next;
-    for (const auto& tuple : state.tuples) {
-      VER_DCHECK(static_cast<size_t>(bound_idx) < tuple.size())
-          << "bound slot " << bound_idx << " outside tuple of "
-          << tuple.size();
-      int64_t bound_row = tuple[bound_idx];
-      if (bound_data.is_null(bound_row)) continue;
-      auto it = build.find(bound_data.CellHash(bound_row));
-      if (it == build.end()) continue;
-      CellView v = bound_data.cell(bound_row);
-      for (int64_t r : it->second) {
-        // Hash equality is not value equality; verify to be exact.
-        if (!(new_data.cell(r) == v)) continue;
-        std::vector<int64_t> extended = tuple;
-        extended.push_back(r);
-        next.push_back(std::move(extended));
-        if (static_cast<int64_t>(next.size()) >
-            options.max_intermediate_rows) {
-          return Status::OutOfRange(
-              "intermediate join result exceeded max_intermediate_rows (" +
-              std::to_string(options.max_intermediate_rows) + ")");
+    // Probe in batches of 8: hash the batch's keys and prefetch their home
+    // buckets first, so the dependent slot loads of the probe loop hit
+    // cache instead of stalling one miss at a time.
+    constexpr size_t kProbeBatch = 8;
+    uint64_t probe_keys[kProbeBatch];
+    const size_t num_tuples = state.tuples.size();
+    for (size_t batch = 0; batch < num_tuples; batch += kProbeBatch) {
+      const size_t batch_len = std::min(kProbeBatch, num_tuples - batch);
+      for (size_t i = 0; i < batch_len; ++i) {
+        const std::vector<int64_t>& tuple = state.tuples[batch + i];
+        VER_DCHECK(static_cast<size_t>(bound_idx) < tuple.size())
+            << "bound slot " << bound_idx << " outside tuple of "
+            << tuple.size();
+        int64_t bound_row = tuple[bound_idx];
+        if (bound_data.is_null(bound_row)) continue;
+        probe_keys[i] = bound_data.CellHash(bound_row);
+        build.PrefetchBucket(probe_keys[i]);
+      }
+      for (size_t i = 0; i < batch_len; ++i) {
+        const std::vector<int64_t>& tuple = state.tuples[batch + i];
+        int64_t bound_row = tuple[bound_idx];
+        if (bound_data.is_null(bound_row)) continue;
+        FlatU64MultiMap::Group group = build.Find(probe_keys[i]);
+        if (group.size == 0) continue;
+        CellView v = bound_data.cell(bound_row);
+        for (size_t k = 0; k < group.size; ++k) {
+          int64_t r = group.begin[k];
+          // Hash equality is not value equality; verify to be exact.
+          if (!(new_data.cell(r) == v)) continue;
+          std::vector<int64_t> extended = tuple;
+          extended.push_back(r);
+          next.push_back(std::move(extended));
+          if (static_cast<int64_t>(next.size()) >
+              options.max_intermediate_rows) {
+            return Status::OutOfRange(
+                "intermediate join result exceeded max_intermediate_rows (" +
+                std::to_string(options.max_intermediate_rows) + ")");
+          }
         }
       }
     }
@@ -186,6 +207,22 @@ Result<Table> Materializer::Materialize(
   auto tuple_cell = [&](int64_t tuple_index, int p) {
     return cols[p]->cell(state.tuples[tuple_index][slots[p]]);
   };
+  // Tuple hashes are precomputed column-major through the gathered combine
+  // kernel (same seed and per-tuple HashCombine chain as the old per-cell
+  // loop, bit-identical), so distinct never hashes inside the row loop.
+  std::vector<uint64_t> tuple_hashes;
+  if (options.distinct && !state.tuples.empty()) {
+    const int64_t n = static_cast<int64_t>(state.tuples.size());
+    tuple_hashes.assign(static_cast<size_t>(n), 0x726f7768617368ULL);
+    std::vector<int64_t> gather_rows(static_cast<size_t>(n));
+    for (size_t p = 0; p < projection.size(); ++p) {
+      for (int64_t ti = 0; ti < n; ++ti) {
+        gather_rows[ti] = state.tuples[ti][slots[p]];
+      }
+      cols[p]->CombineCellHashesInto(tuple_hashes.data(), gather_rows.data(),
+                                     n);
+    }
+  }
   std::vector<CellView> row;
   row.reserve(projection.size());
   for (size_t ti = 0; ti < state.tuples.size(); ++ti) {
@@ -194,11 +231,7 @@ Result<Table> Materializer::Materialize(
         << "tuple width " << tuple.size() << " != " << state.tables.size()
         << " bound tables at projection";
     if (options.distinct) {
-      uint64_t h = 0x726f7768617368ULL;
-      for (size_t p = 0; p < projection.size(); ++p) {
-        h = HashCombine(h, cols[p]->CellHash(tuple[slots[p]]));
-      }
-      if (!deduper.Insert(h, static_cast<int64_t>(ti),
+      if (!deduper.Insert(tuple_hashes[ti], static_cast<int64_t>(ti),
                           static_cast<int>(projection.size()), tuple_cell)) {
         continue;
       }

@@ -71,7 +71,9 @@ class TableRepository {
     return tables_[ref.table_id].column_data(ref.column_index);
   }
   /// Legacy boundary accessor: materializes every cell as an owning Value.
-  /// O(rows) copies — hot paths should use column_data() instead.
+  /// O(rows) copies — scan paths must use column_data() instead. Allowed
+  /// (cold) call sites: one-shot assertions in tests and debug/CSV-boundary
+  /// rendering; nothing under src/ may call it on a per-query path.
   std::vector<Value> column_values(const ColumnRef& ref) const;
 
   /// All column refs across all tables.

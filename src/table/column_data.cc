@@ -1,10 +1,11 @@
 #include "table/column_data.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cstring>
 #include <numeric>
-#include <unordered_set>
 
+#include "util/simd.h"
 #include "util/string_util.h"
 
 namespace ver {
@@ -81,6 +82,25 @@ std::string CellView::ToText() const {
       return std::string(AsStringView());
   }
   return "";
+}
+
+void CellView::AppendTextTo(std::string* out) const {
+  switch (type_) {
+    case ValueType::kNull:
+      return;
+    case ValueType::kInt: {
+      char buf[24];  // -2^63 is 20 chars
+      auto res = std::to_chars(buf, buf + sizeof(buf), int_);
+      out->append(buf, static_cast<size_t>(res.ptr - buf));
+      return;
+    }
+    case ValueType::kDouble:
+      out->append(FormatDouble(double_, 9));
+      return;
+    case ValueType::kString:
+      out->append(AsStringView());
+      return;
+  }
 }
 
 uint64_t CellView::Hash() const {
@@ -409,40 +429,138 @@ uint64_t ColumnData::CellHash(int64_t row) const {
   return kNullValueHash;
 }
 
-namespace {
-
-// Shared distinct-hash collection: dictionary columns answer from cached
-// entry hashes (every entry is referenced by at least one row, and the
-// set merges int/double twins exactly like seed per-cell hashing did);
-// other encodings scan rows.
-void CollectDistinctHashes(const ColumnData& col,
-                           std::unordered_set<uint64_t>* distinct) {
-  if (col.is_dict()) {
-    distinct->reserve(col.dict_size());
-    for (uint32_t c = 0; c < col.dict_size(); ++c) {
-      distinct->insert(col.dict_entry_hash(c));
-    }
-    return;
-  }
-  distinct->reserve(static_cast<size_t>(col.size() - col.null_count()));
-  for (int64_t r = 0; r < col.size(); ++r) {
-    if (!col.is_null(r)) distinct->insert(col.CellHash(r));
+void ColumnData::FillCellHashes(int64_t base, size_t len,
+                                uint64_t* buf) const {
+  VER_DCHECK(base >= 0 && base + static_cast<int64_t>(len) <= num_rows_)
+      << "block [" << base << ", " << base + static_cast<int64_t>(len)
+      << ") outside column of " << num_rows_;
+  const bool no_nulls = num_nulls_ == 0;
+  switch (enc_) {
+    case ColumnEncoding::kInt64:
+      if (no_nulls) {
+        simd::HashInt64Cells(ints_.data() + base, len, buf);
+        return;
+      }
+      for (size_t i = 0; i < len; ++i) {
+        buf[i] = is_null(base + static_cast<int64_t>(i))
+                     ? kNullValueHash
+                     : HashIntValue(ints_[base + static_cast<int64_t>(i)]);
+      }
+      return;
+    case ColumnEncoding::kDouble:
+      // HashDoubleValue's integral-twin branch keeps this scalar; the
+      // unrolled combine downstream still amortizes it.
+      for (size_t i = 0; i < len; ++i) {
+        int64_t r = base + static_cast<int64_t>(i);
+        buf[i] = (!no_nulls && is_null(r)) ? kNullValueHash
+                                           : HashDoubleValue(doubles_[r]);
+      }
+      return;
+    case ColumnEncoding::kNumeric:
+      for (size_t i = 0; i < len; ++i) {
+        int64_t r = base + static_cast<int64_t>(i);
+        if (!no_nulls && is_null(r)) {
+          buf[i] = kNullValueHash;
+          continue;
+        }
+        bool is_int = (int_tag_words_[static_cast<size_t>(r) >> 6] &
+                       (uint64_t{1} << (r & 63))) != 0;
+        buf[i] = is_int ? HashIntValue(static_cast<int64_t>(num_bits_[r]))
+                        : HashDoubleValue(BitsToDouble(num_bits_[r]));
+      }
+      return;
+    case ColumnEncoding::kDict:
+      if (no_nulls) {
+        for (size_t i = 0; i < len; ++i) {
+          buf[i] = entry_hashes_[codes_[base + static_cast<int64_t>(i)]];
+        }
+        return;
+      }
+      for (size_t i = 0; i < len; ++i) {
+        int64_t r = base + static_cast<int64_t>(i);
+        buf[i] = is_null(r) ? kNullValueHash : entry_hashes_[codes_[r]];
+      }
+      return;
   }
 }
 
-}  // namespace
+void ColumnData::CombineCellHashesInto(uint64_t* acc, int64_t n) const {
+  // All-valid int64, double and dictionary columns take the fused one-pass
+  // kernels (hash or gather straight into the combine, no staging buffer);
+  // other encodings and null-bearing columns stage per-cell hashes
+  // block-wise.
+  if (num_nulls_ == 0 && n > 0) {
+    if (enc_ == ColumnEncoding::kInt64) {
+      simd::CombineInt64Cells(acc, ints_.data(), static_cast<size_t>(n));
+      return;
+    }
+    if (enc_ == ColumnEncoding::kDouble) {
+      simd::CombineDoubleCells(acc, doubles_.data(), static_cast<size_t>(n));
+      return;
+    }
+    if (enc_ == ColumnEncoding::kDict) {
+      simd::CombineDictCells(acc, codes_.data(), entry_hashes_.data(),
+                             static_cast<size_t>(n));
+      return;
+    }
+  }
+  uint64_t buf[simd::kBlockCells];
+  for (int64_t base = 0; base < n;
+       base += static_cast<int64_t>(simd::kBlockCells)) {
+    size_t len = static_cast<size_t>(
+        std::min<int64_t>(static_cast<int64_t>(simd::kBlockCells), n - base));
+    FillCellHashes(base, len, buf);
+    simd::CombineHashes(acc + base, buf, len);
+  }
+}
+
+void ColumnData::CombineCellHashesInto(uint64_t* acc, const int64_t* rows,
+                                       int64_t n) const {
+  uint64_t buf[simd::kBlockCells];
+  for (int64_t base = 0; base < n;
+       base += static_cast<int64_t>(simd::kBlockCells)) {
+    size_t len = static_cast<size_t>(
+        std::min<int64_t>(static_cast<int64_t>(simd::kBlockCells), n - base));
+    for (size_t i = 0; i < len; ++i) buf[i] = CellHash(rows[base + i]);
+    simd::CombineHashes(acc + base, buf, len);
+  }
+}
+
+void ColumnData::CellHashesInto(uint64_t* out, int64_t n) const {
+  if (n > 0) FillCellHashes(0, static_cast<size_t>(n), out);
+}
 
 std::vector<uint64_t> ColumnData::DistinctHashes() const {
-  std::unordered_set<uint64_t> distinct;
-  CollectDistinctHashes(*this, &distinct);
-  return {distinct.begin(), distinct.end()};
+  // Dictionary columns answer from cached entry hashes (every entry is
+  // referenced by at least one row; sort+unique merges int/double twins,
+  // which hash equal by design, exactly like seed per-cell hashing did).
+  std::vector<uint64_t> hashes;
+  if (is_dict()) {
+    hashes = entry_hashes_;
+  } else if (num_nulls_ == 0) {
+    hashes.resize(static_cast<size_t>(num_rows_));
+    FillCellHashes(0, hashes.size(), hashes.data());
+  } else {
+    hashes.reserve(static_cast<size_t>(num_rows_ - num_nulls_));
+    for (int64_t r = 0; r < num_rows_; ++r) {
+      if (!is_null(r)) hashes.push_back(CellHash(r));
+    }
+  }
+  std::sort(hashes.begin(), hashes.end());
+  hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
+  return hashes;
 }
 
 int64_t ColumnData::DistinctCount(bool count_null) const {
-  std::unordered_set<uint64_t> distinct;
-  CollectDistinctHashes(*this, &distinct);
-  if (count_null && num_nulls_ > 0) distinct.insert(kNullValueHash);
-  return static_cast<int64_t>(distinct.size());
+  std::vector<uint64_t> distinct = DistinctHashes();
+  int64_t count = static_cast<int64_t>(distinct.size());
+  // Counting null adds one value unless some non-null cell already hashes
+  // to the null sentinel (the old set-insert semantics, preserved).
+  if (count_null && num_nulls_ > 0 &&
+      !std::binary_search(distinct.begin(), distinct.end(), kNullValueHash)) {
+    ++count;
+  }
+  return count;
 }
 
 void ColumnData::Seal() {

@@ -100,6 +100,10 @@ class CellView {
   /// Canonical textual form; identical to Value::ToText().
   std::string ToText() const;
 
+  /// Appends ToText() to *out without building a temporary string (ints
+  /// render via to_chars) — the scratch-buffer form for scan loops.
+  void AppendTextTo(std::string* out) const;
+
   /// Stable 64-bit hash; identical to Value::Hash() for the same cell.
   uint64_t Hash() const;
 
@@ -186,6 +190,30 @@ class ColumnData {
             (uint64_t{1} << (row & 63))) == 0;
   }
 
+  // Blocked hash kernels (util/simd.h): the scan-shaped bulk forms of
+  // CellHash(), bit-identical to the per-row calls at every dispatch level.
+
+  /// Row-hash accumulation: acc[i] = HashCombine(acc[i], CellHash(i)) for
+  /// i < n (n <= size()). The column-major building block behind
+  /// Table::AllRowHashes — cell hashes are staged through a stack block
+  /// straight off the typed payload arrays, no CellView materialized.
+  void CombineCellHashesInto(uint64_t* acc, int64_t n) const;
+
+  /// Gathered variant over explicit row numbers:
+  /// acc[i] = HashCombine(acc[i], CellHash(rows[i])) for i < n. Serves
+  /// projection-shaped scans (a subset of rows in arbitrary order).
+  void CombineCellHashesInto(uint64_t* acc, const int64_t* rows,
+                             int64_t n) const;
+
+  /// Bulk per-cell hashing: out[i] = CellHash(i) for i < n (n <= size()).
+  /// Null rows hash to kNullValueHash, exactly like CellHash().
+  void CellHashesInto(uint64_t* out, int64_t n) const;
+
+  /// The validity bitmap words (bit (row & 63) of word (row >> 6) set =
+  /// non-null); (size() + 63) / 64 words. Lets bulk consumers (hash-join
+  /// build, kernels) test nulls without per-row calls.
+  const uint64_t* validity_words() const { return valid_words_.data(); }
+
   // Type tallies over appended cells (non-null cells tally under their
   // type). O(1): maintained during Append.
   int64_t null_count() const { return num_nulls_; }
@@ -193,9 +221,11 @@ class ColumnData {
   int64_t double_count() const { return num_doubles_; }
   int64_t string_count() const { return num_strings_; }
 
-  /// Deduplicated hashes of the distinct non-null cells. Dictionary
-  /// columns answer from cached entry hashes without scanning rows.
-  /// Unordered (callers sort if they need determinism across layouts).
+  /// Deduplicated hashes of the distinct non-null cells, sorted ascending
+  /// (sort+unique over a contiguous hash array — cheaper than the old
+  /// unordered_set build and deterministic across layouts for free).
+  /// Dictionary columns answer from cached entry hashes without scanning
+  /// rows.
   std::vector<uint64_t> DistinctHashes() const;
 
   /// Number of distinct cell hashes, optionally counting null as a value
@@ -259,6 +289,9 @@ class ColumnData {
   Status LoadFrom(SerdeReader* r);
 
  private:
+  /// Fills buf[0..len) with CellHash(base + i), dispatching on the encoding
+  /// once per block instead of once per cell.
+  void FillCellHashes(int64_t base, size_t len, uint64_t* buf) const;
   void AppendValidityBit(bool non_null);
   void BecomeDouble();
   void PromoteToNumeric();

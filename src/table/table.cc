@@ -62,9 +62,15 @@ uint64_t Table::RowHash(int64_t row) const {
 }
 
 std::vector<uint64_t> Table::AllRowHashes() const {
-  std::vector<uint64_t> out;
-  out.reserve(static_cast<size_t>(num_rows_));
-  for (int64_t r = 0; r < num_rows_; ++r) out.push_back(RowHash(r));
+  // Column-major: seed every accumulator, then stream each column's cell
+  // hashes through the blocked combine kernel. Same per-row HashCombine
+  // chain as RowHash() — columns visit in the same order — so the stream
+  // is bit-identical to the row-major loop it replaces.
+  std::vector<uint64_t> out(static_cast<size_t>(num_rows_),
+                            0x726f7768617368ULL);
+  for (const ColumnData& c : columns_) {
+    c.CombineCellHashesInto(out.data(), num_rows_);
+  }
   return out;
 }
 
@@ -82,13 +88,20 @@ Table Table::Project(const std::vector<int>& col_indices, bool distinct,
   // copies, and hash collisions cannot silently drop distinct rows.
   RowDeduper deduper;
   auto cell_at = [&](int64_t row, int c) { return cell(row, col_indices[c]); };
+  // Projected-row hashes are precomputed column-major through the blocked
+  // kernel (same HashCombine chain as the old per-row loop, bit-identical).
+  std::vector<uint64_t> hashes;
+  if (distinct) {
+    hashes.assign(static_cast<size_t>(num_rows_), 0x726f7768617368ULL);
+    for (int c : col_indices) {
+      columns_[c].CombineCellHashesInto(hashes.data(), num_rows_);
+    }
+  }
   std::vector<CellView> row;
   row.reserve(col_indices.size());
   for (int64_t r = 0; r < num_rows_; ++r) {
     if (distinct) {
-      uint64_t h = 0x726f7768617368ULL;
-      for (int c : col_indices) h = HashCombine(h, cell_hash(r, c));
-      if (!deduper.Insert(h, r, static_cast<int>(col_indices.size()),
+      if (!deduper.Insert(hashes[r], r, static_cast<int>(col_indices.size()),
                           cell_at)) {
         continue;
       }

@@ -48,6 +48,11 @@ class Table {
   Status AppendCells(const std::vector<CellView>& row);
 
   /// Legacy accessor: materializes an owning Value copy of one cell.
+  /// Scan loops must use cell()/cell_hash()/column_data() instead. Allowed
+  /// (cold) call sites: the storage-equivalence tests and
+  /// bench_storage_scan's seed-layout rebuild (both deliberately exercise
+  /// the materializing path as the reference), CSV/debug row rendering,
+  /// and one-shot boundary reads in tests.
   Value at(int64_t row, int col) const { return columns_[col].value(row); }
 
   /// Zero-copy cell read; the view is invalidated by table mutation.

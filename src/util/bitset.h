@@ -1,0 +1,87 @@
+// Packed word-level bitset for dense integer membership sets.
+//
+// The discovery layer repeatedly answers "have I seen id k yet?" over a
+// universe whose size it already knows (dictionary codes per column,
+// profile ids per index). std::unordered_set<int> pays a heap node plus a
+// hash per probe for that; a packed bitset answers the same question with
+// one shift/mask into a contiguous uint64_t array and iterates set members
+// in ascending order via ctz, 64 candidates per word.
+//
+// PackedBitset deliberately has no iterator types or proxy references —
+// callers either probe (test / TestAndSet) inside their own first-occurrence
+// loop, preserving whatever visit order that loop has, or drain ascending
+// with ForEachSetBit.
+
+#ifndef VER_UTIL_BITSET_H_
+#define VER_UTIL_BITSET_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ver {
+
+class PackedBitset {
+ public:
+  PackedBitset() = default;
+  explicit PackedBitset(size_t num_bits) { Resize(num_bits); }
+
+  /// Grows or shrinks to `num_bits` capacity; newly exposed bits are clear.
+  void Resize(size_t num_bits) {
+    num_bits_ = num_bits;
+    words_.assign((num_bits + 63) / 64, 0);
+  }
+
+  /// Clears every bit, keeping capacity.
+  void ClearAll() { std::fill(words_.begin(), words_.end(), 0); }
+
+  size_t size_bits() const { return num_bits_; }
+
+  bool test(size_t bit) const {
+    return (words_[bit >> 6] >> (bit & 63)) & 1u;
+  }
+
+  void set(size_t bit) { words_[bit >> 6] |= uint64_t{1} << (bit & 63); }
+
+  /// Sets `bit`; returns true iff it was previously clear (first sight).
+  bool TestAndSet(size_t bit) {
+    uint64_t& word = words_[bit >> 6];
+    const uint64_t mask = uint64_t{1} << (bit & 63);
+    const bool was_clear = (word & mask) == 0;
+    word |= mask;
+    return was_clear;
+  }
+
+  size_t Popcount() const {
+    size_t total = 0;
+    for (uint64_t w : words_) total += __builtin_popcountll(w);
+    return total;
+  }
+
+  /// Visits every set bit in ascending order: clears the lowest set bit of
+  /// a word copy each step (w &= w - 1), so each word costs popcount(w)
+  /// iterations, not 64.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = __builtin_ctzll(w);
+        fn(wi * 64 + static_cast<size_t>(bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+  const uint64_t* words() const { return words_.data(); }
+  size_t num_words() const { return words_.size(); }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace ver
+
+#endif  // VER_UTIL_BITSET_H_

@@ -1,0 +1,144 @@
+// Flat open-addressing multimap for the materializer's hash-join build
+// side: uint64_t cell-hash -> the ascending row numbers carrying that hash.
+//
+// Layout. One power-of-two slot array of 16-byte {key, offset, count}
+// entries (count == 0 marks an empty slot) plus one contiguous rows_ array
+// holding every group's payload back to back. Linear probing; capacity is
+// sized for a <= 0.7 load factor over the *distinct* key count. Compared
+// with unordered_map<uint64_t, vector<int64_t>> this removes the per-key
+// vector header, the per-node allocation, and the two dependent pointer
+// hops per probe — a probe is one slot load (prefetchable ahead of time)
+// plus a bounded linear scan.
+//
+// Build is two-phase so each group's rows land contiguous and in ascending
+// row order, which the materializer's join contract (extension rows appended
+// in build-row order) depends on: phase 1 claims slots and counts group
+// sizes, a prefix sum turns counts into offsets, phase 2 re-walks the input
+// in row order appending into each group's cursor.
+
+#ifndef VER_UTIL_FLAT_MULTIMAP_H_
+#define VER_UTIL_FLAT_MULTIMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/simd.h"
+
+namespace ver {
+
+class FlatU64MultiMap {
+ public:
+  struct Group {
+    const int64_t* begin = nullptr;
+    size_t size = 0;
+  };
+
+  /// Builds the table from keys[0..n): row r is filed under keys[r] unless
+  /// the validity bitmap (bit r clear = null, same layout as
+  /// ColumnData::validity_words()) rules it out. Null rows never match a
+  /// probe, mirroring SQL join semantics. A null `valid_words` means all
+  /// rows are valid.
+  void Build(const uint64_t* keys, const uint64_t* valid_words, int64_t n) {
+    slots_.clear();
+    rows_.clear();
+    mask_ = 0;
+    if (n <= 0) return;
+
+    // Sizing for distinct keys is wasted work (it needs the table we are
+    // building), so size for n keys total: pow2 >= n / 0.7. Over-sizing
+    // for duplicate-heavy columns costs memory, not correctness.
+    size_t cap = 16;
+    while (cap * 7 < static_cast<size_t>(n) * 10) cap <<= 1;
+    slots_.assign(cap, Slot{});
+    mask_ = cap - 1;
+
+    // Phase 1: claim a slot per distinct key, count group sizes.
+    int64_t valid_rows = 0;
+    for (int64_t r = 0; r < n; ++r) {
+      if (valid_words != nullptr && !BitSet(valid_words, r)) continue;
+      Slot& s = FindOrClaim(keys[r]);
+      ++s.count;
+      ++valid_rows;
+    }
+
+    // Prefix sum: each group's offset into the shared rows_ array.
+    uint32_t next = 0;
+    for (Slot& s : slots_) {
+      if (s.count == 0) continue;
+      s.offset = next;
+      next += s.count;
+    }
+
+    // Phase 2: fill in row order through each group's cursor (the offset
+    // advances while filling and is rewound by count afterwards).
+    rows_.resize(static_cast<size_t>(valid_rows));
+    for (int64_t r = 0; r < n; ++r) {
+      if (valid_words != nullptr && !BitSet(valid_words, r)) continue;
+      Slot& s = FindOrClaim(keys[r]);
+      rows_[s.offset++] = r;
+    }
+    for (Slot& s : slots_) {
+      if (s.count != 0) s.offset -= s.count;
+    }
+  }
+
+  /// The rows filed under `key` (empty group if absent), ascending.
+  Group Find(uint64_t key) const {
+    if (slots_.empty()) return Group{};
+    size_t i = Mix64(key) & mask_;
+    while (true) {
+      const Slot& s = slots_[i];
+      if (s.count == 0) return Group{};
+      if (s.key == key) return Group{rows_.data() + s.offset, s.count};
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Prefetches the home slot of `key`'s probe chain so a Find issued a few
+  /// keys later hits cache instead of stalling on the dependent load.
+  void PrefetchBucket(uint64_t key) const {
+    if (slots_.empty()) return;
+    simd::PrefetchRead(&slots_[Mix64(key) & mask_]);
+  }
+
+  bool empty() const { return rows_.empty(); }
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    uint32_t offset = 0;
+    uint32_t count = 0;  // 0 = empty slot
+  };
+  static_assert(sizeof(Slot) == 16, "slot must stay one half cache line");
+
+  static bool BitSet(const uint64_t* words, int64_t bit) {
+    return (words[bit >> 6] >> (bit & 63)) & 1u;
+  }
+
+  Slot& FindOrClaim(uint64_t key) {
+    size_t i = Mix64(key) & mask_;
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.count == 0 && s.key != key) {
+        // Either truly empty or a phase-2 revisit of a claimed-but-unfilled
+        // slot; claimed slots have count > 0 by the end of phase 1, so in
+        // phase 2 count==0 cannot happen for an existing key. Claim it.
+        s.key = key;
+        return s;
+      }
+      if (s.key == key) return s;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<int64_t> rows_;
+  size_t mask_ = 0;
+};
+
+}  // namespace ver
+
+#endif  // VER_UTIL_FLAT_MULTIMAP_H_

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/hash.h"
+#include "util/simd.h"
 
 namespace ver {
 
@@ -23,12 +24,12 @@ MinHashSignature MinHasher::Compute(
   sig.cardinality = element_hashes.size();
   sig.slots.assign(num_permutations_,
                    std::numeric_limits<uint64_t>::max());
-  for (uint64_t x : element_hashes) {
-    for (int i = 0; i < num_permutations_; ++i) {
-      uint64_t h = Mix64(x ^ permutation_seeds_[i]);
-      if (h < sig.slots[i]) sig.slots[i] = h;
-    }
-  }
+  // Blocked kernel: permutation slots are tiled into registers and the
+  // element stream passes once per tile. Min is commutative, so the slots
+  // match the old element-outer/permutation-inner loop bit for bit.
+  simd::MinHashUpdate(sig.slots.data(), permutation_seeds_.data(),
+                      static_cast<size_t>(num_permutations_),
+                      element_hashes.data(), element_hashes.size());
   return sig;
 }
 

@@ -1,0 +1,442 @@
+#include "util/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "table/value.h"
+#include "util/hash.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define VER_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define VER_SIMD_X86 0
+#endif
+
+namespace ver {
+namespace simd {
+
+namespace {
+
+// -1 = no override; otherwise the forced Level. Relaxed atomics: overrides
+// are a single-threaded test/bench affordance, not a synchronization point.
+std::atomic<int> g_forced_level{-1};
+
+Level Detect() {
+#if VER_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+#endif
+  return Level::kScalar;
+}
+
+Level EnvCap(Level detected) {
+  const char* env = std::getenv("VER_SIMD");
+  if (env == nullptr) return detected;
+  if (std::strcmp(env, "scalar") == 0) return Level::kScalar;
+  return detected;  // unknown values (and "avx2") keep the detected tier
+}
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+Level DetectedLevel() {
+  static const Level kDetected = Detect();
+  return kDetected;
+}
+
+Level ActiveLevel() {
+  int forced = g_forced_level.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Level>(forced);
+  static const Level kCapped = EnvCap(DetectedLevel());
+  return kCapped;
+}
+
+void ForceLevel(Level level) {
+  if (level > DetectedLevel()) level = DetectedLevel();
+  g_forced_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void ResetForcedLevel() {
+  g_forced_level.store(-1, std::memory_order_relaxed);
+}
+
+// ------------------------------ scalar tier ------------------------------
+//
+// The portable tier is itself blocked: 4 independent accumulator chains per
+// iteration keep the two Mix64 multiplies of neighbouring cells in flight
+// together instead of serializing behind one chain.
+
+namespace {
+
+void CombineHashesScalar(uint64_t* acc, const uint64_t* hashes, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    uint64_t a0 = HashCombine(acc[i], hashes[i]);
+    uint64_t a1 = HashCombine(acc[i + 1], hashes[i + 1]);
+    uint64_t a2 = HashCombine(acc[i + 2], hashes[i + 2]);
+    uint64_t a3 = HashCombine(acc[i + 3], hashes[i + 3]);
+    acc[i] = a0;
+    acc[i + 1] = a1;
+    acc[i + 2] = a2;
+    acc[i + 3] = a3;
+  }
+  for (; i < n; ++i) acc[i] = HashCombine(acc[i], hashes[i]);
+}
+
+void HashInt64CellsScalar(const int64_t* v, size_t n, uint64_t* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    uint64_t h0 = HashIntValue(v[i]);
+    uint64_t h1 = HashIntValue(v[i + 1]);
+    uint64_t h2 = HashIntValue(v[i + 2]);
+    uint64_t h3 = HashIntValue(v[i + 3]);
+    out[i] = h0;
+    out[i + 1] = h1;
+    out[i + 2] = h2;
+    out[i + 3] = h3;
+  }
+  for (; i < n; ++i) out[i] = HashIntValue(v[i]);
+}
+
+void CombineInt64CellsScalar(uint64_t* acc, const int64_t* v, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    uint64_t a0 = HashCombine(acc[i], HashIntValue(v[i]));
+    uint64_t a1 = HashCombine(acc[i + 1], HashIntValue(v[i + 1]));
+    uint64_t a2 = HashCombine(acc[i + 2], HashIntValue(v[i + 2]));
+    uint64_t a3 = HashCombine(acc[i + 3], HashIntValue(v[i + 3]));
+    acc[i] = a0;
+    acc[i + 1] = a1;
+    acc[i + 2] = a2;
+    acc[i + 3] = a3;
+  }
+  for (; i < n; ++i) acc[i] = HashCombine(acc[i], HashIntValue(v[i]));
+}
+
+void CombineDoubleCellsScalar(uint64_t* acc, const double* v, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    uint64_t a0 = HashCombine(acc[i], HashDoubleValue(v[i]));
+    uint64_t a1 = HashCombine(acc[i + 1], HashDoubleValue(v[i + 1]));
+    uint64_t a2 = HashCombine(acc[i + 2], HashDoubleValue(v[i + 2]));
+    uint64_t a3 = HashCombine(acc[i + 3], HashDoubleValue(v[i + 3]));
+    acc[i] = a0;
+    acc[i + 1] = a1;
+    acc[i + 2] = a2;
+    acc[i + 3] = a3;
+  }
+  for (; i < n; ++i) acc[i] = HashCombine(acc[i], HashDoubleValue(v[i]));
+}
+
+void CombineDictCellsScalar(uint64_t* acc, const uint32_t* codes,
+                            const uint64_t* entry_hashes, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    uint64_t a0 = HashCombine(acc[i], entry_hashes[codes[i]]);
+    uint64_t a1 = HashCombine(acc[i + 1], entry_hashes[codes[i + 1]]);
+    uint64_t a2 = HashCombine(acc[i + 2], entry_hashes[codes[i + 2]]);
+    uint64_t a3 = HashCombine(acc[i + 3], entry_hashes[codes[i + 3]]);
+    acc[i] = a0;
+    acc[i + 1] = a1;
+    acc[i + 2] = a2;
+    acc[i + 3] = a3;
+  }
+  for (; i < n; ++i) acc[i] = HashCombine(acc[i], entry_hashes[codes[i]]);
+}
+
+void MinHashUpdateScalar(uint64_t* slots, const uint64_t* seeds,
+                         size_t num_perms, const uint64_t* elems, size_t n) {
+  // Tile 4 permutation slots into registers and stream the elements once
+  // per tile: turns the old per-element slot read-modify-write sweep into
+  // 4 independent min chains with zero stores in the inner loop.
+  size_t j = 0;
+  for (; j + 4 <= num_perms; j += 4) {
+    uint64_t s0 = slots[j], s1 = slots[j + 1];
+    uint64_t s2 = slots[j + 2], s3 = slots[j + 3];
+    const uint64_t d0 = seeds[j], d1 = seeds[j + 1];
+    const uint64_t d2 = seeds[j + 2], d3 = seeds[j + 3];
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t x = elems[i];
+      uint64_t h0 = Mix64(x ^ d0);
+      uint64_t h1 = Mix64(x ^ d1);
+      uint64_t h2 = Mix64(x ^ d2);
+      uint64_t h3 = Mix64(x ^ d3);
+      if (h0 < s0) s0 = h0;
+      if (h1 < s1) s1 = h1;
+      if (h2 < s2) s2 = h2;
+      if (h3 < s3) s3 = h3;
+    }
+    slots[j] = s0;
+    slots[j + 1] = s1;
+    slots[j + 2] = s2;
+    slots[j + 3] = s3;
+  }
+  for (; j < num_perms; ++j) {
+    uint64_t s = slots[j];
+    const uint64_t d = seeds[j];
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t h = Mix64(elems[i] ^ d);
+      if (h < s) s = h;
+    }
+    slots[j] = s;
+  }
+}
+
+}  // namespace
+
+// ------------------------------- AVX2 tier -------------------------------
+//
+// 4x64-bit lanes. AVX2 has no 64-bit integer multiply, so Mix64's two
+// multiplies are synthesized from 32-bit partial products (exact mod 2^64);
+// unsigned 64-bit min is synthesized from signed compare with the sign bit
+// flipped. Everything else is lane-wise xor/shift/add — bit-identical to
+// the scalar tier by construction.
+
+#if VER_SIMD_X86
+
+namespace {
+
+__attribute__((target("avx2"))) inline __m256i MulLo64(__m256i a, __m256i b) {
+  // a*b mod 2^64 = lo(a)*lo(b) + ((lo(a)*hi(b) + hi(a)*lo(b)) << 32).
+  __m256i a_hi = _mm256_srli_epi64(a, 32);
+  __m256i b_hi = _mm256_srli_epi64(b, 32);
+  __m256i ll = _mm256_mul_epu32(a, b);
+  __m256i lh = _mm256_mul_epu32(a, b_hi);
+  __m256i hl = _mm256_mul_epu32(a_hi, b);
+  __m256i cross = _mm256_add_epi64(lh, hl);
+  return _mm256_add_epi64(ll, _mm256_slli_epi64(cross, 32));
+}
+
+__attribute__((target("avx2"))) inline __m256i Mix64V(__m256i x) {
+  const __m256i c1 = _mm256_set1_epi64x(0x9e3779b97f4a7c15LL);
+  const __m256i c2 = _mm256_set1_epi64x(
+      static_cast<long long>(0xbf58476d1ce4e5b9ULL));
+  const __m256i c3 = _mm256_set1_epi64x(
+      static_cast<long long>(0x94d049bb133111ebULL));
+  x = _mm256_add_epi64(x, c1);
+  x = MulLo64(_mm256_xor_si256(x, _mm256_srli_epi64(x, 30)), c2);
+  x = MulLo64(_mm256_xor_si256(x, _mm256_srli_epi64(x, 27)), c3);
+  return _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+}
+
+__attribute__((target("avx2"))) inline __m256i MinU64(__m256i a, __m256i b) {
+  const __m256i sign = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ULL));
+  __m256i a_gt_b = _mm256_cmpgt_epi64(_mm256_xor_si256(a, sign),
+                                      _mm256_xor_si256(b, sign));
+  return _mm256_blendv_epi8(a, b, a_gt_b);
+}
+
+__attribute__((target("avx2"))) void CombineHashesAvx2(uint64_t* acc,
+                                                       const uint64_t* hashes,
+                                                       size_t n) {
+  const __m256i golden = _mm256_set1_epi64x(0x9e3779b97f4a7c15LL);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hashes + i));
+    // h ^ (Mix64(v) + K + (h << 12) + (h >> 4))
+    __m256i t = _mm256_add_epi64(Mix64V(v), golden);
+    t = _mm256_add_epi64(t, _mm256_slli_epi64(a, 12));
+    t = _mm256_add_epi64(t, _mm256_srli_epi64(a, 4));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i),
+                        _mm256_xor_si256(a, t));
+  }
+  for (; i < n; ++i) acc[i] = HashCombine(acc[i], hashes[i]);
+}
+
+__attribute__((target("avx2"))) void HashInt64CellsAvx2(const int64_t* v,
+                                                        size_t n,
+                                                        uint64_t* out) {
+  const __m256i salt = _mm256_set1_epi64x(0x1234abcdLL);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        Mix64V(_mm256_xor_si256(x, salt)));
+  }
+  for (; i < n; ++i) out[i] = HashIntValue(v[i]);
+}
+
+// acc = acc ^ (Mix64(cell) + K + (acc << 12) + (acc >> 4)), 4 lanes.
+__attribute__((target("avx2"))) inline __m256i CombineV(__m256i acc,
+                                                        __m256i cell) {
+  const __m256i golden = _mm256_set1_epi64x(0x9e3779b97f4a7c15LL);
+  __m256i t = _mm256_add_epi64(Mix64V(cell), golden);
+  t = _mm256_add_epi64(t, _mm256_slli_epi64(acc, 12));
+  t = _mm256_add_epi64(t, _mm256_srli_epi64(acc, 4));
+  return _mm256_xor_si256(acc, t);
+}
+
+__attribute__((target("avx2"))) void CombineInt64CellsAvx2(uint64_t* acc,
+                                                           const int64_t* v,
+                                                           size_t n) {
+  const __m256i salt = _mm256_set1_epi64x(0x1234abcdLL);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    __m256i cell = Mix64V(_mm256_xor_si256(x, salt));
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i), CombineV(a, cell));
+  }
+  for (; i < n; ++i) acc[i] = HashCombine(acc[i], HashIntValue(v[i]));
+}
+
+__attribute__((target("avx2"))) void CombineDoubleCellsAvx2(uint64_t* acc,
+                                                            const double* v,
+                                                            size_t n) {
+  // HashDoubleValue branches on the integral-twin rule (table/value.h):
+  // doubles with an exact int64 twin hash as that integer. The twin test
+  // itself vectorizes (round-to-current-mode + compare + magnitude check,
+  // false for NaN/inf exactly like the scalar `rounded == v` test), so the
+  // common all-non-integral group takes the pure vector path; any group
+  // with a twin lane falls back to the scalar hash for those 4 cells,
+  // which keeps bit identity without per-lane int64 conversion.
+  const __m256i salt2 = _mm256_set1_epi64x(0x9876fedcLL);
+  const __m256d abs_mask = _mm256_castsi256_pd(
+      _mm256_set1_epi64x(0x7fffffffffffffffLL));
+  const __m256d limit = _mm256_set1_pd(9.2e18);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d d = _mm256_loadu_pd(v + i);
+    __m256d rounded =
+        _mm256_round_pd(d, _MM_FROUND_CUR_DIRECTION | _MM_FROUND_NO_EXC);
+    __m256d twin = _mm256_and_pd(
+        _mm256_cmp_pd(rounded, d, _CMP_EQ_OQ),
+        _mm256_cmp_pd(_mm256_and_pd(d, abs_mask), limit, _CMP_LT_OQ));
+    if (_mm256_movemask_pd(twin) != 0) {
+      uint64_t a0 = HashCombine(acc[i], HashDoubleValue(v[i]));
+      uint64_t a1 = HashCombine(acc[i + 1], HashDoubleValue(v[i + 1]));
+      uint64_t a2 = HashCombine(acc[i + 2], HashDoubleValue(v[i + 2]));
+      uint64_t a3 = HashCombine(acc[i + 3], HashDoubleValue(v[i + 3]));
+      acc[i] = a0;
+      acc[i + 1] = a1;
+      acc[i + 2] = a2;
+      acc[i + 3] = a3;
+      continue;
+    }
+    __m256i cell =
+        Mix64V(_mm256_xor_si256(_mm256_castpd_si256(d), salt2));
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i), CombineV(a, cell));
+  }
+  for (; i < n; ++i) acc[i] = HashCombine(acc[i], HashDoubleValue(v[i]));
+}
+
+__attribute__((target("avx2"))) void CombineDictCellsAvx2(
+    uint64_t* acc, const uint32_t* codes, const uint64_t* entry_hashes,
+    size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128i c = _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i));
+    __m256i cell = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(entry_hashes), c, 8);
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i), CombineV(a, cell));
+  }
+  for (; i < n; ++i) acc[i] = HashCombine(acc[i], entry_hashes[codes[i]]);
+}
+
+__attribute__((target("avx2"))) void MinHashUpdateAvx2(uint64_t* slots,
+                                                       const uint64_t* seeds,
+                                                       size_t num_perms,
+                                                       const uint64_t* elems,
+                                                       size_t n) {
+  size_t j = 0;
+  for (; j + 4 <= num_perms; j += 4) {
+    __m256i seed =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(seeds + j));
+    __m256i best =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(slots + j));
+    for (size_t i = 0; i < n; ++i) {
+      __m256i x = _mm256_set1_epi64x(static_cast<long long>(elems[i]));
+      best = MinU64(best, Mix64V(_mm256_xor_si256(x, seed)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(slots + j), best);
+  }
+  if (j < num_perms) {
+    MinHashUpdateScalar(slots + j, seeds + j, num_perms - j, elems, n);
+  }
+}
+
+}  // namespace
+
+#endif  // VER_SIMD_X86
+
+// ------------------------------- dispatch --------------------------------
+
+void CombineHashes(uint64_t* acc, const uint64_t* hashes, size_t n) {
+#if VER_SIMD_X86
+  if (ActiveLevel() == Level::kAvx2) {
+    CombineHashesAvx2(acc, hashes, n);
+    return;
+  }
+#endif
+  CombineHashesScalar(acc, hashes, n);
+}
+
+void HashInt64Cells(const int64_t* v, size_t n, uint64_t* out) {
+#if VER_SIMD_X86
+  if (ActiveLevel() == Level::kAvx2) {
+    HashInt64CellsAvx2(v, n, out);
+    return;
+  }
+#endif
+  HashInt64CellsScalar(v, n, out);
+}
+
+void CombineInt64Cells(uint64_t* acc, const int64_t* v, size_t n) {
+#if VER_SIMD_X86
+  if (ActiveLevel() == Level::kAvx2) {
+    CombineInt64CellsAvx2(acc, v, n);
+    return;
+  }
+#endif
+  CombineInt64CellsScalar(acc, v, n);
+}
+
+void CombineDoubleCells(uint64_t* acc, const double* v, size_t n) {
+#if VER_SIMD_X86
+  if (ActiveLevel() == Level::kAvx2) {
+    CombineDoubleCellsAvx2(acc, v, n);
+    return;
+  }
+#endif
+  CombineDoubleCellsScalar(acc, v, n);
+}
+
+void CombineDictCells(uint64_t* acc, const uint32_t* codes,
+                      const uint64_t* entry_hashes, size_t n) {
+#if VER_SIMD_X86
+  if (ActiveLevel() == Level::kAvx2) {
+    CombineDictCellsAvx2(acc, codes, entry_hashes, n);
+    return;
+  }
+#endif
+  CombineDictCellsScalar(acc, codes, entry_hashes, n);
+}
+
+void MinHashUpdate(uint64_t* slots, const uint64_t* seeds, size_t num_perms,
+                   const uint64_t* elems, size_t n) {
+#if VER_SIMD_X86
+  if (ActiveLevel() == Level::kAvx2) {
+    MinHashUpdateAvx2(slots, seeds, num_perms, elems, n);
+    return;
+  }
+#endif
+  MinHashUpdateScalar(slots, seeds, num_perms, elems, n);
+}
+
+}  // namespace simd
+}  // namespace ver

@@ -1,0 +1,125 @@
+// Vectorized kernel layer: blocked, dispatch-selected inner loops for the
+// storage engine's hot scans (row hashing, MinHash sketching, hash-join
+// probing).
+//
+// Contract — bit identity. Every kernel computes exactly the function its
+// scalar reference loop computes, at every dispatch level: the wide paths
+// restructure the arithmetic (4x64-bit lanes, unrolled independent chains)
+// but never change the hash family or the per-element math. The
+// storage-equivalence and query-fingerprint suites, plus
+// tests/simd_kernels_test.cc, hold this line; a kernel that is fast but
+// off by one bit is a bug.
+//
+// Dispatch. ActiveLevel() is detected once per process (AVX2 via CPUID on
+// x86-64, scalar elsewhere) and every kernel branches on it per *block*,
+// not per element, so dispatch cost is invisible. The scalar tier is not a
+// stub: it is unrolled into independent chains that superscalar hardware
+// pipelines well, and it is the only tier on non-x86 builds.
+// VER_SIMD=scalar (env) or ScopedSimdLevel (tests/benches) force the
+// fallback so both tiers stay continuously exercised.
+//
+// Why not hardware CRC32/CLMUL: the bit-identity contract pins the hash
+// family to the splitmix64-based mixers of util/hash.h — CRC32-based cell
+// hashes would change every persisted profile, snapshot fingerprint and
+// equivalence baseline. Hardware carry-less multiply earns its keep only
+// where hash *values* are free to differ across hosts, and no such site
+// survives the contract; the wide integer multiply-mix below is the
+// portable, value-stable alternative.
+
+#ifndef VER_UTIL_SIMD_H_
+#define VER_UTIL_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ver {
+namespace simd {
+
+/// Dispatch tier of the kernel implementations.
+enum class Level : int {
+  kScalar = 0,  // unrolled portable loops (every platform)
+  kAvx2 = 1,    // 4x64-bit integer lanes (x86-64 with AVX2)
+};
+
+const char* LevelName(Level level);
+
+/// The tier kernels currently run at: the detected tier, unless overridden
+/// by the VER_SIMD environment variable or a ScopedSimdLevel.
+Level ActiveLevel();
+
+/// Highest tier this CPU supports (ignores overrides).
+Level DetectedLevel();
+
+/// Test/bench hook: force a tier (clamped to DetectedLevel()) or reset to
+/// detection. Not thread-safe against concurrent kernel calls; call it
+/// from single-threaded test setup only.
+void ForceLevel(Level level);
+void ResetForcedLevel();
+
+/// RAII override for tests: forces `level` for the scope's lifetime.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(Level level) { ForceLevel(level); }
+  ~ScopedSimdLevel() { ResetForcedLevel(); }
+  ScopedSimdLevel(const ScopedSimdLevel&) = delete;
+  ScopedSimdLevel& operator=(const ScopedSimdLevel&) = delete;
+};
+
+/// Cells per kernel block: callers stage per-cell hashes through a stack
+/// buffer of this many words, so blocked call sites never heap-allocate.
+inline constexpr size_t kBlockCells = 256;
+
+/// Prefetch a cache line for read. No-op where unsupported.
+inline void PrefetchRead(const void* addr) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, /*rw=*/0, /*locality=*/1);
+#else
+  (void)addr;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Blocked kernels. Each documents its scalar reference; all tiers are
+// bit-identical to it.
+// ---------------------------------------------------------------------------
+
+/// Row-hash combine: acc[i] = HashCombine(acc[i], hashes[i]) for i < n
+/// (util/hash.h HashCombine — the Algorithm 3 row-hash accumulator).
+void CombineHashes(uint64_t* acc, const uint64_t* hashes, size_t n);
+
+/// Int-cell hashing: out[i] = HashIntValue(v[i]) for i < n
+/// (table/value.h HashIntValue — Mix64 over the xored payload).
+void HashInt64Cells(const int64_t* v, size_t n, uint64_t* out);
+
+/// Fused hash+combine for all-valid int64 columns:
+/// acc[i] = HashCombine(acc[i], HashIntValue(v[i])) for i < n. One pass —
+/// no staging buffer between the cell hash and the row-hash accumulator.
+void CombineInt64Cells(uint64_t* acc, const int64_t* v, size_t n);
+
+/// Fused hash+combine for all-valid double columns:
+/// acc[i] = HashCombine(acc[i], HashDoubleValue(v[i])) for i < n, with
+/// HashDoubleValue's integral-twin rule intact (table/value.h). The AVX2
+/// tier vectorizes the common all-non-integral groups and falls back to
+/// the scalar hash for any 4-lane group containing an integral twin, so
+/// the twin branch never costs bit identity.
+void CombineDoubleCells(uint64_t* acc, const double* v, size_t n);
+
+/// Fused gather+combine for all-valid dictionary columns:
+/// acc[i] = HashCombine(acc[i], entry_hashes[codes[i]]) for i < n. The
+/// AVX2 tier gathers 4 cached entry hashes per iteration straight off the
+/// code array (vpgatherdq); every codes[i] must index entry_hashes.
+void CombineDictCells(uint64_t* acc, const uint32_t* codes,
+                      const uint64_t* entry_hashes, size_t n);
+
+/// Blocked MinHash update: slots[j] = min(slots[j], Mix64(elems[i] ^
+/// seeds[j])) over all i < n, for each permutation j < num_perms. Min is
+/// commutative, so any evaluation order — the kernels tile permutations
+/// into registers and stream the elements once — yields the scalar loop's
+/// slots bit for bit.
+void MinHashUpdate(uint64_t* slots, const uint64_t* seeds, size_t num_perms,
+                   const uint64_t* elems, size_t n);
+
+}  // namespace simd
+}  // namespace ver
+
+#endif  // VER_UTIL_SIMD_H_

@@ -31,6 +31,10 @@ std::string ToLower(std::string_view s) {
   return out;
 }
 
+void ToLowerInPlace(std::string* s) {
+  for (char& c : *s) c = LowerChar(c);
+}
+
 std::string_view TrimView(std::string_view s) {
   size_t b = 0;
   size_t e = s.size();

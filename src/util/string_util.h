@@ -12,6 +12,10 @@ namespace ver {
 /// ASCII lowercase copy.
 std::string ToLower(std::string_view s);
 
+/// ASCII lowercase in place — the allocation-free form for scratch buffers
+/// reused across a scan.
+void ToLowerInPlace(std::string* s);
+
 /// Strips leading/trailing ASCII whitespace.
 std::string_view TrimView(std::string_view s);
 std::string Trim(std::string_view s);

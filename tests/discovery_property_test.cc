@@ -88,7 +88,9 @@ TEST_P(DiscoveryPropertyTest, KeywordSearchMatchesLinearScan) {
     std::string needle = "w" + std::to_string(w);
     std::set<uint64_t> expected;
     for (const ColumnRef& c : repo.AllColumns()) {
-      for (const Value& v : repo.column_values(c)) {
+      const ColumnData& data = repo.column_data(c);
+      for (int64_t r = 0; r < data.size(); ++r) {
+        CellView v = data.cell(r);
         if (!v.is_null() && ToLower(v.ToText()) == needle) {
           expected.insert(c.Encode());
           break;

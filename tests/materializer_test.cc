@@ -31,11 +31,11 @@ std::multiset<std::string> ReferenceJoin(const Table& left, int lcol,
   std::set<std::string> rows;
   for (int64_t i = 0; i < left.num_rows(); ++i) {
     for (int64_t j = 0; j < right.num_rows(); ++j) {
-      const Value& lv = left.at(i, lcol);
-      if (lv.is_null() || !(lv == right.at(j, rcol))) continue;
+      CellView lv = left.cell(i, lcol);
+      if (lv.is_null() || !(lv == right.cell(j, rcol))) continue;
       std::string row;
-      for (int c : lproj) row += left.at(i, c).ToText() + "|";
-      for (int c : rproj) row += right.at(j, c).ToText() + "|";
+      for (int c : lproj) row += left.cell(i, c).ToText() + "|";
+      for (int c : rproj) row += right.cell(j, c).ToText() + "|";
       rows.insert(row);
     }
   }
@@ -47,7 +47,7 @@ std::multiset<std::string> ViewRows(const Table& t) {
   for (int64_t r = 0; r < t.num_rows(); ++r) {
     std::string row;
     for (int c = 0; c < t.num_columns(); ++c) {
-      row += t.at(r, c).ToText() + "|";
+      row += t.cell(r, c).ToText() + "|";
     }
     rows.insert(row);
   }

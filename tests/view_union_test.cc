@@ -34,7 +34,7 @@ std::set<std::string> RowTexts(const Table& t) {
   for (int64_t r = 0; r < t.num_rows(); ++r) {
     std::string row;
     for (int c = 0; c < t.num_columns(); ++c) {
-      row += t.at(r, c).ToText() + "|";
+      row += t.cell(r, c).ToText() + "|";
     }
     out.insert(row);
   }

@@ -206,7 +206,9 @@ class NoisyQueryTest : public ::testing::Test {
         ResolveColumn(dataset_->repo, gt.gt_tables[a], gt.gt_attributes[a])
             .value();
     std::unordered_set<std::string> out;
-    for (const Value& v : dataset_->repo.column_values(ref)) {
+    const ColumnData& data = dataset_->repo.column_data(ref);
+    for (int64_t r = 0; r < data.size(); ++r) {
+      CellView v = data.cell(r);
       if (!v.is_null()) out.insert(v.ToText());
     }
     return out;
