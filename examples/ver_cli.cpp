@@ -17,9 +17,16 @@
 //       the pipeline streams each surviving view as it is classified and
 //       stops once N views survive.
 //
-//   ver_cli serve --index-path=PATH [<csv-dir>]
+//   ver_cli serve --index-path=PATH [--memory-budget=SIZE] [<csv-dir>]
 //       Loads the snapshot (tables from <csv-dir>, or from the snapshot
-//       itself when omitted) and serves queries from stdin, one per line:
+//       itself when omitted) and serves queries from stdin, one per line.
+//       --memory-budget=SIZE (e.g. 64m, 2g, plain bytes) enables paged
+//       serving: the snapshot is mmapped and column/posting payloads page
+//       in on demand under a buffer-pool residency budget, so a snapshot
+//       larger than RAM (or larger than the budget) still serves — queries
+//       answer bit-identically to resident mode. One pool spans hot swaps,
+//       so the budget holds while old and new snapshots are both alive.
+//       REPL commands:
 //         a1,a2|b1,b2          run a QBE query (| separates attributes)
 //         opts k=v ...         sticky per-request knobs for later queries:
 //                              theta= rho= k= stop= deadline= nodistill
@@ -44,6 +51,7 @@
 // (the default). Run without arguments it demos itself on a generated
 // open-data corpus, exercising the full build-index -> query round trip.
 
+#include <cctype>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -92,6 +100,28 @@ bool ParseDouble(const std::string& text, double* out) {
   double v = std::strtod(text.c_str(), &end);
   if (end == nullptr || *end != '\0' || errno == ERANGE) return false;
   *out = v;
+  return true;
+}
+
+// Byte size with an optional k/m/g suffix (binary units): "64m", "2g",
+// "1048576".
+bool ParseByteSize(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  std::string digits = text;
+  uint64_t multiplier = 1;
+  char suffix = static_cast<char>(std::tolower(digits.back()));
+  if (suffix == 'k' || suffix == 'm' || suffix == 'g') {
+    multiplier = suffix == 'k' ? (1ull << 10)
+                               : suffix == 'm' ? (1ull << 20) : (1ull << 30);
+    digits.pop_back();
+    if (digits.empty()) return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(digits.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || errno == ERANGE) return false;
+  if (v > std::numeric_limits<uint64_t>::max() / multiplier) return false;
+  *out = static_cast<uint64_t>(v) * multiplier;
   return true;
 }
 
@@ -211,10 +241,12 @@ bool LoadRepo(const std::string& dir, TableRepository* repo) {
 // cold-start path.
 bool LoadRepoFromDirOrSnapshot(const std::string& dir,
                                const std::string& index_path,
-                               TableRepository* repo) {
+                               TableRepository* repo,
+                               const PagingOptions& paging = PagingOptions()) {
   if (!dir.empty()) return LoadRepo(dir, repo);
   WallTimer timer;
-  Result<TableRepository> loaded = DiscoveryEngine::LoadRepository(index_path);
+  Result<TableRepository> loaded =
+      DiscoveryEngine::LoadRepository(index_path, paging);
   if (!loaded.ok()) {
     std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
     return false;
@@ -222,9 +254,11 @@ bool LoadRepoFromDirOrSnapshot(const std::string& dir,
   *repo = std::move(loaded).value();
   std::fprintf(stderr,
                "loaded %d tables (%lld rows) from snapshot %s in %.3fs "
-               "(no CSV parsing)\n",
+               "(no CSV parsing%s)\n",
                repo->num_tables(), static_cast<long long>(repo->TotalRows()),
-               index_path.c_str(), timer.ElapsedSeconds());
+               index_path.c_str(), timer.ElapsedSeconds(),
+               repo->pager() != nullptr ? "; paged, columns stay in the map"
+                                        : "");
   return true;
 }
 
@@ -343,23 +377,42 @@ int RunQueryOverDirectory(const std::string& dir, const ExampleQuery& query,
 }
 
 int ServeFromSnapshot(const std::string& dir, const std::string& index_path,
-                      const RequestFlags& initial_flags) {
+                      const RequestFlags& initial_flags,
+                      uint64_t memory_budget) {
   if (index_path.empty()) {
     std::fprintf(stderr, "error: serve needs --index-path\n");
     return 2;
   }
+  PagingOptions paging;
+  if (memory_budget > 0) {
+    paging.enabled = true;
+    paging.memory_budget_bytes = memory_budget;
+  }
   TableRepository repo;
-  if (!LoadRepoFromDirOrSnapshot(dir, index_path, &repo)) return 1;
+  if (!LoadRepoFromDirOrSnapshot(dir, index_path, &repo, paging)) return 1;
+  // Later loads (the engine now, hot swaps below) charge the same pool, so
+  // the budget covers every snapshot this server ever has alive at once.
+  if (repo.pager() != nullptr) paging.pool = repo.pager()->pool();
 
   Result<std::unique_ptr<DiscoveryEngine>> engine =
-      DiscoveryEngine::Load(repo, index_path);
+      DiscoveryEngine::Load(repo, index_path, paging);
   if (!engine.ok()) {
     std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
     return 1;
   }
+  if (paging.enabled && paging.pool == nullptr &&
+      engine.value()->pager() != nullptr) {
+    paging.pool = engine.value()->pager()->pool();
+  }
+  ServingOptions serving_options;
+  serving_options.memory_budget_bytes = memory_budget;
   VerServer server(std::make_shared<const Ver>(&repo, VerConfig(),
                                                std::move(engine).value()),
-                   ServingOptions());
+                   serving_options);
+  if (memory_budget > 0) {
+    std::fprintf(stderr, "paged serving under a %llu-byte budget\n",
+                 static_cast<unsigned long long>(memory_budget));
+  }
   std::fprintf(stderr,
                "serving %s from snapshot %s; enter queries as "
                "a1,a2|b1,b2 — 'opts k=v ...' sets per-request knobs, "
@@ -414,6 +467,17 @@ int ServeFromSnapshot(const std::string& dir, const std::string& index_path,
     print_stage("queue_wait", stats.queue_wait);
     print_stage("pipeline", stats.pipeline);
     print_stage("total", stats.total);
+    if (stats.paged) {
+      std::printf(
+          "pool: budget=%llu resident=%lld peak=%lld hits=%lld misses=%lld "
+          "evictions=%lld\n",
+          static_cast<unsigned long long>(stats.pool_budget_bytes),
+          static_cast<long long>(stats.pool_resident_bytes),
+          static_cast<long long>(stats.pool_peak_resident_bytes),
+          static_cast<long long>(stats.pool_hits),
+          static_cast<long long>(stats.pool_misses),
+          static_cast<long long>(stats.pool_evictions));
+    }
     for (int k = 0; k < RequestOverrides::kNumKnobs; ++k) {
       if (stats.override_uses[k] > 0) {
         std::printf("  override %s: %lld requests\n",
@@ -448,8 +512,12 @@ int ServeFromSnapshot(const std::string& dir, const std::string& index_path,
     }
     if (line.rfind("swap ", 0) == 0) {
       std::string path = Trim(line.substr(5));
+      // Under paged serving the new snapshot opens its own map but charges
+      // the shared pool: in-flight queries keep reading the old snapshot's
+      // frames (its space retires only when the last reference drains)
+      // while both stay inside one budget.
       Result<std::unique_ptr<DiscoveryEngine>> next =
-          DiscoveryEngine::Load(repo, path);
+          DiscoveryEngine::Load(repo, path, paging);
       if (!next.ok()) {
         std::fprintf(stderr, "swap failed: %s\n",
                      next.status().ToString().c_str());
@@ -538,6 +606,7 @@ int SelfDemo(int parallelism) {
 int main(int argc, char** argv) {
   int parallelism = 0;  // default: offline indexing on every core
   std::string index_path;
+  uint64_t memory_budget = 0;  // 0 = resident serving
   RequestFlags request_flags;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
@@ -576,6 +645,18 @@ int main(int argc, char** argv) {
       if (i + 1 < argc) index_path = argv[++i];
       if (index_path.empty()) {
         std::fprintf(stderr, "error: --index-path needs a path\n");
+        return 2;
+      }
+    } else if (arg.rfind("--memory-budget", 0) == 0) {
+      std::string value;
+      if (arg.rfind("--memory-budget=", 0) == 0) {
+        value = arg.substr(16);
+      } else if (arg == "--memory-budget" && i + 1 < argc) {
+        value = argv[++i];
+      }
+      if (!ParseByteSize(value, &memory_budget) || memory_budget == 0) {
+        std::fprintf(stderr, "error: --memory-budget needs a byte size "
+                             "like 64m or 2g (got '%s')\n", value.c_str());
         return 2;
       }
     } else {
@@ -633,13 +714,14 @@ int main(int argc, char** argv) {
     if (cmd == "serve") {
       if (args.size() > 2) {
         std::fprintf(stderr, "usage: ver_cli serve --index-path=PATH "
-                             "[request options] [<csv-dir>]\n"
+                             "[--memory-budget=SIZE] [request options] "
+                             "[<csv-dir>]\n"
                              "(omit <csv-dir> to load tables from the "
                              "snapshot itself)\n");
         return 2;
       }
       return ServeFromSnapshot(args.size() == 2 ? args[1] : std::string(),
-                               index_path, request_flags);
+                               index_path, request_flags, memory_budget);
     }
     if (cmd == "demo-data") {
       if (args.size() != 2) {

@@ -162,75 +162,180 @@ Status CheckRepoFingerprint(SerdeReader* r, const TableRepository& repo) {
   return Status::OK();
 }
 
+// The bytes behind one snapshot load: section views backed either by owned
+// buffers (the checksum-verified resident read) or by a pager runtime's
+// mmapped file (framing parsed, content paged in on demand).
+struct SnapshotSource {
+  std::vector<SnapshotSection> owned;     // resident reads only
+  std::shared_ptr<PagerRuntime> runtime;  // paged opens only
+  uint32_t version = 0;
+  PagerBinding binding_value;
+
+  struct View {
+    uint32_t id;
+    std::string_view payload;
+  };
+  std::vector<View> views;
+
+  bool paged() const { return runtime != nullptr; }
+  /// Binding for LoadFrom calls; null when resident.
+  const PagerBinding* binding() const {
+    return paged() ? &binding_value : nullptr;
+  }
+};
+
+// Opens `path` paged when requested (reusing `reuse` if it already maps
+// this file), resident otherwise. Structural can't-page conditions
+// (pre-v3 file, no mmap) fall back to the resident read; real errors
+// propagate.
+Status OpenSnapshotSource(const std::string& path, const PagingOptions& paging,
+                          const std::shared_ptr<PagerRuntime>& reuse,
+                          SnapshotSource* out) {
+  if (paging.enabled) {
+    std::shared_ptr<PagerRuntime> runtime;
+    if (reuse != nullptr && reuse->path() == path) {
+      runtime = reuse;
+    } else {
+      Result<std::shared_ptr<PagerRuntime>> opened =
+          PagerRuntime::Open(path, paging);
+      if (opened.ok()) {
+        runtime = std::move(opened).value();
+      } else if (!opened.status().IsNotImplemented()) {
+        return opened.status();
+      }
+    }
+    if (runtime != nullptr) {
+      out->runtime = runtime;
+      out->version = runtime->map().format_version();
+      out->binding_value = runtime->binding();
+      out->views.reserve(runtime->map().sections().size());
+      for (const SnapshotSectionEntry& e : runtime->map().sections()) {
+        out->views.push_back({e.id, runtime->map().section_payload(e)});
+      }
+      return Status::OK();
+    }
+  }
+  VER_RETURN_IF_ERROR(ReadSnapshotFile(path, &out->owned, &out->version));
+  out->views.reserve(out->owned.size());
+  for (const SnapshotSection& s : out->owned) {
+    out->views.push_back({s.id, s.payload});
+  }
+  return Status::OK();
+}
+
+// First (and only) view with `id`; errors on duplicates or absence.
+Result<const SnapshotSource::View*> FindSectionView(const SnapshotSource& src,
+                                                    const std::string& path,
+                                                    uint32_t id,
+                                                    const char* name) {
+  const SnapshotSource::View* found = nullptr;
+  for (const SnapshotSource::View& v : src.views) {
+    if (v.id != id) continue;
+    if (found != nullptr) {
+      return Status::IOError("snapshot " + path + " has duplicate " +
+                             std::string(name) + " sections");
+    }
+    found = &v;
+  }
+  if (found == nullptr) {
+    return Status::IOError("snapshot " + path + " is missing the " +
+                           std::string(name) + " section");
+  }
+  return found;
+}
+
 }  // namespace
 
-Status DiscoveryEngine::Save(const std::string& path) const {
+Status DiscoveryEngine::Save(const std::string& path,
+                             uint32_t format_version) const {
+  if (format_version < kSnapshotMinReadVersion ||
+      format_version > kSnapshotFormatVersion) {
+    return Status::InvalidArgument(
+        "cannot save snapshot format version " +
+        std::to_string(format_version) + "; supported range is " +
+        std::to_string(kSnapshotMinReadVersion) + ".." +
+        std::to_string(kSnapshotFormatVersion));
+  }
+  // Pre-v3 formats carry unaligned array payloads; the writer's padding
+  // must match what a reader of that version expects.
+  const bool align = format_version >= 3;
+  auto section_writer = [align] {
+    SerdeWriter w;
+    w.set_align_arrays(align);
+    return w;
+  };
   std::vector<SnapshotSection> sections;
   {
-    SerdeWriter w;
+    SerdeWriter w = section_writer();
     SaveRepoFingerprint(*repo_, &w);
     sections.push_back({kSectionRepoFingerprint, w.TakeBuffer()});
   }
   {
-    SerdeWriter w;
+    SerdeWriter w = section_writer();
     SaveOptions(options_, &w);
     sections.push_back({kSectionOptions, w.TakeBuffer()});
   }
   {
-    SerdeWriter w;
+    SerdeWriter w = section_writer();
     w.WriteU64(profiles_.size());
     for (const ColumnProfile& p : profiles_) p.SaveTo(&w);
     sections.push_back({kSectionProfiles, w.TakeBuffer()});
   }
   {
-    SerdeWriter w;
+    SerdeWriter w = section_writer();
     VER_RETURN_IF_ERROR(keywords_.SaveTo(&w));
     sections.push_back({kSectionKeywordIndex, w.TakeBuffer()});
   }
   {
-    SerdeWriter w;
+    SerdeWriter w = section_writer();
     VER_RETURN_IF_ERROR(similarity_.SaveTo(&w));
     sections.push_back({kSectionSimilarityIndex, w.TakeBuffer()});
   }
   {
-    SerdeWriter w;
+    SerdeWriter w = section_writer();
     join_paths_.SaveTo(&w);
     sections.push_back({kSectionJoinPathIndex, w.TakeBuffer()});
   }
-  {
-    SerdeWriter w;
+  if (format_version >= 2) {
+    SerdeWriter w = section_writer();
     w.WriteI32(repo_->num_tables());
     for (int32_t t = 0; t < repo_->num_tables(); ++t) {
       repo_->table(t).SaveTo(&w);
     }
     sections.push_back({kSectionRepoTables, w.TakeBuffer()});
   }
-  return WriteSnapshotFile(path, sections);
+  return WriteSnapshotFile(path, sections, format_version);
 }
 
 Result<TableRepository> DiscoveryEngine::LoadRepository(
     const std::string& path) {
-  std::vector<SnapshotSection> sections;
-  uint32_t version = 0;
-  VER_RETURN_IF_ERROR(ReadSnapshotFile(path, &sections, &version));
-  const SnapshotSection* tables = nullptr;
-  for (const SnapshotSection& s : sections) {
-    if (s.id == kSectionRepoTables) {
+  return LoadRepository(path, PagingOptions{});
+}
+
+Result<TableRepository> DiscoveryEngine::LoadRepository(
+    const std::string& path, const PagingOptions& paging) {
+  SnapshotSource src;
+  VER_RETURN_IF_ERROR(OpenSnapshotSource(path, paging, nullptr, &src));
+  const SnapshotSource::View* tables = nullptr;
+  for (const SnapshotSource::View& v : src.views) {
+    if (v.id == kSectionRepoTables) {
       if (tables != nullptr) {
         return Status::IOError("snapshot " + path +
                                " has duplicate repo-tables sections");
       }
-      tables = &s;
+      tables = &v;
     }
   }
   if (tables == nullptr) {
     return Status::NotFound(
-        "snapshot " + path + " (format version " + std::to_string(version) +
+        "snapshot " + path + " (format version " +
+        std::to_string(src.version) +
         ") carries no table data; re-run build-index to write a version " +
         std::to_string(kSnapshotFormatVersion) +
         " snapshot, or load the repository from its CSV directory");
   }
   SerdeReader r(tables->payload, "repo tables section of " + path);
+  r.set_aligned(src.version >= 3);
   int32_t num_tables;
   VER_RETURN_IF_ERROR(r.ReadI32(&num_tables));
   if (num_tables < 0) {
@@ -240,41 +345,46 @@ Result<TableRepository> DiscoveryEngine::LoadRepository(
   TableRepository repo;
   for (int32_t t = 0; t < num_tables; ++t) {
     Table table;
-    VER_RETURN_IF_ERROR(table.LoadFrom(&r));
+    VER_RETURN_IF_ERROR(table.LoadFrom(&r, src.binding()));
     VER_ASSIGN_OR_RETURN(int32_t id, repo.AddTable(std::move(table)));
     (void)id;
   }
   VER_RETURN_IF_ERROR(r.ExpectEnd());
+  // The repository keeps the runtime alive for as long as any table
+  // borrows from the map.
+  repo.set_pager(src.runtime);
   return repo;
 }
 
 Result<std::unique_ptr<DiscoveryEngine>> DiscoveryEngine::Load(
     const TableRepository& repo, const std::string& path) {
-  std::vector<SnapshotSection> sections;
-  VER_RETURN_IF_ERROR(ReadSnapshotFile(path, &sections));
+  // A repository paged from this very snapshot implies the caller wants
+  // the engine paged too (one map, one budget); otherwise resident.
+  PagingOptions paging;
+  paging.enabled =
+      repo.pager() != nullptr && repo.pager()->path() == path;
+  return Load(repo, path, paging);
+}
 
-  auto find_section = [&](uint32_t id,
-                          const char* name) -> Result<const SnapshotSection*> {
-    const SnapshotSection* found = nullptr;
-    for (const SnapshotSection& s : sections) {
-      if (s.id != id) continue;
-      if (found != nullptr) {
-        return Status::IOError("snapshot " + path + " has duplicate " + name +
-                               " sections");
-      }
-      found = &s;
-    }
-    if (found == nullptr) {
-      return Status::IOError("snapshot " + path + " is missing the " +
-                             std::string(name) + " section");
-    }
-    return found;
+Result<std::unique_ptr<DiscoveryEngine>> DiscoveryEngine::Load(
+    const TableRepository& repo, const std::string& path,
+    const PagingOptions& paging) {
+  SnapshotSource src;
+  VER_RETURN_IF_ERROR(OpenSnapshotSource(path, paging, repo.pager(), &src));
+  const uint32_t version = src.version;
+
+  auto find_section =
+      [&](uint32_t id, const char* name) -> Result<const SnapshotSource::View*> {
+    return FindSectionView(src, path, id, name);
   };
-  auto reader_for = [&](const SnapshotSection& s, const char* name) {
-    return SerdeReader(s.payload, std::string(name) + " section of " + path);
+  auto reader_for = [&](const SnapshotSource::View& s, const char* name) {
+    SerdeReader r(s.payload, std::string(name) + " section of " + path);
+    // Legacy (pre-v3) payloads carry no array-alignment padding.
+    r.set_aligned(version >= 3);
+    return r;
   };
 
-  VER_ASSIGN_OR_RETURN(const SnapshotSection* fingerprint,
+  VER_ASSIGN_OR_RETURN(const SnapshotSource::View* fingerprint,
                        find_section(kSectionRepoFingerprint, "fingerprint"));
   {
     SerdeReader r = reader_for(*fingerprint, "fingerprint");
@@ -285,7 +395,7 @@ Result<std::unique_ptr<DiscoveryEngine>> DiscoveryEngine::Load(
   std::unique_ptr<DiscoveryEngine> engine(new DiscoveryEngine());
   engine->repo_ = &repo;
 
-  VER_ASSIGN_OR_RETURN(const SnapshotSection* options,
+  VER_ASSIGN_OR_RETURN(const SnapshotSource::View* options,
                        find_section(kSectionOptions, "options"));
   {
     SerdeReader r = reader_for(*options, "options");
@@ -293,7 +403,7 @@ Result<std::unique_ptr<DiscoveryEngine>> DiscoveryEngine::Load(
     VER_RETURN_IF_ERROR(r.ExpectEnd());
   }
 
-  VER_ASSIGN_OR_RETURN(const SnapshotSection* profiles,
+  VER_ASSIGN_OR_RETURN(const SnapshotSource::View* profiles,
                        find_section(kSectionProfiles, "profiles"));
   {
     SerdeReader r = reader_for(*profiles, "profiles");
@@ -316,33 +426,44 @@ Result<std::unique_ptr<DiscoveryEngine>> DiscoveryEngine::Load(
                                    static_cast<int>(i));
   }
 
-  VER_ASSIGN_OR_RETURN(const SnapshotSection* keywords,
+  VER_ASSIGN_OR_RETURN(const SnapshotSource::View* keywords,
                        find_section(kSectionKeywordIndex, "keyword index"));
   {
     SerdeReader r = reader_for(*keywords, "keyword index");
-    VER_RETURN_IF_ERROR(engine->keywords_.LoadFrom(&r, repo));
+    VER_RETURN_IF_ERROR(engine->keywords_.LoadFrom(&r, repo, src.binding()));
     VER_RETURN_IF_ERROR(r.ExpectEnd());
   }
 
   VER_ASSIGN_OR_RETURN(
-      const SnapshotSection* similarity,
+      const SnapshotSource::View* similarity,
       find_section(kSectionSimilarityIndex, "similarity index"));
   {
     SerdeReader r = reader_for(*similarity, "similarity index");
     VER_RETURN_IF_ERROR(engine->similarity_.LoadFrom(
-        &r, &engine->profiles_, engine->options_.similarity));
+        &r, &engine->profiles_, engine->options_.similarity, src.binding()));
     VER_RETURN_IF_ERROR(r.ExpectEnd());
   }
 
-  VER_ASSIGN_OR_RETURN(const SnapshotSection* join_paths,
+  VER_ASSIGN_OR_RETURN(const SnapshotSource::View* join_paths,
                        find_section(kSectionJoinPathIndex, "join path index"));
   {
     SerdeReader r = reader_for(*join_paths, "join path index");
-    VER_RETURN_IF_ERROR(
-        engine->join_paths_.LoadFrom(&r, repo, engine->options_.join_paths));
+    VER_RETURN_IF_ERROR(engine->join_paths_.LoadFrom(
+        &r, repo, engine->options_.join_paths, src.binding()));
     VER_RETURN_IF_ERROR(r.ExpectEnd());
   }
+  engine->pager_ = src.runtime;
   return engine;
+}
+
+void DiscoveryEngine::PinInto(PagePin* pin) const {
+  if (pager_ == nullptr && !repo_->paged()) return;
+  for (int32_t t = 0; t < repo_->num_tables(); ++t) {
+    repo_->table(t).PinInto(pin);
+  }
+  keywords_.PinInto(pin);
+  similarity_.PinInto(pin);
+  join_paths_.PinInto(pin);
 }
 
 std::vector<KeywordHit> DiscoveryEngine::SearchKeyword(

@@ -14,6 +14,7 @@
 #include "discovery/keyword_index.h"
 #include "discovery/profile.h"
 #include "discovery/similarity_index.h"
+#include "pager/pager.h"
 #include "storage/repository.h"
 #include "util/result.h"
 #include "util/serde.h"
@@ -41,6 +42,10 @@ struct DiscoveryOptions {
   /// 0 = all hardware threads. No paper counterpart (the paper builds
   /// indices with Aurum). Output is bit-identical to serial for any value.
   int parallelism = 1;
+  /// Paged snapshot serving (mmap + buffer-pool residency). A load-time,
+  /// per-process choice — NOT serialized into snapshots, and ignored by
+  /// Build()/Save(). See PagingOptions for the knobs.
+  PagingOptions paging;
 };
 
 /// Offline discovery index over one repository.
@@ -70,7 +75,11 @@ class DiscoveryEngine {
   /// all four indices, plus a fingerprint of the repository's table names,
   /// row counts and schemas — as one versioned snapshot file (see
   /// util/serde.h for the format). The write is atomic (temp + rename).
-  Status Save(const std::string& path) const;
+  /// `format_version` defaults to the current format; passing an older
+  /// version emits a genuine legacy file (unaligned payloads, inline
+  /// framing) for downgrade paths and compatibility tests.
+  Status Save(const std::string& path,
+              uint32_t format_version = kSnapshotFormatVersion) const;
 
   /// Restores an engine from a snapshot written by Save(). `repo` must be
   /// the repository the snapshot was built over (checked against the
@@ -82,6 +91,20 @@ class DiscoveryEngine {
   static Result<std::unique_ptr<DiscoveryEngine>> Load(
       const TableRepository& repo, const std::string& path);
 
+  /// Load() with an explicit paging choice. With paging enabled the
+  /// snapshot is mmapped and the index posting stores are borrowed from
+  /// the map under a buffer-pool budget instead of being copied out;
+  /// queries answer bit-identically, cold start touches O(pages read)
+  /// instead of O(file), and checksum verification is skipped (the
+  /// paged trust model: framing validated, content bounds-guarded at
+  /// query time). When `repo` was itself paged from the same path, the
+  /// engine shares the repository's runtime (one map, one budget).
+  /// Snapshots that cannot be paged (pre-v3 format, platforms without
+  /// mmap) silently fall back to the resident path.
+  static Result<std::unique_ptr<DiscoveryEngine>> Load(
+      const TableRepository& repo, const std::string& path,
+      const PagingOptions& paging);
+
   /// Reconstructs the repository a snapshot was built over from the
   /// snapshot's columnar table sections (format version >= 2): every
   /// column's dictionary, codes and null bitmap memcpy-load, so a server
@@ -90,6 +113,15 @@ class DiscoveryEngine {
   /// path) answers queries bit-identically to the engine that was saved.
   /// v1 snapshots (no table data) return NotFound with guidance.
   static Result<TableRepository> LoadRepository(const std::string& path);
+
+  /// LoadRepository() with an explicit paging choice: column payloads
+  /// (codes, null bitmaps, dictionary arenas) stay in the mmapped file
+  /// and page in on demand under the budget. The returned repository
+  /// holds the runtime (repo.pager()); pass the same path to Load() to
+  /// share it. Falls back to the resident path when the snapshot cannot
+  /// be paged structurally (pre-v3 format, no mmap).
+  static Result<TableRepository> LoadRepository(const std::string& path,
+                                                const PagingOptions& paging);
 
   const TableRepository& repo() const { return *repo_; }
   const DiscoveryOptions& options() const { return options_; }
@@ -131,6 +163,16 @@ class DiscoveryEngine {
   /// engine had been built from scratch over the grown repository.
   Status IndexNewTable(int32_t table_id);
 
+  /// The pager runtime this engine's indices borrow from (null when
+  /// loaded resident). Shared with the repository when both were paged
+  /// from the same snapshot.
+  const std::shared_ptr<PagerRuntime>& pager() const { return pager_; }
+  bool paged() const { return pager_ != nullptr; }
+
+  /// Pins every paged extent the engine and repository borrow (tables,
+  /// posting stores, join edges) into `pin`; no-op when resident.
+  void PinInto(PagePin* pin) const;
+
  private:
   DiscoveryEngine() = default;
 
@@ -141,6 +183,7 @@ class DiscoveryEngine {
   KeywordIndex keywords_;
   SimilarityIndex similarity_;
   JoinPathIndex join_paths_;
+  std::shared_ptr<PagerRuntime> pager_;
 };
 
 }  // namespace ver

@@ -4,17 +4,87 @@
 #include <functional>
 #include <unordered_set>
 
+#include "util/check.h"
+
 namespace ver {
 
 namespace {
-
-const std::vector<JoinEdge> kNoEdges;
 
 std::pair<int32_t, int32_t> TableKey(int32_t a, int32_t b) {
   return a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
 }
 
+uint64_t PairKey(const std::pair<int32_t, int32_t>& key) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(key.first)) << 32) |
+         static_cast<uint32_t>(key.second);
+}
+
+ColumnRef DecodeRef(uint64_t encoded) {
+  ColumnRef ref;
+  ref.table_id = static_cast<int32_t>(encoded >> 32);
+  ref.column_index = static_cast<int32_t>(encoded & 0xffffffffULL);
+  return ref;
+}
+
 }  // namespace
+
+ptrdiff_t JoinPathIndex::FlatEdges::find(uint64_t key) const {
+  const uint64_t* it = std::lower_bound(pair_keys.begin(), pair_keys.end(), key);
+  if (it == pair_keys.end() || *it != key) return -1;
+  return it - pair_keys.begin();
+}
+
+void JoinPathIndex::FlatEdges::SaveTo(SerdeWriter* w) const {
+  w->WriteU64Array(pair_keys.data(), pair_keys.size());
+  w->WriteU32Array(offsets.data(), offsets.size());
+  w->WriteU64Array(left.data(), left.size());
+  w->WriteU64Array(right.data(), right.size());
+  w->WriteDoubleArray(containment.data(), containment.size());
+  w->WriteDoubleArray(key_quality.data(), key_quality.size());
+}
+
+Status JoinPathIndex::FlatEdges::LoadFrom(SerdeReader* r,
+                                          const PagerBinding* binding) {
+  const char* raw = nullptr;
+  uint64_t n = 0;
+  VER_RETURN_IF_ERROR(r->ReadArrayExtent(sizeof(uint64_t), "pair keys", &raw, &n));
+  pair_keys.Adopt(binding, raw, n);
+  VER_RETURN_IF_ERROR(
+      r->ReadArrayExtent(sizeof(uint32_t), "edge offsets", &raw, &n));
+  offsets.Adopt(binding, raw, n);
+  VER_RETURN_IF_ERROR(r->ReadArrayExtent(sizeof(uint64_t), "left refs", &raw, &n));
+  left.Adopt(binding, raw, n);
+  VER_RETURN_IF_ERROR(
+      r->ReadArrayExtent(sizeof(uint64_t), "right refs", &raw, &n));
+  right.Adopt(binding, raw, n);
+  VER_RETURN_IF_ERROR(
+      r->ReadArrayExtent(sizeof(double), "edge containment", &raw, &n));
+  containment.Adopt(binding, raw, n);
+  VER_RETURN_IF_ERROR(
+      r->ReadArrayExtent(sizeof(double), "edge key quality", &raw, &n));
+  key_quality.Adopt(binding, raw, n);
+
+  // O(1) structural consistency — cheap enough to keep even under paging
+  // (touches only the first/last offset pages).
+  if (offsets.size() != pair_keys.size() + 1 || offsets[0] != 0 ||
+      offsets[offsets.size() - 1] != left.size() ||
+      right.size() != left.size() || containment.size() != left.size() ||
+      key_quality.size() != left.size()) {
+    return Status::IOError("corrupt join path index: array sizes disagree");
+  }
+  if (binding != nullptr && binding->pool != nullptr) return Status::OK();
+  // Resident loads vet the whole layout up front; paged loads defer to
+  // edge_range() / EdgesBetween()'s per-record guards.
+  for (size_t i = 0; i < num_pairs(); ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      return Status::IOError("corrupt join path index: offsets not monotonic");
+    }
+    if (i + 1 < num_pairs() && pair_keys[i] >= pair_keys[i + 1]) {
+      return Status::IOError("corrupt join path index: pair keys not sorted");
+    }
+  }
+  return Status::OK();
+}
 
 bool JoinPathIndex::ScoreEdge(const ColumnProfile& a, const ColumnProfile& b,
                               JoinEdge* edge) const {
@@ -51,10 +121,20 @@ void JoinPathIndex::MaybeAddEdge(const ColumnProfile& a,
 
 void JoinPathIndex::RebuildAdjacency() {
   adjacency_.clear();
+  auto add = [this](int32_t a, int32_t b) {
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+  };
+  // The flat key array is tiny relative to the edge arrays, so walking it
+  // here faults in only the key pages under a paged load.
+  for (size_t i = 0; i < flat_edges_.num_pairs(); ++i) {
+    uint64_t k = flat_edges_.pair_keys[i];
+    add(static_cast<int32_t>(k >> 32),
+        static_cast<int32_t>(k & 0xffffffffULL));
+  }
   for (const auto& [key, edges] : pair_edges_) {
     (void)edges;
-    adjacency_[key.first].push_back(key.second);
-    adjacency_[key.second].push_back(key.first);
+    add(key.first, key.second);
   }
   for (auto& [table, neighbors] : adjacency_) {
     (void)table;
@@ -69,6 +149,8 @@ void JoinPathIndex::Build(const std::vector<ColumnProfile>* profiles,
                           const JoinPathOptions& options, ThreadPool* pool) {
   options_ = options;
   pair_edges_.clear();
+  flat_edges_ = FlatEdges{};
+  table_num_columns_.clear();
   adjacency_.clear();
   num_joinable_column_pairs_ = 0;
 
@@ -128,74 +210,126 @@ void JoinPathIndex::SaveTo(SerdeWriter* w) const {
   // Options are NOT written here: they live once in the engine's options
   // section (the single source of truth) and are passed back to LoadFrom.
   w->WriteI64(num_joinable_column_pairs_);
-  w->WriteU64(pair_edges_.size());
-  for (const auto& [key, edges] : pair_edges_) {
-    w->WriteI32(key.first);
-    w->WriteI32(key.second);
-    w->WriteU64(edges.size());
-    for (const JoinEdge& e : edges) {
-      w->WriteI32(e.left.table_id);
-      w->WriteI32(e.left.column_index);
-      w->WriteI32(e.right.table_id);
-      w->WriteI32(e.right.column_index);
-      w->WriteDouble(e.containment);
-      w->WriteDouble(e.key_quality);
+  // Merge the two stores into one sorted flat layout. Table ids are
+  // nonnegative, so the map's pair ordering agrees with the packed u64
+  // key ordering and a single linear merge suffices. Flat edges (older
+  // profiles) precede overlay edges within a shared pair.
+  FlatEdges out;
+  out.offsets.mut().push_back(0);
+  auto append_flat = [this, &out](size_t i) {
+    auto [b, e] = flat_edges_.edge_range(i);
+    for (uint32_t o = b; o < e; ++o) {
+      out.left.mut().push_back(flat_edges_.left[o]);
+      out.right.mut().push_back(flat_edges_.right[o]);
+      out.containment.mut().push_back(flat_edges_.containment[o]);
+      out.key_quality.mut().push_back(flat_edges_.key_quality[o]);
     }
+  };
+  auto append_map = [&out](const std::vector<JoinEdge>& edges) {
+    for (const JoinEdge& e : edges) {
+      out.left.mut().push_back(e.left.Encode());
+      out.right.mut().push_back(e.right.Encode());
+      out.containment.mut().push_back(e.containment);
+      out.key_quality.mut().push_back(e.key_quality);
+    }
+  };
+  size_t fi = 0;
+  auto mit = pair_edges_.begin();
+  while (fi < flat_edges_.num_pairs() || mit != pair_edges_.end()) {
+    uint64_t fkey = fi < flat_edges_.num_pairs() ? flat_edges_.pair_keys[fi]
+                                                 : UINT64_MAX;
+    uint64_t mkey = mit != pair_edges_.end() ? PairKey(mit->first) : UINT64_MAX;
+    if (fkey < mkey) {
+      out.pair_keys.mut().push_back(fkey);
+      append_flat(fi++);
+    } else if (mkey < fkey) {
+      out.pair_keys.mut().push_back(mkey);
+      append_map((mit++)->second);
+    } else {  // both stores hold edges for this table pair
+      out.pair_keys.mut().push_back(fkey);
+      append_flat(fi++);
+      append_map((mit++)->second);
+    }
+    VER_CHECK(out.left.size() <= UINT32_MAX);
+    out.offsets.mut().push_back(static_cast<uint32_t>(out.left.size()));
   }
+  out.SaveTo(w);
 }
 
 Status JoinPathIndex::LoadFrom(SerdeReader* r, const TableRepository& repo,
-                               const JoinPathOptions& options) {
+                               const JoinPathOptions& options,
+                               const PagerBinding* binding) {
+  int64_t num_pairs;
+  VER_RETURN_IF_ERROR(r->ReadI64(&num_pairs));
+  FlatEdges flat;
+  VER_RETURN_IF_ERROR(flat.LoadFrom(r, binding));
   auto valid_ref = [&repo](const ColumnRef& ref) {
     return ref.table_id >= 0 && ref.table_id < repo.num_tables() &&
            ref.column_index >= 0 &&
            ref.column_index < repo.table(ref.table_id).num_columns();
   };
-  int64_t num_pairs;
-  VER_RETURN_IF_ERROR(r->ReadI64(&num_pairs));
-  uint64_t num_table_pairs;
-  VER_RETURN_IF_ERROR(r->ReadU64(&num_table_pairs));
-  std::map<std::pair<int32_t, int32_t>, std::vector<JoinEdge>> edges_by_pair;
-  for (uint64_t p = 0; p < num_table_pairs; ++p) {
-    std::pair<int32_t, int32_t> key;
-    VER_RETURN_IF_ERROR(r->ReadI32(&key.first));
-    VER_RETURN_IF_ERROR(r->ReadI32(&key.second));
-    uint64_t num_edges;
-    VER_RETURN_IF_ERROR(r->ReadU64(&num_edges));
-    // A serialized edge is 32 bytes; guard before reserving.
-    VER_RETURN_IF_ERROR(r->CheckCount(num_edges, 32, "edge count"));
-    std::vector<JoinEdge> edges;
-    edges.reserve(static_cast<size_t>(num_edges));
-    for (uint64_t e = 0; e < num_edges; ++e) {
-      JoinEdge edge;
-      VER_RETURN_IF_ERROR(r->ReadI32(&edge.left.table_id));
-      VER_RETURN_IF_ERROR(r->ReadI32(&edge.left.column_index));
-      VER_RETURN_IF_ERROR(r->ReadI32(&edge.right.table_id));
-      VER_RETURN_IF_ERROR(r->ReadI32(&edge.right.column_index));
-      VER_RETURN_IF_ERROR(r->ReadDouble(&edge.containment));
-      VER_RETURN_IF_ERROR(r->ReadDouble(&edge.key_quality));
-      // Edges feed the materializer, which dereferences both endpoints
-      // against the repository — reject out-of-range addresses here.
-      if (!valid_ref(edge.left) || !valid_ref(edge.right)) {
+  // Edges feed the materializer, which dereferences both endpoints against
+  // the repository. Resident loads reject out-of-range addresses up front;
+  // paged loads skip this O(edges) scan (it would fault in every edge
+  // page) and EdgesBetween drops bad records at query time instead.
+  if (binding == nullptr || binding->pool == nullptr) {
+    for (size_t o = 0; o < static_cast<size_t>(flat.left.size()); ++o) {
+      ColumnRef l = DecodeRef(flat.left[o]), rr = DecodeRef(flat.right[o]);
+      if (!valid_ref(l) || !valid_ref(rr)) {
         return Status::IOError(
             "corrupt join path index: edge addresses nonexistent column " +
-            edge.left.ToString() + " / " + edge.right.ToString());
+            l.ToString() + " / " + rr.ToString());
       }
-      edges.push_back(edge);
     }
-    edges_by_pair[key] = std::move(edges);
   }
   options_ = options;
   num_joinable_column_pairs_ = num_pairs;
-  pair_edges_ = std::move(edges_by_pair);
+  flat_edges_ = std::move(flat);
+  pair_edges_.clear();
+  table_num_columns_.clear();
+  table_num_columns_.reserve(static_cast<size_t>(repo.num_tables()));
+  for (int32_t t = 0; t < repo.num_tables(); ++t) {
+    table_num_columns_.push_back(repo.table(t).num_columns());
+  }
   RebuildAdjacency();
   return Status::OK();
 }
 
-const std::vector<JoinEdge>& JoinPathIndex::EdgesBetween(
-    int32_t table_a, int32_t table_b) const {
-  auto it = pair_edges_.find(TableKey(table_a, table_b));
-  return it == pair_edges_.end() ? kNoEdges : it->second;
+void JoinPathIndex::AppendFlatEdge(uint32_t o,
+                                   std::vector<JoinEdge>* out) const {
+  JoinEdge e;
+  e.left = DecodeRef(flat_edges_.left[o]);
+  e.right = DecodeRef(flat_edges_.right[o]);
+  auto ok = [this](const ColumnRef& ref) {
+    return ref.table_id >= 0 &&
+           static_cast<size_t>(ref.table_id) < table_num_columns_.size() &&
+           ref.column_index >= 0 &&
+           ref.column_index < table_num_columns_[ref.table_id];
+  };
+  // Query-time guard replacing the skipped paged validation scan: a
+  // corrupt record is dropped, never handed to the materializer.
+  if (!ok(e.left) || !ok(e.right)) return;
+  e.containment = flat_edges_.containment[o];
+  e.key_quality = flat_edges_.key_quality[o];
+  out->push_back(e);
+}
+
+std::vector<JoinEdge> JoinPathIndex::EdgesBetween(int32_t table_a,
+                                                  int32_t table_b) const {
+  std::vector<JoinEdge> out;
+  std::pair<int32_t, int32_t> key = TableKey(table_a, table_b);
+  if (!flat_edges_.pair_keys.empty()) {
+    ptrdiff_t i = flat_edges_.find(PairKey(key));
+    if (i >= 0) {
+      auto [b, e] = flat_edges_.edge_range(static_cast<size_t>(i));
+      for (uint32_t o = b; o < e; ++o) AppendFlatEdge(o, &out);
+    }
+  }
+  auto it = pair_edges_.find(key);
+  if (it != pair_edges_.end()) {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  return out;
 }
 
 std::vector<int32_t> JoinPathIndex::AdjacentTables(int32_t table) const {
@@ -241,7 +375,7 @@ void JoinPathIndex::ExpandPath(const std::vector<int32_t>& path,
   // Cartesian product of column-pair choices along the path, capped.
   std::vector<JoinGraph> partial{JoinGraph{}};
   for (size_t i = 0; i + 1 < path.size(); ++i) {
-    const std::vector<JoinEdge>& choices = EdgesBetween(path[i], path[i + 1]);
+    const std::vector<JoinEdge> choices = EdgesBetween(path[i], path[i + 1]);
     if (choices.empty()) return;  // path not realizable
     std::vector<JoinGraph> next;
     for (const JoinGraph& g : partial) {

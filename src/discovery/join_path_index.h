@@ -7,11 +7,13 @@
 
 #include <cstdint>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "discovery/join_graph.h"
 #include "discovery/profile.h"
 #include "discovery/similarity_index.h"
+#include "pager/paged_view.h"
 #include "util/thread_pool.h"
 
 namespace ver {
@@ -54,9 +56,10 @@ class JoinPathIndex {
   std::vector<JoinGraph> GenerateJoinGraphs(
       const std::vector<int32_t>& tables, int max_hops) const;
 
-  /// All joinable column pairs between two specific tables.
-  const std::vector<JoinEdge>& EdgesBetween(int32_t table_a,
-                                            int32_t table_b) const;
+  /// All joinable column pairs between two specific tables: snapshot-loaded
+  /// flat edges first (older profiles), then incremental overlay edges —
+  /// the same two-store merge order the other indexes use.
+  std::vector<JoinEdge> EdgesBetween(int32_t table_a, int32_t table_b) const;
 
   /// Total number of joinable column pairs discovered (Table I statistic).
   int64_t num_joinable_column_pairs() const {
@@ -66,21 +69,73 @@ class JoinPathIndex {
   /// Tables adjacent to `table` in the join connectivity graph.
   std::vector<int32_t> AdjacentTables(int32_t table) const;
 
-  /// Snapshot serialization. pair_edges_ is an ordered map, so the bytes
-  /// are deterministic; the adjacency lists are derived data and are
-  /// rebuilt on load. Edge endpoints are validated against `repo` so a
-  /// corrupt file cannot smuggle in out-of-range column addresses;
-  /// `options` comes from the engine's options section (persisted once).
+  /// Snapshot serialization. Both stores are written merged into one flat
+  /// sorted layout (u64 table-pair keys, u32 edge offsets, structure-of-
+  /// arrays edge records), so the bytes are deterministic; the adjacency
+  /// lists are derived data and are rebuilt on load. Resident loads
+  /// validate every edge endpoint against `repo`; with a pager `binding`
+  /// the arrays are adopted as borrowed mmap extents, the O(edges) scan is
+  /// skipped, and EdgesBetween drops any edge whose decoded endpoints fall
+  /// outside the repository instead. `options` comes from the engine's
+  /// options section (persisted once).
   void SaveTo(SerdeWriter* w) const;
   Status LoadFrom(SerdeReader* r, const TableRepository& repo,
-                  const JoinPathOptions& options);
+                  const JoinPathOptions& options,
+                  const PagerBinding* binding = nullptr);
+
+  /// Adds the flat edge store's paged extents to `pin` (no-op if resident).
+  void PinInto(PagePin* pin) const { flat_edges_.PinInto(pin); }
 
  private:
+  /// Immutable snapshot-loaded edge store: table-pair keys sorted
+  /// ascending, per-pair edge slices addressed by offsets, edge fields as
+  /// parallel arrays (borrowable straight out of the mmapped snapshot).
+  struct FlatEdges {
+    PagedView<uint64_t> pair_keys;    // (min_id << 32) | max_id, sorted
+    PagedView<uint32_t> offsets;      // pair_keys.size() + 1 entries
+    PagedView<uint64_t> left;         // ColumnRef::Encode per edge
+    PagedView<uint64_t> right;
+    PagedView<double> containment;
+    PagedView<double> key_quality;
+
+    size_t num_pairs() const { return static_cast<size_t>(pair_keys.size()); }
+    /// Index of `key`, or -1.
+    ptrdiff_t find(uint64_t key) const;
+    /// Bounds-guarded edge slice [begin, end) for pair index `i`; empty on
+    /// a corrupt offset pair (paged loads skip offset validation).
+    std::pair<uint32_t, uint32_t> edge_range(size_t i) const {
+      uint32_t b = offsets[i], e = offsets[i + 1];
+      if (b > e || e > left.size()) return {0, 0};
+      return {b, e};
+    }
+    void SaveTo(SerdeWriter* w) const;
+    Status LoadFrom(SerdeReader* r, const PagerBinding* binding);
+    void PinInto(PagePin* pin) const {
+      pair_keys.PinInto(pin);
+      offsets.PinInto(pin);
+      left.PinInto(pin);
+      right.PinInto(pin);
+      containment.PinInto(pin);
+      key_quality.PinInto(pin);
+    }
+  };
+
+  // Incremental overlay (Build/AddColumns inserts).
   // Key: (min_table_id, max_table_id).
   std::map<std::pair<int32_t, int32_t>, std::vector<JoinEdge>> pair_edges_;
+  // Immutable snapshot-loaded base.
+  FlatEdges flat_edges_;
+  // Column counts per table, captured at LoadFrom: lets EdgesBetween
+  // range-check decoded flat edges without touching the repository (the
+  // query-time guard replacing the skipped paged validation scan).
+  std::vector<int32_t> table_num_columns_;
   std::map<int32_t, std::vector<int32_t>> adjacency_;
   int64_t num_joinable_column_pairs_ = 0;
   JoinPathOptions options_;
+
+  // Decodes flat edge slot `o` and appends it if its endpoints are in
+  // range (corrupt paged records are dropped, never dereferenced).
+  void AppendFlatEdge(uint32_t o, std::vector<JoinEdge>* out) const;
 
   // Evaluates one candidate column pair; returns true and fills `edge` when
   // the pair is joinable. Pure with respect to index state, so candidate

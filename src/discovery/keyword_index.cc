@@ -46,21 +46,45 @@ ptrdiff_t KeywordIndex::FlatPostings::find(std::string_view needle) const {
 }
 
 void KeywordIndex::FlatPostings::SaveTo(SerdeWriter* w) const {
-  w->WriteString(blob);
-  w->WriteU32Vector(key_offsets);
-  w->WriteU64Vector(columns);
-  w->WriteU32Vector(posting_offsets);
+  w->WriteString(blob.view());
+  w->WriteU32Array(key_offsets.data(), key_offsets.size());
+  w->WriteU64Array(columns.data(), columns.size());
+  w->WriteU32Array(posting_offsets.data(), posting_offsets.size());
 }
 
-Status KeywordIndex::FlatPostings::LoadFrom(SerdeReader* r) {
-  VER_RETURN_IF_ERROR(r->ReadString(&blob));
-  VER_RETURN_IF_ERROR(r->ReadU32Vector(&key_offsets));
-  VER_RETURN_IF_ERROR(r->ReadU64Vector(&columns));
-  VER_RETURN_IF_ERROR(r->ReadU32Vector(&posting_offsets));
+Status KeywordIndex::FlatPostings::LoadFrom(SerdeReader* r,
+                                            const PagerBinding* binding) {
+  {
+    const char* raw = nullptr;
+    uint64_t len = 0;
+    VER_RETURN_IF_ERROR(r->ReadStringExtent(&raw, &len));
+    blob.Adopt(binding, raw, len);
+  }
+  auto load_u32 = [&](PagedView<uint32_t>* out, const char* what) -> Status {
+    const char* raw = nullptr;
+    uint64_t n = 0;
+    VER_RETURN_IF_ERROR(r->ReadArrayExtent(sizeof(uint32_t), what, &raw, &n));
+    out->Adopt(binding, raw, n);
+    return Status::OK();
+  };
+  VER_RETURN_IF_ERROR(load_u32(&key_offsets, "keyword key offsets"));
+  {
+    const char* raw = nullptr;
+    uint64_t n = 0;
+    VER_RETURN_IF_ERROR(
+        r->ReadArrayExtent(sizeof(uint64_t), "keyword postings", &raw, &n));
+    columns.Adopt(binding, raw, n);
+  }
+  VER_RETURN_IF_ERROR(load_u32(&posting_offsets, "keyword posting offsets"));
+  if (key_offsets.size() != posting_offsets.size()) {
+    return Status::IOError("corrupt keyword index: inconsistent offsets");
+  }
   // Offset sanity: monotonic and in bounds, so key()/posting slicing can
   // never read out of range even if a corrupt file slipped past the
-  // checksum.
-  auto offsets_valid = [](const std::vector<uint32_t>& offsets, size_t end) {
+  // checksum. Paged loads skip the scan (it would fault in both offset
+  // arrays eagerly) — key()/posting_range() guard each slice instead.
+  if (binding != nullptr && binding->pool != nullptr) return Status::OK();
+  auto offsets_valid = [](const PagedView<uint32_t>& offsets, size_t end) {
     if (offsets.empty()) return end == 0;
     if (offsets.front() != 0 || offsets.back() != end) return false;
     for (size_t i = 1; i < offsets.size(); ++i) {
@@ -68,8 +92,7 @@ Status KeywordIndex::FlatPostings::LoadFrom(SerdeReader* r) {
     }
     return true;
   };
-  if (key_offsets.size() != posting_offsets.size() ||
-      !offsets_valid(key_offsets, blob.size()) ||
+  if (!offsets_valid(key_offsets, blob.size()) ||
       !offsets_valid(posting_offsets, columns.size())) {
     return Status::IOError("corrupt keyword index: inconsistent offsets");
   }
@@ -210,8 +233,8 @@ std::vector<KeywordHit> KeywordIndex::Search(const std::string& keyword,
         }
         ptrdiff_t fi = flat.find(needle);
         if (fi >= 0) {
-          for (uint32_t p = flat.posting_offsets[fi];
-               p < flat.posting_offsets[fi + 1]; ++p) {
+          auto [pb, pe] = flat.posting_range(static_cast<size_t>(fi));
+          for (uint32_t p = pb; p < pe; ++p) {
             add_hit(DecodeColumnRef(flat.columns[p]), attribute,
                     /*exact=*/true);
           }
@@ -229,8 +252,9 @@ std::vector<KeywordHit> KeywordIndex::Search(const std::string& keyword,
                 add_hit(ref, attribute, /*exact=*/false);
               }
             } else {
-              for (uint32_t p = flat.posting_offsets[entry.flat_index];
-                   p < flat.posting_offsets[entry.flat_index + 1]; ++p) {
+              auto [pb, pe] = flat.posting_range(
+                  static_cast<size_t>(entry.flat_index));
+              for (uint32_t p = pb; p < pe; ++p) {
                 add_hit(DecodeColumnRef(flat.columns[p]), attribute,
                         /*exact=*/false);
               }
@@ -275,22 +299,22 @@ Status KeywordIndex::SaveTo(SerdeWriter* w) const {
               postings) -> Status {
         std::vector<const std::string*> map_keys = SortedKeys(postings);
         FlatPostings out;
-        out.key_offsets.push_back(0);
-        out.posting_offsets.push_back(0);
+        out.key_offsets.mut().push_back(0);
+        out.posting_offsets.mut().push_back(0);
         size_t fi = 0, mi = 0;
         auto emit_flat = [&](size_t i) {
           std::string_view key = flat.key(i);
-          out.blob.append(key.data(), key.size());
-          for (uint32_t p = flat.posting_offsets[i];
-               p < flat.posting_offsets[i + 1]; ++p) {
-            out.columns.push_back(flat.columns[p]);
+          out.blob.mut().append(key.data(), key.size());
+          auto [pb, pe] = flat.posting_range(i);
+          for (uint32_t p = pb; p < pe; ++p) {
+            out.columns.mut().push_back(flat.columns[p]);
           }
         };
         auto emit_map = [&](size_t i) {
           const std::string& key = *map_keys[i];
-          out.blob.append(key);
+          out.blob.mut().append(key);
           for (const ColumnRef& ref : postings.at(key)) {
-            out.columns.push_back(ref.Encode());
+            out.columns.mut().push_back(ref.Encode());
           }
         };
         while (fi < flat.num_keys() || mi < map_keys.size()) {
@@ -301,13 +325,13 @@ Status KeywordIndex::SaveTo(SerdeWriter* w) const {
             emit_map(mi++);
           } else {  // same key in both stores: flat (older tables) first
             std::string_view key = flat.key(fi);
-            out.blob.append(key.data(), key.size());
-            for (uint32_t p = flat.posting_offsets[fi];
-                 p < flat.posting_offsets[fi + 1]; ++p) {
-              out.columns.push_back(flat.columns[p]);
+            out.blob.mut().append(key.data(), key.size());
+            auto [pb, pe] = flat.posting_range(fi);
+            for (uint32_t p = pb; p < pe; ++p) {
+              out.columns.mut().push_back(flat.columns[p]);
             }
             for (const ColumnRef& ref : postings.at(*map_keys[mi])) {
-              out.columns.push_back(ref.Encode());
+              out.columns.mut().push_back(ref.Encode());
             }
             ++fi;
             ++mi;
@@ -317,8 +341,9 @@ Status KeywordIndex::SaveTo(SerdeWriter* w) const {
                 "keyword index exceeds the snapshot format's u32 offset "
                 "range; cannot save");
           }
-          out.key_offsets.push_back(static_cast<uint32_t>(out.blob.size()));
-          out.posting_offsets.push_back(
+          out.key_offsets.mut().push_back(
+              static_cast<uint32_t>(out.blob.size()));
+          out.posting_offsets.mut().push_back(
               static_cast<uint32_t>(out.columns.size()));
         }
         out.SaveTo(w);
@@ -328,20 +353,25 @@ Status KeywordIndex::SaveTo(SerdeWriter* w) const {
   return save_merged(flat_attrs_, attr_postings_);
 }
 
-Status KeywordIndex::LoadFrom(SerdeReader* r, const TableRepository& repo) {
-  VER_RETURN_IF_ERROR(flat_values_.LoadFrom(r));
-  VER_RETURN_IF_ERROR(flat_attrs_.LoadFrom(r));
+Status KeywordIndex::LoadFrom(SerdeReader* r, const TableRepository& repo,
+                              const PagerBinding* binding) {
+  VER_RETURN_IF_ERROR(flat_values_.LoadFrom(r, binding));
+  VER_RETURN_IF_ERROR(flat_attrs_.LoadFrom(r, binding));
   // Every posting must address a real column: hits flow straight into the
-  // pipeline, which dereferences them against the repository.
-  for (const FlatPostings* flat : {&flat_values_, &flat_attrs_}) {
-    for (uint64_t encoded : flat->columns) {
-      ColumnRef ref = DecodeColumnRef(encoded);
-      if (ref.table_id < 0 || ref.table_id >= repo.num_tables() ||
-          ref.column_index < 0 ||
-          ref.column_index >= repo.table(ref.table_id).num_columns()) {
-        return Status::IOError(
-            "corrupt keyword index: posting addresses nonexistent column " +
-            ref.ToString());
+  // pipeline, which dereferences them against the repository. Paged loads
+  // skip the scan (it would fault in every posting page); the snapshot's
+  // framing was validated and postings came from this repository's save.
+  if (binding == nullptr || binding->pool == nullptr) {
+    for (const FlatPostings* flat : {&flat_values_, &flat_attrs_}) {
+      for (uint64_t encoded : flat->columns) {
+        ColumnRef ref = DecodeColumnRef(encoded);
+        if (ref.table_id < 0 || ref.table_id >= repo.num_tables() ||
+            ref.column_index < 0 ||
+            ref.column_index >= repo.table(ref.table_id).num_columns()) {
+          return Status::IOError(
+              "corrupt keyword index: posting addresses nonexistent column " +
+              ref.ToString());
+        }
       }
     }
   }

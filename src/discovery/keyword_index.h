@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "pager/paged_view.h"
 #include "storage/repository.h"
 #include "util/serde.h"
 
@@ -69,30 +70,65 @@ class KeywordIndex {
   /// smuggle in out-of-range column addresses. SaveTo fails (rather than
   /// silently wrapping the u32 offsets) if the flat layout exceeds 4 GiB
   /// of key text or 2^32 postings.
+  ///
+  /// With a pager `binding` the flat stores are adopted as borrowed mmap
+  /// extents and the O(keys)/O(postings) validation scans are skipped
+  /// (they would fault in the whole store); the accessors below instead
+  /// bounds-guard each slice they take, so a corrupt offset yields an
+  /// empty result, never an out-of-range read.
   Status SaveTo(SerdeWriter* w) const;
-  Status LoadFrom(SerdeReader* r, const TableRepository& repo);
+  Status LoadFrom(SerdeReader* r, const TableRepository& repo,
+                  const PagerBinding* binding = nullptr);
+
+  /// Adds the flat stores' paged extents to `pin` (no-op when resident).
+  void PinInto(PagePin* pin) const {
+    flat_values_.PinInto(pin);
+    flat_attrs_.PinInto(pin);
+  }
 
  private:
   /// Immutable posting store: keys sorted ascending in one blob, postings
   /// concatenated in key order. find() is a binary search over key slices.
+  /// Storage is PagedView/PagedBytes: owned after a resident load,
+  /// borrowed mmap extents under a paged one.
   struct FlatPostings {
-    std::string blob;                       // key bytes, concatenated
-    std::vector<uint32_t> key_offsets;      // num_keys + 1 entries
-    std::vector<uint64_t> columns;          // ColumnRef::Encode, concatenated
-    std::vector<uint32_t> posting_offsets;  // num_keys + 1 entries
+    PagedBytes blob;                       // key bytes, concatenated
+    PagedView<uint32_t> key_offsets;       // num_keys + 1 entries
+    PagedView<uint64_t> columns;           // ColumnRef::Encode, concatenated
+    PagedView<uint32_t> posting_offsets;   // num_keys + 1 entries
 
     size_t num_keys() const {
-      return key_offsets.empty() ? 0 : key_offsets.size() - 1;
+      return key_offsets.empty() ? 0
+                                 : static_cast<size_t>(key_offsets.size()) - 1;
     }
+    /// Bounds-guarded key slice: empty view on a corrupt offset pair. The
+    /// guard never touches blob bytes, so building vocabulary entries
+    /// faults in only the offset array.
     std::string_view key(size_t i) const {
-      return std::string_view(blob).substr(key_offsets[i],
-                                           key_offsets[i + 1] - key_offsets[i]);
+      uint64_t b = key_offsets[i], e = key_offsets[i + 1];
+      if (b > e || e > blob.size()) return {};
+      return blob.view().substr(static_cast<size_t>(b),
+                                static_cast<size_t>(e - b));
+    }
+    /// Bounds-guarded posting slice [begin, end) into columns for key `i`;
+    /// empty on a corrupt offset pair.
+    std::pair<uint32_t, uint32_t> posting_range(size_t i) const {
+      uint32_t b = posting_offsets[i], e = posting_offsets[i + 1];
+      if (b > e || e > columns.size()) return {0, 0};
+      return {b, e};
     }
     /// Index of `needle`, or -1.
     ptrdiff_t find(std::string_view needle) const;
     void SaveTo(SerdeWriter* w) const;
-    /// Restores and validates the offset arrays (monotonic, in bounds).
-    Status LoadFrom(SerdeReader* r);
+    /// Restores the store; resident loads validate the offset arrays
+    /// (monotonic, in bounds), paged loads defer to the guarded accessors.
+    Status LoadFrom(SerdeReader* r, const PagerBinding* binding);
+    void PinInto(PagePin* pin) const {
+      blob.PinInto(pin);
+      key_offsets.PinInto(pin);
+      columns.PinInto(pin);
+      posting_offsets.PinInto(pin);
+    }
   };
 
   /// One vocabulary word, resolvable to its postings in either store.

@@ -18,30 +18,53 @@ size_t SimilarityIndex::FlatBuckets::posting_count(uint64_t key) const {
   if (keys.empty()) return 0;
   ptrdiff_t i = find(key);
   if (i < 0) return 0;
-  return offsets[i + 1] - offsets[i];
+  auto [b, e] = bucket_range(static_cast<size_t>(i));
+  return e - b;
 }
 
 void SimilarityIndex::FlatBuckets::SaveTo(SerdeWriter* w) const {
-  w->WriteU64Vector(keys);
-  w->WriteU32Vector(offsets);
-  w->WriteI32Vector(postings);
+  w->WriteU64Array(keys.data(), keys.size());
+  w->WriteU32Array(offsets.data(), offsets.size());
+  w->WriteI32Array(postings.data(), postings.size());
 }
 
-Status SimilarityIndex::FlatBuckets::LoadFrom(SerdeReader* r) {
-  VER_RETURN_IF_ERROR(r->ReadU64Vector(&keys));
-  VER_RETURN_IF_ERROR(r->ReadU32Vector(&offsets));
-  VER_RETURN_IF_ERROR(r->ReadI32Vector(&postings));
+Status SimilarityIndex::FlatBuckets::LoadFrom(SerdeReader* r,
+                                              const PagerBinding* binding) {
+  {
+    const char* raw = nullptr;
+    uint64_t n = 0;
+    VER_RETURN_IF_ERROR(
+        r->ReadArrayExtent(sizeof(uint64_t), "bucket keys", &raw, &n));
+    keys.Adopt(binding, raw, n);
+  }
+  {
+    const char* raw = nullptr;
+    uint64_t n = 0;
+    VER_RETURN_IF_ERROR(
+        r->ReadArrayExtent(sizeof(uint32_t), "bucket offsets", &raw, &n));
+    offsets.Adopt(binding, raw, n);
+  }
+  {
+    const char* raw = nullptr;
+    uint64_t n = 0;
+    VER_RETURN_IF_ERROR(
+        r->ReadArrayExtent(sizeof(int), "bucket postings", &raw, &n));
+    postings.Adopt(binding, raw, n);
+  }
   bool valid = keys.empty() ? offsets.empty()
                             : offsets.size() == keys.size() + 1 &&
                                   offsets.front() == 0 &&
                                   offsets.back() == postings.size();
-  if (valid) {
-    for (size_t i = 1; i < offsets.size(); ++i) {
-      if (offsets[i] < offsets[i - 1]) valid = false;
-    }
-  }
   if (!valid) {
     return Status::IOError("corrupt similarity index: inconsistent offsets");
+  }
+  // Monotonicity scan only on resident loads — paged loads defer to the
+  // bucket_range() guard so the offset array isn't faulted in eagerly.
+  if (binding != nullptr && binding->pool != nullptr) return Status::OK();
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      return Status::IOError("corrupt similarity index: inconsistent offsets");
+    }
   }
   return Status::OK();
 }
@@ -161,14 +184,19 @@ std::vector<int> SimilarityIndex::Candidates(int profile_index) const {
   // ascending: the same sorted candidate list as the set + sort this
   // replaces, with no per-candidate allocation or rehash.
   PackedBitset out(profiles_->size());
-  auto collect_flat = [&out, profile_index](const FlatBuckets& flat,
-                                            uint64_t key) {
+  const size_t num_profiles = profiles_->size();
+  auto collect_flat = [&out, profile_index, num_profiles](
+                          const FlatBuckets& flat, uint64_t key) {
     if (flat.keys.empty()) return;
     ptrdiff_t i = flat.find(key);
     if (i < 0) return;
-    for (uint32_t o = flat.offsets[i]; o < flat.offsets[i + 1]; ++o) {
-      if (flat.postings[o] != profile_index) {
-        out.set(static_cast<size_t>(flat.postings[o]));
+    auto [pb, pe] = flat.bucket_range(static_cast<size_t>(i));
+    for (uint32_t o = pb; o < pe; ++o) {
+      int p = flat.postings[o];
+      // Range guard replaces the load-time posting scan for paged stores:
+      // a corrupt posting is dropped instead of indexing out of bounds.
+      if (p != profile_index && p >= 0 && static_cast<size_t>(p) < num_profiles) {
+        out.set(static_cast<size_t>(p));
       }
     }
   };
@@ -249,8 +277,9 @@ std::vector<std::pair<int, int>> SimilarityIndex::AllCandidatePairs() const {
           const std::unordered_map<uint64_t, std::vector<int>>& map) {
         std::vector<int> combined;
         for (size_t i = 0; i < flat.num_keys(); ++i) {
-          combined.assign(flat.postings.begin() + flat.offsets[i],
-                          flat.postings.begin() + flat.offsets[i + 1]);
+          auto [pb, pe] = flat.bucket_range(i);
+          combined.assign(flat.postings.begin() + pb,
+                          flat.postings.begin() + pe);
           auto it = map.find(flat.keys[i]);
           if (it != map.end()) {
             combined.insert(combined.end(), it->second.begin(),
@@ -290,28 +319,29 @@ Status SimilarityIndex::SaveTo(SerdeWriter* w) const {
         }
         std::sort(map_keys.begin(), map_keys.end());
         FlatBuckets out;
-        out.offsets.push_back(0);
+        out.offsets.mut().push_back(0);
         size_t fi = 0, mi = 0;
         auto append_flat = [&](size_t i) {
-          out.postings.insert(out.postings.end(),
-                              flat.postings.begin() + flat.offsets[i],
-                              flat.postings.begin() + flat.offsets[i + 1]);
+          auto [pb, pe] = flat.bucket_range(i);
+          out.postings.mut().insert(out.postings.mut().end(),
+                                    flat.postings.begin() + pb,
+                                    flat.postings.begin() + pe);
         };
         auto append_map = [&](uint64_t key) {
           const std::vector<int>& bucket = map.at(key);
-          out.postings.insert(out.postings.end(), bucket.begin(),
-                              bucket.end());
+          out.postings.mut().insert(out.postings.mut().end(), bucket.begin(),
+                                    bucket.end());
         };
         while (fi < flat.num_keys() || mi < map_keys.size()) {
           if (mi >= map_keys.size() ||
               (fi < flat.num_keys() && flat.keys[fi] < map_keys[mi])) {
-            out.keys.push_back(flat.keys[fi]);
+            out.keys.mut().push_back(flat.keys[fi]);
             append_flat(fi++);
           } else if (fi >= flat.num_keys() || map_keys[mi] < flat.keys[fi]) {
-            out.keys.push_back(map_keys[mi]);
+            out.keys.mut().push_back(map_keys[mi]);
             append_map(map_keys[mi++]);
           } else {  // both stores: flat (older profiles) first
-            out.keys.push_back(flat.keys[fi]);
+            out.keys.mut().push_back(flat.keys[fi]);
             append_flat(fi++);
             append_map(map_keys[mi++]);
           }
@@ -320,7 +350,8 @@ Status SimilarityIndex::SaveTo(SerdeWriter* w) const {
                 "similarity index exceeds the snapshot format's u32 offset "
                 "range; cannot save");
           }
-          out.offsets.push_back(static_cast<uint32_t>(out.postings.size()));
+          out.offsets.mut().push_back(
+              static_cast<uint32_t>(out.postings.size()));
         }
         out.SaveTo(w);
         return Status::OK();
@@ -344,7 +375,8 @@ Status SimilarityIndex::SaveTo(SerdeWriter* w) const {
 
 Status SimilarityIndex::LoadFrom(SerdeReader* r,
                                  const std::vector<ColumnProfile>* profiles,
-                                 const SimilarityOptions& options) {
+                                 const SimilarityOptions& options,
+                                 const PagerBinding* binding) {
   int rows_per_band;
   VER_RETURN_IF_ERROR(r->ReadI32(&rows_per_band));
   uint64_t num_eligible;
@@ -371,22 +403,28 @@ Status SimilarityIndex::LoadFrom(SerdeReader* r,
     return true;
   };
   FlatBuckets values;
-  VER_RETURN_IF_ERROR(values.LoadFrom(r));
+  VER_RETURN_IF_ERROR(values.LoadFrom(r, binding));
   uint64_t num_bands;
   VER_RETURN_IF_ERROR(r->ReadU64(&num_bands));
   // An empty serialized FlatBuckets is 24 bytes (three vector lengths);
   // guard the band count before sizing the vector.
   VER_RETURN_IF_ERROR(r->CheckCount(num_bands, 24, "band count"));
   std::vector<FlatBuckets> bands(static_cast<size_t>(num_bands));
-  for (auto& band : bands) VER_RETURN_IF_ERROR(band.LoadFrom(r));
-  if (!postings_in_range(values)) {
-    return Status::IOError(
-        "corrupt similarity index: posting out of profile range");
-  }
-  for (const auto& band : bands) {
-    if (!postings_in_range(band)) {
+  for (auto& band : bands) VER_RETURN_IF_ERROR(band.LoadFrom(r, binding));
+  // Paged loads skip the O(postings) scan — it would fault in every
+  // posting page, defeating the lazy cold start. Candidates() range-guards
+  // each posting it reads instead.
+  const bool deep_validate = binding == nullptr || binding->pool == nullptr;
+  if (deep_validate) {
+    if (!postings_in_range(values)) {
       return Status::IOError(
-          "corrupt similarity index: band posting out of profile range");
+          "corrupt similarity index: posting out of profile range");
+    }
+    for (const auto& band : bands) {
+      if (!postings_in_range(band)) {
+        return Status::IOError(
+            "corrupt similarity index: band posting out of profile range");
+      }
     }
   }
 

@@ -9,9 +9,11 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "discovery/profile.h"
+#include "pager/paged_view.h"
 #include "util/thread_pool.h"
 
 namespace ver {
@@ -74,26 +76,51 @@ class SimilarityIndex {
   /// `options` play the role Build()'s arguments do (options are
   /// persisted once, in the engine's options section, not here). SaveTo
   /// fails rather than silently wrapping the u32 posting offsets.
+  ///
+  /// With a pager `binding` the flat stores are adopted as borrowed mmap
+  /// extents and the O(postings) validation scans are skipped; queries
+  /// bounds-guard each bucket slice and posting index instead.
   Status SaveTo(SerdeWriter* w) const;
   Status LoadFrom(SerdeReader* r, const std::vector<ColumnProfile>* profiles,
-                  const SimilarityOptions& options);
+                  const SimilarityOptions& options,
+                  const PagerBinding* binding = nullptr);
+
+  /// Adds the flat stores' paged extents to `pin` (no-op when resident).
+  void PinInto(PagePin* pin) const {
+    flat_value_postings_.PinInto(pin);
+    for (const FlatBuckets& b : flat_band_buckets_) b.PinInto(pin);
+  }
 
  private:
   /// Immutable bucket store: sorted keys with concatenated posting lists,
-  /// bulk-loaded from snapshots. Queries binary-search it; incremental
+  /// bulk-loaded from snapshots (or borrowed straight out of the mmapped
+  /// file under a paged load). Queries binary-search it; incremental
   /// growth goes to the mutable hash maps instead.
   struct FlatBuckets {
-    std::vector<uint64_t> keys;      // sorted ascending
-    std::vector<uint32_t> offsets;   // keys.size() + 1 entries
-    std::vector<int> postings;       // concatenated, in key order
+    PagedView<uint64_t> keys;      // sorted ascending
+    PagedView<uint32_t> offsets;   // keys.size() + 1 entries
+    PagedView<int> postings;       // concatenated, in key order
 
-    size_t num_keys() const { return keys.size(); }
+    size_t num_keys() const { return static_cast<size_t>(keys.size()); }
     /// Index of `key`, or -1.
     ptrdiff_t find(uint64_t key) const;
     size_t posting_count(uint64_t key) const;
+    /// Bounds-guarded posting slice [begin, end) for key index `i`; empty
+    /// on a corrupt offset pair (paged loads skip offset validation).
+    std::pair<uint32_t, uint32_t> bucket_range(size_t i) const {
+      uint32_t b = offsets[i], e = offsets[i + 1];
+      if (b > e || e > postings.size()) return {0, 0};
+      return {b, e};
+    }
     void SaveTo(SerdeWriter* w) const;
-    /// Restores and validates the offset array (monotonic, in bounds).
-    Status LoadFrom(SerdeReader* r);
+    /// Restores the store; resident loads validate the offset array
+    /// (monotonic, in bounds), paged loads defer to bucket_range().
+    Status LoadFrom(SerdeReader* r, const PagerBinding* binding);
+    void PinInto(PagePin* pin) const {
+      keys.PinInto(pin);
+      offsets.PinInto(pin);
+      postings.PinInto(pin);
+    }
   };
 
   const std::vector<ColumnProfile>* profiles_ = nullptr;

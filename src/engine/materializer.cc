@@ -35,6 +35,21 @@ Result<Table> Materializer::Materialize(
     return Status::InvalidArgument("projection must not be empty");
   }
 
+  // Anti-thrash residency accounting for paged repositories: pin the
+  // touched tables' mapped extents for the duration of this
+  // materialization so concurrent queries' faults do not evict pages a
+  // join is mid-scan over. Correctness never depends on the pin (an
+  // evicted frame transparently refaults); released on every return path.
+  PagePin pin;
+  if (repo_->pager() != nullptr) {
+    pin = PagePin(repo_->pager()->pool().get());
+    for (int32_t t : graph.tables) repo_->table(t).PinInto(&pin);
+    for (const JoinEdge& e : graph.edges) {
+      repo_->table(e.left.table_id).PinInto(&pin);
+      repo_->table(e.right.table_id).PinInto(&pin);
+    }
+  }
+
   // Single-table graph: plain projection.
   if (graph.edges.empty()) {
     if (graph.tables.size() != 1) {

@@ -1,0 +1,195 @@
+// BufferPool: bounded-residency accounting and eviction over mmapped
+// snapshot extents.
+//
+// The pool does not own or copy any bytes. A "space" is a contiguous
+// read-only mapping (one mmapped snapshot file) registered by its base
+// pointer; frames are fixed-size, page-aligned extents of a space. Pinning
+// a byte range faults its frames in (so first access never stalls inside a
+// kernel page fault mid-scan), bumps their refcounts and charges them to
+// the pool's resident budget; when residency exceeds the budget the pool
+// discards cold unpinned frames back to the OS (madvise(MADV_DONTNEED) on
+// the private file-backed mapping — a later touch transparently refaults
+// from the file).
+//
+// Correctness never depends on a pin: an evicted page refaults with
+// identical bytes, so a missed pin is an accounting gap, not a read of
+// recycled memory. Pins exist to (a) keep the working set of an in-flight
+// query charged and unevictable, and (b) make the budget honest. A pinned
+// set larger than the budget is allowed (queries must not deadlock on an
+// undersized budget); the overflow is counted in `pinned_overcommit`.
+//
+// Thread safety: every method is safe to call concurrently. Frame loads
+// are single-flight — concurrent first-pins of one frame elect one loader,
+// the rest wait on a condvar (counted in `load_waits`).
+
+#ifndef VER_PAGER_BUFFER_POOL_H_
+#define VER_PAGER_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace ver {
+
+struct BufferPoolOptions {
+  /// Target ceiling for resident (faulted-in, charged) bytes. Eviction of
+  /// unpinned frames keeps residency at or under this; pinned frames may
+  /// overcommit it.
+  uint64_t memory_budget_bytes = 256ull << 20;
+  /// Frame size; must be a multiple of the OS page size. 64 KiB keeps the
+  /// frame table ~16k entries per GiB while staying fine-grained enough
+  /// that a point lookup charges kilobytes, not megabytes.
+  uint64_t frame_bytes = 64 * 1024;
+};
+
+/// Monotonic counters plus current residency. `resident_bytes` counts
+/// charged frame bytes; `peak_resident_bytes` its high-water mark;
+/// `pinned_overcommit` the number of times eviction could not reach the
+/// budget because every remaining frame was pinned.
+struct BufferPoolStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t load_waits = 0;
+  int64_t pinned_overcommit = 0;
+  int64_t resident_bytes = 0;
+  int64_t peak_resident_bytes = 0;
+  int64_t spaces = 0;
+};
+
+class BufferPool {
+ public:
+  explicit BufferPool(const BufferPoolOptions& options);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Registers a read-only mapping starting at `base` (must be
+  /// page-aligned: an mmap base) covering `bytes`. `evictable` is true for
+  /// private file-backed maps, where discarding a page is safe because a
+  /// refault re-reads the file; pass false for memory the pool must never
+  /// madvise away (then the budget is accounting-only for this space).
+  /// Returns the space id used by Pin/Unpin.
+  uint32_t RegisterSpace(const void* base, uint64_t bytes,
+                         bool evictable = true);
+
+  /// Drops every frame of `space` and forgets it. Unpinned frames are
+  /// discarded immediately; pinned frames (a query still draining against
+  /// a retired snapshot) linger until their last Unpin, charged as usual,
+  /// and are discarded then. New Pins against a retired space are invalid.
+  void RetireSpace(uint32_t space);
+
+  /// Makes the frames covering bytes [offset, offset+len) of `space`
+  /// resident and pins them. Zero-length pins are no-ops.
+  void Pin(uint32_t space, uint64_t offset, uint64_t len);
+
+  /// Releases one Pin of the same range. Ranges must match a prior Pin.
+  void Unpin(uint32_t space, uint64_t offset, uint64_t len);
+
+  BufferPoolStats stats() const;
+  uint64_t frame_bytes() const { return options_.frame_bytes; }
+  uint64_t memory_budget_bytes() const {
+    return options_.memory_budget_bytes;
+  }
+
+ private:
+  struct Space {
+    const char* base = nullptr;
+    uint64_t bytes = 0;
+    bool evictable = true;
+    bool retired = false;
+    // Live frame entries for this space; RetireSpace must not leave
+    // stragglers behind in frames_.
+    int64_t frame_count = 0;
+  };
+  struct Frame {
+    int32_t pins = 0;
+    bool resident = false;
+    bool loading = false;
+    // Position in lru_ when resident and unpinned.
+    std::list<uint64_t>::iterator lru_it;
+    bool in_lru = false;
+  };
+
+  static uint64_t FrameKey(uint32_t space, uint64_t frame_index) {
+    return (uint64_t{space} << 32) | frame_index;
+  }
+
+  uint64_t FrameLen(const Space& s, uint64_t frame_index) const
+      VER_REQUIRES(mu_);
+  void DiscardFrame(const Space& s, uint64_t frame_index) VER_REQUIRES(mu_);
+  void DropFrameEntry(uint64_t key, Frame* f) VER_REQUIRES(mu_);
+  void EvictToBudget() VER_REQUIRES(mu_);
+
+  const BufferPoolOptions options_;
+
+  mutable Mutex mu_;
+  CondVar load_cv_;
+  uint32_t next_space_ VER_GUARDED_BY(mu_) = 1;
+  std::unordered_map<uint32_t, Space> spaces_ VER_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, Frame> frames_ VER_GUARDED_BY(mu_);
+  /// Resident unpinned frames, coldest first.
+  std::list<uint64_t> lru_ VER_GUARDED_BY(mu_);
+  BufferPoolStats stats_ VER_GUARDED_BY(mu_);
+};
+
+/// RAII bundle of pinned ranges: accumulate with PinRange(), everything
+/// unpins on destruction (or Release()). Movable so query code can hand a
+/// working set down the pipeline; a default-constructed or moved-from pin
+/// is inert, and PinRange on a pool-less pin is a no-op — resident-mode
+/// code paths pass pins around without ever checking a flag.
+class PagePin {
+ public:
+  PagePin() = default;
+  explicit PagePin(BufferPool* pool) : pool_(pool) {}
+  PagePin(PagePin&& o) noexcept
+      : pool_(o.pool_), ranges_(std::move(o.ranges_)) {
+    o.pool_ = nullptr;
+    o.ranges_.clear();
+  }
+  PagePin& operator=(PagePin&& o) noexcept {
+    if (this != &o) {
+      Release();
+      pool_ = o.pool_;
+      ranges_ = std::move(o.ranges_);
+      o.pool_ = nullptr;
+      o.ranges_.clear();
+    }
+    return *this;
+  }
+  PagePin(const PagePin&) = delete;
+  PagePin& operator=(const PagePin&) = delete;
+  ~PagePin() { Release(); }
+
+  void PinRange(uint32_t space, uint64_t offset, uint64_t len) {
+    if (pool_ == nullptr || len == 0) return;
+    pool_->Pin(space, offset, len);
+    ranges_.push_back(Range{space, offset, len});
+  }
+
+  void Release() {
+    if (pool_ != nullptr) {
+      for (const Range& r : ranges_) pool_->Unpin(r.space, r.offset, r.len);
+    }
+    ranges_.clear();
+  }
+
+  BufferPool* pool() const { return pool_; }
+
+ private:
+  struct Range {
+    uint32_t space;
+    uint64_t offset;
+    uint64_t len;
+  };
+  BufferPool* pool_ = nullptr;
+  std::vector<Range> ranges_;
+};
+
+}  // namespace ver
+
+#endif  // VER_PAGER_BUFFER_POOL_H_

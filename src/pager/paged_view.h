@@ -1,0 +1,259 @@
+// PagedView<T> / PagedBytes: dual-mode array storage for snapshot-backed
+// structures.
+//
+// Resident mode (the default) owns a std::vector<T> (or std::string) and
+// behaves exactly like one — this is the build path and the legacy load
+// path. Paged mode borrows a typed extent of an mmapped snapshot instead:
+// the view holds a pointer into the map plus the (space, offset) needed to
+// pin its frames in the BufferPool. Readers use the same data()/size()/
+// operator[] surface in both modes, so query code is mode-blind; only
+// mutation (mut()) insists on resident mode.
+//
+// A paged view is a borrow: it is valid only while the SnapshotMap that
+// backs it lives (the engine's PagerRuntime guarantees that). Pinning is
+// an accounting contract, not a lifetime one — an unpinned read of a paged
+// view still returns correct bytes (the page refaults from the file); it
+// just escapes the pool's residency budget.
+
+#ifndef VER_PAGER_PAGED_VIEW_H_
+#define VER_PAGER_PAGED_VIEW_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "pager/buffer_pool.h"
+#include "util/check.h"
+
+namespace ver {
+
+/// How a loader reaches the pool while deserializing: the pool, the space
+/// id of the snapshot being loaded, and the mapping base from which extent
+/// offsets are computed. A null binding (or null pool) means "load
+/// resident".
+struct PagerBinding {
+  BufferPool* pool = nullptr;
+  uint32_t space = 0;
+  const char* space_base = nullptr;
+};
+
+template <typename T>
+class PagedView {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "PagedView elements are reinterpreted from mapped bytes");
+
+ public:
+  PagedView() = default;
+
+  // Copying materializes a resident owned copy — paged borrows are tied to
+  // one snapshot map and must not silently multiply across objects.
+  PagedView(const PagedView& o) { *this = o; }
+  PagedView& operator=(const PagedView& o) {
+    if (this != &o) {
+      vec_.assign(o.data(), o.data() + o.size());
+      DropBinding();
+    }
+    return *this;
+  }
+  PagedView(PagedView&& o) noexcept { *this = std::move(o); }
+  PagedView& operator=(PagedView&& o) noexcept {
+    if (this != &o) {
+      vec_ = std::move(o.vec_);
+      mapped_ = o.mapped_;
+      count_ = o.count_;
+      space_ = o.space_;
+      offset_ = o.offset_;
+      o.Reset();
+    }
+    return *this;
+  }
+  PagedView& operator=(std::vector<T>&& v) {
+    vec_ = std::move(v);
+    DropBinding();
+    return *this;
+  }
+
+  bool paged() const { return mapped_ != nullptr; }
+
+  const T* data() const { return paged() ? mapped_ : vec_.data(); }
+  uint64_t size() const { return paged() ? count_ : vec_.size(); }
+  bool empty() const { return size() == 0; }
+  const T& operator[](uint64_t i) const { return data()[i]; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+  const T& front() const {
+    VER_DCHECK(!empty());
+    return data()[0];
+  }
+  const T& back() const {
+    VER_DCHECK(!empty());
+    return data()[size() - 1];
+  }
+
+  /// Mutable access to the owned vector; only valid in resident mode —
+  /// builders never see paged storage.
+  std::vector<T>& mut() {
+    VER_DCHECK(!paged()) << "mutating a paged view";
+    return vec_;
+  }
+
+  /// Heap bytes owned by this view (0 when paged — the bytes belong to the
+  /// snapshot map and are accounted by the BufferPool, not the heap).
+  uint64_t capacity_bytes() const {
+    return paged() ? 0 : vec_.capacity() * sizeof(T);
+  }
+
+  /// Takes `count` elements starting at mapped byte `raw`. Binds a paged
+  /// borrow when `b` carries a pool and `raw` is aligned for T; otherwise
+  /// copies the bytes into an owned resident vector (legacy snapshots,
+  /// non-paged loads, or pathological misalignment).
+  void Adopt(const PagerBinding* b, const char* raw, uint64_t count) {
+    if (b != nullptr && b->pool != nullptr &&
+        reinterpret_cast<uintptr_t>(raw) % alignof(T) == 0) {
+      vec_.clear();
+      vec_.shrink_to_fit();
+      mapped_ = reinterpret_cast<const T*>(raw);
+      count_ = count;
+      space_ = b->space;
+      offset_ = static_cast<uint64_t>(raw - b->space_base);
+      return;
+    }
+    vec_.resize(count);
+    if (count > 0) std::memcpy(vec_.data(), raw, count * sizeof(T));
+    DropBinding();
+  }
+
+  /// Adds this view's extent to `pin`. No-op for resident views and for
+  /// pool-less pins, so call sites need no mode checks.
+  void PinInto(PagePin* pin) const {
+    if (paged()) pin->PinRange(space_, offset_, count_ * sizeof(T));
+  }
+
+  /// Converts a paged borrow into an owned resident copy (no-op when
+  /// already resident). The escape hatch for mutating a loaded-paged
+  /// structure: copy first, then mut().
+  void MaterializeOwned() {
+    if (!paged()) return;
+    vec_.assign(mapped_, mapped_ + count_);
+    DropBinding();
+  }
+
+ private:
+  void DropBinding() {
+    mapped_ = nullptr;
+    count_ = 0;
+    space_ = 0;
+    offset_ = 0;
+  }
+  void Reset() {
+    vec_.clear();
+    vec_.shrink_to_fit();
+    DropBinding();
+  }
+
+  std::vector<T> vec_;
+  const T* mapped_ = nullptr;
+  uint64_t count_ = 0;
+  uint32_t space_ = 0;
+  uint64_t offset_ = 0;
+};
+
+/// PagedView's byte-blob sibling: a std::string when resident (dictionary
+/// arenas, interned key blobs), a borrowed mapped extent when paged.
+class PagedBytes {
+ public:
+  PagedBytes() = default;
+
+  PagedBytes(const PagedBytes& o) { *this = o; }
+  PagedBytes& operator=(const PagedBytes& o) {
+    if (this != &o) {
+      str_.assign(o.data(), o.size());
+      DropBinding();
+    }
+    return *this;
+  }
+  PagedBytes(PagedBytes&& o) noexcept { *this = std::move(o); }
+  PagedBytes& operator=(PagedBytes&& o) noexcept {
+    if (this != &o) {
+      str_ = std::move(o.str_);
+      mapped_ = o.mapped_;
+      count_ = o.count_;
+      space_ = o.space_;
+      offset_ = o.offset_;
+      o.Reset();
+    }
+    return *this;
+  }
+  PagedBytes& operator=(std::string&& s) {
+    str_ = std::move(s);
+    DropBinding();
+    return *this;
+  }
+
+  bool paged() const { return mapped_ != nullptr; }
+  const char* data() const { return paged() ? mapped_ : str_.data(); }
+  uint64_t size() const { return paged() ? count_ : str_.size(); }
+  bool empty() const { return size() == 0; }
+  char operator[](uint64_t i) const { return data()[i]; }
+  std::string_view view() const {
+    return std::string_view(data(), static_cast<size_t>(size()));
+  }
+
+  std::string& mut() {
+    VER_DCHECK(!paged()) << "mutating paged bytes";
+    return str_;
+  }
+
+  uint64_t capacity_bytes() const { return paged() ? 0 : str_.capacity(); }
+
+  void Adopt(const PagerBinding* b, const char* raw, uint64_t count) {
+    if (b != nullptr && b->pool != nullptr) {
+      str_.clear();
+      str_.shrink_to_fit();
+      mapped_ = raw;
+      count_ = count;
+      space_ = b->space;
+      offset_ = static_cast<uint64_t>(raw - b->space_base);
+      return;
+    }
+    str_.assign(raw, static_cast<size_t>(count));
+    DropBinding();
+  }
+
+  void PinInto(PagePin* pin) const {
+    if (paged()) pin->PinRange(space_, offset_, count_);
+  }
+
+  void MaterializeOwned() {
+    if (!paged()) return;
+    str_.assign(mapped_, static_cast<size_t>(count_));
+    DropBinding();
+  }
+
+ private:
+  void DropBinding() {
+    mapped_ = nullptr;
+    count_ = 0;
+    space_ = 0;
+    offset_ = 0;
+  }
+  void Reset() {
+    str_.clear();
+    str_.shrink_to_fit();
+    DropBinding();
+  }
+
+  std::string str_;
+  const char* mapped_ = nullptr;
+  uint64_t count_ = 0;
+  uint32_t space_ = 0;
+  uint64_t offset_ = 0;
+};
+
+}  // namespace ver
+
+#endif  // VER_PAGER_PAGED_VIEW_H_

@@ -1,0 +1,45 @@
+#include "pager/pager.h"
+
+#include <utility>
+
+#include "util/serde.h"
+
+namespace ver {
+
+Result<std::shared_ptr<PagerRuntime>> PagerRuntime::Open(
+    const std::string& path, const PagingOptions& options) {
+  if (!kSerdeHostLittleEndian) {
+    return Status::NotImplemented(
+        "paged serving needs a little-endian host (snapshot wire layout is "
+        "little-endian); load resident instead");
+  }
+  auto mapped = SnapshotMap::Open(path);
+  if (!mapped.ok()) return mapped.status();
+  std::unique_ptr<SnapshotMap> map = std::move(mapped).value();
+  if (map->format_version() < 3) {
+    return Status::NotImplemented(
+        "snapshot " + path + " is format v" +
+        std::to_string(map->format_version()) +
+        "; only v3+ aligned snapshots can be paged — load resident or "
+        "re-save to upgrade");
+  }
+  std::shared_ptr<BufferPool> pool = options.pool;
+  if (pool == nullptr) {
+    BufferPoolOptions po;
+    po.memory_budget_bytes = options.memory_budget_bytes;
+    po.frame_bytes = options.frame_bytes;
+    pool = std::make_shared<BufferPool>(po);
+  }
+  uint32_t space = pool->RegisterSpace(map->data(), map->size(),
+                                       /*evictable=*/true);
+  return std::shared_ptr<PagerRuntime>(
+      new PagerRuntime(std::move(pool), std::move(map), space));
+}
+
+PagerRuntime::~PagerRuntime() {
+  // Every borrower is gone (they hold shared_ptrs to this runtime), so no
+  // pins against the space remain and retirement drops all its frames.
+  pool_->RetireSpace(space_);
+}
+
+}  // namespace ver

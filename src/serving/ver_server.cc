@@ -555,10 +555,23 @@ ServerStats VerServer::stats() const {
   s.queue_wait = queue_wait_recorder_.Snapshot();
   s.pipeline = pipeline_recorder_.Snapshot();
   s.total = total_recorder_.Snapshot();
+  std::shared_ptr<const Ver> snap;
   {
     MutexLock lock(&mu_);
     s.current_queue_depth = static_cast<int64_t>(queue_.size());
     s.peak_queue_depth = peak_queue_depth_;
+    snap = ver_;
+  }
+  if (snap != nullptr && snap->engine().pager() != nullptr) {
+    const PagerRuntime& pager = *snap->engine().pager();
+    BufferPoolStats ps = pager.pool_stats();
+    s.paged = true;
+    s.pool_budget_bytes = pager.pool()->memory_budget_bytes();
+    s.pool_resident_bytes = ps.resident_bytes;
+    s.pool_peak_resident_bytes = ps.peak_resident_bytes;
+    s.pool_hits = ps.hits;
+    s.pool_misses = ps.misses;
+    s.pool_evictions = ps.evictions;
   }
   return s;
 }

@@ -165,6 +165,16 @@ struct ServerStats {
   // --- queue gauges ---
   int64_t current_queue_depth = 0;  // admitted, not yet dequeued, right now
   int64_t peak_queue_depth = 0;     // high-water mark since construction
+  // --- buffer pool (paged serving; all-zero when the served snapshot is
+  //     resident). Snapshot of the pool the *current* snapshot charges;
+  //     shared across a hot swap when the loader shared the pool. ---
+  bool paged = false;                    // current snapshot borrows an mmap
+  uint64_t pool_budget_bytes = 0;        // configured residency ceiling
+  int64_t pool_resident_bytes = 0;       // charged bytes right now
+  int64_t pool_peak_resident_bytes = 0;  // high-water mark
+  int64_t pool_hits = 0;                 // frame touches already resident
+  int64_t pool_misses = 0;               // frame loads (faulted extents)
+  int64_t pool_evictions = 0;            // frames madvised away
   // --- per-stage latency (util/latency_recorder.h log-bucketed
   //     histograms; quantiles carry <= ~3% bucket quantization) ---
   LatencyStats queue_wait;  // dequeue time - submit time, every dequeue

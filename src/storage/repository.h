@@ -8,10 +8,12 @@
 #define VER_STORAGE_REPOSITORY_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "pager/pager.h"
 #include "table/table.h"
 #include "util/result.h"
 
@@ -88,9 +90,27 @@ class TableRepository {
   /// Writes every table as <dir>/<name>.csv.
   Status SaveDirectory(const std::string& dir_path) const;
 
+  /// The pager runtime whose snapshot map this repository's tables borrow
+  /// from, when loaded paged (null for resident repositories). Held by
+  /// shared_ptr so the map outlives every borrower: queries and hot-swap
+  /// drains extend its life by sharing the engine's reference.
+  const std::shared_ptr<PagerRuntime>& pager() const { return pager_; }
+  void set_pager(std::shared_ptr<PagerRuntime> pager) {
+    pager_ = std::move(pager);
+  }
+
+  /// True when any table borrows mapped snapshot storage.
+  bool paged() const {
+    for (const Table& t : tables_) {
+      if (t.paged()) return true;
+    }
+    return false;
+  }
+
  private:
   std::vector<Table> tables_;
   std::unordered_map<std::string, int32_t> name_to_id_;
+  std::shared_ptr<PagerRuntime> pager_;
 };
 
 }  // namespace ver

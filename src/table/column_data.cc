@@ -24,6 +24,18 @@ inline double BitsToDouble(uint64_t bits) {
   return v;
 }
 
+// One bulk array off the snapshot payload: zero-copy extent read, then
+// either a paged adoption (binding with a pool) or an owned copy.
+template <typename T>
+Status LoadArray(SerdeReader* r, const PagerBinding* binding,
+                 const char* what, PagedView<T>* out) {
+  const char* raw = nullptr;
+  uint64_t n = 0;
+  VER_RETURN_IF_ERROR(r->ReadArrayExtent(sizeof(T), what, &raw, &n));
+  out->Adopt(binding, raw, n);
+  return Status::OK();
+}
+
 }  // namespace
 
 const char* ColumnEncodingToString(ColumnEncoding e) {
@@ -155,52 +167,69 @@ int CellView::Compare(const CellView& other) const {
 
 // -------------------------------- ColumnData -------------------------------
 
+void ColumnData::EnsureOwned() {
+  if (!paged()) return;
+  valid_words_.MaterializeOwned();
+  ints_.MaterializeOwned();
+  doubles_.MaterializeOwned();
+  num_bits_.MaterializeOwned();
+  int_tag_words_.MaterializeOwned();
+  codes_.MaterializeOwned();
+  entry_types_.MaterializeOwned();
+  entry_payload_.MaterializeOwned();
+  entry_lens_.MaterializeOwned();
+  entry_hashes_.MaterializeOwned();
+  arena_.MaterializeOwned();
+}
+
 void ColumnData::AppendValidityBit(bool non_null) {
   size_t word = static_cast<size_t>(num_rows_) >> 6;
-  if (valid_words_.size() <= word) valid_words_.push_back(0);
-  if (non_null) valid_words_[word] |= uint64_t{1} << (num_rows_ & 63);
+  if (valid_words_.size() <= word) valid_words_.mut().push_back(0);
+  if (non_null) valid_words_.mut()[word] |= uint64_t{1} << (num_rows_ & 63);
 }
 
 void ColumnData::Reserve(int64_t rows) {
   VER_DCHECK(rows >= 0) << "negative reservation " << rows;
+  EnsureOwned();
   if (rows > reserved_rows_) reserved_rows_ = rows;
-  valid_words_.reserve(static_cast<size_t>(rows + 63) / 64);
+  valid_words_.mut().reserve(static_cast<size_t>(rows + 63) / 64);
   switch (enc_) {
     case ColumnEncoding::kInt64:
-      ints_.reserve(static_cast<size_t>(rows));
+      ints_.mut().reserve(static_cast<size_t>(rows));
       break;
     case ColumnEncoding::kDouble:
-      doubles_.reserve(static_cast<size_t>(rows));
+      doubles_.mut().reserve(static_cast<size_t>(rows));
       break;
     case ColumnEncoding::kNumeric:
-      num_bits_.reserve(static_cast<size_t>(rows));
-      int_tag_words_.reserve(static_cast<size_t>(rows + 63) / 64);
+      num_bits_.mut().reserve(static_cast<size_t>(rows));
+      int_tag_words_.mut().reserve(static_cast<size_t>(rows + 63) / 64);
       break;
     case ColumnEncoding::kDict:
-      codes_.reserve(static_cast<size_t>(rows));
+      codes_.mut().reserve(static_cast<size_t>(rows));
       break;
   }
 }
 
 void ColumnData::Append(const CellView& v) {
+  EnsureOwned();
   switch (v.type()) {
     case ValueType::kNull:
       // Placeholder payload keeps per-row arrays aligned with the bitmap.
       switch (enc_) {
         case ColumnEncoding::kInt64:
-          ints_.push_back(0);
+          ints_.mut().push_back(0);
           break;
         case ColumnEncoding::kDouble:
-          doubles_.push_back(0);
+          doubles_.mut().push_back(0);
           break;
         case ColumnEncoding::kNumeric: {
           size_t word = static_cast<size_t>(num_rows_) >> 6;
-          if (int_tag_words_.size() <= word) int_tag_words_.push_back(0);
-          num_bits_.push_back(0);
+          if (int_tag_words_.size() <= word) int_tag_words_.mut().push_back(0);
+          num_bits_.mut().push_back(0);
           break;
         }
         case ColumnEncoding::kDict:
-          codes_.push_back(0);
+          codes_.mut().push_back(0);
           break;
       }
       AppendValidityBit(false);
@@ -211,17 +240,17 @@ void ColumnData::Append(const CellView& v) {
       if (enc_ == ColumnEncoding::kDouble) PromoteToNumeric();
       switch (enc_) {
         case ColumnEncoding::kInt64:
-          ints_.push_back(v.AsInt());
+          ints_.mut().push_back(v.AsInt());
           break;
         case ColumnEncoding::kNumeric: {
           size_t word = static_cast<size_t>(num_rows_) >> 6;
-          if (int_tag_words_.size() <= word) int_tag_words_.push_back(0);
-          int_tag_words_[word] |= uint64_t{1} << (num_rows_ & 63);
-          num_bits_.push_back(static_cast<uint64_t>(v.AsInt()));
+          if (int_tag_words_.size() <= word) int_tag_words_.mut().push_back(0);
+          int_tag_words_.mut()[word] |= uint64_t{1} << (num_rows_ & 63);
+          num_bits_.mut().push_back(static_cast<uint64_t>(v.AsInt()));
           break;
         }
         case ColumnEncoding::kDict:
-          codes_.push_back(Intern(v));
+          codes_.mut().push_back(Intern(v));
           break;
         case ColumnEncoding::kDouble:
           break;  // unreachable: promoted above
@@ -240,16 +269,16 @@ void ColumnData::Append(const CellView& v) {
       }
       switch (enc_) {
         case ColumnEncoding::kDouble:
-          doubles_.push_back(v.AsDouble());
+          doubles_.mut().push_back(v.AsDouble());
           break;
         case ColumnEncoding::kNumeric: {
           size_t word = static_cast<size_t>(num_rows_) >> 6;
-          if (int_tag_words_.size() <= word) int_tag_words_.push_back(0);
-          num_bits_.push_back(DoubleBits(v.AsDouble()));
+          if (int_tag_words_.size() <= word) int_tag_words_.mut().push_back(0);
+          num_bits_.mut().push_back(DoubleBits(v.AsDouble()));
           break;
         }
         case ColumnEncoding::kDict:
-          codes_.push_back(Intern(v));
+          codes_.mut().push_back(Intern(v));
           break;
         case ColumnEncoding::kInt64:
           break;  // unreachable: converted above
@@ -258,7 +287,7 @@ void ColumnData::Append(const CellView& v) {
       break;
     case ValueType::kString:
       if (enc_ != ColumnEncoding::kDict) PromoteToDict();
-      codes_.push_back(Intern(v));
+      codes_.mut().push_back(Intern(v));
       ++num_strings_;
       break;
   }
@@ -267,25 +296,26 @@ void ColumnData::Append(const CellView& v) {
 }
 
 void ColumnData::BecomeDouble() {
-  doubles_.reserve(
+  doubles_.mut().reserve(
       static_cast<size_t>(std::max(reserved_rows_, num_rows_)));
-  doubles_.assign(ints_.size(), 0.0);
-  std::vector<int64_t>().swap(ints_);
+  doubles_.mut().assign(static_cast<size_t>(ints_.size()), 0.0);
+  ints_ = std::vector<int64_t>();
   enc_ = ColumnEncoding::kDouble;
 }
 
 void ColumnData::PromoteToNumeric() {
-  num_bits_.reserve(static_cast<size_t>(std::max(reserved_rows_, num_rows_)));
+  num_bits_.mut().reserve(
+      static_cast<size_t>(std::max(reserved_rows_, num_rows_)));
   if (enc_ == ColumnEncoding::kInt64) {
-    for (int64_t v : ints_) num_bits_.push_back(static_cast<uint64_t>(v));
+    for (int64_t v : ints_) num_bits_.mut().push_back(static_cast<uint64_t>(v));
     // Every non-null cell so far is an int: the validity bitmap doubles as
     // the initial int-tag bitmap.
     int_tag_words_ = valid_words_;
-    std::vector<int64_t>().swap(ints_);
+    ints_ = std::vector<int64_t>();
   } else {
-    for (double v : doubles_) num_bits_.push_back(DoubleBits(v));
-    int_tag_words_.assign(valid_words_.size(), 0);
-    std::vector<double>().swap(doubles_);
+    for (double v : doubles_) num_bits_.mut().push_back(DoubleBits(v));
+    int_tag_words_.mut().assign(static_cast<size_t>(valid_words_.size()), 0);
+    doubles_ = std::vector<double>();
   }
   enc_ = ColumnEncoding::kNumeric;
 }
@@ -298,10 +328,10 @@ void ColumnData::PromoteToDict() {
     if (!is_null(r)) codes[r] = Intern(cell(r));
   }
   codes_ = std::move(codes);
-  std::vector<int64_t>().swap(ints_);
-  std::vector<double>().swap(doubles_);
-  std::vector<uint64_t>().swap(num_bits_);
-  std::vector<uint64_t>().swap(int_tag_words_);
+  ints_ = std::vector<int64_t>();
+  doubles_ = std::vector<double>();
+  num_bits_ = std::vector<uint64_t>();
+  int_tag_words_ = std::vector<uint64_t>();
   enc_ = ColumnEncoding::kDict;
 }
 
@@ -340,27 +370,27 @@ uint32_t ColumnData::Intern(const CellView& v) {
   VER_CHECK(entry_types_.size() < UINT32_MAX)
       << "dictionary overflow: 2^32 distinct cells in one column";
   uint32_t code = static_cast<uint32_t>(entry_types_.size());
-  entry_types_.push_back(static_cast<uint8_t>(v.type()));
+  entry_types_.mut().push_back(static_cast<uint8_t>(v.type()));
   switch (v.type()) {
     case ValueType::kInt:
-      entry_payload_.push_back(static_cast<uint64_t>(v.AsInt()));
-      entry_lens_.push_back(0);
+      entry_payload_.mut().push_back(static_cast<uint64_t>(v.AsInt()));
+      entry_lens_.mut().push_back(0);
       break;
     case ValueType::kDouble:
-      entry_payload_.push_back(DoubleBits(v.AsDouble()));
-      entry_lens_.push_back(0);
+      entry_payload_.mut().push_back(DoubleBits(v.AsDouble()));
+      entry_lens_.mut().push_back(0);
       break;
     case ValueType::kString: {
       std::string_view s = v.AsStringView();
-      entry_payload_.push_back(arena_.size());
-      entry_lens_.push_back(static_cast<uint32_t>(s.size()));
-      arena_.append(s.data(), s.size());
+      entry_payload_.mut().push_back(arena_.size());
+      entry_lens_.mut().push_back(static_cast<uint32_t>(s.size()));
+      arena_.mut().append(s.data(), s.size());
       break;
     }
     case ValueType::kNull:
       break;  // unreachable: callers never intern nulls
   }
-  entry_hashes_.push_back(h);
+  entry_hashes_.mut().push_back(h);
   bucket.push_back(code);
   return code;
 }
@@ -536,7 +566,7 @@ std::vector<uint64_t> ColumnData::DistinctHashes() const {
   // which hash equal by design, exactly like seed per-cell hashing did).
   std::vector<uint64_t> hashes;
   if (is_dict()) {
-    hashes = entry_hashes_;
+    hashes.assign(entry_hashes_.begin(), entry_hashes_.end());
   } else if (num_nulls_ == 0) {
     hashes.resize(static_cast<size_t>(num_rows_));
     FillCellHashes(0, hashes.size(), hashes.data());
@@ -565,6 +595,7 @@ int64_t ColumnData::DistinctCount(bool count_null) const {
 
 void ColumnData::Seal() {
   if (sealed_) return;
+  EnsureOwned();
   if (enc_ == ColumnEncoding::kDict && !entry_types_.empty()) {
     uint32_t n = static_cast<uint32_t>(entry_types_.size());
     std::vector<uint32_t> order(n);
@@ -606,24 +637,25 @@ void ColumnData::Seal() {
     entry_lens_ = std::move(lens);
     entry_hashes_ = std::move(hashes);
     arena_ = std::move(arena);
+    std::vector<uint32_t>& code_vec = codes_.mut();
     for (int64_t r = 0; r < num_rows_; ++r) {
-      if (!is_null(r)) codes_[r] = rank[codes_[r]];
+      if (!is_null(r)) code_vec[r] = rank[code_vec[r]];
     }
   }
   std::unordered_map<uint64_t, std::vector<uint32_t>>().swap(lookup_);
   // Serving layout: drop ingest slack (growth-doubling capacity and
   // over-reserve) — sealed columns are read-only until the next append.
-  valid_words_.shrink_to_fit();
-  ints_.shrink_to_fit();
-  doubles_.shrink_to_fit();
-  num_bits_.shrink_to_fit();
-  int_tag_words_.shrink_to_fit();
-  codes_.shrink_to_fit();
-  entry_types_.shrink_to_fit();
-  entry_payload_.shrink_to_fit();
-  entry_lens_.shrink_to_fit();
-  entry_hashes_.shrink_to_fit();
-  arena_.shrink_to_fit();
+  valid_words_.mut().shrink_to_fit();
+  ints_.mut().shrink_to_fit();
+  doubles_.mut().shrink_to_fit();
+  num_bits_.mut().shrink_to_fit();
+  int_tag_words_.mut().shrink_to_fit();
+  codes_.mut().shrink_to_fit();
+  entry_types_.mut().shrink_to_fit();
+  entry_payload_.mut().shrink_to_fit();
+  entry_lens_.mut().shrink_to_fit();
+  entry_hashes_.mut().shrink_to_fit();
+  arena_.mut().shrink_to_fit();
   sealed_ = true;
 }
 
@@ -632,22 +664,38 @@ void ColumnData::DropInternMap() {
 }
 
 size_t ColumnData::ApproxBytes() const {
+  // Paged views report 0 here: their bytes live in the snapshot map and
+  // are accounted by the BufferPool's resident counter, not the heap.
   size_t bytes = sizeof(*this);
-  bytes += valid_words_.capacity() * sizeof(uint64_t);
-  bytes += ints_.capacity() * sizeof(int64_t);
-  bytes += doubles_.capacity() * sizeof(double);
-  bytes += num_bits_.capacity() * sizeof(uint64_t);
-  bytes += int_tag_words_.capacity() * sizeof(uint64_t);
-  bytes += codes_.capacity() * sizeof(uint32_t);
-  bytes += entry_types_.capacity() * sizeof(uint8_t);
-  bytes += entry_payload_.capacity() * sizeof(uint64_t);
-  bytes += entry_lens_.capacity() * sizeof(uint32_t);
-  bytes += entry_hashes_.capacity() * sizeof(uint64_t);
-  bytes += arena_.capacity();
+  bytes += valid_words_.capacity_bytes();
+  bytes += ints_.capacity_bytes();
+  bytes += doubles_.capacity_bytes();
+  bytes += num_bits_.capacity_bytes();
+  bytes += int_tag_words_.capacity_bytes();
+  bytes += codes_.capacity_bytes();
+  bytes += entry_types_.capacity_bytes();
+  bytes += entry_payload_.capacity_bytes();
+  bytes += entry_lens_.capacity_bytes();
+  bytes += entry_hashes_.capacity_bytes();
+  bytes += arena_.capacity_bytes();
   // Intern map estimate: node + bucket overhead per distinct hash plus the
   // small code vectors. Zero once the column is sealed.
   bytes += lookup_.size() * 64;
   return bytes;
+}
+
+void ColumnData::PinInto(PagePin* pin) const {
+  valid_words_.PinInto(pin);
+  ints_.PinInto(pin);
+  doubles_.PinInto(pin);
+  num_bits_.PinInto(pin);
+  int_tag_words_.PinInto(pin);
+  codes_.PinInto(pin);
+  entry_types_.PinInto(pin);
+  entry_payload_.PinInto(pin);
+  entry_lens_.PinInto(pin);
+  entry_hashes_.PinInto(pin);
+  arena_.PinInto(pin);
 }
 
 void ColumnData::SaveTo(SerdeWriter* w) const {
@@ -658,30 +706,34 @@ void ColumnData::SaveTo(SerdeWriter* w) const {
   w->WriteI64(num_ints_);
   w->WriteI64(num_doubles_);
   w->WriteI64(num_strings_);
-  w->WriteU64Vector(valid_words_);
+  w->WriteU64Array(valid_words_.data(), valid_words_.size());
   switch (enc_) {
     case ColumnEncoding::kInt64:
-      w->WriteI64Vector(ints_);
+      w->WriteI64Array(ints_.data(), ints_.size());
       break;
     case ColumnEncoding::kDouble:
-      w->WriteDoubleVector(doubles_);
+      w->WriteDoubleArray(doubles_.data(), doubles_.size());
       break;
     case ColumnEncoding::kNumeric:
-      w->WriteU64Vector(num_bits_);
-      w->WriteU64Vector(int_tag_words_);
+      w->WriteU64Array(num_bits_.data(), num_bits_.size());
+      w->WriteU64Array(int_tag_words_.data(), int_tag_words_.size());
       break;
     case ColumnEncoding::kDict:
-      w->WriteU32Vector(codes_);
-      w->WriteU8Vector(entry_types_);
-      w->WriteU64Vector(entry_payload_);
-      w->WriteU32Vector(entry_lens_);
-      w->WriteU64Vector(entry_hashes_);
-      w->WriteString(arena_);
+      w->WriteU32Array(codes_.data(), codes_.size());
+      w->WriteU8Array(entry_types_.data(), entry_types_.size());
+      w->WriteU64Array(entry_payload_.data(), entry_payload_.size());
+      w->WriteU32Array(entry_lens_.data(), entry_lens_.size());
+      w->WriteU64Array(entry_hashes_.data(), entry_hashes_.size());
+      w->WriteString(arena_.view());
       break;
   }
 }
 
-Status ColumnData::LoadFrom(SerdeReader* r) {
+Status ColumnData::LoadFrom(SerdeReader* r, const PagerBinding* binding) {
+  // Resident loads (no binding) run the full O(rows)/O(dict) content
+  // validation below; paged loads keep only the O(1) structural checks —
+  // see the header comment for the trust model.
+  const bool deep_validate = binding == nullptr || binding->pool == nullptr;
   uint8_t enc;
   VER_RETURN_IF_ERROR(r->ReadU8(&enc));
   if (enc > static_cast<uint8_t>(ColumnEncoding::kDict)) {
@@ -714,7 +766,8 @@ Status ColumnData::LoadFrom(SerdeReader* r) {
       static_cast<uint64_t>(num_rows_)) {
     return Status::IOError("corrupt column: inconsistent cell tallies");
   }
-  VER_RETURN_IF_ERROR(r->ReadU64Vector(&valid_words_));
+  VER_RETURN_IF_ERROR(
+      LoadArray(r, binding, "validity bitmap", &valid_words_));
   size_t want_words = static_cast<size_t>(num_rows_ + 63) / 64;
   if (valid_words_.size() != want_words) {
     return Status::IOError("corrupt column: validity bitmap has " +
@@ -732,66 +785,82 @@ Status ColumnData::LoadFrom(SerdeReader* r) {
   };
   switch (enc_) {
     case ColumnEncoding::kInt64:
-      VER_RETURN_IF_ERROR(r->ReadI64Vector(&ints_));
+      VER_RETURN_IF_ERROR(LoadArray(r, binding, "int payload", &ints_));
       VER_RETURN_IF_ERROR(check_rows(ints_.size(), "int payload"));
       break;
     case ColumnEncoding::kDouble:
-      VER_RETURN_IF_ERROR(r->ReadDoubleVector(&doubles_));
+      VER_RETURN_IF_ERROR(LoadArray(r, binding, "double payload", &doubles_));
       VER_RETURN_IF_ERROR(check_rows(doubles_.size(), "double payload"));
       break;
     case ColumnEncoding::kNumeric:
-      VER_RETURN_IF_ERROR(r->ReadU64Vector(&num_bits_));
+      VER_RETURN_IF_ERROR(
+          LoadArray(r, binding, "numeric payload", &num_bits_));
       VER_RETURN_IF_ERROR(check_rows(num_bits_.size(), "numeric payload"));
-      VER_RETURN_IF_ERROR(r->ReadU64Vector(&int_tag_words_));
+      VER_RETURN_IF_ERROR(
+          LoadArray(r, binding, "int-tag bitmap", &int_tag_words_));
       if (int_tag_words_.size() != want_words) {
         return Status::IOError("corrupt column: int-tag bitmap size mismatch");
       }
       break;
     case ColumnEncoding::kDict: {
-      VER_RETURN_IF_ERROR(r->ReadU32Vector(&codes_));
+      VER_RETURN_IF_ERROR(LoadArray(r, binding, "code array", &codes_));
       VER_RETURN_IF_ERROR(check_rows(codes_.size(), "code array"));
-      VER_RETURN_IF_ERROR(r->ReadU8Vector(&entry_types_));
-      VER_RETURN_IF_ERROR(r->ReadU64Vector(&entry_payload_));
-      VER_RETURN_IF_ERROR(r->ReadU32Vector(&entry_lens_));
-      VER_RETURN_IF_ERROR(r->ReadU64Vector(&entry_hashes_));
-      VER_RETURN_IF_ERROR(r->ReadString(&arena_));
+      VER_RETURN_IF_ERROR(
+          LoadArray(r, binding, "dictionary types", &entry_types_));
+      VER_RETURN_IF_ERROR(
+          LoadArray(r, binding, "dictionary payloads", &entry_payload_));
+      VER_RETURN_IF_ERROR(
+          LoadArray(r, binding, "dictionary lengths", &entry_lens_));
+      VER_RETURN_IF_ERROR(
+          LoadArray(r, binding, "dictionary hashes", &entry_hashes_));
+      {
+        const char* raw = nullptr;
+        uint64_t len = 0;
+        VER_RETURN_IF_ERROR(r->ReadStringExtent(&raw, &len));
+        arena_.Adopt(binding, raw, len);
+      }
       size_t n = entry_types_.size();
       if (entry_payload_.size() != n || entry_lens_.size() != n ||
           entry_hashes_.size() != n) {
         return Status::IOError("corrupt column: dictionary arrays disagree");
       }
-      for (size_t i = 0; i < n; ++i) {
-        ValueType t = static_cast<ValueType>(entry_types_[i]);
-        if (t != ValueType::kInt && t != ValueType::kDouble &&
-            t != ValueType::kString) {
-          return Status::IOError("corrupt column: dictionary entry " +
-                                 std::to_string(i) + " has invalid type");
+      if (deep_validate) {
+        for (size_t i = 0; i < n; ++i) {
+          ValueType t = static_cast<ValueType>(entry_types_[i]);
+          if (t != ValueType::kInt && t != ValueType::kDouble &&
+              t != ValueType::kString) {
+            return Status::IOError("corrupt column: dictionary entry " +
+                                   std::to_string(i) + " has invalid type");
+          }
+          if (t == ValueType::kString &&
+              (entry_lens_[i] > arena_.size() ||
+               entry_payload_[i] > arena_.size() - entry_lens_[i])) {
+            return Status::IOError("corrupt column: dictionary entry " +
+                                   std::to_string(i) + " exceeds arena");
+          }
         }
-        if (t == ValueType::kString &&
-            (entry_lens_[i] > arena_.size() ||
-             entry_payload_[i] > arena_.size() - entry_lens_[i])) {
-          return Status::IOError("corrupt column: dictionary entry " +
-                                 std::to_string(i) + " exceeds arena");
-        }
-      }
-      for (int64_t row = 0; row < num_rows_; ++row) {
-        if (!is_null(row) && codes_[row] >= n) {
-          return Status::IOError("corrupt column: row " + std::to_string(row) +
-                                 " code out of dictionary range");
+        for (int64_t row = 0; row < num_rows_; ++row) {
+          if (!is_null(row) && codes_[row] >= n) {
+            return Status::IOError("corrupt column: row " +
+                                   std::to_string(row) +
+                                   " code out of dictionary range");
+          }
         }
       }
       break;
     }
   }
-  // The bitmap is the source of truth for nulls; the stored tally must
-  // agree with it.
-  int64_t set_bits = 0;
-  for (uint64_t wv : valid_words_) set_bits += __builtin_popcountll(wv);
-  if (set_bits != num_rows_ - num_nulls_) {
-    return Status::IOError("corrupt column: validity bitmap popcount " +
-                           std::to_string(set_bits) + " disagrees with " +
-                           std::to_string(num_rows_ - num_nulls_) +
-                           " non-null cells");
+  if (deep_validate) {
+    // The bitmap is the source of truth for nulls; the stored tally must
+    // agree with it.
+    int64_t set_bits = 0;
+    for (uint64_t wv : valid_words_) set_bits += __builtin_popcountll(wv);
+    if (set_bits != num_rows_ - num_nulls_) {
+      return Status::IOError("corrupt column: validity bitmap popcount " +
+                             std::to_string(set_bits) + " disagrees with " +
+                             std::to_string(num_rows_ - num_nulls_) +
+                             " non-null cells");
+    }
   }
   return Status::OK();
 }

@@ -34,6 +34,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "pager/paged_view.h"
 #include "table/value.h"
 #include "util/check.h"
 #include "util/serde.h"
@@ -284,9 +285,29 @@ class ColumnData {
   /// Columnar snapshot serialization: bitmap words, typed payload and
   /// dictionary (types + payloads + lengths + cached hashes + arena) are
   /// written as bulk arrays, so on little-endian hosts loading is a
-  /// handful of memcpys. LoadFrom bounds-checks every count and code.
+  /// handful of memcpys — or, with a pager `binding`, zero copies: every
+  /// bulk array is adopted as a borrowed extent of the mmapped snapshot.
+  ///
+  /// Trust model: the resident path (null binding) validates every count,
+  /// code and dictionary offset before the column is usable. The paged
+  /// path keeps the O(1) structural checks but skips the O(rows)/O(dict)
+  /// content scans — the snapshot's framing was already validated and
+  /// scanning would fault in every page of a column the query may never
+  /// touch, defeating lazy cold-start.
   void SaveTo(SerdeWriter* w) const;
-  Status LoadFrom(SerdeReader* r);
+  Status LoadFrom(SerdeReader* r, const PagerBinding* binding = nullptr);
+
+  /// True when any storage array borrows a mapped snapshot extent.
+  bool paged() const {
+    return valid_words_.paged() || ints_.paged() || doubles_.paged() ||
+           num_bits_.paged() || int_tag_words_.paged() || codes_.paged() ||
+           entry_types_.paged() || entry_payload_.paged() ||
+           entry_lens_.paged() || entry_hashes_.paged() || arena_.paged();
+  }
+
+  /// Adds every paged storage extent of this column to `pin` (no-op for
+  /// resident columns) so a query's working set is charged to the pool.
+  void PinInto(PagePin* pin) const;
 
  private:
   /// Fills buf[0..len) with CellHash(base + i), dispatching on the encoding
@@ -299,6 +320,10 @@ class ColumnData {
   uint32_t Intern(const CellView& v);
   bool EntryEquals(uint32_t code, const CellView& v) const;
   void EnsureLookup();
+  /// Materializes every paged view into owned storage — the write barrier
+  /// every mutating entry point runs first, so appending to a paged-loaded
+  /// column transparently copies it out of the snapshot map.
+  void EnsureOwned();
 
   ColumnEncoding enc_ = ColumnEncoding::kInt64;
   bool sealed_ = false;
@@ -309,24 +334,29 @@ class ColumnData {
   int64_t num_doubles_ = 0;
   int64_t num_strings_ = 0;
 
-  /// Validity bitmap: bit (row & 63) of word (row >> 6) set = non-null.
-  std::vector<uint64_t> valid_words_;
+  // Storage arrays are PagedView/PagedBytes: owned vectors during ingest
+  // and resident loads, borrowed mmap extents under a paged load. Read
+  // paths are mode-blind; mutation goes through .mut() behind
+  // EnsureOwned().
 
-  std::vector<int64_t> ints_;      // kInt64 payload (0 on null rows)
-  std::vector<double> doubles_;    // kDouble payload (0 on null rows)
-  std::vector<uint64_t> num_bits_; // kNumeric payload: int64 or double bits
-  std::vector<uint64_t> int_tag_words_;  // kNumeric: bit set = cell is kInt
+  /// Validity bitmap: bit (row & 63) of word (row >> 6) set = non-null.
+  PagedView<uint64_t> valid_words_;
+
+  PagedView<int64_t> ints_;      // kInt64 payload (0 on null rows)
+  PagedView<double> doubles_;    // kDouble payload (0 on null rows)
+  PagedView<uint64_t> num_bits_; // kNumeric payload: int64 or double bits
+  PagedView<uint64_t> int_tag_words_;  // kNumeric: bit set = cell is kInt
 
   // kDict state. Entry i: entry_types_[i] in {kInt,kDouble,kString};
   // numeric entries keep their value/IEEE bits in entry_payload_[i];
   // string entries keep {arena offset, length} in
   // {entry_payload_[i], entry_lens_[i]}.
-  std::vector<uint32_t> codes_;  // per-row code (0 on null rows)
-  std::vector<uint8_t> entry_types_;
-  std::vector<uint64_t> entry_payload_;
-  std::vector<uint32_t> entry_lens_;
-  std::vector<uint64_t> entry_hashes_;  // cached Value-compatible hashes
-  std::string arena_;                   // string bytes, back to back
+  PagedView<uint32_t> codes_;  // per-row code (0 on null rows)
+  PagedView<uint8_t> entry_types_;
+  PagedView<uint64_t> entry_payload_;
+  PagedView<uint32_t> entry_lens_;
+  PagedView<uint64_t> entry_hashes_;  // cached Value-compatible hashes
+  PagedBytes arena_;                  // string bytes, back to back
   // Intern map: cell hash -> codes with that hash (collisions resolved by
   // exact payload identity). Dropped by Seal(), rebuilt on demand.
   std::unordered_map<uint64_t, std::vector<uint32_t>> lookup_;

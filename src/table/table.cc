@@ -153,7 +153,7 @@ void Table::SaveTo(SerdeWriter* w) const {
   for (const ColumnData& c : columns_) c.SaveTo(w);
 }
 
-Status Table::LoadFrom(SerdeReader* r) {
+Status Table::LoadFrom(SerdeReader* r, const PagerBinding* binding) {
   VER_RETURN_IF_ERROR(r->ReadString(&name_));
   VER_RETURN_IF_ERROR(schema_.LoadFrom(r));
   VER_RETURN_IF_ERROR(r->ReadI64(&num_rows_));
@@ -164,7 +164,7 @@ Status Table::LoadFrom(SerdeReader* r) {
   columns_.assign(static_cast<size_t>(schema_.num_attributes()),
                   ColumnData());
   for (ColumnData& c : columns_) {
-    VER_RETURN_IF_ERROR(c.LoadFrom(r));
+    VER_RETURN_IF_ERROR(c.LoadFrom(r, binding));
     if (c.size() != num_rows_) {
       return Status::IOError(
           "corrupt table '" + name_ + "': column holds " +

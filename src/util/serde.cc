@@ -31,7 +31,7 @@ uint64_t ParseLE(const char* p, int bytes) {
 // are checksummed on every cold start, so byte-wise FNV (~2ns/byte) would
 // dominate load time; mixing 8 bytes per step keeps validation ~10x
 // cheaper while still catching any flipped or dropped byte.
-uint64_t SectionChecksum(const std::string& payload) {
+uint64_t SectionChecksum(std::string_view payload) {
   const char* p = payload.data();
   size_t n = payload.size();
   uint64_t h = 0x5345435455555243ULL ^ n;
@@ -46,10 +46,26 @@ uint64_t SectionChecksum(const std::string& payload) {
   return Mix64(h);
 }
 
+// Zero bytes needed after position `pos` so the data of the next array
+// (which starts 8 bytes later, after its u64 count prefix) is aligned.
+size_t ArrayPadAt(size_t pos) {
+  return (kSnapshotArrayAlignment - ((pos + 8) % kSnapshotArrayAlignment)) %
+         kSnapshotArrayAlignment;
+}
+
 }  // namespace
+
+uint64_t SnapshotSectionChecksum(std::string_view payload) {
+  return SectionChecksum(payload);
+}
 
 void SerdeWriter::WriteU32(uint32_t v) { AppendLE(&buf_, v, 4); }
 void SerdeWriter::WriteU64(uint64_t v) { AppendLE(&buf_, v, 8); }
+
+void SerdeWriter::AlignForArray() {
+  if (!align_arrays_) return;
+  buf_.append(ArrayPadAt(buf_.size()), '\0');
+}
 
 void SerdeWriter::WriteDouble(double v) {
   uint64_t bits;
@@ -74,54 +90,60 @@ constexpr bool kHostIsLittleEndian = true;
 constexpr bool kHostIsLittleEndian = false;
 #endif
 
-void SerdeWriter::WriteU64Vector(const std::vector<uint64_t>& v) {
-  WriteU64(v.size());
+void SerdeWriter::WriteU64Array(const uint64_t* p, size_t n) {
+  AlignForArray();
+  WriteU64(n);
   if (kHostIsLittleEndian) {
-    buf_.append(reinterpret_cast<const char*>(v.data()), v.size() * 8);
+    buf_.append(reinterpret_cast<const char*>(p), n * 8);
     return;
   }
-  for (uint64_t x : v) WriteU64(x);
+  for (size_t i = 0; i < n; ++i) WriteU64(p[i]);
 }
 
-void SerdeWriter::WriteU32Vector(const std::vector<uint32_t>& v) {
-  WriteU64(v.size());
+void SerdeWriter::WriteU32Array(const uint32_t* p, size_t n) {
+  AlignForArray();
+  WriteU64(n);
   if (kHostIsLittleEndian) {
-    buf_.append(reinterpret_cast<const char*>(v.data()), v.size() * 4);
+    buf_.append(reinterpret_cast<const char*>(p), n * 4);
     return;
   }
-  for (uint32_t x : v) WriteU32(x);
+  for (size_t i = 0; i < n; ++i) WriteU32(p[i]);
 }
 
-void SerdeWriter::WriteI32Vector(const std::vector<int>& v) {
-  WriteU64(v.size());
+void SerdeWriter::WriteI32Array(const int* p, size_t n) {
+  AlignForArray();
+  WriteU64(n);
   if (kHostIsLittleEndian && sizeof(int) == 4) {
-    buf_.append(reinterpret_cast<const char*>(v.data()), v.size() * 4);
+    buf_.append(reinterpret_cast<const char*>(p), n * 4);
     return;
   }
-  for (int x : v) WriteI32(x);
+  for (size_t i = 0; i < n; ++i) WriteI32(p[i]);
 }
 
-void SerdeWriter::WriteI64Vector(const std::vector<int64_t>& v) {
-  WriteU64(v.size());
+void SerdeWriter::WriteI64Array(const int64_t* p, size_t n) {
+  AlignForArray();
+  WriteU64(n);
   if (kHostIsLittleEndian) {
-    buf_.append(reinterpret_cast<const char*>(v.data()), v.size() * 8);
+    buf_.append(reinterpret_cast<const char*>(p), n * 8);
     return;
   }
-  for (int64_t x : v) WriteI64(x);
+  for (size_t i = 0; i < n; ++i) WriteI64(p[i]);
 }
 
-void SerdeWriter::WriteDoubleVector(const std::vector<double>& v) {
-  WriteU64(v.size());
+void SerdeWriter::WriteDoubleArray(const double* p, size_t n) {
+  AlignForArray();
+  WriteU64(n);
   if (kHostIsLittleEndian) {
-    buf_.append(reinterpret_cast<const char*>(v.data()), v.size() * 8);
+    buf_.append(reinterpret_cast<const char*>(p), n * 8);
     return;
   }
-  for (double x : v) WriteDouble(x);
+  for (size_t i = 0; i < n; ++i) WriteDouble(p[i]);
 }
 
-void SerdeWriter::WriteU8Vector(const std::vector<uint8_t>& v) {
-  WriteU64(v.size());
-  buf_.append(reinterpret_cast<const char*>(v.data()), v.size());
+void SerdeWriter::WriteU8Array(const uint8_t* p, size_t n) {
+  AlignForArray();
+  WriteU64(n);
+  buf_.append(reinterpret_cast<const char*>(p), n);
 }
 
 Status SerdeReader::Need(size_t n, const char* what) {
@@ -205,6 +227,7 @@ Status SerdeReader::CheckCount(uint64_t count, size_t elem_width,
 }
 
 Status SerdeReader::ReadU64Vector(std::vector<uint64_t>* out) {
+  VER_RETURN_IF_ERROR(SkipArrayPadding());
   uint64_t count;
   VER_RETURN_IF_ERROR(ReadU64(&count));
   VER_RETURN_IF_ERROR(CheckCount(count, 8, "u64 vector"));
@@ -219,6 +242,7 @@ Status SerdeReader::ReadU64Vector(std::vector<uint64_t>* out) {
 }
 
 Status SerdeReader::ReadU32Vector(std::vector<uint32_t>* out) {
+  VER_RETURN_IF_ERROR(SkipArrayPadding());
   uint64_t count;
   VER_RETURN_IF_ERROR(ReadU64(&count));
   VER_RETURN_IF_ERROR(CheckCount(count, 4, "u32 vector"));
@@ -233,6 +257,7 @@ Status SerdeReader::ReadU32Vector(std::vector<uint32_t>* out) {
 }
 
 Status SerdeReader::ReadI32Vector(std::vector<int>* out) {
+  VER_RETURN_IF_ERROR(SkipArrayPadding());
   uint64_t count;
   VER_RETURN_IF_ERROR(ReadU64(&count));
   VER_RETURN_IF_ERROR(CheckCount(count, 4, "i32 vector"));
@@ -249,6 +274,7 @@ Status SerdeReader::ReadI32Vector(std::vector<int>* out) {
 }
 
 Status SerdeReader::ReadI64Vector(std::vector<int64_t>* out) {
+  VER_RETURN_IF_ERROR(SkipArrayPadding());
   uint64_t count;
   VER_RETURN_IF_ERROR(ReadU64(&count));
   VER_RETURN_IF_ERROR(CheckCount(count, 8, "i64 vector"));
@@ -263,6 +289,7 @@ Status SerdeReader::ReadI64Vector(std::vector<int64_t>* out) {
 }
 
 Status SerdeReader::ReadDoubleVector(std::vector<double>* out) {
+  VER_RETURN_IF_ERROR(SkipArrayPadding());
   uint64_t count;
   VER_RETURN_IF_ERROR(ReadU64(&count));
   VER_RETURN_IF_ERROR(CheckCount(count, 8, "double vector"));
@@ -277,6 +304,7 @@ Status SerdeReader::ReadDoubleVector(std::vector<double>* out) {
 }
 
 Status SerdeReader::ReadU8Vector(std::vector<uint8_t>* out) {
+  VER_RETURN_IF_ERROR(SkipArrayPadding());
   uint64_t count;
   VER_RETURN_IF_ERROR(ReadU64(&count));
   VER_RETURN_IF_ERROR(CheckCount(count, 1, "u8 vector"));
@@ -289,6 +317,38 @@ Status SerdeReader::ReadRaw(void* out, size_t n) {
   VER_RETURN_IF_ERROR(Need(n, "raw bytes"));
   std::memcpy(out, data_.data() + pos_, n);
   pos_ += n;
+  return Status::OK();
+}
+
+Status SerdeReader::ReadStringExtent(const char** data_out,
+                                     uint64_t* len_out) {
+  uint64_t len;
+  VER_RETURN_IF_ERROR(ReadU64(&len));
+  VER_RETURN_IF_ERROR(Need(static_cast<size_t>(len), "string bytes"));
+  *data_out = data_.data() + pos_;
+  *len_out = len;
+  pos_ += static_cast<size_t>(len);
+  return Status::OK();
+}
+
+Status SerdeReader::ReadArrayExtent(size_t elem_width, const char* what,
+                                    const char** data_out,
+                                    uint64_t* count_out) {
+  VER_RETURN_IF_ERROR(SkipArrayPadding());
+  uint64_t count;
+  VER_RETURN_IF_ERROR(ReadU64(&count));
+  VER_RETURN_IF_ERROR(CheckCount(count, elem_width, what));
+  *data_out = data_.data() + pos_;
+  *count_out = count;
+  pos_ += static_cast<size_t>(count) * elem_width;
+  return Status::OK();
+}
+
+Status SerdeReader::SkipArrayPadding() {
+  if (!aligned_) return Status::OK();
+  size_t pad = ArrayPadAt(pos_);
+  VER_RETURN_IF_ERROR(Need(pad, "array alignment padding"));
+  pos_ += pad;
   return Status::OK();
 }
 
@@ -307,11 +367,35 @@ Status WriteSnapshotFile(const std::string& path,
   out.append(kMagic, sizeof(kMagic));
   AppendLE(&out, format_version, 4);
   AppendLE(&out, sections.size(), 4);
-  for (const SnapshotSection& s : sections) {
-    AppendLE(&out, s.id, 4);
-    AppendLE(&out, s.payload.size(), 8);
-    out.append(s.payload);
-    AppendLE(&out, SectionChecksum(s.payload), 8);
+  if (format_version >= 3) {
+    // v3: up-front section table, payloads at 64-byte-aligned offsets.
+    // Offsets are computable before any payload is emitted: table end, then
+    // each payload aligned up from the previous end.
+    constexpr size_t kEntryBytes = 4 + 8 + 8 + 8;
+    uint64_t offset = out.size() + sections.size() * kEntryBytes;
+    for (const SnapshotSection& s : sections) {
+      offset = (offset + kSnapshotArrayAlignment - 1) /
+               kSnapshotArrayAlignment * kSnapshotArrayAlignment;
+      AppendLE(&out, s.id, 4);
+      AppendLE(&out, offset, 8);
+      AppendLE(&out, s.payload.size(), 8);
+      AppendLE(&out, SectionChecksum(s.payload), 8);
+      offset += s.payload.size();
+    }
+    for (const SnapshotSection& s : sections) {
+      size_t aligned = (out.size() + kSnapshotArrayAlignment - 1) /
+                       kSnapshotArrayAlignment * kSnapshotArrayAlignment;
+      out.append(aligned - out.size(), '\0');
+      out.append(s.payload);
+    }
+  } else {
+    // Legacy inline framing (v1/v2): {id, size, payload, checksum}.
+    for (const SnapshotSection& s : sections) {
+      AppendLE(&out, s.id, 4);
+      AppendLE(&out, s.payload.size(), 8);
+      out.append(s.payload);
+      AppendLE(&out, SectionChecksum(s.payload), 8);
+    }
   }
 
   const std::string tmp = path + ".tmp";
@@ -329,6 +413,105 @@ Status WriteSnapshotFile(const std::string& path,
     std::remove(tmp.c_str());
     return Status::IOError("cannot rename " + tmp + " to " + path);
   }
+  return Status::OK();
+}
+
+Status ParseSnapshotLayout(std::string_view data, const std::string& name,
+                           std::vector<SnapshotSectionEntry>* entries,
+                           uint32_t* format_version) {
+  SerdeReader r(data, "snapshot header of " + name);
+  if (data.size() < sizeof(kMagic) ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(name + " is not a Ver snapshot (bad magic)");
+  }
+  for (size_t i = 0; i < sizeof(kMagic); ++i) {
+    uint8_t ignored;
+    VER_RETURN_IF_ERROR(r.ReadU8(&ignored));
+  }
+  uint32_t version, section_count;
+  VER_RETURN_IF_ERROR(r.ReadU32(&version));
+  if (version < kSnapshotMinReadVersion || version > kSnapshotFormatVersion) {
+    return Status::InvalidArgument(
+        name + " uses snapshot format version " + std::to_string(version) +
+        "; this build reads versions " +
+        std::to_string(kSnapshotMinReadVersion) + " through " +
+        std::to_string(kSnapshotFormatVersion) +
+        " (rebuild the index with ver_cli build-index)");
+  }
+  VER_RETURN_IF_ERROR(r.ReadU32(&section_count));
+  if (format_version != nullptr) *format_version = version;
+
+  std::vector<SnapshotSectionEntry> parsed;
+  if (version >= 3) {
+    // v3: section table only — payload bytes are never touched here, which
+    // is what makes a paged open O(header), not O(file).
+    constexpr size_t kEntryBytes = 4 + 8 + 8 + 8;
+    if (static_cast<uint64_t>(section_count) * kEntryBytes > r.remaining()) {
+      return Status::IOError("truncated snapshot " + name +
+                             ": section table cut short");
+    }
+    parsed.reserve(section_count);
+    uint64_t prev_end = 16 + uint64_t{section_count} * kEntryBytes;
+    for (uint32_t i = 0; i < section_count; ++i) {
+      SnapshotSectionEntry e;
+      VER_RETURN_IF_ERROR(r.ReadU32(&e.id));
+      VER_RETURN_IF_ERROR(r.ReadU64(&e.offset));
+      VER_RETURN_IF_ERROR(r.ReadU64(&e.size));
+      VER_RETURN_IF_ERROR(r.ReadU64(&e.checksum));
+      // Offsets must be aligned, ascending and inside the file — a corrupt
+      // table must not produce out-of-range views downstream.
+      if (e.offset % kSnapshotArrayAlignment != 0 || e.offset < prev_end ||
+          e.offset > data.size() || e.size > data.size() - e.offset) {
+        return Status::IOError("corrupt snapshot " + name + ": section " +
+                               std::to_string(e.id) +
+                               " has an invalid table entry");
+      }
+      prev_end = e.offset + e.size;
+      parsed.push_back(e);
+    }
+    if (prev_end != data.size()) {
+      return Status::IOError("snapshot " + name + " has " +
+                             std::to_string(data.size() - prev_end) +
+                             " unexpected trailing bytes");
+    }
+  } else {
+    // Legacy inline framing: walk {id, size, payload, checksum} records
+    // with a manual cursor (the payload is skipped, never copied). The
+    // header is not checksummed, so the reserve is capped by what the file
+    // could actually hold (each section needs >= 20 framing bytes) — a
+    // corrupt count must error out below, not trigger a huge allocation.
+    parsed.reserve(std::min<size_t>(section_count,
+                                    (data.size() - 16) / 20 + 1));
+    size_t pos = 16;
+    for (uint32_t i = 0; i < section_count; ++i) {
+      if (data.size() - pos < 12) {
+        return Status::IOError("truncated snapshot " + name +
+                               ": section framing cut short");
+      }
+      SnapshotSectionEntry e;
+      e.id = static_cast<uint32_t>(ParseLE(data.data() + pos, 4));
+      e.size = ParseLE(data.data() + pos + 4, 8);
+      pos += 12;
+      if (e.size > data.size() - pos ||
+          data.size() - pos - static_cast<size_t>(e.size) < 8) {
+        return Status::IOError("truncated snapshot " + name + ": section " +
+                               std::to_string(e.id) + " claims " +
+                               std::to_string(e.size) + " bytes, only " +
+                               std::to_string(data.size() - pos) + " remain");
+      }
+      e.offset = pos;
+      pos += static_cast<size_t>(e.size);
+      e.checksum = ParseLE(data.data() + pos, 8);
+      pos += 8;
+      parsed.push_back(e);
+    }
+    if (pos != data.size()) {
+      return Status::IOError("snapshot " + name + " has " +
+                             std::to_string(data.size() - pos) +
+                             " unexpected trailing bytes");
+    }
+  }
+  *entries = std::move(parsed);
   return Status::OK();
 }
 
@@ -358,54 +541,21 @@ Status ReadSnapshotFile(const std::string& path,
     return Status::IOError("cannot read snapshot " + path);
   }
 
-  SerdeReader r(data, "snapshot header of " + path);
-  if (data.size() < sizeof(kMagic) ||
-      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument(path + " is not a Ver snapshot (bad magic)");
-  }
-  for (size_t i = 0; i < sizeof(kMagic); ++i) {
-    uint8_t ignored;
-    VER_RETURN_IF_ERROR(r.ReadU8(&ignored));
-  }
-  uint32_t version, section_count;
-  VER_RETURN_IF_ERROR(r.ReadU32(&version));
-  if (version < kSnapshotMinReadVersion || version > kSnapshotFormatVersion) {
-    return Status::InvalidArgument(
-        path + " uses snapshot format version " + std::to_string(version) +
-        "; this build reads versions " +
-        std::to_string(kSnapshotMinReadVersion) + " through " +
-        std::to_string(kSnapshotFormatVersion) +
-        " (rebuild the index with ver_cli build-index)");
-  }
-  VER_RETURN_IF_ERROR(r.ReadU32(&section_count));
-  if (format_version != nullptr) *format_version = version;
-
+  std::vector<SnapshotSectionEntry> entries;
+  VER_RETURN_IF_ERROR(ParseSnapshotLayout(data, path, &entries,
+                                          format_version));
   std::vector<SnapshotSection> parsed;
-  // The header is not checksummed, so cap the reserve by what the file
-  // could actually hold (each section needs >= 20 framing bytes) — a
-  // corrupt count must error out below, not trigger a huge allocation.
-  parsed.reserve(std::min<size_t>(section_count, r.remaining() / 20));
-  for (uint32_t i = 0; i < section_count; ++i) {
+  parsed.reserve(entries.size());
+  for (const SnapshotSectionEntry& e : entries) {
     SnapshotSection s;
-    uint64_t size, checksum;
-    VER_RETURN_IF_ERROR(r.ReadU32(&s.id));
-    VER_RETURN_IF_ERROR(r.ReadU64(&size));
-    if (size > r.remaining()) {
-      return Status::IOError("truncated snapshot " + path + ": section " +
-                             std::to_string(s.id) + " claims " +
-                             std::to_string(size) + " bytes, only " +
-                             std::to_string(r.remaining()) + " remain");
-    }
-    s.payload.resize(static_cast<size_t>(size));
-    VER_RETURN_IF_ERROR(r.ReadRaw(s.payload.data(), s.payload.size()));
-    VER_RETURN_IF_ERROR(r.ReadU64(&checksum));
-    if (checksum != SectionChecksum(s.payload)) {
+    s.id = e.id;
+    s.payload.assign(data.data() + e.offset, static_cast<size_t>(e.size));
+    if (e.checksum != SectionChecksum(s.payload)) {
       return Status::IOError("snapshot " + path + " is corrupt: section " +
                              std::to_string(s.id) + " checksum mismatch");
     }
     parsed.push_back(std::move(s));
   }
-  VER_RETURN_IF_ERROR(r.ExpectEnd());
   *sections = std::move(parsed);
   return Status::OK();
 }

@@ -19,6 +19,20 @@
 
 namespace ver {
 
+/// True when the host's in-memory integer layout equals the wire layout,
+/// enabling the bulk memcpy fast paths and (v3+) zero-copy mapped views.
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+inline constexpr bool kSerdeHostLittleEndian = true;
+#else
+inline constexpr bool kSerdeHostLittleEndian = false;
+#endif
+
+/// Array payloads inside v3 snapshot sections start on this boundary (both
+/// relative to the section payload and absolute in the file, because v3
+/// section payloads themselves start on it). 64 covers every SIMD kernel's
+/// widest load and one x86 cache line.
+inline constexpr size_t kSnapshotArrayAlignment = 64;
+
 /// Appends fixed-width little-endian primitives to an in-memory buffer.
 /// Writing cannot fail; errors surface when the buffer is flushed to disk.
 class SerdeWriter {
@@ -31,20 +45,59 @@ class SerdeWriter {
   void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
   /// IEEE-754 bit pattern, so doubles round-trip exactly.
   void WriteDouble(double v);
-  /// u64 byte length followed by the raw bytes.
+  /// u64 byte length followed by the raw bytes. Never aligned — byte blobs
+  /// have no element type to misalign (paged loaders adopt them at any
+  /// offset), and padding every small string (names, keys) would bloat
+  /// snapshots for nothing.
   void WriteString(std::string_view s);
-  void WriteU64Vector(const std::vector<uint64_t>& v);
-  void WriteU32Vector(const std::vector<uint32_t>& v);
-  void WriteI32Vector(const std::vector<int>& v);
-  void WriteI64Vector(const std::vector<int64_t>& v);
-  void WriteDoubleVector(const std::vector<double>& v);
-  void WriteU8Vector(const std::vector<uint8_t>& v);
 
+  // Bulk typed arrays: u64 element count + packed little-endian elements,
+  // preceded by AlignForArray() padding so the element data lands on
+  // kSnapshotArrayAlignment (unless alignment is disabled for legacy
+  // layouts). The pointer forms are the primary API — PagedView-backed
+  // stores are not std::vectors; the vector forms forward.
+  void WriteU64Array(const uint64_t* p, size_t n);
+  void WriteU32Array(const uint32_t* p, size_t n);
+  void WriteI32Array(const int* p, size_t n);
+  void WriteI64Array(const int64_t* p, size_t n);
+  void WriteDoubleArray(const double* p, size_t n);
+  void WriteU8Array(const uint8_t* p, size_t n);
+  void WriteU64Vector(const std::vector<uint64_t>& v) {
+    WriteU64Array(v.data(), v.size());
+  }
+  void WriteU32Vector(const std::vector<uint32_t>& v) {
+    WriteU32Array(v.data(), v.size());
+  }
+  void WriteI32Vector(const std::vector<int>& v) {
+    WriteI32Array(v.data(), v.size());
+  }
+  void WriteI64Vector(const std::vector<int64_t>& v) {
+    WriteI64Array(v.data(), v.size());
+  }
+  void WriteDoubleVector(const std::vector<double>& v) {
+    WriteDoubleArray(v.data(), v.size());
+  }
+  void WriteU8Vector(const std::vector<uint8_t>& v) {
+    WriteU8Array(v.data(), v.size());
+  }
+
+  /// Pads with zeros so the *data* of the next bulk array (which starts 8
+  /// bytes later, after the u64 count prefix) lands on
+  /// kSnapshotArrayAlignment. Called automatically by every Write*Array /
+  /// Write*Vector. The pad length is a pure function of the current
+  /// position, so a reader tracking the same position recomputes it without
+  /// any marker byte. No-op when alignment is disabled (snapshots saved in
+  /// a legacy pre-v3 format).
+  void AlignForArray();
+  void set_align_arrays(bool on) { align_arrays_ = on; }
+
+  size_t pos() const { return buf_.size(); }
   const std::string& buffer() const { return buf_; }
   std::string TakeBuffer() { return std::move(buf_); }
 
  private:
   std::string buf_;
+  bool align_arrays_ = true;
 };
 
 /// Bounds-checked little-endian reader over one in-memory payload. Every
@@ -64,6 +117,11 @@ class SerdeReader {
   Status ReadBool(bool* out);
   Status ReadDouble(double* out);
   Status ReadString(std::string* out);
+  /// Zero-copy ReadString: exposes the string's bytes inside the reader's
+  /// underlying buffer instead of copying. Same lifetime contract as
+  /// ReadArrayExtent. Never preceded by alignment padding (mirrors
+  /// WriteString).
+  Status ReadStringExtent(const char** data_out, uint64_t* len_out);
   Status ReadU64Vector(std::vector<uint64_t>* out);
   Status ReadU32Vector(std::vector<uint32_t>* out);
   Status ReadI32Vector(std::vector<int>* out);
@@ -72,6 +130,26 @@ class SerdeReader {
   Status ReadU8Vector(std::vector<uint8_t>* out);
   /// Bulk copy of `n` raw bytes (section payload extraction).
   Status ReadRaw(void* out, size_t n);
+
+  /// Zero-copy counterpart of the Read*Vector calls: skips the alignment
+  /// padding, reads the u64 count, bounds-checks `count * elem_width`
+  /// payload bytes, exposes a pointer to them *inside the reader's
+  /// underlying buffer* and skips past. The view lives exactly as long as
+  /// the buffer the reader was constructed over — paged loaders hand
+  /// readers a view of an mmapped section and keep the map alive, resident
+  /// loaders must copy instead.
+  Status ReadArrayExtent(size_t elem_width, const char* what,
+                         const char** data_out, uint64_t* count_out);
+
+  /// Skips the zero padding AlignForArray() emitted, mirroring its position
+  /// arithmetic. Called automatically by every Read*Vector / ReadArrayExtent.
+  /// No-op when the payload was written unaligned — readers over legacy
+  /// (pre-v3) snapshot payloads must set_aligned(false).
+  Status SkipArrayPadding();
+  void set_aligned(bool on) { aligned_ = on; }
+  bool aligned() const { return aligned_; }
+
+  size_t pos() const { return pos_; }
 
   size_t remaining() const {
     // Every Read advances pos_ only after a successful bounds check, so the
@@ -96,6 +174,9 @@ class SerdeReader {
   std::string_view data_;
   size_t pos_ = 0;
   std::string context_;
+  // Default matches SerdeWriter's align_arrays_ default, so a plain
+  // writer -> reader round-trip needs no flags; only legacy payloads do.
+  bool aligned_ = true;
 };
 
 /// One tagged section of a snapshot file.
@@ -104,23 +185,46 @@ struct SnapshotSection {
   std::string payload;
 };
 
+/// Location of one section inside a snapshot file — the parsed form of a
+/// v3 section-table entry (synthesized for legacy inline-framed files).
+struct SnapshotSectionEntry {
+  uint32_t id = 0;
+  uint64_t offset = 0;  // absolute file offset of the payload
+  uint64_t size = 0;    // payload bytes
+  uint64_t checksum = 0;
+};
+
 /// Bumped on any incompatible layout change; see docs/ARCHITECTURE.md
 /// ("Persistence & snapshot lifecycle") for the version-bump policy.
 /// v2 added the memcpy-loadable columnar repo-tables section (dictionary +
-/// codes + null bitmaps per column).
-inline constexpr uint32_t kSnapshotFormatVersion = 2;
+/// codes + null bitmaps per column). v3 moved section framing into an
+/// up-front section table ({id, offset, size, checksum} per section) with
+/// payloads at 64-byte-aligned file offsets, and padded every bulk array
+/// inside a payload onto the same boundary — the layout that lets a
+/// buffer-pool pager serve arrays straight out of an mmapped snapshot.
+inline constexpr uint32_t kSnapshotFormatVersion = 3;
 
 /// Oldest format version ReadSnapshotFile still accepts. v1 files simply
 /// lack the sections newer versions added; section consumers treat those
-/// as optional.
+/// as optional. v1/v2 files carry unaligned inline-framed sections and are
+/// only readable resident (never paged).
 inline constexpr uint32_t kSnapshotMinReadVersion = 1;
 
-/// Writes `sections` as a snapshot file: magic, format version, section
-/// count, then per section {id, size, payload, checksum}. The file is
+/// Parses a snapshot's header out of `data` (the full file bytes) without
+/// copying or checksumming any payload: magic, version and per-section
+/// {id, offset, size, checksum}. For v3 this touches only the section
+/// table; for legacy files it walks the inline framing. The shared front
+/// half of ReadSnapshotFile and the pager's SnapshotMap.
+Status ParseSnapshotLayout(std::string_view data, const std::string& name,
+                           std::vector<SnapshotSectionEntry>* entries,
+                           uint32_t* format_version);
+
+/// Writes `sections` as a snapshot file. v3 (the default): magic, format
+/// version, section count, section table, then each payload zero-padded to
+/// a 64-byte-aligned offset. v1/v2 (tests emitting previous-version files):
+/// the legacy inline framing {id, size, payload, checksum}. The file is
 /// written to `path + ".tmp"` and renamed into place, so a concurrent
-/// reader never observes a half-written snapshot. `format_version` exists
-/// for tests that emit previous-version files; production callers use the
-/// default.
+/// reader never observes a half-written snapshot.
 Status WriteSnapshotFile(const std::string& path,
                          const std::vector<SnapshotSection>& sections,
                          uint32_t format_version = kSnapshotFormatVersion);
@@ -133,6 +237,10 @@ Status WriteSnapshotFile(const std::string& path,
 Status ReadSnapshotFile(const std::string& path,
                         std::vector<SnapshotSection>* sections,
                         uint32_t* format_version = nullptr);
+
+/// Checksum used for snapshot section payloads (word-at-a-time mixing).
+/// Exposed so tests and the pager's optional verification can recompute it.
+uint64_t SnapshotSectionChecksum(std::string_view payload);
 
 }  // namespace ver
 

@@ -1,0 +1,319 @@
+// Larger-than-RAM serving: a snapshot loaded paged (mmap + buffer-pool
+// budget) must answer every query bit-identically to the resident load it
+// replaces, keep the pool's charged residency at or under the budget when
+// idle, and survive a hot swap under traffic with one budget shared across
+// both snapshots — with the old snapshot's space retired once it drains.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/ver.h"
+#include "discovery/engine.h"
+#include "query_fingerprint.h"
+#include "serving/ver_server.h"
+#include "util/serde.h"
+#include "workload/noisy_query.h"
+#include "workload/open_data_gen.h"
+
+namespace ver {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+// Budget deliberately far below any fixture snapshot: 4 frames.
+constexpr uint64_t kFrameBytes = 64 * 1024;
+constexpr uint64_t kBudgetBytes = 4 * kFrameBytes;
+
+PagingOptions TightPaging() {
+  PagingOptions p;
+  p.enabled = true;
+  p.memory_budget_bytes = kBudgetBytes;
+  p.frame_bytes = kFrameBytes;
+  return p;
+}
+
+struct PagedFixture {
+  GeneratedDataset dataset;
+  std::vector<ExampleQuery> queries;
+  std::string snapshot_path;
+  uint64_t snapshot_bytes = 0;
+  // Resident ground truth: fingerprints from the freshly built engine.
+  std::vector<std::string> expected;
+  int64_t expected_pairs = 0;
+  int64_t expected_vocabulary = 0;
+  size_t expected_profiles = 0;
+
+  PagedFixture() {
+    OpenDataSpec spec;
+    spec.num_tables = 30;
+    spec.num_queries = 3;
+    dataset = GenerateOpenDataLike(spec);
+    for (size_t i = 0; i < dataset.queries.size(); ++i) {
+      Result<ExampleQuery> q = MakeNoisyQuery(
+          dataset.repo, dataset.queries[i], NoiseLevel::kZero, 3, 11 + i);
+      if (q.ok()) queries.push_back(std::move(q).value());
+    }
+    auto built = DiscoveryEngine::Build(dataset.repo);
+    expected_pairs = built->num_joinable_column_pairs();
+    expected_vocabulary = built->keyword_index().vocabulary_size();
+    expected_profiles = built->profiles().size();
+    snapshot_path = TempPath("ver_paged_serving.versnap");
+    Status saved = built->Save(snapshot_path);
+    if (!saved.ok()) return;
+    std::error_code ec;
+    snapshot_bytes = static_cast<uint64_t>(
+        fs::file_size(snapshot_path, ec));
+    VerConfig config;
+    Ver resident(&dataset.repo, config);
+    for (const ExampleQuery& q : queries) {
+      expected.push_back(Fingerprint(resident.RunQuery(q)));
+    }
+  }
+};
+
+PagedFixture& Fixture() {
+  static PagedFixture* fixture = new PagedFixture();
+  return *fixture;
+}
+
+TEST(PagedServingTest, BudgetIsGenuinelySmallerThanSnapshot) {
+  PagedFixture& f = Fixture();
+  ASSERT_FALSE(f.queries.empty());
+  ASSERT_GT(f.snapshot_bytes, 0u);
+  // The whole suite is vacuous if the snapshot fits in the budget.
+  ASSERT_GT(f.snapshot_bytes, kBudgetBytes);
+}
+
+TEST(PagedServingTest, PagedRepositoryAndEngineShareOneRuntime) {
+  PagedFixture& f = Fixture();
+  Result<TableRepository> repo =
+      DiscoveryEngine::LoadRepository(f.snapshot_path, TightPaging());
+  ASSERT_TRUE(repo.ok()) << repo.status().ToString();
+#if !defined(__unix__) && !defined(__APPLE__)
+  GTEST_SKIP() << "no mmap: paged load falls back resident";
+#endif
+  ASSERT_NE(repo.value().pager(), nullptr);
+  EXPECT_TRUE(repo.value().paged());
+  EXPECT_EQ(repo.value().pager()->path(), f.snapshot_path);
+
+  Result<std::unique_ptr<DiscoveryEngine>> engine =
+      DiscoveryEngine::Load(repo.value(), f.snapshot_path, TightPaging());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_TRUE(engine.value()->paged());
+  // Same path, same process: the engine borrows the repository's runtime
+  // (one map, one space, one budget) instead of mapping the file twice.
+  EXPECT_EQ(engine.value()->pager(), repo.value().pager());
+  EXPECT_EQ(engine.value()->pager()->pool_stats().spaces, 1);
+}
+
+TEST(PagedServingTest, TightBudgetAnswersBitIdenticallyAndHoldsBudget) {
+  PagedFixture& f = Fixture();
+  ASSERT_EQ(f.expected.size(), f.queries.size());
+
+  Result<TableRepository> repo =
+      DiscoveryEngine::LoadRepository(f.snapshot_path, TightPaging());
+  ASSERT_TRUE(repo.ok()) << repo.status().ToString();
+  Result<std::unique_ptr<DiscoveryEngine>> loaded =
+      DiscoveryEngine::Load(repo.value(), f.snapshot_path, TightPaging());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded.value()->num_joinable_column_pairs(), f.expected_pairs);
+  EXPECT_EQ(loaded.value()->keyword_index().vocabulary_size(),
+            f.expected_vocabulary);
+  EXPECT_EQ(loaded.value()->profiles().size(), f.expected_profiles);
+
+  const bool paged = loaded.value()->paged();
+  std::shared_ptr<PagerRuntime> pager = loaded.value()->pager();
+
+  VerConfig config;
+  Ver served(&repo.value(), config, std::move(loaded).value());
+  for (size_t i = 0; i < f.queries.size(); ++i) {
+    EXPECT_EQ(Fingerprint(served.RunQuery(f.queries[i])), f.expected[i])
+        << "query " << i << " diverged under paging";
+  }
+
+  if (paged) {
+    BufferPoolStats s = pager->pool_stats();
+    // Queries pinned their join working sets through the pool.
+    EXPECT_GT(s.misses, 0);
+    // Queries finished, every pin released: residency is back under the
+    // budget (pinned working sets may overcommit only *during* a query).
+    EXPECT_LE(s.resident_bytes, static_cast<int64_t>(kBudgetBytes));
+    EXPECT_LE(s.resident_bytes, s.peak_resident_bytes);
+
+    // Pin the engine's entire paged working set at once — far over the
+    // budget, so the pool must overcommit while the pin lives...
+    {
+      PagePin everything(pager->pool().get());
+      served.engine().PinInto(&everything);
+      BufferPoolStats pinned = pager->pool_stats();
+      EXPECT_GT(pinned.resident_bytes, static_cast<int64_t>(kBudgetBytes));
+      EXPECT_GT(pinned.pinned_overcommit, 0);
+    }
+    // ...and evict back under it the moment the pin releases.
+    s = pager->pool_stats();
+    EXPECT_GT(s.evictions, 0);
+    EXPECT_LE(s.resident_bytes, static_cast<int64_t>(kBudgetBytes));
+  }
+}
+
+TEST(PagedServingTest, LegacySnapshotFallsBackToResidentLoad) {
+  PagedFixture& f = Fixture();
+  // A v2 file has unaligned payloads, so the pager refuses it
+  // (NotImplemented) and the loader silently serves it resident — old
+  // snapshots keep working when paging is requested.
+  std::string legacy = TempPath("ver_paged_serving_legacy.versnap");
+  auto built = DiscoveryEngine::Build(f.dataset.repo);
+  ASSERT_TRUE(built->Save(legacy, /*format_version=*/2).ok());
+
+  Result<TableRepository> repo =
+      DiscoveryEngine::LoadRepository(legacy, TightPaging());
+  ASSERT_TRUE(repo.ok()) << repo.status().ToString();
+  EXPECT_EQ(repo.value().pager(), nullptr);
+  EXPECT_FALSE(repo.value().paged());
+
+  Result<std::unique_ptr<DiscoveryEngine>> loaded =
+      DiscoveryEngine::Load(repo.value(), legacy, TightPaging());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded.value()->paged());
+
+  VerConfig config;
+  Ver served(&repo.value(), config, std::move(loaded).value());
+  for (size_t i = 0; i < f.queries.size(); ++i) {
+    EXPECT_EQ(Fingerprint(served.RunQuery(f.queries[i])), f.expected[i]);
+  }
+  std::remove(legacy.c_str());
+}
+
+TEST(PagedServingTest, HotSwapUnderPagedTrafficSharesOneBudget) {
+  PagedFixture& f = Fixture();
+  ASSERT_FALSE(f.queries.empty());
+#if !defined(__unix__) && !defined(__APPLE__)
+  GTEST_SKIP() << "no mmap: paged load falls back resident";
+#endif
+
+  // Two byte-identical snapshot files so the swap is between two distinct
+  // maps (distinct pool spaces) with identical answers.
+  std::string path_b = TempPath("ver_paged_serving_swap.versnap");
+  {
+    std::ifstream in(f.snapshot_path, std::ios::binary);
+    std::ofstream out(path_b, std::ios::binary | std::ios::trunc);
+    out << in.rdbuf();
+  }
+
+  // Snapshot A: paged under the tight budget; its runtime owns the pool.
+  auto repo_a = std::make_unique<TableRepository>();
+  {
+    Result<TableRepository> r =
+        DiscoveryEngine::LoadRepository(f.snapshot_path, TightPaging());
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    *repo_a = std::move(r).value();
+  }
+  ASSERT_NE(repo_a->pager(), nullptr);
+  std::shared_ptr<BufferPool> pool = repo_a->pager()->pool();
+
+  Result<std::unique_ptr<DiscoveryEngine>> engine_a =
+      DiscoveryEngine::Load(*repo_a, f.snapshot_path, TightPaging());
+  ASSERT_TRUE(engine_a.ok()) << engine_a.status().ToString();
+
+  VerConfig config;
+  auto ver_a = std::make_shared<const Ver>(repo_a.get(), config,
+                                           std::move(engine_a).value());
+
+  ServingOptions opts;
+  opts.num_workers = 4;
+  opts.cache_capacity = 0;   // force real pipeline runs through the pool
+  opts.single_flight = false;
+  opts.memory_budget_bytes = kBudgetBytes;
+  VerServer server(ver_a, opts);
+
+  ServerStats before = server.stats();
+  EXPECT_TRUE(before.paged);
+  EXPECT_EQ(before.pool_budget_bytes, kBudgetBytes);
+
+  // Snapshot B: its own map and space, charged to the *same* pool, so one
+  // budget covers the pair for the whole swap window.
+  PagingOptions paging_b = TightPaging();
+  paging_b.pool = pool;
+  auto repo_b = std::make_unique<TableRepository>();
+  {
+    Result<TableRepository> r =
+        DiscoveryEngine::LoadRepository(path_b, paging_b);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    *repo_b = std::move(r).value();
+  }
+  ASSERT_NE(repo_b->pager(), nullptr);
+  EXPECT_EQ(repo_b->pager()->pool(), pool);
+  Result<std::unique_ptr<DiscoveryEngine>> engine_b =
+      DiscoveryEngine::Load(*repo_b, path_b, paging_b);
+  ASSERT_TRUE(engine_b.ok()) << engine_b.status().ToString();
+  auto ver_b = std::make_shared<const Ver>(repo_b.get(), config,
+                                           std::move(engine_b).value());
+
+  // Both snapshots alive: two spaces, one pool.
+  EXPECT_EQ(pool->stats().spaces, 2);
+
+  // Hammer the server from 3 threads while the swap happens mid-traffic.
+  constexpr int kThreads = 3;
+  constexpr int kRounds = 4;
+  std::vector<std::vector<std::string>> got(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (const ExampleQuery& q : f.queries) {
+          ServedResult r = server.Serve(q);
+          got[t].push_back(r.status.ok() && r.result != nullptr
+                               ? Fingerprint(*r.result)
+                               : "error:" + r.status.ToString());
+        }
+      }
+    });
+  }
+  // Let some traffic land on A, then swap to B under load.
+  server.Serve(f.queries[0]);
+  ASSERT_TRUE(server.SwapSnapshot(ver_b));
+  for (std::thread& th : workers) th.join();
+
+  // Every serve — before, during and after the swap — is bit-identical to
+  // the resident ground truth.
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(got[t].size(), f.queries.size() * kRounds);
+    for (size_t i = 0; i < got[t].size(); ++i) {
+      EXPECT_EQ(got[t][i], f.expected[i % f.queries.size()])
+          << "thread " << t << " serve " << i;
+    }
+  }
+
+  ServerStats after = server.stats();
+  EXPECT_TRUE(after.paged);
+  EXPECT_EQ(after.snapshot_swaps, 1);
+  EXPECT_GT(after.pool_misses, 0);
+
+  // Drain and drop snapshot A: its runtime retires its space, releasing
+  // the charge; the shared pool is left serving B alone, under budget.
+  server.Shutdown();
+  ver_a.reset();
+  repo_a.reset();
+  BufferPoolStats s = pool->stats();
+  EXPECT_EQ(s.spaces, 1);
+  EXPECT_LE(s.resident_bytes, static_cast<int64_t>(kBudgetBytes));
+
+  std::remove(path_b.c_str());
+}
+
+}  // namespace
+}  // namespace ver

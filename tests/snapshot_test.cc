@@ -370,34 +370,38 @@ TEST(SnapshotTest, PreviousFormatVersionStillLoads) {
   SnapshotFixture& f = Fixture();
   ASSERT_FALSE(f.queries.empty());
   auto built = DiscoveryEngine::Build(f.dataset.repo);
-  std::string v2_path = TempPath("ver_snapshot_v2.versnap");
-  ASSERT_TRUE(built->Save(v2_path).ok());
 
-  // Reconstruct a faithful v1 file: same index sections, minus the v2
-  // repo-tables section (id 7), framed with format version 1.
-  std::vector<SnapshotSection> sections;
-  uint32_t version = 0;
-  ASSERT_TRUE(ReadSnapshotFile(v2_path, &sections, &version).ok());
-  EXPECT_EQ(version, kSnapshotFormatVersion);
-  std::vector<SnapshotSection> v1_sections;
-  for (SnapshotSection& s : sections) {
-    if (s.id != 7) v1_sections.push_back(std::move(s));
-  }
-  ASSERT_EQ(v1_sections.size(), sections.size() - 1);
+  // Genuine legacy emission: Save(path, v) writes inline framing and
+  // unaligned array payloads for v < 3, exactly what an old binary wrote.
   std::string v1_path = TempPath("ver_snapshot_v1.versnap");
-  ASSERT_TRUE(
-      WriteSnapshotFile(v1_path, v1_sections, /*format_version=*/1).ok());
+  std::string v2_path = TempPath("ver_snapshot_v2.versnap");
+  ASSERT_TRUE(built->Save(v1_path, /*format_version=*/1).ok());
+  ASSERT_TRUE(built->Save(v2_path, /*format_version=*/2).ok());
+  {
+    std::vector<SnapshotSection> sections;
+    uint32_t version = 0;
+    ASSERT_TRUE(ReadSnapshotFile(v1_path, &sections, &version).ok());
+    EXPECT_EQ(version, 1u);
+    for (const SnapshotSection& s : sections) EXPECT_NE(s.id, 7u);
+  }
 
-  Result<std::unique_ptr<DiscoveryEngine>> loaded =
-      DiscoveryEngine::Load(f.dataset.repo, v1_path);
-  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   VerConfig config;
   Ver fresh(&f.dataset.repo, config);
-  Ver restored(&f.dataset.repo, config, std::move(loaded).value());
-  for (const ExampleQuery& q : f.queries) {
-    EXPECT_EQ(Fingerprint(fresh.RunQuery(q)),
-              Fingerprint(restored.RunQuery(q)));
+  for (const std::string& legacy_path : {v1_path, v2_path}) {
+    Result<std::unique_ptr<DiscoveryEngine>> loaded =
+        DiscoveryEngine::Load(f.dataset.repo, legacy_path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    Ver restored(&f.dataset.repo, config, std::move(loaded).value());
+    for (const ExampleQuery& q : f.queries) {
+      EXPECT_EQ(Fingerprint(fresh.RunQuery(q)),
+                Fingerprint(restored.RunQuery(q)));
+    }
   }
+
+  // v2 files carry the repo-tables section; v1 files do not.
+  Result<TableRepository> v2_repo = DiscoveryEngine::LoadRepository(v2_path);
+  ASSERT_TRUE(v2_repo.ok()) << v2_repo.status().ToString();
+  EXPECT_EQ(v2_repo.value().num_tables(), f.dataset.repo.num_tables());
 
   Result<TableRepository> no_tables = DiscoveryEngine::LoadRepository(v1_path);
   ASSERT_FALSE(no_tables.ok());
