@@ -1,0 +1,191 @@
+// Shard scaling: offline build time and candidate-discovery latency of the
+// sharded engine at 1 / 4 / 16 shards.
+//
+// The engine hash-partitions tables across shards, builds every shard's
+// keyword + similarity index in parallel, and scatters each query's
+// candidate-discovery stage (COLUMN-SELECTION) across the shards on the
+// scatter pool. This bench measures both halves on the Fig. 3 synthetic
+// open-data repository: wall-clock Build() per shard count, and the
+// pipeline's column-selection stage time per query (best of N), with a
+// determinism cross-check that every shard count discovers the identical
+// join-pair count and view funnel. Results land in JSON (default
+// BENCH_shard.json, overridable with VER_BENCH_JSON).
+//
+// CI greps stdout for WARNING as the regression gate: on a multi-core host
+// (>= 4 hardware threads) the 4-shard scatter must cut discovery-stage
+// latency by >= 1.5x over 1 shard. Single-core hosts record the numbers
+// but skip the gate — scatter cannot beat serial without cores.
+
+#include <thread>
+
+#include "bench_common.h"
+#include "discovery/engine.h"
+
+namespace ver {
+namespace bench {
+namespace {
+
+constexpr int kParallelWorkers = 8;
+constexpr int kRepetitions = 3;
+constexpr int kShardCounts[] = {1, 4, 16};
+constexpr size_t kNumCounts = sizeof(kShardCounts) / sizeof(kShardCounts[0]);
+
+struct ShardPoint {
+  int num_shards = 0;
+  double build_s = 0;
+  double discovery_s = 0;  // summed best-of-N column-selection stage
+  int64_t joinable_pairs = 0;
+  int64_t num_views = 0;
+  int64_t num_join_graphs = 0;
+};
+
+void WriteJson(const ShardPoint (&points)[kNumCounts], int num_tables,
+               int64_t num_columns) {
+  const char* env = std::getenv("VER_BENCH_JSON");
+  std::string path = env != nullptr ? env : "BENCH_shard.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"shard_scaling\",\n");
+  std::fprintf(f, "  \"parallel_workers\": %d,\n", kParallelWorkers);
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"scale\": %d,\n", BenchScale());
+  std::fprintf(f, "  \"tables\": %d,\n  \"columns\": %lld,\n", num_tables,
+               static_cast<long long>(num_columns));
+  std::fprintf(f, "  \"joinable_pairs\": %lld,\n",
+               static_cast<long long>(points[0].joinable_pairs));
+  for (const ShardPoint& p : points) {
+    std::fprintf(f, "  \"build_s_shards%d\": %.6f,\n", p.num_shards,
+                 p.build_s);
+    std::fprintf(f, "  \"discovery_s_shards%d\": %.6f,\n", p.num_shards,
+                 p.discovery_s);
+  }
+  for (size_t i = 1; i < kNumCounts; ++i) {
+    std::fprintf(f, "  \"discovery_speedup_%dshards_x\": %.3f%s\n",
+                 points[i].num_shards,
+                 points[i].discovery_s == 0
+                     ? 0
+                     : points[0].discovery_s / points[i].discovery_s,
+                 i + 1 < kNumCounts ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+void Run() {
+  PrintHeader("Shard scaling: parallel build + scatter-gather discovery",
+              "the serving architecture around Fig. 3");
+  GeneratedDataset dataset = GenerateOpenDataLike(BenchOpenDataSpec(1.0, 3));
+  std::vector<ExampleQuery> queries;
+  for (size_t i = 0; i < dataset.queries.size(); ++i) {
+    Result<ExampleQuery> q = MakeNoisyQuery(dataset.repo, dataset.queries[i],
+                                            NoiseLevel::kZero, 3, 17 + i);
+    if (q.ok()) queries.push_back(std::move(q).value());
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "no runnable queries generated\n");
+    std::exit(1);
+  }
+
+  ShardPoint points[kNumCounts];
+  for (size_t c = 0; c < kNumCounts; ++c) {
+    ShardPoint& p = points[c];
+    p.num_shards = kShardCounts[c];
+
+    std::unique_ptr<DiscoveryEngine> engine;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+      DiscoveryOptions options;
+      options.num_shards = p.num_shards;
+      options.parallelism = kParallelWorkers;
+      WallTimer timer;
+      engine = DiscoveryEngine::Build(dataset.repo, options);
+      double s = timer.ElapsedSeconds();
+      if (rep == 0 || s < p.build_s) p.build_s = s;
+    }
+    p.joinable_pairs = engine->num_joinable_column_pairs();
+
+    VerConfig config;
+    Ver ver(&dataset.repo, config, std::move(engine));
+    for (const ExampleQuery& q : queries) {
+      double best = 0;
+      for (int rep = 0; rep < kRepetitions; ++rep) {
+        QueryResult qr = ver.RunQuery(q);
+        double s = qr.timing.column_selection_s;
+        if (rep == 0 || s < best) best = s;
+        if (rep == 0) {
+          p.num_views += static_cast<int64_t>(qr.views.size());
+          p.num_join_graphs += qr.search.num_join_graphs;
+        }
+      }
+      p.discovery_s += best;
+    }
+
+    // Every shard count must discover the identical funnel — the scatter
+    // merges are deterministic by contract (tests prove bit identity; the
+    // bench cross-checks the aggregate counts at bench scale).
+    if (p.joinable_pairs != points[0].joinable_pairs ||
+        p.num_views != points[0].num_views ||
+        p.num_join_graphs != points[0].num_join_graphs) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION at %d shards: pairs %lld/%lld "
+                   "views %lld/%lld graphs %lld/%lld\n",
+                   p.num_shards, static_cast<long long>(p.joinable_pairs),
+                   static_cast<long long>(points[0].joinable_pairs),
+                   static_cast<long long>(p.num_views),
+                   static_cast<long long>(points[0].num_views),
+                   static_cast<long long>(p.num_join_graphs),
+                   static_cast<long long>(points[0].num_join_graphs));
+      std::exit(1);
+    }
+  }
+
+  TextTable table({"Shards", "Build", "Discovery stage", "Speedup",
+                   "Join pairs"});
+  for (const ShardPoint& p : points) {
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                  p.discovery_s == 0
+                      ? 0
+                      : points[0].discovery_s / p.discovery_s);
+    table.AddRow({std::to_string(p.num_shards), FormatSeconds(p.build_s),
+                  FormatSeconds(p.discovery_s), speedup,
+                  std::to_string(p.joinable_pairs)});
+  }
+  table.Print();
+
+  unsigned hardware = std::thread::hardware_concurrency();
+  double speedup4 = points[1].discovery_s == 0
+                        ? 0
+                        : points[0].discovery_s / points[1].discovery_s;
+  std::printf("discovery stage = the pipeline's COLUMN-SELECTION time "
+              "(keyword + neighbor\nscatter across shards), best of %d per "
+              "query, summed over %zu queries.\n",
+              kRepetitions, queries.size());
+
+  // --- regression gate (CI greps stdout for WARNING) ---
+  if (hardware >= 4) {
+    if (speedup4 < 1.5) {
+      std::printf("WARNING: 4-shard scatter cut discovery latency only "
+                  "%.2fx over 1 shard (gate: >= 1.5x on %u threads)\n",
+                  speedup4, hardware);
+    }
+  } else {
+    std::printf("note: %u hardware thread(s) — scatter gate skipped "
+                "(parallel speedup needs cores)\n",
+                hardware);
+  }
+  WriteJson(points, dataset.repo.num_tables(), dataset.repo.TotalColumns());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ver
+
+int main() {
+  ver::bench::Run();
+  return 0;
+}

@@ -2,12 +2,22 @@
 // DISCOVERY ENGINE AND INDEX CREATION component). Exposes the three
 // functions Ver consumes (Appendix A): SEARCH-KEYWORD, NEIGHBORS and
 // GENERATE-JOIN-GRAPHS, plus profile access.
+//
+// The engine is internally sharded: tables are hash-partitioned across N
+// shards (DiscoveryOptions::num_shards), each owning its own keyword and
+// similarity index built over just its tables, while column profiles and
+// the join-path index stay global. Queries scatter across the shards (in
+// parallel when the engine was built with parallelism > 1) and gather the
+// per-shard results with deterministic merges, so every answer is
+// bit-identical to a 1-shard engine over the same repository.
 
 #ifndef VER_DISCOVERY_ENGINE_H_
 #define VER_DISCOVERY_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "discovery/join_path_index.h"
@@ -18,6 +28,7 @@
 #include "storage/repository.h"
 #include "util/result.h"
 #include "util/serde.h"
+#include "util/thread_pool.h"
 
 namespace ver {
 
@@ -38,10 +49,18 @@ struct DiscoveryOptions {
   /// fuzzy=true). Units: edits; default 2; 0 disables fuzzy matching.
   int fuzzy_max_edits = 2;
   /// Worker threads for offline index construction (profiling, LSH banding,
-  /// join-path candidate scoring). Units: threads; default 1 = serial;
+  /// join-path candidate scoring) and, when num_shards > 1, for query-time
+  /// scatter across shards. Units: threads; default 1 = serial;
   /// 0 = all hardware threads. No paper counterpart (the paper builds
   /// indices with Aurum). Output is bit-identical to serial for any value.
   int parallelism = 1;
+  /// Number of hash-partitioned shards the engine splits the repository
+  /// into. Tables are assigned by a fingerprint of their name, each shard
+  /// builds its own keyword + similarity index (in parallel when
+  /// parallelism > 1), and snapshots persist every shard as its own
+  /// section group (format v4). Queries scatter-gather across shards and
+  /// answer bit-identically to 1 shard. Units: shards; default 1.
+  int num_shards = 1;
   /// Paged snapshot serving (mmap + buffer-pool residency). A load-time,
   /// per-process choice — NOT serialized into snapshots, and ignored by
   /// Build()/Save(). See PagingOptions for the knobs.
@@ -57,13 +76,12 @@ struct DiscoveryOptions {
 /// IndexNewTable() are exclusive writers. Every const method —
 /// SearchKeyword, Neighbors, SimilarColumns, GenerateJoinGraphs, profile
 /// access and the index accessors — only reads state built beforehand;
-/// there are no lazily-populated caches, memoization, or hidden statics on
-/// the read path (KeywordIndex::Search, SimilarityIndex neighbor queries
-/// and JoinPathIndex::GenerateJoinGraphs allocate their results on the
-/// stack). Concurrent const calls are therefore data-race-free and return
-/// results identical to serial execution. IndexNewTable must not run
-/// concurrently with any other call; callers that need online maintenance
-/// under traffic must serialize it externally (VerServer never calls it).
+/// there are no lazily-populated caches or memoization on the read path
+/// (the per-shard scatter counters are plain atomics). Concurrent const
+/// calls are therefore data-race-free and return results identical to
+/// serial execution. IndexNewTable must not run concurrently with any
+/// other call; callers that need online maintenance under traffic must
+/// serialize it externally (VerServer never calls it).
 class DiscoveryEngine {
  public:
   /// Profiles all columns and constructs all indices.
@@ -71,13 +89,15 @@ class DiscoveryEngine {
       const TableRepository& repo,
       const DiscoveryOptions& options = DiscoveryOptions());
 
-  /// Persists the engine — options, column profiles (with sketches), and
-  /// all four indices, plus a fingerprint of the repository's table names,
-  /// row counts and schemas — as one versioned snapshot file (see
+  /// Persists the engine — options, column profiles (with sketches), the
+  /// shard layout with every shard's keyword + similarity index, the
+  /// global join-path index, plus a fingerprint of the repository's table
+  /// names, row counts and schemas — as one versioned snapshot file (see
   /// util/serde.h for the format). The write is atomic (temp + rename).
   /// `format_version` defaults to the current format; passing an older
-  /// version emits a genuine legacy file (unaligned payloads, inline
-  /// framing) for downgrade paths and compatibility tests.
+  /// version emits a genuine legacy file for downgrade paths and
+  /// compatibility tests (pre-v4 formats are single-shard: saving a
+  /// multi-shard engine at version <= 3 is an InvalidArgument).
   Status Save(const std::string& path,
               uint32_t format_version = kSnapshotFormatVersion) const;
 
@@ -85,9 +105,11 @@ class DiscoveryEngine {
   /// the repository the snapshot was built over (checked against the
   /// stored fingerprint) and must outlive the engine. A loaded engine
   /// answers every query bit-identically to the freshly built engine it
-  /// was saved from, and supports IndexNewTable exactly like one. On any
-  /// corruption (bad magic, version skew, truncation, checksum mismatch)
-  /// returns a descriptive error and constructs nothing.
+  /// was saved from, and supports IndexNewTable exactly like one. The
+  /// shard layout comes from the file (never re-hashed); v1-v3 files load
+  /// as one shard. On any corruption (bad magic, version skew,
+  /// truncation, checksum mismatch) returns a descriptive error and
+  /// constructs nothing.
   static Result<std::unique_ptr<DiscoveryEngine>> Load(
       const TableRepository& repo, const std::string& path);
 
@@ -97,10 +119,13 @@ class DiscoveryEngine {
   /// queries answer bit-identically, cold start touches O(pages read)
   /// instead of O(file), and checksum verification is skipped (the
   /// paged trust model: framing validated, content bounds-guarded at
-  /// query time). When `repo` was itself paged from the same path, the
-  /// engine shares the repository's runtime (one map, one budget).
-  /// Snapshots that cannot be paged (pre-v3 format, platforms without
-  /// mmap) silently fall back to the resident path.
+  /// query time). When the snapshot is multi-shard, each shard's sections
+  /// register as their own buffer-pool space against the shared budget,
+  /// so residency is accounted per shard (single-shard snapshots keep the
+  /// one-space layout). When `repo` was itself paged from the same path, the engine
+  /// shares the repository's runtime (one map, one budget). Snapshots
+  /// that cannot be paged (pre-v3 format, platforms without mmap)
+  /// silently fall back to the resident path.
   static Result<std::unique_ptr<DiscoveryEngine>> Load(
       const TableRepository& repo, const std::string& path,
       const PagingOptions& paging);
@@ -127,12 +152,15 @@ class DiscoveryEngine {
   const DiscoveryOptions& options() const { return options_; }
 
   /// SEARCH-KEYWORD(target, fuzzy): columns containing `keyword`.
+  /// Scattered across shards; gathered hits are re-sorted by
+  /// (table, column, matched-attribute) — the monolithic index's order.
   std::vector<KeywordHit> SearchKeyword(const std::string& keyword,
                                         KeywordTarget target,
                                         bool fuzzy = false) const;
 
   /// NEIGHBORS(threshold): columns whose containment with `column` is at
-  /// least `threshold` (inclusion-dependency neighbors).
+  /// least `threshold` (inclusion-dependency neighbors). Scattered across
+  /// shards; gathered neighbors merge by (score desc, profile index asc).
   std::vector<ColumnRef> Neighbors(const ColumnRef& column,
                                    double threshold) const;
 
@@ -140,28 +168,74 @@ class DiscoveryEngine {
   std::vector<ColumnRef> SimilarColumns(const ColumnRef& column,
                                         double jaccard_threshold) const;
 
-  /// GENERATE-JOIN-GRAPHS(tables, rho).
+  /// GENERATE-JOIN-GRAPHS(tables, rho). The join-path index is global
+  /// (join graphs span shards by nature), built from the deterministic
+  /// union of per-shard and cross-shard candidate pairs.
   std::vector<JoinGraph> GenerateJoinGraphs(const std::vector<int32_t>& tables,
                                             int max_hops) const;
 
   const ColumnProfile& profile(const ColumnRef& ref) const {
-    return profiles_[profile_index_.at(ref.Encode())];
+    return (*profiles_)[static_cast<size_t>(
+        profile_index_.at(ref.Encode()))];
   }
-  const std::vector<ColumnProfile>& profiles() const { return profiles_; }
+  const std::vector<ColumnProfile>& profiles() const { return *profiles_; }
   const JoinPathIndex& join_path_index() const { return join_paths_; }
-  const KeywordIndex& keyword_index() const { return keywords_; }
-  const SimilarityIndex& similarity_index() const { return similarity_; }
+  /// Shard 0's indexes — for a 1-shard engine (the default) these are the
+  /// whole engine; multi-shard callers should query through the engine.
+  const KeywordIndex& keyword_index() const { return shards_[0]->keywords; }
+  const SimilarityIndex& similarity_index() const {
+    return shards_[0]->similarity;
+  }
 
   /// Table I statistic: total joinable column pairs discovered offline.
   int64_t num_joinable_column_pairs() const {
     return join_paths_.num_joinable_column_pairs();
   }
 
+  // --- Shard topology & observability ---------------------------------
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  /// Tables owned by shard `s`, ascending.
+  const std::vector<int32_t>& shard_tables(int s) const {
+    return shards_[static_cast<size_t>(s)]->table_ids;
+  }
+  /// Shard owning table `t`.
+  int shard_of_table(int32_t t) const {
+    return shard_of_table_[static_cast<size_t>(t)];
+  }
+
+  /// Point-in-time copy of one shard's scatter counters.
+  struct ShardCounterSnapshot {
+    uint64_t scatter_queries = 0;  // discovery queries scattered into it
+    uint64_t candidates = 0;       // hits + neighbors it contributed
+  };
+  std::vector<ShardCounterSnapshot> shard_counters() const;
+
+  /// Records that one pipeline query entered candidate discovery and will
+  /// scatter across all shards; called by the query driver, counted in
+  /// shard_counters(). Thread-safe (relaxed atomics).
+  void NoteCandidateDiscovery() const;
+
   /// Online index maintenance: indexes a table that was appended to the
-  /// repository after Build(). All indices (keyword, similarity, join
-  /// paths) are updated incrementally; queries afterwards behave as if the
-  /// engine had been built from scratch over the grown repository.
+  /// repository after Build(). The table is routed to its hash shard and
+  /// all indices (keyword, similarity, join paths) update incrementally;
+  /// queries afterwards behave as if the engine had been built from
+  /// scratch over the grown repository. Fails with InvalidArgument on
+  /// an engine whose shards are shared with another engine (after
+  /// WithRebuiltShard) — mutating a shared shard would corrupt the other
+  /// engine's answers.
   Status IndexNewTable(int32_t table_id);
+
+  /// Per-shard re-index for hot swaps: returns a new engine over `repo`
+  /// (which must have the same table count and per-table column counts as
+  /// the current repository — schema-shape changes need a full rebuild)
+  /// where shard `shard`'s tables are re-profiled and its keyword +
+  /// similarity indexes rebuilt, every other shard is shared by reference
+  /// with this engine, and the global join-path index is recomputed. The
+  /// returned engine serves `repo`; this engine keeps serving its own
+  /// repository untouched, so a server can swap one shard under traffic.
+  Result<std::unique_ptr<DiscoveryEngine>> WithRebuiltShard(
+      const TableRepository& repo, int shard) const;
 
   /// The pager runtime this engine's indices borrow from (null when
   /// loaded resident). Shared with the repository when both were paged
@@ -174,15 +248,64 @@ class DiscoveryEngine {
   void PinInto(PagePin* pin) const;
 
  private:
+  /// One hash partition of the repository: its table set plus the keyword
+  /// and similarity indexes over exactly those tables. Postings stay
+  /// keyed by *global* table/profile ids, which is what makes gathered
+  /// results mergeable with the monolithic order. Shards are shared by
+  /// shared_ptr between an engine and its WithRebuiltShard successors;
+  /// `built_profiles` keeps the profile vector the similarity index was
+  /// built against alive across that sharing.
+  struct Shard {
+    std::vector<int32_t> table_ids;  // ascending
+    KeywordIndex keywords;
+    SimilarityIndex similarity;
+    std::shared_ptr<const std::vector<ColumnProfile>> built_profiles;
+  };
+
+  /// Per-shard query counters (relaxed atomics; heap-allocated so the
+  /// shard vector stays movable).
+  struct ShardCounters {
+    std::atomic<uint64_t> scatter_queries{0};
+    std::atomic<uint64_t> candidates{0};
+  };
+
   DiscoveryEngine() = default;
+
+  /// Assigns every repository table to a shard by name fingerprint and
+  /// fills shard_of_table_ + per-shard table id lists.
+  void PartitionTables(int num_shards);
+  /// Ascending global profile indices per shard.
+  std::vector<std::vector<int>> ShardMemberProfiles() const;
+  /// Builds every shard's keyword + similarity index; with a pool and
+  /// num_shards > 1, one task per shard.
+  void BuildShardIndexes(ThreadPool* pool);
+  /// The global join candidate pair set: the sorted, deduplicated union
+  /// of per-shard AllCandidatePairs plus cross-shard probes. For one
+  /// shard this is exactly AllCandidatePairs (the monolithic input).
+  std::vector<std::pair<int, int>> ComputeJoinCandidatePairs(
+      ThreadPool* pool) const;
+  /// Creates the query-time scatter pool when sharded and parallel.
+  void SetupScatterPool();
+  void InitCounters();
 
   const TableRepository* repo_ = nullptr;
   DiscoveryOptions options_;
-  std::vector<ColumnProfile> profiles_;
+  /// Global profiles in build order (table 0..N-1, columns in schema
+  /// order) regardless of shard count — every profile index and
+  /// Encode-keyed sort is shard-invariant because of this. Shared so a
+  /// WithRebuiltShard successor's shards can pin the vector they were
+  /// built against.
+  std::shared_ptr<std::vector<ColumnProfile>> profiles_;
   std::unordered_map<uint64_t, int> profile_index_;  // ColumnRef -> index
-  KeywordIndex keywords_;
-  SimilarityIndex similarity_;
+  std::vector<std::shared_ptr<Shard>> shards_;
+  std::vector<int> shard_of_table_;
   JoinPathIndex join_paths_;
+  std::vector<std::unique_ptr<ShardCounters>> counters_;
+  /// Scatter pool for query-time fan-out; created when num_shards > 1 and
+  /// the engine was configured with parallelism > 1. Shared by all
+  /// concurrent queries — each query tracks only its own tasks with a
+  /// TaskGroup, never ThreadPool::Wait.
+  std::unique_ptr<ThreadPool> scatter_pool_;
   std::shared_ptr<PagerRuntime> pager_;
 };
 

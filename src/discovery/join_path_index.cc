@@ -147,6 +147,12 @@ void JoinPathIndex::RebuildAdjacency() {
 void JoinPathIndex::Build(const std::vector<ColumnProfile>* profiles,
                           const SimilarityIndex& similarity,
                           const JoinPathOptions& options, ThreadPool* pool) {
+  Build(profiles, similarity.AllCandidatePairs(), options, pool);
+}
+
+void JoinPathIndex::Build(const std::vector<ColumnProfile>* profiles,
+                          const std::vector<std::pair<int, int>>& pairs,
+                          const JoinPathOptions& options, ThreadPool* pool) {
   options_ = options;
   pair_edges_.clear();
   flat_edges_ = FlatEdges{};
@@ -155,7 +161,6 @@ void JoinPathIndex::Build(const std::vector<ColumnProfile>* profiles,
   num_joinable_column_pairs_ = 0;
 
   const auto& ps = *profiles;
-  std::vector<std::pair<int, int>> pairs = similarity.AllCandidatePairs();
   if (pool == nullptr || pool->num_threads() <= 1) {
     for (auto [i, j] : pairs) MaybeAddEdge(ps[i], ps[j]);
     RebuildAdjacency();
@@ -202,6 +207,16 @@ void JoinPathIndex::AddColumns(const std::vector<ColumnProfile>* profiles,
       }
       MaybeAddEdge(ps[i], ps[static_cast<size_t>(j)]);
     }
+  }
+  RebuildAdjacency();
+}
+
+void JoinPathIndex::AddColumnPairs(
+    const std::vector<ColumnProfile>* profiles,
+    const std::vector<std::pair<int, int>>& pairs) {
+  const auto& ps = *profiles;
+  for (auto [i, j] : pairs) {
+    MaybeAddEdge(ps[static_cast<size_t>(i)], ps[static_cast<size_t>(j)]);
   }
   RebuildAdjacency();
 }

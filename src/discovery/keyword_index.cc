@@ -121,6 +121,18 @@ void KeywordIndex::Build(const TableRepository& repo) {
   RebuildVocabBuckets();
 }
 
+void KeywordIndex::BuildTables(const TableRepository& repo,
+                               const std::vector<int32_t>& table_ids) {
+  value_postings_.clear();
+  attr_postings_.clear();
+  flat_values_ = FlatPostings();
+  flat_attrs_ = FlatPostings();
+  for (int32_t t : table_ids) {
+    IndexTable(repo, t);
+  }
+  RebuildVocabBuckets();
+}
+
 void KeywordIndex::AddTable(const TableRepository& repo, int32_t table_id) {
   IndexTable(repo, table_id);
   // Key pointers in unordered_map are stable across inserts, but the fuzzy

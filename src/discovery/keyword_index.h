@@ -49,6 +49,13 @@ class KeywordIndex {
   /// lowercased; numeric values are indexed by their canonical text.
   void Build(const TableRepository& repo);
 
+  /// Shard-subset build: indexes only `table_ids` (ascending). Postings
+  /// keep their global ColumnRefs, so a sharded engine concatenating the
+  /// per-shard Search results and re-sorting by (table, column, attribute)
+  /// reproduces the monolithic index's hit list exactly.
+  void BuildTables(const TableRepository& repo,
+                   const std::vector<int32_t>& table_ids);
+
   /// Incrementally indexes one table that was appended to the repository
   /// after Build() or LoadFrom() (online index maintenance).
   void AddTable(const TableRepository& repo, int32_t table_id);

@@ -69,34 +69,60 @@ Status SimilarityIndex::FlatBuckets::LoadFrom(SerdeReader* r,
   return Status::OK();
 }
 
-void SimilarityIndex::Build(const std::vector<ColumnProfile>* profiles,
-                            const SimilarityOptions& options,
-                            ThreadPool* pool) {
-  profiles_ = profiles;
-  options_ = options;
-  value_postings_.clear();
-  band_buckets_.clear();
-  flat_value_postings_ = FlatBuckets();
-  flat_band_buckets_.clear();
-
+void SimilarityIndex::SetupBands() {
   const auto& ps = *profiles_;
-  eligible_.clear();
   int permutations =
       ps.empty() ? 128 : ps.front().signature.num_permutations();
   int bands = std::max(1, std::min(options_.lsh_bands, permutations));
   rows_per_band_ = std::max(1, permutations / bands);
   band_buckets_.resize(bands);
   flat_band_buckets_.resize(bands);
-  AddProfiles(0, pool);
+}
+
+void SimilarityIndex::Build(const std::vector<ColumnProfile>* profiles,
+                            const SimilarityOptions& options,
+                            ThreadPool* pool) {
+  std::vector<int> all(profiles->size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+  BuildMembers(profiles, all, options, pool);
+}
+
+void SimilarityIndex::BuildMembers(const std::vector<ColumnProfile>* profiles,
+                                   const std::vector<int>& member_ids,
+                                   const SimilarityOptions& options,
+                                   ThreadPool* pool) {
+  profiles_ = profiles;
+  options_ = options;
+  value_postings_.clear();
+  band_buckets_.clear();
+  flat_value_postings_ = FlatBuckets();
+  flat_band_buckets_.clear();
+  eligible_.clear();
+  SetupBands();
+  InsertProfiles(member_ids, pool);
 }
 
 void SimilarityIndex::AddProfiles(size_t first_new, ThreadPool* pool) {
+  std::vector<int> ids;
+  ids.reserve(profiles_->size() - std::min(first_new, profiles_->size()));
+  for (size_t i = first_new; i < profiles_->size(); ++i) {
+    ids.push_back(static_cast<int>(i));
+  }
+  InsertProfiles(ids, pool);
+}
+
+void SimilarityIndex::InsertProfiles(const std::vector<int>& ids,
+                                     ThreadPool* pool) {
   const auto& ps = *profiles_;
+  // Eligibility spans the *whole* profile vector, members and non-members
+  // alike: it is a pure function of per-column stats, and covering every
+  // column lets any global profile probe this shard's buckets and lets the
+  // snapshot section keep its "one flag per profile" invariant.
   eligible_.resize(ps.size(), false);
-  if (first_new >= ps.size()) return;
-  for (size_t i = first_new; i < ps.size(); ++i) {
+  for (size_t i = 0; i < ps.size(); ++i) {
     eligible_[i] = ps[i].stats.num_distinct >= options_.min_distinct;
   }
+  if (ids.empty()) return;
   // The posting cap spans both stores: a hash whose flat (snapshot-loaded)
   // posting list already holds N entries accepts only max_posting_length-N
   // more into the overlay map.
@@ -105,60 +131,62 @@ void SimilarityIndex::AddProfiles(size_t first_new, ThreadPool* pool) {
            options_.max_posting_length;
   };
   if (pool == nullptr || pool->num_threads() <= 1) {
-    for (size_t i = first_new; i < ps.size(); ++i) {
-      if (!eligible_[i]) continue;
-      const ColumnProfile& p = ps[i];
+    for (int id : ids) {
+      if (!eligible_[static_cast<size_t>(id)]) continue;
+      const ColumnProfile& p = ps[static_cast<size_t>(id)];
       for (uint64_t h : p.distinct_hashes) {
         auto& posting = value_postings_[h];
         if (posting_budget(h, posting.size())) {
-          posting.push_back(static_cast<int>(i));
+          posting.push_back(id);
         }
       }
       for (size_t b = 0; b < band_buckets_.size(); ++b) {
         band_buckets_[b][BandHash(p.signature, static_cast<int>(b))].push_back(
-            static_cast<int>(i));
+            id);
       }
     }
     return;
   }
 
   // Tier 2 (LSH banding): each band owns an independent bucket map, so a
-  // worker filling whole bands — scanning profiles in ascending index order
+  // worker filling whole bands — scanning members in ascending index order
   // — writes exactly what the serial loop writes.
   size_t bands = band_buckets_.size();
   ParallelFor(pool, bands, bands, [&](size_t, size_t b0, size_t b1) {
     for (size_t b = b0; b < b1; ++b) {
-      for (size_t i = first_new; i < ps.size(); ++i) {
-        if (!eligible_[i]) continue;
-        band_buckets_[b][BandHash(ps[i].signature, static_cast<int>(b))]
-            .push_back(static_cast<int>(i));
+      for (int id : ids) {
+        if (!eligible_[static_cast<size_t>(id)]) continue;
+        band_buckets_[b][BandHash(ps[static_cast<size_t>(id)].signature,
+                                  static_cast<int>(b))]
+            .push_back(id);
       }
     }
   });
 
-  // Tier 1 (value postings): contiguous profile chunks build local posting
+  // Tier 1 (value postings): contiguous member chunks build local posting
   // maps; merging in chunk order with the cap applied at merge time keeps
-  // each posting list equal to the first max_posting_length column indices
-  // in ascending order — the serial result.
-  size_t n = ps.size() - first_new;
+  // each posting list equal to the first max_posting_length member indices
+  // in ascending order — the serial result. Chunk boundaries depend only
+  // on ids.size(), never the pool.
+  size_t n = ids.size();
   size_t num_chunks = std::max<size_t>(1, std::min(RecommendedChunks(pool), n));
   std::vector<std::unordered_map<uint64_t, std::vector<int>>> local(num_chunks);
   ParallelFor(pool, n, num_chunks, [&](size_t c, size_t lo, size_t hi) {
     for (size_t k = lo; k < hi; ++k) {
-      size_t i = first_new + k;
-      if (!eligible_[i]) continue;
-      for (uint64_t h : ps[i].distinct_hashes) {
+      int id = ids[k];
+      if (!eligible_[static_cast<size_t>(id)]) continue;
+      for (uint64_t h : ps[static_cast<size_t>(id)].distinct_hashes) {
         auto& posting = local[c][h];
         if (posting.size() < options_.max_posting_length) {
-          posting.push_back(static_cast<int>(i));
+          posting.push_back(id);
         }
       }
     }
   });
   for (auto& chunk : local) {
-    for (auto& [h, ids] : chunk) {
+    for (auto& [h, chunk_ids] : chunk) {
       auto& posting = value_postings_[h];
-      for (int id : ids) {
+      for (int id : chunk_ids) {
         if (!posting_budget(h, posting.size())) break;
         posting.push_back(id);
       }
@@ -177,14 +205,24 @@ uint64_t SimilarityIndex::BandHash(const MinHashSignature& sig,
 }
 
 std::vector<int> SimilarityIndex::Candidates(int profile_index) const {
-  const ColumnProfile& p = (*profiles_)[profile_index];
-  if (!eligible_[profile_index]) return {};
+  return Candidates(*profiles_, profile_index);
+}
+
+std::vector<int> SimilarityIndex::Candidates(
+    const std::vector<ColumnProfile>& profiles, int profile_index) const {
+  const ColumnProfile& p = profiles[static_cast<size_t>(profile_index)];
+  // The gate is recomputed from the caller's profile, not read from
+  // eligible_: the stored bits describe the vector this index was built
+  // against, which after a per-shard hot swap is not necessarily the one
+  // the caller is serving. Same formula, so for the build-time vector the
+  // answer is identical.
+  if (p.stats.num_distinct < options_.min_distinct) return {};
   // Union the posting lists into a packed bitset over the profile universe
   // — word-level set bits instead of unordered_set nodes — then drain it
   // ascending: the same sorted candidate list as the set + sort this
   // replaces, with no per-candidate allocation or rehash.
-  PackedBitset out(profiles_->size());
-  const size_t num_profiles = profiles_->size();
+  PackedBitset out(profiles.size());
+  const size_t num_profiles = profiles.size();
   auto collect_flat = [&out, profile_index, num_profiles](
                           const FlatBuckets& flat, uint64_t key) {
     if (flat.keys.empty()) return;
@@ -228,10 +266,16 @@ std::vector<int> SimilarityIndex::Candidates(int profile_index) const {
 
 std::vector<Neighbor> SimilarityIndex::ContainmentNeighbors(
     int profile_index, double threshold) const {
+  return ContainmentNeighbors(*profiles_, profile_index, threshold);
+}
+
+std::vector<Neighbor> SimilarityIndex::ContainmentNeighbors(
+    const std::vector<ColumnProfile>& profiles, int profile_index,
+    double threshold) const {
   std::vector<Neighbor> out;
-  const ColumnProfile& query = (*profiles_)[profile_index];
-  for (int other : Candidates(profile_index)) {
-    double c = ProfileContainment(query, (*profiles_)[other]);
+  const ColumnProfile& query = profiles[static_cast<size_t>(profile_index)];
+  for (int other : Candidates(profiles, profile_index)) {
+    double c = ProfileContainment(query, profiles[static_cast<size_t>(other)]);
     if (c >= threshold) out.push_back(Neighbor{other, c});
   }
   std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
@@ -243,10 +287,16 @@ std::vector<Neighbor> SimilarityIndex::ContainmentNeighbors(
 
 std::vector<Neighbor> SimilarityIndex::JaccardNeighbors(
     int profile_index, double threshold) const {
+  return JaccardNeighbors(*profiles_, profile_index, threshold);
+}
+
+std::vector<Neighbor> SimilarityIndex::JaccardNeighbors(
+    const std::vector<ColumnProfile>& profiles, int profile_index,
+    double threshold) const {
   std::vector<Neighbor> out;
-  const ColumnProfile& query = (*profiles_)[profile_index];
-  for (int other : Candidates(profile_index)) {
-    double j = ProfileJaccard(query, (*profiles_)[other]);
+  const ColumnProfile& query = profiles[static_cast<size_t>(profile_index)];
+  for (int other : Candidates(profiles, profile_index)) {
+    double j = ProfileJaccard(query, profiles[static_cast<size_t>(other)]);
     if (j >= threshold) out.push_back(Neighbor{other, j});
   }
   std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "pager/buffer_pool.h"
 #include "pager/paged_view.h"
@@ -70,6 +71,19 @@ class PagerRuntime {
     return b;
   }
 
+  /// Binding whose pins charge a dedicated per-shard buffer-pool space:
+  /// lazily registers one more space over the same mapped file (shared
+  /// budget, separate residency accounting) per shard index, so a sharded
+  /// engine's paged extents are attributable shard by shard. The returned
+  /// pointer stays valid for the runtime's lifetime; all shard spaces are
+  /// retired with the runtime. Not thread-safe — call only from
+  /// (single-threaded) snapshot loading.
+  const PagerBinding* ShardBinding(size_t shard);
+
+  /// Buffer-pool space ids registered via ShardBinding, in shard order
+  /// (empty when the engine never asked for per-shard accounting).
+  const std::vector<uint32_t>& shard_spaces() const { return shard_spaces_; }
+
   BufferPoolStats pool_stats() const { return pool_->stats(); }
 
  private:
@@ -80,6 +94,8 @@ class PagerRuntime {
   std::shared_ptr<BufferPool> pool_;
   std::unique_ptr<SnapshotMap> map_;
   uint32_t space_ = 0;
+  std::vector<std::unique_ptr<PagerBinding>> shard_bindings_;
+  std::vector<uint32_t> shard_spaces_;
 };
 
 }  // namespace ver

@@ -515,10 +515,10 @@ void ColumnData::FillCellHashes(int64_t base, size_t len,
 }
 
 void ColumnData::CombineCellHashesInto(uint64_t* acc, int64_t n) const {
-  // All-valid int64, double and dictionary columns take the fused one-pass
-  // kernels (hash or gather straight into the combine, no staging buffer);
-  // other encodings and null-bearing columns stage per-cell hashes
-  // block-wise.
+  // All-valid int64, double, dictionary and tag-mixed numeric columns take
+  // the fused one-pass kernels (hash or gather straight into the combine,
+  // no staging buffer); other encodings and null-bearing columns stage
+  // per-cell hashes block-wise.
   if (num_nulls_ == 0 && n > 0) {
     if (enc_ == ColumnEncoding::kInt64) {
       simd::CombineInt64Cells(acc, ints_.data(), static_cast<size_t>(n));
@@ -531,6 +531,11 @@ void ColumnData::CombineCellHashesInto(uint64_t* acc, int64_t n) const {
     if (enc_ == ColumnEncoding::kDict) {
       simd::CombineDictCells(acc, codes_.data(), entry_hashes_.data(),
                              static_cast<size_t>(n));
+      return;
+    }
+    if (enc_ == ColumnEncoding::kNumeric) {
+      simd::CombineNumericCells(acc, num_bits_.data(), int_tag_words_.data(),
+                                static_cast<size_t>(n));
       return;
     }
   }

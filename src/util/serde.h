@@ -202,7 +202,11 @@ struct SnapshotSectionEntry {
 /// payloads at 64-byte-aligned file offsets, and padded every bulk array
 /// inside a payload onto the same boundary — the layout that lets a
 /// buffer-pool pager serve arrays straight out of an mmapped snapshot.
-inline constexpr uint32_t kSnapshotFormatVersion = 3;
+/// v4 sharded the discovery engine's index sections: a shard-layout
+/// section records the table partition and each shard's keyword and
+/// similarity indexes live in their own per-shard sections (v1-v3 files
+/// load as a single shard; section framing itself is unchanged from v3).
+inline constexpr uint32_t kSnapshotFormatVersion = 4;
 
 /// Oldest format version ReadSnapshotFile still accepts. v1 files simply
 /// lack the sections newer versions added; section consumers treat those

@@ -25,16 +25,26 @@ std::atomic<int> g_forced_level{-1};
 
 Level Detect() {
 #if VER_SIMD_X86
+  // The 512-bit tier needs DQ on top of F for the native 64-bit multiply
+  // (vpmullq) — F alone would force the same 32-bit partial-product dance
+  // as AVX2 and surrender most of the win.
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512dq"))
+    return Level::kAvx512;
   if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
 #endif
   return Level::kScalar;
 }
 
 Level EnvCap(Level detected) {
+  // VER_SIMD caps the tier: it can hold a machine *below* its detected
+  // level (for A/B runs and scalar soak tests) but never raises one above
+  // it — requesting avx512 on an AVX2 box still runs AVX2.
   const char* env = std::getenv("VER_SIMD");
   if (env == nullptr) return detected;
   if (std::strcmp(env, "scalar") == 0) return Level::kScalar;
-  return detected;  // unknown values (and "avx2") keep the detected tier
+  if (std::strcmp(env, "avx2") == 0)
+    return detected < Level::kAvx2 ? detected : Level::kAvx2;
+  return detected;  // "avx512" and unknown values keep the detected tier
 }
 
 }  // namespace
@@ -45,6 +55,8 @@ const char* LevelName(Level level) {
       return "scalar";
     case Level::kAvx2:
       return "avx2";
+    case Level::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }
@@ -77,6 +89,20 @@ void ResetForcedLevel() {
 // together instead of serializing behind one chain.
 
 namespace {
+
+// column_data.cc keeps its bit-pattern decoder file-local, so the numeric
+// kernel reconstructs the double the same way: a memcpy bit cast.
+inline double DoubleFromBits(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+// Scalar reference for one kNumeric cell: the tag bit picks the hash family.
+inline uint64_t NumericCellHash(uint64_t bits, bool is_int) {
+  return is_int ? HashIntValue(static_cast<int64_t>(bits))
+                : HashDoubleValue(DoubleFromBits(bits));
+}
 
 void CombineHashesScalar(uint64_t* acc, const uint64_t* hashes, size_t n) {
   size_t i = 0;
@@ -152,6 +178,32 @@ void CombineDictCellsScalar(uint64_t* acc, const uint32_t* codes,
     acc[i + 3] = a3;
   }
   for (; i < n; ++i) acc[i] = HashCombine(acc[i], entry_hashes[codes[i]]);
+}
+
+void CombineNumericCellsScalar(uint64_t* acc, const uint64_t* num_bits,
+                               const uint64_t* tags, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // i is 4-aligned, so the group's 4 tag bits live in one word.
+    unsigned nib =
+        static_cast<unsigned>(tags[i >> 6] >> (i & 63)) & 0xfu;
+    uint64_t a0 =
+        HashCombine(acc[i], NumericCellHash(num_bits[i], (nib & 1u) != 0));
+    uint64_t a1 = HashCombine(
+        acc[i + 1], NumericCellHash(num_bits[i + 1], (nib & 2u) != 0));
+    uint64_t a2 = HashCombine(
+        acc[i + 2], NumericCellHash(num_bits[i + 2], (nib & 4u) != 0));
+    uint64_t a3 = HashCombine(
+        acc[i + 3], NumericCellHash(num_bits[i + 3], (nib & 8u) != 0));
+    acc[i] = a0;
+    acc[i + 1] = a1;
+    acc[i + 2] = a2;
+    acc[i + 3] = a3;
+  }
+  for (; i < n; ++i) {
+    bool is_int = ((tags[i >> 6] >> (i & 63)) & 1u) != 0;
+    acc[i] = HashCombine(acc[i], NumericCellHash(num_bits[i], is_int));
+  }
 }
 
 void MinHashUpdateScalar(uint64_t* slots, const uint64_t* seeds,
@@ -348,6 +400,58 @@ __attribute__((target("avx2"))) void CombineDictCellsAvx2(
   for (; i < n; ++i) acc[i] = HashCombine(acc[i], entry_hashes[codes[i]]);
 }
 
+__attribute__((target("avx2"))) void CombineNumericCellsAvx2(
+    uint64_t* acc, const uint64_t* num_bits, const uint64_t* tags, size_t n) {
+  // Tag-steered three-way split per 4-lane group: the nibble of tag bits
+  // (never straddling a word — group starts are 4-aligned) picks the
+  // all-int vector path, the all-double vector path (with the same twin
+  // guard as CombineDoubleCells), or the scalar mixed-group fallback.
+  const __m256i salt_int = _mm256_set1_epi64x(0x1234abcdLL);
+  const __m256i salt_dbl = _mm256_set1_epi64x(0x9876fedcLL);
+  const __m256d abs_mask = _mm256_castsi256_pd(
+      _mm256_set1_epi64x(0x7fffffffffffffffLL));
+  const __m256d limit = _mm256_set1_pd(9.2e18);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    unsigned nib = static_cast<unsigned>(tags[i >> 6] >> (i & 63)) & 0xfu;
+    __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(num_bits + i));
+    if (nib == 0xfu) {
+      __m256i cell = Mix64V(_mm256_xor_si256(x, salt_int));
+      __m256i a =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i),
+                          CombineV(a, cell));
+      continue;
+    }
+    if (nib == 0u) {
+      __m256d d = _mm256_castsi256_pd(x);
+      __m256d rounded =
+          _mm256_round_pd(d, _MM_FROUND_CUR_DIRECTION | _MM_FROUND_NO_EXC);
+      __m256d twin = _mm256_and_pd(
+          _mm256_cmp_pd(rounded, d, _CMP_EQ_OQ),
+          _mm256_cmp_pd(_mm256_and_pd(d, abs_mask), limit, _CMP_LT_OQ));
+      if (_mm256_movemask_pd(twin) == 0) {
+        __m256i cell = Mix64V(_mm256_xor_si256(x, salt_dbl));
+        __m256i a =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i),
+                            CombineV(a, cell));
+        continue;
+      }
+    }
+    for (size_t k = 0; k < 4; ++k) {
+      acc[i + k] = HashCombine(
+          acc[i + k],
+          NumericCellHash(num_bits[i + k], ((nib >> k) & 1u) != 0));
+    }
+  }
+  for (; i < n; ++i) {
+    bool is_int = ((tags[i >> 6] >> (i & 63)) & 1u) != 0;
+    acc[i] = HashCombine(acc[i], NumericCellHash(num_bits[i], is_int));
+  }
+}
+
 __attribute__((target("avx2"))) void MinHashUpdateAvx2(uint64_t* slots,
                                                        const uint64_t* seeds,
                                                        size_t num_perms,
@@ -372,13 +476,209 @@ __attribute__((target("avx2"))) void MinHashUpdateAvx2(uint64_t* slots,
 
 }  // namespace
 
+// ------------------------------ AVX-512 tier ------------------------------
+//
+// 8x64-bit lanes, F+DQ only (no VL/BW dependence). DQ supplies the native
+// 64-bit multiply (vpmullq) that AVX2 has to synthesize, F supplies native
+// unsigned 64-bit min (vpminuq) and mask-register compares, so the twin and
+// tag tests read straight out of __mmask8 instead of a movemask shuffle.
+// Arithmetic is otherwise the same lane-wise xor/shift/add — bit-identical
+// to the scalar tier by construction.
+
+// GCC's unmasked AVX-512 shift intrinsics expand to masked builtins whose
+// passthrough operand is _mm512_undefined_epi32(), which -Wmaybe-uninitialized
+// flags through the header's self-initialized `__Y = __Y` idiom.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace {
+
+__attribute__((target("avx512f,avx512dq"))) inline __m512i Mix64V512(
+    __m512i x) {
+  const __m512i c1 = _mm512_set1_epi64(0x9e3779b97f4a7c15LL);
+  const __m512i c2 = _mm512_set1_epi64(
+      static_cast<long long>(0xbf58476d1ce4e5b9ULL));
+  const __m512i c3 = _mm512_set1_epi64(
+      static_cast<long long>(0x94d049bb133111ebULL));
+  x = _mm512_add_epi64(x, c1);
+  x = _mm512_mullo_epi64(_mm512_xor_si512(x, _mm512_srli_epi64(x, 30)), c2);
+  x = _mm512_mullo_epi64(_mm512_xor_si512(x, _mm512_srli_epi64(x, 27)), c3);
+  return _mm512_xor_si512(x, _mm512_srli_epi64(x, 31));
+}
+
+// acc = acc ^ (Mix64(cell) + K + (acc << 12) + (acc >> 4)), 8 lanes.
+__attribute__((target("avx512f,avx512dq"))) inline __m512i CombineV512(
+    __m512i acc, __m512i cell) {
+  const __m512i golden = _mm512_set1_epi64(0x9e3779b97f4a7c15LL);
+  __m512i t = _mm512_add_epi64(Mix64V512(cell), golden);
+  t = _mm512_add_epi64(t, _mm512_slli_epi64(acc, 12));
+  t = _mm512_add_epi64(t, _mm512_srli_epi64(acc, 4));
+  return _mm512_xor_si512(acc, t);
+}
+
+__attribute__((target("avx512f,avx512dq"))) void CombineHashesAvx512(
+    uint64_t* acc, const uint64_t* hashes, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512i a = _mm512_loadu_si512(acc + i);
+    __m512i v = _mm512_loadu_si512(hashes + i);
+    _mm512_storeu_si512(acc + i, CombineV512(a, v));
+  }
+  for (; i < n; ++i) acc[i] = HashCombine(acc[i], hashes[i]);
+}
+
+__attribute__((target("avx512f,avx512dq"))) void HashInt64CellsAvx512(
+    const int64_t* v, size_t n, uint64_t* out) {
+  const __m512i salt = _mm512_set1_epi64(0x1234abcdLL);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512i x = _mm512_loadu_si512(v + i);
+    _mm512_storeu_si512(out + i, Mix64V512(_mm512_xor_si512(x, salt)));
+  }
+  for (; i < n; ++i) out[i] = HashIntValue(v[i]);
+}
+
+__attribute__((target("avx512f,avx512dq"))) void CombineInt64CellsAvx512(
+    uint64_t* acc, const int64_t* v, size_t n) {
+  const __m512i salt = _mm512_set1_epi64(0x1234abcdLL);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512i x = _mm512_loadu_si512(v + i);
+    __m512i cell = Mix64V512(_mm512_xor_si512(x, salt));
+    __m512i a = _mm512_loadu_si512(acc + i);
+    _mm512_storeu_si512(acc + i, CombineV512(a, cell));
+  }
+  for (; i < n; ++i) acc[i] = HashCombine(acc[i], HashIntValue(v[i]));
+}
+
+__attribute__((target("avx512f,avx512dq"))) void CombineDoubleCellsAvx512(
+    uint64_t* acc, const double* v, size_t n) {
+  // Same twin-guard strategy as the AVX2 tier, but the test lands in a
+  // mask register: any set bit sends the 8-cell group to the scalar hash.
+  const __m512i salt2 = _mm512_set1_epi64(0x9876fedcLL);
+  const __m512d abs_mask = _mm512_castsi512_pd(
+      _mm512_set1_epi64(0x7fffffffffffffffLL));
+  const __m512d limit = _mm512_set1_pd(9.2e18);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512d d = _mm512_loadu_pd(v + i);
+    __m512d rounded =
+        _mm512_roundscale_pd(d, _MM_FROUND_CUR_DIRECTION | _MM_FROUND_NO_EXC);
+    __mmask8 twin =
+        _mm512_cmp_pd_mask(rounded, d, _CMP_EQ_OQ) &
+        _mm512_cmp_pd_mask(_mm512_and_pd(d, abs_mask), limit, _CMP_LT_OQ);
+    if (twin != 0) {
+      for (size_t k = 0; k < 8; ++k) {
+        acc[i + k] = HashCombine(acc[i + k], HashDoubleValue(v[i + k]));
+      }
+      continue;
+    }
+    __m512i cell =
+        Mix64V512(_mm512_xor_si512(_mm512_castpd_si512(d), salt2));
+    __m512i a = _mm512_loadu_si512(acc + i);
+    _mm512_storeu_si512(acc + i, CombineV512(a, cell));
+  }
+  for (; i < n; ++i) acc[i] = HashCombine(acc[i], HashDoubleValue(v[i]));
+}
+
+__attribute__((target("avx512f,avx512dq"))) void CombineDictCellsAvx512(
+    uint64_t* acc, const uint32_t* codes, const uint64_t* entry_hashes,
+    size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i c = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(codes + i));
+    __m512i cell = _mm512_i32gather_epi64(c, entry_hashes, 8);
+    __m512i a = _mm512_loadu_si512(acc + i);
+    _mm512_storeu_si512(acc + i, CombineV512(a, cell));
+  }
+  for (; i < n; ++i) acc[i] = HashCombine(acc[i], entry_hashes[codes[i]]);
+}
+
+__attribute__((target("avx512f,avx512dq"))) void CombineNumericCellsAvx512(
+    uint64_t* acc, const uint64_t* num_bits, const uint64_t* tags, size_t n) {
+  // Same three-way split as the AVX2 tier over 8-lane groups: the tag byte
+  // (8-aligned group starts never straddle a word) steers between the
+  // all-int path, the twin-guarded all-double path, and the scalar mix.
+  const __m512i salt_int = _mm512_set1_epi64(0x1234abcdLL);
+  const __m512i salt_dbl = _mm512_set1_epi64(0x9876fedcLL);
+  const __m512d abs_mask = _mm512_castsi512_pd(
+      _mm512_set1_epi64(0x7fffffffffffffffLL));
+  const __m512d limit = _mm512_set1_pd(9.2e18);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    unsigned byte = static_cast<unsigned>(tags[i >> 6] >> (i & 63)) & 0xffu;
+    __m512i x = _mm512_loadu_si512(num_bits + i);
+    if (byte == 0xffu) {
+      __m512i cell = Mix64V512(_mm512_xor_si512(x, salt_int));
+      __m512i a = _mm512_loadu_si512(acc + i);
+      _mm512_storeu_si512(acc + i, CombineV512(a, cell));
+      continue;
+    }
+    if (byte == 0u) {
+      __m512d d = _mm512_castsi512_pd(x);
+      __m512d rounded = _mm512_roundscale_pd(
+          d, _MM_FROUND_CUR_DIRECTION | _MM_FROUND_NO_EXC);
+      __mmask8 twin =
+          _mm512_cmp_pd_mask(rounded, d, _CMP_EQ_OQ) &
+          _mm512_cmp_pd_mask(_mm512_and_pd(d, abs_mask), limit, _CMP_LT_OQ);
+      if (twin == 0) {
+        __m512i cell = Mix64V512(_mm512_xor_si512(x, salt_dbl));
+        __m512i a = _mm512_loadu_si512(acc + i);
+        _mm512_storeu_si512(acc + i, CombineV512(a, cell));
+        continue;
+      }
+    }
+    for (size_t k = 0; k < 8; ++k) {
+      acc[i + k] = HashCombine(
+          acc[i + k],
+          NumericCellHash(num_bits[i + k], ((byte >> k) & 1u) != 0));
+    }
+  }
+  for (; i < n; ++i) {
+    bool is_int = ((tags[i >> 6] >> (i & 63)) & 1u) != 0;
+    acc[i] = HashCombine(acc[i], NumericCellHash(num_bits[i], is_int));
+  }
+}
+
+__attribute__((target("avx512f,avx512dq"))) void MinHashUpdateAvx512(
+    uint64_t* slots, const uint64_t* seeds, size_t num_perms,
+    const uint64_t* elems, size_t n) {
+  size_t j = 0;
+  for (; j + 8 <= num_perms; j += 8) {
+    __m512i seed = _mm512_loadu_si512(seeds + j);
+    __m512i best = _mm512_loadu_si512(slots + j);
+    for (size_t i = 0; i < n; ++i) {
+      __m512i x = _mm512_set1_epi64(static_cast<long long>(elems[i]));
+      best = _mm512_min_epu64(best,
+                              Mix64V512(_mm512_xor_si512(x, seed)));
+    }
+    _mm512_storeu_si512(slots + j, best);
+  }
+  if (j < num_perms) {
+    MinHashUpdateScalar(slots + j, seeds + j, num_perms - j, elems, n);
+  }
+}
+
+}  // namespace
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
 #endif  // VER_SIMD_X86
 
 // ------------------------------- dispatch --------------------------------
 
 void CombineHashes(uint64_t* acc, const uint64_t* hashes, size_t n) {
 #if VER_SIMD_X86
-  if (ActiveLevel() == Level::kAvx2) {
+  Level l = ActiveLevel();
+  if (l == Level::kAvx512) {
+    CombineHashesAvx512(acc, hashes, n);
+    return;
+  }
+  if (l == Level::kAvx2) {
     CombineHashesAvx2(acc, hashes, n);
     return;
   }
@@ -388,7 +688,12 @@ void CombineHashes(uint64_t* acc, const uint64_t* hashes, size_t n) {
 
 void HashInt64Cells(const int64_t* v, size_t n, uint64_t* out) {
 #if VER_SIMD_X86
-  if (ActiveLevel() == Level::kAvx2) {
+  Level l = ActiveLevel();
+  if (l == Level::kAvx512) {
+    HashInt64CellsAvx512(v, n, out);
+    return;
+  }
+  if (l == Level::kAvx2) {
     HashInt64CellsAvx2(v, n, out);
     return;
   }
@@ -398,7 +703,12 @@ void HashInt64Cells(const int64_t* v, size_t n, uint64_t* out) {
 
 void CombineInt64Cells(uint64_t* acc, const int64_t* v, size_t n) {
 #if VER_SIMD_X86
-  if (ActiveLevel() == Level::kAvx2) {
+  Level l = ActiveLevel();
+  if (l == Level::kAvx512) {
+    CombineInt64CellsAvx512(acc, v, n);
+    return;
+  }
+  if (l == Level::kAvx2) {
     CombineInt64CellsAvx2(acc, v, n);
     return;
   }
@@ -408,7 +718,12 @@ void CombineInt64Cells(uint64_t* acc, const int64_t* v, size_t n) {
 
 void CombineDoubleCells(uint64_t* acc, const double* v, size_t n) {
 #if VER_SIMD_X86
-  if (ActiveLevel() == Level::kAvx2) {
+  Level l = ActiveLevel();
+  if (l == Level::kAvx512) {
+    CombineDoubleCellsAvx512(acc, v, n);
+    return;
+  }
+  if (l == Level::kAvx2) {
     CombineDoubleCellsAvx2(acc, v, n);
     return;
   }
@@ -419,7 +734,12 @@ void CombineDoubleCells(uint64_t* acc, const double* v, size_t n) {
 void CombineDictCells(uint64_t* acc, const uint32_t* codes,
                       const uint64_t* entry_hashes, size_t n) {
 #if VER_SIMD_X86
-  if (ActiveLevel() == Level::kAvx2) {
+  Level l = ActiveLevel();
+  if (l == Level::kAvx512) {
+    CombineDictCellsAvx512(acc, codes, entry_hashes, n);
+    return;
+  }
+  if (l == Level::kAvx2) {
     CombineDictCellsAvx2(acc, codes, entry_hashes, n);
     return;
   }
@@ -427,10 +747,31 @@ void CombineDictCells(uint64_t* acc, const uint32_t* codes,
   CombineDictCellsScalar(acc, codes, entry_hashes, n);
 }
 
+void CombineNumericCells(uint64_t* acc, const uint64_t* num_bits,
+                         const uint64_t* int_tag_words, size_t n) {
+#if VER_SIMD_X86
+  Level l = ActiveLevel();
+  if (l == Level::kAvx512) {
+    CombineNumericCellsAvx512(acc, num_bits, int_tag_words, n);
+    return;
+  }
+  if (l == Level::kAvx2) {
+    CombineNumericCellsAvx2(acc, num_bits, int_tag_words, n);
+    return;
+  }
+#endif
+  CombineNumericCellsScalar(acc, num_bits, int_tag_words, n);
+}
+
 void MinHashUpdate(uint64_t* slots, const uint64_t* seeds, size_t num_perms,
                    const uint64_t* elems, size_t n) {
 #if VER_SIMD_X86
-  if (ActiveLevel() == Level::kAvx2) {
+  Level l = ActiveLevel();
+  if (l == Level::kAvx512) {
+    MinHashUpdateAvx512(slots, seeds, num_perms, elems, n);
+    return;
+  }
+  if (l == Level::kAvx2) {
     MinHashUpdateAvx2(slots, seeds, num_perms, elems, n);
     return;
   }

@@ -10,13 +10,14 @@
 // tests/simd_kernels_test.cc, hold this line; a kernel that is fast but
 // off by one bit is a bug.
 //
-// Dispatch. ActiveLevel() is detected once per process (AVX2 via CPUID on
-// x86-64, scalar elsewhere) and every kernel branches on it per *block*,
-// not per element, so dispatch cost is invisible. The scalar tier is not a
-// stub: it is unrolled into independent chains that superscalar hardware
-// pipelines well, and it is the only tier on non-x86 builds.
-// VER_SIMD=scalar (env) or ScopedSimdLevel (tests/benches) force the
-// fallback so both tiers stay continuously exercised.
+// Dispatch. ActiveLevel() is detected once per process (AVX-512F+DQ, then
+// AVX2, via CPUID on x86-64; scalar elsewhere) and every kernel branches on
+// it per *block*, not per element, so dispatch cost is invisible. The
+// scalar tier is not a stub: it is unrolled into independent chains that
+// superscalar hardware pipelines well, and it is the only tier on non-x86
+// builds. VER_SIMD=scalar|avx2|avx512 (env) *caps* the tier at that level
+// (never raises it above detection), and ScopedSimdLevel (tests/benches)
+// forces one, so every supported tier stays continuously exercised.
 //
 // Why not hardware CRC32/CLMUL: the bit-identity contract pins the hash
 // family to the splitmix64-based mixers of util/hash.h — CRC32-based cell
@@ -39,6 +40,8 @@ namespace simd {
 enum class Level : int {
   kScalar = 0,  // unrolled portable loops (every platform)
   kAvx2 = 1,    // 4x64-bit integer lanes (x86-64 with AVX2)
+  kAvx512 = 2,  // 8x64-bit lanes (x86-64 with AVX-512F+DQ: native 64-bit
+                // multiply and unsigned min, mask-register twin tests)
 };
 
 const char* LevelName(Level level);
@@ -110,6 +113,21 @@ void CombineDoubleCells(uint64_t* acc, const double* v, size_t n);
 /// code array (vpgatherdq); every codes[i] must index entry_hashes.
 void CombineDictCells(uint64_t* acc, const uint32_t* codes,
                       const uint64_t* entry_hashes, size_t n);
+
+/// Fused hash+combine for all-valid tag-mixed numeric columns (the
+/// kNumeric encoding: per-cell 64-bit payload in `num_bits`, bit i of
+/// `int_tag_words` set when cell i is an int64, clear when it is a
+/// double's bit pattern):
+///   acc[i] = HashCombine(acc[i],
+///                        tag ? HashIntValue(int64(num_bits[i]))
+///                            : HashDoubleValue(double(num_bits[i])))
+/// The wide tiers read the tags a lane-group at a time (the group's tag
+/// bits never straddle a word because group starts are lane-aligned):
+/// all-int groups take the integer path, all-double groups the double path
+/// with the integral-twin guard of CombineDoubleCells, and mixed groups
+/// fall back to the scalar hash — bit identity at every tier.
+void CombineNumericCells(uint64_t* acc, const uint64_t* num_bits,
+                         const uint64_t* int_tag_words, size_t n);
 
 /// Blocked MinHash update: slots[j] = min(slots[j], Mix64(elems[i] ^
 /// seeds[j])) over all i < n, for each permutation j < num_perms. Min is

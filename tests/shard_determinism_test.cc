@@ -1,0 +1,340 @@
+// Shard-count invariance suite: a DiscoveryEngine hash-partitioned into N
+// shards must be indistinguishable from the 1-shard engine — same keyword
+// hits, same neighbors, same join graphs, same end-to-end query
+// fingerprints — whether the engine was freshly built, reloaded from a v4
+// snapshot, or had a single shard hot-swapped under concurrent traffic.
+// The scatter-gather merges are deterministic by contract; this suite is
+// what keeps that contract honest.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ver.h"
+#include "discovery/engine.h"
+#include "query_fingerprint.h"
+#include "serving/ver_server.h"
+#include "util/serde.h"
+#include "workload/noisy_query.h"
+#include "workload/open_data_gen.h"
+
+namespace ver {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+struct ShardFixture {
+  GeneratedDataset dataset;
+  std::vector<ExampleQuery> queries;
+
+  ShardFixture() {
+    OpenDataSpec spec;
+    spec.num_tables = 60;
+    spec.num_queries = 4;
+    dataset = GenerateOpenDataLike(spec);
+    for (size_t i = 0; i < dataset.queries.size(); ++i) {
+      Result<ExampleQuery> q = MakeNoisyQuery(
+          dataset.repo, dataset.queries[i], NoiseLevel::kZero, 3, 7 + i);
+      if (q.ok()) queries.push_back(std::move(q).value());
+    }
+  }
+};
+
+ShardFixture& Fixture() {
+  static ShardFixture* fixture = new ShardFixture();
+  return *fixture;
+}
+
+std::unique_ptr<DiscoveryEngine> BuildEngine(const TableRepository& repo,
+                                             int num_shards,
+                                             int parallelism) {
+  DiscoveryOptions options;
+  options.num_shards = num_shards;
+  options.parallelism = parallelism;
+  return DiscoveryEngine::Build(repo, options);
+}
+
+// Keywords the generated dataset actually contains: attribute names plus
+// the example cell texts of the fixture queries.
+std::vector<std::string> ProbeKeywords(const DiscoveryEngine& engine,
+                                       const std::vector<ExampleQuery>& qs) {
+  std::vector<std::string> keywords;
+  const std::vector<ColumnProfile>& profiles = engine.profiles();
+  for (size_t i = 0; i < profiles.size(); i += 17) {
+    keywords.push_back(profiles[i].attribute_name);
+  }
+  for (const ExampleQuery& q : qs) {
+    for (const auto& col : q.columns) {
+      if (!col.empty()) keywords.push_back(col.front());
+    }
+  }
+  keywords.push_back("no_such_keyword_anywhere");
+  return keywords;
+}
+
+void ExpectSameHits(const std::vector<KeywordHit>& a,
+                    const std::vector<KeywordHit>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].column.Encode(), b[i].column.Encode()) << "hit " << i;
+    EXPECT_EQ(a[i].matched_attribute, b[i].matched_attribute) << "hit " << i;
+    EXPECT_EQ(a[i].exact, b[i].exact) << "hit " << i;
+    EXPECT_EQ(a[i].match_count, b[i].match_count) << "hit " << i;
+  }
+}
+
+void ExpectSameRefs(const std::vector<ColumnRef>& a,
+                    const std::vector<ColumnRef>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].Encode(), b[i].Encode()) << "ref " << i;
+  }
+}
+
+// The engine-level bit-identity bar: every Appendix A discovery function
+// answers identically on `engine` and `baseline`.
+void ExpectDiscoveryIdentical(const DiscoveryEngine& engine,
+                              const DiscoveryEngine& baseline,
+                              const std::vector<ExampleQuery>& queries) {
+  ASSERT_EQ(engine.profiles().size(), baseline.profiles().size());
+  EXPECT_EQ(engine.num_joinable_column_pairs(),
+            baseline.num_joinable_column_pairs());
+
+  for (const std::string& kw : ProbeKeywords(baseline, queries)) {
+    SCOPED_TRACE("keyword " + kw);
+    for (KeywordTarget target :
+         {KeywordTarget::kValues, KeywordTarget::kAttributes,
+          KeywordTarget::kAll}) {
+      ExpectSameHits(engine.SearchKeyword(kw, target),
+                     baseline.SearchKeyword(kw, target));
+    }
+    ExpectSameHits(engine.SearchKeyword(kw, KeywordTarget::kAll, true),
+                   baseline.SearchKeyword(kw, KeywordTarget::kAll, true));
+  }
+
+  const std::vector<ColumnProfile>& profiles = baseline.profiles();
+  for (size_t i = 0; i < profiles.size(); i += 5) {
+    SCOPED_TRACE("column " + std::to_string(i));
+    for (double threshold : {0.5, 0.8}) {
+      ExpectSameRefs(engine.Neighbors(profiles[i].ref, threshold),
+                     baseline.Neighbors(profiles[i].ref, threshold));
+      ExpectSameRefs(engine.SimilarColumns(profiles[i].ref, threshold),
+                     baseline.SimilarColumns(profiles[i].ref, threshold));
+    }
+  }
+
+  int32_t num_tables = baseline.repo().num_tables();
+  for (int32_t t = 0; t + 1 < num_tables; t += 9) {
+    std::vector<JoinGraph> ga = engine.GenerateJoinGraphs({t, t + 1}, 3);
+    std::vector<JoinGraph> gb = baseline.GenerateJoinGraphs({t, t + 1}, 3);
+    ASSERT_EQ(ga.size(), gb.size()) << "tables " << t << "," << t + 1;
+    for (size_t k = 0; k < ga.size(); ++k) {
+      EXPECT_EQ(ga[k].Signature(), gb[k].Signature());
+    }
+  }
+}
+
+TEST(ShardDeterminismTest, ShardingAssignsEveryTableExactlyOnce) {
+  ShardFixture& f = Fixture();
+  auto engine = BuildEngine(f.dataset.repo, 8, 1);
+  ASSERT_EQ(engine->num_shards(), 8);
+  std::vector<int> seen(static_cast<size_t>(f.dataset.repo.num_tables()), 0);
+  for (int s = 0; s < engine->num_shards(); ++s) {
+    int32_t prev = -1;
+    for (int32_t t : engine->shard_tables(s)) {
+      EXPECT_GT(t, prev) << "shard lists must be ascending";
+      prev = t;
+      EXPECT_EQ(engine->shard_of_table(t), s);
+      seen[static_cast<size_t>(t)]++;
+    }
+  }
+  for (size_t t = 0; t < seen.size(); ++t) {
+    EXPECT_EQ(seen[t], 1) << "table " << t;
+  }
+}
+
+TEST(ShardDeterminismTest, DiscoveryFunctionsBitIdenticalAcrossShardCounts) {
+  ShardFixture& f = Fixture();
+  ASSERT_FALSE(f.queries.empty());
+  auto baseline = BuildEngine(f.dataset.repo, 1, 1);
+  for (int shards : {3, 8}) {
+    for (int parallelism : {1, 4}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " parallelism=" + std::to_string(parallelism));
+      auto engine = BuildEngine(f.dataset.repo, shards, parallelism);
+      ASSERT_EQ(engine->num_shards(), shards);
+      ExpectDiscoveryIdentical(*engine, *baseline, f.queries);
+    }
+  }
+}
+
+TEST(ShardDeterminismTest, FullPipelineFingerprintInvariantAcrossShards) {
+  ShardFixture& f = Fixture();
+  ASSERT_FALSE(f.queries.empty());
+  VerConfig config;
+  Ver baseline(&f.dataset.repo, config,
+               BuildEngine(f.dataset.repo, 1, 1));
+  std::vector<std::string> expected;
+  for (const ExampleQuery& q : f.queries) {
+    expected.push_back(Fingerprint(baseline.RunQuery(q)));
+  }
+  for (int shards : {4, 16}) {
+    Ver sharded(&f.dataset.repo, config,
+                BuildEngine(f.dataset.repo, shards, 4));
+    for (size_t i = 0; i < f.queries.size(); ++i) {
+      EXPECT_EQ(Fingerprint(sharded.RunQuery(f.queries[i])), expected[i])
+          << "shards=" << shards << " query=" << i;
+    }
+  }
+}
+
+TEST(ShardDeterminismTest, SnapshotRoundTripPreservesShardedAnswers) {
+  ShardFixture& f = Fixture();
+  ASSERT_FALSE(f.queries.empty());
+  auto baseline = BuildEngine(f.dataset.repo, 1, 1);
+  auto built = BuildEngine(f.dataset.repo, 5, 2);
+  std::string path = TempPath("ver_shard_roundtrip.versnap");
+  ASSERT_TRUE(built->Save(path).ok());
+
+  Result<std::unique_ptr<DiscoveryEngine>> loaded =
+      DiscoveryEngine::Load(f.dataset.repo, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value()->num_shards(), 5);
+  // Layout comes from the file, not a re-hash — but both must agree here.
+  for (int s = 0; s < 5; ++s) {
+    EXPECT_EQ(loaded.value()->shard_tables(s), built->shard_tables(s));
+  }
+  ExpectDiscoveryIdentical(*loaded.value(), *baseline, f.queries);
+
+  VerConfig config;
+  Ver fresh(&f.dataset.repo, config, std::move(built));
+  Ver restored(&f.dataset.repo, config, std::move(loaded).value());
+  for (const ExampleQuery& q : f.queries) {
+    EXPECT_EQ(Fingerprint(restored.RunQuery(q)),
+              Fingerprint(fresh.RunQuery(q)));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ShardDeterminismTest, LegacyFormatIsSingleShardOnly) {
+  ShardFixture& f = Fixture();
+  std::string path = TempPath("ver_shard_legacy.versnap");
+
+  // A multi-shard engine cannot masquerade as a pre-sharding snapshot.
+  auto sharded = BuildEngine(f.dataset.repo, 3, 1);
+  Status status = sharded->Save(path, /*format_version=*/3);
+  EXPECT_FALSE(status.ok());
+
+  // A 1-shard engine still writes genuine v3 bytes, and they load as one
+  // shard with identical answers.
+  auto single = BuildEngine(f.dataset.repo, 1, 1);
+  ASSERT_TRUE(single->Save(path, /*format_version=*/3).ok());
+  Result<std::unique_ptr<DiscoveryEngine>> loaded =
+      DiscoveryEngine::Load(f.dataset.repo, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value()->num_shards(), 1);
+  ExpectDiscoveryIdentical(*loaded.value(), *single, f.queries);
+  std::remove(path.c_str());
+}
+
+TEST(ShardDeterminismTest, HotSwapShardUnderConcurrentTraffic) {
+  // ThreadSanitizer workload: clients stream full-pipeline queries while
+  // individual shards are rebuilt and swapped underneath them. The swapped
+  // shards are rebuilt over the same repository, so every answer — before,
+  // during and after each swap — must carry the baseline fingerprint.
+  ShardFixture& f = Fixture();
+  ASSERT_FALSE(f.queries.empty());
+  VerConfig config;
+  config.discovery.num_shards = 3;
+  config.discovery.parallelism = 2;
+  auto ver_a = std::make_shared<const Ver>(
+      &f.dataset.repo, config, BuildEngine(f.dataset.repo, 3, 2));
+  std::string expected_fp = Fingerprint(ver_a->RunQuery(f.queries[0]));
+
+  ServingOptions serving;
+  serving.num_workers = 2;
+  serving.cache_capacity = 0;  // every query runs the pipeline
+  VerServer server(ver_a, serving);
+
+  std::atomic<int> bad{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 3; ++t) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < 4; ++i) {
+        ServedResult served = server.Serve(f.queries[0]);
+        if (!served.status.ok() || served.result == nullptr ||
+            Fingerprint(*served.result) != expected_fp) {
+          bad.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  int swaps = 0;
+  for (int round = 0; round < 2; ++round) {
+    for (int s = 0; s < 3; ++s) {
+      Result<std::unique_ptr<DiscoveryEngine>> rebuilt =
+          server.snapshot()->engine().WithRebuiltShard(f.dataset.repo, s);
+      ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+      auto next = std::make_shared<const Ver>(&f.dataset.repo, config,
+                                              std::move(rebuilt).value());
+      ASSERT_TRUE(server.SwapSnapshot(next, s));
+      ++swaps;
+    }
+  }
+  for (std::thread& c : clients) c.join();
+  EXPECT_EQ(bad.load(), 0);
+
+  // After the dust settles the swapped engine still answers bit-identically.
+  ServedResult final_result = server.Serve(f.queries[0]);
+  ASSERT_TRUE(final_result.status.ok());
+  EXPECT_EQ(Fingerprint(*final_result.result), expected_fp);
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.snapshot_swaps, swaps);
+  ASSERT_EQ(stats.shards.size(), 3u);
+  for (const ServerStats::ShardStats& shard : stats.shards) {
+    // Each shard was individually swapped twice and scattered into by
+    // every pipeline query (counters are cumulative across swaps).
+    EXPECT_EQ(shard.swap_epoch, 2u);
+    EXPECT_GT(shard.scatter_queries, 0u);
+  }
+
+  // Out-of-range shard and null snapshot swaps are rejected.
+  EXPECT_FALSE(server.SwapSnapshot(ver_a, 99));
+  EXPECT_FALSE(server.SwapSnapshot(nullptr, 0));
+}
+
+TEST(ShardDeterminismTest, WithRebuiltShardValidatesAndIsolates) {
+  ShardFixture& f = Fixture();
+  auto engine = BuildEngine(f.dataset.repo, 3, 1);
+
+  // A repo with a different shape is rejected.
+  TableRepository other;
+  Result<std::unique_ptr<DiscoveryEngine>> mismatched =
+      engine->WithRebuiltShard(other, 0);
+  EXPECT_FALSE(mismatched.ok());
+  EXPECT_FALSE(engine->WithRebuiltShard(f.dataset.repo, -1).ok());
+  EXPECT_FALSE(engine->WithRebuiltShard(f.dataset.repo, 3).ok());
+
+  Result<std::unique_ptr<DiscoveryEngine>> rebuilt =
+      engine->WithRebuiltShard(f.dataset.repo, 1);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  // Shared-shard engines refuse online maintenance (it would corrupt the
+  // sibling), and answer identically to the original.
+  EXPECT_FALSE(rebuilt.value()->IndexNewTable(0).ok());
+  ExpectDiscoveryIdentical(*rebuilt.value(), *engine, f.queries);
+}
+
+}  // namespace
+}  // namespace ver

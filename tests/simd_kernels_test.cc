@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <set>
 #include <string>
@@ -62,6 +63,9 @@ TEST(SimdDispatchTest, ForcedLevelClampsAndResets) {
   // Forcing above the detected tier clamps instead of dispatching to
   // instructions the CPU lacks.
   simd::ForceLevel(simd::Level::kAvx2);
+  EXPECT_LE(static_cast<int>(simd::ActiveLevel()),
+            static_cast<int>(simd::DetectedLevel()));
+  simd::ForceLevel(simd::Level::kAvx512);
   EXPECT_LE(static_cast<int>(simd::ActiveLevel()),
             static_cast<int>(simd::DetectedLevel()));
   simd::ResetForcedLevel();
@@ -188,6 +192,66 @@ TEST(SimdKernelTest, CombineDictCellsMatchesGatherReference) {
       EXPECT_EQ(acc, expected)
           << "n=" << n << " level=" << simd::LevelName(level);
     });
+  }
+}
+
+TEST(SimdKernelTest, CombineNumericCellsMatchesTagSteeredReference) {
+  // Tag patterns chosen so wide tiers see all-int groups, all-double
+  // groups (twin-free and twin-bearing, which forces their scalar
+  // fallback), and mixed groups that never vectorize — at both the 4-lane
+  // and 8-lane group width. Payloads double as both int64s and double bit
+  // patterns depending on the tag, including integral-valued doubles.
+  struct TagPattern {
+    const char* name;
+    uint64_t (*tag)(size_t i);
+  };
+  const TagPattern kPatterns[] = {
+      {"all_int", [](size_t) -> uint64_t { return 1; }},
+      {"all_double", [](size_t) -> uint64_t { return 0; }},
+      {"alternating", [](size_t i) -> uint64_t { return i & 1; }},
+      {"group_runs", [](size_t i) -> uint64_t { return (i / 8) & 1; }},
+      {"sparse_int", [](size_t i) -> uint64_t { return i % 13 == 0; }},
+  };
+  for (const TagPattern& pattern : kPatterns) {
+    for (size_t n : kSizes) {
+      std::vector<uint64_t> bits(n);
+      std::vector<uint64_t> tags((n + 63) / 64, 0);
+      std::vector<uint64_t> raw = DeterministicU64(n, 20);
+      for (size_t i = 0; i < n; ++i) {
+        bool is_int = pattern.tag(i) != 0;
+        if (is_int) {
+          bits[i] = raw[i];  // arbitrary int64 payload
+          tags[i >> 6] |= uint64_t{1} << (i & 63);
+        } else if (raw[i] % 3 == 0) {
+          // Integral-valued double: exercises the twin fallback.
+          double d = static_cast<double>(static_cast<int64_t>(raw[i] % 4096));
+          std::memcpy(&bits[i], &d, sizeof(d));
+        } else {
+          double d = static_cast<double>(raw[i] % 99999) / 100.0;
+          std::memcpy(&bits[i], &d, sizeof(d));
+        }
+      }
+      std::vector<uint64_t> init = DeterministicU64(n, 21);
+      std::vector<uint64_t> expected = init;
+      for (size_t i = 0; i < n; ++i) {
+        bool is_int = ((tags[i >> 6] >> (i & 63)) & 1u) != 0;
+        uint64_t cell;
+        if (is_int) {
+          cell = HashIntValue(static_cast<int64_t>(bits[i]));
+        } else {
+          double d;
+          std::memcpy(&d, &bits[i], sizeof(d));
+          cell = HashDoubleValue(d);
+        }
+        expected[i] = HashCombine(expected[i], cell);
+      }
+      ForEachLevel([&](simd::Level level) {
+        std::vector<uint64_t> acc = init;
+        simd::CombineNumericCells(acc.data(), bits.data(), tags.data(), n);
+        EXPECT_EQ(acc, expected) << "pattern=" << pattern.name << " n=" << n
+                                 << " level=" << simd::LevelName(level);
+      });
+    }
   }
 }
 
